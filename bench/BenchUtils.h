@@ -1,0 +1,206 @@
+//===- bench/BenchUtils.h - Experiment harness helpers ----------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared scaffolding for the experiment binaries (E1-E9): fixed-width
+/// table printing and the standard build-and-edit driver loops. Each
+/// bench binary regenerates one table/figure of EXPERIMENTS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BENCH_BENCHUTILS_H
+#define SC_BENCH_BENCHUTILS_H
+
+#include "build_sys/BuildSystem.h"
+#include "support/RNG.h"
+#include "workload/Workload.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sc::bench {
+
+/// Prints a header banner for one experiment.
+inline void banner(const std::string &Id, const std::string &Title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", Id.c_str(), Title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Simple fixed-width row printing.
+inline void printRow(const std::vector<std::string> &Cells, int Width = 14) {
+  for (const std::string &C : Cells)
+    std::printf("%-*s", Width, C.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double V, int Precision = 2) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+inline std::string fmtPercent(double Fraction, int Precision = 2) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Precision, Fraction * 100.0);
+  return Buf;
+}
+
+/// Standard build options for an experiment run.
+inline BuildOptions makeOptions(StatefulConfig::Mode Mode,
+                                OptLevel Opt = OptLevel::O2) {
+  BuildOptions BO;
+  BO.Compiler.Opt = Opt;
+  BO.Compiler.Stateful.SkipMode = Mode;
+  return BO;
+}
+
+/// Measured end-to-end numbers for one commit-replay run.
+struct ReplayResult {
+  double ColdBuildUs = 0;
+  double TotalIncrementalUs = 0; // Sum over all commits.
+  unsigned Commits = 0;
+  unsigned FilesCompiled = 0;
+  uint64_t PassesRun = 0;
+  uint64_t PassesSkipped = 0;
+  double MiddleEndUs = 0;  // Sum of middle-end phase time.
+  double FrontendUs = 0;
+  double BackendUs = 0;
+  double StateUs = 0;
+  double StateIOUs = 0;
+  uint64_t StateDBBytes = 0;
+  uint64_t FunctionsReused = 0;
+
+  double meanIncrementalUs() const {
+    return Commits ? TotalIncrementalUs / Commits : 0;
+  }
+};
+
+/// Replays \p NumCommits commits over a generated project with the
+/// given compiler mode. The same (ProfileSeed, EditSeed) gives an
+/// identical source history for every mode, so modes are directly
+/// comparable.
+inline ReplayResult replayCommits(const ProjectProfile &Profile,
+                                  uint64_t ProfileSeed, uint64_t EditSeed,
+                                  unsigned NumCommits,
+                                  StatefulConfig::Mode Mode,
+                                  OptLevel Opt = OptLevel::O2) {
+  InMemoryFileSystem FS;
+  ProjectModel Model = ProjectModel::generate(Profile, ProfileSeed);
+  Model.renderAll(FS);
+
+  BuildDriver Driver(FS, makeOptions(Mode, Opt));
+  ReplayResult R;
+  BuildStats Cold = Driver.build();
+  if (!Cold.Success) {
+    std::fprintf(stderr, "cold build failed: %s\n", Cold.ErrorText.c_str());
+    return R;
+  }
+  R.ColdBuildUs = Cold.TotalUs;
+
+  RNG Rand(EditSeed);
+  for (unsigned C = 0; C != NumCommits; ++C) {
+    Model.applyCommit(Rand, FS);
+    BuildStats S = Driver.build();
+    if (!S.Success) {
+      std::fprintf(stderr, "incremental build failed: %s\n",
+                   S.ErrorText.c_str());
+      return R;
+    }
+    ++R.Commits;
+    R.TotalIncrementalUs += S.TotalUs;
+    R.FilesCompiled += S.FilesCompiled;
+    R.PassesRun += S.Skip.PassesRun;
+    R.PassesSkipped += S.Skip.PassesSkipped;
+    R.MiddleEndUs += S.CompilePhases.MiddleUs;
+    R.FrontendUs += S.CompilePhases.FrontendUs;
+    R.BackendUs += S.CompilePhases.BackendUs;
+    R.StateUs += S.CompilePhases.StateUs;
+    R.StateIOUs += S.StateIOUs;
+    R.StateDBBytes = S.StateDBBytes;
+  }
+  return R;
+}
+
+/// One compiler configuration for an interleaved comparison.
+struct ReplayConfig {
+  std::string Label;
+  StatefulConfig::Mode Mode = StatefulConfig::Mode::Stateless;
+  bool ReuseCode = false;
+  OptLevel Opt = OptLevel::O2;
+};
+
+/// Replays the same commit stream against several configurations,
+/// building them in round-robin order after every commit. Interleaving
+/// removes machine-load drift from the comparison: any slow period
+/// hits all configurations equally.
+inline std::vector<ReplayResult>
+replayCommitsInterleaved(const ProjectProfile &Profile, uint64_t ProfileSeed,
+                         uint64_t EditSeed, unsigned NumCommits,
+                         const std::vector<ReplayConfig> &Configs) {
+  struct Lane {
+    std::unique_ptr<InMemoryFileSystem> FS;
+    std::unique_ptr<ProjectModel> Model;
+    std::unique_ptr<BuildDriver> Driver;
+    RNG Rand{0};
+  };
+  std::vector<Lane> Lanes;
+  std::vector<ReplayResult> Results(Configs.size());
+
+  for (const ReplayConfig &Cfg : Configs) {
+    Lane L;
+    L.FS = std::make_unique<InMemoryFileSystem>();
+    L.Model = std::make_unique<ProjectModel>(
+        ProjectModel::generate(Profile, ProfileSeed));
+    L.Model->renderAll(*L.FS);
+    BuildOptions BO = makeOptions(Cfg.Mode, Cfg.Opt);
+    BO.Compiler.Stateful.ReuseFunctionCode = Cfg.ReuseCode;
+    L.Driver = std::make_unique<BuildDriver>(*L.FS, BO);
+    L.Rand = RNG(EditSeed);
+    Lanes.push_back(std::move(L));
+  }
+
+  for (size_t I = 0; I != Lanes.size(); ++I) {
+    BuildStats Cold = Lanes[I].Driver->build();
+    if (!Cold.Success) {
+      std::fprintf(stderr, "cold build failed: %s\n",
+                   Cold.ErrorText.c_str());
+      return Results;
+    }
+    Results[I].ColdBuildUs = Cold.TotalUs;
+  }
+
+  for (unsigned C = 0; C != NumCommits; ++C) {
+    for (size_t I = 0; I != Lanes.size(); ++I) {
+      Lanes[I].Model->applyCommit(Lanes[I].Rand, *Lanes[I].FS);
+      BuildStats S = Lanes[I].Driver->build();
+      if (!S.Success) {
+        std::fprintf(stderr, "incremental build failed: %s\n",
+                     S.ErrorText.c_str());
+        return Results;
+      }
+      ReplayResult &R = Results[I];
+      ++R.Commits;
+      R.TotalIncrementalUs += S.TotalUs;
+      R.FilesCompiled += S.FilesCompiled;
+      R.PassesRun += S.Skip.PassesRun;
+      R.PassesSkipped += S.Skip.PassesSkipped;
+      R.MiddleEndUs += S.CompilePhases.MiddleUs;
+      R.FrontendUs += S.CompilePhases.FrontendUs;
+      R.BackendUs += S.CompilePhases.BackendUs;
+      R.StateUs += S.CompilePhases.StateUs;
+      R.StateIOUs += S.StateIOUs;
+      R.StateDBBytes = S.StateDBBytes;
+      R.FunctionsReused += S.Skip.FunctionsReused;
+    }
+  }
+  return Results;
+}
+
+} // namespace sc::bench
+
+#endif // SC_BENCH_BENCHUTILS_H

@@ -1,0 +1,147 @@
+//===- bench/bench_e1_dormancy.cpp - E1: pass dormancy distribution ------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E1 reproduces the paper's motivational measurement: in a full build,
+/// what fraction of (function, pass) executions are dormant (run
+/// without changing the IR)? High dormancy is the headroom the
+/// stateful compiler exploits. Reports per-project dormancy, the
+/// per-pass breakdown, and a histogram of dormant-pass counts per
+/// function.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "driver/Compiler.h"
+#include "driver/IRGen.h"
+#include "lang/Parser.h"
+#include "pass/PassManager.h"
+
+#include <map>
+
+using namespace sc;
+using namespace sc::bench;
+
+namespace {
+
+/// Counts executions and changes per pass name.
+struct DormancyRecorder : public PassInstrumentation {
+  std::map<std::string, std::pair<uint64_t, uint64_t>> PerPass; // run, chg
+  std::map<const Function *, unsigned> DormantPerFunction;
+  std::map<const Function *, unsigned> TotalPerFunction;
+
+  void afterPass(const std::string &Name, size_t, const Function &F,
+                 bool Changed, double) override {
+    auto &Slot = PerPass[Name];
+    ++Slot.first;
+    if (Changed)
+      ++Slot.second;
+    ++TotalPerFunction[&F];
+    if (!Changed)
+      ++DormantPerFunction[&F];
+  }
+};
+
+} // namespace
+
+int main() {
+  banner("E1", "Pass dormancy in a full O2 build (motivational figure)");
+
+  std::printf("\nPer-project dormancy of function-pass executions:\n\n");
+  printRow({"project", "files", "functions", "pass-execs", "dormant",
+            "dormancy"});
+
+  std::map<std::string, std::pair<uint64_t, uint64_t>> GlobalPerPass;
+  std::map<unsigned, unsigned> Histogram; // dormant-count bucket -> #fns
+  uint64_t GrandRuns = 0, GrandDormant = 0;
+
+  for (const ProjectProfile &Profile : standardProfiles()) {
+    InMemoryFileSystem FS;
+    ProjectModel Model = ProjectModel::generate(Profile, 42);
+    Model.renderAll(FS);
+
+    // Compile every file through the O2 pipeline with a recorder.
+    PassPipeline Pipeline = buildPipeline(OptLevel::O2);
+    DormancyRecorder Recorder;
+    unsigned NumFunctions = 0;
+
+    for (const std::string &Path : FS.listFiles()) {
+      std::string Source = *FS.readFile(Path);
+      auto Scanned = Compiler::scanInterface(Source);
+      if (!Scanned)
+        continue;
+      // Resolve imports against already-scanned interfaces.
+      ModuleInterface Imports;
+      for (const std::string &Dep : Scanned->second) {
+        auto DepScanned = Compiler::scanInterface(*FS.readFile(Dep));
+        if (DepScanned)
+          Imports.insert(Imports.end(), DepScanned->first.begin(),
+                         DepScanned->first.end());
+      }
+      DiagnosticEngine Diags;
+      Parser P(Source, Diags);
+      auto AST = P.parseModule();
+      ModuleInterface Own = analyzeModule(*AST, Imports, Diags);
+      if (Diags.hasErrors()) {
+        std::fprintf(stderr, "%s", Diags.render(Path).c_str());
+        return 1;
+      }
+      ModuleInterface All = Imports;
+      All.insert(All.end(), Own.begin(), Own.end());
+      auto M = generateIR(*AST, Path, All);
+      NumFunctions += static_cast<unsigned>(M->numFunctions());
+      AnalysisManager AM(*M);
+      Pipeline.run(*M, AM, &Recorder);
+    }
+
+    uint64_t Runs = 0, Dormant = 0;
+    for (const auto &[Name, RC] : Recorder.PerPass) {
+      Runs += RC.first;
+      Dormant += RC.first - RC.second;
+      auto &G = GlobalPerPass[Name];
+      G.first += RC.first;
+      G.second += RC.second;
+    }
+    GrandRuns += Runs;
+    GrandDormant += Dormant;
+
+    for (const auto &[F, Total] : Recorder.TotalPerFunction) {
+      unsigned D = Recorder.DormantPerFunction.count(F)
+                       ? Recorder.DormantPerFunction.at(F)
+                       : 0;
+      // Bucket by dormant fraction decile.
+      unsigned Bucket = Total ? (D * 10) / Total : 0;
+      if (Bucket > 9)
+        Bucket = 9;
+      ++Histogram[Bucket];
+    }
+
+    printRow({Profile.Name, std::to_string(Model.numFiles()),
+              std::to_string(NumFunctions), std::to_string(Runs),
+              std::to_string(Dormant),
+              fmtPercent(Runs ? double(Dormant) / Runs : 0)});
+  }
+
+  printRow({"ALL", "", "", std::to_string(GrandRuns),
+            std::to_string(GrandDormant),
+            fmtPercent(GrandRuns ? double(GrandDormant) / GrandRuns : 0)});
+
+  std::printf("\nPer-pass dormancy (all projects, O2 pipeline order):\n\n");
+  printRow({"pass", "execs", "changed", "dormancy"}, 16);
+  for (const auto &[Name, RC] : GlobalPerPass)
+    printRow({Name, std::to_string(RC.first), std::to_string(RC.second),
+              fmtPercent(RC.first ? 1.0 - double(RC.second) / RC.first : 0)},
+             16);
+
+  std::printf("\nHistogram: functions by dormant fraction (deciles):\n\n");
+  printRow({"dormant-frac", "#functions"}, 16);
+  for (unsigned B = 0; B != 10; ++B) {
+    std::string Range =
+        std::to_string(B * 10) + "-" + std::to_string(B * 10 + 10) + "%";
+    printRow({Range, std::to_string(Histogram.count(B) ? Histogram[B] : 0)},
+             16);
+  }
+  return 0;
+}

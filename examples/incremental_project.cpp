@@ -1,0 +1,147 @@
+//===- examples/incremental_project.cpp - The paper's workflow ------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's scenario end to end: a multi-file project built
+/// incrementally, comparing the stateless baseline against the
+/// stateful compiler. After an edit, the build system recompiles only
+/// dirty files (coarse-grained incrementality), and within each
+/// recompiled file the stateful compiler skips passes recorded dormant
+/// in the previous build (fine-grained incrementality).
+///
+///   $ ./example_incremental_project
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+
+using namespace sc;
+
+namespace {
+
+void writeProject(VirtualFileSystem &FS) {
+  FS.writeFile("math.mc", R"(
+    fn gcd(a: int, b: int) -> int {
+      while (b != 0) {
+        var t = b;
+        b = a % b;
+        a = t;
+      }
+      return a;
+    }
+    fn lcm(a: int, b: int) -> int {
+      return a / gcd(a, b) * b;
+    }
+  )");
+  FS.writeFile("stats.mc", R"(
+    global samples[32];
+    global count = 0;
+
+    fn record(x: int) {
+      if (count < 32) {
+        samples[count] = x;
+        count = count + 1;
+      }
+    }
+    fn mean() -> int {
+      if (count == 0) { return 0; }
+      var s = 0;
+      for (var i = 0; i < count; i = i + 1) { s = s + samples[i]; }
+      return s / count;
+    }
+  )");
+  FS.writeFile("main.mc", R"(
+    import "math.mc";
+    import "stats.mc";
+
+    fn main() -> int {
+      record(lcm(4, 6));
+      record(lcm(21, 6));
+      record(gcd(48, 36));
+      print(mean());
+      return mean();
+    }
+  )");
+}
+
+int64_t runProgram(BuildDriver &Driver) {
+  VM Machine(*Driver.program());
+  ExecResult R = Machine.run();
+  return R.ReturnValue.value_or(-1);
+}
+
+void report(const char *Label, const BuildStats &S) {
+  std::printf("%-28s %7.2f ms | compiled %u/%u files | passes run %llu, "
+              "skipped %llu\n",
+              Label, S.TotalUs / 1000.0, S.FilesCompiled, S.FilesTotal,
+              static_cast<unsigned long long>(S.Skip.PassesRun),
+              static_cast<unsigned long long>(S.Skip.PassesSkipped));
+}
+
+} // namespace
+
+int main() {
+  // Two identical projects, one per compiler mode.
+  InMemoryFileSystem StatelessFS, StatefulFS;
+  writeProject(StatelessFS);
+  writeProject(StatefulFS);
+
+  BuildOptions Stateless;
+  BuildOptions Stateful;
+  Stateful.Compiler.Stateful.SkipMode =
+      StatefulConfig::Mode::HeuristicSkip;
+
+  BuildDriver Base(StatelessFS, Stateless);
+  BuildDriver Smart(StatefulFS, Stateful);
+
+  std::printf("== cold build (every file compiles, state is recorded)\n");
+  report("stateless", Base.build());
+  report("stateful", Smart.build());
+  std::printf("program output: %lld (both)\n\n",
+              static_cast<long long>(runProgram(Smart)));
+
+  // A body-only edit to math.mc: only math.mc recompiles (its
+  // interface is unchanged), and the stateful compiler additionally
+  // skips every pass that was dormant for gcd/lcm last time.
+  const char *EditedMath = R"(
+    fn gcd(a: int, b: int) -> int {
+      while (b != 0) {
+        var t = b;
+        b = a % b;
+        a = t;
+      }
+      if (a < 0) { a = 0 - a; }   // <- the edit
+      return a;
+    }
+    fn lcm(a: int, b: int) -> int {
+      return a / gcd(a, b) * b;
+    }
+  )";
+  StatelessFS.writeFile("math.mc", EditedMath);
+  StatefulFS.writeFile("math.mc", EditedMath);
+
+  std::printf("== incremental build after editing gcd()'s body\n");
+  report("stateless", Base.build());
+  report("stateful", Smart.build());
+  std::printf("program output: %lld (unchanged semantics for these "
+              "inputs)\n\n",
+              static_cast<long long>(runProgram(Smart)));
+
+  // No-op rebuild: the build system's (coarse) statefulness alone.
+  std::printf("== rebuild with no changes (build-system fast path)\n");
+  report("stateless", Base.build());
+  report("stateful", Smart.build());
+
+  std::printf("\nThe persisted compiler state lives alongside the build "
+              "artifacts:\n");
+  for (const std::string &Path : StatefulFS.listFiles())
+    if (Path.rfind("out/", 0) == 0)
+      std::printf("  %s (%zu bytes)\n", Path.c_str(),
+                  StatefulFS.readFile(Path)->size());
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- analysis/CFG.cpp - CFG traversal utilities ---------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace sc;
+
+namespace {
+
+void postOrderVisit(BasicBlock *BB, std::set<BasicBlock *> &Visited,
+                    std::vector<BasicBlock *> &Out) {
+  // Iterative DFS to avoid deep recursion on long chains.
+  std::vector<std::pair<BasicBlock *, size_t>> Stack;
+  Visited.insert(BB);
+  Stack.push_back({BB, 0});
+  while (!Stack.empty()) {
+    auto &[Cur, NextSucc] = Stack.back();
+    std::vector<BasicBlock *> Succs = Cur->successors();
+    if (NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[NextSucc++];
+      if (Visited.insert(S).second)
+        Stack.push_back({S, 0});
+      continue;
+    }
+    Out.push_back(Cur);
+    Stack.pop_back();
+  }
+}
+
+} // namespace
+
+std::vector<BasicBlock *> sc::reversePostOrder(const Function &F) {
+  std::set<BasicBlock *> Visited;
+  std::vector<BasicBlock *> PostOrder;
+  postOrderVisit(F.entry(), Visited, PostOrder);
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+std::vector<BasicBlock *> sc::reachableBlocks(const Function &F) {
+  std::set<BasicBlock *> Visited;
+  std::vector<BasicBlock *> PostOrder;
+  postOrderVisit(F.entry(), Visited, PostOrder);
+  return PostOrder;
+}
+
+bool sc::removeUnreachableBlocks(Function &F) {
+  std::vector<BasicBlock *> Live = reachableBlocks(F);
+  std::set<BasicBlock *> LiveSet(Live.begin(), Live.end());
+  if (LiveSet.size() == F.numBlocks())
+    return false;
+
+  // Collect the dead blocks first; erasing invalidates indices.
+  std::vector<BasicBlock *> Dead;
+  for (size_t I = 0; I != F.numBlocks(); ++I)
+    if (!LiveSet.count(F.block(I)))
+      Dead.push_back(F.block(I));
+
+  // Remove phi entries in live blocks that flow from dead blocks.
+  for (BasicBlock *BB : Live)
+    for (PhiInst *Phi : BB->phis())
+      for (size_t I = Phi->numIncoming(); I-- > 0;)
+        if (!LiveSet.count(Phi->incomingBlock(I)))
+          Phi->removeIncoming(I);
+
+  // Break def-use edges from dead instructions, then unlink dead
+  // terminators while every block is still alive (their successors'
+  // predecessor lists must be fixed before any block is destroyed).
+  for (BasicBlock *BB : Dead)
+    for (size_t I = 0; I != BB->size(); ++I)
+      BB->inst(I)->dropAllOperands();
+  for (BasicBlock *BB : Dead)
+    if (Instruction *Term = BB->terminator())
+      BB->erase(Term);
+  for (BasicBlock *BB : Dead)
+    F.eraseBlock(BB);
+  return true;
+}

@@ -1,0 +1,34 @@
+//===- analysis/CFG.h - CFG traversal utilities -----------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graph traversal helpers shared by analyses and passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_ANALYSIS_CFG_H
+#define SC_ANALYSIS_CFG_H
+
+#include "ir/IR.h"
+
+#include <vector>
+
+namespace sc {
+
+/// Blocks reachable from entry, in reverse post-order (every block
+/// before its successors, except along back edges).
+std::vector<BasicBlock *> reversePostOrder(const Function &F);
+
+/// Blocks reachable from entry, in an arbitrary order.
+std::vector<BasicBlock *> reachableBlocks(const Function &F);
+
+/// Removes blocks unreachable from entry (fixing phis of survivors).
+/// Returns true if anything was removed.
+bool removeUnreachableBlocks(Function &F);
+
+} // namespace sc
+
+#endif // SC_ANALYSIS_CFG_H

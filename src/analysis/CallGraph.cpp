@@ -1,0 +1,95 @@
+//===- analysis/CallGraph.cpp - Module call graph ------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+
+using namespace sc;
+
+CallGraph CallGraph::compute(const Module &M) {
+  CallGraph CG;
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    Function *F = M.function(I);
+    auto &Edges = CG.Callees[F];
+    F->forEachInstruction([&](Instruction *Inst) {
+      auto *Call = dyn_cast<CallInst>(Inst);
+      if (!Call)
+        return;
+      if (Function *Callee = M.getFunction(Call->callee()))
+        Edges.insert(Callee);
+      else
+        CG.External.insert(F);
+    });
+  }
+
+  // Bottom-up order via iterative post-order DFS. Successors are
+  // visited in module order, NOT the callee set's pointer order:
+  // the inliner consumes this order, and pointer-ordered traversal
+  // would make compiled output vary run to run (ASLR).
+  std::map<const Function *, size_t> ModuleIndex;
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    ModuleIndex[M.function(I)] = I;
+
+  std::set<Function *> Visited;
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    Function *Root = M.function(I);
+    if (Visited.count(Root))
+      continue;
+    std::vector<std::pair<Function *, std::vector<Function *>>> Stack;
+    auto Push = [&](Function *F) {
+      Visited.insert(F);
+      std::vector<Function *> Succ(CG.Callees[F].begin(),
+                                   CG.Callees[F].end());
+      std::sort(Succ.begin(), Succ.end(),
+                [&](Function *A, Function *B) {
+                  return ModuleIndex.at(A) < ModuleIndex.at(B);
+                });
+      Stack.push_back({F, std::move(Succ)});
+    };
+    Push(Root);
+    while (!Stack.empty()) {
+      auto &[F, Succ] = Stack.back();
+      if (Succ.empty()) {
+        CG.BottomUp.push_back(F);
+        Stack.pop_back();
+        continue;
+      }
+      Function *Next = Succ.back();
+      Succ.pop_back();
+      if (!Visited.count(Next))
+        Push(Next);
+    }
+  }
+
+  // Recursion: F is recursive iff F is reachable from any direct callee.
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    Function *F = M.function(I);
+    std::set<Function *> Seen;
+    std::vector<Function *> Work(CG.Callees[F].begin(), CG.Callees[F].end());
+    bool Found = false;
+    while (!Work.empty() && !Found) {
+      Function *Cur = Work.back();
+      Work.pop_back();
+      if (Cur == F) {
+        Found = true;
+        break;
+      }
+      if (!Seen.insert(Cur).second)
+        continue;
+      for (Function *Next : CG.Callees[Cur])
+        Work.push_back(Next);
+    }
+    if (Found)
+      CG.Recursive.insert(F);
+  }
+  return CG;
+}
+
+const std::set<Function *> &CallGraph::callees(const Function *F) const {
+  auto It = Callees.find(F);
+  return It != Callees.end() ? It->second : Empty;
+}

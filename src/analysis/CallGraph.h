@@ -1,0 +1,58 @@
+//===- analysis/CallGraph.h - Module call graph -----------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Intra-module call graph (callees referenced by name; calls to
+/// functions outside the module are "external" edges). The inliner
+/// uses the bottom-up order; purity analysis uses the edge sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_ANALYSIS_CALLGRAPH_H
+#define SC_ANALYSIS_CALLGRAPH_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+class CallGraph {
+public:
+  static CallGraph compute(const Module &M);
+
+  /// Functions in this module called (directly) by \p F.
+  const std::set<Function *> &callees(const Function *F) const;
+
+  /// True when \p F contains a call that does not resolve within the
+  /// module (extern function or the print intrinsic).
+  bool hasExternalCallee(const Function *F) const {
+    return External.count(F) != 0;
+  }
+
+  /// True when \p F can reach itself through module-local calls.
+  bool isRecursive(const Function *F) const {
+    return Recursive.count(F) != 0;
+  }
+
+  /// Bottom-up order: callees before callers (cycles broken
+  /// arbitrarily). The inliner processes functions in this order.
+  const std::vector<Function *> &bottomUpOrder() const { return BottomUp; }
+
+private:
+  std::map<const Function *, std::set<Function *>> Callees;
+  std::set<const Function *> External;
+  std::set<const Function *> Recursive;
+  std::vector<Function *> BottomUp;
+  std::set<Function *> Empty;
+};
+
+} // namespace sc
+
+#endif // SC_ANALYSIS_CALLGRAPH_H

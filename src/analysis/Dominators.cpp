@@ -1,0 +1,123 @@
+//===- analysis/Dominators.cpp - Dominator tree ------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sc;
+
+DominatorTree DominatorTree::compute(const Function &F) {
+  DominatorTree DT;
+  DT.RPO = reversePostOrder(F);
+  for (size_t I = 0; I != DT.RPO.size(); ++I)
+    DT.RPONumber[DT.RPO[I]] = I;
+
+  BasicBlock *Entry = DT.RPO.front();
+  DT.IDom[Entry] = Entry;
+
+  // Walks idom chains upward until the two fingers meet (CHK intersect).
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (DT.RPONumber[A] > DT.RPONumber[B])
+        A = DT.IDom[A];
+      while (DT.RPONumber[B] > DT.RPONumber[A])
+        B = DT.IDom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I != DT.RPO.size(); ++I) {
+      BasicBlock *BB = DT.RPO[I];
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *Pred : BB->predecessors()) {
+        if (!DT.IDom.count(Pred))
+          continue; // Unprocessed or unreachable predecessor.
+        NewIDom = NewIDom ? Intersect(NewIDom, Pred) : Pred;
+      }
+      assert(NewIDom && "reachable block without processed predecessor");
+      auto It = DT.IDom.find(BB);
+      if (It == DT.IDom.end() || It->second != NewIDom) {
+        DT.IDom[BB] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Entry's idom is conventionally null for clients.
+  DT.IDom[Entry] = nullptr;
+
+  // Dominator-tree children.
+  for (BasicBlock *BB : DT.RPO)
+    if (BasicBlock *Parent = DT.IDom[BB])
+      DT.Children[Parent].push_back(BB);
+
+  // Dominance frontiers (Cooper et al.): for each join point, walk each
+  // predecessor's idom chain up to (but excluding) the join's idom.
+  for (BasicBlock *BB : DT.RPO) {
+    if (BB->numDistinctPredecessors() < 2)
+      continue;
+    for (BasicBlock *Pred : BB->predecessors()) {
+      if (!DT.RPONumber.count(Pred))
+        continue;
+      BasicBlock *Runner = Pred;
+      while (Runner && Runner != DT.IDom[BB]) {
+        auto &DF = DT.Frontier[Runner];
+        if (std::find(DF.begin(), DF.end(), BB) == DF.end())
+          DF.push_back(BB);
+        Runner = DT.IDom[Runner];
+      }
+    }
+  }
+  return DT;
+}
+
+BasicBlock *DominatorTree::idom(const BasicBlock *BB) const {
+  auto It = IDom.find(BB);
+  return It != IDom.end() ? It->second : nullptr;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (!RPONumber.count(A) || !RPONumber.count(B))
+    return false;
+  // Walk up from B; dominators always have smaller RPO numbers.
+  size_t ANum = RPONumber.at(A);
+  const BasicBlock *Cur = B;
+  while (Cur && RPONumber.at(Cur) >= ANum) {
+    if (Cur == A)
+      return true;
+    Cur = idom(Cur);
+  }
+  return false;
+}
+
+bool DominatorTree::dominates(const Instruction *Def,
+                              const Instruction *User) const {
+  const BasicBlock *DefBB = Def->parent();
+  const BasicBlock *UserBB = User->parent();
+  assert(DefBB && UserBB && "instructions must be in blocks");
+  if (DefBB == UserBB)
+    return DefBB->indexOf(Def) < UserBB->indexOf(User);
+  return dominates(DefBB, UserBB);
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::frontier(const BasicBlock *BB) const {
+  auto It = Frontier.find(BB);
+  return It != Frontier.end() ? It->second : Empty;
+}
+
+const std::vector<BasicBlock *> &
+DominatorTree::children(const BasicBlock *BB) const {
+  auto It = Children.find(BB);
+  return It != Children.end() ? It->second : Empty;
+}

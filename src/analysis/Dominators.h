@@ -1,0 +1,70 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree built with the Cooper–Harvey–Kennedy iterative
+/// algorithm over reverse post-order, plus dominance frontiers (used by
+/// SSA construction in Mem2Reg).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_ANALYSIS_DOMINATORS_H
+#define SC_ANALYSIS_DOMINATORS_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace sc {
+
+class DominatorTree {
+public:
+  /// Builds the tree for \p F. Unreachable blocks have no idom and are
+  /// reported as dominated by nothing and dominating nothing.
+  static DominatorTree compute(const Function &F);
+
+  /// Immediate dominator of \p BB (null for entry/unreachable blocks).
+  BasicBlock *idom(const BasicBlock *BB) const;
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+
+  /// True when \p A strictly dominates \p B.
+  bool strictlyDominates(const BasicBlock *A, const BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// True when the definition \p Def is available at \p User (same-block
+  /// program order or block dominance). Phi users are checked at the
+  /// end of the corresponding incoming block by the caller.
+  bool dominates(const Instruction *Def, const Instruction *User) const;
+
+  bool isReachable(const BasicBlock *BB) const {
+    return RPONumber.count(BB) != 0;
+  }
+
+  /// Dominance frontier of \p BB (empty for unreachable blocks).
+  const std::vector<BasicBlock *> &frontier(const BasicBlock *BB) const;
+
+  /// Children of \p BB in the dominator tree.
+  const std::vector<BasicBlock *> &children(const BasicBlock *BB) const;
+
+  /// Reachable blocks in reverse post-order (the order used to build).
+  const std::vector<BasicBlock *> &rpo() const { return RPO; }
+
+private:
+  std::vector<BasicBlock *> RPO;
+  std::map<const BasicBlock *, size_t> RPONumber;
+  std::map<const BasicBlock *, BasicBlock *> IDom;
+  std::map<const BasicBlock *, std::vector<BasicBlock *>> Frontier;
+  std::map<const BasicBlock *, std::vector<BasicBlock *>> Children;
+  std::vector<BasicBlock *> Empty;
+};
+
+} // namespace sc
+
+#endif // SC_ANALYSIS_DOMINATORS_H

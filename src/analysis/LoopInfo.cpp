@@ -1,0 +1,138 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection -------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sc;
+
+std::vector<BasicBlock *> Loop::latches() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *Pred : Header->predecessors())
+    if (contains(Pred) &&
+        std::find(Result.begin(), Result.end(), Pred) == Result.end())
+      Result.push_back(Pred);
+  return Result;
+}
+
+BasicBlock *Loop::preheader() const {
+  BasicBlock *Candidate = nullptr;
+  for (BasicBlock *Pred : Header->predecessors()) {
+    if (contains(Pred))
+      continue;
+    if (Candidate && Candidate != Pred)
+      return nullptr; // Multiple outside predecessors.
+    Candidate = Pred;
+  }
+  if (!Candidate)
+    return nullptr;
+  // The preheader must branch only to the header so hoisted code runs
+  // iff the loop is entered.
+  std::vector<BasicBlock *> Succs = Candidate->successors();
+  if (Succs.size() != 1 || Succs[0] != Header)
+    return nullptr;
+  return Candidate;
+}
+
+std::vector<BasicBlock *> Loop::exitBlocks() const {
+  std::vector<BasicBlock *> Result;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ) &&
+          std::find(Result.begin(), Result.end(), Succ) == Result.end())
+        Result.push_back(Succ);
+  return Result;
+}
+
+LoopInfo LoopInfo::compute(const Function &, const DominatorTree &DT) {
+  LoopInfo LI;
+
+  // Find back edges (Tail -> Header where Header dominates Tail) and
+  // collect each header's natural loop by reverse reachability.
+  std::map<BasicBlock *, std::set<BasicBlock *>> LoopBlocks;
+  for (BasicBlock *BB : DT.rpo()) {
+    for (BasicBlock *Succ : BB->successors()) {
+      if (!DT.dominates(Succ, BB))
+        continue;
+      // BB -> Succ is a back edge; walk predecessors from BB until the
+      // header, collecting the loop body.
+      std::set<BasicBlock *> &Body = LoopBlocks[Succ];
+      Body.insert(Succ);
+      std::vector<BasicBlock *> Work;
+      if (Body.insert(BB).second)
+        Work.push_back(BB);
+      while (!Work.empty()) {
+        BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        if (Cur == Succ)
+          continue;
+        for (BasicBlock *Pred : Cur->predecessors())
+          if (DT.isReachable(Pred) && Body.insert(Pred).second)
+            Work.push_back(Pred);
+      }
+    }
+  }
+
+  // Materialize Loop objects; order headers by RPO so outer loops come
+  // before the loops they contain.
+  for (BasicBlock *BB : DT.rpo()) {
+    auto It = LoopBlocks.find(BB);
+    if (It == LoopBlocks.end())
+      continue;
+    auto L = std::make_unique<Loop>();
+    L->Header = BB;
+    L->Blocks = std::move(It->second);
+    LI.Loops.push_back(std::move(L));
+  }
+
+  // Nest loops: parent = smallest strictly-containing loop. Since
+  // headers were visited in RPO, a containing loop appears earlier.
+  for (size_t I = 0; I != LI.Loops.size(); ++I) {
+    Loop *Inner = LI.Loops[I].get();
+    Loop *Best = nullptr;
+    for (size_t J = 0; J != I; ++J) {
+      Loop *Outer = LI.Loops[J].get();
+      if (Outer == Inner || !Outer->contains(Inner->Header))
+        continue;
+      if (!Best || Best->Blocks.size() > Outer->Blocks.size())
+        Best = Outer;
+    }
+    Inner->Parent = Best;
+    if (Best) {
+      Best->SubLoops.push_back(Inner);
+      Inner->Depth = Best->Depth + 1;
+    } else {
+      LI.TopLevel.push_back(Inner);
+    }
+  }
+
+  // Innermost-loop map: later (more deeply nested) loops overwrite.
+  for (const auto &L : LI.Loops)
+    for (BasicBlock *BB : L->Blocks) {
+      Loop *&Slot = LI.InnermostLoop[BB];
+      if (!Slot || Slot->Depth < L->Depth)
+        Slot = L.get();
+    }
+  return LI;
+}
+
+Loop *LoopInfo::loopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It != InnermostLoop.end() ? It->second : nullptr;
+}
+
+std::vector<Loop *> LoopInfo::loopsInnermostFirst() const {
+  std::vector<Loop *> Result;
+  for (const auto &L : Loops)
+    Result.push_back(L.get());
+  std::stable_sort(Result.begin(), Result.end(),
+                   [](const Loop *A, const Loop *B) {
+                     return A->depth() > B->depth();
+                   });
+  return Result;
+}

@@ -1,0 +1,86 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from dominator-identified back edges. Loops
+/// are nested by block containment; LICM and LoopUnroll consume this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_ANALYSIS_LOOPINFO_H
+#define SC_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+#include "ir/IR.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace sc {
+
+class Loop {
+public:
+  BasicBlock *header() const { return Header; }
+  const std::set<BasicBlock *> &blocks() const { return Blocks; }
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+
+  Loop *parent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+  unsigned depth() const { return Depth; }
+
+  /// Latch blocks: in-loop predecessors of the header.
+  std::vector<BasicBlock *> latches() const;
+
+  /// The unique out-of-loop predecessor of the header whose only
+  /// successor is the header, or null when no such block exists.
+  BasicBlock *preheader() const;
+
+  /// Blocks outside the loop that loop exits branch to.
+  std::vector<BasicBlock *> exitBlocks() const;
+
+private:
+  friend class LoopInfo;
+
+  BasicBlock *Header = nullptr;
+  std::set<BasicBlock *> Blocks;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+  unsigned Depth = 1;
+};
+
+class LoopInfo {
+public:
+  /// Identifies all natural loops of \p F using \p DT.
+  static LoopInfo compute(const Function &F, const DominatorTree &DT);
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *loopFor(const BasicBlock *BB) const;
+
+  /// Loop nesting depth of \p BB (0 when not in any loop).
+  unsigned depth(const BasicBlock *BB) const {
+    Loop *L = loopFor(BB);
+    return L ? L->depth() : 0;
+  }
+
+  /// Top-level loops (not contained in another loop).
+  const std::vector<Loop *> &topLevelLoops() const { return TopLevel; }
+
+  /// Every loop, innermost first (safe order for loop transforms).
+  std::vector<Loop *> loopsInnermostFirst() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::vector<Loop *> TopLevel;
+  std::map<const BasicBlock *, Loop *> InnermostLoop;
+};
+
+} // namespace sc
+
+#endif // SC_ANALYSIS_LOOPINFO_H

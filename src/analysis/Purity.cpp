@@ -1,0 +1,82 @@
+//===- analysis/Purity.cpp - Function side-effect analysis ---------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Purity.h"
+
+#include "support/Casting.h"
+
+using namespace sc;
+
+namespace {
+
+/// Walks a pointer through gep chains to its allocation site.
+const Value *pointerBase(const Value *Ptr) {
+  while (const auto *Gep = dyn_cast<GepInst>(Ptr))
+    Ptr = Gep->base();
+  return Ptr;
+}
+
+PurityKind worse(PurityKind A, PurityKind B) { return A > B ? A : B; }
+
+/// Classification from the function body alone, treating calls as
+/// placeholders (handled by the fixed point).
+PurityKind localPurity(const Function &F) {
+  PurityKind Result = PurityKind::Pure;
+  F.forEachInstruction([&](Instruction *Inst) {
+    if (const auto *Load = dyn_cast<LoadInst>(Inst)) {
+      if (isa<GlobalVariable>(pointerBase(Load->pointer())))
+        Result = worse(Result, PurityKind::ReadOnly);
+      return;
+    }
+    if (const auto *Store = dyn_cast<StoreInst>(Inst)) {
+      if (isa<GlobalVariable>(pointerBase(Store->pointer())))
+        Result = worse(Result, PurityKind::Impure);
+      return;
+    }
+  });
+  return Result;
+}
+
+} // namespace
+
+PurityInfo PurityInfo::compute(const Module &M) {
+  PurityInfo Info;
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    Info.ByName[M.function(I)->name()] =
+        localPurity(*M.function(I));
+
+  // Fixed point: degrade callers by their callees' classification.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I != M.numFunctions(); ++I) {
+      Function *F = M.function(I);
+      PurityKind &Mine = Info.ByName[F->name()];
+      if (Mine == PurityKind::Impure)
+        continue;
+      PurityKind Combined = Mine;
+      F->forEachInstruction([&](Instruction *Inst) {
+        if (const auto *Call = dyn_cast<CallInst>(Inst))
+          Combined = worse(Combined, Info.purityOfCallee(Call->callee()));
+      });
+      if (Combined != Mine) {
+        Mine = Combined;
+        Changed = true;
+      }
+    }
+  }
+  return Info;
+}
+
+PurityKind PurityInfo::purityOfCallee(const std::string &CalleeName) const {
+  auto It = ByName.find(CalleeName);
+  // Unknown callees (extern functions, the print intrinsic) are Impure.
+  return It != ByName.end() ? It->second : PurityKind::Impure;
+}
+
+PurityKind PurityInfo::purity(const Function *F) const {
+  return purityOfCallee(F->name());
+}

@@ -1,0 +1,56 @@
+//===- analysis/Purity.h - Function side-effect analysis --------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies module-local functions by side effects:
+///
+///  * \b Pure — reads/writes no memory outside its own stack frame and
+///    performs no I/O; a call with unused result is removable, and two
+///    calls with identical arguments are CSE-able.
+///  * \b ReadOnly — may read globals but writes nothing and does no
+///    I/O; removable when unused, CSE-able between stores.
+///  * \b Impure — everything else (writes globals, prints, calls
+///    extern/unknown functions).
+///
+/// Computed as a fixed point over the call graph (a function inherits
+/// the worst classification of its callees). Calls that do not resolve
+/// in the module — extern functions and the print intrinsic — are
+/// Impure, which keeps the analysis sound per translation unit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_ANALYSIS_PURITY_H
+#define SC_ANALYSIS_PURITY_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <string>
+
+namespace sc {
+
+enum class PurityKind : uint8_t { Pure, ReadOnly, Impure };
+
+class PurityInfo {
+public:
+  static PurityInfo compute(const Module &M);
+
+  /// Classification of a call to \p CalleeName from inside \p M.
+  PurityKind purityOfCallee(const std::string &CalleeName) const;
+
+  PurityKind purity(const Function *F) const;
+
+  bool isRemovableCall(const std::string &CalleeName) const {
+    return purityOfCallee(CalleeName) != PurityKind::Impure;
+  }
+
+private:
+  std::map<std::string, PurityKind> ByName;
+};
+
+} // namespace sc
+
+#endif // SC_ANALYSIS_PURITY_H

@@ -1,0 +1,115 @@
+//===- codegen/AsmPrinter.cpp - VISA assembly text output -------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/AsmPrinter.h"
+
+#include <sstream>
+
+using namespace sc;
+
+namespace {
+
+std::string reg(MReg R) {
+  return R == NoReg ? std::string("-") : "r" + std::to_string(R);
+}
+
+void printInst(std::ostringstream &OS, const MInst &MI) {
+  OS << "  " << mopName(MI.Op);
+  switch (MI.Op) {
+  case MOp::LdArg:
+    OS << " " << reg(MI.Def) << ", #" << MI.Imm;
+    break;
+  case MOp::MovRI:
+    OS << " " << reg(MI.Def) << ", " << MI.Imm;
+    break;
+  case MOp::MovRR:
+    OS << " " << reg(MI.Def) << ", " << reg(MI.A);
+    break;
+  case MOp::Add:
+  case MOp::Sub:
+  case MOp::Mul:
+  case MOp::Div:
+  case MOp::Rem:
+    OS << " " << reg(MI.Def) << ", " << reg(MI.A) << ", " << reg(MI.B);
+    break;
+  case MOp::CmpSet:
+    OS << "." << cmpPredName(MI.Pred) << " " << reg(MI.Def) << ", "
+       << reg(MI.A) << ", " << reg(MI.B);
+    break;
+  case MOp::Select:
+    OS << " " << reg(MI.Def) << ", " << reg(MI.C) << ", " << reg(MI.A)
+       << ", " << reg(MI.B);
+    break;
+  case MOp::Load:
+    OS << " " << reg(MI.Def) << ", [" << reg(MI.A) << " + " << MI.Imm
+       << "]";
+    break;
+  case MOp::Store:
+    OS << " " << reg(MI.A) << ", [" << reg(MI.B) << " + " << MI.Imm << "]";
+    break;
+  case MOp::LeaFrame:
+    OS << " " << reg(MI.Def) << ", frame+" << MI.Imm;
+    break;
+  case MOp::LeaGlobal:
+    OS << " " << reg(MI.Def) << ", @" << MI.Sym;
+    break;
+  case MOp::FrameSt:
+    OS << " " << reg(MI.A) << ", frame[" << MI.Imm << "]";
+    break;
+  case MOp::FrameLd:
+    OS << " " << reg(MI.Def) << ", frame[" << MI.Imm << "]";
+    break;
+  case MOp::Br:
+    OS << " .L" << MI.Label;
+    break;
+  case MOp::BrNZ:
+    OS << " " << reg(MI.A) << ", .L" << MI.Label << ", .L" << MI.Label2;
+    break;
+  case MOp::Call:
+    OS << " @" << MI.Sym << "(" << MI.ArgCount << " args @frame["
+       << MI.Imm << "])";
+    if (MI.Def != NoReg)
+      OS << " -> " << reg(MI.Def);
+    break;
+  case MOp::Ret:
+    if (MI.A != NoReg)
+      OS << " " << reg(MI.A);
+    break;
+  }
+  OS << "\n";
+}
+
+} // namespace
+
+std::string sc::printAssembly(const MFunction &F) {
+  std::ostringstream OS;
+  OS << F.Name << ": (params=" << F.NumParams << ", frame=" << F.FrameCells
+     << " cells)\n";
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    OS << ".L" << B << ":";
+    if (!F.Blocks[B].Name.empty())
+      OS << "  ; " << F.Blocks[B].Name;
+    OS << "\n";
+    for (const MInst &MI : F.Blocks[B].Insts)
+      printInst(OS, MI);
+  }
+  return OS.str();
+}
+
+std::string sc::printAssembly(const MModule &M) {
+  std::ostringstream OS;
+  for (const MGlobal &G : M.Globals) {
+    OS << "global @" << G.Name << "[" << G.Size << "]";
+    if (G.Init)
+      OS << " = " << G.Init;
+    OS << "\n";
+  }
+  for (const MFunction &F : M.Functions) {
+    OS << "\n";
+    OS << printAssembly(F);
+  }
+  return OS.str();
+}

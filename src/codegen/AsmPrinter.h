@@ -1,0 +1,26 @@
+//===- codegen/AsmPrinter.h - VISA assembly text output ---------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable listing of VISA code, for examples and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CODEGEN_ASMPRINTER_H
+#define SC_CODEGEN_ASMPRINTER_H
+
+#include "codegen/VISA.h"
+
+#include <string>
+
+namespace sc {
+
+std::string printAssembly(const MFunction &F);
+std::string printAssembly(const MModule &M);
+
+} // namespace sc
+
+#endif // SC_CODEGEN_ASMPRINTER_H

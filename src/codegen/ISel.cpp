@@ -1,0 +1,398 @@
+//===- codegen/ISel.cpp - IR to VISA instruction selection ----------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ISel.h"
+
+#include "analysis/CFG.h"
+
+#include <cassert>
+#include <map>
+
+using namespace sc;
+
+const char *sc::mopName(MOp Op) {
+  switch (Op) {
+  case MOp::LdArg:
+    return "ldarg";
+  case MOp::MovRI:
+    return "movri";
+  case MOp::MovRR:
+    return "movrr";
+  case MOp::Add:
+    return "add";
+  case MOp::Sub:
+    return "sub";
+  case MOp::Mul:
+    return "mul";
+  case MOp::Div:
+    return "div";
+  case MOp::Rem:
+    return "rem";
+  case MOp::CmpSet:
+    return "cmpset";
+  case MOp::Select:
+    return "select";
+  case MOp::Load:
+    return "load";
+  case MOp::Store:
+    return "store";
+  case MOp::LeaFrame:
+    return "leaframe";
+  case MOp::LeaGlobal:
+    return "leaglobal";
+  case MOp::FrameSt:
+    return "framest";
+  case MOp::FrameLd:
+    return "frameld";
+  case MOp::Br:
+    return "br";
+  case MOp::BrNZ:
+    return "brnz";
+  case MOp::Call:
+    return "call";
+  case MOp::Ret:
+    return "ret";
+  }
+  return "?";
+}
+
+namespace {
+
+class FunctionSelector {
+public:
+  explicit FunctionSelector(const Function &F) : F(F) {}
+
+  MFunction run() {
+    MF.Name = F.name();
+    MF.NumParams = static_cast<uint32_t>(F.numArgs());
+    MF.ReturnsValue = F.returnType() != IRType::Void;
+
+    // Lower blocks in reverse post-order: optimization passes (e.g.
+    // loop peeling) can leave layouts where a definition appears after
+    // its use, but RPO guarantees defs precede uses for non-phi
+    // values. Unreachable blocks are never executed and are dropped.
+    std::vector<BasicBlock *> Order = reversePostOrder(F);
+    for (size_t B = 0; B != Order.size(); ++B) {
+      BlockIndex[Order[B]] = static_cast<uint32_t>(B);
+      MF.Blocks.push_back({Order[B]->name(), {}});
+    }
+
+    // Frame layout: one contiguous slot range per alloca.
+    for (BasicBlock *BB : Order)
+      for (size_t I = 0; I != BB->size(); ++I)
+        if (auto *A = dyn_cast<AllocaInst>(BB->inst(I))) {
+          FrameSlot[A] = MF.FrameCells;
+          MF.FrameCells += static_cast<uint32_t>(A->numCells());
+        }
+
+    // Arguments materialize at function entry.
+    for (size_t A = 0; A != F.numArgs(); ++A) {
+      MReg R = newVReg();
+      ValueReg[F.arg(A)] = R;
+      MInst LdArg;
+      LdArg.Op = MOp::LdArg;
+      LdArg.Def = R;
+      LdArg.Imm = static_cast<int64_t>(A);
+      MF.Blocks[0].Insts.push_back(std::move(LdArg));
+    }
+
+    // Pre-assign result registers for phis so predecessors can write
+    // them before the block is visited.
+    for (BasicBlock *BB : Order)
+      for (PhiInst *Phi : BB->phis())
+        ValueReg[Phi] = newVReg();
+
+    for (size_t B = 0; B != Order.size(); ++B)
+      lowerBlock(*Order[B], MF.Blocks[B]);
+
+    MF.NumVRegs = NextVReg;
+    return std::move(MF);
+  }
+
+private:
+  MReg newVReg() { return NextVReg++; }
+
+  /// Returns the register holding \p V, materializing constants.
+  MReg regFor(Value *V, MBlock &Out) {
+    if (auto *C = dyn_cast<ConstantInt>(V)) {
+      MReg R = newVReg();
+      MInst Mov;
+      Mov.Op = MOp::MovRI;
+      Mov.Def = R;
+      Mov.Imm = C->value();
+      Out.Insts.push_back(std::move(Mov));
+      return R;
+    }
+    if (auto *G = dyn_cast<GlobalVariable>(V)) {
+      MReg R = newVReg();
+      MInst Lea;
+      Lea.Op = MOp::LeaGlobal;
+      Lea.Def = R;
+      Lea.Sym = G->name();
+      Out.Insts.push_back(std::move(Lea));
+      return R;
+    }
+    if (auto *A = dyn_cast<AllocaInst>(V)) {
+      MReg R = newVReg();
+      MInst Lea;
+      Lea.Op = MOp::LeaFrame;
+      Lea.Def = R;
+      Lea.Imm = static_cast<int64_t>(FrameSlot.at(A));
+      Out.Insts.push_back(std::move(Lea));
+      return R;
+    }
+    auto It = ValueReg.find(V);
+    assert(It != ValueReg.end() && "use of unlowered value");
+    return It->second;
+  }
+
+  void lowerBlock(const BasicBlock &BB, MBlock &Out) {
+    for (size_t I = 0; I != BB.size(); ++I) {
+      const Instruction *Inst = BB.inst(I);
+      if (Inst->isTerminator()) {
+        lowerTerminator(&BB, Inst, Out);
+        return;
+      }
+      lowerInstruction(Inst, Out);
+    }
+    assert(false && "block without terminator reached isel");
+  }
+
+  /// Parallel-copy semantics for successor phis: first copy every
+  /// source into a fresh temporary, then write the phi registers.
+  void emitPhiCopies(const BasicBlock &BB, MBlock &Out) {
+    struct Copy {
+      MReg Tmp;
+      MReg PhiReg;
+    };
+    std::vector<Copy> Copies;
+    for (BasicBlock *Succ : BB.successors()) {
+      for (PhiInst *Phi : Succ->phis()) {
+        Value *V = Phi->incomingValueFor(&BB);
+        assert(V && "phi missing incoming for predecessor");
+        MReg Src = regFor(V, Out);
+        MReg Tmp = newVReg();
+        MInst Mov;
+        Mov.Op = MOp::MovRR;
+        Mov.Def = Tmp;
+        Mov.A = Src;
+        Out.Insts.push_back(std::move(Mov));
+        Copies.push_back({Tmp, ValueReg.at(Phi)});
+      }
+    }
+    for (const Copy &C : Copies) {
+      MInst Mov;
+      Mov.Op = MOp::MovRR;
+      Mov.Def = C.PhiReg;
+      Mov.A = C.Tmp;
+      Out.Insts.push_back(std::move(Mov));
+    }
+  }
+
+  void lowerInstruction(const Instruction *Inst, MBlock &Out) {
+    switch (Inst->kind()) {
+    case Value::Kind::Phi:
+      return; // Materialized via predecessor copies.
+    case Value::Kind::Alloca:
+      return; // Static frame slot; address taken via regFor.
+    case Value::Kind::Binary: {
+      const auto *B = cast<BinaryInst>(Inst);
+      MOp Op = MOp::Add;
+      switch (B->op()) {
+      case BinOp::Add:
+        Op = MOp::Add;
+        break;
+      case BinOp::Sub:
+        Op = MOp::Sub;
+        break;
+      case BinOp::Mul:
+        Op = MOp::Mul;
+        break;
+      case BinOp::SDiv:
+        Op = MOp::Div;
+        break;
+      case BinOp::SRem:
+        Op = MOp::Rem;
+        break;
+      }
+      MInst MI;
+      MI.Op = Op;
+      MI.A = regFor(B->lhs(), Out);
+      MI.B = regFor(B->rhs(), Out);
+      MI.Def = defReg(Inst);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::Cmp: {
+      const auto *C = cast<CmpInst>(Inst);
+      MInst MI;
+      MI.Op = MOp::CmpSet;
+      MI.Pred = C->pred();
+      MI.A = regFor(C->lhs(), Out);
+      MI.B = regFor(C->rhs(), Out);
+      MI.Def = defReg(Inst);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::Select: {
+      const auto *S = cast<SelectInst>(Inst);
+      MInst MI;
+      MI.Op = MOp::Select;
+      MI.C = regFor(S->cond(), Out);
+      MI.A = regFor(S->trueValue(), Out);
+      MI.B = regFor(S->falseValue(), Out);
+      MI.Def = defReg(Inst);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::Load: {
+      const auto *L = cast<LoadInst>(Inst);
+      MInst MI;
+      MI.Op = MOp::Load;
+      lowerAddress(L->pointer(), MI.A, MI.Imm, Out);
+      MI.Def = defReg(Inst);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::Store: {
+      const auto *S = cast<StoreInst>(Inst);
+      MInst MI;
+      MI.Op = MOp::Store;
+      MI.A = regFor(S->value(), Out);
+      lowerAddress(S->pointer(), MI.B, MI.Imm, Out);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::Gep: {
+      const auto *G = cast<GepInst>(Inst);
+      MInst MI;
+      MI.Op = MOp::Add;
+      MI.A = regFor(G->base(), Out);
+      MI.B = regFor(G->index(), Out);
+      MI.Def = defReg(Inst);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::Call: {
+      const auto *C = cast<CallInst>(Inst);
+      // Reserve an outgoing-argument range and store the arguments.
+      uint32_t ArgBase = MF.FrameCells;
+      MF.FrameCells += static_cast<uint32_t>(C->numArgs());
+      for (size_t A = 0; A != C->numArgs(); ++A) {
+        MInst St;
+        St.Op = MOp::FrameSt;
+        St.A = regFor(C->arg(A), Out);
+        St.Imm = static_cast<int64_t>(ArgBase + A);
+        Out.Insts.push_back(std::move(St));
+      }
+      MInst MI;
+      MI.Op = MOp::Call;
+      MI.Sym = C->callee();
+      MI.Imm = static_cast<int64_t>(ArgBase);
+      MI.ArgCount = static_cast<uint32_t>(C->numArgs());
+      if (C->type() != IRType::Void)
+        MI.Def = defReg(Inst);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    default:
+      assert(false && "unexpected instruction kind in isel");
+      return;
+    }
+  }
+
+  /// Folds `gep base, const` into the load/store offset field.
+  void lowerAddress(Value *Ptr, MReg &BaseOut, int64_t &ImmOut, MBlock &Out) {
+    ImmOut = 0;
+    if (auto *G = dyn_cast<GepInst>(Ptr))
+      if (auto *C = dyn_cast<ConstantInt>(G->index())) {
+        ImmOut = C->value();
+        BaseOut = regFor(G->base(), Out);
+        return;
+      }
+    BaseOut = regFor(Ptr, Out);
+  }
+
+  void lowerTerminator(const BasicBlock *BB, const Instruction *Inst,
+                       MBlock &Out) {
+    switch (Inst->kind()) {
+    case Value::Kind::Br: {
+      emitPhiCopies(*BB, Out);
+      MInst MI;
+      MI.Op = MOp::Br;
+      MI.Label = BlockIndex.at(cast<BrInst>(Inst)->target());
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::CondBr: {
+      const auto *CB = cast<CondBrInst>(Inst);
+      // Read the condition before the phi copies: on a self-loop the
+      // condition may itself be one of the phis being overwritten.
+      MReg CondReg = regFor(CB->cond(), Out);
+      MReg SavedCond = newVReg();
+      MInst Save;
+      Save.Op = MOp::MovRR;
+      Save.Def = SavedCond;
+      Save.A = CondReg;
+      Out.Insts.push_back(std::move(Save));
+      emitPhiCopies(*BB, Out);
+      MInst MI;
+      MI.Op = MOp::BrNZ;
+      MI.A = SavedCond;
+      MI.Label = BlockIndex.at(CB->trueTarget());
+      MI.Label2 = BlockIndex.at(CB->falseTarget());
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    case Value::Kind::Ret: {
+      const auto *R = cast<RetInst>(Inst);
+      MInst MI;
+      MI.Op = MOp::Ret;
+      if (R->hasValue())
+        MI.A = regFor(R->value(), Out);
+      Out.Insts.push_back(std::move(MI));
+      return;
+    }
+    default:
+      assert(false && "unknown terminator");
+      return;
+    }
+  }
+
+  MReg defReg(const Instruction *Inst) {
+    auto It = ValueReg.find(Inst);
+    if (It != ValueReg.end())
+      return It->second;
+    MReg R = newVReg();
+    ValueReg[Inst] = R;
+    return R;
+  }
+
+  const Function &F;
+  MFunction MF;
+  MReg NextVReg = 0;
+  std::map<const Value *, MReg> ValueReg;
+  std::map<const AllocaInst *, uint32_t> FrameSlot;
+  std::map<const BasicBlock *, uint32_t> BlockIndex;
+};
+
+} // namespace
+
+MFunction sc::selectInstructions(const Function &F) {
+  return FunctionSelector(F).run();
+}
+
+MModule sc::selectModule(const Module &M) {
+  MModule Out;
+  Out.Name = M.name();
+  for (size_t I = 0; I != M.numGlobals(); ++I) {
+    const GlobalVariable *G = M.global(I);
+    Out.Globals.push_back({G->name(), G->size(), G->initValue()});
+  }
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    Out.Functions.push_back(selectInstructions(*M.function(I)));
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- codegen/ISel.h - IR to VISA instruction selection --------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers optimized IR to VISA with virtual registers. SSA is
+/// deconstructed here: phis become parallel copies in predecessor
+/// blocks (with per-phi temporaries, so phi-swap cycles stay correct).
+/// Allocas are assigned static frame slots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CODEGEN_ISEL_H
+#define SC_CODEGEN_ISEL_H
+
+#include "codegen/VISA.h"
+#include "ir/IR.h"
+
+namespace sc {
+
+/// Lowers \p F. The result uses virtual registers and must go through
+/// allocateRegisters() before execution.
+MFunction selectInstructions(const Function &F);
+
+/// Lowers a whole module (globals + all functions).
+MModule selectModule(const Module &M);
+
+} // namespace sc
+
+#endif // SC_CODEGEN_ISEL_H

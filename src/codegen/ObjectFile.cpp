@@ -1,0 +1,192 @@
+//===- codegen/ObjectFile.cpp - VISA object serialization -------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ObjectFile.h"
+
+#include "support/Serializer.h"
+
+#include <map>
+#include <set>
+
+using namespace sc;
+
+namespace {
+
+constexpr uint32_t ObjectMagic = 0x53434f42; // "SCOB"
+constexpr uint32_t ObjectVersion = 1;
+
+void writeInst(BinaryWriter &W, const MInst &MI) {
+  W.writeU8(static_cast<uint8_t>(MI.Op));
+  W.writeU32(MI.Def);
+  W.writeU32(MI.A);
+  W.writeU32(MI.B);
+  W.writeU32(MI.C);
+  W.writeI64(MI.Imm);
+  W.writeU8(static_cast<uint8_t>(MI.Pred));
+  W.writeString(MI.Sym);
+  W.writeU32(MI.Label);
+  W.writeU32(MI.Label2);
+  W.writeU32(MI.ArgCount);
+}
+
+MInst readInst(BinaryReader &R) {
+  MInst MI;
+  MI.Op = static_cast<MOp>(R.readU8());
+  MI.Def = R.readU32();
+  MI.A = R.readU32();
+  MI.B = R.readU32();
+  MI.C = R.readU32();
+  MI.Imm = R.readI64();
+  MI.Pred = static_cast<CmpPred>(R.readU8());
+  MI.Sym = R.readString();
+  MI.Label = R.readU32();
+  MI.Label2 = R.readU32();
+  MI.ArgCount = R.readU32();
+  return MI;
+}
+
+void writeFunction(BinaryWriter &W, const MFunction &F) {
+  W.writeString(F.Name);
+  W.writeU32(F.NumParams);
+  W.writeU8(F.ReturnsValue ? 1 : 0);
+  W.writeU32(F.NumVRegs);
+  W.writeU32(F.FrameCells);
+  W.writeVarU64(F.Blocks.size());
+  for (const MBlock &B : F.Blocks) {
+    W.writeString(B.Name);
+    W.writeVarU64(B.Insts.size());
+    for (const MInst &MI : B.Insts)
+      writeInst(W, MI);
+  }
+}
+
+MFunction readFunction(BinaryReader &R) {
+  MFunction F;
+  F.Name = R.readString();
+  F.NumParams = R.readU32();
+  F.ReturnsValue = R.readU8() != 0;
+  F.NumVRegs = R.readU32();
+  F.FrameCells = R.readU32();
+  uint64_t NumBlocks = R.readVarU64();
+  for (uint64_t B = 0; B != NumBlocks && !R.failed(); ++B) {
+    MBlock Blk;
+    Blk.Name = R.readString();
+    uint64_t NumInsts = R.readVarU64();
+    for (uint64_t N = 0; N != NumInsts && !R.failed(); ++N)
+      Blk.Insts.push_back(readInst(R));
+    F.Blocks.push_back(std::move(Blk));
+  }
+  return F;
+}
+
+} // namespace
+
+std::string sc::writeFunctionBlob(const MFunction &F) {
+  BinaryWriter W;
+  writeFunction(W, F);
+  return std::string(W.data().begin(), W.data().end());
+}
+
+std::optional<MFunction> sc::readFunctionBlob(const std::string &Bytes) {
+  BinaryReader R(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                 Bytes.size());
+  MFunction F = readFunction(R);
+  if (R.failed() || !R.atEnd())
+    return std::nullopt;
+  return F;
+}
+
+std::string sc::writeObject(const MModule &MM) {
+  BinaryWriter W;
+  W.writeU32(ObjectMagic);
+  W.writeU32(ObjectVersion);
+  W.writeString(MM.Name);
+
+  W.writeVarU64(MM.Globals.size());
+  for (const MGlobal &G : MM.Globals) {
+    W.writeString(G.Name);
+    W.writeVarU64(G.Size);
+    W.writeI64(G.Init);
+  }
+
+  W.writeVarU64(MM.Functions.size());
+  for (const MFunction &F : MM.Functions)
+    writeFunction(W, F);
+  return std::string(W.data().begin(), W.data().end());
+}
+
+std::optional<MModule> sc::readObject(const std::string &Bytes) {
+  BinaryReader R(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                 Bytes.size());
+  if (R.readU32() != ObjectMagic || R.readU32() != ObjectVersion)
+    return std::nullopt;
+
+  MModule MM;
+  MM.Name = R.readString();
+
+  uint64_t NumGlobals = R.readVarU64();
+  for (uint64_t I = 0; I != NumGlobals && !R.failed(); ++I) {
+    MGlobal G;
+    G.Name = R.readString();
+    G.Size = R.readVarU64();
+    G.Init = R.readI64();
+    MM.Globals.push_back(std::move(G));
+  }
+
+  uint64_t NumFunctions = R.readVarU64();
+  for (uint64_t I = 0; I != NumFunctions && !R.failed(); ++I)
+    MM.Functions.push_back(readFunction(R));
+  if (R.failed())
+    return std::nullopt;
+  return MM;
+}
+
+LinkResult sc::linkObjects(const std::vector<const MModule *> &Objects,
+                           bool RequireMain) {
+  LinkResult Result;
+  MModule Program;
+  Program.Name = "a.out";
+
+  std::set<std::string> FunctionNames;
+  std::set<std::string> GlobalNames;
+  for (const MModule *Obj : Objects) {
+    for (const MGlobal &G : Obj->Globals) {
+      if (!GlobalNames.insert(G.Name).second) {
+        Result.Errors.push_back("duplicate global symbol '" + G.Name + "'");
+        continue;
+      }
+      Program.Globals.push_back(G);
+    }
+    for (const MFunction &F : Obj->Functions) {
+      if (!FunctionNames.insert(F.Name).second) {
+        Result.Errors.push_back("duplicate function symbol '" + F.Name +
+                                "'");
+        continue;
+      }
+      Program.Functions.push_back(F);
+    }
+  }
+
+  // Resolve references.
+  for (const MFunction &F : Program.Functions)
+    for (const MBlock &B : F.Blocks)
+      for (const MInst &MI : B.Insts) {
+        if (MI.Op == MOp::Call && MI.Sym != "print" &&
+            !FunctionNames.count(MI.Sym))
+          Result.Errors.push_back("undefined function '" + MI.Sym +
+                                  "' referenced from '" + F.Name + "'");
+        if (MI.Op == MOp::LeaGlobal && !GlobalNames.count(MI.Sym))
+          Result.Errors.push_back("undefined global '" + MI.Sym +
+                                  "' referenced from '" + F.Name + "'");
+      }
+
+  if (RequireMain && !FunctionNames.count("main"))
+    Result.Errors.push_back("no 'main' function in linked program");
+
+  if (Result.Errors.empty())
+    Result.Program = std::move(Program);
+  return Result;
+}

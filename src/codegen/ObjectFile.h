@@ -1,0 +1,60 @@
+//===- codegen/ObjectFile.h - VISA object serialization ---------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary serialization of MModules — the "object files" the build
+/// system caches per translation unit — plus the linker that merges
+/// objects into an executable program image, resolving cross-module
+/// call symbols.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CODEGEN_OBJECTFILE_H
+#define SC_CODEGEN_OBJECTFILE_H
+
+#include "codegen/VISA.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Serializes \p MM to the object format (versioned, magic-tagged).
+std::string writeObject(const MModule &MM);
+
+/// Deserializes an object; returns std::nullopt on malformed input.
+std::optional<MModule> readObject(const std::string &Bytes);
+
+/// Serializes a single compiled function (used by the stateful
+/// compiler's function-level code cache).
+std::string writeFunctionBlob(const MFunction &F);
+
+/// Deserializes a function blob; std::nullopt on malformed input.
+std::optional<MFunction> readFunctionBlob(const std::string &Bytes);
+
+/// Result of linking: a merged program image or a list of errors
+/// (duplicate symbols, unresolved calls).
+struct LinkResult {
+  std::optional<MModule> Program;
+  std::vector<std::string> Errors;
+
+  bool succeeded() const { return Program.has_value(); }
+};
+
+/// Merges objects into one executable image. Symbols: every function
+/// and global is merged under its name; duplicate function names or
+/// duplicate globals across objects are errors (globals are module-
+/// private and get a per-object name prefix at compile time, so real
+/// collisions indicate a build bug). Calls must resolve to a linked
+/// function or to the `print` intrinsic. When \p RequireMain is set,
+/// the program must define `main`.
+LinkResult linkObjects(const std::vector<const MModule *> &Objects,
+                       bool RequireMain = true);
+
+} // namespace sc
+
+#endif // SC_CODEGEN_OBJECTFILE_H

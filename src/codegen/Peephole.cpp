@@ -1,0 +1,39 @@
+//===- codegen/Peephole.cpp - Post-RA peephole cleanup ---------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/Peephole.h"
+
+using namespace sc;
+
+unsigned sc::runPeephole(MFunction &MF) {
+  unsigned Removed = 0;
+  for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+    auto &Insts = MF.Blocks[B].Insts;
+    for (size_t I = 0; I < Insts.size();) {
+      MInst &MI = Insts[I];
+      if (MI.Op == MOp::MovRR && MI.Def == MI.A) {
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(I));
+        ++Removed;
+        continue;
+      }
+      if (MI.Op == MOp::Br && MI.Label == B + 1 &&
+          I + 1 == Insts.size()) {
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(I));
+        ++Removed;
+        continue;
+      }
+      ++I;
+    }
+  }
+  return Removed;
+}
+
+unsigned sc::runPeephole(MModule &MM) {
+  unsigned Removed = 0;
+  for (MFunction &F : MM.Functions)
+    Removed += runPeephole(F);
+  return Removed;
+}

@@ -1,0 +1,30 @@
+//===- codegen/Peephole.h - Post-RA peephole cleanup ------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine-level cleanup after register allocation:
+///  * deletes self-moves (`movrr rX, rX`) produced by phi copies whose
+///    source and destination were coalesced by chance;
+///  * deletes branches to the lexically next block (the VM falls
+///    through an unterminated block).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CODEGEN_PEEPHOLE_H
+#define SC_CODEGEN_PEEPHOLE_H
+
+#include "codegen/VISA.h"
+
+namespace sc {
+
+/// Returns the number of instructions removed.
+unsigned runPeephole(MFunction &MF);
+
+unsigned runPeephole(MModule &MM);
+
+} // namespace sc
+
+#endif // SC_CODEGEN_PEEPHOLE_H

@@ -1,0 +1,287 @@
+//===- codegen/RegAlloc.cpp - Linear-scan register allocation -------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/RegAlloc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// Register operand slots of an MInst, uniformly accessed.
+void forEachUse(MInst &MI, const std::function<void(MReg &)> &Fn) {
+  if (MI.A != NoReg)
+    Fn(MI.A);
+  if (MI.B != NoReg)
+    Fn(MI.B);
+  if (MI.C != NoReg)
+    Fn(MI.C);
+}
+
+class LinearScan {
+public:
+  explicit LinearScan(MFunction &MF) : MF(MF) {}
+
+  RegAllocStats run() {
+    numberInstructions();
+    computeLiveness();
+    buildIntervals();
+    allocate();
+    rewrite();
+    RegAllocStats Stats;
+    Stats.NumIntervals = static_cast<uint32_t>(Intervals.size());
+    Stats.NumSpilled = NumSpilled;
+    return Stats;
+  }
+
+private:
+  struct Interval {
+    MReg VReg = NoReg;
+    uint32_t Start = 0;
+    uint32_t End = 0;
+    MReg Phys = NoReg;     // Assigned physical register.
+    int64_t Slot = -1;     // Spill slot (when spilled).
+  };
+
+  //===--- Linearization ------------------------------------------------------===//
+
+  void numberInstructions() {
+    uint32_t N = 0;
+    BlockStart.resize(MF.Blocks.size());
+    BlockEnd.resize(MF.Blocks.size());
+    for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+      BlockStart[B] = N;
+      N += static_cast<uint32_t>(MF.Blocks[B].Insts.size());
+      BlockEnd[B] = N; // One past the last instruction.
+    }
+    NumPositions = N;
+  }
+
+  std::vector<uint32_t> successorsOf(size_t B) const {
+    std::vector<uint32_t> Succs;
+    if (MF.Blocks[B].Insts.empty())
+      return Succs;
+    const MInst &Term = MF.Blocks[B].Insts.back();
+    if (Term.Op == MOp::Br)
+      Succs.push_back(Term.Label);
+    else if (Term.Op == MOp::BrNZ) {
+      Succs.push_back(Term.Label);
+      Succs.push_back(Term.Label2);
+    }
+    return Succs;
+  }
+
+  //===--- Liveness ------------------------------------------------------------===//
+
+  void computeLiveness() {
+    size_t NB = MF.Blocks.size();
+    LiveIn.assign(NB, {});
+    LiveOut.assign(NB, {});
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = NB; B-- > 0;) {
+        std::set<MReg> Out;
+        for (uint32_t S : successorsOf(B))
+          Out.insert(LiveIn[S].begin(), LiveIn[S].end());
+        std::set<MReg> In = Out;
+        auto &Insts = MF.Blocks[B].Insts;
+        for (size_t I = Insts.size(); I-- > 0;) {
+          MInst &MI = Insts[I];
+          if (MI.Def != NoReg)
+            In.erase(MI.Def);
+          forEachUse(MI, [&](MReg &R) { In.insert(R); });
+        }
+        if (Out != LiveOut[B] || In != LiveIn[B]) {
+          LiveOut[B] = std::move(Out);
+          LiveIn[B] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  //===--- Interval construction -------------------------------------------------===//
+
+  void buildIntervals() {
+    std::vector<Interval> ByVReg(MF.NumVRegs);
+    std::vector<bool> Seen(MF.NumVRegs, false);
+
+    auto Extend = [&](MReg R, uint32_t Pos) {
+      assert(R < MF.NumVRegs && "vreg out of range");
+      Interval &IV = ByVReg[R];
+      if (!Seen[R]) {
+        Seen[R] = true;
+        IV.VReg = R;
+        IV.Start = IV.End = Pos;
+        return;
+      }
+      IV.Start = std::min(IV.Start, Pos);
+      IV.End = std::max(IV.End, Pos);
+    };
+
+    for (size_t B = 0; B != MF.Blocks.size(); ++B) {
+      for (MReg R : LiveIn[B])
+        Extend(R, BlockStart[B]);
+      for (MReg R : LiveOut[B])
+        Extend(R, BlockEnd[B]);
+      uint32_t Pos = BlockStart[B];
+      for (MInst &MI : MF.Blocks[B].Insts) {
+        if (MI.Def != NoReg)
+          Extend(MI.Def, Pos);
+        forEachUse(MI, [&](MReg &R) { Extend(R, Pos); });
+        ++Pos;
+      }
+    }
+
+    for (MReg R = 0; R != MF.NumVRegs; ++R)
+      if (Seen[R])
+        Intervals.push_back(ByVReg[R]);
+    std::sort(Intervals.begin(), Intervals.end(),
+              [](const Interval &A, const Interval &B) {
+                return A.Start < B.Start ||
+                       (A.Start == B.Start && A.VReg < B.VReg);
+              });
+  }
+
+  //===--- Allocation --------------------------------------------------------------===//
+
+  void allocate() {
+    std::vector<Interval *> Active; // Sorted by End.
+    std::vector<bool> PhysUsed(NumAllocatableRegs, false);
+
+    auto ExpireBefore = [&](uint32_t Pos) {
+      for (size_t I = 0; I != Active.size();) {
+        if (Active[I]->End < Pos) {
+          PhysUsed[Active[I]->Phys] = false;
+          Active.erase(Active.begin() + static_cast<ptrdiff_t>(I));
+        } else {
+          ++I;
+        }
+      }
+    };
+
+    for (Interval &IV : Intervals) {
+      ExpireBefore(IV.Start);
+      // Find a free physical register.
+      MReg Free = NoReg;
+      for (MReg P = 0; P != NumAllocatableRegs; ++P)
+        if (!PhysUsed[P]) {
+          Free = P;
+          break;
+        }
+      if (Free != NoReg) {
+        IV.Phys = Free;
+        PhysUsed[Free] = true;
+        Active.push_back(&IV);
+        std::sort(Active.begin(), Active.end(),
+                  [](const Interval *A, const Interval *B) {
+                    return A->End < B->End;
+                  });
+        continue;
+      }
+      // Spill the interval ending last (classic heuristic).
+      Interval *Victim = Active.back();
+      if (Victim->End > IV.End) {
+        IV.Phys = Victim->Phys;
+        Victim->Phys = NoReg;
+        Victim->Slot = nextSpillSlot();
+        Active.back() = &IV;
+        std::sort(Active.begin(), Active.end(),
+                  [](const Interval *A, const Interval *B) {
+                    return A->End < B->End;
+                  });
+      } else {
+        IV.Slot = nextSpillSlot();
+      }
+    }
+
+    for (Interval &IV : Intervals) {
+      Assignment[IV.VReg] = IV;
+      if (IV.Phys == NoReg)
+        ++NumSpilled;
+    }
+  }
+
+  int64_t nextSpillSlot() { return MF.FrameCells + NumSpillSlots++; }
+
+  //===--- Rewrite -------------------------------------------------------------------===//
+
+  void rewrite() {
+    for (MBlock &B : MF.Blocks) {
+      std::vector<MInst> NewInsts;
+      NewInsts.reserve(B.Insts.size());
+      for (MInst MI : B.Insts) {
+        // Reload spilled uses into scratch registers.
+        MReg NextScratch = ScratchRegA;
+        forEachUse(MI, [&](MReg &R) {
+          const Interval &IV = Assignment.at(R);
+          if (IV.Phys != NoReg) {
+            R = IV.Phys;
+            return;
+          }
+          assert(NextScratch <= ScratchRegDef && "out of scratch registers");
+          MInst Ld;
+          Ld.Op = MOp::FrameLd;
+          Ld.Def = NextScratch;
+          Ld.Imm = IV.Slot;
+          NewInsts.push_back(std::move(Ld));
+          R = NextScratch++;
+        });
+
+        bool StoreDef = false;
+        int64_t DefSlot = 0;
+        if (MI.Def != NoReg) {
+          const Interval &IV = Assignment.at(MI.Def);
+          if (IV.Phys != NoReg) {
+            MI.Def = IV.Phys;
+          } else {
+            MI.Def = ScratchRegDef;
+            StoreDef = true;
+            DefSlot = IV.Slot;
+          }
+        }
+        NewInsts.push_back(std::move(MI));
+        if (StoreDef) {
+          MInst St;
+          St.Op = MOp::FrameSt;
+          St.A = ScratchRegDef;
+          St.Imm = DefSlot;
+          NewInsts.push_back(std::move(St));
+        }
+      }
+      B.Insts = std::move(NewInsts);
+    }
+    MF.FrameCells += NumSpillSlots;
+    MF.NumVRegs = NumPhysRegs;
+  }
+
+  MFunction &MF;
+  uint32_t NumPositions = 0;
+  std::vector<uint32_t> BlockStart, BlockEnd;
+  std::vector<std::set<MReg>> LiveIn, LiveOut;
+  std::vector<Interval> Intervals;
+  std::map<MReg, Interval> Assignment;
+  uint32_t NumSpillSlots = 0;
+  uint32_t NumSpilled = 0;
+};
+
+} // namespace
+
+RegAllocStats sc::allocateRegisters(MFunction &MF) {
+  return LinearScan(MF).run();
+}
+
+void sc::allocateRegisters(MModule &MM) {
+  for (MFunction &F : MM.Functions)
+    allocateRegisters(F);
+}

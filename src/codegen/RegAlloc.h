@@ -1,0 +1,35 @@
+//===- codegen/RegAlloc.h - Linear-scan register allocation -----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites a virtual-register MFunction onto the 12 allocatable
+/// physical registers via linear scan over liveness-derived intervals.
+/// Spilled virtuals live in frame slots; uses/defs of spilled values
+/// go through the reserved scratch registers r12-r14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CODEGEN_REGALLOC_H
+#define SC_CODEGEN_REGALLOC_H
+
+#include "codegen/VISA.h"
+
+namespace sc {
+
+struct RegAllocStats {
+  uint32_t NumIntervals = 0;
+  uint32_t NumSpilled = 0;
+};
+
+/// Allocates registers for \p MF in place. Returns statistics.
+RegAllocStats allocateRegisters(MFunction &MF);
+
+/// Allocates every function of \p MM.
+void allocateRegisters(MModule &MM);
+
+} // namespace sc
+
+#endif // SC_CODEGEN_REGALLOC_H

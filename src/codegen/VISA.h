@@ -1,0 +1,139 @@
+//===- codegen/VISA.h - Virtual ISA definition ------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend's target: a 16-register virtual machine ISA ("VISA")
+/// with a frame-based memory model.
+///
+///  * Registers: r0..r15 hold 64-bit values. After register
+///    allocation, r0..r11 are allocatable and r12..r14 are reserved
+///    as spill scratch registers. The register file is per-activation
+///    (every call frame has its own), so calls preserve the caller's
+///    registers and the allocator needs no caller/callee-saved split.
+///  * Memory: one flat array of 64-bit cells; globals occupy a segment
+///    at the bottom, stack frames grow above it. Pointers are absolute
+///    cell indices. Out-of-range reads yield 0 and out-of-range writes
+///    are ignored (total semantics, mirroring the IR).
+///  * Calls: the caller stores argument values into a reserved
+///    outgoing-argument range of its own frame (`framest`); `call`
+///    names the range, the VM snapshots it, and the callee reads the
+///    values with `ldarg`. Frame-passing avoids any limit on
+///    simultaneous register reads at call sites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CODEGEN_VISA_H
+#define SC_CODEGEN_VISA_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Register id. Before register allocation these are virtual (dense,
+/// unbounded); afterwards physical (0..15).
+using MReg = uint32_t;
+
+inline constexpr MReg NoReg = ~MReg(0);
+inline constexpr unsigned NumPhysRegs = 16;
+inline constexpr unsigned NumAllocatableRegs = 12;
+inline constexpr MReg ScratchRegA = 12;
+inline constexpr MReg ScratchRegB = 13;
+inline constexpr MReg ScratchRegDef = 14;
+
+enum class MOp : uint8_t {
+  LdArg,     // def = argument #Imm
+  MovRI,     // def = Imm
+  MovRR,     // def = A
+  Add,       // def = A + B
+  Sub,       // def = A - B
+  Mul,       // def = A * B
+  Div,       // def = A / B   (total)
+  Rem,       // def = A % B   (total)
+  CmpSet,    // def = (A <Pred> B) ? 1 : 0
+  Select,    // def = C ? A : B
+  Load,      // def = mem[A + Imm]
+  Store,     // mem[B + Imm] = A
+  LeaFrame,  // def = frame_base + Imm
+  LeaGlobal, // def = address of global #Sym + Imm
+  FrameSt,   // frame[Imm] = A   (spills and outgoing call arguments)
+  FrameLd,   // def = frame[Imm] (reloads)
+  Br,        // goto block #Label
+  BrNZ,      // if (A != 0) goto #Label else goto #Label2
+  Call,      // def = call Sym; ArgCount args at frame[Imm...]
+  Ret,       // return A (NoReg for void)
+};
+
+const char *mopName(MOp Op);
+
+/// One machine instruction. A single fat struct keeps serialization
+/// and interpretation simple; unused fields hold defaults.
+struct MInst {
+  MOp Op = MOp::MovRI;
+  MReg Def = NoReg;
+  MReg A = NoReg;
+  MReg B = NoReg;
+  MReg C = NoReg;
+  int64_t Imm = 0;
+  CmpPred Pred = CmpPred::EQ;
+  std::string Sym;        // Callee or global symbol.
+  uint32_t Label = 0;     // Primary target block index.
+  uint32_t Label2 = 0;    // Fall-through target (BrNZ).
+  uint32_t ArgCount = 0;  // Call: number of frame-passed arguments.
+
+  bool isTerminator() const {
+    return Op == MOp::Br || Op == MOp::BrNZ || Op == MOp::Ret;
+  }
+};
+
+struct MBlock {
+  std::string Name;
+  std::vector<MInst> Insts;
+};
+
+/// A compiled function: blocks indexed by Label operands.
+struct MFunction {
+  std::string Name;
+  uint32_t NumParams = 0;
+  bool ReturnsValue = false;
+  uint32_t NumVRegs = 0;   // Virtual register count before RA.
+  uint32_t FrameCells = 0; // Frame size in cells after RA.
+  std::vector<MBlock> Blocks;
+
+  size_t instructionCount() const {
+    size_t N = 0;
+    for (const MBlock &B : Blocks)
+      N += B.Insts.size();
+    return N;
+  }
+};
+
+struct MGlobal {
+  std::string Name;
+  uint64_t Size = 1;
+  int64_t Init = 0;
+};
+
+/// A compiled translation unit (object) or linked program.
+struct MModule {
+  std::string Name;
+  std::vector<MGlobal> Globals;
+  std::vector<MFunction> Functions;
+
+  const MFunction *findFunction(const std::string &FName) const {
+    for (const MFunction &F : Functions)
+      if (F.Name == FName)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace sc
+
+#endif // SC_CODEGEN_VISA_H

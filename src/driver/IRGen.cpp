@@ -1,0 +1,461 @@
+//===- driver/IRGen.cpp - AST to IR lowering ----------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/IRGen.h"
+
+#include "ir/IRBuilder.h"
+
+#include <cassert>
+#include <map>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+struct LocalVar {
+  Value *Slot = nullptr; // Alloca (or null for unresolved).
+  TypeName Type = TypeName::Int;
+  bool IsArray = false;
+};
+
+class IRGenerator {
+public:
+  IRGenerator(const ModuleAST &AST, const std::string &ModuleName,
+              const ModuleInterface &Callables)
+      : AST(AST), ModuleName(ModuleName) {
+    for (const FunctionSignature &Sig : Callables)
+      Signatures[Sig.Name] = Sig;
+    const FunctionSignature &Print = printBuiltinSignature();
+    Signatures[Print.Name] = Print;
+  }
+
+  std::unique_ptr<Module> run() {
+    M = std::make_unique<Module>(ModuleName);
+    Builder = std::make_unique<IRBuilder>(*M);
+
+    for (const GlobalDecl &G : AST.Globals) {
+      GlobalVariable *GV =
+          M->createGlobal(ModuleName + "::" + G.Name,
+                          G.IsArray ? G.ArraySize : 1,
+                          G.IsArray ? 0 : G.InitValue);
+      Globals[G.Name] = GV;
+    }
+
+    for (const auto &F : AST.Functions)
+      generateFunction(*F);
+    return std::move(M);
+  }
+
+private:
+  static IRType lowerType(TypeName T) {
+    switch (T) {
+    case TypeName::Int:
+      return IRType::I64;
+    case TypeName::Bool:
+      return IRType::I1;
+    case TypeName::Void:
+      return IRType::Void;
+    }
+    return IRType::I64;
+  }
+
+  //===--- Bool widening/narrowing ------------------------------------------===//
+
+  /// i1 -> i64 for storage.
+  Value *widen(Value *V) {
+    if (V->type() == IRType::I64)
+      return V;
+    return Builder->createSelect(V, Builder->i64(1), Builder->i64(0));
+  }
+
+  /// i64 -> i1 after a load of a bool variable.
+  Value *narrow(Value *V) {
+    return Builder->createCmp(CmpPred::NE, V, Builder->i64(0));
+  }
+
+  //===--- Scopes ---------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void declare(const std::string &Name, LocalVar Var) {
+    Scopes.back()[Name] = Var;
+  }
+
+  const LocalVar *lookupLocal(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  //===--- Function generation ---------------------------------------------------===//
+
+  void generateFunction(const FunctionDecl &F) {
+    std::vector<std::pair<std::string, IRType>> Params;
+    for (const ParamDecl &P : F.params())
+      Params.emplace_back(P.Name, lowerType(P.Type));
+    Function *Fn =
+        M->createFunction(F.name(), lowerType(F.returnType()), Params);
+    CurrentFn = Fn;
+    Entry = Fn->createBlock("entry");
+    Builder->setInsertPoint(Entry);
+    BlockCounter = 0;
+    Scopes.clear();
+    BreakTargets.clear();
+    ContinueTargets.clear();
+    pushScope();
+
+    // Spill parameters to allocas so assignments to them work; the
+    // optimizer's mem2reg restores registers.
+    for (size_t I = 0; I != F.params().size(); ++I) {
+      const ParamDecl &P = F.params()[I];
+      Value *Slot = createEntryAlloca(1, P.Name + ".addr");
+      Builder->createStore(widen(Fn->arg(I)), Slot);
+      declare(P.Name, {Slot, P.Type, /*IsArray=*/false});
+    }
+
+    genBlock(*F.body());
+
+    // Implicit return on fall-through.
+    if (!Builder->isTerminated()) {
+      switch (F.returnType()) {
+      case TypeName::Void:
+        Builder->createRetVoid();
+        break;
+      case TypeName::Int:
+        Builder->createRet(Builder->i64(0));
+        break;
+      case TypeName::Bool:
+        Builder->createRet(Builder->boolean(false));
+        break;
+      }
+    }
+    popScope();
+  }
+
+  BasicBlock *newBlock(const std::string &Hint) {
+    return CurrentFn->createBlock(Hint + "." +
+                                  std::to_string(BlockCounter++));
+  }
+
+  /// Allocates in the entry block (after existing allocas) so every
+  /// alloca is statically at function scope.
+  Value *createEntryAlloca(uint64_t Cells, std::string Name) {
+    size_t Pos = 0;
+    while (Pos < Entry->size() && isa<AllocaInst>(Entry->inst(Pos)))
+      ++Pos;
+    auto A = std::make_unique<AllocaInst>(Cells);
+    A->setName(std::move(Name));
+    return Entry->insertBefore(Pos, std::move(A));
+  }
+
+  //===--- Statements --------------------------------------------------------------===//
+
+  void genBlock(const BlockStmt &B) {
+    pushScope();
+    for (const StmtPtr &S : B.statements()) {
+      if (Builder->isTerminated())
+        break; // Unreachable code after return/break/continue.
+      genStmt(*S);
+    }
+    popScope();
+  }
+
+  void genStmt(const Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      genBlock(*cast<BlockStmt>(&S));
+      return;
+    case Stmt::Kind::VarDecl: {
+      const auto *VD = cast<VarDeclStmt>(&S);
+      Value *Init = genExpr(*VD->init());
+      Value *Slot = createEntryAlloca(1, VD->name());
+      Builder->createStore(widen(Init), Slot);
+      TypeName VarType =
+          VD->hasExplicitType() ? VD->declType() : VD->init()->ExprType;
+      declare(VD->name(), {Slot, VarType, /*IsArray=*/false});
+      return;
+    }
+    case Stmt::Kind::ArrayDecl: {
+      const auto *AD = cast<ArrayDeclStmt>(&S);
+      Value *Slot = createEntryAlloca(AD->size(), AD->name());
+      declare(AD->name(), {Slot, TypeName::Int, /*IsArray=*/true});
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto *AS = cast<AssignStmt>(&S);
+      Value *V = genExpr(*AS->value());
+      Value *Slot = addressOfScalar(AS->name(), AS->IsGlobal);
+      Builder->createStore(widen(V), Slot);
+      return;
+    }
+    case Stmt::Kind::IndexAssign: {
+      const auto *IA = cast<IndexAssignStmt>(&S);
+      Value *Index = genExpr(*IA->index());
+      Value *V = genExpr(*IA->value());
+      Value *Base = addressOfArray(IA->arrayName(), IA->IsGlobal);
+      Value *Ptr = Builder->createGep(Base, Index);
+      Builder->createStore(V, Ptr);
+      return;
+    }
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(&S);
+      Value *Cond = genExpr(*If->cond());
+      BasicBlock *ThenBB = newBlock("if.then");
+      BasicBlock *MergeBB = newBlock("if.end");
+      BasicBlock *ElseBB =
+          If->elseBranch() ? newBlock("if.else") : MergeBB;
+      Builder->createCondBr(Cond, ThenBB, ElseBB);
+
+      Builder->setInsertPoint(ThenBB);
+      genStmt(*If->thenBranch());
+      if (!Builder->isTerminated())
+        Builder->createBr(MergeBB);
+
+      if (If->elseBranch()) {
+        Builder->setInsertPoint(ElseBB);
+        genStmt(*If->elseBranch());
+        if (!Builder->isTerminated())
+          Builder->createBr(MergeBB);
+      }
+      Builder->setInsertPoint(MergeBB);
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(&S);
+      BasicBlock *CondBB = newBlock("while.cond");
+      BasicBlock *BodyBB = newBlock("while.body");
+      BasicBlock *EndBB = newBlock("while.end");
+      Builder->createBr(CondBB);
+
+      Builder->setInsertPoint(CondBB);
+      Value *Cond = genExpr(*W->cond());
+      Builder->createCondBr(Cond, BodyBB, EndBB);
+
+      Builder->setInsertPoint(BodyBB);
+      BreakTargets.push_back(EndBB);
+      ContinueTargets.push_back(CondBB);
+      genStmt(*W->body());
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      if (!Builder->isTerminated())
+        Builder->createBr(CondBB);
+
+      Builder->setInsertPoint(EndBB);
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(&S);
+      pushScope();
+      if (F->init())
+        genStmt(*F->init());
+      BasicBlock *CondBB = newBlock("for.cond");
+      BasicBlock *BodyBB = newBlock("for.body");
+      BasicBlock *StepBB = newBlock("for.step");
+      BasicBlock *EndBB = newBlock("for.end");
+      Builder->createBr(CondBB);
+
+      Builder->setInsertPoint(CondBB);
+      if (F->cond()) {
+        Value *Cond = genExpr(*F->cond());
+        Builder->createCondBr(Cond, BodyBB, EndBB);
+      } else {
+        Builder->createBr(BodyBB);
+      }
+
+      Builder->setInsertPoint(BodyBB);
+      BreakTargets.push_back(EndBB);
+      ContinueTargets.push_back(StepBB);
+      genStmt(*F->body());
+      BreakTargets.pop_back();
+      ContinueTargets.pop_back();
+      if (!Builder->isTerminated())
+        Builder->createBr(StepBB);
+
+      Builder->setInsertPoint(StepBB);
+      if (F->step())
+        genStmt(*F->step());
+      if (!Builder->isTerminated())
+        Builder->createBr(CondBB);
+
+      Builder->setInsertPoint(EndBB);
+      popScope();
+      return;
+    }
+    case Stmt::Kind::Return: {
+      const auto *R = cast<ReturnStmt>(&S);
+      if (R->value())
+        Builder->createRet(genExpr(*R->value()));
+      else
+        Builder->createRetVoid();
+      return;
+    }
+    case Stmt::Kind::Break:
+      assert(!BreakTargets.empty() && "break outside loop after sema");
+      Builder->createBr(BreakTargets.back());
+      return;
+    case Stmt::Kind::Continue:
+      assert(!ContinueTargets.empty() && "continue outside loop after sema");
+      Builder->createBr(ContinueTargets.back());
+      return;
+    case Stmt::Kind::Expr:
+      genExpr(*cast<ExprStmt>(&S)->expr());
+      return;
+    }
+  }
+
+  //===--- Addressing ---------------------------------------------------------------===//
+
+  Value *addressOfScalar(const std::string &Name, bool IsGlobal) {
+    if (IsGlobal) {
+      auto It = Globals.find(Name);
+      assert(It != Globals.end() && "unknown global after sema");
+      return It->second;
+    }
+    const LocalVar *Var = lookupLocal(Name);
+    assert(Var && !Var->IsArray && "unknown local after sema");
+    return Var->Slot;
+  }
+
+  Value *addressOfArray(const std::string &Name, bool IsGlobal) {
+    if (IsGlobal) {
+      auto It = Globals.find(Name);
+      assert(It != Globals.end() && "unknown global array after sema");
+      return It->second;
+    }
+    const LocalVar *Var = lookupLocal(Name);
+    assert(Var && Var->IsArray && "unknown local array after sema");
+    return Var->Slot;
+  }
+
+  //===--- Expressions ----------------------------------------------------------------===//
+
+  Value *genExpr(const Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLiteral:
+      return Builder->i64(cast<IntLiteralExpr>(&E)->value());
+    case Expr::Kind::BoolLiteral:
+      return Builder->boolean(cast<BoolLiteralExpr>(&E)->value());
+    case Expr::Kind::VarRef: {
+      const auto *Ref = cast<VarRefExpr>(&E);
+      Value *Slot = addressOfScalar(Ref->name(), Ref->IsGlobal);
+      Value *Loaded = Builder->createLoad(Slot);
+      return E.ExprType == TypeName::Bool ? narrow(Loaded) : Loaded;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(&E);
+      Value *Operand = genExpr(*U->operand());
+      if (U->op() == UnaryOp::Neg)
+        return Builder->createNeg(Operand);
+      return Builder->createNot(Operand);
+    }
+    case Expr::Kind::Binary:
+      return genBinary(*cast<BinaryExpr>(&E));
+    case Expr::Kind::Call: {
+      const auto *C = cast<CallExpr>(&E);
+      auto SigIt = Signatures.find(C->callee());
+      assert(SigIt != Signatures.end() && "unknown callee after sema");
+      const FunctionSignature &Sig = SigIt->second;
+      std::vector<Value *> Args;
+      for (const ExprPtr &Arg : C->args())
+        Args.push_back(genExpr(*Arg));
+      return Builder->createCall(C->callee(), lowerType(Sig.ReturnType),
+                                 Args);
+    }
+    case Expr::Kind::Index: {
+      const auto *Idx = cast<IndexExpr>(&E);
+      Value *Index = genExpr(*Idx->index());
+      Value *Base = addressOfArray(Idx->arrayName(), Idx->IsGlobal);
+      Value *Ptr = Builder->createGep(Base, Index);
+      return Builder->createLoad(Ptr);
+    }
+    }
+    assert(false && "unhandled expression kind");
+    return Builder->i64(0);
+  }
+
+  Value *genBinary(const BinaryExpr &B) {
+    // Short-circuit forms first: they generate control flow.
+    if (B.op() == BinaryOp::And || B.op() == BinaryOp::Or) {
+      bool IsAnd = B.op() == BinaryOp::And;
+      Value *ResultSlot = createEntryAlloca(1, IsAnd ? "and.res" : "or.res");
+      Value *LHS = genExpr(*B.lhs());
+      Builder->createStore(widen(LHS), ResultSlot);
+      BasicBlock *RhsBB = newBlock(IsAnd ? "and.rhs" : "or.rhs");
+      BasicBlock *MergeBB = newBlock(IsAnd ? "and.end" : "or.end");
+      if (IsAnd)
+        Builder->createCondBr(LHS, RhsBB, MergeBB);
+      else
+        Builder->createCondBr(LHS, MergeBB, RhsBB);
+
+      Builder->setInsertPoint(RhsBB);
+      Value *RHS = genExpr(*B.rhs());
+      Builder->createStore(widen(RHS), ResultSlot);
+      Builder->createBr(MergeBB);
+
+      Builder->setInsertPoint(MergeBB);
+      return narrow(Builder->createLoad(ResultSlot));
+    }
+
+    Value *L = genExpr(*B.lhs());
+    Value *R = genExpr(*B.rhs());
+    switch (B.op()) {
+    case BinaryOp::Add:
+      return Builder->createAdd(L, R);
+    case BinaryOp::Sub:
+      return Builder->createSub(L, R);
+    case BinaryOp::Mul:
+      return Builder->createMul(L, R);
+    case BinaryOp::Div:
+      return Builder->createSDiv(L, R);
+    case BinaryOp::Rem:
+      return Builder->createSRem(L, R);
+    case BinaryOp::Eq:
+      return Builder->createCmp(CmpPred::EQ, L, R);
+    case BinaryOp::Ne:
+      return Builder->createCmp(CmpPred::NE, L, R);
+    case BinaryOp::Lt:
+      return Builder->createCmp(CmpPred::SLT, L, R);
+    case BinaryOp::Le:
+      return Builder->createCmp(CmpPred::SLE, L, R);
+    case BinaryOp::Gt:
+      return Builder->createCmp(CmpPred::SGT, L, R);
+    case BinaryOp::Ge:
+      return Builder->createCmp(CmpPred::SGE, L, R);
+    case BinaryOp::And:
+    case BinaryOp::Or:
+      break; // Handled above.
+    }
+    assert(false && "unhandled binary operator");
+    return Builder->i64(0);
+  }
+
+  const ModuleAST &AST;
+  std::string ModuleName;
+  std::map<std::string, FunctionSignature> Signatures;
+  std::unique_ptr<Module> M;
+  std::unique_ptr<IRBuilder> Builder;
+  std::map<std::string, GlobalVariable *> Globals;
+  std::vector<std::map<std::string, LocalVar>> Scopes;
+  Function *CurrentFn = nullptr;
+  BasicBlock *Entry = nullptr;
+  unsigned BlockCounter = 0;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+};
+
+} // namespace
+
+std::unique_ptr<Module> sc::generateIR(const ModuleAST &AST,
+                                       const std::string &ModuleName,
+                                       const ModuleInterface &Callables) {
+  IRGenerator Gen(AST, ModuleName, Callables);
+  return Gen.run();
+}

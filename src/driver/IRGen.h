@@ -1,0 +1,44 @@
+//===- driver/IRGen.h - AST to IR lowering ----------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked ModuleAST to IR. Notable conventions:
+///
+///  * Variables live in entry-block allocas (mem2reg promotes them);
+///    parameters are spilled to allocas on entry so they are mutable.
+///  * Memory cells are i64; bool values are widened with
+///    `select b, 1, 0` on store and narrowed with `cmp ne x, 0` on
+///    load.
+///  * `&&`/`||` lower to short-circuit control flow through a result
+///    alloca.
+///  * Globals are namespaced `<module>::<name>` so linked programs
+///    never collide (globals are module-private at the language
+///    level).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_DRIVER_IRGEN_H
+#define SC_DRIVER_IRGEN_H
+
+#include "ir/IR.h"
+#include "lang/AST.h"
+#include "lang/Sema.h"
+
+#include <memory>
+#include <string>
+
+namespace sc {
+
+/// Lowers \p AST (which must have passed sema) to an IR module named
+/// \p ModuleName. \p Callables supplies return types for every
+/// function callable from this module (locals + imports + print).
+std::unique_ptr<Module> generateIR(const ModuleAST &AST,
+                                   const std::string &ModuleName,
+                                   const ModuleInterface &Callables);
+
+} // namespace sc
+
+#endif // SC_DRIVER_IRGEN_H

@@ -1,0 +1,671 @@
+//===- ir/IR.h - Core IR: values, instructions, functions -------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's SSA intermediate representation. Design points:
+///
+///  * LLVM-style class hierarchy with `classof`-based RTTI.
+///  * Explicit def-use tracking: every Value records its user
+///    instructions, enabling replaceAllUsesWith and cheap deadness
+///    checks in the optimizer.
+///  * BasicBlocks are not Values; terminators reference successor
+///    blocks directly and predecessor lists are maintained
+///    automatically as terminators are inserted, removed, or edited.
+///  * Calls reference callees by symbol name, so a function compiles
+///    independently of its callees (essential for per-TU incremental
+///    compilation); the inliner resolves names within a module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_IR_IR_H
+#define SC_IR_IR_H
+
+#include "ir/Type.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+class BasicBlock;
+class Function;
+class Instruction;
+class Module;
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+/// Base of the IR value hierarchy (everything an operand can name).
+class Value {
+public:
+  enum class Kind : uint8_t {
+    Argument,
+    ConstantInt,
+    GlobalVariable,
+    // Instructions — keep contiguous; see isInstructionKind().
+    Binary,
+    Cmp,
+    Select,
+    Alloca,
+    Load,
+    Store,
+    Gep,
+    Call,
+    Phi,
+    Br,
+    CondBr,
+    Ret,
+  };
+
+  virtual ~Value() = default;
+
+  Kind kind() const { return K; }
+  IRType type() const { return Ty; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Instructions currently using this value (one entry per operand
+  /// slot, so a user appears once per use).
+  const std::vector<Instruction *> &users() const { return Users; }
+  bool hasUses() const { return !Users.empty(); }
+  size_t numUses() const { return Users.size(); }
+
+  /// Rewrites every use of this value to use \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+  static bool isInstructionKind(Kind K) {
+    return K >= Kind::Binary && K <= Kind::Ret;
+  }
+
+protected:
+  Value(Kind K, IRType Ty) : K(K), Ty(Ty) {}
+
+private:
+  friend class Instruction;
+
+  void addUser(Instruction *I) { Users.push_back(I); }
+  void removeUser(Instruction *I);
+
+  const Kind K;
+  IRType Ty;
+  std::string Name;
+  std::vector<Instruction *> Users;
+};
+
+//===----------------------------------------------------------------------===//
+// Non-instruction values
+//===----------------------------------------------------------------------===//
+
+/// Formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(IRType Ty, std::string Name, unsigned Index)
+      : Value(Kind::Argument, Ty), Index(Index) {
+    setName(std::move(Name));
+  }
+
+  unsigned index() const { return Index; }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Argument; }
+
+private:
+  unsigned Index;
+};
+
+/// Integer constant (i64 or i1). Uniqued per Module.
+class ConstantInt : public Value {
+public:
+  ConstantInt(IRType Ty, int64_t V) : Value(Kind::ConstantInt, Ty), Val(V) {
+    assert((Ty == IRType::I64 || Ty == IRType::I1) &&
+           "constants must be integers");
+    assert((Ty != IRType::I1 || V == 0 || V == 1) && "i1 must be 0 or 1");
+  }
+
+  int64_t value() const { return Val; }
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::ConstantInt;
+  }
+
+private:
+  int64_t Val;
+};
+
+/// Module-level mutable storage: an array of i64 cells. Scalars use
+/// Size == 1 and are loaded/stored through the global's address.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(std::string Name, uint64_t Size, int64_t Init)
+      : Value(Kind::GlobalVariable, IRType::Ptr), Size(Size), Init(Init) {
+    setName(std::move(Name));
+  }
+
+  uint64_t size() const { return Size; }
+  int64_t initValue() const { return Init; }
+
+  static bool classof(const Value *V) {
+    return V->kind() == Kind::GlobalVariable;
+  }
+
+private:
+  uint64_t Size;
+  int64_t Init;
+};
+
+//===----------------------------------------------------------------------===//
+// Instruction
+//===----------------------------------------------------------------------===//
+
+/// Base class for all instructions. Owns no memory; owned by its block.
+class Instruction : public Value {
+public:
+  ~Instruction() override { dropAllOperands(); }
+
+  BasicBlock *parent() const { return Parent; }
+  Function *function() const;
+
+  size_t numOperands() const { return Operands.size(); }
+
+  Value *operand(size_t I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  void setOperand(size_t I, Value *V);
+
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// Replaces every operand equal to \p Old with \p New.
+  void replaceUsesOfWith(Value *Old, Value *New);
+
+  /// Removes this instruction's operand uses (pre-deletion step).
+  void dropAllOperands();
+
+  bool isTerminator() const {
+    return kind() == Kind::Br || kind() == Kind::CondBr || kind() == Kind::Ret;
+  }
+
+  /// True if the instruction writes memory or has other side effects
+  /// (and so must not be removed even when unused).
+  bool hasSideEffects() const;
+
+  /// True if the instruction reads memory (loads, calls).
+  bool mayReadMemory() const;
+
+  /// Number of successor blocks (terminators only; 0 otherwise).
+  unsigned numSuccessors() const;
+  BasicBlock *successor(unsigned I) const;
+  void setSuccessor(unsigned I, BasicBlock *BB);
+
+  static bool classof(const Value *V) { return isInstructionKind(V->kind()); }
+
+protected:
+  Instruction(Kind K, IRType Ty) : Value(K, Ty) {}
+
+  void addOperand(Value *V) {
+    assert(V && "null operand");
+    Operands.push_back(V);
+    V->addUser(this);
+  }
+
+  /// Removes the operand slot at \p I entirely (shrinks the operand
+  /// list). Only Phi uses this; other opcodes have fixed arity.
+  void removeOperandSlot(size_t I) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I]->removeUser(this);
+    Operands.erase(Operands.begin() + static_cast<ptrdiff_t>(I));
+  }
+
+private:
+  friend class BasicBlock;
+
+  BasicBlock *Parent = nullptr;
+  std::vector<Value *> Operands;
+  // Successor blocks for terminators (parallel to nothing; Br has 1,
+  // CondBr has 2 in [true, false] order).
+  std::vector<BasicBlock *> Successors;
+
+protected:
+  void addSuccessor(BasicBlock *BB) { Successors.push_back(BB); }
+};
+
+/// Integer arithmetic opcodes. Division semantics are total: x/0 == 0
+/// and x%0 == 0, and INT64_MIN / -1 wraps — matched exactly by the
+/// constant folder and the VM so optimization never changes behavior.
+enum class BinOp : uint8_t { Add, Sub, Mul, SDiv, SRem };
+
+const char *binOpName(BinOp Op);
+
+class BinaryInst : public Instruction {
+public:
+  BinaryInst(BinOp Op, Value *LHS, Value *RHS)
+      : Instruction(Kind::Binary, IRType::I64), Op(Op) {
+    assert(LHS->type() == IRType::I64 && RHS->type() == IRType::I64 &&
+           "binary operands must be i64");
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  BinOp op() const { return Op; }
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  bool isCommutative() const { return Op == BinOp::Add || Op == BinOp::Mul; }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Binary; }
+
+private:
+  BinOp Op;
+};
+
+/// Comparison predicates (signed).
+enum class CmpPred : uint8_t { EQ, NE, SLT, SLE, SGT, SGE };
+
+const char *cmpPredName(CmpPred P);
+
+/// Returns the predicate with operands swapped (e.g. SLT -> SGT).
+CmpPred swapCmpPred(CmpPred P);
+
+/// Returns the logical negation (e.g. SLT -> SGE).
+CmpPred invertCmpPred(CmpPred P);
+
+class CmpInst : public Instruction {
+public:
+  CmpInst(CmpPred Pred, Value *LHS, Value *RHS)
+      : Instruction(Kind::Cmp, IRType::I1), Pred(Pred) {
+    assert(LHS->type() == RHS->type() && "cmp operands must share a type");
+    assert((LHS->type() == IRType::I64 || LHS->type() == IRType::I1) &&
+           "cmp operands must be integers");
+    addOperand(LHS);
+    addOperand(RHS);
+  }
+
+  CmpPred pred() const { return Pred; }
+  void setPred(CmpPred P) { Pred = P; }
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Cmp; }
+
+private:
+  CmpPred Pred;
+};
+
+/// `select cond, a, b` — value form of an if/else.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV)
+      : Instruction(Kind::Select, TrueV->type()) {
+    assert(Cond->type() == IRType::I1 && "select condition must be i1");
+    assert(TrueV->type() == FalseV->type() && "select arms must share a type");
+    addOperand(Cond);
+    addOperand(TrueV);
+    addOperand(FalseV);
+  }
+
+  Value *cond() const { return operand(0); }
+  Value *trueValue() const { return operand(1); }
+  Value *falseValue() const { return operand(2); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Select; }
+};
+
+/// Stack allocation of \p NumCells i64 cells; yields the cell address.
+class AllocaInst : public Instruction {
+public:
+  explicit AllocaInst(uint64_t NumCells)
+      : Instruction(Kind::Alloca, IRType::Ptr), NumCells(NumCells) {
+    assert(NumCells > 0 && "alloca of zero cells");
+  }
+
+  uint64_t numCells() const { return NumCells; }
+  bool isScalar() const { return NumCells == 1; }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Alloca; }
+
+private:
+  uint64_t NumCells;
+};
+
+class LoadInst : public Instruction {
+public:
+  explicit LoadInst(Value *Ptr) : Instruction(Kind::Load, IRType::I64) {
+    assert(Ptr->type() == IRType::Ptr && "load needs a pointer");
+    addOperand(Ptr);
+  }
+
+  Value *pointer() const { return operand(0); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Load; }
+};
+
+class StoreInst : public Instruction {
+public:
+  StoreInst(Value *Val, Value *Ptr) : Instruction(Kind::Store, IRType::Void) {
+    assert(Val->type() == IRType::I64 && "only i64 is storable");
+    assert(Ptr->type() == IRType::Ptr && "store needs a pointer");
+    addOperand(Val);
+    addOperand(Ptr);
+  }
+
+  Value *value() const { return operand(0); }
+  Value *pointer() const { return operand(1); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Store; }
+};
+
+/// Cell-granular address arithmetic: `gep base, index` == base + index.
+class GepInst : public Instruction {
+public:
+  GepInst(Value *Base, Value *Index) : Instruction(Kind::Gep, IRType::Ptr) {
+    assert(Base->type() == IRType::Ptr && "gep base must be a pointer");
+    assert(Index->type() == IRType::I64 && "gep index must be i64");
+    addOperand(Base);
+    addOperand(Index);
+  }
+
+  Value *base() const { return operand(0); }
+  Value *index() const { return operand(1); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Gep; }
+};
+
+/// Direct call by symbol name. The callee may live in another module
+/// (resolved at link time) or be the `print` intrinsic.
+class CallInst : public Instruction {
+public:
+  CallInst(std::string Callee, IRType RetTy, const std::vector<Value *> &Args)
+      : Instruction(Kind::Call, RetTy), Callee(std::move(Callee)) {
+    for (Value *A : Args)
+      addOperand(A);
+  }
+
+  const std::string &callee() const { return Callee; }
+  size_t numArgs() const { return numOperands(); }
+  Value *arg(size_t I) const { return operand(I); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+};
+
+/// SSA phi node; incoming blocks are stored parallel to operands.
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(IRType Ty) : Instruction(Kind::Phi, Ty) {}
+
+  void addIncoming(Value *V, BasicBlock *BB) {
+    assert(V->type() == type() && "phi incoming type mismatch");
+    addOperand(V);
+    Incoming.push_back(BB);
+  }
+
+  size_t numIncoming() const { return Incoming.size(); }
+  Value *incomingValue(size_t I) const { return operand(I); }
+  BasicBlock *incomingBlock(size_t I) const { return Incoming[I]; }
+  void setIncomingValue(size_t I, Value *V) { setOperand(I, V); }
+  void setIncomingBlock(size_t I, BasicBlock *BB) { Incoming[I] = BB; }
+
+  /// Returns the value for \p BB, or null if \p BB is not incoming.
+  Value *incomingValueFor(const BasicBlock *BB) const {
+    for (size_t I = 0; I != Incoming.size(); ++I)
+      if (Incoming[I] == BB)
+        return incomingValue(I);
+    return nullptr;
+  }
+
+  /// Removes the \p I-th incoming entry.
+  void removeIncoming(size_t I);
+
+  /// Removes every entry whose incoming block is \p BB.
+  void removeIncomingBlock(BasicBlock *BB);
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Phi; }
+
+private:
+  std::vector<BasicBlock *> Incoming;
+};
+
+class BrInst : public Instruction {
+public:
+  explicit BrInst(BasicBlock *Target) : Instruction(Kind::Br, IRType::Void) {
+    assert(Target && "branch to null block");
+    addSuccessor(Target);
+  }
+
+  BasicBlock *target() const { return successor(0); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Br; }
+};
+
+class CondBrInst : public Instruction {
+public:
+  CondBrInst(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB)
+      : Instruction(Kind::CondBr, IRType::Void) {
+    assert(Cond->type() == IRType::I1 && "branch condition must be i1");
+    assert(TrueBB && FalseBB && "branch to null block");
+    addOperand(Cond);
+    addSuccessor(TrueBB);
+    addSuccessor(FalseBB);
+  }
+
+  Value *cond() const { return operand(0); }
+  BasicBlock *trueTarget() const { return successor(0); }
+  BasicBlock *falseTarget() const { return successor(1); }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::CondBr; }
+};
+
+class RetInst : public Instruction {
+public:
+  /// \p Val may be null for `ret void`.
+  explicit RetInst(Value *Val) : Instruction(Kind::Ret, IRType::Void) {
+    if (Val)
+      addOperand(Val);
+  }
+
+  bool hasValue() const { return numOperands() != 0; }
+  Value *value() const { return hasValue() ? operand(0) : nullptr; }
+
+  static bool classof(const Value *V) { return V->kind() == Kind::Ret; }
+};
+
+//===----------------------------------------------------------------------===//
+// BasicBlock
+//===----------------------------------------------------------------------===//
+
+/// A straight-line instruction sequence ending in a terminator.
+/// Predecessor edges are maintained automatically as terminators are
+/// inserted/erased/retargeted.
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  Function *parent() const { return Parent; }
+
+  //===--- Instruction list ------------------------------------------------===//
+
+  size_t size() const { return Insts.size(); }
+  bool empty() const { return Insts.empty(); }
+
+  Instruction *inst(size_t I) const { return Insts[I].get(); }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+
+  /// The block's terminator, or null if the block is not yet terminated.
+  Instruction *terminator() const {
+    return (!Insts.empty() && Insts.back()->isTerminator()) ? back() : nullptr;
+  }
+
+  /// Appends \p I (takes ownership). Updates successor pred-lists if
+  /// \p I is a terminator.
+  Instruction *push_back(std::unique_ptr<Instruction> I);
+
+  /// Inserts \p I before position \p Pos (takes ownership).
+  Instruction *insertBefore(size_t Pos, std::unique_ptr<Instruction> I);
+
+  /// Unlinks and destroys the instruction at position \p Pos. The
+  /// instruction must have no remaining users.
+  void erase(size_t Pos);
+
+  /// Unlinks and destroys \p I (must belong to this block, be unused).
+  void erase(Instruction *I);
+
+  /// Removes the instruction at \p Pos and returns ownership without
+  /// destroying it (used by code motion, e.g. LICM and inlining).
+  std::unique_ptr<Instruction> take(size_t Pos);
+
+  /// Returns the position of \p I; asserts membership.
+  size_t indexOf(const Instruction *I) const;
+
+  //===--- CFG -------------------------------------------------------------===//
+
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+
+  /// Number of distinct predecessor blocks.
+  size_t numDistinctPredecessors() const;
+
+  std::vector<BasicBlock *> successors() const;
+
+  /// Iterates phis (always a prefix of the block).
+  std::vector<PhiInst *> phis() const;
+
+  /// Retargets \p From's terminator edge(s) pointing at this block to
+  /// point at \p To, updating phi incoming blocks of \p To.
+  void replaceSuccessor(BasicBlock *OldSucc, BasicBlock *NewSucc);
+
+private:
+  friend class Function;
+  friend class Instruction;
+
+  static void linkEdges(Instruction *Term, BasicBlock *From);
+  static void unlinkEdges(Instruction *Term, BasicBlock *From);
+
+  std::string Name;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+  std::vector<BasicBlock *> Preds;
+};
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+class Function {
+public:
+  Function(std::string Name, IRType RetTy,
+           const std::vector<std::pair<std::string, IRType>> &Params);
+
+  /// Drops every instruction's operands before the blocks are
+  /// destroyed: instruction destructors unregister from their
+  /// operands' user lists, which would otherwise touch already-freed
+  /// values (cross-block references, constants, globals).
+  ~Function();
+
+  const std::string &name() const { return Name; }
+  IRType returnType() const { return RetTy; }
+
+  Module *parent() const { return Parent; }
+
+  size_t numArgs() const { return Args.size(); }
+  Argument *arg(size_t I) const { return Args[I].get(); }
+
+  size_t numBlocks() const { return Blocks.size(); }
+  BasicBlock *block(size_t I) const { return Blocks[I].get(); }
+  BasicBlock *entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return Blocks.front().get();
+  }
+
+  /// Creates and appends a new block.
+  BasicBlock *createBlock(std::string BlockName);
+
+  /// Unlinks and destroys \p BB. The block must have no predecessors
+  /// (or only itself) and its instructions no external users.
+  void eraseBlock(BasicBlock *BB);
+
+  size_t indexOfBlock(const BasicBlock *BB) const;
+
+  /// Moves \p BB to position \p To in the block order (layout only).
+  void moveBlock(size_t From, size_t To);
+
+  /// Total instruction count across all blocks.
+  size_t instructionCount() const;
+
+  /// Iteration helpers used pervasively by passes.
+  template <typename Fn> void forEachInstruction(Fn F) const {
+    for (const auto &BB : Blocks)
+      for (size_t I = 0; I != BB->size(); ++I)
+        F(BB->inst(I));
+  }
+
+private:
+  friend class Module;
+
+  std::string Name;
+  IRType RetTy;
+  Module *Parent = nullptr;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+};
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+/// One translation unit's worth of IR.
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Uniqued integer constant of the given type.
+  ConstantInt *getConstant(IRType Ty, int64_t V);
+  ConstantInt *getI64(int64_t V) { return getConstant(IRType::I64, V); }
+  ConstantInt *getBool(bool B) { return getConstant(IRType::I1, B ? 1 : 0); }
+
+  GlobalVariable *createGlobal(std::string GName, uint64_t Size, int64_t Init);
+  GlobalVariable *getGlobal(const std::string &GName) const;
+  /// Removes \p G from the module; it must have no remaining uses.
+  void eraseGlobal(GlobalVariable *G);
+  size_t numGlobals() const { return Globals.size(); }
+  GlobalVariable *global(size_t I) const { return Globals[I].get(); }
+
+  Function *
+  createFunction(std::string FName, IRType RetTy,
+                 const std::vector<std::pair<std::string, IRType>> &Params);
+  Function *getFunction(const std::string &FName) const;
+  size_t numFunctions() const { return Functions.size(); }
+  Function *function(size_t I) const { return Functions[I].get(); }
+
+private:
+  std::string Name;
+  // Declaration order doubles as (reverse) destruction order:
+  // Functions must be destroyed first because their instructions
+  // unregister from the user lists of constants and globals.
+  std::vector<std::unique_ptr<ConstantInt>> Constants;
+  std::map<std::pair<uint8_t, int64_t>, ConstantInt *> ConstantIndex;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace sc
+
+#endif // SC_IR_IR_H

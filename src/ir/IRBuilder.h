@@ -1,0 +1,132 @@
+//===- ir/IRBuilder.h - Convenience instruction factory ---------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Appends instructions at the end of a designated insertion block.
+/// Used by IR generation and by tests that construct IR by hand.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_IR_IRBUILDER_H
+#define SC_IR_IRBUILDER_H
+
+#include "ir/IR.h"
+
+#include <memory>
+
+namespace sc {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  void setInsertPoint(BasicBlock *BB) { Block = BB; }
+  BasicBlock *insertBlock() const { return Block; }
+
+  /// True when the current block already ends in a terminator (the
+  /// IR generator uses this to avoid emitting dead instructions).
+  bool isTerminated() const { return Block && Block->terminator(); }
+
+  Module &module() { return M; }
+
+  //===--- Constants --------------------------------------------------------===//
+
+  ConstantInt *i64(int64_t V) { return M.getI64(V); }
+  ConstantInt *boolean(bool B) { return M.getBool(B); }
+
+  //===--- Arithmetic and logic ---------------------------------------------===//
+
+  Value *createBinary(BinOp Op, Value *LHS, Value *RHS) {
+    return insert(std::make_unique<BinaryInst>(Op, LHS, RHS));
+  }
+  Value *createAdd(Value *L, Value *R) {
+    return createBinary(BinOp::Add, L, R);
+  }
+  Value *createSub(Value *L, Value *R) {
+    return createBinary(BinOp::Sub, L, R);
+  }
+  Value *createMul(Value *L, Value *R) {
+    return createBinary(BinOp::Mul, L, R);
+  }
+  Value *createSDiv(Value *L, Value *R) {
+    return createBinary(BinOp::SDiv, L, R);
+  }
+  Value *createSRem(Value *L, Value *R) {
+    return createBinary(BinOp::SRem, L, R);
+  }
+
+  Value *createCmp(CmpPred Pred, Value *LHS, Value *RHS) {
+    return insert(std::make_unique<CmpInst>(Pred, LHS, RHS));
+  }
+
+  Value *createSelect(Value *Cond, Value *TrueV, Value *FalseV) {
+    return insert(std::make_unique<SelectInst>(Cond, TrueV, FalseV));
+  }
+
+  /// Logical negation of an i1 as `cmp eq x, false`.
+  Value *createNot(Value *V) {
+    return createCmp(CmpPred::EQ, V, boolean(false));
+  }
+
+  /// Integer negation as `sub 0, x`.
+  Value *createNeg(Value *V) { return createSub(i64(0), V); }
+
+  //===--- Memory ------------------------------------------------------------===//
+
+  Value *createAlloca(uint64_t NumCells, std::string Name = std::string()) {
+    Value *V = insert(std::make_unique<AllocaInst>(NumCells));
+    if (!Name.empty())
+      V->setName(std::move(Name));
+    return V;
+  }
+
+  Value *createLoad(Value *Ptr) {
+    return insert(std::make_unique<LoadInst>(Ptr));
+  }
+
+  Value *createStore(Value *Val, Value *Ptr) {
+    return insert(std::make_unique<StoreInst>(Val, Ptr));
+  }
+
+  Value *createGep(Value *Base, Value *Index) {
+    return insert(std::make_unique<GepInst>(Base, Index));
+  }
+
+  //===--- Calls and control flow -------------------------------------------===//
+
+  Value *createCall(std::string Callee, IRType RetTy,
+                    const std::vector<Value *> &Args) {
+    return insert(std::make_unique<CallInst>(std::move(Callee), RetTy, Args));
+  }
+
+  PhiInst *createPhi(IRType Ty) {
+    return static_cast<PhiInst *>(insert(std::make_unique<PhiInst>(Ty)));
+  }
+
+  void createBr(BasicBlock *Target) {
+    insert(std::make_unique<BrInst>(Target));
+  }
+
+  void createCondBr(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB) {
+    insert(std::make_unique<CondBrInst>(Cond, TrueBB, FalseBB));
+  }
+
+  void createRet(Value *V) { insert(std::make_unique<RetInst>(V)); }
+  void createRetVoid() { insert(std::make_unique<RetInst>(nullptr)); }
+
+private:
+  Instruction *insert(std::unique_ptr<Instruction> I) {
+    assert(Block && "no insertion block set");
+    return Block->push_back(std::move(I));
+  }
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace sc
+
+#endif // SC_IR_IRBUILDER_H

@@ -1,0 +1,203 @@
+//===- ir/IRPrinter.cpp - Textual IR output --------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include <map>
+#include <sstream>
+
+using namespace sc;
+
+namespace {
+
+/// Per-function printing context: value slots and block labels.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) {
+    for (size_t I = 0; I != F.numBlocks(); ++I)
+      BlockLabels[F.block(I)] = "b" + std::to_string(I);
+    unsigned Slot = 0;
+    F.forEachInstruction([&](Instruction *Inst) {
+      if (Inst->type() != IRType::Void)
+        Slots[Inst] = Slot++;
+    });
+  }
+
+  std::string ref(const Value *V) const {
+    if (auto *C = dyn_cast<ConstantInt>(V)) {
+      if (C->type() == IRType::I1)
+        return C->isZero() ? "false" : "true";
+      return std::to_string(C->value());
+    }
+    if (isa<GlobalVariable>(V))
+      return "@" + V->name();
+    if (isa<Argument>(V))
+      return "%" + V->name();
+    auto It = Slots.find(cast<Instruction>(V));
+    if (It != Slots.end())
+      return "%t" + std::to_string(It->second);
+    return "%?";
+  }
+
+  std::string label(const BasicBlock *BB) const {
+    auto It = BlockLabels.find(BB);
+    return It != BlockLabels.end() ? It->second : "b?";
+  }
+
+  void print(std::ostringstream &OS) const {
+    OS << "fn @" << F.name() << "(";
+    for (size_t I = 0; I != F.numArgs(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << irTypeName(F.arg(I)->type()) << " %" << F.arg(I)->name();
+    }
+    OS << ") -> " << irTypeName(F.returnType()) << " {\n";
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      const BasicBlock *BB = F.block(B);
+      OS << label(BB) << ":";
+      // Annotate with the semantic name, but only when it adds
+      // information; this keeps print(parse(print(M))) a fixed point.
+      if (!BB->name().empty() && BB->name() != label(BB))
+        OS << "  ; " << BB->name();
+      OS << "\n";
+      for (size_t I = 0; I != BB->size(); ++I)
+        printInst(OS, BB->inst(I));
+    }
+    OS << "}\n";
+  }
+
+private:
+  void printInst(std::ostringstream &OS, const Instruction *Inst) const {
+    OS << "  ";
+    if (Inst->type() != IRType::Void)
+      OS << ref(Inst) << " = ";
+
+    switch (Inst->kind()) {
+    case Value::Kind::Binary: {
+      auto *B = cast<BinaryInst>(Inst);
+      OS << binOpName(B->op()) << " " << ref(B->lhs()) << ", "
+         << ref(B->rhs());
+      break;
+    }
+    case Value::Kind::Cmp: {
+      auto *C = cast<CmpInst>(Inst);
+      OS << "cmp " << cmpPredName(C->pred()) << " ";
+      // i1 comparisons need a type marker so the parser can rebuild
+      // constant operand types; i64 is the default.
+      if (C->lhs()->type() == IRType::I1)
+        OS << "i1 ";
+      OS << ref(C->lhs()) << ", " << ref(C->rhs());
+      break;
+    }
+    case Value::Kind::Select: {
+      auto *S = cast<SelectInst>(Inst);
+      OS << "select " << irTypeName(S->type()) << " " << ref(S->cond()) << ", "
+         << ref(S->trueValue()) << ", " << ref(S->falseValue());
+      break;
+    }
+    case Value::Kind::Alloca:
+      OS << "alloca " << cast<AllocaInst>(Inst)->numCells();
+      break;
+    case Value::Kind::Load:
+      OS << "load " << ref(cast<LoadInst>(Inst)->pointer());
+      break;
+    case Value::Kind::Store: {
+      auto *S = cast<StoreInst>(Inst);
+      OS << "store " << ref(S->value()) << ", " << ref(S->pointer());
+      break;
+    }
+    case Value::Kind::Gep: {
+      auto *G = cast<GepInst>(Inst);
+      OS << "gep " << ref(G->base()) << ", " << ref(G->index());
+      break;
+    }
+    case Value::Kind::Call: {
+      auto *C = cast<CallInst>(Inst);
+      OS << "call @" << C->callee() << "(";
+      for (size_t I = 0; I != C->numArgs(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << ref(C->arg(I));
+      }
+      OS << ") -> " << irTypeName(C->type());
+      break;
+    }
+    case Value::Kind::Phi: {
+      auto *P = cast<PhiInst>(Inst);
+      OS << "phi " << irTypeName(P->type());
+      for (size_t I = 0; I != P->numIncoming(); ++I) {
+        OS << (I ? ", " : " ") << "[" << ref(P->incomingValue(I)) << ", "
+           << label(P->incomingBlock(I)) << "]";
+      }
+      break;
+    }
+    case Value::Kind::Br:
+      OS << "br " << label(cast<BrInst>(Inst)->target());
+      break;
+    case Value::Kind::CondBr: {
+      auto *CB = cast<CondBrInst>(Inst);
+      OS << "condbr " << ref(CB->cond()) << ", " << label(CB->trueTarget())
+         << ", " << label(CB->falseTarget());
+      break;
+    }
+    case Value::Kind::Ret: {
+      auto *R = cast<RetInst>(Inst);
+      OS << "ret";
+      if (R->hasValue())
+        OS << " " << ref(R->value());
+      break;
+    }
+    default:
+      OS << "<unknown>";
+      break;
+    }
+    OS << "\n";
+  }
+
+  const Function &F;
+  std::map<const Instruction *, unsigned> Slots;
+  std::map<const BasicBlock *, std::string> BlockLabels;
+};
+
+} // namespace
+
+std::string sc::printFunction(const Function &F) {
+  std::ostringstream OS;
+  FunctionPrinter(F).print(OS);
+  return OS.str();
+}
+
+std::string sc::printModule(const Module &M) {
+  std::ostringstream OS;
+  for (size_t I = 0; I != M.numGlobals(); ++I) {
+    const GlobalVariable *G = M.global(I);
+    if (G->size() == 1)
+      OS << "global @" << G->name() << " = " << G->initValue() << "\n";
+    else
+      OS << "global @" << G->name() << "[" << G->size() << "]\n";
+  }
+  if (M.numGlobals())
+    OS << "\n";
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    if (I)
+      OS << "\n";
+    OS << printFunction(*M.function(I));
+  }
+  return OS.str();
+}
+
+std::string sc::printValueRef(const Value &V) {
+  if (auto *C = dyn_cast<ConstantInt>(&V)) {
+    if (C->type() == IRType::I1)
+      return C->isZero() ? "false" : "true";
+    return std::to_string(C->value());
+  }
+  if (isa<GlobalVariable>(&V))
+    return "@" + V.name();
+  if (isa<Argument>(&V))
+    return "%" + V.name();
+  return V.name().empty() ? "%?" : "%" + V.name();
+}

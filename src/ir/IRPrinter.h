@@ -1,0 +1,44 @@
+//===- ir/IRPrinter.h - Textual IR output -----------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints IR in a stable textual syntax that IRTextParser can read
+/// back, giving a lossless round-trip used heavily by the test suite:
+///
+/// \code
+///   global @g = 7
+///   global @buf[16]
+///   fn @max(i64 %a, i64 %b) -> i64 {
+///   entry:
+///     %t0 = cmp sgt %a, %b
+///     condbr %t0, bb1, bb2
+///   ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_IR_IRPRINTER_H
+#define SC_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace sc {
+
+/// Renders one function. Temporary values get %tN slot names; blocks
+/// print under their (uniqued) names.
+std::string printFunction(const Function &F);
+
+/// Renders a whole module: globals first, then functions in order.
+std::string printModule(const Module &M);
+
+/// Renders a single value reference as it would appear as an operand.
+std::string printValueRef(const Value &V);
+
+} // namespace sc
+
+#endif // SC_IR_IRPRINTER_H

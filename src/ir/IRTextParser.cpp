@@ -1,0 +1,449 @@
+//===- ir/IRTextParser.cpp - Parse printed IR back ---------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRTextParser.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+using namespace sc;
+
+namespace {
+
+/// Pending phi-incoming entry to patch once all values exist.
+struct PendingIncoming {
+  PhiInst *Phi = nullptr;
+  std::string ValueRef;
+  std::string BlockLabel;
+};
+
+class TextParser {
+public:
+  TextParser(const std::string &Text, const std::string &ModuleName,
+             std::vector<std::string> &Errors)
+      : Errors(Errors) {
+    M = std::make_unique<Module>(ModuleName);
+    Lines = splitString(Text, '\n');
+  }
+
+  std::unique_ptr<Module> run() {
+    while (LineNo < Lines.size()) {
+      std::string_view Line = stripComment(Lines[LineNo]);
+      if (Line.empty()) {
+        ++LineNo;
+        continue;
+      }
+      if (startsWith(Line, "global ")) {
+        parseGlobal(Line);
+        ++LineNo;
+        continue;
+      }
+      if (startsWith(Line, "fn ")) {
+        if (!parseFunction())
+          return nullptr;
+        continue;
+      }
+      error("expected 'global' or 'fn'");
+      return nullptr;
+    }
+    return Errors.empty() ? std::move(M) : nullptr;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Errors.push_back("line " + std::to_string(LineNo + 1) + ": " + Msg);
+  }
+
+  static std::string_view stripComment(std::string_view Line) {
+    size_t Pos = Line.find(';');
+    if (Pos != std::string_view::npos)
+      Line = Line.substr(0, Pos);
+    return trim(Line);
+  }
+
+  //===--- Globals -----------------------------------------------------------===//
+
+  void parseGlobal(std::string_view Line) {
+    // global @name = N   |   global @name[N]
+    Line = trim(Line.substr(7));
+    if (Line.empty() || Line[0] != '@') {
+      error("expected '@name' in global declaration");
+      return;
+    }
+    size_t NameEnd = Line.find_first_of(" =[");
+    std::string Name(Line.substr(1, NameEnd - 1));
+    std::string_view Rest = NameEnd == std::string_view::npos
+                                ? std::string_view()
+                                : trim(Line.substr(NameEnd));
+    if (startsWith(Rest, "[")) {
+      uint64_t Size = std::strtoull(std::string(Rest.substr(1)).c_str(),
+                                    nullptr, 10);
+      if (Size == 0) {
+        error("bad global array size");
+        return;
+      }
+      M->createGlobal(Name, Size, 0);
+      return;
+    }
+    int64_t Init = 0;
+    if (startsWith(Rest, "="))
+      Init = std::strtoll(std::string(trim(Rest.substr(1))).c_str(), nullptr,
+                          10);
+    M->createGlobal(Name, 1, Init);
+  }
+
+  //===--- Types and refs -----------------------------------------------------===//
+
+  std::optional<IRType> parseType(std::string_view S) {
+    if (S == "void")
+      return IRType::Void;
+    if (S == "i1")
+      return IRType::I1;
+    if (S == "i64")
+      return IRType::I64;
+    if (S == "ptr")
+      return IRType::Ptr;
+    return std::nullopt;
+  }
+
+  /// Resolves an operand reference. \p Hint types bare integers.
+  Value *resolveRef(std::string_view Ref, IRType Hint = IRType::I64) {
+    Ref = trim(Ref);
+    if (Ref.empty()) {
+      error("empty operand");
+      return nullptr;
+    }
+    if (Ref == "true")
+      return M->getBool(true);
+    if (Ref == "false")
+      return M->getBool(false);
+    if (Ref[0] == '@') {
+      if (GlobalVariable *G = M->getGlobal(std::string(Ref.substr(1))))
+        return G;
+      error("unknown global '" + std::string(Ref) + "'");
+      return nullptr;
+    }
+    if (Ref[0] == '%') {
+      auto It = Values.find(std::string(Ref.substr(1)));
+      if (It != Values.end())
+        return It->second;
+      error("unknown value '" + std::string(Ref) + "'");
+      return nullptr;
+    }
+    // Integer constant.
+    return M->getConstant(Hint,
+                          std::strtoll(std::string(Ref).c_str(), nullptr, 10));
+  }
+
+  //===--- Functions -----------------------------------------------------------===//
+
+  bool parseFunction() {
+    // fn @name(i64 %a, i1 %b) -> i64 {
+    std::string_view Line = stripComment(Lines[LineNo]);
+    size_t Open = Line.find('(');
+    size_t Close = Line.find(')');
+    size_t Arrow = Line.find("->");
+    size_t Brace = Line.rfind('{');
+    if (Open == std::string_view::npos || Close == std::string_view::npos ||
+        Arrow == std::string_view::npos || Brace == std::string_view::npos) {
+      error("malformed function header");
+      return false;
+    }
+    std::string_view NamePart = trim(Line.substr(3, Open - 3));
+    if (NamePart.empty() || NamePart[0] != '@') {
+      error("expected '@name' in function header");
+      return false;
+    }
+    std::string Name(NamePart.substr(1));
+
+    std::vector<std::pair<std::string, IRType>> Params;
+    std::string_view ParamsText = Line.substr(Open + 1, Close - Open - 1);
+    if (!trim(ParamsText).empty()) {
+      for (const std::string &Piece : splitString(ParamsText, ',')) {
+        auto Words = splitString(std::string(trim(Piece)), ' ');
+        if (Words.size() != 2 || Words[1].empty() || Words[1][0] != '%') {
+          error("malformed parameter '" + Piece + "'");
+          return false;
+        }
+        auto Ty = parseType(Words[0]);
+        if (!Ty) {
+          error("unknown parameter type '" + Words[0] + "'");
+          return false;
+        }
+        Params.emplace_back(Words[1].substr(1), *Ty);
+      }
+    }
+    auto RetTy =
+        parseType(trim(Line.substr(Arrow + 2, Brace - Arrow - 2)));
+    if (!RetTy) {
+      error("unknown return type");
+      return false;
+    }
+
+    Function *F = M->createFunction(Name, *RetTy, Params);
+    Values.clear();
+    BlocksByLabel.clear();
+    PendingPhis.clear();
+    for (size_t I = 0; I != F->numArgs(); ++I)
+      Values[F->arg(I)->name()] = F->arg(I);
+    ++LineNo;
+
+    // First pass over the body: create blocks so branches can resolve.
+    for (size_t Probe = LineNo; Probe < Lines.size(); ++Probe) {
+      std::string_view L = stripComment(Lines[Probe]);
+      if (L == "}")
+        break;
+      if (!L.empty() && endsWith(L, ":")) {
+        std::string Label(L.substr(0, L.size() - 1));
+        BlocksByLabel[Label] = F->createBlock(Label);
+      }
+    }
+
+    BasicBlock *Current = nullptr;
+    for (; LineNo < Lines.size(); ++LineNo) {
+      std::string_view L = stripComment(Lines[LineNo]);
+      if (L.empty())
+        continue;
+      if (L == "}") {
+        ++LineNo;
+        patchPhis();
+        return Errors.empty();
+      }
+      if (endsWith(L, ":")) {
+        Current = BlocksByLabel[std::string(L.substr(0, L.size() - 1))];
+        continue;
+      }
+      if (!Current) {
+        error("instruction outside of a block");
+        return false;
+      }
+      if (!parseInstruction(L, Current))
+        return false;
+    }
+    error("missing '}' at end of function");
+    return false;
+  }
+
+  void patchPhis() {
+    for (const PendingIncoming &P : PendingPhis) {
+      Value *V = resolveRef(P.ValueRef, P.Phi->type());
+      auto BlockIt = BlocksByLabel.find(P.BlockLabel);
+      if (!V || BlockIt == BlocksByLabel.end()) {
+        error("bad phi incoming [" + P.ValueRef + ", " + P.BlockLabel + "]");
+        continue;
+      }
+      P.Phi->addIncoming(V, BlockIt->second);
+    }
+  }
+
+  //===--- Instructions ---------------------------------------------------------===//
+
+  bool parseInstruction(std::string_view L, BasicBlock *BB) {
+    std::string ResultName;
+    size_t Eq = L.find('=');
+    // Careful: "cmp eq" contains '='; only treat '=' preceded by a
+    // value name at line start as an assignment.
+    if (!L.empty() && L[0] == '%' && Eq != std::string_view::npos) {
+      ResultName = std::string(trim(L.substr(1, Eq - 1)));
+      L = trim(L.substr(Eq + 1));
+    }
+
+    auto Words = splitString(std::string(L), ' ');
+    const std::string &Op = Words[0];
+    std::string_view Rest = trim(L.substr(Op.size()));
+
+    auto Operands = [&](IRType Hint) {
+      std::vector<Value *> Ops;
+      for (const std::string &Piece : splitString(Rest, ','))
+        Ops.push_back(resolveRef(Piece, Hint));
+      return Ops;
+    };
+
+    Instruction *Result = nullptr;
+
+    if (Op == "add" || Op == "sub" || Op == "mul" || Op == "sdiv" ||
+        Op == "srem") {
+      BinOp B = Op == "add"    ? BinOp::Add
+                : Op == "sub"  ? BinOp::Sub
+                : Op == "mul"  ? BinOp::Mul
+                : Op == "sdiv" ? BinOp::SDiv
+                               : BinOp::SRem;
+      auto Ops = Operands(IRType::I64);
+      if (Ops.size() != 2 || !Ops[0] || !Ops[1])
+        return fail("binary needs two operands");
+      Result = BB->push_back(std::make_unique<BinaryInst>(B, Ops[0], Ops[1]));
+    } else if (Op == "cmp") {
+      // cmp <pred> [i1] a, b
+      auto Pieces = splitString(std::string(Rest), ' ');
+      if (Pieces.size() < 2)
+        return fail("malformed cmp");
+      CmpPred Pred;
+      if (Pieces[0] == "eq")
+        Pred = CmpPred::EQ;
+      else if (Pieces[0] == "ne")
+        Pred = CmpPred::NE;
+      else if (Pieces[0] == "slt")
+        Pred = CmpPred::SLT;
+      else if (Pieces[0] == "sle")
+        Pred = CmpPred::SLE;
+      else if (Pieces[0] == "sgt")
+        Pred = CmpPred::SGT;
+      else if (Pieces[0] == "sge")
+        Pred = CmpPred::SGE;
+      else
+        return fail("unknown cmp predicate '" + Pieces[0] + "'");
+      Rest = trim(Rest.substr(Pieces[0].size()));
+      IRType Hint = IRType::I64;
+      if (startsWith(Rest, "i1 ")) {
+        Hint = IRType::I1;
+        Rest = trim(Rest.substr(3));
+      }
+      std::vector<Value *> Ops;
+      for (const std::string &Piece : splitString(Rest, ','))
+        Ops.push_back(resolveRef(Piece, Hint));
+      if (Ops.size() != 2 || !Ops[0] || !Ops[1])
+        return fail("cmp needs two operands");
+      Result = BB->push_back(std::make_unique<CmpInst>(Pred, Ops[0], Ops[1]));
+    } else if (Op == "select") {
+      // select <ty> c, a, b
+      auto Pieces = splitString(std::string(Rest), ' ');
+      auto Ty = parseType(Pieces.empty() ? "" : Pieces[0]);
+      if (!Ty)
+        return fail("select needs a type");
+      Rest = trim(Rest.substr(Pieces[0].size()));
+      auto Parts = splitString(Rest, ',');
+      if (Parts.size() != 3)
+        return fail("select needs three operands");
+      Value *C = resolveRef(Parts[0], IRType::I1);
+      Value *T = resolveRef(Parts[1], *Ty);
+      Value *E = resolveRef(Parts[2], *Ty);
+      if (!C || !T || !E)
+        return false;
+      Result = BB->push_back(std::make_unique<SelectInst>(C, T, E));
+    } else if (Op == "alloca") {
+      uint64_t Cells =
+          std::strtoull(std::string(Rest).c_str(), nullptr, 10);
+      if (Cells == 0)
+        return fail("bad alloca size");
+      Result = BB->push_back(std::make_unique<AllocaInst>(Cells));
+    } else if (Op == "load") {
+      Value *Ptr = resolveRef(Rest, IRType::Ptr);
+      if (!Ptr)
+        return false;
+      Result = BB->push_back(std::make_unique<LoadInst>(Ptr));
+    } else if (Op == "store") {
+      auto Ops = Operands(IRType::I64);
+      if (Ops.size() != 2 || !Ops[0] || !Ops[1])
+        return fail("store needs two operands");
+      Result = BB->push_back(std::make_unique<StoreInst>(Ops[0], Ops[1]));
+    } else if (Op == "gep") {
+      auto Ops = Operands(IRType::I64);
+      if (Ops.size() != 2 || !Ops[0] || !Ops[1])
+        return fail("gep needs two operands");
+      Result = BB->push_back(std::make_unique<GepInst>(Ops[0], Ops[1]));
+    } else if (Op == "call") {
+      // call @name(a, b) -> ty
+      size_t Open = Rest.find('(');
+      size_t Close = Rest.rfind(')');
+      size_t Arrow = Rest.rfind("->");
+      if (Open == std::string_view::npos || Close == std::string_view::npos ||
+          Arrow == std::string_view::npos || Rest[0] != '@')
+        return fail("malformed call");
+      std::string Callee(trim(Rest.substr(1, Open - 1)));
+      auto RetTy = parseType(trim(Rest.substr(Arrow + 2)));
+      if (!RetTy)
+        return fail("unknown call return type");
+      std::vector<Value *> Args;
+      std::string_view ArgsText = Rest.substr(Open + 1, Close - Open - 1);
+      if (!trim(ArgsText).empty())
+        for (const std::string &Piece : splitString(ArgsText, ',')) {
+          Value *A = resolveRef(Piece, IRType::I64);
+          if (!A)
+            return false;
+          Args.push_back(A);
+        }
+      Result =
+          BB->push_back(std::make_unique<CallInst>(Callee, *RetTy, Args));
+    } else if (Op == "phi") {
+      // phi <ty> [v, b], [v, b]...
+      auto Pieces = splitString(std::string(Rest), ' ');
+      auto Ty = parseType(Pieces.empty() ? "" : Pieces[0]);
+      if (!Ty)
+        return fail("phi needs a type");
+      Rest = trim(Rest.substr(Pieces[0].size()));
+      auto *Phi = new PhiInst(*Ty);
+      Result = BB->push_back(std::unique_ptr<Instruction>(Phi));
+      // Parse "[v, b]" groups.
+      size_t Pos = 0;
+      std::string RestStr(Rest);
+      while ((Pos = RestStr.find('[', Pos)) != std::string::npos) {
+        size_t End = RestStr.find(']', Pos);
+        if (End == std::string::npos)
+          return fail("unterminated phi incoming");
+        auto Parts = splitString(RestStr.substr(Pos + 1, End - Pos - 1), ',');
+        if (Parts.size() != 2)
+          return fail("malformed phi incoming");
+        PendingPhis.push_back(
+            {Phi, std::string(trim(Parts[0])), std::string(trim(Parts[1]))});
+        Pos = End + 1;
+      }
+    } else if (Op == "br") {
+      auto It = BlocksByLabel.find(std::string(trim(Rest)));
+      if (It == BlocksByLabel.end())
+        return fail("unknown branch target");
+      Result = BB->push_back(std::make_unique<BrInst>(It->second));
+    } else if (Op == "condbr") {
+      auto Parts = splitString(Rest, ',');
+      if (Parts.size() != 3)
+        return fail("condbr needs cond and two targets");
+      Value *C = resolveRef(Parts[0], IRType::I1);
+      auto TIt = BlocksByLabel.find(std::string(trim(Parts[1])));
+      auto FIt = BlocksByLabel.find(std::string(trim(Parts[2])));
+      if (!C || TIt == BlocksByLabel.end() || FIt == BlocksByLabel.end())
+        return fail("bad condbr operands");
+      Result = BB->push_back(
+          std::make_unique<CondBrInst>(C, TIt->second, FIt->second));
+    } else if (Op == "ret") {
+      Value *V = nullptr;
+      if (!trim(Rest).empty()) {
+        V = resolveRef(Rest, IRType::I64);
+        if (!V)
+          return false;
+      }
+      Result = BB->push_back(std::make_unique<RetInst>(V));
+    } else {
+      return fail("unknown opcode '" + Op + "'");
+    }
+
+    if (!ResultName.empty() && Result)
+      Values[ResultName] = Result;
+    return true;
+  }
+
+  bool fail(const std::string &Msg) {
+    error(Msg);
+    return false;
+  }
+
+  std::vector<std::string> &Errors;
+  std::unique_ptr<Module> M;
+  std::vector<std::string> Lines;
+  size_t LineNo = 0;
+  std::map<std::string, Value *> Values;
+  std::map<std::string, BasicBlock *> BlocksByLabel;
+  std::vector<PendingIncoming> PendingPhis;
+};
+
+} // namespace
+
+std::unique_ptr<Module> sc::parseIRText(const std::string &Text,
+                                        const std::string &ModuleName,
+                                        std::vector<std::string> &Errors) {
+  return TextParser(Text, ModuleName, Errors).run();
+}

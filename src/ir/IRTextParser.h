@@ -1,0 +1,37 @@
+//===- ir/IRTextParser.h - Parse printed IR back ----------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by IRPrinter back into a Module,
+/// giving the test suite a lossless IR round-trip and a convenient way
+/// to write pass unit tests as text.
+///
+/// Limitation (by construction of the printer's output): a non-phi
+/// instruction may only reference values defined earlier in layout
+/// order; phis may forward-reference freely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_IR_IRTEXTPARSER_H
+#define SC_IR_IRTEXTPARSER_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Parses \p Text into a Module named \p ModuleName. On failure
+/// returns null and appends messages to \p Errors.
+std::unique_ptr<Module> parseIRText(const std::string &Text,
+                                    const std::string &ModuleName,
+                                    std::vector<std::string> &Errors);
+
+} // namespace sc
+
+#endif // SC_IR_IRTEXTPARSER_H

@@ -1,0 +1,111 @@
+//===- ir/StructuralHash.cpp - Function fingerprints ------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/StructuralHash.h"
+
+#include "support/Hashing.h"
+
+#include <map>
+
+using namespace sc;
+
+namespace {
+
+/// Stable per-value identifiers within a function: arguments first,
+/// then instructions in layout order.
+class ValueNumbering {
+public:
+  explicit ValueNumbering(const Function &F) {
+    uint64_t Next = 0;
+    for (size_t I = 0; I != F.numArgs(); ++I)
+      Ids[F.arg(I)] = Next++;
+    F.forEachInstruction([&](Instruction *Inst) { Ids[Inst] = Next++; });
+  }
+
+  void hashOperand(HashBuilder &H, const Value *V) const {
+    if (const auto *C = dyn_cast<ConstantInt>(V)) {
+      H.addU32(1);
+      H.addU32(static_cast<uint32_t>(C->type()));
+      H.addI64(C->value());
+      return;
+    }
+    if (const auto *G = dyn_cast<GlobalVariable>(V)) {
+      H.addU32(2);
+      H.addString(G->name());
+      return;
+    }
+    H.addU32(3);
+    H.addU64(Ids.at(V));
+  }
+
+private:
+  std::map<const Value *, uint64_t> Ids;
+};
+
+} // namespace
+
+uint64_t sc::structuralHash(const Function &F) {
+  HashBuilder H;
+  H.addString(F.name());
+  H.addU32(static_cast<uint32_t>(F.returnType()));
+  H.addU64(F.numArgs());
+  for (size_t I = 0; I != F.numArgs(); ++I)
+    H.addU32(static_cast<uint32_t>(F.arg(I)->type()));
+
+  ValueNumbering Ids(F);
+  std::map<const BasicBlock *, uint64_t> BlockIds;
+  for (size_t B = 0; B != F.numBlocks(); ++B)
+    BlockIds[F.block(B)] = B;
+
+  H.addU64(F.numBlocks());
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    const BasicBlock *BB = F.block(B);
+    H.addU64(BB->size());
+    for (size_t I = 0; I != BB->size(); ++I) {
+      const Instruction *Inst = BB->inst(I);
+      H.addU32(static_cast<uint32_t>(Inst->kind()));
+      H.addU32(static_cast<uint32_t>(Inst->type()));
+
+      // Opcode-specific immediates.
+      if (const auto *Bin = dyn_cast<BinaryInst>(Inst))
+        H.addU32(static_cast<uint32_t>(Bin->op()));
+      else if (const auto *Cmp = dyn_cast<CmpInst>(Inst))
+        H.addU32(static_cast<uint32_t>(Cmp->pred()));
+      else if (const auto *Alloca = dyn_cast<AllocaInst>(Inst))
+        H.addU64(Alloca->numCells());
+      else if (const auto *Call = dyn_cast<CallInst>(Inst))
+        H.addString(Call->callee());
+
+      H.addU64(Inst->numOperands());
+      for (size_t Op = 0; Op != Inst->numOperands(); ++Op)
+        Ids.hashOperand(H, Inst->operand(Op));
+
+      if (const auto *Phi = dyn_cast<PhiInst>(Inst))
+        for (size_t In = 0; In != Phi->numIncoming(); ++In)
+          H.addU64(BlockIds.at(Phi->incomingBlock(In)));
+
+      for (unsigned S = 0; S != Inst->numSuccessors(); ++S)
+        H.addU64(BlockIds.at(Inst->successor(S)));
+    }
+  }
+  return H.digest();
+}
+
+uint64_t sc::structuralHash(const Module &M) {
+  HashBuilder H;
+  H.addString(M.name());
+  H.addU64(M.numGlobals());
+  for (size_t I = 0; I != M.numGlobals(); ++I) {
+    const GlobalVariable *G = M.global(I);
+    H.addString(G->name());
+    H.addU64(G->size());
+    H.addI64(G->initValue());
+  }
+  H.addU64(M.numFunctions());
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    H.addU64(structuralHash(*M.function(I)));
+  return H.digest();
+}

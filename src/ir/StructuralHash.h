@@ -1,0 +1,37 @@
+//===- ir/StructuralHash.h - Function fingerprints --------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes a stable 64-bit structural fingerprint of a Function. The
+/// stateful compiler fingerprints each function's pre-optimization IR;
+/// between builds, an equal fingerprint means the function's semantics
+/// are unchanged (whitespace/comment edits don't perturb it), while a
+/// differing fingerprint marks the function as modified. Fingerprints
+/// are persisted in the BuildStateDB, so they must be stable across
+/// processes and platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_IR_STRUCTURALHASH_H
+#define SC_IR_STRUCTURALHASH_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+
+namespace sc {
+
+/// Returns the structural fingerprint of \p F. Instruction order,
+/// opcodes, operand wiring, CFG shape, constants, referenced global
+/// names, and callee names all contribute; value names do not.
+uint64_t structuralHash(const Function &F);
+
+/// Combined fingerprint over every function and global of \p M.
+uint64_t structuralHash(const Module &M);
+
+} // namespace sc
+
+#endif // SC_IR_STRUCTURALHASH_H

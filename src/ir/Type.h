@@ -1,0 +1,45 @@
+//===- ir/Type.h - IR type system -------------------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IR's small fixed type lattice. Memory is modeled as arrays of
+/// 64-bit cells, so pointers are untyped cell addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_IR_TYPE_H
+#define SC_IR_TYPE_H
+
+#include <cstdint>
+
+namespace sc {
+
+/// IR value types. I1 is produced by comparisons and consumed by
+/// conditional branches and selects; I64 is the universal integer.
+enum class IRType : uint8_t {
+  Void,
+  I1,
+  I64,
+  Ptr,
+};
+
+inline const char *irTypeName(IRType T) {
+  switch (T) {
+  case IRType::Void:
+    return "void";
+  case IRType::I1:
+    return "i1";
+  case IRType::I64:
+    return "i64";
+  case IRType::Ptr:
+    return "ptr";
+  }
+  return "?";
+}
+
+} // namespace sc
+
+#endif // SC_IR_TYPE_H

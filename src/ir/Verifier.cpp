@@ -1,0 +1,299 @@
+//===- ir/Verifier.cpp - IR well-formedness checks --------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/IRPrinter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace sc;
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> &Errors)
+      : F(F), Errors(Errors) {
+    for (size_t I = 0; I != F.numBlocks(); ++I)
+      BlockIndex[F.block(I)] = I;
+  }
+
+  bool run() {
+    size_t Before = Errors.size();
+    if (F.numBlocks() == 0) {
+      report("function has no blocks");
+      return false;
+    }
+    checkBlocks();
+    checkEdges();
+    if (Errors.size() == Before) {
+      // Dominance analysis assumes a structurally sane CFG; only run it
+      // when the earlier checks passed.
+      computeDominators();
+      checkDominance();
+    }
+    return Errors.size() == Before;
+  }
+
+private:
+  void report(const std::string &Msg) {
+    Errors.push_back("fn @" + F.name() + ": " + Msg);
+  }
+
+  void reportIn(const BasicBlock *BB, const std::string &Msg) {
+    report("block b" + std::to_string(BlockIndex[BB]) + ": " + Msg);
+  }
+
+  //===--- Per-block structure ---------------------------------------------===//
+
+  void checkBlocks() {
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      const BasicBlock *BB = F.block(B);
+      if (BB->empty()) {
+        reportIn(BB, "block is empty");
+        continue;
+      }
+      if (!BB->terminator())
+        reportIn(BB, "block does not end with a terminator");
+
+      bool SeenNonPhi = false;
+      for (size_t I = 0; I != BB->size(); ++I) {
+        const Instruction *Inst = BB->inst(I);
+        if (Inst->isTerminator() && I + 1 != BB->size())
+          reportIn(BB, "terminator in the middle of a block");
+        if (isa<PhiInst>(Inst)) {
+          if (SeenNonPhi)
+            reportIn(BB, "phi after a non-phi instruction");
+        } else {
+          SeenNonPhi = true;
+        }
+        checkInstTypes(BB, Inst);
+      }
+    }
+  }
+
+  void checkInstTypes(const BasicBlock *BB, const Instruction *Inst) {
+    auto Expect = [&](bool Cond, const char *Msg) {
+      if (!Cond)
+        reportIn(BB, Msg);
+    };
+
+    switch (Inst->kind()) {
+    case Value::Kind::Binary:
+      Expect(Inst->operand(0)->type() == IRType::I64 &&
+                 Inst->operand(1)->type() == IRType::I64,
+             "binary operands must be i64");
+      break;
+    case Value::Kind::Cmp:
+      Expect(Inst->operand(0)->type() == Inst->operand(1)->type(),
+             "cmp operand types differ");
+      break;
+    case Value::Kind::Select:
+      Expect(Inst->operand(0)->type() == IRType::I1,
+             "select condition must be i1");
+      Expect(Inst->operand(1)->type() == Inst->type() &&
+                 Inst->operand(2)->type() == Inst->type(),
+             "select arm types differ from result");
+      break;
+    case Value::Kind::Load:
+      Expect(Inst->operand(0)->type() == IRType::Ptr,
+             "load pointer operand must be ptr");
+      break;
+    case Value::Kind::Store:
+      Expect(Inst->operand(0)->type() == IRType::I64,
+             "store value must be i64");
+      Expect(Inst->operand(1)->type() == IRType::Ptr,
+             "store pointer operand must be ptr");
+      break;
+    case Value::Kind::Gep:
+      Expect(Inst->operand(0)->type() == IRType::Ptr, "gep base must be ptr");
+      Expect(Inst->operand(1)->type() == IRType::I64,
+             "gep index must be i64");
+      break;
+    case Value::Kind::CondBr:
+      Expect(Inst->operand(0)->type() == IRType::I1,
+             "condbr condition must be i1");
+      break;
+    case Value::Kind::Ret: {
+      auto *R = cast<RetInst>(Inst);
+      if (F.returnType() == IRType::Void)
+        Expect(!R->hasValue(), "ret with value in a void function");
+      else
+        Expect(R->hasValue() && R->value()->type() == F.returnType(),
+               "ret value type differs from function return type");
+      break;
+    }
+    case Value::Kind::Phi: {
+      auto *P = cast<PhiInst>(Inst);
+      for (size_t I = 0; I != P->numIncoming(); ++I)
+        Expect(P->incomingValue(I)->type() == P->type(),
+               "phi incoming value type differs from phi type");
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  //===--- CFG edge consistency ----------------------------------------------===//
+
+  void checkEdges() {
+    // Successor edges derived from terminators must match the stored
+    // predecessor lists exactly (as multisets).
+    std::map<const BasicBlock *, std::vector<const BasicBlock *>>
+        ExpectedPreds;
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      const BasicBlock *BB = F.block(B);
+      const Instruction *Term = BB->terminator();
+      if (!Term)
+        continue;
+      for (unsigned I = 0; I != Term->numSuccessors(); ++I) {
+        const BasicBlock *Succ = Term->successor(I);
+        if (!BlockIndex.count(Succ)) {
+          reportIn(BB, "successor block is not in this function");
+          continue;
+        }
+        ExpectedPreds[Succ].push_back(BB);
+      }
+    }
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      const BasicBlock *BB = F.block(B);
+      std::vector<const BasicBlock *> Stored(BB->predecessors().begin(),
+                                             BB->predecessors().end());
+      std::vector<const BasicBlock *> Expected = ExpectedPreds[BB];
+      std::sort(Stored.begin(), Stored.end());
+      std::sort(Expected.begin(), Expected.end());
+      if (Stored != Expected)
+        reportIn(BB, "stored predecessor list disagrees with CFG edges");
+
+      // Phi incoming blocks must cover the distinct predecessors.
+      std::vector<const BasicBlock *> Distinct = Expected;
+      Distinct.erase(std::unique(Distinct.begin(), Distinct.end()),
+                     Distinct.end());
+      for (const PhiInst *P : BB->phis()) {
+        std::vector<const BasicBlock *> In;
+        for (size_t I = 0; I != P->numIncoming(); ++I)
+          In.push_back(P->incomingBlock(I));
+        std::sort(In.begin(), In.end());
+        std::vector<const BasicBlock *> InDistinct = In;
+        InDistinct.erase(std::unique(InDistinct.begin(), InDistinct.end()),
+                         InDistinct.end());
+        if (InDistinct != Distinct)
+          reportIn(BB, "phi incoming blocks do not match predecessors");
+      }
+    }
+  }
+
+  //===--- Dominance ----------------------------------------------------------===//
+
+  void computeDominators() {
+    size_t N = F.numBlocks();
+    // Dom[b] as a bitset over block indices; standard iterative dataflow.
+    std::vector<std::vector<bool>> Dom(N, std::vector<bool>(N, true));
+    Dom[0].assign(N, false);
+    Dom[0][0] = true;
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t B = 1; B != N; ++B) {
+        std::vector<bool> NewDom(N, true);
+        bool HasPred = false;
+        for (const BasicBlock *Pred : F.block(B)->predecessors()) {
+          HasPred = true;
+          const auto &PD = Dom[BlockIndex[Pred]];
+          for (size_t I = 0; I != N; ++I)
+            NewDom[I] = NewDom[I] && PD[I];
+        }
+        if (!HasPred) // Unreachable block: dominated by everything (top).
+          NewDom.assign(N, true);
+        NewDom[B] = true;
+        if (NewDom != Dom[B]) {
+          Dom[B] = std::move(NewDom);
+          Changed = true;
+        }
+      }
+    }
+    Dominators = std::move(Dom);
+
+    Reachable.assign(N, false);
+    std::vector<size_t> Work{0};
+    Reachable[0] = true;
+    while (!Work.empty()) {
+      size_t B = Work.back();
+      Work.pop_back();
+      for (const BasicBlock *Succ : F.block(B)->successors()) {
+        size_t S = BlockIndex[Succ];
+        if (!Reachable[S]) {
+          Reachable[S] = true;
+          Work.push_back(S);
+        }
+      }
+    }
+  }
+
+  bool dominates(size_t A, size_t B) const { return Dominators[B][A]; }
+
+  void checkDominance() {
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      if (!Reachable[B])
+        continue; // Unreachable code is exempt (it will be deleted).
+      const BasicBlock *BB = F.block(B);
+      for (size_t I = 0; I != BB->size(); ++I) {
+        const Instruction *Inst = BB->inst(I);
+        for (size_t OpIdx = 0; OpIdx != Inst->numOperands(); ++OpIdx) {
+          const Value *Op = Inst->operand(OpIdx);
+          const auto *Def = dyn_cast<Instruction>(Op);
+          if (!Def)
+            continue; // Constants, arguments, globals always dominate.
+          if (!Def->parent() || Def->function() != &F) {
+            reportIn(BB, "operand defined outside this function");
+            continue;
+          }
+          size_t DefBlock = BlockIndex.at(Def->parent());
+          if (auto *P = dyn_cast<PhiInst>(Inst)) {
+            // A phi use must be available at the end of the incoming
+            // block, not at the phi itself.
+            size_t InBlock = BlockIndex.at(P->incomingBlock(OpIdx));
+            if (!Reachable[InBlock])
+              continue;
+            if (!dominates(DefBlock, InBlock))
+              reportIn(BB, "phi incoming value does not dominate its edge");
+            continue;
+          }
+          if (DefBlock == B) {
+            if (BB->indexOf(Def) >= I)
+              reportIn(BB, "use of '" + printValueRef(*Op) +
+                               "' before its definition");
+          } else if (!dominates(DefBlock, B)) {
+            reportIn(BB, "operand definition does not dominate its use");
+          }
+        }
+      }
+    }
+  }
+
+  const Function &F;
+  std::vector<std::string> &Errors;
+  std::map<const BasicBlock *, size_t> BlockIndex;
+  std::vector<std::vector<bool>> Dominators;
+  std::vector<bool> Reachable;
+};
+
+} // namespace
+
+bool sc::verifyFunction(const Function &F, std::vector<std::string> &Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool sc::verifyModule(const Module &M, std::vector<std::string> &Errors) {
+  bool OK = true;
+  for (size_t I = 0; I != M.numFunctions(); ++I)
+    OK &= verifyFunction(*M.function(I), Errors);
+  return OK;
+}

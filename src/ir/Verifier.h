@@ -1,0 +1,43 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation run after IR generation and (in tests and
+/// assert-enabled pipelines) after every transform pass. Catching a
+/// malformed CFG at the pass that produced it is the main debugging
+/// tool for the optimizer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_IR_VERIFIER_H
+#define SC_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Verifies one function. Appends human-readable problem descriptions
+/// to \p Errors; returns true when the function is well-formed.
+///
+/// Checks:
+///  * every reachable block ends in exactly one terminator;
+///  * phis form a prefix of their block and their incoming blocks
+///    match the predecessor multiset;
+///  * operand types satisfy each opcode's contract;
+///  * predecessor lists agree with the successor edges;
+///  * every operand is defined in this function (or is a constant,
+///    argument, or global) and definitions dominate uses.
+bool verifyFunction(const Function &F, std::vector<std::string> &Errors);
+
+/// Verifies every function in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace sc
+
+#endif // SC_IR_VERIFIER_H

@@ -1,0 +1,496 @@
+//===- lang/AST.h - MiniC abstract syntax tree ------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node hierarchy for MiniC with LLVM-style RTTI. Ownership flows
+/// top-down through unique_ptr; sema annotates nodes in place (resolved
+/// declarations and expression types) before IR generation consumes
+/// the tree.
+///
+/// MiniC summary:
+/// \code
+///   import "util.mc";
+///   global counter = 0;
+///   global table[64];
+///   fn clamp(x: int, lo: int, hi: int) -> int {
+///     if (x < lo) { return lo; }
+///     if (x > hi) { return hi; }
+///     return x;
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_LANG_AST_H
+#define SC_LANG_AST_H
+
+#include "lang/Token.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// MiniC surface types. Arrays only exist as named global/local storage
+/// (no first-class array values), so the expression type system is just
+/// Int / Bool plus Void for functions without a return value.
+enum class TypeName : uint8_t { Int, Bool, Void };
+
+const char *typeNameSpelling(TypeName T);
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    IntLiteral,
+    BoolLiteral,
+    VarRef,
+    Unary,
+    Binary,
+    Call,
+    Index,
+  };
+
+  virtual ~Expr() = default;
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Expression type, filled in by sema (meaningless before then).
+  TypeName ExprType = TypeName::Int;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  const Kind K;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLiteralExpr : public Expr {
+public:
+  IntLiteralExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLiteral, Loc), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::IntLiteral; }
+
+private:
+  int64_t Value;
+};
+
+class BoolLiteralExpr : public Expr {
+public:
+  BoolLiteralExpr(bool Value, SourceLoc Loc)
+      : Expr(Kind::BoolLiteral, Loc), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::BoolLiteral; }
+
+private:
+  bool Value;
+};
+
+/// Reference to a local variable, parameter, or global scalar.
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Set by sema: true when this resolves to a global symbol.
+  bool IsGlobal = false;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::VarRef; }
+
+private:
+  std::string Name;
+};
+
+enum class UnaryOp : uint8_t { Neg, Not };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp op() const { return Op; }
+  Expr *operand() const { return Operand.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Unary; }
+
+private:
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And, // Short-circuit &&.
+  Or,  // Short-circuit ||.
+};
+
+const char *binaryOpSpelling(BinaryOp Op);
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp op() const { return Op; }
+  Expr *lhs() const { return LHS.get(); }
+  Expr *rhs() const { return RHS.get(); }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Binary; }
+
+private:
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Call; }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// Array element read: `name[index]`.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(std::string ArrayName, ExprPtr Index, SourceLoc Loc)
+      : Expr(Kind::Index, Loc), ArrayName(std::move(ArrayName)),
+        Index(std::move(Index)) {}
+
+  const std::string &arrayName() const { return ArrayName; }
+  Expr *index() const { return Index.get(); }
+
+  /// Set by sema: true when the array is a global.
+  bool IsGlobal = false;
+
+  static bool classof(const Expr *E) { return E->kind() == Kind::Index; }
+
+private:
+  std::string ArrayName;
+  ExprPtr Index;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Block,
+    VarDecl,
+    ArrayDecl,
+    Assign,
+    IndexAssign,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+    Expr,
+  };
+
+  virtual ~Stmt() = default;
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  const Kind K;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc Loc)
+      : Stmt(Kind::Block, Loc), Stmts(std::move(Stmts)) {}
+
+  const std::vector<StmtPtr> &statements() const { return Stmts; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Block; }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// `var x = init;` or `var x: int = init;`
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(std::string Name, TypeName DeclType, bool HasExplicitType,
+              ExprPtr Init, SourceLoc Loc)
+      : Stmt(Kind::VarDecl, Loc), Name(std::move(Name)), DeclType(DeclType),
+        HasExplicitType(HasExplicitType), Init(std::move(Init)) {}
+
+  const std::string &name() const { return Name; }
+  TypeName declType() const { return DeclType; }
+  bool hasExplicitType() const { return HasExplicitType; }
+  Expr *init() const { return Init.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::VarDecl; }
+
+private:
+  std::string Name;
+  TypeName DeclType;
+  bool HasExplicitType;
+  ExprPtr Init;
+};
+
+/// `var buf[N];` — a fixed-size local int array.
+class ArrayDeclStmt : public Stmt {
+public:
+  ArrayDeclStmt(std::string Name, uint64_t Size, SourceLoc Loc)
+      : Stmt(Kind::ArrayDecl, Loc), Name(std::move(Name)), Size(Size) {}
+
+  const std::string &name() const { return Name; }
+  uint64_t size() const { return Size; }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::ArrayDecl; }
+
+private:
+  std::string Name;
+  uint64_t Size;
+};
+
+/// `x = expr;`
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::string Name, ExprPtr Value, SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), Name(std::move(Name)),
+        Value(std::move(Value)) {}
+
+  const std::string &name() const { return Name; }
+  Expr *value() const { return Value.get(); }
+
+  /// Set by sema: true when assigning a global scalar.
+  bool IsGlobal = false;
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Assign; }
+
+private:
+  std::string Name;
+  ExprPtr Value;
+};
+
+/// `arr[i] = expr;`
+class IndexAssignStmt : public Stmt {
+public:
+  IndexAssignStmt(std::string ArrayName, ExprPtr Index, ExprPtr Value,
+                  SourceLoc Loc)
+      : Stmt(Kind::IndexAssign, Loc), ArrayName(std::move(ArrayName)),
+        Index(std::move(Index)), Value(std::move(Value)) {}
+
+  const std::string &arrayName() const { return ArrayName; }
+  Expr *index() const { return Index.get(); }
+  Expr *value() const { return Value.get(); }
+
+  /// Set by sema: true when the array is a global.
+  bool IsGlobal = false;
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::IndexAssign; }
+
+private:
+  std::string ArrayName;
+  ExprPtr Index, Value;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *thenBranch() const { return Then.get(); }
+  /// May be null when there is no else branch.
+  Stmt *elseBranch() const { return Else.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::While; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+/// `for (init; cond; step) { ... }` — all three clauses optional.
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+
+  Stmt *init() const { return Init.get(); }
+  Expr *cond() const { return Cond.get(); }
+  Stmt *step() const { return Step.get(); }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::For; }
+
+private:
+  StmtPtr Init;
+  ExprPtr Cond;
+  StmtPtr Step, Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+
+  /// May be null for `return;` in a void function.
+  Expr *value() const { return Value.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Return; }
+
+private:
+  ExprPtr Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Continue; }
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc) : Stmt(Kind::Expr, Loc), E(std::move(E)) {}
+
+  Expr *expr() const { return E.get(); }
+
+  static bool classof(const Stmt *S) { return S->kind() == Kind::Expr; }
+
+private:
+  ExprPtr E;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and the translation unit
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  std::string Name;
+  TypeName Type = TypeName::Int;
+  SourceLoc Loc;
+};
+
+class FunctionDecl {
+public:
+  FunctionDecl(std::string Name, std::vector<ParamDecl> Params,
+               TypeName ReturnType, std::unique_ptr<BlockStmt> Body,
+               SourceLoc Loc)
+      : Name(std::move(Name)), Params(std::move(Params)),
+        ReturnType(ReturnType), Body(std::move(Body)), Loc(Loc) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<ParamDecl> &params() const { return Params; }
+  TypeName returnType() const { return ReturnType; }
+  BlockStmt *body() const { return Body.get(); }
+  SourceLoc loc() const { return Loc; }
+
+private:
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  TypeName ReturnType;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+};
+
+/// `global g = 3;` (scalar) or `global buf[64];` (int array).
+struct GlobalDecl {
+  std::string Name;
+  bool IsArray = false;
+  uint64_t ArraySize = 0; // Valid when IsArray.
+  int64_t InitValue = 0;  // Valid when !IsArray.
+  SourceLoc Loc;
+};
+
+struct ImportDecl {
+  std::string Path;
+  SourceLoc Loc;
+};
+
+/// Root of a parsed translation unit.
+class ModuleAST {
+public:
+  std::vector<ImportDecl> Imports;
+  std::vector<GlobalDecl> Globals;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+
+  /// Finds a function by name; returns null if absent.
+  const FunctionDecl *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->name() == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace sc
+
+#endif // SC_LANG_AST_H

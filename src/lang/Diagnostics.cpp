@@ -1,0 +1,33 @@
+//===- lang/Diagnostics.cpp - Diagnostic rendering -------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Diagnostics.h"
+
+#include <sstream>
+
+using namespace sc;
+
+std::string DiagnosticEngine::render(const std::string &FileName) const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (!FileName.empty())
+      OS << FileName << ":";
+    OS << D.Loc.Line << ":" << D.Loc.Col << ": ";
+    switch (D.Severity) {
+    case DiagSeverity::Error:
+      OS << "error: ";
+      break;
+    case DiagSeverity::Warning:
+      OS << "warning: ";
+      break;
+    case DiagSeverity::Note:
+      OS << "note: ";
+      break;
+    }
+    OS << D.Message << "\n";
+  }
+  return OS.str();
+}

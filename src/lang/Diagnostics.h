@@ -1,0 +1,60 @@
+//===- lang/Diagnostics.h - Diagnostic collection ---------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects compiler diagnostics. Library code never prints or exits;
+/// the driver decides how to render accumulated diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_LANG_DIAGNOSTICS_H
+#define SC_LANG_DIAGNOSTICS_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace sc {
+
+enum class DiagSeverity : uint8_t { Error, Warning, Note };
+
+/// One reported diagnostic with its location in the current file.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics during lexing, parsing, and sema.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics as "line:col: severity: message" lines,
+  /// prefixed with \p FileName when non-empty.
+  std::string render(const std::string &FileName = std::string()) const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace sc
+
+#endif // SC_LANG_DIAGNOSTICS_H

@@ -1,0 +1,294 @@
+//===- lang/Lexer.cpp - MiniC lexer implementation ------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace sc;
+
+const char *sc::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwGlobal:
+    return "'global'";
+  case TokenKind::KwImport:
+    return "'import'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwBreak:
+    return "'break'";
+  case TokenKind::KwContinue:
+    return "'continue'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  }
+  return "unknown token";
+}
+
+Lexer::Lexer(std::string_view Source, DiagnosticEngine &Diags)
+    : Source(Source), Diags(Diags) {}
+
+void Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Begin) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = Source.substr(Begin, Pos - Begin);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"fn", TokenKind::KwFn},           {"var", TokenKind::KwVar},
+      {"global", TokenKind::KwGlobal},   {"import", TokenKind::KwImport},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},   {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue}, {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"int", TokenKind::KwInt},
+      {"bool", TokenKind::KwBool},
+  };
+
+  size_t Begin = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  Token T = makeToken(TokenKind::Identifier, Begin);
+  auto It = Keywords.find(T.Text);
+  if (It != Keywords.end())
+    T.Kind = It->second;
+  return T;
+}
+
+Token Lexer::lexNumber() {
+  SourceLoc Start = loc();
+  size_t Begin = Pos;
+  uint64_t Value = 0;
+  bool Overflow = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) {
+    uint64_t Digit = static_cast<uint64_t>(advance() - '0');
+    if (Value > (UINT64_MAX - Digit) / 10)
+      Overflow = true;
+    else
+      Value = Value * 10 + Digit;
+  }
+  Token T = makeToken(TokenKind::IntLiteral, Begin);
+  T.Loc = Start;
+  if (Overflow) {
+    Diags.error(T.Loc, "integer literal is too large");
+    Value = 0;
+  }
+  // Wraps to the two's-complement interpretation; matches VM semantics.
+  T.IntValue = static_cast<int64_t>(Value);
+  return T;
+}
+
+Token Lexer::lexString() {
+  SourceLoc Start = loc();
+  size_t Begin = Pos;
+  advance(); // Consume the opening quote.
+  while (peek() != '"' && peek() != '\n' && peek() != '\0')
+    advance();
+  if (peek() != '"') {
+    Token T = makeToken(TokenKind::Error, Begin);
+    T.Loc = Start;
+    Diags.error(T.Loc, "unterminated string literal");
+    return T;
+  }
+  advance(); // Consume the closing quote.
+  Token T = makeToken(TokenKind::StringLiteral, Begin);
+  // Strip the quotes from the reported text.
+  T.Text = T.Text.substr(1, T.Text.size() - 2);
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  SourceLoc StartLoc = loc();
+  size_t Begin = Pos;
+
+  auto Finish = [&](Token T) {
+    T.Loc = StartLoc;
+    return T;
+  };
+
+  char C = peek();
+  if (C == '\0')
+    return Finish(makeToken(TokenKind::Eof, Begin));
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return Finish(lexIdentifierOrKeyword());
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return Finish(lexNumber());
+  if (C == '"')
+    return Finish(lexString());
+
+  advance();
+  auto Single = [&](TokenKind Kind) { return Finish(makeToken(Kind, Begin)); };
+  auto Double = [&](TokenKind Kind) {
+    advance();
+    return Finish(makeToken(Kind, Begin));
+  };
+
+  switch (C) {
+  case '(':
+    return Single(TokenKind::LParen);
+  case ')':
+    return Single(TokenKind::RParen);
+  case '{':
+    return Single(TokenKind::LBrace);
+  case '}':
+    return Single(TokenKind::RBrace);
+  case '[':
+    return Single(TokenKind::LBracket);
+  case ']':
+    return Single(TokenKind::RBracket);
+  case ',':
+    return Single(TokenKind::Comma);
+  case ';':
+    return Single(TokenKind::Semicolon);
+  case ':':
+    return Single(TokenKind::Colon);
+  case '+':
+    return Single(TokenKind::Plus);
+  case '-':
+    return peek() == '>' ? Double(TokenKind::Arrow) : Single(TokenKind::Minus);
+  case '*':
+    return Single(TokenKind::Star);
+  case '/':
+    return Single(TokenKind::Slash);
+  case '%':
+    return Single(TokenKind::Percent);
+  case '=':
+    return peek() == '=' ? Double(TokenKind::EqualEqual)
+                         : Single(TokenKind::Assign);
+  case '!':
+    return peek() == '=' ? Double(TokenKind::NotEqual)
+                         : Single(TokenKind::Not);
+  case '<':
+    return peek() == '=' ? Double(TokenKind::LessEqual)
+                         : Single(TokenKind::Less);
+  case '>':
+    return peek() == '=' ? Double(TokenKind::GreaterEqual)
+                         : Single(TokenKind::Greater);
+  case '&':
+    if (peek() == '&')
+      return Double(TokenKind::AmpAmp);
+    break;
+  case '|':
+    if (peek() == '|')
+      return Double(TokenKind::PipePipe);
+    break;
+  default:
+    break;
+  }
+
+  Token T = makeToken(TokenKind::Error, Begin);
+  T.Loc = StartLoc;
+  Diags.error(StartLoc, std::string("unexpected character '") + C + "'");
+  return T;
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = next();
+    Tokens.push_back(T);
+    if (T.is(TokenKind::Eof))
+      return Tokens;
+  }
+}

@@ -1,0 +1,69 @@
+//===- lang/Lexer.h - MiniC lexer -------------------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Supports `//` line comments, decimal
+/// integer literals, and double-quoted strings (used only by `import`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_LANG_LEXER_H
+#define SC_LANG_LEXER_H
+
+#include "lang/Diagnostics.h"
+#include "lang/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace sc {
+
+/// Converts a source buffer into a token stream. The buffer must stay
+/// alive while any produced Token is in use (tokens hold string_views).
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token (Eof repeatedly at end of input).
+  Token next();
+
+  /// Lexes the whole buffer, including the trailing Eof token.
+  std::vector<Token> lexAll();
+
+private:
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, size_t Begin);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+  Token lexString();
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+
+  char advance() {
+    char C = Source[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  SourceLoc loc() const { return {Line, Col}; }
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Col = 1;
+};
+
+} // namespace sc
+
+#endif // SC_LANG_LEXER_H

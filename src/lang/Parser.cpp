@@ -1,0 +1,647 @@
+//===- lang/Parser.cpp - MiniC parser implementation ----------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+using namespace sc;
+
+const char *sc::typeNameSpelling(TypeName T) {
+  switch (T) {
+  case TypeName::Int:
+    return "int";
+  case TypeName::Bool:
+    return "bool";
+  case TypeName::Void:
+    return "void";
+  }
+  return "?";
+}
+
+const char *sc::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+Parser::Parser(std::string_view Source, DiagnosticEngine &Diags)
+    : Diags(Diags) {
+  Lexer Lex(Source, Diags);
+  Tokens = Lex.lexAll();
+  Tok = Tokens[Index];
+}
+
+void Parser::consume() {
+  if (Index + 1 < Tokens.size())
+    ++Index;
+  Tok = Tokens[Index];
+}
+
+const Token &Parser::peekAhead(size_t N) const {
+  size_t I = Index + N;
+  return I < Tokens.size() ? Tokens[I] : Tokens.back();
+}
+
+void Parser::restore(size_t Saved) {
+  Index = Saved;
+  Tok = Tokens[Index];
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(Tok.Loc, std::string("expected ") + tokenKindName(Kind) +
+                           " in " + Context + ", found " +
+                           tokenKindName(Tok.Kind));
+  return false;
+}
+
+/// Skips tokens until a plausible declaration/statement boundary.
+void Parser::skipToRecoveryPoint() {
+  while (!check(TokenKind::Eof)) {
+    if (accept(TokenKind::Semicolon))
+      return;
+    if (check(TokenKind::RBrace) || check(TokenKind::KwFn) ||
+        check(TokenKind::KwGlobal) || check(TokenKind::KwImport))
+      return;
+    consume();
+  }
+}
+
+std::unique_ptr<ModuleAST> Parser::parseModule() {
+  auto M = std::make_unique<ModuleAST>();
+  while (!check(TokenKind::Eof)) {
+    if (check(TokenKind::KwImport)) {
+      parseImport(*M);
+      continue;
+    }
+    if (check(TokenKind::KwGlobal)) {
+      parseGlobal(*M);
+      continue;
+    }
+    if (check(TokenKind::KwFn)) {
+      if (auto F = parseFunction())
+        M->Functions.push_back(std::move(F));
+      continue;
+    }
+    Diags.error(Tok.Loc, std::string("expected top-level declaration, found ") +
+                             tokenKindName(Tok.Kind));
+    consume();
+    skipToRecoveryPoint();
+  }
+  return M;
+}
+
+void Parser::parseImport(ModuleAST &M) {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'import'
+  if (!check(TokenKind::StringLiteral)) {
+    Diags.error(Tok.Loc, "expected string literal after 'import'");
+    skipToRecoveryPoint();
+    return;
+  }
+  ImportDecl Import;
+  Import.Path = std::string(Tok.Text);
+  Import.Loc = Loc;
+  consume();
+  expect(TokenKind::Semicolon, "import declaration");
+  M.Imports.push_back(std::move(Import));
+}
+
+void Parser::parseGlobal(ModuleAST &M) {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'global'
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected identifier after 'global'");
+    skipToRecoveryPoint();
+    return;
+  }
+  GlobalDecl G;
+  G.Name = std::string(Tok.Text);
+  G.Loc = Loc;
+  consume();
+
+  if (accept(TokenKind::LBracket)) {
+    if (!check(TokenKind::IntLiteral)) {
+      Diags.error(Tok.Loc, "expected array size in global array declaration");
+      skipToRecoveryPoint();
+      return;
+    }
+    G.IsArray = true;
+    G.ArraySize = static_cast<uint64_t>(Tok.IntValue);
+    if (Tok.IntValue <= 0)
+      Diags.error(Tok.Loc, "global array size must be positive");
+    consume();
+    expect(TokenKind::RBracket, "global array declaration");
+  } else if (accept(TokenKind::Assign)) {
+    bool Negative = accept(TokenKind::Minus);
+    if (!check(TokenKind::IntLiteral)) {
+      Diags.error(Tok.Loc, "expected integer initializer for global");
+      skipToRecoveryPoint();
+      return;
+    }
+    G.InitValue = Negative ? -Tok.IntValue : Tok.IntValue;
+    consume();
+  }
+  expect(TokenKind::Semicolon, "global declaration");
+  M.Globals.push_back(std::move(G));
+}
+
+bool Parser::parseType(TypeName &Out) {
+  if (accept(TokenKind::KwInt)) {
+    Out = TypeName::Int;
+    return true;
+  }
+  if (accept(TokenKind::KwBool)) {
+    Out = TypeName::Bool;
+    return true;
+  }
+  Diags.error(Tok.Loc,
+              std::string("expected type, found ") + tokenKindName(Tok.Kind));
+  return false;
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunction() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'fn'
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(Tok.Loc, "expected function name after 'fn'");
+    skipToRecoveryPoint();
+    return nullptr;
+  }
+  std::string Name(Tok.Text);
+  consume();
+
+  if (!expect(TokenKind::LParen, "function declaration")) {
+    skipToRecoveryPoint();
+    return nullptr;
+  }
+
+  std::vector<ParamDecl> Params;
+  if (!check(TokenKind::RParen)) {
+    do {
+      if (!check(TokenKind::Identifier)) {
+        Diags.error(Tok.Loc, "expected parameter name");
+        skipToRecoveryPoint();
+        return nullptr;
+      }
+      ParamDecl P;
+      P.Name = std::string(Tok.Text);
+      P.Loc = Tok.Loc;
+      consume();
+      if (!expect(TokenKind::Colon, "parameter declaration") ||
+          !parseType(P.Type)) {
+        skipToRecoveryPoint();
+        return nullptr;
+      }
+      Params.push_back(std::move(P));
+    } while (accept(TokenKind::Comma));
+  }
+  if (!expect(TokenKind::RParen, "function declaration")) {
+    skipToRecoveryPoint();
+    return nullptr;
+  }
+
+  TypeName RetType = TypeName::Void;
+  if (accept(TokenKind::Arrow)) {
+    if (!parseType(RetType)) {
+      skipToRecoveryPoint();
+      return nullptr;
+    }
+  }
+
+  if (!check(TokenKind::LBrace)) {
+    Diags.error(Tok.Loc, "expected '{' to begin function body");
+    skipToRecoveryPoint();
+    return nullptr;
+  }
+  auto Body = parseBlock();
+  if (!Body)
+    return nullptr;
+  return std::make_unique<FunctionDecl>(std::move(Name), std::move(Params),
+                                        RetType, std::move(Body), Loc);
+}
+
+std::unique_ptr<BlockStmt> Parser::parseBlock() {
+  SourceLoc Loc = Tok.Loc;
+  if (!expect(TokenKind::LBrace, "block"))
+    return nullptr;
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::Eof)) {
+    if (auto S = parseStatement()) {
+      Stmts.push_back(std::move(S));
+      continue;
+    }
+    skipToRecoveryPoint();
+  }
+  expect(TokenKind::RBrace, "block");
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+StmtPtr Parser::parseStatement() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KwIf:
+    return parseIf();
+  case TokenKind::KwWhile: {
+    consume();
+    if (!expect(TokenKind::LParen, "while statement"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokenKind::RParen, "while statement"))
+      return nullptr;
+    auto Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+  }
+  case TokenKind::KwFor: {
+    consume();
+    if (!expect(TokenKind::LParen, "for statement"))
+      return nullptr;
+    StmtPtr Init;
+    if (!accept(TokenKind::Semicolon)) {
+      Init = parseSimpleStatement(/*RequireSemicolon=*/true);
+      if (!Init)
+        return nullptr;
+    }
+    ExprPtr Cond;
+    if (!check(TokenKind::Semicolon)) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "for statement"))
+      return nullptr;
+    StmtPtr Step;
+    if (!check(TokenKind::RParen)) {
+      Step = parseSimpleStatement(/*RequireSemicolon=*/false);
+      if (!Step)
+        return nullptr;
+    }
+    if (!expect(TokenKind::RParen, "for statement"))
+      return nullptr;
+    auto Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body), Loc);
+  }
+  case TokenKind::KwReturn: {
+    consume();
+    ExprPtr Value;
+    if (!check(TokenKind::Semicolon)) {
+      Value = parseExpr();
+      if (!Value)
+        return nullptr;
+    }
+    if (!expect(TokenKind::Semicolon, "return statement"))
+      return nullptr;
+    return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+  }
+  case TokenKind::KwBreak:
+    consume();
+    if (!expect(TokenKind::Semicolon, "break statement"))
+      return nullptr;
+    return std::make_unique<BreakStmt>(Loc);
+  case TokenKind::KwContinue:
+    consume();
+    if (!expect(TokenKind::Semicolon, "continue statement"))
+      return nullptr;
+    return std::make_unique<ContinueStmt>(Loc);
+  default:
+    return parseSimpleStatement(/*RequireSemicolon=*/true);
+  }
+}
+
+/// Parses var-decl / assignment / expression statements — the statement
+/// forms allowed in `for` init and step clauses.
+StmtPtr Parser::parseSimpleStatement(bool RequireSemicolon) {
+  SourceLoc Loc = Tok.Loc;
+
+  auto FinishSemicolon = [&](StmtPtr S) -> StmtPtr {
+    if (RequireSemicolon && !expect(TokenKind::Semicolon, "statement"))
+      return nullptr;
+    return S;
+  };
+
+  if (check(TokenKind::KwVar)) {
+    consume();
+    if (!check(TokenKind::Identifier)) {
+      Diags.error(Tok.Loc, "expected variable name after 'var'");
+      return nullptr;
+    }
+    std::string Name(Tok.Text);
+    consume();
+
+    // `var buf[N];` — local array.
+    if (accept(TokenKind::LBracket)) {
+      if (!check(TokenKind::IntLiteral)) {
+        Diags.error(Tok.Loc, "expected array size in local array declaration");
+        return nullptr;
+      }
+      uint64_t Size = static_cast<uint64_t>(Tok.IntValue);
+      if (Tok.IntValue <= 0)
+        Diags.error(Tok.Loc, "local array size must be positive");
+      consume();
+      if (!expect(TokenKind::RBracket, "array declaration"))
+        return nullptr;
+      return FinishSemicolon(
+          std::make_unique<ArrayDeclStmt>(std::move(Name), Size, Loc));
+    }
+
+    TypeName DeclType = TypeName::Int;
+    bool Explicit = false;
+    if (accept(TokenKind::Colon)) {
+      if (!parseType(DeclType))
+        return nullptr;
+      Explicit = true;
+    }
+    if (!expect(TokenKind::Assign, "variable declaration"))
+      return nullptr;
+    ExprPtr Init = parseExpr();
+    if (!Init)
+      return nullptr;
+    return FinishSemicolon(std::make_unique<VarDeclStmt>(
+        std::move(Name), DeclType, Explicit, std::move(Init), Loc));
+  }
+
+  // Distinguish `x = e;`, `a[i] = e;`, and expression statements.
+  if (check(TokenKind::Identifier)) {
+    if (peekAhead().is(TokenKind::Assign)) {
+      std::string Name(Tok.Text);
+      consume(); // Name.
+      consume(); // '='.
+      ExprPtr Value = parseExpr();
+      if (!Value)
+        return nullptr;
+      return FinishSemicolon(
+          std::make_unique<AssignStmt>(std::move(Name), std::move(Value), Loc));
+    }
+    if (peekAhead().is(TokenKind::LBracket)) {
+      // Could be `a[i] = e;` (index assignment) or an expression that
+      // merely starts with `a[i]`. Try the assignment form first and
+      // backtrack on mismatch.
+      size_t Saved = save();
+      std::string Name(Tok.Text);
+      consume(); // Name.
+      consume(); // '['.
+      ExprPtr Index = parseExpr();
+      if (Index && accept(TokenKind::RBracket) && accept(TokenKind::Assign)) {
+        ExprPtr Value = parseExpr();
+        if (!Value)
+          return nullptr;
+        return FinishSemicolon(std::make_unique<IndexAssignStmt>(
+            std::move(Name), std::move(Index), std::move(Value), Loc));
+      }
+      restore(Saved);
+    }
+  }
+
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  return FinishSemicolon(std::make_unique<ExprStmt>(std::move(E), Loc));
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = Tok.Loc;
+  consume(); // 'if'
+  if (!expect(TokenKind::LParen, "if statement"))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond || !expect(TokenKind::RParen, "if statement"))
+    return nullptr;
+  auto Then = parseBlock();
+  if (!Then)
+    return nullptr;
+  StmtPtr Else;
+  if (accept(TokenKind::KwElse)) {
+    if (check(TokenKind::KwIf))
+      Else = parseIf();
+    else
+      Else = parseBlock();
+    if (!Else)
+      return nullptr;
+  }
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseOr(); }
+
+ExprPtr Parser::parseOr() {
+  ExprPtr LHS = parseAnd();
+  while (LHS && check(TokenKind::PipePipe)) {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    ExprPtr RHS = parseAnd();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::Or, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr LHS = parseComparison();
+  while (LHS && check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    ExprPtr RHS = parseComparison();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(BinaryOp::And, std::move(LHS),
+                                       std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseComparison() {
+  ExprPtr LHS = parseAdditive();
+  if (!LHS)
+    return nullptr;
+  BinaryOp Op;
+  switch (Tok.Kind) {
+  case TokenKind::EqualEqual:
+    Op = BinaryOp::Eq;
+    break;
+  case TokenKind::NotEqual:
+    Op = BinaryOp::Ne;
+    break;
+  case TokenKind::Less:
+    Op = BinaryOp::Lt;
+    break;
+  case TokenKind::LessEqual:
+    Op = BinaryOp::Le;
+    break;
+  case TokenKind::Greater:
+    Op = BinaryOp::Gt;
+    break;
+  case TokenKind::GreaterEqual:
+    Op = BinaryOp::Ge;
+    break;
+  default:
+    return LHS;
+  }
+  SourceLoc Loc = Tok.Loc;
+  consume();
+  ExprPtr RHS = parseAdditive();
+  if (!RHS)
+    return nullptr;
+  return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS), Loc);
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr LHS = parseMultiplicative();
+  while (LHS && (check(TokenKind::Plus) || check(TokenKind::Minus))) {
+    BinaryOp Op = check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    ExprPtr RHS = parseMultiplicative();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr LHS = parseUnary();
+  while (LHS && (check(TokenKind::Star) || check(TokenKind::Slash) ||
+                 check(TokenKind::Percent))) {
+    BinaryOp Op = check(TokenKind::Star)    ? BinaryOp::Mul
+                  : check(TokenKind::Slash) ? BinaryOp::Div
+                                            : BinaryOp::Rem;
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    ExprPtr RHS = parseUnary();
+    if (!RHS)
+      return nullptr;
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS), Loc);
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(Operand), Loc);
+  }
+  if (check(TokenKind::Not)) {
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    ExprPtr Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(Operand), Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  if (check(TokenKind::Identifier)) {
+    std::string Name(Tok.Text);
+    SourceLoc Loc = Tok.Loc;
+    consume();
+    if (check(TokenKind::LParen)) {
+      consume();
+      std::vector<ExprPtr> Args;
+      if (!check(TokenKind::RParen)) {
+        do {
+          ExprPtr Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          Args.push_back(std::move(Arg));
+        } while (accept(TokenKind::Comma));
+      }
+      if (!expect(TokenKind::RParen, "call expression"))
+        return nullptr;
+      return std::make_unique<CallExpr>(std::move(Name), std::move(Args), Loc);
+    }
+    if (check(TokenKind::LBracket)) {
+      consume();
+      ExprPtr Index = parseExpr();
+      if (!Index || !expect(TokenKind::RBracket, "index expression"))
+        return nullptr;
+      return std::make_unique<IndexExpr>(std::move(Name), std::move(Index),
+                                         Loc);
+    }
+    return std::make_unique<VarRefExpr>(std::move(Name), Loc);
+  }
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  SourceLoc Loc = Tok.Loc;
+  switch (Tok.Kind) {
+  case TokenKind::IntLiteral: {
+    int64_t V = Tok.IntValue;
+    consume();
+    return std::make_unique<IntLiteralExpr>(V, Loc);
+  }
+  case TokenKind::KwTrue:
+    consume();
+    return std::make_unique<BoolLiteralExpr>(true, Loc);
+  case TokenKind::KwFalse:
+    consume();
+    return std::make_unique<BoolLiteralExpr>(false, Loc);
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokenKind::RParen, "parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  default:
+    Diags.error(Loc, std::string("expected expression, found ") +
+                         tokenKindName(Tok.Kind));
+    return nullptr;
+  }
+}

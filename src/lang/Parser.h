@@ -1,0 +1,76 @@
+//===- lang/Parser.h - MiniC recursive-descent parser -----------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser producing a ModuleAST. On syntax errors the
+/// parser reports a diagnostic and recovers at statement/declaration
+/// boundaries so multiple errors can be reported in one run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_LANG_PARSER_H
+#define SC_LANG_PARSER_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+#include "lang/Lexer.h"
+
+#include <memory>
+
+namespace sc {
+
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticEngine &Diags);
+
+  /// Parses a whole translation unit. Always returns a module (possibly
+  /// partial); check Diags.hasErrors() for validity.
+  std::unique_ptr<ModuleAST> parseModule();
+
+private:
+  // Token cursor over the pre-lexed buffer. save()/restore() give the
+  // parser cheap backtracking for statement disambiguation.
+  void consume();
+  bool check(TokenKind Kind) const { return Tok.is(Kind); }
+  const Token &peekAhead(size_t N = 1) const;
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void skipToRecoveryPoint();
+  size_t save() const { return Index; }
+  void restore(size_t Saved);
+
+  // Declarations.
+  void parseImport(ModuleAST &M);
+  void parseGlobal(ModuleAST &M);
+  std::unique_ptr<FunctionDecl> parseFunction();
+  bool parseType(TypeName &Out);
+
+  // Statements.
+  std::unique_ptr<BlockStmt> parseBlock();
+  StmtPtr parseStatement();
+  StmtPtr parseSimpleStatement(bool RequireSemicolon);
+  StmtPtr parseIf();
+
+  // Expressions (precedence climbing via nested productions).
+  ExprPtr parseExpr();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseComparison();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  DiagnosticEngine &Diags;
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  Token Tok;
+};
+
+} // namespace sc
+
+#endif // SC_LANG_PARSER_H

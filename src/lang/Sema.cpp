@@ -1,0 +1,410 @@
+//===- lang/Sema.cpp - MiniC semantic analysis implementation -------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "support/Casting.h"
+
+#include <cassert>
+
+using namespace sc;
+
+const FunctionSignature &sc::printBuiltinSignature() {
+  static const FunctionSignature Sig{"print", {TypeName::Int}, TypeName::Void};
+  return Sig;
+}
+
+namespace {
+
+/// What a name refers to in the local/global environment.
+struct VarInfo {
+  TypeName Type = TypeName::Int;
+  bool IsArray = false;
+  bool IsGlobal = false;
+};
+
+class SemaVisitor {
+public:
+  SemaVisitor(ModuleAST &M, const ModuleInterface &Imported,
+              DiagnosticEngine &Diags)
+      : M(M), Diags(Diags) {
+    Functions[printBuiltinSignature().Name] = printBuiltinSignature();
+    for (const FunctionSignature &Sig : Imported) {
+      if (Functions.count(Sig.Name))
+        continue; // First import wins; duplicate imports are benign.
+      Functions[Sig.Name] = Sig;
+    }
+  }
+
+  ModuleInterface run() {
+    ModuleInterface Exported;
+    collectGlobals();
+    // Two-phase: register all local signatures first so functions can
+    // call each other regardless of declaration order.
+    for (const auto &F : M.Functions) {
+      FunctionSignature Sig;
+      Sig.Name = F->name();
+      Sig.ReturnType = F->returnType();
+      for (const ParamDecl &P : F->params())
+        Sig.ParamTypes.push_back(P.Type);
+      if (Functions.count(Sig.Name) &&
+          Sig.Name != printBuiltinSignature().Name) {
+        // Shadowing an imported function is an error; redefining a local
+        // one is too. (The builtin can never be redefined.)
+        Diags.error(F->loc(), "redefinition of function '" + Sig.Name + "'");
+      } else if (Sig.Name == printBuiltinSignature().Name) {
+        Diags.error(F->loc(), "cannot redefine builtin 'print'");
+      }
+      Functions[Sig.Name] = Sig;
+      Exported.push_back(std::move(Sig));
+    }
+    for (const auto &F : M.Functions)
+      checkFunction(*F);
+    return Exported;
+  }
+
+private:
+  void collectGlobals() {
+    for (const GlobalDecl &G : M.Globals) {
+      if (GlobalVars.count(G.Name)) {
+        Diags.error(G.Loc, "redefinition of global '" + G.Name + "'");
+        continue;
+      }
+      VarInfo Info;
+      Info.Type = TypeName::Int;
+      Info.IsArray = G.IsArray;
+      Info.IsGlobal = true;
+      GlobalVars[G.Name] = Info;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Scope management
+  //===--------------------------------------------------------------------===//
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declareLocal(const std::string &Name, VarInfo Info, SourceLoc Loc) {
+    assert(!Scopes.empty() && "no active scope");
+    auto &Scope = Scopes.back();
+    if (Scope.count(Name)) {
+      Diags.error(Loc, "redeclaration of '" + Name + "' in the same scope");
+      return false;
+    }
+    Scope[Name] = Info;
+    return true;
+  }
+
+  /// Looks up \p Name through local scopes, then globals.
+  const VarInfo *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    auto Found = GlobalVars.find(Name);
+    if (Found != GlobalVars.end())
+      return &Found->second;
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Function and statement checking
+  //===--------------------------------------------------------------------===//
+
+  void checkFunction(const FunctionDecl &F) {
+    CurrentReturnType = F.returnType();
+    LoopDepth = 0;
+    Scopes.clear();
+    pushScope();
+    for (const ParamDecl &P : F.params())
+      declareLocal(P.Name, {P.Type, /*IsArray=*/false, /*IsGlobal=*/false},
+                   P.Loc);
+    checkBlock(*F.body());
+    popScope();
+  }
+
+  void checkBlock(const BlockStmt &B) {
+    pushScope();
+    for (const StmtPtr &S : B.statements())
+      checkStmt(*S);
+    popScope();
+  }
+
+  void checkStmt(Stmt &S) {
+    switch (S.kind()) {
+    case Stmt::Kind::Block:
+      checkBlock(*cast<BlockStmt>(&S));
+      return;
+    case Stmt::Kind::VarDecl: {
+      auto *VD = cast<VarDeclStmt>(&S);
+      TypeName InitType = checkExpr(*VD->init());
+      TypeName DeclType = VD->hasExplicitType() ? VD->declType() : InitType;
+      if (InitType != TypeName::Void && DeclType != InitType)
+        Diags.error(S.loc(), std::string("cannot initialize '") + VD->name() +
+                                 "' of type " + typeNameSpelling(DeclType) +
+                                 " with " + typeNameSpelling(InitType));
+      if (InitType == TypeName::Void)
+        Diags.error(S.loc(), "cannot initialize a variable with a void value");
+      declareLocal(VD->name(),
+                   {DeclType, /*IsArray=*/false, /*IsGlobal=*/false}, S.loc());
+      return;
+    }
+    case Stmt::Kind::ArrayDecl: {
+      auto *AD = cast<ArrayDeclStmt>(&S);
+      declareLocal(AD->name(),
+                   {TypeName::Int, /*IsArray=*/true, /*IsGlobal=*/false},
+                   S.loc());
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      auto *AS = cast<AssignStmt>(&S);
+      const VarInfo *Info = lookup(AS->name());
+      if (!Info) {
+        Diags.error(S.loc(), "assignment to undeclared variable '" +
+                                 AS->name() + "'");
+        checkExpr(*AS->value());
+        return;
+      }
+      if (Info->IsArray) {
+        Diags.error(S.loc(),
+                    "cannot assign to array '" + AS->name() + "' directly");
+        checkExpr(*AS->value());
+        return;
+      }
+      AS->IsGlobal = Info->IsGlobal;
+      TypeName ValueType = checkExpr(*AS->value());
+      if (ValueType != Info->Type)
+        Diags.error(S.loc(), std::string("cannot assign ") +
+                                 typeNameSpelling(ValueType) + " to '" +
+                                 AS->name() + "' of type " +
+                                 typeNameSpelling(Info->Type));
+      return;
+    }
+    case Stmt::Kind::IndexAssign: {
+      auto *IA = cast<IndexAssignStmt>(&S);
+      const VarInfo *Info = lookup(IA->arrayName());
+      if (!Info) {
+        Diags.error(S.loc(),
+                    "use of undeclared array '" + IA->arrayName() + "'");
+      } else if (!Info->IsArray) {
+        Diags.error(S.loc(), "'" + IA->arrayName() + "' is not an array");
+      } else {
+        IA->IsGlobal = Info->IsGlobal;
+      }
+      if (checkExpr(*IA->index()) != TypeName::Int)
+        Diags.error(IA->index()->loc(), "array index must be int");
+      if (checkExpr(*IA->value()) != TypeName::Int)
+        Diags.error(IA->value()->loc(), "array element value must be int");
+      return;
+    }
+    case Stmt::Kind::If: {
+      auto *If = cast<IfStmt>(&S);
+      if (checkExpr(*If->cond()) != TypeName::Bool)
+        Diags.error(If->cond()->loc(), "if condition must be bool");
+      checkStmt(*If->thenBranch());
+      if (If->elseBranch())
+        checkStmt(*If->elseBranch());
+      return;
+    }
+    case Stmt::Kind::While: {
+      auto *W = cast<WhileStmt>(&S);
+      if (checkExpr(*W->cond()) != TypeName::Bool)
+        Diags.error(W->cond()->loc(), "while condition must be bool");
+      ++LoopDepth;
+      checkStmt(*W->body());
+      --LoopDepth;
+      return;
+    }
+    case Stmt::Kind::For: {
+      auto *F = cast<ForStmt>(&S);
+      pushScope(); // The init clause's declarations scope over the loop.
+      if (F->init())
+        checkStmt(*F->init());
+      if (F->cond() && checkExpr(*F->cond()) != TypeName::Bool)
+        Diags.error(F->cond()->loc(), "for condition must be bool");
+      if (F->step())
+        checkStmt(*F->step());
+      ++LoopDepth;
+      checkStmt(*F->body());
+      --LoopDepth;
+      popScope();
+      return;
+    }
+    case Stmt::Kind::Return: {
+      auto *R = cast<ReturnStmt>(&S);
+      if (!R->value()) {
+        if (CurrentReturnType != TypeName::Void)
+          Diags.error(S.loc(), "non-void function must return a value");
+        return;
+      }
+      TypeName ValueType = checkExpr(*R->value());
+      if (CurrentReturnType == TypeName::Void)
+        Diags.error(S.loc(), "void function cannot return a value");
+      else if (ValueType != CurrentReturnType)
+        Diags.error(S.loc(), std::string("return type mismatch: expected ") +
+                                 typeNameSpelling(CurrentReturnType) +
+                                 ", got " + typeNameSpelling(ValueType));
+      return;
+    }
+    case Stmt::Kind::Break:
+      if (LoopDepth == 0)
+        Diags.error(S.loc(), "'break' outside of a loop");
+      return;
+    case Stmt::Kind::Continue:
+      if (LoopDepth == 0)
+        Diags.error(S.loc(), "'continue' outside of a loop");
+      return;
+    case Stmt::Kind::Expr:
+      checkExpr(*cast<ExprStmt>(&S)->expr());
+      return;
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression checking
+  //===--------------------------------------------------------------------===//
+
+  TypeName checkExpr(Expr &E) {
+    TypeName T = checkExprImpl(E);
+    E.ExprType = T;
+    return T;
+  }
+
+  TypeName checkExprImpl(Expr &E) {
+    switch (E.kind()) {
+    case Expr::Kind::IntLiteral:
+      return TypeName::Int;
+    case Expr::Kind::BoolLiteral:
+      return TypeName::Bool;
+    case Expr::Kind::VarRef: {
+      auto *Ref = cast<VarRefExpr>(&E);
+      const VarInfo *Info = lookup(Ref->name());
+      if (!Info) {
+        Diags.error(E.loc(),
+                    "use of undeclared variable '" + Ref->name() + "'");
+        return TypeName::Int;
+      }
+      if (Info->IsArray) {
+        Diags.error(E.loc(), "array '" + Ref->name() +
+                                 "' must be indexed to produce a value");
+        return TypeName::Int;
+      }
+      Ref->IsGlobal = Info->IsGlobal;
+      return Info->Type;
+    }
+    case Expr::Kind::Unary: {
+      auto *U = cast<UnaryExpr>(&E);
+      TypeName OperandType = checkExpr(*U->operand());
+      if (U->op() == UnaryOp::Neg) {
+        if (OperandType != TypeName::Int)
+          Diags.error(E.loc(), "unary '-' requires an int operand");
+        return TypeName::Int;
+      }
+      if (OperandType != TypeName::Bool)
+        Diags.error(E.loc(), "'!' requires a bool operand");
+      return TypeName::Bool;
+    }
+    case Expr::Kind::Binary: {
+      auto *B = cast<BinaryExpr>(&E);
+      TypeName L = checkExpr(*B->lhs());
+      TypeName R = checkExpr(*B->rhs());
+      switch (B->op()) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+      case BinaryOp::Div:
+      case BinaryOp::Rem:
+        if (L != TypeName::Int || R != TypeName::Int)
+          Diags.error(E.loc(), std::string("'") + binaryOpSpelling(B->op()) +
+                                   "' requires int operands");
+        return TypeName::Int;
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge:
+        if (L != TypeName::Int || R != TypeName::Int)
+          Diags.error(E.loc(), std::string("'") + binaryOpSpelling(B->op()) +
+                                   "' requires int operands");
+        return TypeName::Bool;
+      case BinaryOp::Eq:
+      case BinaryOp::Ne:
+        if (L != R || L == TypeName::Void)
+          Diags.error(E.loc(), std::string("'") + binaryOpSpelling(B->op()) +
+                                   "' requires operands of the same "
+                                   "non-void type");
+        return TypeName::Bool;
+      case BinaryOp::And:
+      case BinaryOp::Or:
+        if (L != TypeName::Bool || R != TypeName::Bool)
+          Diags.error(E.loc(), std::string("'") + binaryOpSpelling(B->op()) +
+                                   "' requires bool operands");
+        return TypeName::Bool;
+      }
+      return TypeName::Int;
+    }
+    case Expr::Kind::Call: {
+      auto *C = cast<CallExpr>(&E);
+      auto It = Functions.find(C->callee());
+      if (It == Functions.end()) {
+        Diags.error(E.loc(), "call to undeclared function '" + C->callee() +
+                                 "' (missing import?)");
+        for (const ExprPtr &Arg : C->args())
+          checkExpr(*Arg);
+        return TypeName::Int;
+      }
+      const FunctionSignature &Sig = It->second;
+      if (C->args().size() != Sig.ParamTypes.size())
+        Diags.error(E.loc(), "'" + C->callee() + "' expects " +
+                                 std::to_string(Sig.ParamTypes.size()) +
+                                 " argument(s), got " +
+                                 std::to_string(C->args().size()));
+      for (size_t I = 0; I != C->args().size(); ++I) {
+        TypeName ArgType = checkExpr(*C->args()[I]);
+        if (I < Sig.ParamTypes.size() && ArgType != Sig.ParamTypes[I])
+          Diags.error(C->args()[I]->loc(),
+                      "argument " + std::to_string(I + 1) + " of '" +
+                          C->callee() + "' must be " +
+                          typeNameSpelling(Sig.ParamTypes[I]));
+      }
+      return Sig.ReturnType;
+    }
+    case Expr::Kind::Index: {
+      auto *Idx = cast<IndexExpr>(&E);
+      const VarInfo *Info = lookup(Idx->arrayName());
+      if (!Info) {
+        Diags.error(E.loc(),
+                    "use of undeclared array '" + Idx->arrayName() + "'");
+      } else if (!Info->IsArray) {
+        Diags.error(E.loc(), "'" + Idx->arrayName() + "' is not an array");
+      } else {
+        Idx->IsGlobal = Info->IsGlobal;
+      }
+      if (checkExpr(*Idx->index()) != TypeName::Int)
+        Diags.error(Idx->index()->loc(), "array index must be int");
+      return TypeName::Int;
+    }
+    }
+    return TypeName::Int;
+  }
+
+  ModuleAST &M;
+  DiagnosticEngine &Diags;
+  std::map<std::string, FunctionSignature> Functions;
+  std::map<std::string, VarInfo> GlobalVars;
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+  TypeName CurrentReturnType = TypeName::Void;
+  unsigned LoopDepth = 0;
+};
+
+} // namespace
+
+ModuleInterface sc::analyzeModule(ModuleAST &M, const ModuleInterface &Imported,
+                                  DiagnosticEngine &Diags) {
+  SemaVisitor V(M, Imported, Diags);
+  return V.run();
+}

@@ -1,0 +1,61 @@
+//===- lang/Sema.h - MiniC semantic analysis --------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Type checking and name resolution for a parsed ModuleAST. Sema
+/// annotates the AST in place (expression types, global-reference
+/// flags) and computes the module's exported interface, which the build
+/// system hands to importers.
+///
+/// Cross-module model: `import "x.mc"` makes the *functions* of x.mc
+/// callable; globals are always module-private. The builtin
+/// `print(int)` is available everywhere and is lowered to a VM
+/// intrinsic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_LANG_SEMA_H
+#define SC_LANG_SEMA_H
+
+#include "lang/AST.h"
+#include "lang/Diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Callable signature as seen by importers and the linker.
+struct FunctionSignature {
+  std::string Name;
+  std::vector<TypeName> ParamTypes;
+  TypeName ReturnType = TypeName::Void;
+
+  bool operator==(const FunctionSignature &RHS) const {
+    return Name == RHS.Name && ParamTypes == RHS.ParamTypes &&
+           ReturnType == RHS.ReturnType;
+  }
+};
+
+/// The exported interface of one module: its public functions.
+using ModuleInterface = std::vector<FunctionSignature>;
+
+/// Runs semantic analysis over \p M.
+///
+/// \param Imported functions made visible by the module's imports
+///        (resolved by the caller — the driver or build system).
+/// \returns the module's own exported interface (valid even when
+///          diagnostics were reported, for best-effort tooling).
+ModuleInterface analyzeModule(ModuleAST &M, const ModuleInterface &Imported,
+                              DiagnosticEngine &Diags);
+
+/// Returns the signature of the `print` builtin.
+const FunctionSignature &printBuiltinSignature();
+
+} // namespace sc
+
+#endif // SC_LANG_SEMA_H

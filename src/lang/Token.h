@@ -1,0 +1,104 @@
+//===- lang/Token.h - MiniC token definitions -------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds and the Token value type produced by the Lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_LANG_TOKEN_H
+#define SC_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sc {
+
+/// Source position (1-based line and column) within a single file.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+enum class TokenKind : uint8_t {
+  // Sentinels.
+  Eof,
+  Error,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+
+  // Keywords.
+  KwFn,
+  KwVar,
+  KwGlobal,
+  KwImport,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  KwInt,
+  KwBool,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Arrow, // ->
+
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Assign,       // =
+  EqualEqual,   // ==
+  NotEqual,     // !=
+  Less,         // <
+  LessEqual,    // <=
+  Greater,      // >
+  GreaterEqual, // >=
+  AmpAmp,       // &&
+  PipePipe,     // ||
+  Not,          // !
+};
+
+/// Returns a human-readable spelling for diagnostics ("'=='", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token. \c Text references the source buffer, so a Token
+/// must not outlive the string the Lexer was constructed with.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string_view Text;
+  SourceLoc Loc;
+
+  /// Integer value; only meaningful when Kind == IntLiteral.
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace sc
+
+#endif // SC_LANG_TOKEN_H

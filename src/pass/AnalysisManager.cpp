@@ -1,0 +1,51 @@
+//===- pass/AnalysisManager.cpp - Analysis caching -----------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/AnalysisManager.h"
+
+using namespace sc;
+
+const DominatorTree &AnalysisManager::domTree(const Function &F) {
+  auto &Slot = PerFunction[&F];
+  if (!Slot.DT) {
+    Slot.DT = std::make_unique<DominatorTree>(DominatorTree::compute(F));
+    ++NumDomTrees;
+  }
+  return *Slot.DT;
+}
+
+const LoopInfo &AnalysisManager::loopInfo(const Function &F) {
+  auto &Slot = PerFunction[&F];
+  if (!Slot.LI) {
+    Slot.LI = std::make_unique<LoopInfo>(LoopInfo::compute(F, domTree(F)));
+    ++NumLoopInfos;
+  }
+  return *Slot.LI;
+}
+
+const PurityInfo &AnalysisManager::purity() {
+  if (!Purity)
+    Purity = std::make_unique<PurityInfo>(PurityInfo::compute(M));
+  return *Purity;
+}
+
+const CallGraph &AnalysisManager::callGraph() {
+  if (!CG)
+    CG = std::make_unique<CallGraph>(CallGraph::compute(M));
+  return *CG;
+}
+
+void AnalysisManager::invalidate(const Function &F) {
+  PerFunction.erase(&F);
+  Purity.reset();
+  CG.reset();
+}
+
+void AnalysisManager::invalidateAll() {
+  PerFunction.clear();
+  Purity.reset();
+  CG.reset();
+}

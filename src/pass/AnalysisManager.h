@@ -1,0 +1,77 @@
+//===- pass/AnalysisManager.h - Analysis caching ----------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Caches analysis results between passes and recomputes them lazily
+/// after invalidation. This laziness is what makes dormant-pass
+/// skipping sound for analyses: analyses are never "skipped", they are
+/// simply not computed until a pass that actually runs requests them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_PASS_ANALYSISMANAGER_H
+#define SC_PASS_ANALYSISMANAGER_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Dominators.h"
+#include "analysis/LoopInfo.h"
+#include "analysis/Purity.h"
+#include "ir/IR.h"
+
+#include <map>
+#include <memory>
+
+namespace sc {
+
+class AnalysisManager {
+public:
+  explicit AnalysisManager(Module &M) : M(M) {}
+
+  Module &module() { return M; }
+
+  //===--- Per-function analyses (lazily computed, cached) -----------------===//
+
+  const DominatorTree &domTree(const Function &F);
+  const LoopInfo &loopInfo(const Function &F);
+
+  //===--- Module-level analyses --------------------------------------------===//
+
+  const PurityInfo &purity();
+  const CallGraph &callGraph();
+
+  //===--- Invalidation -------------------------------------------------------===//
+
+  /// Drops cached per-function analyses for \p F. Called by every
+  /// function pass that reports a change. Module-level analyses are
+  /// structural (call edges, purity) and also conservatively dropped:
+  /// transforms can delete calls.
+  void invalidate(const Function &F);
+
+  /// Drops everything; called after module passes that change IR.
+  void invalidateAll();
+
+  //===--- Statistics -----------------------------------------------------------===//
+
+  unsigned domTreeComputations() const { return NumDomTrees; }
+  unsigned loopInfoComputations() const { return NumLoopInfos; }
+
+private:
+  struct FunctionAnalyses {
+    std::unique_ptr<DominatorTree> DT;
+    std::unique_ptr<LoopInfo> LI;
+  };
+
+  Module &M;
+  std::map<const Function *, FunctionAnalyses> PerFunction;
+  std::unique_ptr<PurityInfo> Purity;
+  std::unique_ptr<CallGraph> CG;
+  unsigned NumDomTrees = 0;
+  unsigned NumLoopInfos = 0;
+};
+
+} // namespace sc
+
+#endif // SC_PASS_ANALYSISMANAGER_H

@@ -1,0 +1,55 @@
+//===- pass/Pass.h - Pass interfaces ----------------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pass interfaces. A pass reports whether it *changed* its unit — the
+/// signal at the heart of the paper's technique: a pass execution that
+/// reports no change is \e dormant, and the stateful compiler skips
+/// passes that were dormant for the same function in the previous
+/// build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_PASS_PASS_H
+#define SC_PASS_PASS_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace sc {
+
+class AnalysisManager;
+
+/// Transform operating on one function at a time.
+class FunctionPass {
+public:
+  virtual ~FunctionPass();
+
+  /// Stable pass identifier; part of the pipeline signature persisted
+  /// in the BuildStateDB.
+  virtual std::string name() const = 0;
+
+  /// Runs on \p F. Returns true iff the IR was modified (an execution
+  /// returning false is recorded as dormant). A pass that modifies IR
+  /// must invalidate the function's cached analyses through \p AM.
+  virtual bool run(Function &F, AnalysisManager &AM) = 0;
+};
+
+/// Transform operating on the whole module (inliner, global opts).
+class ModulePass {
+public:
+  virtual ~ModulePass();
+
+  virtual std::string name() const = 0;
+
+  /// Runs on \p M; same change-reporting contract as FunctionPass.
+  virtual bool run(Module &M, AnalysisManager &AM) = 0;
+};
+
+} // namespace sc
+
+#endif // SC_PASS_PASS_H

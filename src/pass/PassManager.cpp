@@ -1,0 +1,142 @@
+//===- pass/PassManager.cpp - Pipeline execution -------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pass/PassManager.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "support/Hashing.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sc;
+
+FunctionPass::~FunctionPass() = default;
+ModulePass::~ModulePass() = default;
+PassInstrumentation::~PassInstrumentation() = default;
+
+bool PassInstrumentation::shouldRunPass(const std::string &, size_t,
+                                        const Function &) {
+  return true;
+}
+
+void PassInstrumentation::afterPass(const std::string &, size_t,
+                                    const Function &, bool, double) {}
+
+void PassInstrumentation::onSkippedPass(const std::string &, size_t,
+                                        const Function &) {}
+
+bool PassInstrumentation::shouldRunModulePass(const std::string &, size_t,
+                                              const Module &) {
+  return true;
+}
+
+void PassInstrumentation::afterModulePass(const std::string &, size_t,
+                                          const Module &, bool, double) {}
+
+void PassPipeline::addFunctionPass(std::unique_ptr<FunctionPass> P) {
+  Entry E;
+  E.FP = std::move(P);
+  Entries.push_back(std::move(E));
+}
+
+void PassPipeline::addModulePass(std::unique_ptr<ModulePass> P) {
+  Entry E;
+  E.MP = std::move(P);
+  Entries.push_back(std::move(E));
+}
+
+std::string PassPipeline::passName(size_t I) const {
+  return Entries[I].FP ? Entries[I].FP->name() : Entries[I].MP->name();
+}
+
+uint64_t PassPipeline::signature() const {
+  HashBuilder H;
+  H.addU64(Entries.size());
+  for (size_t I = 0; I != Entries.size(); ++I) {
+    H.addString(passName(I));
+    H.addBool(isFunctionPass(I));
+  }
+  return H.digest();
+}
+
+namespace {
+
+/// Aborts with diagnostics when a pass breaks the IR (VerifyEach mode).
+void verifyOrDie(const Function &F, const std::string &PassName) {
+  std::vector<std::string> Errors;
+  if (verifyFunction(F, Errors))
+    return;
+  std::fprintf(stderr, "IR verification failed after pass '%s':\n",
+               PassName.c_str());
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "  %s\n", E.c_str());
+  std::fprintf(stderr, "%s", printFunction(F).c_str());
+  std::abort();
+}
+
+} // namespace
+
+PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
+                                PassInstrumentation *PI,
+                                bool VerifyEach) const {
+  PipelineStats Stats;
+  Timers.reset();
+
+  for (size_t Index = 0; Index != Entries.size(); ++Index) {
+    const Entry &E = Entries[Index];
+    const std::string Name = passName(Index);
+    Timer &PassTimer = Timers.get(Name);
+
+    if (E.MP) {
+      if (PI && !PI->shouldRunModulePass(Name, Index, M)) {
+        ++Stats.ModulePassSkips;
+        continue;
+      }
+      Timer T;
+      T.start();
+      bool Changed = E.MP->run(M, AM);
+      T.stop();
+      if (Changed)
+        AM.invalidateAll();
+      PassTimer.accumulate(T);
+      ++Stats.ModulePassRuns;
+      Stats.TotalPassMicros += T.micros();
+      if (PI)
+        PI->afterModulePass(Name, Index, M, Changed, T.micros());
+      if (VerifyEach && Changed)
+        for (size_t FI = 0; FI != M.numFunctions(); ++FI)
+          verifyOrDie(*M.function(FI), Name);
+      continue;
+    }
+
+    for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+      Function &F = *M.function(FI);
+      if (PI && !PI->shouldRunPass(Name, Index, F)) {
+        ++Stats.FunctionPassSkips;
+        PI->onSkippedPass(Name, Index, F);
+        continue;
+      }
+      Timer T;
+      T.start();
+      bool Changed = E.FP->run(F, AM);
+      T.stop();
+      if (Changed) {
+        AM.invalidate(F);
+        ++Stats.FunctionPassChanges;
+      }
+      PassTimer.accumulate(T);
+      ++Stats.FunctionPassRuns;
+      Stats.TotalPassMicros += T.micros();
+      if (PI)
+        PI->afterPass(Name, Index, F, Changed, T.micros());
+      if (VerifyEach && Changed)
+        verifyOrDie(F, Name);
+    }
+  }
+  return Stats;
+}

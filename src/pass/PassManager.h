@@ -1,0 +1,110 @@
+//===- pass/PassManager.h - Pipeline execution ------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs an ordered pipeline of function and module passes over a
+/// Module, with an instrumentation hook deciding — per (function,
+/// pass) — whether a pass executes. The hook is the seam where the
+/// stateful compiler's dormancy-based skip policy plugs in; the
+/// baseline (stateless) compiler runs with no instrumentation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_PASS_PASSMANAGER_H
+#define SC_PASS_PASSMANAGER_H
+
+#include "pass/AnalysisManager.h"
+#include "pass/Pass.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Observer/controller of pipeline execution.
+class PassInstrumentation {
+public:
+  virtual ~PassInstrumentation();
+
+  /// Return false to skip this pass execution for \p F. \p PassIndex
+  /// is the stable pipeline position of the pass.
+  virtual bool shouldRunPass(const std::string &PassName, size_t PassIndex,
+                             const Function &F);
+
+  /// Called after a pass executed (not called for skipped passes).
+  virtual void afterPass(const std::string &PassName, size_t PassIndex,
+                         const Function &F, bool Changed, double Micros);
+
+  /// Called when a pass execution was skipped.
+  virtual void onSkippedPass(const std::string &PassName, size_t PassIndex,
+                             const Function &F);
+
+  /// Module-pass variants. Module passes are skipped per-module.
+  virtual bool shouldRunModulePass(const std::string &PassName,
+                                   size_t PassIndex, const Module &M);
+  virtual void afterModulePass(const std::string &PassName, size_t PassIndex,
+                               const Module &M, bool Changed, double Micros);
+};
+
+/// Aggregate execution counters for one pipeline run.
+struct PipelineStats {
+  uint64_t FunctionPassRuns = 0;
+  uint64_t FunctionPassSkips = 0;
+  uint64_t FunctionPassChanges = 0;
+  uint64_t ModulePassRuns = 0;
+  uint64_t ModulePassSkips = 0;
+  double TotalPassMicros = 0;
+};
+
+/// An ordered sequence of passes. Function passes run function-by-
+/// function at their pipeline position (all functions through pass i
+/// before pass i+1), which gives each (function, pass) execution a
+/// stable identity across builds — the key requirement for matching
+/// dormancy records between builds.
+class PassPipeline {
+public:
+  PassPipeline() = default;
+
+  PassPipeline(PassPipeline &&) = default;
+  PassPipeline &operator=(PassPipeline &&) = default;
+
+  void addFunctionPass(std::unique_ptr<FunctionPass> P);
+  void addModulePass(std::unique_ptr<ModulePass> P);
+
+  size_t size() const { return Entries.size(); }
+  bool isFunctionPass(size_t I) const { return Entries[I].FP != nullptr; }
+  std::string passName(size_t I) const;
+
+  /// Stable hash of the pass sequence; dormancy records from a build
+  /// with a different pipeline signature are unusable and discarded.
+  uint64_t signature() const;
+
+  /// Runs the pipeline over \p M. \p PI may be null (always-run).
+  /// When \p VerifyEach is set, the IR verifier runs after every pass
+  /// execution that reported a change, aborting on malformed IR.
+  PipelineStats run(Module &M, AnalysisManager &AM,
+                    PassInstrumentation *PI = nullptr,
+                    bool VerifyEach = false) const;
+
+  /// Per-pass accumulated wall-clock time of the last run() call.
+  const TimerGroup &lastRunTimers() const { return Timers; }
+
+private:
+  struct Entry {
+    std::unique_ptr<FunctionPass> FP;
+    std::unique_ptr<ModulePass> MP;
+  };
+
+  std::vector<Entry> Entries;
+  mutable TimerGroup Timers;
+};
+
+} // namespace sc
+
+#endif // SC_PASS_PASSMANAGER_H

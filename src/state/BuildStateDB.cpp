@@ -1,0 +1,180 @@
+//===- state/BuildStateDB.cpp - Persistent dormancy store ---------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/BuildStateDB.h"
+
+#include "support/Hashing.h"
+#include "support/Serializer.h"
+
+using namespace sc;
+
+namespace {
+constexpr uint32_t DBMagic = 0x53434442; // "SCDB"
+constexpr uint32_t DBVersion = 3;
+} // namespace
+
+// numTUs is approximate under concurrency; used for stats only.
+const TUState *BuildStateDB::lookup(const std::string &TUKey) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = TUs.find(TUKey);
+  return It != TUs.end() ? &It->second : nullptr;
+}
+
+void BuildStateDB::update(const std::string &TUKey, TUState State) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TUs[TUKey] = std::move(State);
+  SegmentCache.erase(TUKey);
+}
+
+void BuildStateDB::remove(const std::string &TUKey) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TUs.erase(TUKey);
+  SegmentCache.erase(TUKey);
+}
+
+void BuildStateDB::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TUs.clear();
+  SegmentCache.clear();
+}
+
+uint64_t BuildStateDB::sizeBytes() const { return serialize().size(); }
+
+const BuildStateDB::Segment &
+BuildStateDB::segmentFor(const std::string &TUKey) const {
+  auto Cached = SegmentCache.find(TUKey);
+  if (Cached != SegmentCache.end())
+    return Cached->second;
+  const TUState &TU = TUs.at(TUKey);
+  BinaryWriter W;
+  W.writeString(TUKey);
+  W.writeU64(TU.PipelineSignature);
+  W.writeVarU64(TU.ModuleDormancy.size());
+  for (uint8_t Bit : TU.ModuleDormancy)
+    W.writeU8(Bit);
+  W.writeVarU64(TU.Functions.size());
+  for (const auto &[Name, Rec] : TU.Functions) {
+    W.writeString(Name);
+    W.writeU64(Rec.Fingerprint);
+    W.writeU32(Rec.Age);
+    W.writeU64(Rec.CodeKey);
+    W.writeString(Rec.CachedCode);
+    W.writeVarU64(Rec.Dormancy.size());
+    for (uint8_t Bit : Rec.Dormancy)
+      W.writeU8(Bit);
+  }
+  Segment Seg;
+  Seg.Bytes = std::string(W.data().begin(), W.data().end());
+  Seg.Hash = hashString(Seg.Bytes);
+  return SegmentCache[TUKey] = std::move(Seg);
+}
+
+std::string BuildStateDB::serialize() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Format: header, then per TU {varint segment length, segment
+  // bytes}, then a trailing checksum folding the per-segment hashes.
+  // Folding cached hashes (instead of hashing the whole buffer) keeps
+  // the save cost of an incremental build proportional to the number
+  // of recompiled TUs even when records carry megabytes of cached
+  // code.
+  BinaryWriter Header;
+  Header.writeU32(DBMagic);
+  Header.writeU32(DBVersion);
+  Header.writeVarU64(TUs.size());
+
+  uint64_t Checksum =
+      hashBytes(Header.data().data(), Header.data().size());
+  std::string Out(Header.data().begin(), Header.data().end());
+  for (const auto &[Key, TU] : TUs) {
+    const Segment &Seg = segmentFor(Key);
+    BinaryWriter Len;
+    Len.writeVarU64(Seg.Bytes.size());
+    Out.append(Len.data().begin(), Len.data().end());
+    Out += Seg.Bytes;
+    Checksum = hashCombine(Checksum, Seg.Hash);
+  }
+  BinaryWriter Tail;
+  Tail.writeU64(Checksum);
+  Out.append(Tail.data().begin(), Tail.data().end());
+  return Out;
+}
+
+bool BuildStateDB::deserialize(const std::string &Bytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TUs.clear();
+  SegmentCache.clear();
+  if (Bytes.size() < 16)
+    return false;
+  BinaryReader Tail(
+      reinterpret_cast<const uint8_t *>(Bytes.data()) + Bytes.size() - 8, 8);
+  uint64_t Expected = Tail.readU64();
+
+  BinaryReader R(reinterpret_cast<const uint8_t *>(Bytes.data()),
+                 Bytes.size() - 8);
+  if (R.readU32() != DBMagic || R.readU32() != DBVersion)
+    return false;
+  uint64_t NumTUs = R.readVarU64();
+  uint64_t Checksum = hashBytes(Bytes.data(), R.position());
+
+  for (uint64_t T = 0; T != NumTUs && !R.failed(); ++T) {
+    uint64_t SegLen = R.readVarU64();
+    size_t SegStart = R.position();
+    if (R.failed() || SegLen > Bytes.size() - 8 - SegStart) {
+      TUs.clear();
+      return false;
+    }
+    Checksum =
+        hashCombine(Checksum, hashBytes(Bytes.data() + SegStart, SegLen));
+
+    BinaryReader SR(
+        reinterpret_cast<const uint8_t *>(Bytes.data()) + SegStart, SegLen);
+    std::string Key = SR.readString();
+    TUState TU;
+    TU.PipelineSignature = SR.readU64();
+    uint64_t NumModuleBits = SR.readVarU64();
+    for (uint64_t I = 0; I != NumModuleBits && !SR.failed(); ++I)
+      TU.ModuleDormancy.push_back(SR.readU8());
+    uint64_t NumFuncs = SR.readVarU64();
+    for (uint64_t FI = 0; FI != NumFuncs && !SR.failed(); ++FI) {
+      std::string Name = SR.readString();
+      FunctionRecord Rec;
+      Rec.Fingerprint = SR.readU64();
+      Rec.Age = SR.readU32();
+      Rec.CodeKey = SR.readU64();
+      Rec.CachedCode = SR.readString();
+      uint64_t NumBits = SR.readVarU64();
+      for (uint64_t I = 0; I != NumBits && !SR.failed(); ++I)
+        Rec.Dormancy.push_back(SR.readU8());
+      TU.Functions[Name] = std::move(Rec);
+    }
+    if (SR.failed() || !SR.atEnd()) {
+      TUs.clear();
+      return false;
+    }
+    TUs[Key] = std::move(TU);
+
+    // Advance the outer reader past the segment.
+    R.skip(SegLen);
+  }
+  if (R.failed() || !R.atEnd() || Checksum != Expected) {
+    TUs.clear();
+    return false;
+  }
+  return true;
+}
+
+bool BuildStateDB::saveToFile(VirtualFileSystem &FS,
+                              const std::string &Path) const {
+  return FS.writeFile(Path, serialize());
+}
+
+bool BuildStateDB::loadFromFile(VirtualFileSystem &FS,
+                                const std::string &Path) {
+  std::optional<std::string> Bytes = FS.readFile(Path);
+  if (!Bytes)
+    return false;
+  return deserialize(*Bytes);
+}

@@ -1,0 +1,127 @@
+//===- state/BuildStateDB.h - Persistent dormancy store ---------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler's persistent memory between builds — the paper's core
+/// data structure. For every translation unit it stores, per function,
+/// the function's pre-optimization fingerprint and one dormancy bit
+/// per pipeline position recording whether that pass changed the
+/// function in the most recent compilation. Module-pass dormancy is
+/// tracked per TU.
+///
+/// Integrity: the store is versioned and checksummed; a missing,
+/// truncated, or signature-mismatched store degrades to a cold build
+/// (never a wrong build). A pipeline-signature mismatch (different
+/// pass sequence, optimization level, or compiler version) invalidates
+/// a TU's records wholesale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_STATE_BUILDSTATEDB_H
+#define SC_STATE_BUILDSTATEDB_H
+
+#include "support/FileSystem.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Per-function state from the last build that compiled its TU.
+struct FunctionRecord {
+  /// Structural hash of the function's pre-optimization IR.
+  uint64_t Fingerprint = 0;
+
+  /// One entry per pipeline position; 1 = the pass ran (or its record
+  /// was carried over) without changing the function.
+  std::vector<uint8_t> Dormancy;
+
+  /// Incremental builds since this function's records were last
+  /// refreshed by a full pipeline run (drives the refresh policy).
+  uint32_t Age = 0;
+
+  /// Function-level code cache (the ReuseFunctionCode extension):
+  /// CodeKey covers the function's inline closure — its own
+  /// fingerprint, every reachable module-local callee's fingerprint,
+  /// the module's global-usage summary, and the pipeline signature.
+  /// An unchanged key proves every pass would see identical input, so
+  /// the cached compiled code is byte-for-byte reusable.
+  uint64_t CodeKey = 0;
+  std::string CachedCode; // Serialized MFunction; empty = no cache.
+};
+
+/// Per-translation-unit state.
+struct TUState {
+  /// Pipeline identity these records were produced under.
+  uint64_t PipelineSignature = 0;
+
+  /// Dormancy of module passes (indexed by pipeline position; entries
+  /// for function-pass positions are unused).
+  std::vector<uint8_t> ModuleDormancy;
+
+  std::map<std::string, FunctionRecord> Functions;
+};
+
+/// Thread-safety: the map structure is internally locked, so
+/// concurrent compilations of different TUs may lookup/update freely.
+/// A TUState pointer returned by lookup() stays valid under other
+/// keys' updates (node-based map) and is only replaced by an update of
+/// its own key — which the build system performs exactly once per TU.
+class BuildStateDB {
+public:
+  /// Looks up a TU's state; returns null when absent.
+  const TUState *lookup(const std::string &TUKey) const;
+
+  /// Installs (replaces) a TU's state after a compilation.
+  void update(const std::string &TUKey, TUState State);
+
+  /// Drops a TU's state (e.g. the source file was deleted).
+  void remove(const std::string &TUKey);
+
+  /// Drops everything (build-system clean).
+  void clear();
+
+  size_t numTUs() const { return TUs.size(); }
+
+  /// Serialized size in bytes (the E4 storage-overhead metric).
+  uint64_t sizeBytes() const;
+
+  //===--- Persistence ---------------------------------------------------===//
+
+  std::string serialize() const;
+
+  /// Replaces the contents from serialized bytes. Returns false (and
+  /// leaves the DB empty) on malformed input.
+  bool deserialize(const std::string &Bytes);
+
+  /// Convenience wrappers over a VirtualFileSystem.
+  bool saveToFile(VirtualFileSystem &FS, const std::string &Path) const;
+  bool loadFromFile(VirtualFileSystem &FS, const std::string &Path);
+
+private:
+  struct Segment {
+    std::string Bytes;
+    uint64_t Hash = 0;
+  };
+
+  const Segment &segmentFor(const std::string &TUKey) const;
+
+  mutable std::mutex Mu;
+  std::map<std::string, TUState> TUs;
+  // Per-TU serialized segments with their hashes, invalidated on
+  // update/remove: a build that recompiled k of n files re-serializes
+  // and re-hashes only k segments, keeping the per-build save cost
+  // proportional to the work done (it matters once records carry
+  // cached code). The file checksum folds the per-segment hashes.
+  mutable std::map<std::string, Segment> SegmentCache;
+};
+
+} // namespace sc
+
+#endif // SC_STATE_BUILDSTATEDB_H

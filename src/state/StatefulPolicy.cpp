@@ -1,0 +1,164 @@
+//===- state/StatefulPolicy.cpp - Dormant-pass skip policy ----------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/StatefulPolicy.h"
+
+using namespace sc;
+
+StatefulInstrumentation::StatefulInstrumentation(
+    const StatefulConfig &Config, const TUState *Prev,
+    uint64_t PipelineSignature, size_t PipelineLength,
+    std::map<std::string, uint64_t> Fingerprints)
+    : Config(Config), Prev(Prev), PipelineSignature(PipelineSignature),
+      PipelineLength(PipelineLength), Fingerprints(std::move(Fingerprints)) {
+  // Records from a different pipeline are meaningless; drop them.
+  if (Prev && Prev->PipelineSignature != PipelineSignature)
+    this->Prev = nullptr;
+
+  NewState.PipelineSignature = PipelineSignature;
+  NewState.ModuleDormancy.assign(PipelineLength, 0);
+}
+
+const FunctionRecord *
+StatefulInstrumentation::usableRecord(const std::string &FName,
+                                      bool &RefreshOut) {
+  RefreshOut = false;
+  if (!Prev || Config.SkipMode == StatefulConfig::Mode::Stateless)
+    return nullptr;
+  auto It = Prev->Functions.find(FName);
+  if (It == Prev->Functions.end())
+    return nullptr;
+  const FunctionRecord &Rec = It->second;
+  if (Rec.Dormancy.size() != PipelineLength)
+    return nullptr;
+
+  if (Config.SkipMode == StatefulConfig::Mode::ExactSkip) {
+    auto FPIt = Fingerprints.find(FName);
+    if (FPIt == Fingerprints.end() || FPIt->second != Rec.Fingerprint)
+      return nullptr;
+  }
+
+  // Refresh policy: decide once per function per build.
+  if (Config.RefreshInterval != 0) {
+    auto Decided = RefreshDecided.find(FName);
+    if (Decided == RefreshDecided.end()) {
+      bool Refresh = Rec.Age + 1 >= Config.RefreshInterval;
+      RefreshDecided[FName] = Refresh;
+      if (Refresh)
+        ++Stats.FunctionsRefreshed;
+      Decided = RefreshDecided.find(FName);
+    }
+    if (Decided->second) {
+      RefreshOut = true;
+      return nullptr;
+    }
+  }
+  return &Rec;
+}
+
+void StatefulInstrumentation::setReusedFunctions(
+    std::set<std::string> Names) {
+  ReusedFunctions = std::move(Names);
+  Stats.FunctionsReused = ReusedFunctions.size();
+}
+
+bool StatefulInstrumentation::shouldRunPass(const std::string &,
+                                            size_t PassIndex,
+                                            const Function &F) {
+  if (ReusedFunctions.count(F.name()))
+    return false;
+  bool Refresh = false;
+  const FunctionRecord *Rec = usableRecord(F.name(), Refresh);
+  if (!Rec)
+    return true;
+  MatchedFunctions.insert(F.name());
+  Stats.FunctionsMatched = MatchedFunctions.size();
+  return Rec->Dormancy[PassIndex] == 0;
+}
+
+void StatefulInstrumentation::afterPass(const std::string &, size_t PassIndex,
+                                        const Function &F, bool Changed,
+                                        double) {
+  FunctionRecord &Rec = NewState.Functions[F.name()];
+  if (Rec.Dormancy.empty()) {
+    Rec.Dormancy.assign(PipelineLength, 0);
+    auto It = Fingerprints.find(F.name());
+    Rec.Fingerprint = It != Fingerprints.end() ? It->second : 0;
+  }
+  Rec.Dormancy[PassIndex] = Changed ? 0 : 1;
+  ++Stats.PassesRun;
+}
+
+void StatefulInstrumentation::onSkippedPass(const std::string &,
+                                            size_t PassIndex,
+                                            const Function &F) {
+  FunctionRecord &Rec = NewState.Functions[F.name()];
+  if (Rec.Dormancy.empty()) {
+    Rec.Dormancy.assign(PipelineLength, 0);
+    auto It = Fingerprints.find(F.name());
+    Rec.Fingerprint = It != Fingerprints.end() ? It->second : 0;
+  }
+  if (ReusedFunctions.count(F.name())) {
+    // Cache splice: the previous dormancy vector stays authoritative
+    // (this skip says nothing about dormancy — the pass was bypassed
+    // because the whole compilation result is reused).
+    Rec.Dormancy[PassIndex] = 0; // Unknown: be conservative.
+    if (Prev) {
+      auto It = Prev->Functions.find(F.name());
+      if (It != Prev->Functions.end() &&
+          It->second.Dormancy.size() == PipelineLength)
+        Rec.Dormancy[PassIndex] = It->second.Dormancy[PassIndex];
+    }
+  } else {
+    // Carry the dormant verdict forward: the pass was not executed, so
+    // the best knowledge remains "dormant as of the last real run".
+    Rec.Dormancy[PassIndex] = 1;
+  }
+  SkippedAnyFor.insert(F.name());
+  ++Stats.PassesSkipped;
+}
+
+bool StatefulInstrumentation::shouldRunModulePass(const std::string &,
+                                                  size_t PassIndex,
+                                                  const Module &) {
+  if (!Prev || !Config.SkipModulePasses ||
+      Config.SkipMode == StatefulConfig::Mode::Stateless)
+    return true;
+  if (PassIndex >= Prev->ModuleDormancy.size())
+    return true;
+  if (Prev->ModuleDormancy[PassIndex] == 0)
+    return true;
+  // Dormant last build: skip and carry the verdict forward.
+  NewState.ModuleDormancy[PassIndex] = 1;
+  ++Stats.PassesSkipped;
+  return false;
+}
+
+void StatefulInstrumentation::afterModulePass(const std::string &,
+                                              size_t PassIndex, const Module &,
+                                              bool Changed, double) {
+  NewState.ModuleDormancy[PassIndex] = Changed ? 0 : 1;
+  ++Stats.PassesRun;
+}
+
+TUState StatefulInstrumentation::takeNewState() {
+  // Age accounting: a function whose pipeline ran in full resets its
+  // age; one with at least one carried-over (skipped) verdict ages.
+  for (auto &[Name, Rec] : NewState.Functions) {
+    if (SkippedAnyFor.count(Name)) {
+      uint32_t PrevAge = 0;
+      if (Prev) {
+        auto It = Prev->Functions.find(Name);
+        if (It != Prev->Functions.end())
+          PrevAge = It->second.Age;
+      }
+      Rec.Age = PrevAge + 1;
+    } else {
+      Rec.Age = 0;
+    }
+  }
+  return std::move(NewState);
+}

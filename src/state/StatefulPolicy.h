@@ -1,0 +1,143 @@
+//===- state/StatefulPolicy.h - Dormant-pass skip policy --------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stateful compiler's decision logic and its pipeline hook.
+///
+/// Mechanism (paper §"stateful compiler"): during every compilation,
+/// the pass manager's instrumentation records which passes were
+/// *dormant* (ran without changing the IR) for each function. On the
+/// next compilation of the same TU, passes recorded dormant for a
+/// function are skipped for that function. Skipping a transform pass
+/// is semantics-preserving by construction — at worst the output is
+/// less optimized — and analyses recompute lazily, so skipping never
+/// produces wrong code.
+///
+/// Policy knobs (ablations in bench/):
+///  * Mode::HeuristicSkip — the paper's policy: match records by
+///    function name even when the function body changed.
+///  * Mode::ExactSkip — skip only when the function's fingerprint is
+///    unchanged (no optimization-quality risk, less skipping).
+///  * RefreshInterval — force a full pipeline for a function every N
+///    incremental builds to re-learn dormancy (bounds quality drift).
+///  * SkipModulePasses — extend skipping to module passes (dormant
+///    last build for this TU).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_STATE_STATEFULPOLICY_H
+#define SC_STATE_STATEFULPOLICY_H
+
+#include "pass/PassManager.h"
+#include "state/BuildStateDB.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace sc {
+
+struct StatefulConfig {
+  enum class Mode : uint8_t {
+    Stateless,     // Baseline: never skip.
+    ExactSkip,     // Skip dormant passes only for unchanged functions.
+    HeuristicSkip, // Paper's policy: skip dormant passes by name match.
+  };
+
+  Mode SkipMode = Mode::HeuristicSkip;
+
+  /// Force a full pipeline for a function after this many consecutive
+  /// skipped builds (0 = never refresh).
+  uint32_t RefreshInterval = 0;
+
+  /// Also skip module passes recorded dormant for the TU.
+  bool SkipModulePasses = true;
+
+  /// Extension beyond the paper: functions whose inline-closure code
+  /// key is unchanged skip the pipeline AND the backend entirely,
+  /// splicing the previous build's compiled code from the state DB.
+  /// Exact-match (like ExactSkip), so it carries zero quality risk.
+  bool ReuseFunctionCode = false;
+};
+
+/// Counters describing skip behavior in one compilation.
+struct StatefulStats {
+  uint64_t PassesRun = 0;
+  uint64_t PassesSkipped = 0;
+  uint64_t FunctionsMatched = 0;    // Had a usable previous record.
+  uint64_t FunctionsRefreshed = 0;  // Forced full run by refresh policy.
+  uint64_t FunctionsReused = 0;     // Whole compiled code reused.
+};
+
+/// PassInstrumentation that implements dormancy-based skipping and
+/// simultaneously records the TU's next-build state.
+///
+/// Usage (per compilation of one TU):
+///   StatefulInstrumentation SI(Config, Prev, Signature, Fingerprints);
+///   Pipeline.run(Module, AM, &SI);
+///   DB.update(TUKey, SI.takeNewState());
+class StatefulInstrumentation : public PassInstrumentation {
+public:
+  /// \p Prev is the TU's record from the previous build (null on a
+  /// cold build). \p PipelineSignature identifies the pass sequence;
+  /// records with a different signature are ignored. \p Fingerprints
+  /// maps current function names to pre-optimization fingerprints.
+  StatefulInstrumentation(const StatefulConfig &Config, const TUState *Prev,
+                          uint64_t PipelineSignature, size_t PipelineLength,
+                          std::map<std::string, uint64_t> Fingerprints);
+
+  bool shouldRunPass(const std::string &PassName, size_t PassIndex,
+                     const Function &F) override;
+  void afterPass(const std::string &PassName, size_t PassIndex,
+                 const Function &F, bool Changed, double Micros) override;
+  void onSkippedPass(const std::string &PassName, size_t PassIndex,
+                     const Function &F) override;
+
+  bool shouldRunModulePass(const std::string &PassName, size_t PassIndex,
+                           const Module &M) override;
+  void afterModulePass(const std::string &PassName, size_t PassIndex,
+                       const Module &M, bool Changed, double Micros) override;
+
+  /// Marks functions whose compiled code is being reused wholesale:
+  /// every pass is skipped for them and their previous dormancy
+  /// vector carries forward verbatim (their post-pipeline IR is
+  /// irrelevant — the driver splices the cached code). Call before
+  /// the pipeline runs.
+  void setReusedFunctions(std::set<std::string> Names);
+
+  /// The TU state to persist for the next build. Call once, after the
+  /// pipeline ran.
+  TUState takeNewState();
+
+  const StatefulStats &stats() const { return Stats; }
+
+private:
+  /// Previous record for \p FName, usable under the current policy.
+  const FunctionRecord *usableRecord(const std::string &FName,
+                                     bool &RefreshOut);
+
+  StatefulConfig Config;
+  const TUState *Prev;
+  uint64_t PipelineSignature;
+  size_t PipelineLength;
+  std::map<std::string, uint64_t> Fingerprints;
+  TUState NewState;
+  StatefulStats Stats;
+  // Functions the refresh policy forces through the full pipeline in
+  // this build.
+  std::map<std::string, bool> RefreshDecided;
+  // Functions that had at least one pass skipped (drives aging).
+  std::set<std::string> SkippedAnyFor;
+  // Functions that had a usable previous record.
+  std::set<std::string> MatchedFunctions;
+  // Functions compiled by cache splicing (no pass may run).
+  std::set<std::string> ReusedFunctions;
+};
+
+} // namespace sc
+
+#endif // SC_STATE_STATEFULPOLICY_H

@@ -1,0 +1,72 @@
+//===- support/Casting.h - LLVM-style RTTI helpers --------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's isa<>/cast<>/dyn_cast<> templates.
+/// A class hierarchy opts in by providing a `static bool classof(const
+/// Base *)` on each derived class, typically dispatching on a Kind enum
+/// stored in the base class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_CASTING_H
+#define SC_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace sc {
+
+/// Returns true if \p Val is an instance of \p To (or a subclass).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Returns true if \p Val is an instance of any of the listed classes.
+template <typename To, typename To2, typename... Rest, typename From>
+bool isa(const From *Val) {
+  return isa<To>(Val) || isa<To2, Rest...>(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename From> bool isa_and_present(const From *Val) {
+  return Val && isa<To>(Val);
+}
+
+/// Like dyn_cast<>, but tolerates a null pointer (propagates null).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val && isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_if_present(const From *Val) {
+  return Val && isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace sc
+
+#endif // SC_SUPPORT_CASTING_H

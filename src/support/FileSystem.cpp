@@ -1,0 +1,117 @@
+//===- support/FileSystem.cpp - Virtual filesystem implementations -------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileSystem.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace sc;
+
+namespace fs = std::filesystem;
+
+VirtualFileSystem::~VirtualFileSystem() = default;
+
+//===----------------------------------------------------------------------===//
+// InMemoryFileSystem
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string>
+InMemoryFileSystem::readFile(const std::string &Path) {
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return std::nullopt;
+  return It->second;
+}
+
+bool InMemoryFileSystem::writeFile(const std::string &Path,
+                                   const std::string &Content) {
+  Files[Path] = Content;
+  return true;
+}
+
+bool InMemoryFileSystem::exists(const std::string &Path) {
+  return Files.count(Path) != 0;
+}
+
+bool InMemoryFileSystem::removeFile(const std::string &Path) {
+  return Files.erase(Path) != 0;
+}
+
+std::vector<std::string> InMemoryFileSystem::listFiles() {
+  std::vector<std::string> Paths;
+  Paths.reserve(Files.size());
+  for (const auto &[Path, Content] : Files)
+    Paths.push_back(Path);
+  return Paths;
+}
+
+uint64_t InMemoryFileSystem::totalBytes() const {
+  uint64_t Sum = 0;
+  for (const auto &[Path, Content] : Files)
+    Sum += Content.size();
+  return Sum;
+}
+
+//===----------------------------------------------------------------------===//
+// RealFileSystem
+//===----------------------------------------------------------------------===//
+
+RealFileSystem::RealFileSystem(std::string Root) : Root(std::move(Root)) {
+  std::error_code EC;
+  fs::create_directories(this->Root, EC);
+}
+
+std::string RealFileSystem::absolute(const std::string &Path) const {
+  return (fs::path(Root) / Path).string();
+}
+
+std::optional<std::string> RealFileSystem::readFile(const std::string &Path) {
+  std::ifstream In(absolute(Path), std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+bool RealFileSystem::writeFile(const std::string &Path,
+                               const std::string &Content) {
+  fs::path Abs(absolute(Path));
+  std::error_code EC;
+  if (Abs.has_parent_path())
+    fs::create_directories(Abs.parent_path(), EC);
+  std::ofstream Out(Abs, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out.write(Content.data(), static_cast<std::streamsize>(Content.size()));
+  return static_cast<bool>(Out);
+}
+
+bool RealFileSystem::exists(const std::string &Path) {
+  std::error_code EC;
+  return fs::exists(absolute(Path), EC);
+}
+
+bool RealFileSystem::removeFile(const std::string &Path) {
+  std::error_code EC;
+  return fs::remove(absolute(Path), EC);
+}
+
+std::vector<std::string> RealFileSystem::listFiles() {
+  std::vector<std::string> Paths;
+  std::error_code EC;
+  fs::recursive_directory_iterator It(Root, EC), End;
+  for (; !EC && It != End; It.increment(EC)) {
+    if (!It->is_regular_file(EC))
+      continue;
+    Paths.push_back(fs::relative(It->path(), Root, EC).string());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}

@@ -1,0 +1,84 @@
+//===- support/FileSystem.h - Virtual filesystem abstraction ----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Filesystem abstraction used by the build system, the driver, and the
+/// BuildStateDB. Benchmarks run against the in-memory implementation so
+/// measured build times reflect compilation work, not disk jitter; the
+/// on-disk implementation backs the examples and persistence tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_FILESYSTEM_H
+#define SC_SUPPORT_FILESYSTEM_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Abstract file storage with string paths and whole-file granularity.
+class VirtualFileSystem {
+public:
+  virtual ~VirtualFileSystem();
+
+  /// Returns the file content, or std::nullopt if the file is missing.
+  virtual std::optional<std::string> readFile(const std::string &Path) = 0;
+
+  /// Creates or overwrites \p Path. Returns false on I/O failure.
+  virtual bool writeFile(const std::string &Path,
+                         const std::string &Content) = 0;
+
+  virtual bool exists(const std::string &Path) = 0;
+
+  /// Removes a file if present; returns true if it was removed.
+  virtual bool removeFile(const std::string &Path) = 0;
+
+  /// Lists all file paths, sorted lexicographically for determinism.
+  virtual std::vector<std::string> listFiles() = 0;
+};
+
+/// Heap-backed filesystem; the default substrate for benchmarks/tests.
+class InMemoryFileSystem : public VirtualFileSystem {
+public:
+  std::optional<std::string> readFile(const std::string &Path) override;
+  bool writeFile(const std::string &Path, const std::string &Content) override;
+  bool exists(const std::string &Path) override;
+  bool removeFile(const std::string &Path) override;
+  std::vector<std::string> listFiles() override;
+
+  /// Total bytes stored across all files (for overhead accounting).
+  uint64_t totalBytes() const;
+
+private:
+  std::map<std::string, std::string> Files;
+};
+
+/// Filesystem rooted at a real directory; paths are relative to Root.
+class RealFileSystem : public VirtualFileSystem {
+public:
+  explicit RealFileSystem(std::string Root);
+
+  std::optional<std::string> readFile(const std::string &Path) override;
+  bool writeFile(const std::string &Path, const std::string &Content) override;
+  bool exists(const std::string &Path) override;
+  bool removeFile(const std::string &Path) override;
+  std::vector<std::string> listFiles() override;
+
+  const std::string &root() const { return Root; }
+
+private:
+  std::string absolute(const std::string &Path) const;
+
+  std::string Root;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_FILESYSTEM_H

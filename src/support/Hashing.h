@@ -1,0 +1,100 @@
+//===- support/Hashing.h - Stable 64-bit content hashing --------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable (process- and platform-independent) 64-bit hashing used for
+/// content fingerprints persisted in the BuildStateDB. Based on FNV-1a
+/// with a 64-bit mixing finalizer. Stability across runs matters:
+/// fingerprints from a previous build must compare equal in the next
+/// build, so std::hash (which may be seeded) is unsuitable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_HASHING_H
+#define SC_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sc {
+
+/// FNV-1a offset basis / prime for 64-bit hashes.
+inline constexpr uint64_t FNVOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t FNVPrime = 0x100000001b3ULL;
+
+/// Final avalanche mix (from SplitMix64) to spread low-entropy inputs.
+inline uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+/// Hashes a raw byte range with FNV-1a.
+inline uint64_t hashBytes(const void *Data, size_t Size,
+                          uint64_t Seed = FNVOffsetBasis) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= P[I];
+    H *= FNVPrime;
+  }
+  return H;
+}
+
+/// Hashes a string view (content only, not the pointer).
+inline uint64_t hashString(std::string_view S) {
+  return hashBytes(S.data(), S.size());
+}
+
+/// Combines two hash values into one, order-sensitively.
+inline uint64_t hashCombine(uint64_t A, uint64_t B) {
+  return mix64(A ^ (B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2)));
+}
+
+/// Incremental hasher for building structural fingerprints.
+///
+/// Feed scalar values and strings in a canonical order; the resulting
+/// digest is stable across runs and platforms.
+class HashBuilder {
+public:
+  HashBuilder() = default;
+
+  HashBuilder &addU64(uint64_t V) {
+    unsigned char Buf[8];
+    for (int I = 0; I != 8; ++I)
+      Buf[I] = static_cast<unsigned char>(V >> (8 * I));
+    State = hashBytes(Buf, sizeof(Buf), State);
+    return *this;
+  }
+
+  HashBuilder &addI64(int64_t V) { return addU64(static_cast<uint64_t>(V)); }
+
+  HashBuilder &addU32(uint32_t V) { return addU64(V); }
+
+  HashBuilder &addBool(bool V) { return addU64(V ? 1 : 0); }
+
+  /// Adds string content, length-prefixed so "ab"+"c" != "a"+"bc".
+  HashBuilder &addString(std::string_view S) {
+    addU64(S.size());
+    State = hashBytes(S.data(), S.size(), State);
+    return *this;
+  }
+
+  /// Returns the final mixed digest.
+  uint64_t digest() const { return mix64(State); }
+
+private:
+  uint64_t State = FNVOffsetBasis;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_HASHING_H

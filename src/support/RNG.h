@@ -1,0 +1,75 @@
+//===- support/RNG.h - Deterministic random number generator ----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. All workload generation and edit
+/// models derive from an explicit seed so experiments are reproducible
+/// bit-for-bit across runs and machines (std::mt19937 distributions are
+/// not specified to be portable, so we implement our own).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_RNG_H
+#define SC_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace sc {
+
+/// Deterministic, portable pseudo-random number generator (SplitMix64).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow() requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "invalid range");
+    return Lo + static_cast<int64_t>(
+                    nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T> const T &pick(const std::vector<T> &V) {
+    assert(!V.empty() && "pick() from an empty vector");
+    return V[nextBelow(V.size())];
+  }
+
+  /// Forks an independent child generator (stable given call order).
+  RNG fork() { return RNG(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_RNG_H

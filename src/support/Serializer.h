@@ -1,0 +1,161 @@
+//===- support/Serializer.h - Versioned binary serialization ----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple little-endian binary writer/reader used to persist the
+/// BuildStateDB, object files, and build manifests. The reader is
+/// defensive: every accessor reports failure instead of reading out of
+/// bounds, so a truncated or corrupted state file degrades to a cold
+/// build rather than a crash (a key robustness requirement for a
+/// stateful compiler whose cache may be damaged between builds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_SERIALIZER_H
+#define SC_SUPPORT_SERIALIZER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sc {
+
+/// Append-only binary encoder.
+class BinaryWriter {
+public:
+  void writeU8(uint8_t V) { Buffer.push_back(V); }
+
+  void writeU32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Buffer.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void writeU64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      Buffer.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void writeI64(int64_t V) { writeU64(static_cast<uint64_t>(V)); }
+
+  /// Writes an unsigned LEB128-style varint (compact for small values).
+  void writeVarU64(uint64_t V) {
+    while (V >= 0x80) {
+      Buffer.push_back(static_cast<uint8_t>(V) | 0x80);
+      V >>= 7;
+    }
+    Buffer.push_back(static_cast<uint8_t>(V));
+  }
+
+  /// Writes a length-prefixed string.
+  void writeString(std::string_view S) {
+    writeVarU64(S.size());
+    Buffer.insert(Buffer.end(), S.begin(), S.end());
+  }
+
+  void writeBytes(const void *Data, size_t Size) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    Buffer.insert(Buffer.end(), P, P + Size);
+  }
+
+  const std::vector<uint8_t> &data() const { return Buffer; }
+  size_t size() const { return Buffer.size(); }
+
+private:
+  std::vector<uint8_t> Buffer;
+};
+
+/// Bounds-checked binary decoder. After any failed read, failed() stays
+/// true and subsequent reads return zero values.
+class BinaryReader {
+public:
+  BinaryReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit BinaryReader(const std::vector<uint8_t> &Buf)
+      : Data(Buf.data()), Size(Buf.size()) {}
+
+  bool failed() const { return Failed; }
+  bool atEnd() const { return Pos == Size; }
+  size_t position() const { return Pos; }
+
+  uint8_t readU8() {
+    if (!ensure(1))
+      return 0;
+    return Data[Pos++];
+  }
+
+  uint32_t readU32() {
+    if (!ensure(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+
+  uint64_t readU64() {
+    if (!ensure(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+
+  int64_t readI64() { return static_cast<int64_t>(readU64()); }
+
+  uint64_t readVarU64() {
+    uint64_t V = 0;
+    unsigned Shift = 0;
+    for (;;) {
+      if (!ensure(1) || Shift >= 64)
+        return fail();
+      uint8_t B = Data[Pos++];
+      V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return V;
+      Shift += 7;
+    }
+  }
+
+  /// Advances past \p N bytes without copying them.
+  void skip(uint64_t N) {
+    if (!ensure(N))
+      return;
+    Pos += N;
+  }
+
+  std::string readString() {
+    uint64_t Len = readVarU64();
+    if (!ensure(Len))
+      return std::string();
+    std::string S(reinterpret_cast<const char *>(Data + Pos), Len);
+    Pos += Len;
+    return S;
+  }
+
+private:
+  bool ensure(uint64_t N) {
+    if (Failed || N > Size - Pos) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  uint64_t fail() {
+    Failed = true;
+    return 0;
+  }
+
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_SERIALIZER_H

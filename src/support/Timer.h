@@ -1,0 +1,106 @@
+//===- support/Timer.h - Wall-clock phase timers ----------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulating wall-clock timers for compile-phase and per-pass timing.
+/// All durations are reported in microseconds (double) for stable
+/// arithmetic when aggregating thousands of short pass executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_TIMER_H
+#define SC_SUPPORT_TIMER_H
+
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sc {
+
+/// Returns a monotonic timestamp in nanoseconds.
+inline uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Accumulating wall-clock timer. Supports repeated start/stop cycles.
+class Timer {
+public:
+  void start() {
+    assert(!Running && "timer already running");
+    Running = true;
+    StartNs = nowNanos();
+  }
+
+  void stop() {
+    assert(Running && "timer is not running");
+    TotalNs += nowNanos() - StartNs;
+    Running = false;
+  }
+
+  /// Total accumulated time in microseconds.
+  double micros() const { return static_cast<double>(TotalNs) / 1000.0; }
+
+  /// Total accumulated time in milliseconds.
+  double millis() const { return static_cast<double>(TotalNs) / 1.0e6; }
+
+  uint64_t nanos() const { return TotalNs; }
+
+  /// Folds another (stopped) timer's accumulated time into this one.
+  void accumulate(const Timer &Other) { TotalNs += Other.TotalNs; }
+
+  void reset() {
+    TotalNs = 0;
+    Running = false;
+  }
+
+private:
+  uint64_t TotalNs = 0;
+  uint64_t StartNs = 0;
+  bool Running = false;
+};
+
+/// RAII helper that runs a Timer for the current scope.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(Timer &T) : T(T) { T.start(); }
+  ~ScopedTimer() { T.stop(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  Timer &T;
+};
+
+/// Named timer group, e.g. one Timer per compile phase or per pass.
+class TimerGroup {
+public:
+  Timer &get(const std::string &Name) { return Timers[Name]; }
+
+  const std::map<std::string, Timer> &timers() const { return Timers; }
+
+  /// Sum of all member timers, in microseconds.
+  double totalMicros() const {
+    double Sum = 0;
+    for (const auto &[Name, T] : Timers)
+      Sum += T.micros();
+    return Sum;
+  }
+
+  void reset() { Timers.clear(); }
+
+private:
+  std::map<std::string, Timer> Timers;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_TIMER_H

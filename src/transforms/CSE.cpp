@@ -1,0 +1,124 @@
+//===- transforms/CSE.cpp - Common subexpression elimination -------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Dominance-scoped value numbering over pure expressions (arithmetic,
+/// compares, geps, selects): walking the dominator tree with a scoped
+/// hash table, a redundant expression is replaced by the dominating
+/// equivalent. Memory operations are left to the loadforward pass.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pass/AnalysisManager.h"
+#include "transforms/Passes.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// Expression key: opcode kind, immediate (binop/pred), operand ids.
+using ExprKey = std::tuple<uint8_t, uint8_t, const Value *, const Value *,
+                           const Value *>;
+
+bool makeKey(const Instruction *I, ExprKey &Key) {
+  switch (I->kind()) {
+  case Value::Kind::Binary: {
+    const auto *B = cast<BinaryInst>(I);
+    Key = {static_cast<uint8_t>(I->kind()), static_cast<uint8_t>(B->op()),
+           B->lhs(), B->rhs(), nullptr};
+    return true;
+  }
+  case Value::Kind::Cmp: {
+    const auto *C = cast<CmpInst>(I);
+    Key = {static_cast<uint8_t>(I->kind()), static_cast<uint8_t>(C->pred()),
+           C->lhs(), C->rhs(), nullptr};
+    return true;
+  }
+  case Value::Kind::Gep: {
+    const auto *G = cast<GepInst>(I);
+    Key = {static_cast<uint8_t>(I->kind()), 0, G->base(), G->index(),
+           nullptr};
+    return true;
+  }
+  case Value::Kind::Select: {
+    const auto *S = cast<SelectInst>(I);
+    Key = {static_cast<uint8_t>(I->kind()), 0, S->cond(), S->trueValue(),
+           S->falseValue()};
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+class CSEPass : public FunctionPass {
+public:
+  std::string name() const override { return "cse"; }
+
+  bool run(Function &F, AnalysisManager &AM) override {
+    const DominatorTree &DT = AM.domTree(F);
+    bool Changed = false;
+
+    // Scoped hash table emulated with an undo log per dominator-tree
+    // visit (iterative DFS with explicit enter/exit events).
+    std::map<ExprKey, std::vector<Instruction *>> Available;
+
+    struct Event {
+      BasicBlock *BB;
+      bool Exit;
+    };
+    std::vector<Event> Stack{{F.entry(), false}};
+    std::vector<std::vector<ExprKey>> ScopeLog;
+
+    while (!Stack.empty()) {
+      Event E = Stack.back();
+      Stack.pop_back();
+      if (E.Exit) {
+        for (const ExprKey &Key : ScopeLog.back()) {
+          auto &Defs = Available[Key];
+          Defs.pop_back();
+          if (Defs.empty())
+            Available.erase(Key);
+        }
+        ScopeLog.pop_back();
+        continue;
+      }
+
+      ScopeLog.emplace_back();
+      Stack.push_back({E.BB, true});
+      for (BasicBlock *Child : DT.children(E.BB))
+        Stack.push_back({Child, false});
+
+      for (size_t I = 0; I < E.BB->size(); ++I) {
+        Instruction *Inst = E.BB->inst(I);
+        ExprKey Key;
+        if (!makeKey(Inst, Key))
+          continue;
+        auto It = Available.find(Key);
+        if (It != Available.end()) {
+          Instruction *Leader = It->second.back();
+          Inst->replaceAllUsesWith(Leader);
+          E.BB->erase(I);
+          --I;
+          Changed = true;
+          continue;
+        }
+        Available[Key].push_back(Inst);
+        ScopeLog.back().push_back(Key);
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createCSEPass() {
+  return std::make_unique<CSEPass>();
+}

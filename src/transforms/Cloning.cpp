@@ -1,0 +1,69 @@
+//===- transforms/Cloning.cpp - IR cloning utilities ----------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Cloning.h"
+
+using namespace sc;
+
+std::unique_ptr<Instruction>
+sc::cloneInstruction(const Instruction *Src, const ValueMapper &MapValue,
+                     const BlockMapper &MapBlock) {
+  switch (Src->kind()) {
+  case Value::Kind::Binary: {
+    const auto *B = cast<BinaryInst>(Src);
+    return std::make_unique<BinaryInst>(B->op(), MapValue(B->lhs()),
+                                        MapValue(B->rhs()));
+  }
+  case Value::Kind::Cmp: {
+    const auto *C = cast<CmpInst>(Src);
+    return std::make_unique<CmpInst>(C->pred(), MapValue(C->lhs()),
+                                     MapValue(C->rhs()));
+  }
+  case Value::Kind::Select: {
+    const auto *S = cast<SelectInst>(Src);
+    return std::make_unique<SelectInst>(MapValue(S->cond()),
+                                        MapValue(S->trueValue()),
+                                        MapValue(S->falseValue()));
+  }
+  case Value::Kind::Alloca:
+    return std::make_unique<AllocaInst>(cast<AllocaInst>(Src)->numCells());
+  case Value::Kind::Load:
+    return std::make_unique<LoadInst>(
+        MapValue(cast<LoadInst>(Src)->pointer()));
+  case Value::Kind::Store: {
+    const auto *St = cast<StoreInst>(Src);
+    return std::make_unique<StoreInst>(MapValue(St->value()),
+                                       MapValue(St->pointer()));
+  }
+  case Value::Kind::Gep: {
+    const auto *G = cast<GepInst>(Src);
+    return std::make_unique<GepInst>(MapValue(G->base()),
+                                     MapValue(G->index()));
+  }
+  case Value::Kind::Call: {
+    const auto *C = cast<CallInst>(Src);
+    std::vector<Value *> Args;
+    for (size_t I = 0; I != C->numArgs(); ++I)
+      Args.push_back(MapValue(C->arg(I)));
+    return std::make_unique<CallInst>(C->callee(), C->type(), Args);
+  }
+  case Value::Kind::Br:
+    return std::make_unique<BrInst>(MapBlock(cast<BrInst>(Src)->target()));
+  case Value::Kind::CondBr: {
+    const auto *CB = cast<CondBrInst>(Src);
+    return std::make_unique<CondBrInst>(MapValue(CB->cond()),
+                                        MapBlock(CB->trueTarget()),
+                                        MapBlock(CB->falseTarget()));
+  }
+  case Value::Kind::Ret: {
+    const auto *R = cast<RetInst>(Src);
+    return std::make_unique<RetInst>(R->hasValue() ? MapValue(R->value())
+                                                   : nullptr);
+  }
+  default:
+    return nullptr; // Phis and non-instruction kinds.
+  }
+}

@@ -1,0 +1,36 @@
+//===- transforms/Cloning.h - IR cloning utilities --------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction cloning with caller-provided value/block remapping,
+/// shared by the inliner and loop unroller. Phis are not cloned here —
+/// both clients materialize empty phis first (so forward references
+/// resolve) and patch incomings afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TRANSFORMS_CLONING_H
+#define SC_TRANSFORMS_CLONING_H
+
+#include "ir/IR.h"
+
+#include <functional>
+#include <memory>
+
+namespace sc {
+
+using ValueMapper = std::function<Value *(Value *)>;
+using BlockMapper = std::function<BasicBlock *(BasicBlock *)>;
+
+/// Clones \p Src, remapping value operands through \p MapValue and
+/// successor blocks through \p MapBlock. Returns null for phis.
+std::unique_ptr<Instruction> cloneInstruction(const Instruction *Src,
+                                              const ValueMapper &MapValue,
+                                              const BlockMapper &MapBlock);
+
+} // namespace sc
+
+#endif // SC_TRANSFORMS_CLONING_H

@@ -1,0 +1,94 @@
+//===- transforms/ConstantFold.cpp - Fold constant expressions ----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Replaces instructions whose operands are all constants with the
+/// evaluated constant, worklist-style so folds cascade in one run.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/FoldUtils.h"
+#include "transforms/Passes.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// Returns the folded constant for \p I, or null when not foldable.
+Value *tryFold(Instruction *I, Module &M) {
+  switch (I->kind()) {
+  case Value::Kind::Binary: {
+    auto *B = cast<BinaryInst>(I);
+    auto *L = dyn_cast<ConstantInt>(B->lhs());
+    auto *R = dyn_cast<ConstantInt>(B->rhs());
+    if (!L || !R)
+      return nullptr;
+    return M.getI64(evalBinOp(B->op(), L->value(), R->value()));
+  }
+  case Value::Kind::Cmp: {
+    auto *C = cast<CmpInst>(I);
+    auto *L = dyn_cast<ConstantInt>(C->lhs());
+    auto *R = dyn_cast<ConstantInt>(C->rhs());
+    if (!L || !R)
+      return nullptr;
+    return M.getBool(evalCmp(C->pred(), L->value(), R->value()));
+  }
+  case Value::Kind::Select: {
+    auto *S = cast<SelectInst>(I);
+    auto *C = dyn_cast<ConstantInt>(S->cond());
+    if (!C)
+      return nullptr;
+    return C->isZero() ? S->falseValue() : S->trueValue();
+  }
+  default:
+    return nullptr;
+  }
+}
+
+class ConstantFoldPass : public FunctionPass {
+public:
+  std::string name() const override { return "constfold"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    Module &M = *F.parent();
+    bool Changed = false;
+    // Worklist of candidate instructions; folding one operand may make
+    // its users foldable too. Folded instructions move to a graveyard
+    // (not destroyed) because stale pointers may remain in the list.
+    std::vector<Instruction *> Work;
+    std::set<Instruction *> Erased;
+    std::vector<std::unique_ptr<Instruction>> Graveyard;
+    F.forEachInstruction([&](Instruction *I) { Work.push_back(I); });
+
+    while (!Work.empty()) {
+      Instruction *I = Work.back();
+      Work.pop_back();
+      if (Erased.count(I))
+        continue;
+      Value *Folded = tryFold(I, M);
+      if (!Folded)
+        continue;
+      // Users may become foldable: enqueue before RAUW clears them.
+      for (Instruction *User : I->users())
+        Work.push_back(User);
+      I->replaceAllUsesWith(Folded);
+      Erased.insert(I);
+      Graveyard.push_back(I->parent()->take(I->parent()->indexOf(I)));
+      Graveyard.back()->dropAllOperands();
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createConstantFoldPass() {
+  return std::make_unique<ConstantFoldPass>();
+}

@@ -1,0 +1,74 @@
+//===- transforms/DCE.cpp - Dead code elimination ------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Removes unused instructions without observable effects, worklist-
+/// style so whole dead expression trees disappear in one run. Calls to
+/// functions proven Pure/ReadOnly by purity analysis are removable
+/// when their results are unused (note: this assumes callees
+/// terminate, the usual willreturn-style assumption).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Purity.h"
+#include "transforms/Passes.h"
+
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+bool isRemovable(const Instruction *I, const PurityInfo &Purity) {
+  if (I->hasUses() || I->isTerminator())
+    return false;
+  if (const auto *Call = dyn_cast<CallInst>(I))
+    return Purity.isRemovableCall(Call->callee());
+  if (isa<StoreInst>(I))
+    return false;
+  return true;
+}
+
+class DCEPass : public FunctionPass {
+public:
+  std::string name() const override { return "dce"; }
+
+  bool run(Function &F, AnalysisManager &AM) override {
+    const PurityInfo &Purity = AM.purity();
+    bool Changed = false;
+
+    // Seed with all dead instructions; erasing one may kill operands.
+    std::vector<Instruction *> Work;
+    F.forEachInstruction([&](Instruction *I) {
+      if (isRemovable(I, Purity))
+        Work.push_back(I);
+    });
+
+    std::set<Instruction *> Queued(Work.begin(), Work.end());
+    while (!Work.empty()) {
+      Instruction *I = Work.back();
+      Work.pop_back();
+      if (!isRemovable(I, Purity))
+        continue; // Re-queued operand that gained a user, or skipped.
+
+      // Operands may become dead once this use disappears.
+      for (Value *Op : I->operands())
+        if (auto *OpInst = dyn_cast<Instruction>(Op))
+          if (OpInst->numUses() == 1 && Queued.insert(OpInst).second)
+            Work.push_back(OpInst);
+
+      I->parent()->erase(I);
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createDCEPass() {
+  return std::make_unique<DCEPass>();
+}

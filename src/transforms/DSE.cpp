@@ -1,0 +1,134 @@
+//===- transforms/DSE.cpp - Dead store elimination ------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Two complementary eliminations:
+///  1. Whole-function: an alloca whose address is used only by stores
+///     is write-only memory; the stores and the alloca are deleted.
+///  2. Block-local backward scan: a store overwritten by a later
+///     must-aliasing store, with no possible read in between, is dead.
+/// Stores to globals remain observable at function exit and are only
+/// removable under case 2.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/MemoryUtils.h"
+#include "transforms/Passes.h"
+
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+class DSEPass : public FunctionPass {
+public:
+  std::string name() const override { return "dse"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    bool Changed = removeWriteOnlyAllocas(F);
+    for (size_t B = 0; B != F.numBlocks(); ++B)
+      Changed |= runBackwardScan(*F.block(B));
+    return Changed;
+  }
+
+private:
+  bool removeWriteOnlyAllocas(Function &F) {
+    std::vector<AllocaInst *> WriteOnly;
+    F.forEachInstruction([&](Instruction *I) {
+      auto *A = dyn_cast<AllocaInst>(I);
+      if (!A)
+        return;
+      for (const Instruction *User : A->users()) {
+        if (const auto *Store = dyn_cast<StoreInst>(User)) {
+          if (Store->value() == A)
+            return; // Address escapes into memory (impossible today,
+                    // but cheap to guard).
+          continue;
+        }
+        if (const auto *Gep = dyn_cast<GepInst>(User)) {
+          // Gep chains: usable only if the gep itself is write-only.
+          for (const Instruction *GepUser : Gep->users())
+            if (!isa<StoreInst>(GepUser) ||
+                cast<StoreInst>(GepUser)->value() == Gep)
+              return;
+          continue;
+        }
+        return;
+      }
+      WriteOnly.push_back(A);
+    });
+
+    for (AllocaInst *A : WriteOnly) {
+      std::vector<Instruction *> Users(A->users().begin(), A->users().end());
+      for (Instruction *U : Users) {
+        if (auto *Gep = dyn_cast<GepInst>(U)) {
+          std::vector<Instruction *> GepUsers(Gep->users().begin(),
+                                              Gep->users().end());
+          for (Instruction *GU : GepUsers)
+            GU->parent()->erase(GU);
+        }
+        U->parent()->erase(U);
+      }
+      A->parent()->erase(A);
+    }
+    return !WriteOnly.empty();
+  }
+
+  bool runBackwardScan(BasicBlock &BB) {
+    bool Changed = false;
+    // Locations guaranteed to be overwritten before any possible read.
+    std::vector<MemLocation> Overwritten;
+
+    for (size_t I = BB.size(); I-- > 0;) {
+      Instruction *Inst = BB.inst(I);
+
+      if (auto *Store = dyn_cast<StoreInst>(Inst)) {
+        MemLocation Loc = decomposePointer(Store->pointer());
+        bool Dead = false;
+        for (const MemLocation &O : Overwritten)
+          if (alias(O, Loc) == AliasResult::MustAlias) {
+            Dead = true;
+            break;
+          }
+        if (Dead) {
+          BB.erase(I);
+          Changed = true;
+          continue;
+        }
+        if (Loc.Decomposed && Loc.ConstOffset)
+          Overwritten.push_back(Loc);
+        continue;
+      }
+
+      if (auto *Load = dyn_cast<LoadInst>(Inst)) {
+        MemLocation Loc = decomposePointer(Load->pointer());
+        for (size_t O = Overwritten.size(); O-- > 0;)
+          if (alias(Overwritten[O], Loc) != AliasResult::NoAlias)
+            Overwritten.erase(Overwritten.begin() +
+                              static_cast<ptrdiff_t>(O));
+        continue;
+      }
+
+      if (isa<CallInst>(Inst)) {
+        // Calls may read global memory (and via other functions, any
+        // global), so global facts die; allocas cannot be read by
+        // callees because their address never escapes.
+        for (size_t O = Overwritten.size(); O-- > 0;)
+          if (Overwritten[O].isGlobalMemory())
+            Overwritten.erase(Overwritten.begin() +
+                              static_cast<ptrdiff_t>(O));
+        continue;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createDSEPass() {
+  return std::make_unique<DSEPass>();
+}

@@ -1,0 +1,76 @@
+//===- transforms/FoldUtils.h - Constant evaluation helpers -----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of the IR's integer semantics, shared by the
+/// constant folder, SCCP, and the VM. Divergence here would let the
+/// optimizer change program behavior, so everything evaluates through
+/// these helpers:
+///
+///  * i64 arithmetic wraps (two's complement);
+///  * x / 0 == 0 and x % 0 == 0 (division is total);
+///  * INT64_MIN / -1 wraps to INT64_MIN with remainder 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TRANSFORMS_FOLDUTILS_H
+#define SC_TRANSFORMS_FOLDUTILS_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+
+namespace sc {
+
+/// Evaluates an i64 binary operation with the IR's total semantics.
+inline int64_t evalBinOp(BinOp Op, int64_t L, int64_t R) {
+  uint64_t UL = static_cast<uint64_t>(L);
+  uint64_t UR = static_cast<uint64_t>(R);
+  switch (Op) {
+  case BinOp::Add:
+    return static_cast<int64_t>(UL + UR);
+  case BinOp::Sub:
+    return static_cast<int64_t>(UL - UR);
+  case BinOp::Mul:
+    return static_cast<int64_t>(UL * UR);
+  case BinOp::SDiv:
+    if (R == 0)
+      return 0;
+    if (L == INT64_MIN && R == -1)
+      return INT64_MIN;
+    return L / R;
+  case BinOp::SRem:
+    if (R == 0)
+      return 0;
+    if (L == INT64_MIN && R == -1)
+      return 0;
+    return L % R;
+  }
+  return 0;
+}
+
+/// Evaluates a comparison (operands may be i64 or i1 values as 0/1).
+inline bool evalCmp(CmpPred Pred, int64_t L, int64_t R) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return L == R;
+  case CmpPred::NE:
+    return L != R;
+  case CmpPred::SLT:
+    return L < R;
+  case CmpPred::SLE:
+    return L <= R;
+  case CmpPred::SGT:
+    return L > R;
+  case CmpPred::SGE:
+    return L >= R;
+  }
+  return false;
+}
+
+} // namespace sc
+
+#endif // SC_TRANSFORMS_FOLDUTILS_H

@@ -1,0 +1,124 @@
+//===- transforms/GlobalOpt.cpp - Module-private global cleanup ------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Globals are module-private in this language (imports expose only
+/// functions), which makes three transformations sound per-module:
+///  * delete globals with no uses;
+///  * fold loads of never-written scalar globals to their initializer;
+///  * delete write-only globals together with their stores.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/MemoryUtils.h"
+#include "transforms/Passes.h"
+
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+class GlobalOptPass : public ModulePass {
+public:
+  std::string name() const override { return "globalopt"; }
+
+  bool run(Module &M, AnalysisManager &) override {
+    bool Changed = false;
+    // Snapshot: we erase globals while iterating.
+    std::vector<GlobalVariable *> Globals;
+    for (size_t I = 0; I != M.numGlobals(); ++I)
+      Globals.push_back(M.global(I));
+
+    for (GlobalVariable *G : Globals) {
+      if (!G->hasUses()) {
+        M.eraseGlobal(G);
+        Changed = true;
+        continue;
+      }
+
+      // Classify uses: loads, stores, and gep chains thereof.
+      bool HasLoad = false;
+      bool HasStore = false;
+      bool Complex = false; // Anything we can't reason about.
+      std::vector<Instruction *> DirectLoads;
+      classifyUses(G, G, HasLoad, HasStore, Complex, DirectLoads);
+      if (Complex)
+        continue;
+
+      if (!HasStore && G->size() == 1) {
+        // Read-only scalar: every load yields the initializer.
+        Value *Init = M.getI64(G->initValue());
+        for (Instruction *Load : DirectLoads) {
+          Load->replaceAllUsesWith(Init);
+          Load->parent()->erase(Load);
+          Changed = true;
+        }
+        if (!G->hasUses()) {
+          M.eraseGlobal(G);
+          Changed = true;
+        }
+        continue;
+      }
+
+      if (!HasLoad && HasStore) {
+        // Write-only global: remove the stores, geps, and the global.
+        removeWriteOnly(G);
+        M.eraseGlobal(G);
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+private:
+  /// Walks uses of \p V (the global or a gep rooted at it).
+  void classifyUses(GlobalVariable *G, Value *V, bool &HasLoad,
+                    bool &HasStore, bool &Complex,
+                    std::vector<Instruction *> &DirectLoads) {
+    for (Instruction *User : V->users()) {
+      if (auto *Load = dyn_cast<LoadInst>(User)) {
+        HasLoad = true;
+        if (V == G)
+          DirectLoads.push_back(Load);
+        continue;
+      }
+      if (auto *Store = dyn_cast<StoreInst>(User)) {
+        if (Store->value() == V) {
+          Complex = true; // Address stored as data (impossible today).
+          continue;
+        }
+        HasStore = true;
+        continue;
+      }
+      if (auto *Gep = dyn_cast<GepInst>(User)) {
+        if (Gep->index() == V) {
+          Complex = true;
+          continue;
+        }
+        classifyUses(G, Gep, HasLoad, HasStore, Complex, DirectLoads);
+        continue;
+      }
+      Complex = true;
+    }
+  }
+
+  /// Erases every user of \p V bottom-up (gep chains, then stores).
+  /// Only valid when classifyUses saw no loads or complex uses.
+  void removeWriteOnly(Value *V) {
+    std::vector<Instruction *> Users(V->users().begin(), V->users().end());
+    for (Instruction *U : Users) {
+      if (isa<GepInst>(U))
+        removeWriteOnly(U);
+      U->parent()->erase(U);
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ModulePass> sc::createGlobalOptPass() {
+  return std::make_unique<GlobalOptPass>();
+}

@@ -1,0 +1,189 @@
+//===- transforms/Inliner.cpp - Bottom-up function inlining ---------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Inlines small, non-recursive module-local callees into their
+/// callers, processing callers in bottom-up call-graph order so leaf
+/// bodies are final before being copied upward. All functions remain
+/// link-visible (other translation units may call them), so bodies are
+/// copied, never deleted.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "pass/AnalysisManager.h"
+#include "transforms/Cloning.h"
+#include "transforms/Passes.h"
+
+#include <map>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+constexpr size_t MaxCalleeSize = 25;
+constexpr size_t MaxCallerSize = 500;
+
+class InlinerPass : public ModulePass {
+public:
+  std::string name() const override { return "inline"; }
+
+  bool run(Module &M, AnalysisManager &AM) override {
+    const CallGraph &CG = AM.callGraph();
+    bool Changed = false;
+    for (Function *Caller : CG.bottomUpOrder()) {
+      // Collect inlinable call sites first; inlining mutates blocks.
+      bool CallerChanged = true;
+      while (CallerChanged && Caller->instructionCount() < MaxCallerSize) {
+        CallerChanged = false;
+        CallInst *Site = nullptr;
+        Function *Callee = nullptr;
+        Caller->forEachInstruction([&](Instruction *I) {
+          if (Site)
+            return;
+          auto *Call = dyn_cast<CallInst>(I);
+          if (!Call)
+            return;
+          Function *G = M.getFunction(Call->callee());
+          if (!G || G == Caller || CG.isRecursive(G))
+            return;
+          if (G->instructionCount() > MaxCalleeSize)
+            return;
+          Site = Call;
+          Callee = G;
+        });
+        if (!Site)
+          break;
+        inlineCall(*Caller, Site, *Callee);
+        Changed = CallerChanged = true;
+      }
+    }
+    return Changed;
+  }
+
+private:
+  void inlineCall(Function &Caller, CallInst *Call, Function &Callee) {
+    BasicBlock *CallBB = Call->parent();
+    size_t CallPos = CallBB->indexOf(Call);
+
+    // 1. Split: move everything after the call into a continuation.
+    BasicBlock *Cont = Caller.createBlock(CallBB->name() + ".inlcont");
+    {
+      // The terminator moves last; take() repeatedly from CallPos + 1.
+      std::vector<std::unique_ptr<Instruction>> Tail;
+      while (CallBB->size() > CallPos + 1)
+        Tail.push_back(CallBB->take(CallPos + 1));
+      for (auto &Inst : Tail)
+        Cont->push_back(std::move(Inst));
+    }
+    // Phi incoming blocks in Cont's new successors must follow the
+    // moved terminator.
+    for (BasicBlock *Succ : Cont->successors())
+      for (PhiInst *Phi : Succ->phis())
+        for (size_t I = 0; I != Phi->numIncoming(); ++I)
+          if (Phi->incomingBlock(I) == CallBB)
+            Phi->setIncomingBlock(I, Cont);
+
+    // 2. Clone the callee body. Blocks are visited in reverse
+    // post-order so cloned definitions precede their uses (layout
+    // order gives no such guarantee after earlier inlining into the
+    // callee); unreachable callee blocks are not cloned at all.
+    std::vector<BasicBlock *> Order = reversePostOrder(Callee);
+    std::map<const Value *, Value *> VM;
+    std::map<BasicBlock *, BasicBlock *> BlockMap;
+    for (size_t A = 0; A != Callee.numArgs(); ++A)
+      VM[Callee.arg(A)] = Call->arg(A);
+    for (BasicBlock *BB : Order)
+      BlockMap[BB] = Caller.createBlock(Callee.name() + "." + BB->name() +
+                                        ".inl");
+
+    auto MapValue = [&](Value *V) -> Value * {
+      auto It = VM.find(V);
+      return It != VM.end() ? It->second : V;
+    };
+    auto MapBlock = [&](BasicBlock *BB) -> BasicBlock * {
+      auto It = BlockMap.find(BB);
+      assert(It != BlockMap.end() && "callee branch to unknown block");
+      return It->second;
+    };
+
+    // Empty phis first so forward references resolve.
+    for (BasicBlock *BB : Order)
+      for (PhiInst *Phi : BB->phis())
+        VM[Phi] = BlockMap[BB]->push_back(
+            std::make_unique<PhiInst>(Phi->type()));
+
+    // Clone instructions; rets divert to the continuation.
+    std::vector<std::pair<BasicBlock *, Value *>> Returns;
+    for (BasicBlock *Src : Order) {
+      BasicBlock *Dst = BlockMap[Src];
+      for (size_t I = 0; I != Src->size(); ++I) {
+        Instruction *Inst = Src->inst(I);
+        if (isa<PhiInst>(Inst))
+          continue;
+        if (auto *Ret = dyn_cast<RetInst>(Inst)) {
+          Value *RetVal =
+              Ret->hasValue() ? MapValue(Ret->value()) : nullptr;
+          Returns.push_back({Dst, RetVal});
+          Dst->push_back(std::make_unique<BrInst>(Cont));
+          continue;
+        }
+        std::unique_ptr<Instruction> Clone =
+            cloneInstruction(Inst, MapValue, MapBlock);
+        assert(Clone && "uncloneable instruction in callee");
+        VM[Inst] = Dst->push_back(std::move(Clone));
+      }
+    }
+
+    // Patch cloned phi incomings. Entries flowing from unreachable
+    // (uncloned) predecessors correspond to edges that never execute
+    // and are dropped.
+    for (BasicBlock *BB : Order)
+      for (PhiInst *Phi : BB->phis()) {
+        auto *Clone = cast<PhiInst>(VM[Phi]);
+        for (size_t I = 0; I != Phi->numIncoming(); ++I) {
+          auto MappedBlock = BlockMap.find(Phi->incomingBlock(I));
+          if (MappedBlock == BlockMap.end())
+            continue;
+          Clone->addIncoming(MapValue(Phi->incomingValue(I)),
+                             MappedBlock->second);
+        }
+      }
+
+    // 3. Wire the return value.
+    if (Returns.empty()) {
+      // Callee never returns (infinite loop): the continuation is
+      // unreachable; give any users a dummy constant.
+      if (Call->type() != IRType::Void && Call->hasUses())
+        Call->replaceAllUsesWith(
+            Caller.parent()->getConstant(Call->type(), 0));
+    } else if (Call->type() != IRType::Void && Call->hasUses()) {
+      Value *Result = nullptr;
+      if (Returns.size() == 1) {
+        Result = Returns[0].second;
+      } else {
+        auto Phi = std::make_unique<PhiInst>(Call->type());
+        auto *P = static_cast<PhiInst *>(Cont->insertBefore(0, std::move(Phi)));
+        for (auto &[RetBB, RetVal] : Returns)
+          P->addIncoming(RetVal, RetBB);
+        Result = P;
+      }
+      assert(Result && "non-void callee with no returns");
+      Call->replaceAllUsesWith(Result);
+    }
+
+    // 4. Enter the inlined body and delete the call.
+    CallBB->erase(Call);
+    CallBB->push_back(
+        std::make_unique<BrInst>(BlockMap[Callee.entry()]));
+  }
+};
+
+} // namespace
+
+std::unique_ptr<ModulePass> sc::createInlinerPass() {
+  return std::make_unique<InlinerPass>();
+}

@@ -1,0 +1,215 @@
+//===- transforms/InstSimplify.cpp - Algebraic peepholes ----------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Algebraic identities and canonicalizations:
+///   x+0, 0+x, x-0, x-x, x*0, x*1, 1*x, x/1, 0/x, x%1, x%x
+///   cmp x, x        -> constant by predicate
+///   commutative ops -> constant operand canonicalized to the RHS
+///   cmp const, x    -> swapped predicate with constant on the RHS
+///   add (add x, c1), c2 -> add x, (c1+c2)   (and the sub/mixed forms)
+///   select c, x, x  -> x;  select true/false handled by constfold
+///   single-incoming and all-same phis -> incoming value
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/FoldUtils.h"
+#include "transforms/Passes.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+class InstSimplifyPass : public FunctionPass {
+public:
+  std::string name() const override { return "instsimplify"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    Module &M = *F.parent();
+    bool Changed = false;
+
+    std::vector<Instruction *> Work;
+    std::set<Instruction *> Erased;
+    std::vector<std::unique_ptr<Instruction>> Graveyard;
+    F.forEachInstruction([&](Instruction *I) { Work.push_back(I); });
+
+    auto ReplaceWith = [&](Instruction *I, Value *V) {
+      for (Instruction *User : I->users())
+        if (!Erased.count(User))
+          Work.push_back(User);
+      I->replaceAllUsesWith(V);
+      Erased.insert(I);
+      Graveyard.push_back(I->parent()->take(I->parent()->indexOf(I)));
+      Graveyard.back()->dropAllOperands();
+      Changed = true;
+    };
+
+    while (!Work.empty()) {
+      Instruction *I = Work.back();
+      Work.pop_back();
+      if (Erased.count(I))
+        continue;
+
+      if (Value *V = simplify(I, M)) {
+        if (V != I)
+          ReplaceWith(I, V);
+        else {
+          // In-place canonicalization (operand swap); requeue users.
+          Changed = true;
+          Work.push_back(I);
+        }
+        continue;
+      }
+    }
+    return Changed;
+  }
+
+private:
+  /// Returns a replacement value, \p I itself to signal an in-place
+  /// mutation happened, or null when nothing applies.
+  Value *simplify(Instruction *I, Module &M) {
+    if (auto *B = dyn_cast<BinaryInst>(I))
+      return simplifyBinary(B, M);
+    if (auto *C = dyn_cast<CmpInst>(I))
+      return simplifyCmp(C, M);
+    if (auto *S = dyn_cast<SelectInst>(I)) {
+      if (S->trueValue() == S->falseValue())
+        return S->trueValue();
+      return nullptr;
+    }
+    if (auto *P = dyn_cast<PhiInst>(I))
+      return simplifyPhi(P);
+    return nullptr;
+  }
+
+  Value *simplifyBinary(BinaryInst *B, Module &M) {
+    auto *LC = dyn_cast<ConstantInt>(B->lhs());
+    auto *RC = dyn_cast<ConstantInt>(B->rhs());
+
+    // Canonicalize constants to the RHS of commutative operations.
+    if (B->isCommutative() && LC && !RC) {
+      Value *L = B->lhs();
+      B->setOperand(0, B->rhs());
+      B->setOperand(1, L);
+      return B; // In-place change.
+    }
+
+    switch (B->op()) {
+    case BinOp::Add:
+      if (RC && RC->isZero())
+        return B->lhs();
+      // (x + c1) + c2 -> x + (c1 + c2)
+      if (RC)
+        if (auto *Inner = dyn_cast<BinaryInst>(B->lhs()))
+          if (Inner->op() == BinOp::Add)
+            if (auto *InnerC = dyn_cast<ConstantInt>(Inner->rhs())) {
+              int64_t Sum =
+                  evalBinOp(BinOp::Add, InnerC->value(), RC->value());
+              B->setOperand(0, Inner->lhs());
+              B->setOperand(1, M.getI64(Sum));
+              return B;
+            }
+      break;
+    case BinOp::Sub:
+      if (RC && RC->isZero())
+        return B->lhs();
+      if (B->lhs() == B->rhs())
+        return M.getI64(0);
+      // (x - c1) - c2 -> x - (c1 + c2)
+      if (RC)
+        if (auto *Inner = dyn_cast<BinaryInst>(B->lhs()))
+          if (Inner->op() == BinOp::Sub)
+            if (auto *InnerC = dyn_cast<ConstantInt>(Inner->rhs())) {
+              int64_t Sum =
+                  evalBinOp(BinOp::Add, InnerC->value(), RC->value());
+              B->setOperand(0, Inner->lhs());
+              B->setOperand(1, M.getI64(Sum));
+              return B;
+            }
+      break;
+    case BinOp::Mul:
+      if (RC && RC->isZero())
+        return M.getI64(0);
+      if (RC && RC->isOne())
+        return B->lhs();
+      break;
+    case BinOp::SDiv:
+      if (RC && RC->isOne())
+        return B->lhs();
+      if (LC && LC->isZero())
+        return M.getI64(0);
+      if (RC && RC->isZero())
+        return M.getI64(0); // Total division semantics.
+      break;
+    case BinOp::SRem:
+      if (RC && (RC->isOne() || RC->isZero()))
+        return M.getI64(0);
+      if (B->lhs() == B->rhs())
+        return M.getI64(0);
+      break;
+    }
+    return nullptr;
+  }
+
+  Value *simplifyCmp(CmpInst *C, Module &M) {
+    if (C->lhs() == C->rhs()) {
+      switch (C->pred()) {
+      case CmpPred::EQ:
+      case CmpPred::SLE:
+      case CmpPred::SGE:
+        return M.getBool(true);
+      case CmpPred::NE:
+      case CmpPred::SLT:
+      case CmpPred::SGT:
+        return M.getBool(false);
+      }
+    }
+    // Canonicalize constant to the RHS by swapping the predicate.
+    if (isa<ConstantInt>(C->lhs()) && !isa<ConstantInt>(C->rhs())) {
+      Value *L = C->lhs();
+      C->setOperand(0, C->rhs());
+      C->setOperand(1, L);
+      C->setPred(swapCmpPred(C->pred()));
+      return C;
+    }
+    // cmp eq (cmp ...), false -> inverted inner compare, when this is
+    // the builder's "not" idiom and the inner compare has one use.
+    if (C->pred() == CmpPred::EQ && C->lhs()->type() == IRType::I1)
+      if (auto *RC = dyn_cast<ConstantInt>(C->rhs()); RC && RC->isZero())
+        if (auto *Inner = dyn_cast<CmpInst>(C->lhs());
+            Inner && Inner->numUses() == 1) {
+          auto Inverted = std::make_unique<CmpInst>(
+              invertCmpPred(Inner->pred()), Inner->lhs(), Inner->rhs());
+          BasicBlock *BB = C->parent();
+          return BB->insertBefore(BB->indexOf(C), std::move(Inverted));
+        }
+    return nullptr;
+  }
+
+  Value *simplifyPhi(PhiInst *P) {
+    // phi [v, ...], [v, ...], [self, ...] -> v (self-edges are inert).
+    Value *Candidate = nullptr;
+    for (size_t I = 0; I != P->numIncoming(); ++I) {
+      Value *V = P->incomingValue(I);
+      if (V == P)
+        continue;
+      if (!Candidate)
+        Candidate = V;
+      else if (V != Candidate)
+        return nullptr;
+    }
+    return Candidate; // Null for empty/all-self phis (unreachable).
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createInstSimplifyPass() {
+  return std::make_unique<InstSimplifyPass>();
+}

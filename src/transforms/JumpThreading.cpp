@@ -1,0 +1,150 @@
+//===- transforms/JumpThreading.cpp - Thread constant phi branches --------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Threads edges through join blocks whose conditional branch is
+/// decided by the incoming edge:
+///
+///   P:  ... br B          B: %c = phi i1 [true, P], [%x, Q]
+///                            condbr %c, T, F
+///
+/// The P->B edge always continues to T, so P branches to T directly.
+/// Restricted to join blocks containing only phis and the condbr
+/// (no code to duplicate), which keeps the transform linear and the
+/// phi repair exact: target phis take, for the threaded predecessor,
+/// the value B would have forwarded on that edge.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+class JumpThreadingPass : public FunctionPass {
+public:
+  std::string name() const override { return "jumpthread"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    bool Changed = false;
+    bool LocalChanged = true;
+    while (LocalChanged) {
+      LocalChanged = false;
+      for (size_t B = 0; B != F.numBlocks(); ++B)
+        LocalChanged |= threadThrough(F, F.block(B));
+      Changed |= LocalChanged;
+      if (LocalChanged)
+        removeUnreachableBlocks(F);
+    }
+    return Changed;
+  }
+
+private:
+  /// The value an instruction-or-value \p V (live at the end of \p B,
+  /// where every instruction is a phi) carries on the edge from
+  /// \p Pred: phis of B resolve to their incoming, everything else is
+  /// edge-independent.
+  static Value *valueOnEdge(Value *V, BasicBlock *B, BasicBlock *Pred) {
+    if (auto *Phi = dyn_cast<PhiInst>(V))
+      if (Phi->parent() == B)
+        return Phi->incomingValueFor(Pred);
+    return V;
+  }
+
+  bool threadThrough(Function &F, BasicBlock *B) {
+    // Shape: only phis before the condbr.
+    auto *CondBr = dyn_cast_if_present<CondBrInst>(B->terminator());
+    if (!CondBr)
+      return false;
+    for (size_t I = 0; I + 1 < B->size(); ++I)
+      if (!isa<PhiInst>(B->inst(I)))
+        return false;
+    auto *CondPhi = dyn_cast<PhiInst>(CondBr->cond());
+    if (!CondPhi || CondPhi->parent() != B)
+      return false;
+
+    // Threading adds edges that bypass B, so B stops dominating its
+    // successors. That is only sound when B's phis cannot be observed
+    // below B except (a) by the condbr itself and (b) as incoming
+    // values that successor phis attribute to the B edge (which the
+    // repair below rewrites per threaded edge).
+    for (PhiInst *Phi : B->phis())
+      for (Instruction *User : Phi->users()) {
+        if (User == CondBr)
+          continue;
+        auto *UserPhi = dyn_cast<PhiInst>(User);
+        if (!UserPhi || UserPhi->parent() == B)
+          return false;
+        std::vector<BasicBlock *> Succs = B->successors();
+        if (std::find(Succs.begin(), Succs.end(), UserPhi->parent()) ==
+            Succs.end())
+          return false;
+        for (size_t In = 0; In != UserPhi->numIncoming(); ++In)
+          if (UserPhi->incomingValue(In) == Phi &&
+              UserPhi->incomingBlock(In) != B)
+            return false;
+      }
+
+    // Predecessors whose edge decides the branch.
+    std::vector<BasicBlock *> Preds(B->predecessors().begin(),
+                                    B->predecessors().end());
+    std::sort(Preds.begin(), Preds.end(),
+              [&](BasicBlock *X, BasicBlock *Y) {
+                return F.indexOfBlock(X) < F.indexOfBlock(Y);
+              });
+    Preds.erase(std::unique(Preds.begin(), Preds.end()), Preds.end());
+
+    bool Changed = false;
+    for (BasicBlock *Pred : Preds) {
+      if (Pred == B)
+        continue; // Self-loops stay.
+      auto *C = dyn_cast_if_present<ConstantInt>(
+          CondPhi->incomingValueFor(Pred));
+      if (!C)
+        continue;
+      BasicBlock *Target =
+          C->isZero() ? CondBr->falseTarget() : CondBr->trueTarget();
+      if (Target == B)
+        continue; // Would re-enter the block being bypassed.
+
+      // Refuse ambiguous phi repair: if Pred already reaches Target
+      // directly, Target's phis would need two entries for Pred.
+      bool AlreadyPred =
+          std::find(Target->predecessors().begin(),
+                    Target->predecessors().end(),
+                    Pred) != Target->predecessors().end();
+      if (AlreadyPred && !Target->phis().empty())
+        continue;
+
+      // Target phis: the edge now comes from Pred carrying the value
+      // B would have forwarded.
+      for (PhiInst *Phi : Target->phis()) {
+        Value *ViaB = Phi->incomingValueFor(B);
+        assert(ViaB && "target phi lacks an entry for the join block");
+        Value *OnEdge = valueOnEdge(ViaB, B, Pred);
+        assert(OnEdge && "phi of B lacks an entry for the predecessor");
+        Phi->addIncoming(OnEdge, Pred);
+      }
+
+      // Retarget every Pred->B edge (a condbr may have two).
+      Pred->replaceSuccessor(B, Target);
+      for (PhiInst *Phi : B->phis())
+        Phi->removeIncomingBlock(Pred);
+      Changed = true;
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createJumpThreadingPass() {
+  return std::make_unique<JumpThreadingPass>();
+}

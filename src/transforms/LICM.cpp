@@ -1,0 +1,142 @@
+//===- transforms/LICM.cpp - Loop-invariant code motion -------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Hoists loop-invariant computations into the loop preheader,
+/// innermost loops first. Hoisted categories:
+///  * pure scalar ops (arithmetic, compares, geps, selects) whose
+///    operands are defined outside the loop or already hoisted;
+///  * loads whose location cannot be written inside the loop (no
+///    may-aliasing store; no call when the location is global memory).
+/// Hoisting is unconditional-execution-safe because all our scalar ops
+/// are total (division cannot trap).
+///
+//===----------------------------------------------------------------------===//
+
+#include "pass/AnalysisManager.h"
+#include "transforms/MemoryUtils.h"
+#include "transforms/Passes.h"
+
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+class LICMPass : public FunctionPass {
+public:
+  std::string name() const override { return "licm"; }
+
+  bool run(Function &F, AnalysisManager &AM) override {
+    // Copy the loop list: hoisting preserves loop structure but we
+    // must not keep references into an invalidated analysis if a
+    // previous loop changed anything. Loop bodies/headers are stable
+    // under LICM (we only move instructions to preheaders), so a
+    // single snapshot is safe.
+    const LoopInfo &LI = AM.loopInfo(F);
+    bool Changed = false;
+    for (Loop *L : LI.loopsInnermostFirst())
+      Changed |= runOnLoop(*L);
+    return Changed;
+  }
+
+private:
+  bool runOnLoop(Loop &L) {
+    BasicBlock *Preheader = L.preheader();
+    if (!Preheader)
+      return false;
+
+    // Loop blocks in function layout order: iteration must be
+    // deterministic (pointer-ordered sets would make codegen differ
+    // run to run).
+    Function &F = *L.header()->parent();
+    std::vector<BasicBlock *> LoopBlocks;
+    for (size_t B = 0; B != F.numBlocks(); ++B)
+      if (L.contains(F.block(B)))
+        LoopBlocks.push_back(F.block(B));
+
+    // Loop memory summary for load hoisting.
+    bool LoopHasCall = false;
+    std::vector<MemLocation> StoredLocs;
+    for (BasicBlock *BB : LoopBlocks)
+      for (size_t I = 0; I != BB->size(); ++I) {
+        Instruction *Inst = BB->inst(I);
+        if (isa<CallInst>(Inst))
+          LoopHasCall = true;
+        else if (auto *St = dyn_cast<StoreInst>(Inst))
+          StoredLocs.push_back(decomposePointer(St->pointer()));
+      }
+
+    std::set<const Value *> Hoisted;
+    auto IsInvariantOperand = [&](const Value *V) {
+      if (Hoisted.count(V))
+        return true;
+      const auto *Inst = dyn_cast<Instruction>(V);
+      if (!Inst)
+        return true; // Constants, arguments, globals.
+      return !L.contains(Inst->parent());
+    };
+
+    auto CanHoist = [&](const Instruction *Inst) {
+      switch (Inst->kind()) {
+      case Value::Kind::Binary:
+      case Value::Kind::Cmp:
+      case Value::Kind::Select:
+      case Value::Kind::Gep:
+        break;
+      case Value::Kind::Load: {
+        MemLocation Loc =
+            decomposePointer(cast<LoadInst>(Inst)->pointer());
+        if (LoopHasCall && (Loc.isGlobalMemory() || !Loc.Decomposed))
+          return false;
+        for (const MemLocation &S : StoredLocs)
+          if (alias(S, Loc) != AliasResult::NoAlias)
+            return false;
+        break;
+      }
+      default:
+        return false;
+      }
+      for (const Value *Op : Inst->operands())
+        if (!IsInvariantOperand(Op))
+          return false;
+      return true;
+    };
+
+    // Iterate to a fixed point so chains of invariant ops hoist
+    // together; move in block order to preserve def-before-use in the
+    // preheader.
+    bool Changed = false;
+    bool LocalChanged = true;
+    while (LocalChanged) {
+      LocalChanged = false;
+      for (BasicBlock *BB : LoopBlocks) {
+        for (size_t I = 0; I < BB->size(); ++I) {
+          Instruction *Inst = BB->inst(I);
+          if (Inst->isTerminator() || isa<PhiInst>(Inst))
+            continue;
+          if (Hoisted.count(Inst) || !CanHoist(Inst))
+            continue;
+          std::unique_ptr<Instruction> Owned = BB->take(I);
+          Instruction *Raw = Owned.get();
+          Preheader->insertBefore(
+              Preheader->indexOf(Preheader->terminator()),
+              std::move(Owned));
+          Hoisted.insert(Raw);
+          --I;
+          Changed = LocalChanged = true;
+        }
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createLICMPass() {
+  return std::make_unique<LICMPass>();
+}

@@ -1,0 +1,107 @@
+//===- transforms/LoadForward.cpp - Store-to-load forwarding -------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Block-local memory optimization:
+///  * a load after a must-aliasing store forwards the stored value;
+///  * a load after a must-aliasing load reuses the earlier result.
+/// Calls invalidate global memory only (allocas never escape); stores
+/// invalidate every tracked location they may alias.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/MemoryUtils.h"
+#include "transforms/Passes.h"
+
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+struct TrackedLocation {
+  MemLocation Loc;
+  const Value *Ptr;   // Representative pointer value.
+  Value *Known;       // Value currently in memory at Loc.
+};
+
+class LoadForwardPass : public FunctionPass {
+public:
+  std::string name() const override { return "loadforward"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    bool Changed = false;
+    for (size_t B = 0; B != F.numBlocks(); ++B)
+      Changed |= runOnBlock(*F.block(B));
+    return Changed;
+  }
+
+private:
+  bool runOnBlock(BasicBlock &BB) {
+    bool Changed = false;
+    std::vector<TrackedLocation> Tracked;
+
+    auto Lookup = [&](const Value *Ptr, const MemLocation &Loc) -> Value * {
+      for (const TrackedLocation &T : Tracked) {
+        // The same SSA pointer value trivially must-aliases itself,
+        // which catches variable-index geps the decomposition cannot.
+        if (T.Ptr == Ptr)
+          return T.Known;
+        if (alias(T.Loc, Loc) == AliasResult::MustAlias)
+          return T.Known;
+      }
+      return nullptr;
+    };
+
+    auto InvalidateMayAlias = [&](const MemLocation &Loc) {
+      for (size_t I = Tracked.size(); I-- > 0;)
+        if (alias(Tracked[I].Loc, Loc) != AliasResult::NoAlias)
+          Tracked.erase(Tracked.begin() + static_cast<ptrdiff_t>(I));
+    };
+
+    auto Record = [&](const Value *Ptr, const MemLocation &Loc, Value *V) {
+      Tracked.push_back({Loc, Ptr, V});
+    };
+
+    for (size_t I = 0; I < BB.size(); ++I) {
+      Instruction *Inst = BB.inst(I);
+
+      if (auto *Load = dyn_cast<LoadInst>(Inst)) {
+        MemLocation Loc = decomposePointer(Load->pointer());
+        if (Value *Known = Lookup(Load->pointer(), Loc)) {
+          Load->replaceAllUsesWith(Known);
+          BB.erase(I);
+          --I;
+          Changed = true;
+          continue;
+        }
+        Record(Load->pointer(), Loc, Load);
+        continue;
+      }
+
+      if (auto *Store = dyn_cast<StoreInst>(Inst)) {
+        MemLocation Loc = decomposePointer(Store->pointer());
+        InvalidateMayAlias(Loc);
+        Record(Store->pointer(), Loc, Store->value());
+        continue;
+      }
+
+      if (isa<CallInst>(Inst)) {
+        // Calls may read/write globals; alloca-backed facts survive.
+        for (size_t T = Tracked.size(); T-- > 0;)
+          if (Tracked[T].Loc.isGlobalMemory() || !Tracked[T].Loc.Decomposed)
+            Tracked.erase(Tracked.begin() + static_cast<ptrdiff_t>(T));
+        continue;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createLoadForwardPass() {
+  return std::make_unique<LoadForwardPass>();
+}

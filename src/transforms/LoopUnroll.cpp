@@ -1,0 +1,449 @@
+//===- transforms/LoopUnroll.cpp - Full unrolling by peeling --------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Fully unrolls small counted loops by *peeling*: one peel clones the
+/// loop body between the preheader and the loop, with the cloned
+/// header still performing its exit test. Peeling is therefore
+/// semantics-preserving unconditionally — the computed trip count is
+/// only a profitability heuristic deciding how many times to peel.
+/// After N peels of an N-iteration loop the original loop is dead;
+/// SCCP and SimplifyCFG later in the pipeline delete its skeleton.
+///
+/// Recognized trip-count shape (what the frontend emits for counted
+/// `while`/`for` loops after mem2reg):
+///   header:  %iv = phi [init, preheader], [next, latch...]
+///            %c  = cmp pred %iv, bound     ; init/step/bound constant
+///            condbr %c, <in-loop>, <exit>  ; (or swapped)
+///   ...      %next = add %iv, step
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "pass/AnalysisManager.h"
+#include "transforms/FoldUtils.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+constexpr uint64_t MaxTripCount = 8;
+constexpr uint64_t MaxLoopInsts = 48;
+constexpr uint64_t MaxTotalClonedInsts = 256;
+
+/// Finds the canonical induction structure; returns trip count or 0.
+uint64_t computeTripCount(const Loop &L) {
+  BasicBlock *H = L.header();
+  auto *CondBr = dyn_cast_if_present<CondBrInst>(H->terminator());
+  if (!CondBr)
+    return 0;
+  auto *Cmp = dyn_cast<CmpInst>(CondBr->cond());
+  if (!Cmp)
+    return 0;
+
+  // One arm must leave the loop, the other stay inside.
+  bool TrueInside = L.contains(CondBr->trueTarget());
+  bool FalseInside = L.contains(CondBr->falseTarget());
+  if (TrueInside == FalseInside)
+    return 0;
+  CmpPred Pred = Cmp->pred();
+  if (!TrueInside)
+    Pred = invertCmpPred(Pred); // Loop continues when cond is false.
+
+  auto *IV = dyn_cast<PhiInst>(Cmp->lhs());
+  auto *Bound = dyn_cast<ConstantInt>(Cmp->rhs());
+  if (!IV || !Bound || IV->parent() != H)
+    return 0;
+
+  // Initial value from outside, step from each latch: all must agree.
+  std::optional<int64_t> Init;
+  std::optional<int64_t> Step;
+  for (size_t I = 0; I != IV->numIncoming(); ++I) {
+    BasicBlock *In = IV->incomingBlock(I);
+    Value *V = IV->incomingValue(I);
+    if (!L.contains(In)) {
+      auto *C = dyn_cast<ConstantInt>(V);
+      if (!C || (Init && *Init != C->value()))
+        return 0;
+      Init = C->value();
+      continue;
+    }
+    auto *Upd = dyn_cast<BinaryInst>(V);
+    if (!Upd || (Upd->op() != BinOp::Add && Upd->op() != BinOp::Sub) ||
+        Upd->lhs() != IV)
+      return 0;
+    auto *C = dyn_cast<ConstantInt>(Upd->rhs());
+    if (!C)
+      return 0;
+    int64_t ThisStep =
+        Upd->op() == BinOp::Add ? C->value() : evalBinOp(BinOp::Sub, 0,
+                                                         C->value());
+    if (Step && *Step != ThisStep)
+      return 0;
+    Step = ThisStep;
+  }
+  if (!Init || !Step || *Step == 0)
+    return 0;
+
+  // Simulate; bail when the loop runs longer than we would unroll.
+  int64_t V = *Init;
+  for (uint64_t Trip = 0; Trip <= MaxTripCount; ++Trip) {
+    if (!evalCmp(Pred, V, Bound->value()))
+      return Trip;
+    V = evalBinOp(BinOp::Add, V, *Step);
+  }
+  return 0;
+}
+
+class LoopUnrollPass : public FunctionPass {
+public:
+  std::string name() const override { return "loopunroll"; }
+
+  bool run(Function &F, AnalysisManager &AM) override {
+    // Unrolling invalidates LoopInfo; handle one loop per outer
+    // iteration and recompute. Peeled skeletons are naturally skipped
+    // on re-examination (their entry value is no longer a constant),
+    // but the header set below caps pathological repeats.
+    std::set<BasicBlock *> AlreadyUnrolled;
+    bool Changed = false;
+    for (;;) {
+      const LoopInfo &LI = AM.loopInfo(F);
+      Loop *Candidate = nullptr;
+      uint64_t Trips = 0;
+      for (Loop *L : LI.loopsInnermostFirst()) {
+        if (!L->subLoops().empty())
+          continue; // Innermost only.
+        if (AlreadyUnrolled.count(L->header()))
+          continue;
+        uint64_t N = computeTripCount(*L);
+        if (N == 0 || N > MaxTripCount)
+          continue;
+        uint64_t BodySize = 0;
+        for (BasicBlock *BB : L->blocks())
+          BodySize += BB->size();
+        if (BodySize > MaxLoopInsts || N * BodySize > MaxTotalClonedInsts)
+          continue;
+        Candidate = L;
+        Trips = N;
+        break;
+      }
+      if (!Candidate)
+        return Changed;
+
+      std::set<BasicBlock *> LoopSet(Candidate->blocks().begin(),
+                                     Candidate->blocks().end());
+      BasicBlock *Header = Candidate->header();
+      AlreadyUnrolled.insert(Header);
+
+      // Peeling re-routes exit edges around the original header, so
+      // loop-defined values used outside must flow through exit phis
+      // (LCSSA). We only handle the single-exit-block shape.
+      std::vector<BasicBlock *> Exits = Candidate->exitBlocks();
+      if (Exits.size() != 1 ||
+          !convertToLCSSA(LoopSet, Exits[0]))
+        continue;
+
+      for (uint64_t K = 0; K != Trips; ++K)
+        if (!peelOnce(F, Header, LoopSet))
+          break;
+      Changed = true;
+      AM.invalidate(F);
+    }
+  }
+
+private:
+  /// Rewrites outside uses of loop-defined values to go through phis
+  /// in the single exit block \p Exit (LCSSA form). With one exit
+  /// block, every outside use is dominated by it, so a single phi per
+  /// value suffices. Returns false when the shape is unsupported.
+  bool convertToLCSSA(const std::set<BasicBlock *> &LoopSet,
+                      BasicBlock *Exit) {
+    // The exit block's predecessors must all be loop blocks; a mixed
+    // exit would mean no loop value can be used in/below it anyway,
+    // but adding phis there would be wrong, so just verify.
+    std::vector<BasicBlock *> ExitPreds;
+    for (BasicBlock *Pred : Exit->predecessors())
+      if (std::find(ExitPreds.begin(), ExitPreds.end(), Pred) ==
+          ExitPreds.end())
+        ExitPreds.push_back(Pred);
+
+    // Iterate loop blocks in function layout order: the insertion
+    // order of exit phis must be deterministic across runs.
+    Function &F = *Exit->parent();
+    std::vector<BasicBlock *> OrderedLoopBlocks;
+    for (size_t B = 0; B != F.numBlocks(); ++B)
+      if (LoopSet.count(F.block(B)))
+        OrderedLoopBlocks.push_back(F.block(B));
+
+    for (BasicBlock *BB : OrderedLoopBlocks)
+      for (size_t I = 0; I != BB->size(); ++I) {
+        Instruction *V = BB->inst(I);
+        if (V->type() == IRType::Void)
+          continue;
+        // Outside users: a phi use counts at its incoming block.
+        std::vector<Instruction *> Outside;
+        for (Instruction *User : V->users()) {
+          if (auto *Phi = dyn_cast<PhiInst>(User)) {
+            bool UsedOutside = false;
+            for (size_t In = 0; In != Phi->numIncoming(); ++In)
+              if (Phi->incomingValue(In) == V &&
+                  !LoopSet.count(Phi->incomingBlock(In)))
+                UsedOutside = true;
+            if (UsedOutside)
+              Outside.push_back(User);
+            continue;
+          }
+          if (!LoopSet.count(User->parent()))
+            Outside.push_back(User);
+        }
+        if (Outside.empty())
+          continue;
+
+        for (BasicBlock *Pred : ExitPreds)
+          if (!LoopSet.count(Pred))
+            return false; // Mixed exit with outside uses: bail out.
+
+        auto PhiOwned = std::make_unique<PhiInst>(V->type());
+        auto *ExitPhi =
+            static_cast<PhiInst *>(Exit->insertBefore(0, std::move(PhiOwned)));
+        for (BasicBlock *Pred : ExitPreds)
+          ExitPhi->addIncoming(V, Pred);
+        for (Instruction *User : Outside) {
+          if (User == ExitPhi)
+            continue;
+          if (auto *Phi = dyn_cast<PhiInst>(User)) {
+            for (size_t In = 0; In != Phi->numIncoming(); ++In)
+              if (Phi->incomingValue(In) == V &&
+                  !LoopSet.count(Phi->incomingBlock(In)))
+                Phi->setIncomingValue(In, ExitPhi);
+            continue;
+          }
+          User->replaceUsesOfWith(V, ExitPhi);
+        }
+      }
+    return true;
+  }
+
+  /// Returns the unique out-of-loop predecessor of \p H with a lone
+  /// successor, or null.
+  static BasicBlock *findPreheader(BasicBlock *H,
+                                   const std::set<BasicBlock *> &LoopSet) {
+    BasicBlock *Candidate = nullptr;
+    for (BasicBlock *Pred : H->predecessors()) {
+      if (LoopSet.count(Pred))
+        continue;
+      if (Candidate && Candidate != Pred)
+        return nullptr;
+      Candidate = Pred;
+    }
+    if (!Candidate)
+      return nullptr;
+    std::vector<BasicBlock *> Succs = Candidate->successors();
+    return (Succs.size() == 1 && Succs[0] == H) ? Candidate : nullptr;
+  }
+
+  /// Clones \p Src with operands remapped through \p VM.
+  static std::unique_ptr<Instruction>
+  cloneInstruction(const Instruction *Src,
+                   const std::map<const Value *, Value *> &VM,
+                   const std::map<BasicBlock *, BasicBlock *> &BlockMap,
+                   BasicBlock *Header) {
+    auto Map = [&](Value *V) -> Value * {
+      auto It = VM.find(V);
+      return It != VM.end() ? It->second : V;
+    };
+    auto MapBlock = [&](BasicBlock *BB) -> BasicBlock * {
+      if (BB == Header)
+        return Header; // Back edge re-enters the remaining loop.
+      auto It = BlockMap.find(BB);
+      return It != BlockMap.end() ? It->second : BB;
+    };
+
+    switch (Src->kind()) {
+    case Value::Kind::Binary: {
+      const auto *B = cast<BinaryInst>(Src);
+      return std::make_unique<BinaryInst>(B->op(), Map(B->lhs()),
+                                          Map(B->rhs()));
+    }
+    case Value::Kind::Cmp: {
+      const auto *C = cast<CmpInst>(Src);
+      return std::make_unique<CmpInst>(C->pred(), Map(C->lhs()),
+                                       Map(C->rhs()));
+    }
+    case Value::Kind::Select: {
+      const auto *S = cast<SelectInst>(Src);
+      return std::make_unique<SelectInst>(Map(S->cond()),
+                                          Map(S->trueValue()),
+                                          Map(S->falseValue()));
+    }
+    case Value::Kind::Alloca:
+      return std::make_unique<AllocaInst>(cast<AllocaInst>(Src)->numCells());
+    case Value::Kind::Load:
+      return std::make_unique<LoadInst>(Map(cast<LoadInst>(Src)->pointer()));
+    case Value::Kind::Store: {
+      const auto *St = cast<StoreInst>(Src);
+      return std::make_unique<StoreInst>(Map(St->value()),
+                                         Map(St->pointer()));
+    }
+    case Value::Kind::Gep: {
+      const auto *G = cast<GepInst>(Src);
+      return std::make_unique<GepInst>(Map(G->base()), Map(G->index()));
+    }
+    case Value::Kind::Call: {
+      const auto *C = cast<CallInst>(Src);
+      std::vector<Value *> Args;
+      for (size_t I = 0; I != C->numArgs(); ++I)
+        Args.push_back(Map(C->arg(I)));
+      return std::make_unique<CallInst>(C->callee(), C->type(), Args);
+    }
+    case Value::Kind::Br:
+      return std::make_unique<BrInst>(
+          MapBlock(cast<BrInst>(Src)->target()));
+    case Value::Kind::CondBr: {
+      const auto *CB = cast<CondBrInst>(Src);
+      return std::make_unique<CondBrInst>(Map(CB->cond()),
+                                          MapBlock(CB->trueTarget()),
+                                          MapBlock(CB->falseTarget()));
+    }
+    case Value::Kind::Ret: {
+      const auto *R = cast<RetInst>(Src);
+      return std::make_unique<RetInst>(R->hasValue() ? Map(R->value())
+                                                     : nullptr);
+    }
+    case Value::Kind::Phi:
+    default:
+      return nullptr; // Phis are materialized separately.
+    }
+  }
+
+  bool peelOnce(Function &F, BasicBlock *Header,
+                const std::set<BasicBlock *> &LoopSet) {
+    BasicBlock *Preheader = findPreheader(Header, LoopSet);
+    if (!Preheader)
+      return false;
+
+    // Loop blocks in RPO so cloned defs precede cloned uses.
+    std::vector<BasicBlock *> Order;
+    for (BasicBlock *BB : reversePostOrder(F))
+      if (LoopSet.count(BB))
+        Order.push_back(BB);
+    if (Order.empty() || Order.front() != Header)
+      return false;
+
+    std::map<BasicBlock *, BasicBlock *> BlockMap;
+    std::map<const Value *, Value *> VM;
+
+    for (BasicBlock *BB : Order)
+      BlockMap[BB] = F.createBlock(BB->name() + ".peel");
+
+    // Header phis become their entry values in the peeled copy.
+    for (PhiInst *Phi : Header->phis()) {
+      Value *EntryV = Phi->incomingValueFor(Preheader);
+      if (!EntryV)
+        return false; // Malformed; refuse.
+      VM[Phi] = EntryV;
+    }
+
+    // Materialize empty phi clones for non-header blocks first so
+    // forward references resolve.
+    for (BasicBlock *BB : Order) {
+      if (BB == Header)
+        continue;
+      for (PhiInst *Phi : BB->phis()) {
+        auto Clone = std::make_unique<PhiInst>(Phi->type());
+        VM[Phi] = BlockMap[BB]->push_back(std::move(Clone));
+      }
+    }
+
+    // Clone the instructions.
+    for (BasicBlock *BB : Order) {
+      BasicBlock *NewBB = BlockMap[BB];
+      for (size_t I = 0; I != BB->size(); ++I) {
+        Instruction *Inst = BB->inst(I);
+        if (isa<PhiInst>(Inst))
+          continue;
+        std::unique_ptr<Instruction> Clone =
+            cloneInstruction(Inst, VM, BlockMap, Header);
+        if (!Clone)
+          return false;
+        VM[Inst] = NewBB->push_back(std::move(Clone));
+      }
+    }
+
+    // Patch cloned phi incomings (non-header blocks only). Incoming
+    // blocks inside the loop map to clones; a phi cannot receive a
+    // value from outside the loop in a non-header block.
+    for (BasicBlock *BB : Order) {
+      if (BB == Header)
+        continue;
+      for (PhiInst *Phi : BB->phis()) {
+        auto *Clone = cast<PhiInst>(VM[Phi]);
+        for (size_t I = 0; I != Phi->numIncoming(); ++I) {
+          Value *V = Phi->incomingValue(I);
+          auto It = VM.find(V);
+          Clone->addIncoming(It != VM.end() ? It->second : V,
+                             BlockMap[Phi->incomingBlock(I)]);
+        }
+      }
+    }
+
+    // Exit-block phis gain entries for cloned loop blocks that branch
+    // out of the loop.
+    for (BasicBlock *BB : Order) {
+      Instruction *Term = BB->terminator();
+      for (unsigned S = 0; S != Term->numSuccessors(); ++S) {
+        BasicBlock *Succ = Term->successor(S);
+        if (LoopSet.count(Succ) || Succ == Header)
+          continue;
+        for (PhiInst *Phi : Succ->phis()) {
+          Value *V = Phi->incomingValueFor(BB);
+          if (!V)
+            continue;
+          // Guard against double-adding when a block branches to the
+          // same exit through both condbr arms.
+          if (Phi->incomingValueFor(BlockMap[BB]))
+            continue;
+          auto It = VM.find(V);
+          Phi->addIncoming(It != VM.end() ? It->second : V, BlockMap[BB]);
+        }
+      }
+    }
+
+    // The remaining loop's header phis: the entry edge now comes from
+    // the cloned latches with the cloned loop-carried values.
+    std::vector<BasicBlock *> Latches;
+    for (BasicBlock *Pred : Header->predecessors())
+      if (LoopSet.count(Pred))
+        Latches.push_back(Pred);
+    for (PhiInst *Phi : Header->phis()) {
+      for (BasicBlock *Latch : Latches) {
+        if (Phi->incomingValueFor(BlockMap[Latch]))
+          continue;
+        Value *V = Phi->incomingValueFor(Latch);
+        assert(V && "header phi missing latch entry");
+        auto It = VM.find(V);
+        Phi->addIncoming(It != VM.end() ? It->second : V, BlockMap[Latch]);
+      }
+      Phi->removeIncomingBlock(Preheader);
+    }
+
+    // Finally, enter the peeled copy instead of the loop.
+    Preheader->replaceSuccessor(Header, BlockMap[Header]);
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createLoopUnrollPass() {
+  return std::make_unique<LoopUnrollPass>();
+}

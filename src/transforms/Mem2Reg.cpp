@@ -1,0 +1,176 @@
+//===- transforms/Mem2Reg.cpp - Promote allocas to SSA ------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Promotes scalar allocas whose address is only used by direct loads
+/// and stores into SSA values, inserting phis at iterated dominance
+/// frontiers and renaming along the dominator tree (the standard
+/// Cytron et al. construction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "pass/AnalysisManager.h"
+#include "transforms/Passes.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// True when every use of \p A is a direct scalar load or store of the
+/// alloca's address (no geps, no stores *of* the address).
+bool isPromotable(const AllocaInst *A) {
+  if (!A->isScalar())
+    return false;
+  for (const Instruction *User : A->users()) {
+    if (isa<LoadInst>(User))
+      continue;
+    if (const auto *Store = dyn_cast<StoreInst>(User)) {
+      // The address may only appear as the pointer operand.
+      if (Store->value() == A)
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+class Mem2RegPass : public FunctionPass {
+public:
+  std::string name() const override { return "mem2reg"; }
+
+  bool run(Function &F, AnalysisManager &AM) override {
+    std::vector<AllocaInst *> Promotable;
+    F.forEachInstruction([&](Instruction *I) {
+      if (auto *A = dyn_cast<AllocaInst>(I))
+        if (isPromotable(A))
+          Promotable.push_back(A);
+    });
+    if (Promotable.empty())
+      return false;
+
+    const DominatorTree &DT = AM.domTree(F);
+
+    for (AllocaInst *A : Promotable)
+      promote(F, A, DT);
+
+    // Delete the dead loads/stores/allocas. Loads in unreachable code
+    // were never renamed and may still have users; they read 0.
+    for (AllocaInst *A : Promotable) {
+      Value *Zero = F.parent()->getI64(0);
+      std::vector<Instruction *> Users(A->users().begin(), A->users().end());
+      for (Instruction *U : Users) {
+        if (U->hasUses())
+          U->replaceAllUsesWith(Zero);
+        U->parent()->erase(U);
+      }
+      A->parent()->erase(A);
+    }
+    return true;
+  }
+
+private:
+  void promote(Function &F, AllocaInst *A, const DominatorTree &DT) {
+    // Collect defining blocks (blocks containing stores).
+    std::set<BasicBlock *> DefBlocks;
+    for (Instruction *User : A->users())
+      if (isa<StoreInst>(User))
+        DefBlocks.insert(User->parent());
+
+    // Insert empty phis at the iterated dominance frontier.
+    std::set<BasicBlock *> PhiBlocks;
+    std::vector<BasicBlock *> Work(DefBlocks.begin(), DefBlocks.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *Frontier : DT.frontier(BB)) {
+        if (!PhiBlocks.insert(Frontier).second)
+          continue;
+        if (!DefBlocks.count(Frontier))
+          Work.push_back(Frontier);
+      }
+    }
+
+    std::map<BasicBlock *, PhiInst *> Phis;
+    for (BasicBlock *BB : PhiBlocks) {
+      auto Phi = std::make_unique<PhiInst>(IRType::I64);
+      Phis[BB] = static_cast<PhiInst *>(BB->insertBefore(0, std::move(Phi)));
+    }
+
+    // Rename along the dominator tree. The incoming value on entry is
+    // 0 (uninitialized memory reads as zero in the VM).
+    Value *Zero = F.parent()->getI64(0);
+    renameRecursive(F.entry(), A, Zero, Phis, DT);
+
+    // Phis in unreachable-from-defs join points may read the default.
+    for (auto &[BB, Phi] : Phis) {
+      // Ensure every predecessor has an incoming entry; missing ones
+      // (paths with no store) read 0.
+      for (BasicBlock *Pred : BB->predecessors())
+        if (!Phi->incomingValueFor(Pred))
+          Phi->addIncoming(Zero, Pred);
+    }
+  }
+
+  void renameRecursive(BasicBlock *BB, AllocaInst *A, Value *Incoming,
+                       std::map<BasicBlock *, PhiInst *> &Phis,
+                       const DominatorTree &DT) {
+    // Iterative DFS over the dominator tree carrying the reaching def.
+    struct Frame {
+      BasicBlock *BB;
+      Value *Reaching;
+    };
+    std::vector<Frame> Stack{{BB, Incoming}};
+    while (!Stack.empty()) {
+      Frame Fr = Stack.back();
+      Stack.pop_back();
+      Value *Reaching = Fr.Reaching;
+
+      if (PhiInst *Phi = lookupPhi(Fr.BB, Phis))
+        Reaching = Phi;
+
+      for (size_t I = 0; I < Fr.BB->size(); ++I) {
+        Instruction *Inst = Fr.BB->inst(I);
+        if (auto *Load = dyn_cast<LoadInst>(Inst)) {
+          if (Load->pointer() == A) {
+            Load->replaceAllUsesWith(Reaching);
+            // The load is erased later (it still uses A).
+          }
+          continue;
+        }
+        if (auto *Store = dyn_cast<StoreInst>(Inst)) {
+          if (Store->pointer() == A)
+            Reaching = Store->value();
+          continue;
+        }
+      }
+
+      // Fill phi operands of CFG successors.
+      for (BasicBlock *Succ : Fr.BB->successors())
+        if (PhiInst *Phi = lookupPhi(Succ, Phis))
+          if (!Phi->incomingValueFor(Fr.BB))
+            Phi->addIncoming(Reaching, Fr.BB);
+
+      for (BasicBlock *Child : DT.children(Fr.BB))
+        Stack.push_back({Child, Reaching});
+    }
+  }
+
+  static PhiInst *lookupPhi(BasicBlock *BB,
+                            std::map<BasicBlock *, PhiInst *> &Phis) {
+    auto It = Phis.find(BB);
+    return It != Phis.end() ? It->second : nullptr;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createMem2RegPass() {
+  return std::make_unique<Mem2RegPass>();
+}

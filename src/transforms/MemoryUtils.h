@@ -1,0 +1,74 @@
+//===- transforms/MemoryUtils.h - Simple alias reasoning --------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pointer normalization and a three-valued alias test for the memory
+/// passes. The IR guarantees pointers never escape: pointer-typed
+/// values cannot be stored (stores take i64) or passed as call
+/// arguments (the frontend has no pointer parameters), so every
+/// pointer traces to a local alloca or a module global, and calls can
+/// only touch global memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TRANSFORMS_MEMORYUTILS_H
+#define SC_TRANSFORMS_MEMORYUTILS_H
+
+#include "ir/IR.h"
+
+#include <optional>
+
+namespace sc {
+
+/// A pointer reduced to (allocation site, optional constant offset).
+struct MemLocation {
+  const Value *Base = nullptr;         // AllocaInst or GlobalVariable.
+  std::optional<int64_t> ConstOffset;  // Known cell offset, if constant.
+  bool Decomposed = false;             // Base is a known allocation site.
+
+  bool isGlobalMemory() const { return Base && isa<GlobalVariable>(Base); }
+};
+
+/// Decomposes \p Ptr through gep chains.
+inline MemLocation decomposePointer(const Value *Ptr) {
+  MemLocation Loc;
+  int64_t Offset = 0;
+  bool OffsetKnown = true;
+  while (const auto *Gep = dyn_cast<GepInst>(Ptr)) {
+    if (const auto *C = dyn_cast<ConstantInt>(Gep->index()))
+      Offset += C->value();
+    else
+      OffsetKnown = false;
+    Ptr = Gep->base();
+  }
+  Loc.Base = Ptr;
+  Loc.Decomposed = isa<AllocaInst>(Ptr) || isa<GlobalVariable>(Ptr);
+  if (OffsetKnown)
+    Loc.ConstOffset = Offset;
+  return Loc;
+}
+
+enum class AliasResult : uint8_t { NoAlias, MustAlias, MayAlias };
+
+/// Conservative alias test between two decomposed locations.
+inline AliasResult alias(const MemLocation &A, const MemLocation &B) {
+  if (!A.Decomposed || !B.Decomposed)
+    return AliasResult::MayAlias;
+  if (A.Base != B.Base)
+    return AliasResult::NoAlias; // Distinct allocation sites.
+  if (A.ConstOffset && B.ConstOffset)
+    return *A.ConstOffset == *B.ConstOffset ? AliasResult::MustAlias
+                                            : AliasResult::NoAlias;
+  return AliasResult::MayAlias;
+}
+
+inline AliasResult aliasPointers(const Value *P, const Value *Q) {
+  return alias(decomposePointer(P), decomposePointer(Q));
+}
+
+} // namespace sc
+
+#endif // SC_TRANSFORMS_MEMORYUTILS_H

@@ -1,0 +1,112 @@
+//===- transforms/Passes.h - Transform pass factories -----------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Factory functions for every transform pass, plus the standard
+/// optimization pipelines (O0/O1/O2). Pass name strings are stable
+/// identifiers persisted in the BuildStateDB.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TRANSFORMS_PASSES_H
+#define SC_TRANSFORMS_PASSES_H
+
+#include "pass/Pass.h"
+#include "pass/PassManager.h"
+
+#include <memory>
+
+namespace sc {
+
+//===----------------------------------------------------------------------===//
+// Function passes
+//===----------------------------------------------------------------------===//
+
+/// "mem2reg": promotes scalar allocas to SSA registers (phi insertion
+/// on dominance frontiers + dominator-tree renaming).
+std::unique_ptr<FunctionPass> createMem2RegPass();
+
+/// "instsimplify": algebraic peepholes (x+0, x*1, x-x, cmp x,x,
+/// operand canonicalization, select folding, ...).
+std::unique_ptr<FunctionPass> createInstSimplifyPass();
+
+/// "constfold": folds instructions whose operands are all constants.
+std::unique_ptr<FunctionPass> createConstantFoldPass();
+
+/// "sccp": sparse conditional constant propagation with unreachable-
+/// edge pruning.
+std::unique_ptr<FunctionPass> createSCCPPass();
+
+/// "dce": removes unused, side-effect-free instructions (uses purity
+/// analysis to also drop unused calls to pure functions).
+std::unique_ptr<FunctionPass> createDCEPass();
+
+/// "dse": local dead-store elimination (overwritten or never-read
+/// stores to non-escaping allocas).
+std::unique_ptr<FunctionPass> createDSEPass();
+
+/// "cse": dominance-based common subexpression elimination over
+/// arithmetic, comparisons, geps, and selects.
+std::unique_ptr<FunctionPass> createCSEPass();
+
+/// "loadforward": forwards stored values to loads within a block and
+/// eliminates repeated loads when no interfering write intervenes.
+std::unique_ptr<FunctionPass> createLoadForwardPass();
+
+/// "simplifycfg": CFG cleanup — constant-branch folding, empty-block
+/// elimination, block merging, single-entry phi elimination, and
+/// if-to-select conversion for trivial triangles.
+std::unique_ptr<FunctionPass> createSimplifyCFGPass();
+
+/// "licm": hoists loop-invariant computations to preheaders.
+std::unique_ptr<FunctionPass> createLICMPass();
+
+/// "loopunroll": fully unrolls countable loops with small constant
+/// trip counts.
+std::unique_ptr<FunctionPass> createLoopUnrollPass();
+
+/// "strengthreduce": replaces expensive ops with cheaper equivalents
+/// (small-constant multiplies to adds, x*-1 to neg, ...).
+std::unique_ptr<FunctionPass> createStrengthReducePass();
+
+/// "reassociate": reassociates add/mul chains to cluster constants so
+/// later folding collapses them.
+std::unique_ptr<FunctionPass> createReassociatePass();
+
+/// "tailrec": rewrites direct self-recursive tail calls into loops.
+std::unique_ptr<FunctionPass> createTailRecursionPass();
+
+/// "jumpthread": threads edges through phi-only join blocks whose
+/// conditional branch is decided by the incoming edge.
+std::unique_ptr<FunctionPass> createJumpThreadingPass();
+
+//===----------------------------------------------------------------------===//
+// Module passes
+//===----------------------------------------------------------------------===//
+
+/// "inline": bottom-up inliner for small, non-recursive module-local
+/// callees.
+std::unique_ptr<ModulePass> createInlinerPass();
+
+/// "globalopt": module-private global cleanup — deletes unreferenced
+/// globals and turns loads of never-written globals into constants.
+std::unique_ptr<ModulePass> createGlobalOptPass();
+
+//===----------------------------------------------------------------------===//
+// Standard pipelines
+//===----------------------------------------------------------------------===//
+
+enum class OptLevel : uint8_t { O0, O1, O2 };
+
+/// Builds the standard pipeline for \p Level. The sequence (and thus
+/// the pipeline signature) is fixed per level.
+PassPipeline buildPipeline(OptLevel Level);
+
+const char *optLevelName(OptLevel Level);
+
+} // namespace sc
+
+#endif // SC_TRANSFORMS_PASSES_H

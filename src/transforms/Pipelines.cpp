@@ -1,0 +1,63 @@
+//===- transforms/Pipelines.cpp - Standard optimization pipelines ----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Passes.h"
+
+using namespace sc;
+
+const char *sc::optLevelName(OptLevel Level) {
+  switch (Level) {
+  case OptLevel::O0:
+    return "O0";
+  case OptLevel::O1:
+    return "O1";
+  case OptLevel::O2:
+    return "O2";
+  }
+  return "?";
+}
+
+PassPipeline sc::buildPipeline(OptLevel Level) {
+  PassPipeline P;
+  if (Level == OptLevel::O0)
+    return P; // Straight from IR generation to codegen.
+
+  // Scalar foundation.
+  P.addFunctionPass(createMem2RegPass());
+  P.addFunctionPass(createInstSimplifyPass());
+  P.addFunctionPass(createConstantFoldPass());
+  P.addFunctionPass(createSCCPPass());
+  P.addFunctionPass(createSimplifyCFGPass());
+  P.addFunctionPass(createCSEPass());
+  P.addFunctionPass(createLoadForwardPass());
+  P.addFunctionPass(createDSEPass());
+  P.addFunctionPass(createDCEPass());
+
+  if (Level == OptLevel::O1)
+    return P;
+
+  // O2 adds interprocedural and loop optimizations plus a cleanup
+  // round that mops up what they expose.
+  P.addModulePass(createInlinerPass());
+  P.addModulePass(createGlobalOptPass());
+  P.addFunctionPass(createMem2RegPass()); // Inlined allocas.
+  P.addFunctionPass(createTailRecursionPass());
+  P.addFunctionPass(createLICMPass());
+  P.addFunctionPass(createLoopUnrollPass());
+  P.addFunctionPass(createSCCPPass());
+  P.addFunctionPass(createJumpThreadingPass());
+  P.addFunctionPass(createSimplifyCFGPass());
+  P.addFunctionPass(createReassociatePass());
+  P.addFunctionPass(createInstSimplifyPass());
+  P.addFunctionPass(createConstantFoldPass());
+  P.addFunctionPass(createStrengthReducePass());
+  P.addFunctionPass(createCSEPass());
+  P.addFunctionPass(createLoadForwardPass());
+  P.addFunctionPass(createDSEPass());
+  P.addFunctionPass(createDCEPass());
+  P.addFunctionPass(createSimplifyCFGPass());
+  return P;
+}

@@ -1,0 +1,118 @@
+//===- transforms/Reassociate.cpp - Reassociate add trees ------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reassociates trees of single-use `add`s so that all constant leaves
+/// fold into one trailing constant:
+///     ((x + 1) + (y + 2))  ->  ((x + y) + 3)
+/// Fires only when a tree contains at least two constant leaves, so a
+/// second run over the result reports no change (important for
+/// dormancy stability).
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/FoldUtils.h"
+#include "transforms/Passes.h"
+
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// Collects leaves of the single-use add tree rooted at \p Root.
+void collectLeaves(BinaryInst *Root, std::vector<Value *> &Leaves) {
+  for (Value *Op : {Root->lhs(), Root->rhs()}) {
+    auto *Inner = dyn_cast<BinaryInst>(Op);
+    if (Inner && Inner->op() == BinOp::Add && Inner->numUses() == 1)
+      collectLeaves(Inner, Leaves);
+    else
+      Leaves.push_back(Op);
+  }
+}
+
+class ReassociatePass : public FunctionPass {
+public:
+  std::string name() const override { return "reassociate"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    Module &M = *F.parent();
+    bool Changed = false;
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      BasicBlock *BB = F.block(B);
+      for (size_t I = 0; I < BB->size(); ++I) {
+        auto *Root = dyn_cast<BinaryInst>(BB->inst(I));
+        if (!Root || Root->op() != BinOp::Add)
+          continue;
+        // Only tree roots: adds that feed another single-use add are
+        // interior nodes handled from their root.
+        if (Root->numUses() == 1)
+          if (auto *User = dyn_cast<BinaryInst>(Root->users()[0]))
+            if (User->op() == BinOp::Add)
+              continue;
+
+        std::vector<Value *> Leaves;
+        collectLeaves(Root, Leaves);
+        if (Leaves.size() < 3)
+          continue; // Trivial tree; instsimplify's rule handles pairs.
+
+        int64_t ConstSum = 0;
+        unsigned NumConsts = 0;
+        std::vector<Value *> Vars;
+        for (Value *L : Leaves) {
+          if (auto *C = dyn_cast<ConstantInt>(L)) {
+            ConstSum = evalBinOp(BinOp::Add, ConstSum, C->value());
+            ++NumConsts;
+          } else {
+            Vars.push_back(L);
+          }
+        }
+        if (NumConsts < 2 || Vars.empty())
+          continue;
+
+        // Rebuild: left-leaning variable chain, constant folded last.
+        size_t Pos = I;
+        auto Emit = [&](Value *L, Value *R) -> Value * {
+          return BB->insertBefore(
+              Pos++, std::make_unique<BinaryInst>(BinOp::Add, L, R));
+        };
+        Value *Acc = Vars[0];
+        for (size_t V = 1; V != Vars.size(); ++V)
+          Acc = Emit(Acc, Vars[V]);
+        if (ConstSum != 0)
+          Acc = Emit(Acc, M.getI64(ConstSum));
+        if (Acc == Vars[0]) {
+          // Single variable and zero constant: nothing was emitted;
+          // replace with the leaf directly.
+        }
+
+        Root->replaceAllUsesWith(Acc);
+        // Delete the old tree: root first, then dead interior nodes.
+        eraseTree(Root);
+        I = Pos > 0 ? Pos - 1 : 0;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+private:
+  void eraseTree(BinaryInst *Root) {
+    std::vector<Value *> Ops{Root->lhs(), Root->rhs()};
+    Root->parent()->erase(Root);
+    for (Value *Op : Ops) {
+      auto *Inner = dyn_cast<BinaryInst>(Op);
+      if (Inner && Inner->op() == BinOp::Add && !Inner->hasUses() &&
+          Inner->parent())
+        eraseTree(Inner);
+    }
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createReassociatePass() {
+  return std::make_unique<ReassociatePass>();
+}

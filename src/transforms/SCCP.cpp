@@ -1,0 +1,244 @@
+//===- transforms/SCCP.cpp - Sparse conditional constant propagation ------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Classic SCCP: an optimistic three-level lattice (Unknown -> Constant
+/// -> Overdefined) propagated sparsely over SSA edges, interleaved with
+/// CFG reachability so constants are proven along executable paths
+/// only. Afterwards, lattice-constant instructions in executable
+/// blocks are replaced with constants; branch folding and unreachable-
+/// block deletion are left to simplifycfg, which sees the now-constant
+/// branch conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/FoldUtils.h"
+#include "transforms/Passes.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+struct LatticeVal {
+  enum State : uint8_t { Unknown, Constant, Overdefined } S = Unknown;
+  int64_t Val = 0;
+
+  static LatticeVal unknown() { return {}; }
+  static LatticeVal constant(int64_t V) { return {Constant, V}; }
+  static LatticeVal overdefined() { return {Overdefined, 0}; }
+
+  bool isUnknown() const { return S == Unknown; }
+  bool isConstant() const { return S == Constant; }
+  bool isOverdefined() const { return S == Overdefined; }
+
+  bool operator==(const LatticeVal &O) const {
+    return S == O.S && (S != Constant || Val == O.Val);
+  }
+};
+
+class SCCPSolver {
+public:
+  explicit SCCPSolver(Function &F) : F(F) {}
+
+  bool run() {
+    markBlockExecutable(F.entry());
+    solve();
+    return rewrite();
+  }
+
+private:
+  //===--- Lattice plumbing -------------------------------------------------===//
+
+  LatticeVal getLattice(Value *V) {
+    if (auto *C = dyn_cast<ConstantInt>(V))
+      return LatticeVal::constant(C->value());
+    if (isa<Argument>(V) || isa<GlobalVariable>(V))
+      return LatticeVal::overdefined();
+    auto It = Values.find(V);
+    return It != Values.end() ? It->second : LatticeVal::unknown();
+  }
+
+  void setLattice(Instruction *I, LatticeVal NewVal) {
+    LatticeVal &Slot = Values[I];
+    // Monotonic only: Unknown -> Constant -> Overdefined.
+    if (Slot == NewVal || NewVal.isUnknown())
+      return;
+    if (Slot.isOverdefined())
+      return;
+    if (Slot.isConstant() && NewVal.isConstant())
+      NewVal = LatticeVal::overdefined(); // Conflicting constants.
+    Slot = NewVal;
+    for (Instruction *User : I->users())
+      InstWork.push_back(User);
+  }
+
+  void markBlockExecutable(BasicBlock *BB) {
+    if (!ExecBlocks.insert(BB).second)
+      return;
+    for (size_t I = 0; I != BB->size(); ++I)
+      InstWork.push_back(BB->inst(I));
+  }
+
+  void markEdgeExecutable(BasicBlock *From, BasicBlock *To) {
+    if (!ExecEdges.insert({From, To}).second)
+      return;
+    markBlockExecutable(To);
+    // New edge can refine phis in To even if To was already live.
+    for (PhiInst *Phi : To->phis())
+      InstWork.push_back(Phi);
+  }
+
+  //===--- Transfer functions ------------------------------------------------===//
+
+  void visit(Instruction *I) {
+    if (!ExecBlocks.count(I->parent()))
+      return;
+
+    switch (I->kind()) {
+    case Value::Kind::Binary: {
+      auto *B = cast<BinaryInst>(I);
+      LatticeVal L = getLattice(B->lhs());
+      LatticeVal R = getLattice(B->rhs());
+      if (L.isConstant() && R.isConstant())
+        setLattice(I, LatticeVal::constant(evalBinOp(B->op(), L.Val, R.Val)));
+      else if (L.isOverdefined() || R.isOverdefined())
+        setLattice(I, LatticeVal::overdefined());
+      return;
+    }
+    case Value::Kind::Cmp: {
+      auto *C = cast<CmpInst>(I);
+      LatticeVal L = getLattice(C->lhs());
+      LatticeVal R = getLattice(C->rhs());
+      if (L.isConstant() && R.isConstant())
+        setLattice(I, LatticeVal::constant(
+                          evalCmp(C->pred(), L.Val, R.Val) ? 1 : 0));
+      else if (L.isOverdefined() || R.isOverdefined())
+        setLattice(I, LatticeVal::overdefined());
+      return;
+    }
+    case Value::Kind::Select: {
+      auto *S = cast<SelectInst>(I);
+      LatticeVal C = getLattice(S->cond());
+      if (C.isConstant()) {
+        setLattice(I, getLattice(C.Val ? S->trueValue() : S->falseValue()));
+        return;
+      }
+      if (C.isUnknown())
+        return;
+      LatticeVal T = getLattice(S->trueValue());
+      LatticeVal E = getLattice(S->falseValue());
+      if (T.isConstant() && E.isConstant() && T.Val == E.Val)
+        setLattice(I, T);
+      else if (!T.isUnknown() && !E.isUnknown())
+        setLattice(I, LatticeVal::overdefined());
+      return;
+    }
+    case Value::Kind::Phi: {
+      auto *Phi = cast<PhiInst>(I);
+      LatticeVal Merged = LatticeVal::unknown();
+      for (size_t In = 0; In != Phi->numIncoming(); ++In) {
+        if (!ExecEdges.count({Phi->incomingBlock(In), Phi->parent()}))
+          continue;
+        LatticeVal V = getLattice(Phi->incomingValue(In));
+        if (V.isUnknown())
+          continue;
+        if (V.isOverdefined() ||
+            (Merged.isConstant() && V.Val != Merged.Val)) {
+          Merged = LatticeVal::overdefined();
+          break;
+        }
+        Merged = V;
+      }
+      setLattice(I, Merged);
+      return;
+    }
+    case Value::Kind::Br:
+      markEdgeExecutable(I->parent(), cast<BrInst>(I)->target());
+      return;
+    case Value::Kind::CondBr: {
+      auto *CB = cast<CondBrInst>(I);
+      LatticeVal C = getLattice(CB->cond());
+      if (C.isConstant()) {
+        markEdgeExecutable(I->parent(),
+                           C.Val ? CB->trueTarget() : CB->falseTarget());
+      } else if (C.isOverdefined()) {
+        markEdgeExecutable(I->parent(), CB->trueTarget());
+        markEdgeExecutable(I->parent(), CB->falseTarget());
+      }
+      return;
+    }
+    case Value::Kind::Load:
+    case Value::Kind::Call:
+    case Value::Kind::Alloca:
+    case Value::Kind::Gep:
+      // Memory and calls are untracked.
+      if (I->type() != IRType::Void)
+        setLattice(I, LatticeVal::overdefined());
+      return;
+    default:
+      return;
+    }
+  }
+
+  void solve() {
+    while (!InstWork.empty()) {
+      Instruction *I = InstWork.back();
+      InstWork.pop_back();
+      visit(I);
+    }
+  }
+
+  //===--- Rewrite -----------------------------------------------------------===//
+
+  bool rewrite() {
+    Module &M = *F.parent();
+    bool Changed = false;
+    std::vector<Instruction *> ToErase;
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      BasicBlock *BB = F.block(B);
+      if (!ExecBlocks.count(BB))
+        continue;
+      for (size_t I = 0; I != BB->size(); ++I) {
+        Instruction *Inst = BB->inst(I);
+        if (Inst->type() == IRType::Void || Inst->hasSideEffects())
+          continue;
+        LatticeVal LV = getLattice(Inst);
+        if (!LV.isConstant())
+          continue;
+        Inst->replaceAllUsesWith(M.getConstant(Inst->type(), LV.Val));
+        ToErase.push_back(Inst);
+        Changed = true;
+      }
+    }
+    for (Instruction *Inst : ToErase)
+      Inst->parent()->erase(Inst);
+    return Changed;
+  }
+
+  Function &F;
+  std::map<Value *, LatticeVal> Values;
+  std::set<BasicBlock *> ExecBlocks;
+  std::set<std::pair<BasicBlock *, BasicBlock *>> ExecEdges;
+  std::vector<Instruction *> InstWork;
+};
+
+class SCCPPass : public FunctionPass {
+public:
+  std::string name() const override { return "sccp"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    return SCCPSolver(F).run();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createSCCPPass() {
+  return std::make_unique<SCCPPass>();
+}

@@ -1,0 +1,294 @@
+//===- transforms/SimplifyCFG.cpp - CFG cleanup --------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Iterates the following to a fixed point:
+///  * fold conditional branches with constant or equal-target edges;
+///  * delete blocks unreachable from entry;
+///  * merge a block into its unique predecessor (straight-line glue);
+///  * bypass empty forwarding blocks (a lone `br`);
+///  * convert trivial diamonds/triangles into selects.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+#include "transforms/Passes.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+class SimplifyCFGPass : public FunctionPass {
+public:
+  std::string name() const override { return "simplifycfg"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    bool Changed = false;
+    bool LocalChanged = true;
+    while (LocalChanged) {
+      LocalChanged = false;
+      LocalChanged |= foldBranches(F);
+      LocalChanged |= removeUnreachableBlocks(F);
+      LocalChanged |= mergeIntoPredecessors(F);
+      LocalChanged |= bypassForwarders(F);
+      LocalChanged |= convertToSelects(F);
+      Changed |= LocalChanged;
+    }
+    return Changed;
+  }
+
+private:
+  //===--- Constant / degenerate conditional branches -----------------------===//
+
+  bool foldBranches(Function &F) {
+    bool Changed = false;
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      BasicBlock *BB = F.block(B);
+      auto *CondBr = dyn_cast_if_present<CondBrInst>(BB->terminator());
+      if (!CondBr)
+        continue;
+
+      BasicBlock *Keep = nullptr;
+      BasicBlock *Drop = nullptr;
+      if (CondBr->trueTarget() == CondBr->falseTarget()) {
+        Keep = CondBr->trueTarget();
+      } else if (auto *C = dyn_cast<ConstantInt>(CondBr->cond())) {
+        Keep = C->isZero() ? CondBr->falseTarget() : CondBr->trueTarget();
+        Drop = C->isZero() ? CondBr->trueTarget() : CondBr->falseTarget();
+      } else {
+        continue;
+      }
+
+      // Replace `condbr` with `br Keep`; the dropped edge's phi
+      // entries disappear with the edge.
+      BB->erase(CondBr);
+      BB->push_back(std::make_unique<BrInst>(Keep));
+      if (Drop) {
+        // The dropped target may still have other edges from BB
+        // (impossible here since Keep != Drop), so remove BB outright.
+        bool StillPred =
+            std::find(Drop->predecessors().begin(),
+                      Drop->predecessors().end(),
+                      BB) != Drop->predecessors().end();
+        if (!StillPred)
+          for (PhiInst *Phi : Drop->phis())
+            Phi->removeIncomingBlock(BB);
+      }
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  //===--- Merge single-pred/single-succ pairs --------------------------------===//
+
+  bool mergeIntoPredecessors(Function &F) {
+    bool Changed = false;
+    for (size_t B = 0; B < F.numBlocks(); ++B) {
+      BasicBlock *BB = F.block(B);
+      if (BB == F.entry())
+        continue;
+      const auto &Preds = BB->predecessors();
+      if (Preds.size() != 1)
+        continue;
+      BasicBlock *Pred = Preds[0];
+      if (Pred == BB)
+        continue; // Self-loop.
+      auto *Br = dyn_cast_if_present<BrInst>(Pred->terminator());
+      if (!Br || Br->target() != BB)
+        continue;
+
+      // Fold BB's phis: single predecessor means a single incoming.
+      for (PhiInst *Phi : BB->phis()) {
+        Value *V = Phi->incomingValueFor(Pred);
+        assert(V && "phi in single-pred block lacks the pred entry");
+        Phi->replaceAllUsesWith(V);
+      }
+      while (!BB->phis().empty())
+        BB->erase(BB->phis().front());
+
+      // Remove Pred's branch, then splice BB's instructions over.
+      Pred->erase(Br);
+      while (!BB->empty()) {
+        std::unique_ptr<Instruction> Inst = BB->take(0);
+        Pred->push_back(std::move(Inst));
+      }
+
+      // Successors' phis must now name Pred instead of BB.
+      for (BasicBlock *Succ : Pred->successors())
+        for (PhiInst *Phi : Succ->phis())
+          for (size_t I = 0; I != Phi->numIncoming(); ++I)
+            if (Phi->incomingBlock(I) == BB)
+              Phi->setIncomingBlock(I, Pred);
+
+      F.eraseBlock(BB);
+      Changed = true;
+      --B; // Re-examine the merged predecessor's position.
+    }
+    return Changed;
+  }
+
+  //===--- Bypass empty forwarding blocks ---------------------------------------===//
+
+  bool bypassForwarders(Function &F) {
+    bool Changed = false;
+    for (size_t B = 0; B < F.numBlocks(); ++B) {
+      BasicBlock *BB = F.block(B);
+      if (BB == F.entry() || BB->size() != 1)
+        continue;
+      auto *Br = dyn_cast<BrInst>(BB->terminator());
+      if (!Br)
+        continue;
+      BasicBlock *Target = Br->target();
+      if (Target == BB)
+        continue; // Infinite self-loop; leave it.
+
+      // Folding an edge P->BB->T into P->T is only unambiguous for
+      // T's phis when P isn't already a predecessor of T.
+      bool Blocked = false;
+      if (!Target->phis().empty()) {
+        for (BasicBlock *Pred : BB->predecessors())
+          if (std::find(Target->predecessors().begin(),
+                        Target->predecessors().end(),
+                        Pred) != Target->predecessors().end()) {
+            Blocked = true;
+            break;
+          }
+      }
+      if (Blocked)
+        continue;
+
+      std::vector<BasicBlock *> Preds(BB->predecessors().begin(),
+                                      BB->predecessors().end());
+      // Deduplicate: a condbr with both edges into BB appears twice.
+      std::sort(Preds.begin(), Preds.end());
+      Preds.erase(std::unique(Preds.begin(), Preds.end()), Preds.end());
+
+      for (BasicBlock *Pred : Preds) {
+        for (PhiInst *Phi : Target->phis()) {
+          Value *ViaBB = Phi->incomingValueFor(BB);
+          assert(ViaBB && "phi missing entry for forwarder");
+          Phi->addIncoming(ViaBB, Pred);
+        }
+        Pred->replaceSuccessor(BB, Target);
+      }
+      for (PhiInst *Phi : Target->phis())
+        Phi->removeIncomingBlock(BB);
+
+      // BB is now unreachable (no predecessors); drop it.
+      if (BB->predecessors().empty()) {
+        BB->erase(BB->terminator());
+        F.eraseBlock(BB);
+        Changed = true;
+        --B;
+      }
+    }
+    return Changed;
+  }
+
+  //===--- If-conversion to selects ------------------------------------------===//
+
+  /// Returns true if \p BB contains only a `br` to \p To.
+  static bool isEmptyForwarderTo(const BasicBlock *BB, const BasicBlock *To) {
+    if (BB->size() != 1)
+      return false;
+    const auto *Br = dyn_cast<BrInst>(BB->terminator());
+    return Br && Br->target() == To;
+  }
+
+  bool convertToSelects(Function &F) {
+    bool Changed = false;
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      BasicBlock *BB = F.block(B);
+      auto *CondBr = dyn_cast_if_present<CondBrInst>(BB->terminator());
+      if (!CondBr)
+        continue;
+      BasicBlock *T = CondBr->trueTarget();
+      BasicBlock *E = CondBr->falseTarget();
+      if (T == E)
+        continue;
+
+      BasicBlock *Join = nullptr;
+      BasicBlock *ViaTrue = nullptr;  // Block producing the true edge.
+      BasicBlock *ViaFalse = nullptr; // Block producing the false edge.
+
+      // Diamond: T and E are empty forwarders to the same join.
+      if (isEmptyForwarderTo(T, E->successors().empty() ? nullptr
+                                                        : E->successors()[0]) &&
+          isEmptyForwarderTo(E, T->successors()[0]) &&
+          T->numDistinctPredecessors() == 1 &&
+          E->numDistinctPredecessors() == 1) {
+        Join = T->successors()[0];
+        ViaTrue = T;
+        ViaFalse = E;
+      }
+      // Triangle: T forwards to E.
+      else if (isEmptyForwarderTo(T, E) &&
+               T->numDistinctPredecessors() == 1) {
+        Join = E;
+        ViaTrue = T;
+        ViaFalse = BB;
+      }
+      // Triangle: E forwards to T.
+      else if (isEmptyForwarderTo(E, T) &&
+               E->numDistinctPredecessors() == 1) {
+        Join = T;
+        ViaTrue = BB;
+        ViaFalse = E;
+      } else {
+        continue;
+      }
+
+      if (!Join || Join == BB)
+        continue;
+      // The join must be reached exactly through these two edges from
+      // this construct; other predecessors are fine — phis keep their
+      // other entries — but BB itself must not already be a pred of
+      // the join except via the triangle edge being rewired.
+
+      // Rewrite each phi entry pair into a select in BB.
+      std::vector<PhiInst *> Phis = Join->phis();
+      for (PhiInst *Phi : Phis) {
+        Value *TV = Phi->incomingValueFor(ViaTrue);
+        Value *FV = Phi->incomingValueFor(ViaFalse);
+        if (!TV || !FV)
+          continue; // Shouldn't happen; be conservative.
+        Value *Sel = nullptr;
+        if (TV == FV) {
+          Sel = TV;
+        } else {
+          auto SelInst = std::make_unique<SelectInst>(CondBr->cond(), TV, FV);
+          Sel = BB->insertBefore(BB->indexOf(CondBr), std::move(SelInst));
+        }
+        Phi->removeIncomingBlock(ViaTrue);
+        Phi->removeIncomingBlock(ViaFalse);
+        Phi->addIncoming(Sel, BB);
+      }
+
+      // Re-point BB directly at the join.
+      Value *Cond = CondBr->cond();
+      (void)Cond;
+      BB->erase(CondBr);
+      BB->push_back(std::make_unique<BrInst>(Join));
+
+      // Phis that had no entry for this construct (when Join had no
+      // phis) still need the edge accounted for: nothing to do — the
+      // new edge BB->Join is registered by push_back, and stale phi
+      // entries for dead side blocks were rewritten above.
+      Changed = true;
+      // Dead side blocks get removed by removeUnreachableBlocks on the
+      // next fixed-point iteration.
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createSimplifyCFGPass() {
+  return std::make_unique<SimplifyCFGPass>();
+}

@@ -1,0 +1,88 @@
+//===- transforms/StrengthReduce.cpp - Cheapen expensive operations -------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Replaces expensive arithmetic with cheaper forms for the VISA cost
+/// model (mul is 3x an add, div/rem 10x):
+///   x * 2      -> x + x
+///   x * 3/4    -> add chains
+///   x * -1     -> 0 - x
+///   x % 2      -> x - (x / 2) * 2 is NOT cheaper; left alone.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Passes.h"
+
+#include <memory>
+
+using namespace sc;
+
+namespace {
+
+class StrengthReducePass : public FunctionPass {
+public:
+  std::string name() const override { return "strengthreduce"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    bool Changed = false;
+    for (size_t B = 0; B != F.numBlocks(); ++B) {
+      BasicBlock *BB = F.block(B);
+      for (size_t I = 0; I < BB->size(); ++I) {
+        auto *Bin = dyn_cast<BinaryInst>(BB->inst(I));
+        if (!Bin || Bin->op() != BinOp::Mul)
+          continue;
+        auto *C = dyn_cast<ConstantInt>(Bin->rhs());
+        if (!C)
+          continue;
+        Value *X = Bin->lhs();
+        Module &M = *F.parent();
+        Value *Replacement = nullptr;
+        size_t Pos = I;
+
+        auto Emit = [&](std::unique_ptr<Instruction> Inst) -> Value * {
+          return BB->insertBefore(Pos++, std::move(Inst));
+        };
+
+        switch (C->value()) {
+        case 2: {
+          Replacement = Emit(std::make_unique<BinaryInst>(BinOp::Add, X, X));
+          break;
+        }
+        case 3: {
+          Value *XX = Emit(std::make_unique<BinaryInst>(BinOp::Add, X, X));
+          Replacement =
+              Emit(std::make_unique<BinaryInst>(BinOp::Add, XX, X));
+          break;
+        }
+        case 4: {
+          Value *XX = Emit(std::make_unique<BinaryInst>(BinOp::Add, X, X));
+          Replacement =
+              Emit(std::make_unique<BinaryInst>(BinOp::Add, XX, XX));
+          break;
+        }
+        case -1: {
+          Replacement = Emit(
+              std::make_unique<BinaryInst>(BinOp::Sub, M.getI64(0), X));
+          break;
+        }
+        default:
+          continue;
+        }
+
+        Bin->replaceAllUsesWith(Replacement);
+        BB->erase(Bin);
+        I = Pos - 1; // Continue after the emitted instructions.
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createStrengthReducePass() {
+  return std::make_unique<StrengthReducePass>();
+}

@@ -1,0 +1,123 @@
+//===- transforms/TailRecursion.cpp - Tail recursion to loops -------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Rewrites self-recursive tail calls into loops:
+///
+///   fn f(a, b) { ...; return f(x, y); }
+///
+/// becomes a branch back to a new loop header whose phis merge the
+/// original arguments with (x, y). Eliminates stack growth and exposes
+/// the body to the loop optimizations. Only direct self-calls in tail
+/// position (`ret (call @self(...))` or `call @self(...); ret` for
+/// void) are transformed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "transforms/Passes.h"
+
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// A call in tail position: the call and its returning block.
+struct TailSite {
+  CallInst *Call = nullptr;
+  RetInst *Ret = nullptr;
+};
+
+/// Finds `%r = call @self(...); ret %r` (or the void form) endings.
+std::vector<TailSite> findTailSites(Function &F) {
+  std::vector<TailSite> Sites;
+  for (size_t B = 0; B != F.numBlocks(); ++B) {
+    BasicBlock *BB = F.block(B);
+    auto *Ret = dyn_cast_if_present<RetInst>(BB->terminator());
+    if (!Ret || BB->size() < 2)
+      continue;
+    auto *Call = dyn_cast<CallInst>(BB->inst(BB->size() - 2));
+    if (!Call || Call->callee() != F.name())
+      continue;
+    if (Ret->hasValue()) {
+      // The ret must return exactly the call's result, and the call
+      // result must have no other users.
+      if (Ret->value() != Call || Call->numUses() != 1)
+        continue;
+    } else if (Call->hasUses()) {
+      continue;
+    }
+    Sites.push_back({Call, Ret});
+  }
+  return Sites;
+}
+
+class TailRecursionPass : public FunctionPass {
+public:
+  std::string name() const override { return "tailrec"; }
+
+  bool run(Function &F, AnalysisManager &) override {
+    std::vector<TailSite> Sites = findTailSites(F);
+    if (Sites.empty())
+      return false;
+
+    // Split the entry: allocas stay in the old entry (they must
+    // execute once, and the backend allocates them statically anyway);
+    // everything else moves into a new header that becomes the loop
+    // target.
+    BasicBlock *OldEntry = F.entry();
+    BasicBlock *Header = F.createBlock("tailrec.header");
+    size_t FirstNonAlloca = 0;
+    while (FirstNonAlloca < OldEntry->size() &&
+           isa<AllocaInst>(OldEntry->inst(FirstNonAlloca)))
+      ++FirstNonAlloca;
+    while (OldEntry->size() > FirstNonAlloca) {
+      std::unique_ptr<Instruction> Inst = OldEntry->take(FirstNonAlloca);
+      Header->push_back(std::move(Inst));
+    }
+    OldEntry->push_back(std::make_unique<BrInst>(Header));
+
+    // One phi per argument, merging the incoming argument with each
+    // tail site's actual parameters.
+    std::vector<PhiInst *> ArgPhis;
+    for (size_t A = 0; A != F.numArgs(); ++A) {
+      auto Phi = std::make_unique<PhiInst>(F.arg(A)->type());
+      auto *P = static_cast<PhiInst *>(
+          Header->insertBefore(A, std::move(Phi)));
+      ArgPhis.push_back(P);
+    }
+    // Rewrite argument uses to the phis (everywhere except the phis'
+    // own incoming-from-entry slots, added after the RAUW).
+    for (size_t A = 0; A != F.numArgs(); ++A)
+      F.arg(A)->replaceAllUsesWith(ArgPhis[A]);
+    for (size_t A = 0; A != F.numArgs(); ++A)
+      ArgPhis[A]->addIncoming(F.arg(A), OldEntry);
+
+    // Each tail site: record actuals, erase ret+call, branch back.
+    for (const TailSite &Site : Sites) {
+      BasicBlock *BB = Site.Call->parent();
+      std::vector<Value *> Actuals;
+      for (size_t A = 0; A != Site.Call->numArgs(); ++A)
+        Actuals.push_back(Site.Call->arg(A));
+      BB->erase(Site.Ret);
+      // Drop the ret's use of the call first (already erased), then
+      // the call itself.
+      BB->erase(Site.Call);
+      for (size_t A = 0; A != ArgPhis.size(); ++A)
+        ArgPhis[A]->addIncoming(A < Actuals.size()
+                                    ? Actuals[A]
+                                    : ArgPhis[A]->incomingValue(0),
+                                BB);
+      BB->push_back(std::make_unique<BrInst>(Header));
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<FunctionPass> sc::createTailRecursionPass() {
+  return std::make_unique<TailRecursionPass>();
+}

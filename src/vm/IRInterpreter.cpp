@@ -1,0 +1,246 @@
+//===- vm/IRInterpreter.cpp - Direct IR execution -----------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/IRInterpreter.h"
+
+#include "transforms/FoldUtils.h"
+
+#include <map>
+
+using namespace sc;
+
+namespace {
+
+class Interpreter {
+public:
+  Interpreter(const std::vector<const Module *> &Modules, uint64_t Fuel)
+      : Modules(Modules), Fuel(Fuel) {
+    // Globals from every module share one address space.
+    for (const Module *M : Modules)
+      for (size_t I = 0; I != M->numGlobals(); ++I) {
+        const GlobalVariable *G = M->global(I);
+        GlobalBase[G] = Memory.size();
+        Memory.resize(Memory.size() + G->size(), 0);
+        if (G->size() == 1)
+          Memory[GlobalBase[G]] = G->initValue();
+      }
+  }
+
+  ExecResult run(const std::string &FunctionName,
+                 const std::vector<int64_t> &Args) {
+    const Function *F = findFunction(FunctionName);
+    if (!F) {
+      Result.Trapped = true;
+      Result.TrapReason = "function '" + FunctionName + "' not found";
+      return Result;
+    }
+    int64_t Ret = 0;
+    bool HasRet = false;
+    if (!callFunction(*F, Args, Ret, HasRet))
+      return Result;
+    if (HasRet)
+      Result.ReturnValue = Ret;
+    return Result;
+  }
+
+private:
+  const Function *findFunction(const std::string &Name) const {
+    for (const Module *M : Modules)
+      if (const Function *F = M->getFunction(Name))
+        return F;
+    return nullptr;
+  }
+
+  int64_t readMem(int64_t Addr) const {
+    if (Addr < 0 || static_cast<uint64_t>(Addr) >= Memory.size())
+      return 0;
+    return Memory[static_cast<uint64_t>(Addr)];
+  }
+
+  void writeMem(int64_t Addr, int64_t V) {
+    if (Addr < 0 || static_cast<uint64_t>(Addr) >= Memory.size())
+      return;
+    Memory[static_cast<uint64_t>(Addr)] = V;
+  }
+
+  /// Executes \p F; returns false when a trap ended execution.
+  bool callFunction(const Function &F, const std::vector<int64_t> &Args,
+                    int64_t &RetOut, bool &HasRetOut) {
+    if (Depth++ >= MaxDepth)
+      return trap("stack depth limit exceeded");
+
+    std::map<const Value *, int64_t> Env;
+    for (size_t I = 0; I != F.numArgs(); ++I)
+      Env[F.arg(I)] = I < Args.size() ? Args[I] : 0;
+
+    // Static frame slots for allocas, mirroring the backend.
+    uint64_t FrameBase = Memory.size();
+    uint64_t FrameCells = 0;
+    std::map<const AllocaInst *, uint64_t> Slots;
+    F.forEachInstruction([&](Instruction *I) {
+      if (auto *A = dyn_cast<AllocaInst>(I)) {
+        Slots[A] = FrameBase + FrameCells;
+        FrameCells += A->numCells();
+      }
+    });
+    Memory.resize(FrameBase + FrameCells, 0);
+
+    auto Eval = [&](Value *V) -> int64_t {
+      if (auto *C = dyn_cast<ConstantInt>(V))
+        return C->value();
+      if (auto *G = dyn_cast<GlobalVariable>(V))
+        return static_cast<int64_t>(GlobalBase.at(G));
+      if (auto *A = dyn_cast<AllocaInst>(V))
+        return static_cast<int64_t>(Slots.at(A));
+      return Env[V];
+    };
+
+    const BasicBlock *Prev = nullptr;
+    const BasicBlock *BB = F.entry();
+    size_t Index = 0;
+
+    auto Leave = [&](int64_t Ret, bool HasRet) {
+      Memory.resize(FrameBase);
+      --Depth;
+      RetOut = Ret;
+      HasRetOut = HasRet;
+      return true;
+    };
+
+    for (;;) {
+      if (Steps++ >= Fuel)
+        return trap("fuel exhausted");
+      if (Index >= BB->size())
+        return trap("fell off the end of a block");
+
+      const Instruction *Inst = BB->inst(Index++);
+      ++Result.DynamicInsts;
+
+      switch (Inst->kind()) {
+      case Value::Kind::Binary: {
+        const auto *B = cast<BinaryInst>(Inst);
+        Env[Inst] = evalBinOp(B->op(), Eval(B->lhs()), Eval(B->rhs()));
+        break;
+      }
+      case Value::Kind::Cmp: {
+        const auto *C = cast<CmpInst>(Inst);
+        Env[Inst] = evalCmp(C->pred(), Eval(C->lhs()), Eval(C->rhs())) ? 1
+                                                                       : 0;
+        break;
+      }
+      case Value::Kind::Select: {
+        const auto *S = cast<SelectInst>(Inst);
+        Env[Inst] =
+            Eval(S->cond()) ? Eval(S->trueValue()) : Eval(S->falseValue());
+        break;
+      }
+      case Value::Kind::Alloca:
+        break; // Static slot; address via Eval.
+      case Value::Kind::Load:
+        Env[Inst] = readMem(Eval(cast<LoadInst>(Inst)->pointer()));
+        break;
+      case Value::Kind::Store: {
+        const auto *S = cast<StoreInst>(Inst);
+        writeMem(Eval(S->pointer()), Eval(S->value()));
+        break;
+      }
+      case Value::Kind::Gep: {
+        const auto *G = cast<GepInst>(Inst);
+        Env[Inst] =
+            evalBinOp(BinOp::Add, Eval(G->base()), Eval(G->index()));
+        break;
+      }
+      case Value::Kind::Call: {
+        const auto *C = cast<CallInst>(Inst);
+        std::vector<int64_t> CallArgs;
+        for (size_t A = 0; A != C->numArgs(); ++A)
+          CallArgs.push_back(Eval(C->arg(A)));
+        if (C->callee() == "print") {
+          Result.Output.push_back(CallArgs.empty() ? 0 : CallArgs[0]);
+          break;
+        }
+        const Function *Callee = findFunction(C->callee());
+        if (!Callee)
+          return trap("call to undefined function '" + C->callee() + "'");
+        int64_t Ret = 0;
+        bool HasRet = false;
+        if (!callFunction(*Callee, CallArgs, Ret, HasRet))
+          return false;
+        if (Inst->type() != IRType::Void)
+          Env[Inst] = Ret;
+        break;
+      }
+      case Value::Kind::Phi: {
+        // Evaluate all phis of the block atomically with respect to
+        // Prev (they conceptually execute on the edge). Rewind the
+        // dispatch counter: each phi is counted inside the loop.
+        --Index;
+        --Result.DynamicInsts;
+        std::vector<std::pair<const Instruction *, int64_t>> PhiVals;
+        while (Index < BB->size()) {
+          const auto *Phi = dyn_cast<PhiInst>(BB->inst(Index));
+          if (!Phi)
+            break;
+          Value *V = Phi->incomingValueFor(Prev);
+          if (!V)
+            return trap("phi has no incoming for the executed edge");
+          PhiVals.push_back({Phi, Eval(V)});
+          ++Index;
+          ++Result.DynamicInsts;
+        }
+        for (const auto &[Phi, V] : PhiVals)
+          Env[Phi] = V;
+        break;
+      }
+      case Value::Kind::Br:
+        Prev = BB;
+        BB = cast<BrInst>(Inst)->target();
+        Index = 0;
+        break;
+      case Value::Kind::CondBr: {
+        const auto *CB = cast<CondBrInst>(Inst);
+        Prev = BB;
+        BB = Eval(CB->cond()) ? CB->trueTarget() : CB->falseTarget();
+        Index = 0;
+        break;
+      }
+      case Value::Kind::Ret: {
+        const auto *R = cast<RetInst>(Inst);
+        if (R->hasValue())
+          return Leave(Eval(R->value()), true);
+        return Leave(0, false);
+      }
+      default:
+        return trap("unexpected value kind during interpretation");
+      }
+    }
+  }
+
+  bool trap(const std::string &Reason) {
+    Result.Trapped = true;
+    if (Result.TrapReason.empty())
+      Result.TrapReason = Reason;
+    return false;
+  }
+
+  const std::vector<const Module *> &Modules;
+  uint64_t Fuel;
+  uint64_t Steps = 0;
+  uint32_t Depth = 0;
+  uint32_t MaxDepth = 512;
+  std::vector<int64_t> Memory;
+  std::map<const GlobalVariable *, uint64_t> GlobalBase;
+  ExecResult Result;
+};
+
+} // namespace
+
+ExecResult sc::interpretIR(const std::vector<const Module *> &Modules,
+                           const std::string &FunctionName,
+                           const std::vector<int64_t> &Args, uint64_t Fuel) {
+  Interpreter Interp(Modules, Fuel);
+  return Interp.run(FunctionName, Args);
+}

@@ -1,0 +1,37 @@
+//===- vm/IRInterpreter.h - Direct IR execution -----------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reference interpreter executing IR directly (before codegen). Used
+/// as the semantic oracle in differential tests: for any program and
+/// input, `interpret(IR)` must equal `VM(codegen(optimize(IR)))` for
+/// every optimization level and skip policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_IRINTERPRETER_H
+#define SC_VM_IRINTERPRETER_H
+
+#include "ir/IR.h"
+#include "vm/VM.h"
+
+#include <vector>
+
+namespace sc {
+
+/// Executes \p FunctionName across the given modules (functions are
+/// resolved by name across all of them, like a linked program).
+/// Returns the same ExecResult shape as the VM; DynamicInsts counts IR
+/// instructions and Cost is left zero (the IR level has no machine
+/// cost model).
+ExecResult interpretIR(const std::vector<const Module *> &Modules,
+                       const std::string &FunctionName,
+                       const std::vector<int64_t> &Args,
+                       uint64_t Fuel = 50'000'000);
+
+} // namespace sc
+
+#endif // SC_VM_IRINTERPRETER_H

@@ -1,0 +1,289 @@
+//===- vm/VM.cpp - VISA executor ---------------------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+
+#include "transforms/FoldUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace sc;
+
+namespace {
+
+struct Frame {
+  const MFunction *F = nullptr;
+  size_t Block = 0;
+  size_t Index = 0;
+  uint64_t Base = 0; // First memory cell of this frame.
+  std::vector<int64_t> Regs;
+  std::vector<int64_t> Args;
+  MReg PendingDef = NoReg; // Caller register awaiting the return value.
+};
+
+} // namespace
+
+VM::VM(const MModule &Program) : Program(Program) {}
+
+namespace {
+
+/// Structural validation of an untrusted program image (objects may
+/// come from damaged files): register ids within each function's
+/// register file, branch labels within its block list, and opcodes in
+/// range. Rejecting here turns image corruption into a clean trap.
+bool validateProgram(const MModule &Program, std::string &Reason) {
+  for (const MFunction &F : Program.Functions) {
+    uint32_t NumRegs = std::max<uint32_t>(NumPhysRegs, F.NumVRegs);
+    auto RegOK = [&](MReg R) { return R == NoReg || R < NumRegs; };
+    for (size_t B = 0; B != F.Blocks.size(); ++B)
+      for (const MInst &MI : F.Blocks[B].Insts) {
+        if (static_cast<uint8_t>(MI.Op) > static_cast<uint8_t>(MOp::Ret)) {
+          Reason = "invalid opcode in function " + F.Name;
+          return false;
+        }
+        if (!RegOK(MI.Def) || !RegOK(MI.A) || !RegOK(MI.B) ||
+            !RegOK(MI.C)) {
+          Reason = "register id out of range in function " + F.Name;
+          return false;
+        }
+        if ((MI.Op == MOp::Br || MI.Op == MOp::BrNZ) &&
+            (MI.Label >= F.Blocks.size() ||
+             (MI.Op == MOp::BrNZ && MI.Label2 >= F.Blocks.size()))) {
+          Reason = "branch target out of range in function " + F.Name;
+          return false;
+        }
+      }
+  }
+  return true;
+}
+
+} // namespace
+
+ExecResult VM::run(const std::string &FunctionName,
+                   const std::vector<int64_t> &Args) {
+  ExecResult Result;
+
+  std::string Invalid;
+  if (!validateProgram(Program, Invalid)) {
+    Result.Trapped = true;
+    Result.TrapReason = "malformed program: " + Invalid;
+    return Result;
+  }
+
+  const MFunction *Entry = Program.findFunction(FunctionName);
+  if (!Entry) {
+    Result.Trapped = true;
+    Result.TrapReason = "entry function '" + FunctionName + "' not found";
+    return Result;
+  }
+
+  // Lay out globals at the bottom of memory.
+  std::map<std::string, uint64_t> GlobalBase;
+  uint64_t GlobalCells = 0;
+  for (const MGlobal &G : Program.Globals) {
+    GlobalBase[G.Name] = GlobalCells;
+    GlobalCells += G.Size;
+  }
+  std::vector<int64_t> Memory(GlobalCells, 0);
+  for (const MGlobal &G : Program.Globals)
+    if (G.Size == 1)
+      Memory[GlobalBase[G.Name]] = G.Init;
+
+  auto ReadMem = [&](int64_t Addr) -> int64_t {
+    if (Addr < 0 || static_cast<uint64_t>(Addr) >= Memory.size())
+      return 0;
+    return Memory[static_cast<uint64_t>(Addr)];
+  };
+  auto WriteMem = [&](int64_t Addr, int64_t V) {
+    if (Addr < 0 || static_cast<uint64_t>(Addr) >= Memory.size())
+      return;
+    Memory[static_cast<uint64_t>(Addr)] = V;
+  };
+
+  std::vector<Frame> Stack;
+  auto PushFrame = [&](const MFunction *F, std::vector<int64_t> CallArgs,
+                       MReg PendingDef) {
+    Frame Fr;
+    Fr.F = F;
+    Fr.Base = Memory.size();
+    // Size for either post-RA (16 physical) or pre-RA (virtual) code,
+    // so tests can execute unallocated functions directly.
+    Fr.Regs.assign(std::max<uint32_t>(NumPhysRegs, F->NumVRegs), 0);
+    Fr.Args = std::move(CallArgs);
+    Fr.PendingDef = PendingDef;
+    Memory.resize(Memory.size() + F->FrameCells, 0);
+    Stack.push_back(std::move(Fr));
+  };
+
+  PushFrame(Entry, Args, NoReg);
+
+  uint64_t Steps = 0;
+  while (!Stack.empty()) {
+    if (Steps++ >= Fuel) {
+      Result.Trapped = true;
+      Result.TrapReason = "fuel exhausted";
+      return Result;
+    }
+
+    Frame &Fr = Stack.back();
+    const MFunction &F = *Fr.F;
+
+    // Fall through unterminated blocks; finishing the last block of a
+    // void function acts as an implicit return.
+    if (Fr.Block >= F.Blocks.size()) {
+      Result.Trapped = true;
+      Result.TrapReason = "fell off the end of function " + F.Name;
+      return Result;
+    }
+    if (Fr.Index >= F.Blocks[Fr.Block].Insts.size()) {
+      ++Fr.Block;
+      Fr.Index = 0;
+      if (Fr.Block >= F.Blocks.size()) {
+        Result.Trapped = true;
+        Result.TrapReason = "fell off the end of function " + F.Name;
+        return Result;
+      }
+      continue;
+    }
+
+    const MInst &MI = F.Blocks[Fr.Block].Insts[Fr.Index];
+    ++Fr.Index;
+    ++Result.DynamicInsts;
+
+    auto R = [&](MReg Reg) -> int64_t { return Fr.Regs[Reg]; };
+    auto SetR = [&](MReg Reg, int64_t V) {
+      if (Reg != NoReg)
+        Fr.Regs[Reg] = V;
+    };
+
+    switch (MI.Op) {
+    case MOp::LdArg:
+      Result.Cost += Costs.Memory;
+      SetR(MI.Def, static_cast<size_t>(MI.Imm) < Fr.Args.size()
+                       ? Fr.Args[static_cast<size_t>(MI.Imm)]
+                       : 0);
+      break;
+    case MOp::MovRI:
+      Result.Cost += Costs.Simple;
+      SetR(MI.Def, MI.Imm);
+      break;
+    case MOp::MovRR:
+      Result.Cost += Costs.Simple;
+      SetR(MI.Def, R(MI.A));
+      break;
+    case MOp::Add:
+      Result.Cost += Costs.Simple;
+      SetR(MI.Def, evalBinOp(BinOp::Add, R(MI.A), R(MI.B)));
+      break;
+    case MOp::Sub:
+      Result.Cost += Costs.Simple;
+      SetR(MI.Def, evalBinOp(BinOp::Sub, R(MI.A), R(MI.B)));
+      break;
+    case MOp::Mul:
+      Result.Cost += Costs.Mul;
+      SetR(MI.Def, evalBinOp(BinOp::Mul, R(MI.A), R(MI.B)));
+      break;
+    case MOp::Div:
+      Result.Cost += Costs.DivRem;
+      SetR(MI.Def, evalBinOp(BinOp::SDiv, R(MI.A), R(MI.B)));
+      break;
+    case MOp::Rem:
+      Result.Cost += Costs.DivRem;
+      SetR(MI.Def, evalBinOp(BinOp::SRem, R(MI.A), R(MI.B)));
+      break;
+    case MOp::CmpSet:
+      Result.Cost += Costs.Simple;
+      SetR(MI.Def, evalCmp(MI.Pred, R(MI.A), R(MI.B)) ? 1 : 0);
+      break;
+    case MOp::Select:
+      Result.Cost += Costs.Simple;
+      SetR(MI.Def, R(MI.C) ? R(MI.A) : R(MI.B));
+      break;
+    case MOp::Load:
+      Result.Cost += Costs.Memory;
+      SetR(MI.Def, ReadMem(evalBinOp(BinOp::Add, R(MI.A), MI.Imm)));
+      break;
+    case MOp::Store:
+      Result.Cost += Costs.Memory;
+      WriteMem(evalBinOp(BinOp::Add, R(MI.B), MI.Imm), R(MI.A));
+      break;
+    case MOp::LeaFrame:
+      Result.Cost += Costs.Simple;
+      SetR(MI.Def, static_cast<int64_t>(Fr.Base) + MI.Imm);
+      break;
+    case MOp::LeaGlobal: {
+      Result.Cost += Costs.Simple;
+      auto It = GlobalBase.find(MI.Sym);
+      SetR(MI.Def,
+           It != GlobalBase.end() ? static_cast<int64_t>(It->second) : -1);
+      break;
+    }
+    case MOp::FrameSt:
+      Result.Cost += Costs.Memory;
+      WriteMem(static_cast<int64_t>(Fr.Base) + MI.Imm, R(MI.A));
+      break;
+    case MOp::FrameLd:
+      Result.Cost += Costs.Memory;
+      SetR(MI.Def, ReadMem(static_cast<int64_t>(Fr.Base) + MI.Imm));
+      break;
+    case MOp::Br:
+      Result.Cost += Costs.Simple;
+      Fr.Block = MI.Label;
+      Fr.Index = 0;
+      break;
+    case MOp::BrNZ:
+      Result.Cost += Costs.Simple;
+      Fr.Block = R(MI.A) ? MI.Label : MI.Label2;
+      Fr.Index = 0;
+      break;
+    case MOp::Call: {
+      Result.Cost += Costs.Call;
+      std::vector<int64_t> CallArgs;
+      CallArgs.reserve(MI.ArgCount);
+      for (uint32_t A = 0; A != MI.ArgCount; ++A)
+        CallArgs.push_back(
+            ReadMem(static_cast<int64_t>(Fr.Base) + MI.Imm + A));
+      if (MI.Sym == "print") {
+        Result.Output.push_back(CallArgs.empty() ? 0 : CallArgs[0]);
+        break;
+      }
+      const MFunction *Callee = Program.findFunction(MI.Sym);
+      if (!Callee) {
+        Result.Trapped = true;
+        Result.TrapReason = "call to undefined function '" + MI.Sym + "'";
+        return Result;
+      }
+      if (Stack.size() >= MaxDepth) {
+        Result.Trapped = true;
+        Result.TrapReason = "stack depth limit exceeded";
+        return Result;
+      }
+      PushFrame(Callee, std::move(CallArgs), MI.Def);
+      break;
+    }
+    case MOp::Ret: {
+      Result.Cost += Costs.Call;
+      int64_t RetVal = MI.A != NoReg ? R(MI.A) : 0;
+      bool HasVal = MI.A != NoReg;
+      uint64_t Base = Fr.Base;
+      MReg Pending = Fr.PendingDef;
+      Stack.pop_back();
+      Memory.resize(Base);
+      if (Stack.empty()) {
+        if (HasVal)
+          Result.ReturnValue = RetVal;
+        return Result;
+      }
+      if (Pending != NoReg)
+        Stack.back().Regs[Pending] = RetVal;
+      break;
+    }
+    }
+  }
+
+  return Result;
+}

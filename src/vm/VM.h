@@ -1,0 +1,73 @@
+//===- vm/VM.h - VISA executor ----------------------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a linked VISA program. Provides the dynamic-instruction
+/// cost model used by the code-quality experiments (E6) and the ground
+/// truth for differential testing of the optimizer.
+///
+/// Execution semantics (total, mirroring the IR):
+///  * i64 arithmetic wraps; x/0 == x%0 == 0;
+///  * out-of-range memory reads yield 0, writes are ignored;
+///  * a fuel limit and a stack-depth limit bound runaway programs
+///    (exceeding either reports a trap, never undefined behavior).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_VM_VM_H
+#define SC_VM_VM_H
+
+#include "codegen/VISA.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Dynamic cost weights per executed instruction class. The weights
+/// model a simple in-order machine (documented in DESIGN.md) and feed
+/// experiment E6.
+struct CostModel {
+  uint64_t Simple = 1;   // mov, add, sub, cmp, select, lea, branches.
+  uint64_t Mul = 3;
+  uint64_t DivRem = 10;
+  uint64_t Memory = 2;   // load/store/framest/frameld/ldarg.
+  uint64_t Call = 5;
+};
+
+struct ExecResult {
+  bool Trapped = false;          // Fuel or stack limit exceeded.
+  std::string TrapReason;
+  std::optional<int64_t> ReturnValue;
+  std::vector<int64_t> Output;   // Values printed via `print`.
+  uint64_t DynamicInsts = 0;
+  uint64_t Cost = 0;             // Weighted by the cost model.
+};
+
+class VM {
+public:
+  explicit VM(const MModule &Program);
+
+  /// Runs \p FunctionName (default entry point "main") with \p Args.
+  ExecResult run(const std::string &FunctionName = "main",
+                 const std::vector<int64_t> &Args = {});
+
+  void setFuel(uint64_t NewFuel) { Fuel = NewFuel; }
+  void setMaxDepth(uint32_t Depth) { MaxDepth = Depth; }
+  void setCostModel(const CostModel &CM) { Costs = CM; }
+
+private:
+  const MModule &Program;
+  CostModel Costs;
+  uint64_t Fuel = 50'000'000;
+  uint32_t MaxDepth = 512;
+};
+
+} // namespace sc
+
+#endif // SC_VM_VM_H

@@ -1,0 +1,553 @@
+//===- workload/Workload.cpp - Synthetic project generator ---------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace sc;
+
+std::vector<ProjectProfile> sc::standardProfiles() {
+  return {
+      // Name            Files MinF MaxF Imp MinS MaxS
+      {"small_cli", 12, 3, 7, 2, 2, 5},
+      {"json_lib", 30, 5, 10, 3, 2, 6},
+      {"http_server", 60, 5, 11, 3, 2, 6},
+      {"render_engine", 100, 6, 12, 4, 3, 7},
+      {"monorepo", 180, 6, 13, 5, 3, 7},
+  };
+}
+
+ProjectProfile sc::profileByName(const std::string &Name) {
+  for (const ProjectProfile &P : standardProfiles())
+    if (P.Name == Name)
+      return P;
+  assert(false && "unknown project profile");
+  return standardProfiles()[0];
+}
+
+const char *sc::editKindName(EditKind K) {
+  switch (K) {
+  case EditKind::ConstTweak:
+    return "const-tweak";
+  case EditKind::CondFlip:
+    return "cond-flip";
+  case EditKind::StmtInsert:
+    return "stmt-insert";
+  case EditKind::StmtDelete:
+    return "stmt-delete";
+  case EditKind::BodyRewrite:
+    return "body-rewrite";
+  case EditKind::AddFunction:
+    return "add-function";
+  case EditKind::SignatureChange:
+    return "signature-change";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// Generation
+//===----------------------------------------------------------------------===//
+
+ProjectModel ProjectModel::generate(const ProjectProfile &Profile,
+                                    uint64_t Seed) {
+  ProjectModel M;
+  RNG Rand(Seed);
+
+  unsigned NumFiles = std::max(2u, Profile.NumFiles);
+  for (unsigned FI = 0; FI != NumFiles; ++FI) {
+    FileModel File;
+    bool IsMain = FI + 1 == NumFiles;
+    File.Path = IsMain ? "main.mc" : "src" + std::to_string(FI) + ".mc";
+
+    // Imports: sample from strictly earlier files (acyclic by layout).
+    if (FI > 0) {
+      unsigned Fanout = static_cast<unsigned>(
+          Rand.nextInRange(IsMain ? 2 : 0,
+                           std::min<int64_t>(Profile.MaxImportsPerFile, FI)));
+      std::vector<unsigned> Candidates;
+      for (unsigned J = 0; J != FI; ++J)
+        Candidates.push_back(J);
+      for (unsigned K = 0; K != Fanout && !Candidates.empty(); ++K) {
+        size_t Pick = Rand.nextBelow(Candidates.size());
+        File.Imports.push_back(Candidates[Pick]);
+        Candidates.erase(Candidates.begin() +
+                         static_cast<ptrdiff_t>(Pick));
+      }
+      std::sort(File.Imports.begin(), File.Imports.end());
+    }
+
+    // Module-private globals; roughly a third stay unused (globalopt
+    // fodder).
+    unsigned NumGlobals = static_cast<unsigned>(Rand.nextInRange(1, 3));
+    for (unsigned G = 0; G != NumGlobals; ++G)
+      File.GlobalInits.push_back(Rand.nextInRange(0, 99));
+
+    M.Files.push_back(std::move(File));
+
+    unsigned NumFuncs =
+        IsMain ? 1
+               : static_cast<unsigned>(
+                     Rand.nextInRange(Profile.MinFuncsPerFile,
+                                      Profile.MaxFuncsPerFile));
+    for (unsigned K = 0; K != NumFuncs; ++K) {
+      FuncModel F;
+      F.Name = IsMain ? "main" : "f" + std::to_string(FI) + "_" +
+                                     std::to_string(K);
+      F.NumParams =
+          IsMain ? 0 : static_cast<unsigned>(Rand.nextInRange(1, 3));
+      F.SeedConst = Rand.nextInRange(0, 9);
+      F.IsRecursive = !IsMain && Rand.chancePercent(7);
+      unsigned FuncIdx = static_cast<unsigned>(M.Funcs.size());
+      M.Funcs.push_back(std::move(F));
+      M.FuncFile.push_back(FI);
+      M.Files[FI].Funcs.push_back(FuncIdx);
+
+      FuncModel &Fn = M.Funcs[FuncIdx];
+      if (!Fn.IsRecursive) {
+        unsigned NumSegs = static_cast<unsigned>(
+            Rand.nextInRange(Profile.MinSegs,
+                             IsMain ? Profile.MaxSegs + 2
+                                    : Profile.MaxSegs));
+        for (unsigned S = 0; S != NumSegs; ++S)
+          Fn.Segs.push_back(M.makeSegment(Rand, FI, FuncIdx));
+      }
+    }
+  }
+  return M;
+}
+
+std::vector<unsigned> ProjectModel::callableFrom(unsigned FileIdx,
+                                                 unsigned FuncIdx) const {
+  // Imported functions plus same-file functions with a strictly
+  // smaller index. Call edges therefore always point to smaller
+  // function indices, which rules out unbounded mutual recursion by
+  // construction (self-recursion uses its own bounded pattern).
+  std::vector<unsigned> Result;
+  for (unsigned ImportIdx : Files[FileIdx].Imports)
+    for (unsigned Idx : Files[ImportIdx].Funcs)
+      Result.push_back(Idx);
+  for (unsigned Idx : Files[FileIdx].Funcs)
+    if (Idx < FuncIdx)
+      Result.push_back(Idx);
+  return Result;
+}
+
+ProjectModel::SegModel ProjectModel::makeSegment(RNG &Rand, unsigned FileIdx,
+                                                 unsigned FuncIdx) {
+  SegModel S;
+  S.Uid = NextUid++;
+  unsigned Roll = static_cast<unsigned>(Rand.nextBelow(100));
+  if (Roll < 30)
+    S.K = SegModel::Kind::Arith;
+  else if (Roll < 50)
+    S.K = SegModel::Kind::LoopSum;
+  else if (Roll < 62)
+    S.K = SegModel::Kind::ArrayWork;
+  else if (Roll < 78)
+    S.K = SegModel::Kind::Branch;
+  else if (Roll < 92)
+    S.K = SegModel::Kind::CallMix;
+  else
+    S.K = SegModel::Kind::GlobalTouch;
+
+  S.C1 = Rand.nextInRange(1, 12);
+  S.C2 = Rand.nextInRange(0, 40);
+  S.C3 = Rand.nextInRange(1, 7);
+  S.Op = static_cast<unsigned>(Rand.nextBelow(4));
+
+  switch (S.K) {
+  case SegModel::Kind::LoopSum:
+    // Mix small constant trips (unrollable) with larger ones.
+    S.A = static_cast<unsigned>(Rand.chancePercent(40)
+                                    ? Rand.nextInRange(2, 6)
+                                    : Rand.nextInRange(8, 32));
+    break;
+  case SegModel::Kind::ArrayWork:
+    S.A = static_cast<unsigned>(Rand.nextInRange(4, 16));
+    break;
+  case SegModel::Kind::CallMix: {
+    std::vector<unsigned> Callable = callableFrom(FileIdx, FuncIdx);
+    // Avoid self-calls from CallMix (recursion has its own pattern)
+    // and calls to main.
+    std::vector<unsigned> Filtered;
+    for (unsigned Idx : Callable)
+      if (Idx != FuncIdx && Funcs[Idx].Name != "main")
+        Filtered.push_back(Idx);
+    if (Filtered.empty()) {
+      S.K = SegModel::Kind::Arith;
+      break;
+    }
+    S.CalleeIdx = Filtered[Rand.nextBelow(Filtered.size())];
+    break;
+  }
+  case SegModel::Kind::GlobalTouch:
+    S.GlobalIdx = static_cast<unsigned>(
+        Rand.nextBelow(Files[FileIdx].GlobalInits.size()));
+    break;
+  default:
+    break;
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+std::string ProjectModel::renderCallArgs(const FuncModel &Callee,
+                                         const FuncModel &Caller) const {
+  std::ostringstream OS;
+  for (unsigned P = 0; P != Callee.NumParams; ++P) {
+    if (P)
+      OS << ", ";
+    if (Callee.IsRecursive && P == 0) {
+      OS << "s % 11"; // Bounded recursion depth.
+    } else if (P == 0) {
+      OS << "s % " << (7 + Callee.NumParams);
+    } else if (P - 1 < Caller.NumParams) {
+      OS << "p" << (P - 1);
+    } else {
+      OS << static_cast<int>(P) * 3 + 1;
+    }
+  }
+  return OS.str();
+}
+
+std::string ProjectModel::renderSegment(const SegModel &S, const FuncModel &F,
+                                        unsigned FileIdx) const {
+  std::ostringstream OS;
+  std::string P0 = F.NumParams > 0 ? "p0" : "s";
+  std::string P1 = F.NumParams > 1 ? "p1" : P0;
+
+  switch (S.K) {
+  case SegModel::Kind::Arith:
+    switch (S.Op) {
+    case 0:
+      OS << "  s = s + (" << P0 << " * " << S.C1 << " + " << S.C2
+         << ") / " << S.C3 << ";\n";
+      break;
+    case 1:
+      // Repeated subexpression: CSE fodder.
+      OS << "  s = s + " << P0 << " * " << S.C1 << " + " << P0 << " * "
+         << S.C1 << " + " << S.C2 << ";\n";
+      break;
+    case 2:
+      // Constant-foldable chain.
+      OS << "  s = s + " << S.C1 << " * " << S.C3 << " + " << S.C2
+         << " - " << S.C2 << " + " << P1 << ";\n";
+      break;
+    default:
+      OS << "  s = s * 2 + (" << P1 << " % " << S.C3 << ") - " << S.C2
+         << ";\n";
+      break;
+    }
+    break;
+
+  case SegModel::Kind::LoopSum:
+    OS << "  for (var i" << S.Uid << " = 0; i" << S.Uid << " < " << S.A
+       << "; i" << S.Uid << " = i" << S.Uid << " + 1) {\n";
+    // One loop-invariant term (LICM fodder) plus an induction term.
+    OS << "    s = s + i" << S.Uid << " * " << S.C1 << " + " << P0
+       << " * " << S.C2 << ";\n";
+    OS << "  }\n";
+    break;
+
+  case SegModel::Kind::ArrayWork:
+    OS << "  var a" << S.Uid << "[" << S.A << "];\n";
+    OS << "  for (var i" << S.Uid << " = 0; i" << S.Uid << " < " << S.A
+       << "; i" << S.Uid << " = i" << S.Uid << " + 1) {\n";
+    OS << "    a" << S.Uid << "[i" << S.Uid << "] = i" << S.Uid << " * "
+       << S.C1 << " + " << S.C2 << ";\n";
+    OS << "  }\n";
+    OS << "  for (var j" << S.Uid << " = 0; j" << S.Uid << " < " << S.A
+       << "; j" << S.Uid << " = j" << S.Uid << " + 1) {\n";
+    OS << "    s = s + a" << S.Uid << "[j" << S.Uid << "];\n";
+    OS << "  }\n";
+    break;
+
+  case SegModel::Kind::Branch: {
+    const char *Cmp = S.Op == 0   ? "<"
+                      : S.Op == 1 ? ">"
+                      : S.Op == 2 ? "<="
+                                  : "!=";
+    if (S.C3 % 3 == 0) {
+      // Tautology: SCCP/SimplifyCFG should erase the dead arm.
+      OS << "  if (s == s) {\n    s = s + " << S.C2
+         << ";\n  } else {\n    s = s * " << S.C1 << ";\n  }\n";
+    } else {
+      OS << "  if (" << P0 << " " << Cmp << " " << S.C1
+         << ") {\n    s = s + " << S.C2 << ";\n  } else {\n    s = s - "
+         << S.C3 << ";\n  }\n";
+    }
+    break;
+  }
+
+  case SegModel::Kind::CallMix: {
+    assert(S.CalleeIdx != ~0u && "call segment without callee");
+    const FuncModel &Callee = Funcs[S.CalleeIdx];
+    OS << "  s = s + " << Callee.Name << "("
+       << renderCallArgs(Callee, F) << ");\n";
+    break;
+  }
+
+  case SegModel::Kind::GlobalTouch: {
+    std::string G =
+        "g" + std::to_string(FileIdx) + "_" + std::to_string(S.GlobalIdx);
+    OS << "  " << G << " = " << G << " + " << S.C1 << ";\n";
+    OS << "  s = s + " << G << " % " << (S.C3 + 1) << ";\n";
+    break;
+  }
+  }
+  return OS.str();
+}
+
+std::string ProjectModel::renderFunction(const FuncModel &F,
+                                         unsigned FileIdx) const {
+  std::ostringstream OS;
+  OS << "fn " << F.Name << "(";
+  for (unsigned P = 0; P != F.NumParams; ++P) {
+    if (P)
+      OS << ", ";
+    OS << "p" << P << ": int";
+  }
+  OS << ") -> int {\n";
+
+  if (F.IsRecursive) {
+    OS << "  if (p0 <= 0) {\n    return " << F.SeedConst << ";\n  }\n";
+    OS << "  return p0 + " << F.Name << "(p0 - 1";
+    for (unsigned P = 1; P != F.NumParams; ++P)
+      OS << ", p" << P;
+    OS << ");\n";
+    OS << "}\n";
+    return OS.str();
+  }
+
+  OS << "  var s = " << F.SeedConst << ";\n";
+  for (const SegModel &S : F.Segs)
+    OS << renderSegment(S, F, FileIdx);
+  OS << "  return s;\n";
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string ProjectModel::renderFile(unsigned FileIdx) const {
+  const FileModel &File = Files[FileIdx];
+  std::ostringstream OS;
+  OS << "// Generated file: " << File.Path << "\n";
+  for (unsigned ImportIdx : File.Imports)
+    OS << "import \"" << Files[ImportIdx].Path << "\";\n";
+  for (size_t G = 0; G != File.GlobalInits.size(); ++G)
+    OS << "global g" << FileIdx << "_" << G << " = "
+       << File.GlobalInits[G] << ";\n";
+  OS << "\n";
+  for (unsigned FuncIdx : File.Funcs) {
+    const FuncModel &F = Funcs[FuncIdx];
+    if (F.Name == "main") {
+      // main: aggregate calls across the project, then print.
+      OS << "fn main() -> int {\n  var s = " << F.SeedConst << ";\n";
+      for (const SegModel &S : F.Segs)
+        OS << renderSegment(S, F, FileIdx);
+      OS << "  print(s);\n  return s % 256;\n}\n";
+    } else {
+      OS << renderFunction(F, FileIdx);
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+std::string ProjectModel::filePath(unsigned FileIdx) const {
+  return Files[FileIdx].Path;
+}
+
+void ProjectModel::renderAll(VirtualFileSystem &FS) const {
+  auto &Self = const_cast<ProjectModel &>(*this);
+  Self.LastRendered.resize(Files.size());
+  for (unsigned FI = 0; FI != Files.size(); ++FI) {
+    std::string Text = renderFile(FI);
+    FS.writeFile(Files[FI].Path, Text);
+    Self.LastRendered[FI] = std::move(Text);
+  }
+}
+
+std::vector<std::string> ProjectModel::rerenderChanged(VirtualFileSystem &FS) {
+  std::vector<std::string> Changed;
+  LastRendered.resize(Files.size());
+  for (unsigned FI = 0; FI != Files.size(); ++FI) {
+    std::string Text = renderFile(FI);
+    if (Text != LastRendered[FI]) {
+      FS.writeFile(Files[FI].Path, Text);
+      LastRendered[FI] = std::move(Text);
+      Changed.push_back(Files[FI].Path);
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Edits
+//===----------------------------------------------------------------------===//
+
+unsigned ProjectModel::pickEditableFunction(RNG &Rand) const {
+  // Non-main, non-recursive functions with at least one segment.
+  std::vector<unsigned> Candidates;
+  for (unsigned I = 0; I != Funcs.size(); ++I)
+    if (Funcs[I].Name != "main" && !Funcs[I].IsRecursive &&
+        !Funcs[I].Segs.empty())
+      Candidates.push_back(I);
+  assert(!Candidates.empty() && "project has no editable functions");
+  return Candidates[Rand.nextBelow(Candidates.size())];
+}
+
+std::vector<std::string> ProjectModel::applyEdit(EditKind Kind, RNG &Rand,
+                                                 VirtualFileSystem &FS) {
+  switch (Kind) {
+  case EditKind::ConstTweak: {
+    FuncModel &F = Funcs[pickEditableFunction(Rand)];
+    SegModel &S = F.Segs[Rand.nextBelow(F.Segs.size())];
+    S.C2 = S.C2 + Rand.nextInRange(1, 5);
+    break;
+  }
+  case EditKind::CondFlip: {
+    // Prefer a Branch segment; fall back to a const tweak.
+    unsigned FuncIdx = pickEditableFunction(Rand);
+    FuncModel &F = Funcs[FuncIdx];
+    SegModel *Branch = nullptr;
+    for (SegModel &S : F.Segs)
+      if (S.K == SegModel::Kind::Branch) {
+        Branch = &S;
+        break;
+      }
+    if (Branch) {
+      Branch->Op = (Branch->Op + 1) % 4;
+      Branch->C1 += 1;
+    } else {
+      F.Segs[Rand.nextBelow(F.Segs.size())].C1 += 1;
+    }
+    break;
+  }
+  case EditKind::StmtInsert: {
+    unsigned FuncIdx = pickEditableFunction(Rand);
+    unsigned FileIdx = FuncFile[FuncIdx];
+    SegModel S = makeSegment(Rand, FileIdx, FuncIdx);
+    FuncModel &F = Funcs[FuncIdx];
+    size_t Pos = Rand.nextBelow(F.Segs.size() + 1);
+    F.Segs.insert(F.Segs.begin() + static_cast<ptrdiff_t>(Pos),
+                  std::move(S));
+    break;
+  }
+  case EditKind::StmtDelete: {
+    unsigned FuncIdx = pickEditableFunction(Rand);
+    FuncModel &F = Funcs[FuncIdx];
+    if (F.Segs.size() > 1)
+      F.Segs.erase(F.Segs.begin() +
+                   static_cast<ptrdiff_t>(Rand.nextBelow(F.Segs.size())));
+    else
+      F.Segs[0].C2 += 1; // Degenerate: tweak instead.
+    break;
+  }
+  case EditKind::BodyRewrite: {
+    unsigned FuncIdx = pickEditableFunction(Rand);
+    unsigned FileIdx = FuncFile[FuncIdx];
+    FuncModel &F = Funcs[FuncIdx];
+    unsigned NumSegs = static_cast<unsigned>(Rand.nextInRange(2, 6));
+    F.Segs.clear();
+    for (unsigned S = 0; S != NumSegs; ++S)
+      F.Segs.push_back(makeSegment(Rand, FileIdx, FuncIdx));
+    break;
+  }
+  case EditKind::AddFunction: {
+    unsigned FileIdx =
+        static_cast<unsigned>(Rand.nextBelow(Files.size() - 1));
+    FuncModel F;
+    F.Name = "f" + std::to_string(FileIdx) + "_n" +
+             std::to_string(Funcs.size());
+    F.NumParams = static_cast<unsigned>(Rand.nextInRange(1, 3));
+    F.SeedConst = Rand.nextInRange(0, 9);
+    unsigned FuncIdx = static_cast<unsigned>(Funcs.size());
+    Funcs.push_back(std::move(F));
+    FuncFile.push_back(FileIdx);
+    Files[FileIdx].Funcs.push_back(FuncIdx);
+    FuncModel &Fn = Funcs[FuncIdx];
+    unsigned NumSegs = static_cast<unsigned>(Rand.nextInRange(2, 4));
+    for (unsigned S = 0; S != NumSegs; ++S)
+      Fn.Segs.push_back(makeSegment(Rand, FileIdx, FuncIdx));
+    break;
+  }
+  case EditKind::SignatureChange: {
+    unsigned FuncIdx = pickEditableFunction(Rand);
+    FuncModel &F = Funcs[FuncIdx];
+    F.NumParams = F.NumParams == 3 ? 1 : F.NumParams + 1;
+    // Call sites re-render automatically from the model.
+    break;
+  }
+  }
+  return rerenderChanged(FS);
+}
+
+std::vector<std::string> ProjectModel::applyCommit(RNG &Rand,
+                                                   VirtualFileSystem &FS) {
+  // Realistic commit mix: mostly body-local edits, occasionally
+  // structural/interface changes.
+  unsigned NumEdits = static_cast<unsigned>(Rand.nextInRange(1, 3));
+  std::vector<std::string> AllChanged;
+  for (unsigned E = 0; E != NumEdits; ++E) {
+    unsigned Roll = static_cast<unsigned>(Rand.nextBelow(100));
+    EditKind Kind;
+    if (Roll < 35)
+      Kind = EditKind::ConstTweak;
+    else if (Roll < 55)
+      Kind = EditKind::StmtInsert;
+    else if (Roll < 70)
+      Kind = EditKind::CondFlip;
+    else if (Roll < 80)
+      Kind = EditKind::StmtDelete;
+    else if (Roll < 90)
+      Kind = EditKind::BodyRewrite;
+    else if (Roll < 96)
+      Kind = EditKind::AddFunction;
+    else
+      Kind = EditKind::SignatureChange;
+    for (std::string &Path : applyEdit(Kind, Rand, FS))
+      if (std::find(AllChanged.begin(), AllChanged.end(), Path) ==
+          AllChanged.end())
+        AllChanged.push_back(Path);
+  }
+  return AllChanged;
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+unsigned ProjectModel::numFiles() const {
+  return static_cast<unsigned>(Files.size());
+}
+
+unsigned ProjectModel::numFunctions() const {
+  return static_cast<unsigned>(Funcs.size());
+}
+
+uint64_t ProjectModel::totalSourceBytes() const {
+  uint64_t Sum = 0;
+  for (unsigned FI = 0; FI != Files.size(); ++FI)
+    Sum += renderFile(FI).size();
+  return Sum;
+}
+
+unsigned ProjectModel::totalSourceLines() const {
+  unsigned Lines = 0;
+  for (unsigned FI = 0; FI != Files.size(); ++FI) {
+    std::string Text = renderFile(FI);
+    Lines += static_cast<unsigned>(
+        std::count(Text.begin(), Text.end(), '\n'));
+  }
+  return Lines;
+}

@@ -1,0 +1,151 @@
+//===- workload/Workload.h - Synthetic project generator --------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generator of MiniC projects and incremental edits —
+/// the substitute for the paper's real-world C++ evaluation projects
+/// (see DESIGN.md). A project is held as a structured model; edits
+/// mutate the model and the project re-renders to text, so the build
+/// system sees exactly the files whose bytes changed, like a developer
+/// saving from an editor.
+///
+/// The generated code deliberately exercises the whole pass pipeline:
+/// foldable constants, repeated subexpressions (CSE), loop-invariant
+/// terms (LICM), small constant-trip loops (unroll), tautological
+/// branches (SCCP/SimplifyCFG), arrays (load-forward/DSE), globals
+/// (globalopt), small helpers (inliner), and bounded recursion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_WORKLOAD_WORKLOAD_H
+#define SC_WORKLOAD_WORKLOAD_H
+
+#include "support/FileSystem.h"
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Shape parameters for a generated project, modeled on the file/
+/// function statistics of typical open-source C++ projects.
+struct ProjectProfile {
+  std::string Name;
+  unsigned NumFiles = 20;
+  unsigned MinFuncsPerFile = 4;
+  unsigned MaxFuncsPerFile = 9;
+  unsigned MaxImportsPerFile = 3;
+  unsigned MinSegs = 2; // Body segments per function.
+  unsigned MaxSegs = 6;
+};
+
+/// The five evaluation profiles used by the benchmarks (E1-E9).
+std::vector<ProjectProfile> standardProfiles();
+
+/// Returns the profile with the given name; aborts if unknown.
+ProjectProfile profileByName(const std::string &Name);
+
+/// Kinds of source edits the incremental-build experiments apply.
+enum class EditKind : uint8_t {
+  ConstTweak,      // Change a literal in one function body.
+  CondFlip,        // Change a comparison operator/threshold.
+  StmtInsert,      // Insert a statement group into a body.
+  StmtDelete,      // Delete a statement group from a body.
+  BodyRewrite,     // Regenerate one function body wholesale.
+  AddFunction,     // Add a new function to a file (interface change).
+  SignatureChange, // Change a function's arity (interface change).
+};
+
+const char *editKindName(EditKind K);
+
+/// A generated project: structured model + deterministic rendering.
+class ProjectModel {
+public:
+  /// Builds a project from a profile and seed (bit-reproducible).
+  static ProjectModel generate(const ProjectProfile &Profile, uint64_t Seed);
+
+  /// Renders every file into \p FS (paths like "src3.mc", "main.mc").
+  void renderAll(VirtualFileSystem &FS) const;
+
+  /// Applies one random edit of the given kind; returns the paths of
+  /// files whose rendered text changed (usually one; signature changes
+  /// can touch several). Also re-renders those files into \p FS.
+  std::vector<std::string> applyEdit(EditKind Kind, RNG &Rand,
+                                     VirtualFileSystem &FS);
+
+  /// Applies a "commit": 1-3 random small edits (weighted toward
+  /// body-local changes, occasionally interface-changing), mirroring
+  /// the small diffs of real incremental builds. Returns changed
+  /// paths.
+  std::vector<std::string> applyCommit(RNG &Rand, VirtualFileSystem &FS);
+
+  //===--- Introspection -----------------------------------------------------===//
+
+  unsigned numFiles() const;
+  unsigned numFunctions() const;
+  uint64_t totalSourceBytes() const;
+  unsigned totalSourceLines() const;
+
+  std::string renderFile(unsigned FileIdx) const;
+  std::string filePath(unsigned FileIdx) const;
+
+private:
+  struct SegModel {
+    enum class Kind : uint8_t {
+      Arith,
+      LoopSum,
+      ArrayWork,
+      Branch,
+      CallMix,
+      GlobalTouch,
+    };
+    Kind K = Kind::Arith;
+    int64_t C1 = 1, C2 = 0, C3 = 1;
+    unsigned A = 0;       // Loop bound / array size / param index.
+    unsigned Op = 0;      // Template selector.
+    unsigned CalleeIdx = ~0u;
+    unsigned GlobalIdx = 0;
+    unsigned Uid = 0;     // Unique id for local names.
+  };
+
+  struct FuncModel {
+    std::string Name;
+    unsigned NumParams = 1;
+    bool IsRecursive = false;
+    int64_t SeedConst = 0;
+    std::vector<SegModel> Segs;
+  };
+
+  struct FileModel {
+    std::string Path;
+    std::vector<unsigned> Imports;     // File indices.
+    std::vector<int64_t> GlobalInits;  // g<file>_<k>.
+    std::vector<unsigned> Funcs;       // Global function indices.
+  };
+
+  SegModel makeSegment(RNG &Rand, unsigned FileIdx, unsigned FuncIdx);
+  std::string renderFunction(const FuncModel &F, unsigned FileIdx) const;
+  std::string renderSegment(const SegModel &S, const FuncModel &F,
+                            unsigned FileIdx) const;
+  std::string renderCallArgs(const FuncModel &Callee,
+                             const FuncModel &Caller) const;
+  std::vector<unsigned> callableFrom(unsigned FileIdx, unsigned FuncIdx) const;
+  unsigned pickEditableFunction(RNG &Rand) const;
+  std::vector<std::string> rerenderChanged(VirtualFileSystem &FS);
+
+  std::vector<FileModel> Files;
+  std::vector<FuncModel> Funcs;
+  std::vector<unsigned> FuncFile; // Function index -> file index.
+  unsigned NextUid = 0;
+  // Cache of the last rendering, for change detection.
+  std::vector<std::string> LastRendered;
+};
+
+} // namespace sc
+
+#endif // SC_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,147 @@
+//===- tests/TestUtils.h - Shared test helpers ------------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_TESTS_TESTUTILS_H
+#define SC_TESTS_TESTUTILS_H
+
+#include "codegen/ObjectFile.h"
+#include "driver/Compiler.h"
+#include "driver/IRGen.h"
+#include "ir/IRTextParser.h"
+#include "ir/Verifier.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "vm/IRInterpreter.h"
+#include "vm/VM.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace sc::test {
+
+/// Parses + type-checks MiniC source and lowers it to IR. Fails the
+/// current test on any diagnostic.
+inline std::unique_ptr<Module> lowerToIR(const std::string &Source,
+                                         const std::string &Name = "test") {
+  DiagnosticEngine Diags;
+  Parser P(Source, Diags);
+  auto AST = P.parseModule();
+  ModuleInterface Iface = analyzeModule(*AST, {}, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render(Name);
+  if (Diags.hasErrors())
+    return nullptr;
+  auto M = generateIR(*AST, Name, Iface);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(*M, Errors))
+      << "IR verification failed: " << (Errors.empty() ? "" : Errors[0]);
+  return M;
+}
+
+/// Parses IR text; fails the test on parse errors.
+inline std::unique_ptr<Module> parseIR(const std::string &Text,
+                                       const std::string &Name = "test") {
+  std::vector<std::string> Errors;
+  auto M = parseIRText(Text, Name, Errors);
+  EXPECT_TRUE(M != nullptr)
+      << "IR parse failed: " << (Errors.empty() ? "?" : Errors[0]);
+  return M;
+}
+
+/// Verifies a module inline (use after running a pass).
+inline void expectValid(const Module &M) {
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyModule(M, Errors))
+      << (Errors.empty() ? "" : Errors[0]);
+}
+
+/// Compiles MiniC to a linked VISA program and runs main().
+inline ExecResult compileAndRun(const std::string &Source,
+                                OptLevel Opt = OptLevel::O2) {
+  CompilerOptions Options;
+  Options.Opt = Opt;
+  Options.VerifyEach = true;
+  Compiler C(Options);
+  CompileResult R = C.compile("test.mc", Source, {});
+  EXPECT_TRUE(R.Success) << R.DiagText;
+  if (!R.Success)
+    return {};
+  LinkResult L = linkObjects({&R.Object});
+  EXPECT_TRUE(L.succeeded())
+      << (L.Errors.empty() ? "" : L.Errors[0]);
+  if (!L.succeeded())
+    return {};
+  VM Vm(*L.Program);
+  return Vm.run();
+}
+
+/// Runs the IR interpreter over fresh (unoptimized) IR for the source.
+inline ExecResult interpretSource(const std::string &Source) {
+  auto M = lowerToIR(Source);
+  if (!M)
+    return {};
+  return interpretIR({M.get()}, "main", {});
+}
+
+/// Asserts two executions observable-equal (trap status, return value,
+/// print trace).
+inline void expectSameBehavior(const ExecResult &A, const ExecResult &B,
+                               const std::string &Context = std::string()) {
+  EXPECT_EQ(A.Trapped, B.Trapped) << Context << " trap mismatch: "
+                                  << A.TrapReason << " vs " << B.TrapReason;
+  if (A.Trapped || B.Trapped)
+    return;
+  EXPECT_EQ(A.ReturnValue.has_value(), B.ReturnValue.has_value()) << Context;
+  if (A.ReturnValue && B.ReturnValue) {
+    EXPECT_EQ(*A.ReturnValue, *B.ReturnValue) << Context;
+  }
+  EXPECT_EQ(A.Output, B.Output) << Context;
+}
+
+/// Runs one function pass over every function of \p M (with analysis
+/// invalidation, like the pipeline would). Returns whether anything
+/// changed; fails the test if the result does not verify.
+inline bool runPass(Module &M, FunctionPass &P) {
+  AnalysisManager AM(M);
+  bool Changed = false;
+  for (size_t I = 0; I != M.numFunctions(); ++I) {
+    if (P.run(*M.function(I), AM)) {
+      AM.invalidate(*M.function(I));
+      Changed = true;
+    }
+  }
+  expectValid(M);
+  return Changed;
+}
+
+inline bool runPass(Module &M, ModulePass &P) {
+  AnalysisManager AM(M);
+  bool Changed = P.run(M, AM);
+  expectValid(M);
+  return Changed;
+}
+
+/// Parses \p IRText twice, applies \p P to one copy, and checks that
+/// running \p Fn with \p Args behaves identically before and after.
+template <typename PassT>
+bool expectPassPreservesBehavior(const std::string &IRText, PassT &P,
+                                 const std::string &Fn,
+                                 const std::vector<int64_t> &Args = {}) {
+  auto Before = parseIR(IRText);
+  auto After = parseIR(IRText);
+  if (!Before || !After)
+    return false;
+  bool Changed = runPass(*After, P);
+  ExecResult A = interpretIR({Before.get()}, Fn, Args);
+  ExecResult B = interpretIR({After.get()}, Fn, Args);
+  expectSameBehavior(A, B, "pass semantic preservation");
+  return Changed;
+}
+
+} // namespace sc::test
+
+#endif // SC_TESTS_TESTUTILS_H

@@ -1,0 +1,187 @@
+//===- tests/analysis/DominatorsTest.cpp ------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "analysis/CFG.h"
+#include "analysis/Dominators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+/// Diamond: b0 -> {b1, b2} -> b3.
+const char *DiamondIR = R"(fn @d(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  %t1 = add %x, 1
+  br b3
+b2:
+  %t2 = add %x, 2
+  br b3
+b3:
+  %t3 = phi i64 [%t1, b1], [%t2, b2]
+  ret %t3
+}
+)";
+
+/// Loop: b0 -> b1 (header) -> b2 (body) -> b1; b1 -> b3 (exit).
+const char *LoopIR = R"(fn @l(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t2, b2]
+  %t1 = cmp slt %t0, %n
+  condbr %t1, b2, b3
+b2:
+  %t2 = add %t0, 1
+  br b1
+b3:
+  ret %t0
+}
+)";
+
+} // namespace
+
+TEST(Dominators, DiamondStructure) {
+  auto M = parseIR(DiamondIR);
+  Function *F = M->getFunction("d");
+  DominatorTree DT = DominatorTree::compute(*F);
+
+  BasicBlock *B0 = F->block(0), *B1 = F->block(1), *B2 = F->block(2),
+             *B3 = F->block(3);
+  EXPECT_EQ(DT.idom(B0), nullptr);
+  EXPECT_EQ(DT.idom(B1), B0);
+  EXPECT_EQ(DT.idom(B2), B0);
+  EXPECT_EQ(DT.idom(B3), B0) << "join is dominated by the branch block";
+
+  EXPECT_TRUE(DT.dominates(B0, B3));
+  EXPECT_FALSE(DT.dominates(B1, B3));
+  EXPECT_TRUE(DT.dominates(B1, B1)) << "dominance is reflexive";
+  EXPECT_FALSE(DT.strictlyDominates(B1, B1));
+}
+
+TEST(Dominators, DiamondFrontiers) {
+  auto M = parseIR(DiamondIR);
+  Function *F = M->getFunction("d");
+  DominatorTree DT = DominatorTree::compute(*F);
+
+  BasicBlock *B1 = F->block(1), *B2 = F->block(2), *B3 = F->block(3);
+  ASSERT_EQ(DT.frontier(B1).size(), 1u);
+  EXPECT_EQ(DT.frontier(B1)[0], B3);
+  ASSERT_EQ(DT.frontier(B2).size(), 1u);
+  EXPECT_EQ(DT.frontier(B2)[0], B3);
+  EXPECT_TRUE(DT.frontier(B3).empty());
+}
+
+TEST(Dominators, LoopHeaderFrontierContainsItself) {
+  auto M = parseIR(LoopIR);
+  Function *F = M->getFunction("l");
+  DominatorTree DT = DominatorTree::compute(*F);
+  BasicBlock *Header = F->block(1), *Body = F->block(2);
+  // The body's frontier includes the header (back edge join).
+  const auto &DF = DT.frontier(Body);
+  EXPECT_NE(std::find(DF.begin(), DF.end(), Header), DF.end());
+}
+
+TEST(Dominators, LoopDominance) {
+  auto M = parseIR(LoopIR);
+  Function *F = M->getFunction("l");
+  DominatorTree DT = DominatorTree::compute(*F);
+  BasicBlock *B0 = F->block(0), *Header = F->block(1), *Body = F->block(2),
+             *Exit = F->block(3);
+  EXPECT_TRUE(DT.dominates(Header, Body));
+  EXPECT_TRUE(DT.dominates(Header, Exit));
+  EXPECT_FALSE(DT.dominates(Body, Exit));
+  EXPECT_EQ(DT.idom(Header), B0);
+  EXPECT_EQ(DT.idom(Exit), Header);
+}
+
+TEST(Dominators, InstructionLevelQueries) {
+  auto M = parseIR(DiamondIR);
+  Function *F = M->getFunction("d");
+  DominatorTree DT = DominatorTree::compute(*F);
+  Instruction *Cmp = F->block(0)->inst(0);
+  Instruction *CondBr = F->block(0)->inst(1);
+  Instruction *Add1 = F->block(1)->inst(0);
+  EXPECT_TRUE(DT.dominates(Cmp, CondBr));
+  EXPECT_FALSE(DT.dominates(CondBr, Cmp));
+  EXPECT_TRUE(DT.dominates(Cmp, Add1));
+  EXPECT_FALSE(DT.dominates(Add1, Cmp));
+}
+
+TEST(Dominators, UnreachableBlocksExcluded) {
+  auto M = parseIR(R"(fn @u() -> i64 {
+b0:
+  ret 1
+b1:
+  ret 2
+}
+)");
+  Function *F = M->getFunction("u");
+  DominatorTree DT = DominatorTree::compute(*F);
+  EXPECT_TRUE(DT.isReachable(F->block(0)));
+  EXPECT_FALSE(DT.isReachable(F->block(1)));
+  EXPECT_FALSE(DT.dominates(F->block(0), F->block(1)));
+}
+
+TEST(Dominators, RPOOrder) {
+  auto M = parseIR(LoopIR);
+  Function *F = M->getFunction("l");
+  DominatorTree DT = DominatorTree::compute(*F);
+  const auto &RPO = DT.rpo();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), F->entry());
+  // Header precedes body in RPO.
+  auto Pos = [&](BasicBlock *BB) {
+    return std::find(RPO.begin(), RPO.end(), BB) - RPO.begin();
+  };
+  EXPECT_LT(Pos(F->block(1)), Pos(F->block(2)));
+}
+
+TEST(CFGUtil, RemoveUnreachableBlocks) {
+  auto M = parseIR(R"(fn @u(i64 %x) -> i64 {
+b0:
+  ret %x
+b1:
+  %t0 = add %x, 1
+  br b2
+b2:
+  %t1 = phi i64 [%t0, b1]
+  ret %t1
+}
+)");
+  Function *F = M->getFunction("u");
+  EXPECT_TRUE(removeUnreachableBlocks(*F));
+  EXPECT_EQ(F->numBlocks(), 1u);
+  EXPECT_FALSE(removeUnreachableBlocks(*F));
+  expectValid(*M);
+}
+
+TEST(CFGUtil, UnreachablePredPhiEntriesRemoved) {
+  auto M = parseIR(R"(fn @u(i64 %x) -> i64 {
+b0:
+  br b2
+b1:
+  br b2
+b2:
+  %t0 = phi i64 [%x, b0], [5, b1]
+  ret %t0
+}
+)");
+  Function *F = M->getFunction("u");
+  EXPECT_TRUE(removeUnreachableBlocks(*F));
+  EXPECT_EQ(F->numBlocks(), 2u);
+  PhiInst *Phi = F->block(1)->phis()[0];
+  EXPECT_EQ(Phi->numIncoming(), 1u);
+  expectValid(*M);
+}

@@ -1,0 +1,132 @@
+//===- tests/analysis/LoopInfoTest.cpp ---------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "analysis/LoopInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+LoopInfo computeLI(Function *F, DominatorTree &DTOut) {
+  DTOut = DominatorTree::compute(*F);
+  return LoopInfo::compute(*F, DTOut);
+}
+
+} // namespace
+
+TEST(LoopInfo, StraightLineHasNoLoops) {
+  auto M = lowerToIR("fn main() -> int { var x = 1; return x + 2; }");
+  Function *F = M->getFunction("main");
+  DominatorTree DT;
+  LoopInfo LI = computeLI(F, DT);
+  EXPECT_TRUE(LI.topLevelLoops().empty());
+  for (size_t I = 0; I != F->numBlocks(); ++I)
+    EXPECT_EQ(LI.loopFor(F->block(I)), nullptr);
+}
+
+TEST(LoopInfo, SingleWhileLoop) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var i = 0;
+      while (i < 10) { i = i + 1; }
+      return i;
+    }
+  )");
+  Function *F = M->getFunction("main");
+  DominatorTree DT;
+  LoopInfo LI = computeLI(F, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  Loop *L = LI.topLevelLoops()[0];
+  EXPECT_EQ(L->depth(), 1u);
+  EXPECT_EQ(L->parent(), nullptr);
+  EXPECT_TRUE(L->subLoops().empty());
+  EXPECT_NE(L->preheader(), nullptr);
+  EXPECT_FALSE(L->latches().empty());
+  ASSERT_EQ(L->exitBlocks().size(), 1u);
+  EXPECT_TRUE(L->contains(L->header()));
+  EXPECT_FALSE(L->contains(L->exitBlocks()[0]));
+}
+
+TEST(LoopInfo, NestedLoopsDepths) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var s = 0;
+      for (var i = 0; i < 4; i = i + 1) {
+        for (var j = 0; j < 4; j = j + 1) {
+          s = s + i * j;
+        }
+      }
+      return s;
+    }
+  )");
+  Function *F = M->getFunction("main");
+  DominatorTree DT;
+  LoopInfo LI = computeLI(F, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  Loop *Outer = LI.topLevelLoops()[0];
+  ASSERT_EQ(Outer->subLoops().size(), 1u);
+  Loop *Inner = Outer->subLoops()[0];
+  EXPECT_EQ(Outer->depth(), 1u);
+  EXPECT_EQ(Inner->depth(), 2u);
+  EXPECT_EQ(Inner->parent(), Outer);
+  EXPECT_TRUE(Outer->blocks().size() > Inner->blocks().size());
+  for (BasicBlock *BB : Inner->blocks())
+    EXPECT_TRUE(Outer->contains(BB));
+
+  // Innermost-first ordering puts Inner before Outer.
+  auto Ordered = LI.loopsInnermostFirst();
+  ASSERT_EQ(Ordered.size(), 2u);
+  EXPECT_EQ(Ordered[0], Inner);
+  EXPECT_EQ(Ordered[1], Outer);
+
+  // loopFor resolves to the innermost loop.
+  EXPECT_EQ(LI.loopFor(Inner->header()), Inner);
+  EXPECT_EQ(LI.depth(Inner->header()), 2u);
+  EXPECT_EQ(LI.depth(Outer->header()), 1u);
+}
+
+TEST(LoopInfo, SiblingLoops) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var s = 0;
+      while (s < 5) { s = s + 1; }
+      while (s < 20) { s = s + 2; }
+      return s;
+    }
+  )");
+  Function *F = M->getFunction("main");
+  DominatorTree DT;
+  LoopInfo LI = computeLI(F, DT);
+  EXPECT_EQ(LI.topLevelLoops().size(), 2u);
+  for (Loop *L : LI.topLevelLoops())
+    EXPECT_EQ(L->depth(), 1u);
+}
+
+TEST(LoopInfo, LoopWithBreakExitBlocks) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var i = 0;
+      while (i < 100) {
+        if (i == 7) { break; }
+        i = i + 1;
+      }
+      return i;
+    }
+  )");
+  Function *F = M->getFunction("main");
+  DominatorTree DT;
+  LoopInfo LI = computeLI(F, DT);
+  ASSERT_EQ(LI.topLevelLoops().size(), 1u);
+  Loop *L = LI.topLevelLoops()[0];
+  // Natural-loop semantics: the break block cannot reach the latch,
+  // so it is *outside* the loop and counts as an exit block alongside
+  // while.end.
+  EXPECT_EQ(L->exitBlocks().size(), 2u);
+}

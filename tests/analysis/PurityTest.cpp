@@ -1,0 +1,141 @@
+//===- tests/analysis/PurityTest.cpp -----------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "analysis/CallGraph.h"
+#include "analysis/Purity.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+TEST(Purity, ArithmeticIsPure) {
+  auto M = lowerToIR("fn f(x: int) -> int { return x * 2 + 1; }");
+  PurityInfo PI = PurityInfo::compute(*M);
+  EXPECT_EQ(PI.purity(M->getFunction("f")), PurityKind::Pure);
+}
+
+TEST(Purity, LocalMemoryIsPure) {
+  auto M = lowerToIR(R"(
+    fn f(x: int) -> int {
+      var a[8];
+      a[0] = x;
+      var t = a[0];
+      return t;
+    }
+  )");
+  PurityInfo PI = PurityInfo::compute(*M);
+  EXPECT_EQ(PI.purity(M->getFunction("f")), PurityKind::Pure)
+      << "alloca traffic does not escape the frame";
+}
+
+TEST(Purity, GlobalReadIsReadOnly) {
+  auto M = lowerToIR("global g = 3; fn f() -> int { return g; }");
+  PurityInfo PI = PurityInfo::compute(*M);
+  EXPECT_EQ(PI.purity(M->getFunction("f")), PurityKind::ReadOnly);
+}
+
+TEST(Purity, GlobalWriteIsImpure) {
+  auto M = lowerToIR("global g = 3; fn f() { g = 4; }");
+  PurityInfo PI = PurityInfo::compute(*M);
+  EXPECT_EQ(PI.purity(M->getFunction("f")), PurityKind::Impure);
+}
+
+TEST(Purity, PrintIsImpure) {
+  auto M = lowerToIR("fn f() { print(1); }");
+  PurityInfo PI = PurityInfo::compute(*M);
+  EXPECT_EQ(PI.purity(M->getFunction("f")), PurityKind::Impure);
+  EXPECT_EQ(PI.purityOfCallee("print"), PurityKind::Impure);
+  EXPECT_FALSE(PI.isRemovableCall("print"));
+}
+
+TEST(Purity, PropagatesThroughCalls) {
+  auto M = lowerToIR(R"(
+    global g = 0;
+    fn sink(x: int) { g = x; }
+    fn mid(x: int) -> int { sink(x); return x; }
+    fn top(x: int) -> int { return mid(x) + 1; }
+    fn clean(x: int) -> int { return x * x; }
+    fn cleanCaller(x: int) -> int { return clean(x) + clean(x); }
+  )");
+  PurityInfo PI = PurityInfo::compute(*M);
+  EXPECT_EQ(PI.purity(M->getFunction("sink")), PurityKind::Impure);
+  EXPECT_EQ(PI.purity(M->getFunction("mid")), PurityKind::Impure);
+  EXPECT_EQ(PI.purity(M->getFunction("top")), PurityKind::Impure);
+  EXPECT_EQ(PI.purity(M->getFunction("clean")), PurityKind::Pure);
+  EXPECT_EQ(PI.purity(M->getFunction("cleanCaller")), PurityKind::Pure);
+}
+
+TEST(Purity, UnknownExternCalleeIsImpure) {
+  // Simulate a cross-module call through an import.
+  DiagnosticEngine Diags;
+  Parser P("fn f() -> int { return ext(1); }", Diags);
+  auto AST = P.parseModule();
+  ModuleInterface Imports{{"ext", {TypeName::Int}, TypeName::Int}};
+  analyzeModule(*AST, Imports, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ModuleInterface Local{{"f", {}, TypeName::Int}};
+  ModuleInterface All = Imports;
+  All.insert(All.end(), Local.begin(), Local.end());
+  auto M = generateIR(*AST, "test", All);
+  PurityInfo PI = PurityInfo::compute(*M);
+  EXPECT_EQ(PI.purity(M->getFunction("f")), PurityKind::Impure);
+}
+
+TEST(CallGraph, EdgesAndBottomUpOrder) {
+  auto M = lowerToIR(R"(
+    fn leaf(x: int) -> int { return x; }
+    fn mid(x: int) -> int { return leaf(x) + leaf(x + 1); }
+    fn top(x: int) -> int { return mid(x); }
+  )");
+  CallGraph CG = CallGraph::compute(*M);
+  Function *Leaf = M->getFunction("leaf");
+  Function *Mid = M->getFunction("mid");
+  Function *Top = M->getFunction("top");
+
+  EXPECT_TRUE(CG.callees(Leaf).empty());
+  EXPECT_EQ(CG.callees(Mid).size(), 1u);
+  EXPECT_TRUE(CG.callees(Mid).count(Leaf));
+  EXPECT_TRUE(CG.callees(Top).count(Mid));
+
+  const auto &Order = CG.bottomUpOrder();
+  auto Pos = [&](Function *F) {
+    return std::find(Order.begin(), Order.end(), F) - Order.begin();
+  };
+  EXPECT_LT(Pos(Leaf), Pos(Mid));
+  EXPECT_LT(Pos(Mid), Pos(Top));
+}
+
+TEST(CallGraph, RecursionDetected) {
+  auto M = lowerToIR(R"(
+    fn selfrec(n: int) -> int {
+      if (n <= 0) { return 0; }
+      return selfrec(n - 1);
+    }
+    fn even(n: int) -> bool {
+      if (n == 0) { return true; }
+      return odd(n - 1);
+    }
+    fn odd(n: int) -> bool {
+      if (n == 0) { return false; }
+      return even(n - 1);
+    }
+    fn plain(x: int) -> int { return x; }
+  )");
+  CallGraph CG = CallGraph::compute(*M);
+  EXPECT_TRUE(CG.isRecursive(M->getFunction("selfrec")));
+  EXPECT_TRUE(CG.isRecursive(M->getFunction("even")));
+  EXPECT_TRUE(CG.isRecursive(M->getFunction("odd")));
+  EXPECT_FALSE(CG.isRecursive(M->getFunction("plain")));
+}
+
+TEST(CallGraph, ExternalCalleeFlag) {
+  auto M = lowerToIR("fn f() { print(1); } fn g(x: int) -> int { return x; }");
+  CallGraph CG = CallGraph::compute(*M);
+  EXPECT_TRUE(CG.hasExternalCallee(M->getFunction("f")));
+  EXPECT_FALSE(CG.hasExternalCallee(M->getFunction("g")));
+}

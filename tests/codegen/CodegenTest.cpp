@@ -1,0 +1,346 @@
+//===- tests/codegen/CodegenTest.cpp - isel/regalloc/peephole/objects --------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "codegen/AsmPrinter.h"
+#include "codegen/ISel.h"
+#include "codegen/ObjectFile.h"
+#include "codegen/Peephole.h"
+#include "codegen/RegAlloc.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+/// Lowers source at O0 (raw isel), allocates, and runs the VM.
+ExecResult lowerAndRun(const std::string &Source,
+                       const std::vector<int64_t> &Args = {},
+                       const std::string &Fn = "main") {
+  auto M = lowerToIR(Source);
+  if (!M)
+    return {};
+  MModule Obj = selectModule(*M);
+  allocateRegisters(Obj);
+  runPeephole(Obj);
+  LinkResult L = linkObjects({&Obj}, /*RequireMain=*/Fn == "main");
+  EXPECT_TRUE(L.succeeded());
+  if (!L.succeeded())
+    return {};
+  VM Vm(*L.Program);
+  return Vm.run(Fn, Args);
+}
+
+} // namespace
+
+TEST(ISel, StraightLineArithmetic) {
+  ExecResult R = lowerAndRun("fn main() -> int { return (3 + 4) * 5 - 6; }");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 29);
+}
+
+TEST(ISel, PhiLowering) {
+  ExecResult R = lowerAndRun(R"(
+    fn main() -> int {
+      var s = 0;
+      var i = 0;
+      while (i < 10) { s = s + i; i = i + 1; }
+      return s;
+    }
+  )");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 45);
+}
+
+TEST(ISel, PhiSwapProblem) {
+  // Classic swap pattern: a,b = b,a each iteration. Parallel-copy
+  // lowering must not clobber.
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var a = 1;
+      var b = 2;
+      var i = 0;
+      while (i < 5) {
+        var t = a;
+        a = b;
+        b = t;
+        i = i + 1;
+      }
+      return a * 10 + b;
+    }
+  )");
+  // Run full O2 first so a,b become phis that swap.
+  PassPipeline P = buildPipeline(OptLevel::O2);
+  AnalysisManager AM(*M);
+  P.run(*M, AM, nullptr, true);
+
+  MModule Obj = selectModule(*M);
+  allocateRegisters(Obj);
+  runPeephole(Obj);
+  LinkResult L = linkObjects({&Obj});
+  ASSERT_TRUE(L.succeeded());
+  VM Vm(*L.Program);
+  EXPECT_EQ(Vm.run().ReturnValue.value_or(-1), 21);
+}
+
+TEST(ISel, SelfLoopConditionUsesOldPhiValue) {
+  // Single-block loop where the exit condition reads the phi that the
+  // back-edge copies overwrite.
+  ExecResult R = lowerAndRun(R"(
+    fn main() -> int {
+      var i = 0;
+      while (i < 7) { i = i + 1; }
+      return i;
+    }
+  )");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 7);
+}
+
+TEST(ISel, ArraysAndGeps) {
+  ExecResult R = lowerAndRun(R"(
+    fn main() -> int {
+      var a[8];
+      for (var i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+      var s = 0;
+      for (var i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+      return s;
+    }
+  )");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 140);
+}
+
+TEST(ISel, GlobalsInitializedAndShared) {
+  ExecResult R = lowerAndRun(R"(
+    global counter = 100;
+    fn bump() { counter = counter + 1; }
+    fn main() -> int {
+      bump();
+      bump();
+      return counter;
+    }
+  )");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 102);
+}
+
+TEST(ISel, CallsWithManyArguments) {
+  ExecResult R = lowerAndRun(R"(
+    fn sum3(a: int, b: int, c: int) -> int { return a + b + c; }
+    fn main() -> int {
+      return sum3(1, 2, 3) + sum3(10, 20, 30);
+    }
+  )");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 66);
+}
+
+TEST(ISel, BooleansAcrossCalls) {
+  ExecResult R = lowerAndRun(R"(
+    fn isSmall(x: int) -> bool { return x < 10; }
+    fn main() -> int {
+      if (isSmall(5) && !isSmall(50)) { return 1; }
+      return 0;
+    }
+  )");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 1);
+}
+
+TEST(RegAlloc, HighPressureForcesSpills) {
+  // 20 simultaneously-live values exceed the 12 allocatable registers.
+  std::string Src = "fn main() -> int {\n";
+  for (int I = 0; I != 20; ++I)
+    Src += "  var v" + std::to_string(I) + " = " + std::to_string(I + 1) +
+           " * 3;\n";
+  Src += "  var s = 0;\n";
+  for (int I = 0; I != 20; ++I)
+    Src += "  s = s + v" + std::to_string(I) + ";\n";
+  Src += "  return s;\n}\n";
+
+  auto M = lowerToIR(Src);
+  ASSERT_NE(M, nullptr);
+  // Promote to SSA first: register pressure only exists once the
+  // variables live in registers instead of stack slots.
+  auto Mem2Reg = createMem2RegPass();
+  runPass(*M, *Mem2Reg);
+  MModule Obj = selectModule(*M);
+  RegAllocStats Stats = allocateRegisters(Obj.Functions[0]);
+  EXPECT_GT(Stats.NumSpilled, 0u) << "pressure test must actually spill";
+  runPeephole(Obj);
+
+  LinkResult L = linkObjects({&Obj});
+  ASSERT_TRUE(L.succeeded());
+  VM Vm(*L.Program);
+  int64_t Expected = 0;
+  for (int I = 0; I != 20; ++I)
+    Expected += (I + 1) * 3;
+  EXPECT_EQ(Vm.run().ReturnValue.value_or(-1), Expected);
+}
+
+TEST(RegAlloc, AllRegistersWithinBounds) {
+  auto M = lowerToIR(R"(
+    fn f(a: int, b: int, c: int) -> int {
+      var x = a * b + c;
+      var y = a - b * c;
+      return x * y + x - y;
+    }
+    fn main() -> int { return f(2, 3, 4); }
+  )");
+  MModule Obj = selectModule(*M);
+  allocateRegisters(Obj);
+  for (const MFunction &F : Obj.Functions)
+    for (const MBlock &B : F.Blocks)
+      for (const MInst &MI : B.Insts) {
+        if (MI.Def != NoReg) {
+          EXPECT_LT(MI.Def, NumPhysRegs);
+        }
+        if (MI.A != NoReg) {
+          EXPECT_LT(MI.A, NumPhysRegs);
+        }
+        if (MI.B != NoReg) {
+          EXPECT_LT(MI.B, NumPhysRegs);
+        }
+        if (MI.C != NoReg) {
+          EXPECT_LT(MI.C, NumPhysRegs);
+        }
+      }
+}
+
+TEST(Peephole, RemovesSelfMoves) {
+  MFunction F;
+  F.Name = "t";
+  F.Blocks.push_back({"b0", {}});
+  MInst SelfMov;
+  SelfMov.Op = MOp::MovRR;
+  SelfMov.Def = 3;
+  SelfMov.A = 3;
+  F.Blocks[0].Insts.push_back(SelfMov);
+  MInst Ret;
+  Ret.Op = MOp::Ret;
+  F.Blocks[0].Insts.push_back(Ret);
+  EXPECT_EQ(runPeephole(F), 1u);
+  EXPECT_EQ(F.Blocks[0].Insts.size(), 1u);
+}
+
+TEST(Peephole, RemovesBranchToNext) {
+  MFunction F;
+  F.Name = "t";
+  F.Blocks.push_back({"b0", {}});
+  F.Blocks.push_back({"b1", {}});
+  MInst Br;
+  Br.Op = MOp::Br;
+  Br.Label = 1;
+  F.Blocks[0].Insts.push_back(Br);
+  MInst Ret;
+  Ret.Op = MOp::Ret;
+  F.Blocks[1].Insts.push_back(Ret);
+  EXPECT_EQ(runPeephole(F), 1u);
+  EXPECT_TRUE(F.Blocks[0].Insts.empty()) << "fallthrough to b1";
+}
+
+TEST(ObjectFile, RoundTrip) {
+  auto M = lowerToIR(R"(
+    global g = 5;
+    global buf[3];
+    fn f(x: int) -> int { buf[0] = x; return g + buf[0]; }
+    fn main() -> int { return f(10); }
+  )");
+  MModule Obj = selectModule(*M);
+  allocateRegisters(Obj);
+  runPeephole(Obj);
+
+  std::string Bytes = writeObject(Obj);
+  std::optional<MModule> Restored = readObject(Bytes);
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(writeObject(*Restored), Bytes) << "byte-stable round trip";
+
+  // Restored object runs identically.
+  LinkResult L1 = linkObjects({&Obj});
+  LinkResult L2 = linkObjects({&*Restored});
+  ASSERT_TRUE(L1.succeeded() && L2.succeeded());
+  VM V1(*L1.Program), V2(*L2.Program);
+  expectSameBehavior(V1.run(), V2.run());
+}
+
+TEST(ObjectFile, CorruptObjectsRejected) {
+  EXPECT_FALSE(readObject("").has_value());
+  EXPECT_FALSE(readObject("garbage").has_value());
+  auto M = lowerToIR("fn main() -> int { return 1; }");
+  std::string Bytes = writeObject(selectModule(*M));
+  EXPECT_FALSE(readObject(Bytes.substr(0, Bytes.size() - 4)).has_value());
+}
+
+TEST(Linker, DuplicateSymbolError) {
+  auto M1 = lowerToIR("fn dup() -> int { return 1; }", "m1");
+  auto M2 = lowerToIR("fn dup() -> int { return 2; }", "m2");
+  MModule O1 = selectModule(*M1);
+  MModule O2 = selectModule(*M2);
+  LinkResult L = linkObjects({&O1, &O2}, /*RequireMain=*/false);
+  EXPECT_FALSE(L.succeeded());
+  ASSERT_FALSE(L.Errors.empty());
+  EXPECT_NE(L.Errors[0].find("duplicate"), std::string::npos);
+}
+
+TEST(Linker, UndefinedSymbolError) {
+  DiagnosticEngine Diags;
+  Parser P("fn main() -> int { return missing(); }", Diags);
+  auto AST = P.parseModule();
+  ModuleInterface Imports{{"missing", {}, TypeName::Int}};
+  analyzeModule(*AST, Imports, Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ModuleInterface All = Imports;
+  All.push_back({"main", {}, TypeName::Int});
+  auto M = generateIR(*AST, "m", All);
+  MModule Obj = selectModule(*M);
+  LinkResult L = linkObjects({&Obj});
+  EXPECT_FALSE(L.succeeded());
+  EXPECT_NE(L.Errors[0].find("missing"), std::string::npos);
+}
+
+TEST(Linker, MissingMainError) {
+  auto M = lowerToIR("fn notmain() -> int { return 1; }");
+  MModule Obj = selectModule(*M);
+  LinkResult L = linkObjects({&Obj});
+  EXPECT_FALSE(L.succeeded());
+  LinkResult L2 = linkObjects({&Obj}, /*RequireMain=*/false);
+  EXPECT_TRUE(L2.succeeded());
+}
+
+TEST(Linker, CrossModuleCalls) {
+  DiagnosticEngine Diags;
+
+  // util.mc exports triple().
+  Parser PU("fn triple(x: int) -> int { return x * 3; }", Diags);
+  auto UtilAST = PU.parseModule();
+  ModuleInterface UtilIface = analyzeModule(*UtilAST, {}, Diags);
+  auto Util = generateIR(*UtilAST, "util.mc", UtilIface);
+
+  // main.mc imports util.
+  Parser PM("fn main() -> int { return triple(14); }", Diags);
+  auto MainAST = PM.parseModule();
+  ModuleInterface MainIface = analyzeModule(*MainAST, UtilIface, Diags);
+  ASSERT_FALSE(Diags.hasErrors()) << Diags.render();
+  ModuleInterface All = UtilIface;
+  All.insert(All.end(), MainIface.begin(), MainIface.end());
+  auto Main = generateIR(*MainAST, "main.mc", All);
+
+  MModule UtilObj = selectModule(*Util);
+  MModule MainObj = selectModule(*Main);
+  allocateRegisters(UtilObj);
+  allocateRegisters(MainObj);
+  LinkResult L = linkObjects({&UtilObj, &MainObj});
+  ASSERT_TRUE(L.succeeded()) << (L.Errors.empty() ? "" : L.Errors[0]);
+  VM Vm(*L.Program);
+  EXPECT_EQ(Vm.run().ReturnValue.value_or(-1), 42);
+}
+
+TEST(AsmPrinter, ProducesListing) {
+  auto M = lowerToIR("fn main() -> int { print(3); return 1 + 2; }");
+  MModule Obj = selectModule(*M);
+  allocateRegisters(Obj);
+  std::string Asm = printAssembly(Obj);
+  EXPECT_NE(Asm.find("main:"), std::string::npos);
+  EXPECT_NE(Asm.find("call @print"), std::string::npos);
+  EXPECT_NE(Asm.find("ret"), std::string::npos);
+}

@@ -1,0 +1,266 @@
+//===- tests/driver/CompilerTest.cpp - driver facade tests --------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+TEST(CompilerFacade, DiagnosticsOnBadSource) {
+  Compiler C{CompilerOptions{}};
+  CompileResult R = C.compile("bad.mc", "fn f( { return; }", {});
+  EXPECT_FALSE(R.Success);
+  EXPECT_FALSE(R.DiagText.empty());
+  EXPECT_NE(R.DiagText.find("bad.mc"), std::string::npos)
+      << "diagnostics carry the file name";
+}
+
+TEST(CompilerFacade, SemaErrorsReported) {
+  Compiler C{CompilerOptions{}};
+  CompileResult R =
+      C.compile("a.mc", "fn f() -> int { return nothere; }", {});
+  EXPECT_FALSE(R.Success);
+  EXPECT_NE(R.DiagText.find("nothere"), std::string::npos);
+}
+
+TEST(CompilerFacade, TimingsAndCountsPopulated) {
+  Compiler C{CompilerOptions{}};
+  CompileResult R = C.compile("a.mc", R"(
+    fn main() -> int {
+      var s = 0;
+      for (var i = 0; i < 8; i = i + 1) { s = s + i * 2; }
+      return s;
+    }
+  )", {});
+  ASSERT_TRUE(R.Success);
+  EXPECT_GT(R.Timings.FrontendUs, 0.0);
+  EXPECT_GT(R.Timings.MiddleUs, 0.0);
+  EXPECT_GT(R.Timings.BackendUs, 0.0);
+  EXPECT_GT(R.IRInstsBeforeOpt, R.IRInstsAfterOpt)
+      << "O2 must shrink this program";
+  EXPECT_EQ(R.Fingerprints.size(), 1u);
+  EXPECT_EQ(R.Interface.size(), 1u);
+  EXPECT_EQ(R.Interface[0].Name, "main");
+}
+
+TEST(CompilerFacade, ScanInterface) {
+  auto Scanned = Compiler::scanInterface(R"(
+    import "dep1.mc";
+    import "dep2.mc";
+    fn a(x: int, y: bool) -> int { return x; }
+    fn b() { }
+  )");
+  ASSERT_TRUE(Scanned.has_value());
+  ASSERT_EQ(Scanned->first.size(), 2u);
+  EXPECT_EQ(Scanned->first[0].Name, "a");
+  EXPECT_EQ(Scanned->first[0].ParamTypes.size(), 2u);
+  EXPECT_EQ(Scanned->second,
+            (std::vector<std::string>{"dep1.mc", "dep2.mc"}));
+
+  EXPECT_FALSE(Compiler::scanInterface("fn ( {").has_value());
+}
+
+TEST(CompilerFacade, PipelineSignatureDependsOnConfiguration) {
+  CompilerOptions A, B, C2;
+  A.Opt = OptLevel::O2;
+  B.Opt = OptLevel::O1;
+  C2.Opt = OptLevel::O2;
+  C2.CompilerVersion = 99;
+  EXPECT_NE(Compiler(A).pipelineSignature(),
+            Compiler(B).pipelineSignature());
+  EXPECT_NE(Compiler(A).pipelineSignature(),
+            Compiler(C2).pipelineSignature());
+  EXPECT_EQ(Compiler(A).pipelineSignature(),
+            Compiler(A).pipelineSignature());
+}
+
+//===----------------------------------------------------------------------===//
+// IRGen semantic edge cases (through the whole stack)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t run(const std::string &Source) {
+  ExecResult R = compileAndRun(Source, OptLevel::O2);
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  ExecResult R0 = compileAndRun(Source, OptLevel::O0);
+  EXPECT_EQ(R.ReturnValue, R0.ReturnValue) << "O0/O2 divergence";
+  EXPECT_EQ(R.Output, R0.Output);
+  return R.ReturnValue.value_or(INT64_MIN);
+}
+
+} // namespace
+
+TEST(IRGenSemantics, ShortCircuitSkipsSideEffects) {
+  EXPECT_EQ(run(R"(
+    global calls = 0;
+    fn touch(v: bool) -> bool { calls = calls + 1; return v; }
+    fn main() -> int {
+      var a = false && touch(true);   // touch NOT called
+      var b = true || touch(true);    // touch NOT called
+      var c = true && touch(true);    // called
+      var d = false || touch(false);  // called
+      if (a || !b || !c || d) { return -1; }
+      return calls;
+    }
+  )"), 2);
+}
+
+TEST(IRGenSemantics, EvaluationOrderLeftToRight) {
+  EXPECT_EQ(run(R"(
+    global trace = 0;
+    fn mark(digit: int) -> int { trace = trace * 10 + digit; return digit; }
+    fn main() -> int {
+      var x = mark(1) + mark(2) * mark(3);
+      return trace;
+    }
+  )"), 123);
+}
+
+TEST(IRGenSemantics, ParamMutationIsLocal) {
+  EXPECT_EQ(run(R"(
+    fn clobber(x: int) -> int { x = 999; return x; }
+    fn main() -> int {
+      var v = 5;
+      var w = clobber(v);
+      return v * 1000 + w;
+    }
+  )"), 5999);
+}
+
+TEST(IRGenSemantics, ImplicitReturnsAreZero) {
+  EXPECT_EQ(run(R"(
+    fn fallthrough(c: bool) -> int {
+      if (c) { return 7; }
+      // Implicit `return 0`.
+    }
+    fn main() -> int { return fallthrough(true) * 10 + fallthrough(false); }
+  )"), 70);
+}
+
+TEST(IRGenSemantics, NestedLoopsWithBreakContinue) {
+  EXPECT_EQ(run(R"(
+    fn main() -> int {
+      var s = 0;
+      for (var i = 0; i < 5; i = i + 1) {
+        for (var j = 0; j < 5; j = j + 1) {
+          if (j == 3) { break; }
+          if (j == 1) { continue; }
+          s = s + i * 10 + j;
+        }
+      }
+      return s;
+    }
+  )"), /* per i: (10i+0) + (10i+2) = 20i+2; sum i=0..4 -> 200+10 */ 210);
+}
+
+TEST(IRGenSemantics, WhileConditionBoolVariable) {
+  EXPECT_EQ(run(R"(
+    fn main() -> int {
+      var going = true;
+      var n = 0;
+      while (going) {
+        n = n + 1;
+        going = n < 6;
+      }
+      return n;
+    }
+  )"), 6);
+}
+
+TEST(IRGenSemantics, BoolsThroughMemoryAndCalls) {
+  EXPECT_EQ(run(R"(
+    fn flip(b: bool) -> bool { return !b; }
+    fn main() -> int {
+      var t = flip(false);
+      var f = flip(t);
+      var count = 0;
+      if (t) { count = count + 1; }
+      if (f) { count = count + 10; }
+      if (t == !f) { count = count + 100; }
+      return count;
+    }
+  )"), 101);
+}
+
+TEST(IRGenSemantics, GlobalArraySharedAcrossCalls) {
+  EXPECT_EQ(run(R"(
+    global ring[4];
+    global head = 0;
+    fn push(v: int) {
+      ring[head % 4] = v;
+      head = head + 1;
+    }
+    fn main() -> int {
+      for (var i = 1; i <= 6; i = i + 1) { push(i * i); }
+      return ring[0] + ring[1] + ring[2] + ring[3];
+    }
+  )"), /* 25+36 overwrite 1+4; 9+16 remain */ 25 + 36 + 9 + 16);
+}
+
+TEST(IRGenSemantics, NegativeModuloAndDivision) {
+  EXPECT_EQ(run(R"(
+    fn main() -> int {
+      var a = -13;
+      var b = 4;
+      return (a / b) * 1000 + (a % b) * 10;
+    }
+  )"), -3 * 1000 + -1 * 10);
+}
+
+TEST(IRGenSemantics, DeeplyNestedExpressions) {
+  EXPECT_EQ(run(R"(
+    fn main() -> int {
+      return ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) * 2)
+             % ((9 + 10) * 3);
+    }
+  )"), ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) * 2) % ((9 + 10) * 3));
+}
+
+TEST(IRGenSemantics, ElseIfChainsExhaustive) {
+  EXPECT_EQ(run(R"(
+    fn grade(x: int) -> int {
+      if (x >= 90) { return 4; }
+      else if (x >= 80) { return 3; }
+      else if (x >= 70) { return 2; }
+      else if (x >= 60) { return 1; }
+      else { return 0; }
+    }
+    fn main() -> int {
+      return grade(95) * 10000 + grade(85) * 1000 + grade(75) * 100 +
+             grade(65) * 10 + grade(5);
+    }
+  )"), 43210);
+}
+
+TEST(IRGenSemantics, ShadowedVariablesIndependent) {
+  EXPECT_EQ(run(R"(
+    fn main() -> int {
+      var x = 1;
+      if (true) {
+        var x = 2;
+        x = x + 10;
+      }
+      for (var x = 100; x < 101; x = x + 1) { }
+      return x;
+    }
+  )"), 1);
+}
+
+TEST(IRGenSemantics, VoidFunctionCalls) {
+  EXPECT_EQ(run(R"(
+    global log = 0;
+    fn note(v: int) { log = log * 100 + v; }
+    fn main() -> int {
+      note(1);
+      note(2);
+      note(3);
+      return log;
+    }
+  )"), 10203);
+}

@@ -1,0 +1,124 @@
+//===- tests/integration/DeterminismTest.cpp ----------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Reproducible-build properties: the same input must compile to
+/// byte-identical artifacts regardless of compiler instance, build
+/// order, or prior in-process history. Fingerprints and dormancy
+/// records persisted across processes depend on this.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "build_sys/BuildSystem.h"
+#include "ir/StructuralHash.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+TEST(Determinism, IndependentCompilersProduceIdenticalObjects) {
+  std::string Source;
+  {
+    ProjectModel Model =
+        ProjectModel::generate(profileByName("small_cli"), 77);
+    for (unsigned I = 0; I != Model.numFiles(); ++I) {
+      std::string Text = Model.renderFile(I);
+      size_t Pos = 0;
+      while (Pos < Text.size()) {
+        size_t End = Text.find('\n', Pos);
+        if (End == std::string::npos)
+          End = Text.size();
+        std::string Line = Text.substr(Pos, End - Pos);
+        if (Line.rfind("import ", 0) != 0)
+          Source += Line + "\n";
+        Pos = End + 1;
+      }
+    }
+  }
+
+  Compiler A{CompilerOptions{}};
+  Compiler B{CompilerOptions{}};
+  CompileResult RA = A.compile("x.mc", Source, {});
+  // Perturb the heap between the compiles so pointer values differ.
+  std::vector<std::unique_ptr<int[]>> Noise;
+  for (int I = 0; I != 64; ++I)
+    Noise.push_back(std::make_unique<int[]>(977));
+  CompileResult RB = B.compile("x.mc", Source, {});
+  ASSERT_TRUE(RA.Success && RB.Success);
+  EXPECT_EQ(writeObject(RA.Object), writeObject(RB.Object))
+      << "object bytes must not depend on allocation addresses";
+  EXPECT_EQ(RA.Fingerprints, RB.Fingerprints);
+}
+
+TEST(Determinism, RepeatedCompilesInOneCompilerIdentical) {
+  const char *Source = R"(
+    fn helper(a: int, b: int) -> int {
+      var s = 0;
+      for (var i = a; i < b; i = i + 1) { s = s + i * i; }
+      return s;
+    }
+    fn main() -> int { return helper(1, 9); }
+  )";
+  Compiler C{CompilerOptions{}};
+  std::string First = writeObject(C.compile("x.mc", Source, {}).Object);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(writeObject(C.compile("x.mc", Source, {}).Object), First);
+}
+
+TEST(Determinism, FreshProjectBuildsProduceIdenticalObjectFiles) {
+  for (uint64_t Seed : {3u, 4u}) {
+    InMemoryFileSystem FS1, FS2;
+    ProjectModel M1 =
+        ProjectModel::generate(profileByName("small_cli"), Seed);
+    ProjectModel M2 =
+        ProjectModel::generate(profileByName("small_cli"), Seed);
+    M1.renderAll(FS1);
+    M2.renderAll(FS2);
+    BuildDriver D1(FS1, BuildOptions{});
+    BuildDriver D2(FS2, BuildOptions{});
+    ASSERT_TRUE(D1.build().Success);
+    ASSERT_TRUE(D2.build().Success);
+    for (const std::string &Path : FS1.listFiles()) {
+      if (Path.size() < 2 || Path.substr(Path.size() - 2) != ".o")
+        continue;
+      EXPECT_EQ(FS1.readFile(Path), FS2.readFile(Path)) << Path;
+    }
+  }
+}
+
+TEST(Determinism, CleanRebuildReproducesObjects) {
+  InMemoryFileSystem FS;
+  ProjectModel Model = ProjectModel::generate(profileByName("small_cli"), 8);
+  Model.renderAll(FS);
+  BuildDriver Driver(FS, BuildOptions{});
+  ASSERT_TRUE(Driver.build().Success);
+  std::map<std::string, std::string> FirstObjects;
+  for (const std::string &Path : FS.listFiles())
+    if (Path.size() > 2 && Path.substr(Path.size() - 2) == ".o")
+      FirstObjects[Path] = *FS.readFile(Path);
+
+  Driver.clean();
+  ASSERT_TRUE(Driver.build().Success);
+  for (const auto &[Path, Bytes] : FirstObjects)
+    EXPECT_EQ(*FS.readFile(Path), Bytes) << Path;
+}
+
+TEST(Determinism, StructuralHashStableAcrossModuleCopies) {
+  const char *Source = R"(
+    global g = 3;
+    fn a(x: int) -> int { return x + g; }
+    fn b(x: int) -> int { return a(x) * 2; }
+  )";
+  auto M1 = lowerToIR(Source, "same");
+  // Heap noise between lowerings.
+  std::vector<std::string> Noise(100, std::string(333, 'x'));
+  auto M2 = lowerToIR(Source, "same");
+  EXPECT_EQ(structuralHash(*M1), structuralHash(*M2));
+  EXPECT_EQ(structuralHash(*M1->getFunction("b")),
+            structuralHash(*M2->getFunction("b")));
+}

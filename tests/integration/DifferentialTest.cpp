@@ -1,0 +1,274 @@
+//===- tests/integration/DifferentialTest.cpp ---------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The project's central soundness property, tested differentially:
+/// for any program, every compilation configuration — O0/O1/O2,
+/// stateless or stateful with any skip policy, cold or warm state —
+/// must produce a program with identical observable behavior, equal to
+/// the IR interpreter's reference semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "build_sys/BuildSystem.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+/// Reference behavior: IR interpreter over unoptimized IR of all
+/// project files, linked by name.
+ExecResult referenceRun(VirtualFileSystem &FS) {
+  std::vector<std::unique_ptr<Module>> Owned;
+  std::vector<const Module *> Modules;
+  // Resolve interfaces the same way the build system does.
+  std::map<std::string, ModuleInterface> Interfaces;
+  std::map<std::string, std::vector<std::string>> Imports;
+  for (const std::string &Path : FS.listFiles()) {
+    if (Path.size() < 3 || Path.substr(Path.size() - 3) != ".mc")
+      continue;
+    auto Scanned = Compiler::scanInterface(*FS.readFile(Path));
+    EXPECT_TRUE(Scanned.has_value()) << Path;
+    if (!Scanned)
+      return {};
+    Interfaces[Path] = Scanned->first;
+    Imports[Path] = Scanned->second;
+  }
+  for (const auto &[Path, Iface] : Interfaces) {
+    DiagnosticEngine Diags;
+    // Keep the source alive for the parse (tokens hold views into it).
+    std::string Source = *FS.readFile(Path);
+    Parser P(Source, Diags);
+    auto AST = P.parseModule();
+    ModuleInterface Imported;
+    for (const std::string &Dep : Imports[Path]) {
+      auto &DepIface = Interfaces[Dep];
+      Imported.insert(Imported.end(), DepIface.begin(), DepIface.end());
+    }
+    analyzeModule(*AST, Imported, Diags);
+    EXPECT_FALSE(Diags.hasErrors()) << Diags.render(Path);
+    if (Diags.hasErrors())
+      return {};
+    ModuleInterface All = Imported;
+    All.insert(All.end(), Iface.begin(), Iface.end());
+    Owned.push_back(generateIR(*AST, Path, All));
+  }
+  for (const auto &M : Owned)
+    Modules.push_back(M.get());
+  return interpretIR(Modules, "main", {});
+}
+
+ExecResult buildAndRun(VirtualFileSystem &FS, const BuildOptions &BO,
+                       BuildDriver *&DriverOut,
+                       std::unique_ptr<BuildDriver> &Storage) {
+  Storage = std::make_unique<BuildDriver>(FS, BO);
+  DriverOut = Storage.get();
+  BuildStats S = Storage->build();
+  EXPECT_TRUE(S.Success) << S.ErrorText;
+  if (!S.Success)
+    return {};
+  VM Vm(*Storage->program());
+  return Vm.run();
+}
+
+struct DiffParam {
+  uint64_t Seed;
+  OptLevel Opt;
+};
+
+class DifferentialSweep : public ::testing::TestWithParam<DiffParam> {};
+
+} // namespace
+
+/// One seed × opt-level: generated project behaves identically under
+/// the reference interpreter, the stateless compiler, and the stateful
+/// compiler across an edit sequence.
+TEST_P(DifferentialSweep, StatelessVsStatefulVsReference) {
+  const DiffParam Param = GetParam();
+
+  InMemoryFileSystem StatelessFS, StatefulFS;
+  ProjectModel M1 =
+      ProjectModel::generate(profileByName("small_cli"), Param.Seed);
+  ProjectModel M2 =
+      ProjectModel::generate(profileByName("small_cli"), Param.Seed);
+  M1.renderAll(StatelessFS);
+  M2.renderAll(StatefulFS);
+
+  BuildOptions Stateless;
+  Stateless.Compiler.Opt = Param.Opt;
+  Stateless.Compiler.VerifyEach = true;
+
+  BuildOptions Stateful = Stateless;
+  Stateful.Compiler.Stateful.SkipMode =
+      StatefulConfig::Mode::HeuristicSkip;
+
+  BuildDriver *D1 = nullptr, *D2 = nullptr;
+  std::unique_ptr<BuildDriver> S1, S2;
+
+  // Cold build.
+  ExecResult Ref = referenceRun(StatelessFS);
+  ExecResult A = buildAndRun(StatelessFS, Stateless, D1, S1);
+  ExecResult B = buildAndRun(StatefulFS, Stateful, D2, S2);
+  expectSameBehavior(Ref, A, "reference vs stateless (cold)");
+  expectSameBehavior(Ref, B, "reference vs stateful (cold)");
+
+  // Edit sequence: both projects evolve identically; the stateful
+  // compiler must never diverge behaviorally despite skipping.
+  RNG Rand1(Param.Seed * 31 + 1), Rand2(Param.Seed * 31 + 1);
+  for (int Commit = 0; Commit != 4; ++Commit) {
+    M1.applyCommit(Rand1, StatelessFS);
+    M2.applyCommit(Rand2, StatefulFS);
+
+    BuildStats SA = D1->build();
+    BuildStats SB = D2->build();
+    ASSERT_TRUE(SA.Success) << SA.ErrorText;
+    ASSERT_TRUE(SB.Success) << SB.ErrorText;
+
+    ExecResult RRef = referenceRun(StatelessFS);
+    VM VA(*D1->program()), VB(*D2->program());
+    ExecResult RA = VA.run(), RB = VB.run();
+    expectSameBehavior(RRef, RA,
+                       "commit " + std::to_string(Commit) + " stateless");
+    expectSameBehavior(RRef, RB,
+                       "commit " + std::to_string(Commit) + " stateful");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DifferentialSweep,
+    ::testing::Values(DiffParam{1, OptLevel::O2}, DiffParam{2, OptLevel::O2},
+                      DiffParam{3, OptLevel::O2}, DiffParam{4, OptLevel::O2},
+                      DiffParam{5, OptLevel::O2}, DiffParam{6, OptLevel::O1},
+                      DiffParam{7, OptLevel::O1}, DiffParam{8, OptLevel::O0},
+                      DiffParam{9, OptLevel::O2},
+                      DiffParam{10, OptLevel::O2}),
+    [](const ::testing::TestParamInfo<DiffParam> &Info) {
+      return "seed" + std::to_string(Info.param.Seed) + "_" +
+             optLevelName(Info.param.Opt);
+    });
+
+//===----------------------------------------------------------------------===//
+// Skip-policy matrix on a single evolving file
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class PolicyMatrix
+    : public ::testing::TestWithParam<StatefulConfig::Mode> {};
+
+} // namespace
+
+TEST_P(PolicyMatrix, EditSequencePreservesBehavior) {
+  // One TU recompiled through a chain of edits; every policy must
+  // produce the same outputs as a fresh stateless compile.
+  const char *Versions[] = {
+      R"(fn work(n: int) -> int {
+        var s = 0;
+        for (var i = 0; i < n; i = i + 1) { s = s + i * 3; }
+        return s;
+      }
+      fn main() -> int { print(work(8)); return work(5); })",
+      R"(fn work(n: int) -> int {
+        var s = 1;
+        for (var i = 0; i < n; i = i + 1) { s = s + i * 3; }
+        return s;
+      }
+      fn main() -> int { print(work(8)); return work(5); })",
+      R"(fn work(n: int) -> int {
+        var s = 1;
+        for (var i = 0; i < n; i = i + 1) { s = s + i * 4 - 1; }
+        if (s > 100) { s = s / 2; }
+        return s;
+      }
+      fn main() -> int { print(work(8)); return work(5); })",
+      R"(fn work(n: int) -> int {
+        var s = 1;
+        var extra = n * n;
+        for (var i = 0; i < n; i = i + 1) { s = s + i * 4 - 1; }
+        if (s > 100) { s = s / 2; }
+        return s + extra;
+      }
+      fn main() -> int { print(work(8)); return work(5) - work(2); })",
+  };
+
+  BuildStateDB DB;
+  CompilerOptions Opt;
+  Opt.Stateful.SkipMode = GetParam();
+  Opt.VerifyEach = true;
+  Compiler Stateful(Opt, &DB);
+
+  CompilerOptions Baseline;
+  Baseline.VerifyEach = true;
+  Compiler Stateless(Baseline);
+
+  for (const char *Src : Versions) {
+    CompileResult RS = Stateful.compile("a.mc", Src, {});
+    CompileResult RB = Stateless.compile("a.mc", Src, {});
+    ASSERT_TRUE(RS.Success) << RS.DiagText;
+    ASSERT_TRUE(RB.Success) << RB.DiagText;
+
+    LinkResult LS = linkObjects({&RS.Object});
+    LinkResult LB = linkObjects({&RB.Object});
+    ASSERT_TRUE(LS.succeeded() && LB.succeeded());
+    VM VS(*LS.Program), VB(*LB.Program);
+    expectSameBehavior(VS.run(), VB.run(), "policy matrix");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyMatrix,
+    ::testing::Values(StatefulConfig::Mode::Stateless,
+                      StatefulConfig::Mode::ExactSkip,
+                      StatefulConfig::Mode::HeuristicSkip),
+    [](const ::testing::TestParamInfo<StatefulConfig::Mode> &Info) {
+      switch (Info.param) {
+      case StatefulConfig::Mode::Stateless:
+        return std::string("stateless");
+      case StatefulConfig::Mode::ExactSkip:
+        return std::string("exact");
+      case StatefulConfig::Mode::HeuristicSkip:
+        return std::string("heuristic");
+      }
+      return std::string("unknown");
+    });
+
+//===----------------------------------------------------------------------===//
+// Refresh-interval sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RefreshSweep : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(RefreshSweep, LongEditChainsStayCorrect) {
+  BuildStateDB DB;
+  CompilerOptions Opt;
+  Opt.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Opt.Stateful.RefreshInterval = GetParam();
+  Opt.VerifyEach = true;
+  Compiler C(Opt, &DB);
+
+  for (int K = 0; K != 10; ++K) {
+    std::string Src = "fn main() -> int { var s = " + std::to_string(K) +
+                      "; for (var i = 0; i < 6; i = i + 1) { s = s + i; } "
+                      "return s; }";
+    CompileResult R = C.compile("a.mc", Src, {});
+    ASSERT_TRUE(R.Success);
+    LinkResult L = linkObjects({&R.Object});
+    ASSERT_TRUE(L.succeeded());
+    VM Vm(*L.Program);
+    EXPECT_EQ(Vm.run().ReturnValue.value_or(-1), K + 15) << "edit " << K;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, RefreshSweep,
+                         ::testing::Values(0u, 1u, 2u, 5u));

@@ -1,0 +1,238 @@
+//===- tests/integration/RobustnessTest.cpp - failure injection ---------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Failure injection: every persistent artifact (state DB, objects,
+/// manifest) can be truncated, bit-flipped, or replaced with garbage
+/// between builds — torn writes, disk corruption, or foreign files.
+/// The invariant under test: the system never crashes and never
+/// produces a wrong program; at worst it falls back to a cold build.
+/// Plus lexer/parser robustness against hostile input.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "build_sys/BuildSystem.h"
+#include "codegen/ISel.h"
+#include "codegen/RegAlloc.h"
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+class TruncationSweep : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(TruncationSweep, StateDBTruncatedAnywhereIsRejected) {
+  // Build a DB with cached code, then truncate at a fraction of its
+  // length: deserialization must fail cleanly (torn-write model).
+  BuildStateDB DB;
+  CompilerOptions Opt;
+  Opt.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Opt.Stateful.ReuseFunctionCode = true;
+  Compiler C(Opt, &DB);
+  ASSERT_TRUE(C.compile("a.mc", R"(
+    fn f(x: int) -> int { return x * 2 + 1; }
+    fn main() -> int { return f(3); }
+  )", {}).Success);
+
+  std::string Bytes = DB.serialize();
+  size_t Cut = Bytes.size() * GetParam() / 100;
+  if (Cut == Bytes.size())
+    --Cut; // Keep it a strict truncation.
+  BuildStateDB Restored;
+  EXPECT_FALSE(Restored.deserialize(Bytes.substr(0, Cut)))
+      << "truncation at " << GetParam() << "% must be detected";
+  EXPECT_EQ(Restored.numTUs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationSweep,
+                         ::testing::Values(1u, 10u, 25u, 50u, 75u, 90u,
+                                           99u, 100u));
+
+TEST(FailureInjection, BitFlipSweepOnStateDB) {
+  BuildStateDB DB;
+  CompilerOptions Opt;
+  Opt.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Compiler C(Opt, &DB);
+  ASSERT_TRUE(
+      C.compile("a.mc", "fn main() -> int { return 1; }", {}).Success);
+  std::string Bytes = DB.serialize();
+
+  // Flip one bit at several positions; the checksum must catch every
+  // one (no false accepts, no crashes).
+  RNG Rand(42);
+  for (int I = 0; I != 64; ++I) {
+    std::string Flipped = Bytes;
+    size_t Pos = Rand.nextBelow(Flipped.size());
+    Flipped[Pos] = static_cast<char>(Flipped[Pos] ^
+                                     (1u << Rand.nextBelow(8)));
+    BuildStateDB R;
+    EXPECT_FALSE(R.deserialize(Flipped)) << "flip at byte " << Pos;
+  }
+}
+
+TEST(FailureInjection, ObjectFileBitFlipsNeverCrashLinkOrVM) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var s = 0;
+      for (var i = 0; i < 4; i = i + 1) { s = s + i; }
+      print(s);
+      return s;
+    }
+  )");
+  MModule Obj = selectModule(*M);
+  allocateRegisters(Obj);
+  std::string Bytes = writeObject(Obj);
+
+  RNG Rand(7);
+  for (int I = 0; I != 64; ++I) {
+    std::string Flipped = Bytes;
+    size_t Pos = Rand.nextBelow(Flipped.size());
+    Flipped[Pos] = static_cast<char>(Flipped[Pos] ^
+                                     (1u << Rand.nextBelow(8)));
+    std::optional<MModule> Reread = readObject(Flipped);
+    if (!Reread)
+      continue; // Rejected: fine.
+    // A flip that survives decoding (e.g. in an immediate) must still
+    // not crash the linker or the VM (fuel + bounds guards).
+    LinkResult L = linkObjects({&*Reread}, /*RequireMain=*/false);
+    if (!L.succeeded())
+      continue;
+    VM Vm(*L.Program);
+    Vm.setFuel(100000);
+    ExecResult R = Vm.run("main");
+    (void)R; // Any outcome is acceptable; no crash is the property.
+  }
+}
+
+TEST(FailureInjection, BuildSurvivesArtifactVandalismMidSequence) {
+  InMemoryFileSystem FS;
+  FS.writeFile("lib.mc", "fn inc(x: int) -> int { return x + 1; }\n");
+  FS.writeFile("main.mc",
+               "import \"lib.mc\";\nfn main() -> int { return inc(41); }\n");
+  BuildOptions BO;
+  BO.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  BO.Compiler.Stateful.ReuseFunctionCode = true;
+  BuildDriver Driver(FS, BO);
+  ASSERT_TRUE(Driver.build().Success);
+
+  RNG Rand(99);
+  const char *Victims[] = {"out/state.db", "out/manifest.bin",
+                           "out/lib.mc.o", "out/main.mc.o"};
+  for (int Round = 0; Round != 8; ++Round) {
+    // Vandalize one artifact.
+    const char *Victim = Victims[Rand.nextBelow(4)];
+    switch (Rand.nextBelow(3)) {
+    case 0:
+      FS.removeFile(Victim);
+      break;
+    case 1:
+      FS.writeFile(Victim, "garbage");
+      break;
+    default: {
+      std::optional<std::string> Old = FS.readFile(Victim);
+      if (Old && !Old->empty())
+        FS.writeFile(Victim, Old->substr(0, Old->size() / 2));
+      break;
+    }
+    }
+    // Also edit a source sometimes.
+    if (Rand.chancePercent(50))
+      FS.writeFile("lib.mc", "fn inc(x: int) -> int { return x + " +
+                                 std::to_string(Round % 3 + 1) + "; }\n");
+
+    BuildStats S = Driver.build();
+    if (!S.Success) {
+      // A mangled object may fail the build once (corrupt object is a
+      // reported error); a clean retry after the system rewrites it
+      // must succeed.
+      Driver.clean();
+      S = Driver.build();
+    }
+    ASSERT_TRUE(S.Success) << "round " << Round << ": " << S.ErrorText;
+    VM Vm(*Driver.program());
+    ExecResult R = Vm.run();
+    EXPECT_FALSE(R.Trapped);
+    // 41 + (1|2|3) depending on the live source version.
+    EXPECT_GE(R.ReturnValue.value_or(0), 42);
+    EXPECT_LE(R.ReturnValue.value_or(0), 44);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend robustness (fuzz-ish)
+//===----------------------------------------------------------------------===//
+
+TEST(FrontendRobustness, RandomGarbageNeverCrashes) {
+  RNG Rand(1234);
+  for (int I = 0; I != 200; ++I) {
+    std::string Garbage;
+    size_t Len = Rand.nextBelow(200);
+    for (size_t J = 0; J != Len; ++J)
+      Garbage += static_cast<char>(Rand.nextBelow(256));
+    DiagnosticEngine Diags;
+    Parser P(Garbage, Diags);
+    auto M = P.parseModule();
+    EXPECT_NE(M, nullptr);
+  }
+}
+
+TEST(FrontendRobustness, MutatedValidSourcesNeverCrash) {
+  const std::string Valid = R"(
+    global g = 1;
+    fn f(a: int, b: bool) -> int {
+      var x[4];
+      for (var i = 0; i < 4; i = i + 1) { x[i] = a * i; }
+      if (b && a > 0 || !b) { return x[0] + g; }
+      while (a < 10) { a = a + 1; break; }
+      return a % 3;
+    }
+  )";
+  RNG Rand(555);
+  for (int I = 0; I != 300; ++I) {
+    std::string Mutated = Valid;
+    // 1-3 random byte edits.
+    unsigned Edits = 1 + static_cast<unsigned>(Rand.nextBelow(3));
+    for (unsigned E = 0; E != Edits; ++E) {
+      size_t Pos = Rand.nextBelow(Mutated.size());
+      switch (Rand.nextBelow(3)) {
+      case 0:
+        Mutated[Pos] = static_cast<char>(Rand.nextBelow(128));
+        break;
+      case 1:
+        Mutated.erase(Pos, 1);
+        break;
+      default:
+        Mutated.insert(Pos, 1, static_cast<char>(Rand.nextBelow(128)));
+        break;
+      }
+    }
+    // Full frontend: parse + sema; compile if clean. Never crash.
+    Compiler C{CompilerOptions{}};
+    CompileResult R = C.compile("fuzz.mc", Mutated, {});
+    (void)R;
+  }
+}
+
+TEST(FrontendRobustness, PathologicalNesting) {
+  // Deep expression nesting must not blow the stack (parser recursion
+  // is depth-bounded by input size; keep it large but sane).
+  std::string Deep = "fn f() -> int { return ";
+  for (int I = 0; I != 200; ++I)
+    Deep += "(1 + ";
+  Deep += "0";
+  for (int I = 0; I != 200; ++I)
+    Deep += ")";
+  Deep += "; }";
+  Compiler C{CompilerOptions{}};
+  CompileResult R = C.compile("deep.mc", Deep, {});
+  EXPECT_TRUE(R.Success);
+}

@@ -1,0 +1,240 @@
+//===- tests/ir/IRTest.cpp - Core IR data structure tests -------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+struct IRFixture : public ::testing::Test {
+  Module M{"test"};
+  IRBuilder B{M};
+
+  Function *makeFunction(const std::string &Name = "f") {
+    return M.createFunction(Name, IRType::I64,
+                            {{"a", IRType::I64}, {"b", IRType::I64}});
+  }
+};
+
+} // namespace
+
+TEST_F(IRFixture, ConstantsAreUniqued) {
+  EXPECT_EQ(M.getI64(5), M.getI64(5));
+  EXPECT_NE(M.getI64(5), M.getI64(6));
+  EXPECT_EQ(M.getBool(true), M.getBool(true));
+  EXPECT_NE(static_cast<Value *>(M.getI64(1)),
+            static_cast<Value *>(M.getBool(true)));
+}
+
+TEST_F(IRFixture, UseListsTrackOperands) {
+  Function *F = makeFunction();
+  BasicBlock *BB = F->createBlock("entry");
+  B.setInsertPoint(BB);
+  Value *Add = B.createAdd(F->arg(0), F->arg(1));
+  EXPECT_EQ(F->arg(0)->numUses(), 1u);
+  EXPECT_EQ(F->arg(1)->numUses(), 1u);
+
+  Value *Mul = B.createMul(Add, Add);
+  EXPECT_EQ(Add->numUses(), 2u) << "one entry per operand slot";
+  B.createRet(Mul);
+  EXPECT_EQ(Mul->numUses(), 1u);
+}
+
+TEST_F(IRFixture, ReplaceAllUsesWith) {
+  Function *F = makeFunction();
+  BasicBlock *BB = F->createBlock("entry");
+  B.setInsertPoint(BB);
+  Value *Add = B.createAdd(F->arg(0), F->arg(1));
+  Value *Mul = B.createMul(Add, Add);
+  B.createRet(Mul);
+
+  Value *Zero = M.getI64(0);
+  Add->replaceAllUsesWith(Zero);
+  EXPECT_EQ(Add->numUses(), 0u);
+  EXPECT_EQ(Zero->numUses(), 2u);
+  auto *MulInst = cast<BinaryInst>(Mul);
+  EXPECT_EQ(MulInst->lhs(), Zero);
+  EXPECT_EQ(MulInst->rhs(), Zero);
+}
+
+TEST_F(IRFixture, SetOperandUpdatesUseLists) {
+  Function *F = makeFunction();
+  BasicBlock *BB = F->createBlock("entry");
+  B.setInsertPoint(BB);
+  auto *Add = cast<BinaryInst>(B.createAdd(F->arg(0), F->arg(1)));
+  Add->setOperand(0, M.getI64(7));
+  EXPECT_EQ(F->arg(0)->numUses(), 0u);
+  EXPECT_EQ(M.getI64(7)->numUses(), 1u);
+}
+
+TEST_F(IRFixture, EraseRequiresNoUses) {
+  Function *F = makeFunction();
+  BasicBlock *BB = F->createBlock("entry");
+  B.setInsertPoint(BB);
+  Value *Add = B.createAdd(F->arg(0), F->arg(1));
+  Value *Zero = M.getI64(0);
+  Add->replaceAllUsesWith(Zero); // No uses yet, trivially fine.
+  BB->erase(cast<Instruction>(Add));
+  EXPECT_EQ(BB->size(), 0u);
+  EXPECT_EQ(F->arg(0)->numUses(), 0u) << "erase drops operand uses";
+}
+
+TEST_F(IRFixture, TerminatorsMaintainPredecessors) {
+  Function *F = makeFunction();
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+
+  B.setInsertPoint(Entry);
+  Value *Cond = B.createCmp(CmpPred::SLT, F->arg(0), F->arg(1));
+  B.createCondBr(Cond, Then, Else);
+
+  ASSERT_EQ(Then->predecessors().size(), 1u);
+  EXPECT_EQ(Then->predecessors()[0], Entry);
+  ASSERT_EQ(Else->predecessors().size(), 1u);
+
+  // Erasing the terminator unlinks the edges.
+  Entry->erase(Entry->terminator());
+  EXPECT_TRUE(Then->predecessors().empty());
+  EXPECT_TRUE(Else->predecessors().empty());
+}
+
+TEST_F(IRFixture, SetSuccessorRetargets) {
+  Function *F = makeFunction();
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *C = F->createBlock("c");
+
+  B.setInsertPoint(Entry);
+  B.createBr(A);
+  Entry->replaceSuccessor(A, C);
+  EXPECT_TRUE(A->predecessors().empty());
+  ASSERT_EQ(C->predecessors().size(), 1u);
+  EXPECT_EQ(cast<BrInst>(Entry->terminator())->target(), C);
+}
+
+TEST_F(IRFixture, DuplicateEdgesTracked) {
+  Function *F = makeFunction();
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("t");
+  B.setInsertPoint(Entry);
+  Value *Cond = B.createCmp(CmpPred::EQ, F->arg(0), F->arg(1));
+  B.createCondBr(Cond, T, T);
+  EXPECT_EQ(T->predecessors().size(), 2u);
+  EXPECT_EQ(T->numDistinctPredecessors(), 1u);
+}
+
+TEST_F(IRFixture, PhiIncomingManagement) {
+  Function *F = makeFunction();
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+
+  auto Phi = std::make_unique<PhiInst>(IRType::I64);
+  auto *P = static_cast<PhiInst *>(A->push_back(std::move(Phi)));
+  P->addIncoming(F->arg(0), Entry);
+  P->addIncoming(M.getI64(3), A);
+
+  EXPECT_EQ(P->numIncoming(), 2u);
+  EXPECT_EQ(P->incomingValueFor(Entry), F->arg(0));
+  EXPECT_EQ(P->incomingValueFor(A), M.getI64(3));
+
+  P->removeIncomingBlock(Entry);
+  EXPECT_EQ(P->numIncoming(), 1u);
+  EXPECT_EQ(F->arg(0)->numUses(), 0u);
+}
+
+TEST_F(IRFixture, TakeTransfersOwnership) {
+  Function *F = makeFunction();
+  BasicBlock *BB = F->createBlock("entry");
+  B.setInsertPoint(BB);
+  Value *Add = B.createAdd(F->arg(0), F->arg(1));
+  std::unique_ptr<Instruction> Owned = BB->take(0);
+  EXPECT_EQ(Owned.get(), Add);
+  EXPECT_EQ(Owned->parent(), nullptr);
+  EXPECT_EQ(BB->size(), 0u);
+  // Re-inserting works.
+  BasicBlock *Other = F->createBlock("other");
+  Other->push_back(std::move(Owned));
+  EXPECT_EQ(cast<Instruction>(Add)->parent(), Other);
+}
+
+TEST_F(IRFixture, ModuleSymbolLookup) {
+  Function *F = makeFunction("alpha");
+  EXPECT_EQ(M.getFunction("alpha"), F);
+  EXPECT_EQ(M.getFunction("beta"), nullptr);
+
+  GlobalVariable *G = M.createGlobal("g", 4, 0);
+  EXPECT_EQ(M.getGlobal("g"), G);
+  EXPECT_EQ(G->size(), 4u);
+  M.eraseGlobal(G);
+  EXPECT_EQ(M.getGlobal("g"), nullptr);
+}
+
+TEST_F(IRFixture, InstructionPropertyQueries) {
+  Function *F = makeFunction();
+  BasicBlock *BB = F->createBlock("entry");
+  B.setInsertPoint(BB);
+  Value *Ptr = B.createAlloca(1);
+  Value *Load = B.createLoad(Ptr);
+  Value *Store = B.createStore(Load, Ptr);
+  Value *Call = B.createCall("print", IRType::Void, {Load});
+
+  EXPECT_FALSE(cast<Instruction>(Load)->hasSideEffects());
+  EXPECT_TRUE(cast<Instruction>(Load)->mayReadMemory());
+  EXPECT_TRUE(cast<Instruction>(Store)->hasSideEffects());
+  EXPECT_TRUE(cast<Instruction>(Call)->hasSideEffects());
+  EXPECT_TRUE(cast<Instruction>(Call)->mayReadMemory());
+  EXPECT_FALSE(cast<Instruction>(Ptr)->hasSideEffects());
+}
+
+TEST_F(IRFixture, CmpPredHelpers) {
+  EXPECT_EQ(swapCmpPred(CmpPred::SLT), CmpPred::SGT);
+  EXPECT_EQ(swapCmpPred(CmpPred::EQ), CmpPred::EQ);
+  EXPECT_EQ(invertCmpPred(CmpPred::SLE), CmpPred::SGT);
+  EXPECT_EQ(invertCmpPred(CmpPred::NE), CmpPred::EQ);
+  // Involution.
+  for (CmpPred P : {CmpPred::EQ, CmpPred::NE, CmpPred::SLT, CmpPred::SLE,
+                    CmpPred::SGT, CmpPred::SGE}) {
+    EXPECT_EQ(invertCmpPred(invertCmpPred(P)), P);
+    EXPECT_EQ(swapCmpPred(swapCmpPred(P)), P);
+  }
+}
+
+TEST_F(IRFixture, RTTIKindChecks) {
+  Function *F = makeFunction();
+  BasicBlock *BB = F->createBlock("entry");
+  B.setInsertPoint(BB);
+  Value *Add = B.createAdd(F->arg(0), F->arg(1));
+
+  EXPECT_TRUE(isa<BinaryInst>(Add));
+  EXPECT_TRUE(isa<Instruction>(Add));
+  EXPECT_FALSE(isa<CmpInst>(Add));
+  EXPECT_EQ(dyn_cast<CmpInst>(Add), nullptr);
+  EXPECT_NE(dyn_cast<BinaryInst>(Add), nullptr);
+  EXPECT_TRUE((isa<CmpInst, BinaryInst>(Add)));
+  EXPECT_TRUE(isa<Argument>(static_cast<Value *>(F->arg(0))));
+}
+
+TEST_F(IRFixture, FunctionBlockManagement) {
+  Function *F = makeFunction();
+  BasicBlock *A = F->createBlock("a");
+  BasicBlock *Bb = F->createBlock("b");
+  BasicBlock *C = F->createBlock("c");
+  EXPECT_EQ(F->numBlocks(), 3u);
+  EXPECT_EQ(F->entry(), A);
+  EXPECT_EQ(F->indexOfBlock(C), 2u);
+
+  F->moveBlock(2, 1);
+  EXPECT_EQ(F->block(1), C);
+  EXPECT_EQ(F->block(2), Bb);
+
+  F->eraseBlock(Bb);
+  EXPECT_EQ(F->numBlocks(), 2u);
+}

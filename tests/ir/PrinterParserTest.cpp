@@ -1,0 +1,190 @@
+//===- tests/ir/PrinterParserTest.cpp - IR text round-trips -----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "ir/IRPrinter.h"
+#include "ir/IRTextParser.h"
+#include "ir/StructuralHash.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+/// print(parse(Text)) must be a fixed point.
+void expectRoundTrip(const std::string &Text) {
+  auto M1 = parseIR(Text);
+  ASSERT_NE(M1, nullptr);
+  std::string P1 = printModule(*M1);
+  auto M2 = parseIR(P1);
+  ASSERT_NE(M2, nullptr);
+  std::string P2 = printModule(*M2);
+  EXPECT_EQ(P1, P2);
+  EXPECT_EQ(structuralHash(*M1), structuralHash(*M2));
+  expectValid(*M2);
+}
+
+} // namespace
+
+TEST(IRText, SimpleFunction) {
+  expectRoundTrip(R"(fn @max(i64 %a, i64 %b) -> i64 {
+b0:
+  %t0 = cmp sgt %a, %b
+  condbr %t0, b1, b2
+b1:
+  ret %a
+b2:
+  ret %b
+}
+)");
+}
+
+TEST(IRText, AllOpcodes) {
+  expectRoundTrip(R"(global @g = 7
+global @buf[16]
+
+fn @all(i64 %x, i1 %c) -> i64 {
+b0:
+  %t0 = add %x, 1
+  %t1 = sub %t0, 2
+  %t2 = mul %t1, 3
+  %t3 = sdiv %t2, 4
+  %t4 = srem %t3, 5
+  %t5 = cmp slt %t4, 10
+  %t6 = select i64 %t5, %t4, 0
+  %t7 = alloca 4
+  %t8 = gep %t7, %t6
+  store %t6, %t8
+  %t9 = load %t8
+  %t10 = load @g
+  %t11 = gep @buf, 2
+  store %t10, %t11
+  %t12 = call @helper(%t9, 5) -> i64
+  call @print(%t12) -> void
+  condbr %c, b1, b2
+b1:
+  ret %t12
+b2:
+  ret 0
+}
+
+fn @helper(i64 %p, i64 %q) -> i64 {
+b0:
+  ret %p
+}
+)");
+}
+
+TEST(IRText, PhisAndLoops) {
+  expectRoundTrip(R"(fn @sum(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t2, b2]
+  %t1 = phi i64 [0, b0], [%t3, b2]
+  %t4 = cmp slt %t1, %n
+  condbr %t4, b2, b3
+b2:
+  %t2 = add %t0, %t1
+  %t3 = add %t1, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+}
+
+TEST(IRText, BoolConstantsTyped) {
+  expectRoundTrip(R"(fn @b(i1 %c) -> i1 {
+b0:
+  %t0 = cmp eq i1 %c, false
+  %t1 = select i1 %t0, true, %c
+  ret %t1
+}
+)");
+}
+
+TEST(IRText, VoidFunction) {
+  expectRoundTrip(R"(fn @v(i64 %x) -> void {
+b0:
+  call @print(%x) -> void
+  ret
+}
+)");
+}
+
+TEST(IRText, NegativeConstants) {
+  auto M = parseIR(R"(fn @n() -> i64 {
+b0:
+  %t0 = add -5, -9223372036854775808
+  ret %t0
+}
+)");
+  ASSERT_NE(M, nullptr);
+  auto *F = M->getFunction("n");
+  auto *Add = cast<BinaryInst>(F->entry()->inst(0));
+  EXPECT_EQ(cast<ConstantInt>(Add->lhs())->value(), -5);
+  EXPECT_EQ(cast<ConstantInt>(Add->rhs())->value(), INT64_MIN);
+}
+
+TEST(IRText, ParseErrorsReported) {
+  std::vector<std::string> Errors;
+  EXPECT_EQ(parseIRText("fn @f( {", "t", Errors), nullptr);
+  EXPECT_FALSE(Errors.empty());
+
+  Errors.clear();
+  EXPECT_EQ(parseIRText(R"(fn @f() -> i64 {
+b0:
+  %t0 = bogus 1, 2
+  ret %t0
+}
+)", "t", Errors), nullptr);
+  EXPECT_FALSE(Errors.empty());
+
+  Errors.clear();
+  EXPECT_EQ(parseIRText(R"(fn @f() -> i64 {
+b0:
+  ret %undefined
+}
+)", "t", Errors), nullptr);
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(IRText, GeneratedIRRoundTrips) {
+  // Round-trip the IR generator's output for a nontrivial program.
+  auto M = lowerToIR(R"(
+    global acc = 0;
+    fn fact(n: int) -> int {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+    fn main() -> int {
+      var total = 0;
+      for (var i = 0; i < 5; i = i + 1) {
+        if (i % 2 == 0 || i == 3) { total = total + fact(i); }
+      }
+      acc = total;
+      return acc;
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  // The first print carries the generator's block-name comments; the
+  // canonical (reparsed) form is the fixed point.
+  std::string P1 = printModule(*M);
+  auto M2 = parseIR(P1);
+  ASSERT_NE(M2, nullptr);
+  std::string P2 = printModule(*M2);
+  auto M3 = parseIR(P2);
+  ASSERT_NE(M3, nullptr);
+  EXPECT_EQ(printModule(*M3), P2);
+
+  // The reparsed module must behave identically.
+  ExecResult A = interpretIR({M.get()}, "main", {});
+  ExecResult B = interpretIR({M2.get()}, "main", {});
+  expectSameBehavior(A, B, "printer/parser round trip");
+}

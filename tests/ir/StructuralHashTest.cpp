@@ -1,0 +1,103 @@
+//===- tests/ir/StructuralHashTest.cpp - Fingerprint properties --------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "ir/StructuralHash.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+uint64_t hashOf(const std::string &Source, const std::string &Fn) {
+  auto M = lowerToIR(Source);
+  EXPECT_NE(M, nullptr);
+  return structuralHash(*M->getFunction(Fn));
+}
+
+} // namespace
+
+TEST(StructuralHash, DeterministicAcrossLowerings) {
+  std::string Src = R"(
+    fn f(a: int, b: int) -> int {
+      var c = a * b + 3;
+      if (c > 10) { return c; }
+      return a - b;
+    }
+  )";
+  EXPECT_EQ(hashOf(Src, "f"), hashOf(Src, "f"));
+}
+
+TEST(StructuralHash, WhitespaceAndCommentsInvariant) {
+  uint64_t A = hashOf("fn f(x: int) -> int { return x + 1; }", "f");
+  uint64_t B = hashOf(R"(
+    // a comment
+    fn f( x : int )  ->  int {
+      return x + 1 ;   // trailing
+    }
+  )", "f");
+  EXPECT_EQ(A, B);
+}
+
+TEST(StructuralHash, LocalVariableNamesInvariant) {
+  uint64_t A =
+      hashOf("fn f(x: int) -> int { var alpha = x * 2; return alpha; }", "f");
+  uint64_t B =
+      hashOf("fn f(x: int) -> int { var beta = x * 2; return beta; }", "f");
+  EXPECT_EQ(A, B) << "renaming a local must not change the fingerprint";
+}
+
+TEST(StructuralHash, ConstantChangesDetected) {
+  uint64_t A = hashOf("fn f(x: int) -> int { return x + 1; }", "f");
+  uint64_t B = hashOf("fn f(x: int) -> int { return x + 2; }", "f");
+  EXPECT_NE(A, B);
+}
+
+TEST(StructuralHash, OperatorChangesDetected) {
+  uint64_t A = hashOf("fn f(x: int) -> int { return x + 1; }", "f");
+  uint64_t B = hashOf("fn f(x: int) -> int { return x * 1; }", "f");
+  EXPECT_NE(A, B);
+}
+
+TEST(StructuralHash, ControlFlowChangesDetected) {
+  uint64_t A = hashOf(
+      "fn f(x: int) -> int { if (x > 0) { return 1; } return 0; }", "f");
+  uint64_t B = hashOf(
+      "fn f(x: int) -> int { if (x >= 0) { return 1; } return 0; }", "f");
+  EXPECT_NE(A, B);
+}
+
+TEST(StructuralHash, CalleeNameMatters) {
+  std::string Common = R"(
+    fn g1(x: int) -> int { return x; }
+    fn g2(x: int) -> int { return x; }
+  )";
+  uint64_t A = hashOf(Common + "fn f() -> int { return g1(1); }", "f");
+  uint64_t B = hashOf(Common + "fn f() -> int { return g2(1); }", "f");
+  EXPECT_NE(A, B);
+}
+
+TEST(StructuralHash, FunctionNameContributes) {
+  // Same body, different name: distinct fingerprints (records are
+  // keyed by name anyway, but collisions would mask renames).
+  auto M = lowerToIR(R"(
+    fn a(x: int) -> int { return x + 1; }
+    fn b(x: int) -> int { return x + 1; }
+  )");
+  ASSERT_NE(M, nullptr);
+  EXPECT_NE(structuralHash(*M->getFunction("a")),
+            structuralHash(*M->getFunction("b")));
+}
+
+TEST(StructuralHash, ModuleHashCoversGlobals) {
+  auto M1 = lowerToIR("global g = 1; fn f() -> int { return g; }");
+  auto M2 = lowerToIR("global g = 2; fn f() -> int { return g; }");
+  ASSERT_NE(M1, nullptr);
+  ASSERT_NE(M2, nullptr);
+  EXPECT_NE(structuralHash(*M1), structuralHash(*M2));
+}

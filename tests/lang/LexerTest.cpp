@@ -1,0 +1,129 @@
+//===- tests/lang/LexerTest.cpp --------------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Src) {
+  DiagnosticEngine Diags;
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Src, Diags))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(Lexer, EmptyInput) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("", Diags);
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto K = kinds("fn fnx var variable if ifx");
+  std::vector<TokenKind> Expected{
+      TokenKind::KwFn,         TokenKind::Identifier, TokenKind::KwVar,
+      TokenKind::Identifier,   TokenKind::KwIf,       TokenKind::Identifier,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, AllOperators) {
+  auto K = kinds("+ - * / % = == != < <= > >= && || ! -> ( ) { } [ ] , ; :");
+  std::vector<TokenKind> Expected{
+      TokenKind::Plus,        TokenKind::Minus,       TokenKind::Star,
+      TokenKind::Slash,       TokenKind::Percent,     TokenKind::Assign,
+      TokenKind::EqualEqual,  TokenKind::NotEqual,    TokenKind::Less,
+      TokenKind::LessEqual,   TokenKind::Greater,     TokenKind::GreaterEqual,
+      TokenKind::AmpAmp,      TokenKind::PipePipe,    TokenKind::Not,
+      TokenKind::Arrow,       TokenKind::LParen,      TokenKind::RParen,
+      TokenKind::LBrace,      TokenKind::RBrace,      TokenKind::LBracket,
+      TokenKind::RBracket,    TokenKind::Comma,       TokenKind::Semicolon,
+      TokenKind::Colon,       TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, IntegerLiteralValues) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("0 42 9223372036854775807", Diags);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, INT64_MAX);
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Lexer, IntegerOverflowDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("99999999999999999999999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto K = kinds("a // comment with fn if while\nb");
+  std::vector<TokenKind> Expected{TokenKind::Identifier,
+                                  TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(Lexer, StringLiterals) {
+  DiagnosticEngine Diags;
+  // Tokens hold views into the source; keep it alive in a named var.
+  std::string Src = "import \"path/to/file.mc\";";
+  auto Tokens = lex(Src, Diags);
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[1].Text, "path/to/file.mc");
+}
+
+TEST(Lexer, UnterminatedStringDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("import \"oops", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, UnexpectedCharacterDiagnosed) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("a $ b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, LoneAmpersandDiagnosed) {
+  DiagnosticEngine Diags;
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  DiagnosticEngine Diags;
+  auto Tokens = lex("ab\n  cd", Diags);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Col, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Col, 3u);
+}
+
+TEST(Lexer, ArrowVsMinus) {
+  auto K = kinds("a -> b - > c");
+  std::vector<TokenKind> Expected{
+      TokenKind::Identifier, TokenKind::Arrow,   TokenKind::Identifier,
+      TokenKind::Minus,      TokenKind::Greater, TokenKind::Identifier,
+      TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}

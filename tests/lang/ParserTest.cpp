@@ -1,0 +1,198 @@
+//===- tests/lang/ParserTest.cpp -------------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+std::unique_ptr<ModuleAST> parse(const std::string &Src,
+                                 DiagnosticEngine &Diags) {
+  Parser P(Src, Diags);
+  return P.parseModule();
+}
+
+std::unique_ptr<ModuleAST> parseOK(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto M = parse(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+  return M;
+}
+
+} // namespace
+
+TEST(Parser, EmptyModule) {
+  auto M = parseOK("");
+  EXPECT_TRUE(M->Functions.empty());
+  EXPECT_TRUE(M->Globals.empty());
+  EXPECT_TRUE(M->Imports.empty());
+}
+
+TEST(Parser, ImportsAndGlobals) {
+  auto M = parseOK(R"(
+    import "util.mc";
+    import "math.mc";
+    global counter = 5;
+    global negative = -3;
+    global plain;
+    global table[16];
+  )");
+  ASSERT_EQ(M->Imports.size(), 2u);
+  EXPECT_EQ(M->Imports[0].Path, "util.mc");
+  ASSERT_EQ(M->Globals.size(), 4u);
+  EXPECT_EQ(M->Globals[0].InitValue, 5);
+  EXPECT_EQ(M->Globals[1].InitValue, -3);
+  EXPECT_EQ(M->Globals[2].InitValue, 0);
+  EXPECT_TRUE(M->Globals[3].IsArray);
+  EXPECT_EQ(M->Globals[3].ArraySize, 16u);
+}
+
+TEST(Parser, FunctionSignatures) {
+  auto M = parseOK(R"(
+    fn nothing() { }
+    fn one(x: int) -> int { return x; }
+    fn two(a: int, b: bool) -> bool { return b; }
+  )");
+  ASSERT_EQ(M->Functions.size(), 3u);
+  EXPECT_EQ(M->Functions[0]->returnType(), TypeName::Void);
+  EXPECT_TRUE(M->Functions[0]->params().empty());
+  EXPECT_EQ(M->Functions[1]->params().size(), 1u);
+  EXPECT_EQ(M->Functions[2]->params()[1].Type, TypeName::Bool);
+  EXPECT_EQ(M->Functions[2]->returnType(), TypeName::Bool);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  auto M = parseOK("fn f() -> int { return 1 + 2 * 3; }");
+  auto *Ret = cast<ReturnStmt>(M->Functions[0]->body()->statements()[0].get());
+  auto *Add = cast<BinaryExpr>(Ret->value());
+  EXPECT_EQ(Add->op(), BinaryOp::Add);
+  auto *Mul = cast<BinaryExpr>(Add->rhs());
+  EXPECT_EQ(Mul->op(), BinaryOp::Mul);
+}
+
+TEST(Parser, PrecedenceComparisonOverLogic) {
+  auto M = parseOK("fn f(a: int, b: int) -> bool { return a < 1 && b > 2; }");
+  auto *Ret = cast<ReturnStmt>(M->Functions[0]->body()->statements()[0].get());
+  auto *And = cast<BinaryExpr>(Ret->value());
+  EXPECT_EQ(And->op(), BinaryOp::And);
+  EXPECT_EQ(cast<BinaryExpr>(And->lhs())->op(), BinaryOp::Lt);
+  EXPECT_EQ(cast<BinaryExpr>(And->rhs())->op(), BinaryOp::Gt);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  auto M = parseOK("fn f() -> int { return (1 + 2) * 3; }");
+  auto *Ret = cast<ReturnStmt>(M->Functions[0]->body()->statements()[0].get());
+  auto *Mul = cast<BinaryExpr>(Ret->value());
+  EXPECT_EQ(Mul->op(), BinaryOp::Mul);
+  EXPECT_EQ(cast<BinaryExpr>(Mul->lhs())->op(), BinaryOp::Add);
+}
+
+TEST(Parser, UnaryOperators) {
+  auto M = parseOK("fn f(x: int, b: bool) -> int { return -x; }");
+  auto *Ret = cast<ReturnStmt>(M->Functions[0]->body()->statements()[0].get());
+  EXPECT_EQ(cast<UnaryExpr>(Ret->value())->op(), UnaryOp::Neg);
+}
+
+TEST(Parser, StatementForms) {
+  auto M = parseOK(R"(
+    fn f(n: int) -> int {
+      var x = 1;
+      var y: bool = true;
+      var arr[8];
+      x = x + 1;
+      arr[x] = 3;
+      if (y) { x = 2; } else if (x > 1) { x = 3; } else { x = 4; }
+      while (x < n) { x = x * 2; break; }
+      for (var i = 0; i < 3; i = i + 1) { continue; }
+      f(n - 1);
+      return x;
+    }
+  )");
+  const auto &Stmts = M->Functions[0]->body()->statements();
+  ASSERT_EQ(Stmts.size(), 10u);
+  EXPECT_TRUE(isa<VarDeclStmt>(Stmts[0].get()));
+  EXPECT_TRUE(isa<VarDeclStmt>(Stmts[1].get()));
+  EXPECT_TRUE(isa<ArrayDeclStmt>(Stmts[2].get()));
+  EXPECT_TRUE(isa<AssignStmt>(Stmts[3].get()));
+  EXPECT_TRUE(isa<IndexAssignStmt>(Stmts[4].get()));
+  EXPECT_TRUE(isa<IfStmt>(Stmts[5].get()));
+  EXPECT_TRUE(isa<WhileStmt>(Stmts[6].get()));
+  EXPECT_TRUE(isa<ForStmt>(Stmts[7].get()));
+  EXPECT_TRUE(isa<ExprStmt>(Stmts[8].get()));
+  EXPECT_TRUE(isa<ReturnStmt>(Stmts[9].get()));
+}
+
+TEST(Parser, ElseIfChain) {
+  auto M = parseOK(R"(
+    fn f(x: int) -> int {
+      if (x < 0) { return 0; } else if (x < 10) { return 1; } else { return 2; }
+    }
+  )");
+  auto *If = cast<IfStmt>(M->Functions[0]->body()->statements()[0].get());
+  ASSERT_NE(If->elseBranch(), nullptr);
+  EXPECT_TRUE(isa<IfStmt>(If->elseBranch()));
+}
+
+TEST(Parser, IndexReadVersusIndexAssign) {
+  auto M = parseOK(R"(
+    fn f() -> int {
+      var a[4];
+      a[0] = 1;
+      var x = a[0] + 2;
+      return x;
+    }
+  )");
+  const auto &Stmts = M->Functions[0]->body()->statements();
+  EXPECT_TRUE(isa<IndexAssignStmt>(Stmts[1].get()));
+  auto *VD = cast<VarDeclStmt>(Stmts[2].get());
+  auto *Add = cast<BinaryExpr>(VD->init());
+  EXPECT_TRUE(isa<IndexExpr>(Add->lhs()));
+}
+
+TEST(Parser, EmptyForClauses) {
+  auto M = parseOK("fn f() { for (;;) { break; } }");
+  auto *For = cast<ForStmt>(M->Functions[0]->body()->statements()[0].get());
+  EXPECT_EQ(For->init(), nullptr);
+  EXPECT_EQ(For->cond(), nullptr);
+  EXPECT_EQ(For->step(), nullptr);
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  DiagnosticEngine Diags;
+  parse("fn f() { var x = 1 }", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, ErrorRecoveryFindsMultipleErrors) {
+  DiagnosticEngine Diags;
+  parse(R"(
+    fn f() { var = 1; }
+    fn g() { return @; }
+  )", Diags);
+  EXPECT_GE(Diags.errorCount(), 2u);
+}
+
+TEST(Parser, ErrorBadTopLevel) {
+  DiagnosticEngine Diags;
+  parse("banana", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, ErrorUnclosedBrace) {
+  DiagnosticEngine Diags;
+  parse("fn f() { var x = 1;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, NegativeLiteralParsesAsUnary) {
+  auto M = parseOK("fn f() -> int { return -5; }");
+  auto *Ret = cast<ReturnStmt>(M->Functions[0]->body()->statements()[0].get());
+  auto *Neg = cast<UnaryExpr>(Ret->value());
+  EXPECT_EQ(cast<IntLiteralExpr>(Neg->operand())->value(), 5);
+}

@@ -1,0 +1,204 @@
+//===- tests/lang/SemaTest.cpp ---------------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+/// Runs sema; returns number of errors.
+unsigned check(const std::string &Src,
+               const ModuleInterface &Imports = {}) {
+  DiagnosticEngine Diags;
+  Parser P(Src, Diags);
+  auto M = P.parseModule();
+  EXPECT_FALSE(Diags.hasErrors()) << "unexpected parse error: "
+                                  << Diags.render();
+  analyzeModule(*M, Imports, Diags);
+  return Diags.errorCount();
+}
+
+} // namespace
+
+TEST(Sema, ValidProgramPasses) {
+  EXPECT_EQ(check(R"(
+    global g = 1;
+    global arr[4];
+    fn helper(x: int) -> int { return x * 2; }
+    fn main() -> int {
+      var a = helper(g);
+      arr[0] = a;
+      var flag = a > 0 && true;
+      if (flag) { return arr[0]; }
+      return 0;
+    }
+  )"), 0u);
+}
+
+TEST(Sema, UndeclaredVariable) {
+  EXPECT_GT(check("fn f() -> int { return nope; }"), 0u);
+}
+
+TEST(Sema, UndeclaredAssignment) {
+  EXPECT_GT(check("fn f() { x = 3; }"), 0u);
+}
+
+TEST(Sema, UndeclaredFunction) {
+  EXPECT_GT(check("fn f() -> int { return missing(1); }"), 0u);
+}
+
+TEST(Sema, ImportedFunctionVisible) {
+  ModuleInterface Imports{{"ext", {TypeName::Int}, TypeName::Int}};
+  EXPECT_EQ(check("fn f() -> int { return ext(1); }", Imports), 0u);
+}
+
+TEST(Sema, CallArityChecked) {
+  EXPECT_GT(check(R"(
+    fn g(a: int, b: int) -> int { return a + b; }
+    fn f() -> int { return g(1); }
+  )"), 0u);
+}
+
+TEST(Sema, CallArgTypeChecked) {
+  EXPECT_GT(check(R"(
+    fn g(a: int) -> int { return a; }
+    fn f() -> int { return g(true); }
+  )"), 0u);
+}
+
+TEST(Sema, ArithmeticRequiresInt) {
+  EXPECT_GT(check("fn f() -> int { return true + 1; }"), 0u);
+}
+
+TEST(Sema, ConditionMustBeBool) {
+  EXPECT_GT(check("fn f() { if (1) { } }"), 0u);
+  EXPECT_GT(check("fn f() { while (2) { } }"), 0u);
+  EXPECT_GT(check("fn f() { for (; 3;) { } }"), 0u);
+}
+
+TEST(Sema, LogicRequiresBool) {
+  EXPECT_GT(check("fn f() -> bool { return 1 && 2; }"), 0u);
+  EXPECT_GT(check("fn f() -> bool { return !5; }"), 0u);
+}
+
+TEST(Sema, EqualityRequiresSameType) {
+  EXPECT_GT(check("fn f() -> bool { return 1 == true; }"), 0u);
+  EXPECT_EQ(check("fn f() -> bool { return true == false; }"), 0u);
+  EXPECT_EQ(check("fn f() -> bool { return 1 == 2; }"), 0u);
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  EXPECT_GT(check("fn f() -> int { return true; }"), 0u);
+  EXPECT_GT(check("fn f() -> int { return; }"), 0u);
+  EXPECT_GT(check("fn f() { return 1; }"), 0u);
+}
+
+TEST(Sema, BreakContinueOutsideLoop) {
+  EXPECT_GT(check("fn f() { break; }"), 0u);
+  EXPECT_GT(check("fn f() { continue; }"), 0u);
+  EXPECT_EQ(check("fn f() { while (true) { break; continue; } }"), 0u);
+}
+
+TEST(Sema, RedefinitionErrors) {
+  EXPECT_GT(check("fn f() { } fn f() { }"), 0u);
+  EXPECT_GT(check("global g = 1; global g = 2;"), 0u);
+  EXPECT_GT(check("fn f() { var x = 1; var x = 2; }"), 0u);
+  EXPECT_GT(check("fn print(x: int) { }"), 0u);
+}
+
+TEST(Sema, ShadowingInNestedScopeAllowed) {
+  EXPECT_EQ(check(R"(
+    fn f() -> int {
+      var x = 1;
+      if (x > 0) { var x = 2; return x; }
+      return x;
+    }
+  )"), 0u);
+}
+
+TEST(Sema, ScopeEndsAtBlock) {
+  EXPECT_GT(check(R"(
+    fn f() -> int {
+      if (true) { var y = 1; }
+      return y;
+    }
+  )"), 0u);
+}
+
+TEST(Sema, ForInitScopedToLoop) {
+  EXPECT_GT(check(R"(
+    fn f() -> int {
+      for (var i = 0; i < 3; i = i + 1) { }
+      return i;
+    }
+  )"), 0u);
+}
+
+TEST(Sema, ArrayMisuse) {
+  // Array without index as a value.
+  EXPECT_GT(check("fn f() -> int { var a[4]; return a; }"), 0u);
+  // Direct assignment to an array.
+  EXPECT_GT(check("fn f() { var a[4]; a = 3; }"), 0u);
+  // Indexing a scalar.
+  EXPECT_GT(check("fn f() -> int { var x = 1; return x[0]; }"), 0u);
+  // Index must be int.
+  EXPECT_GT(check("fn f() -> int { var a[4]; return a[true]; }"), 0u);
+}
+
+TEST(Sema, GlobalArrayUsable) {
+  EXPECT_EQ(check(R"(
+    global buf[8];
+    fn f(i: int) -> int { buf[i] = i; return buf[i]; }
+  )"), 0u);
+}
+
+TEST(Sema, VoidCallInExpressionRejected) {
+  EXPECT_GT(check(R"(
+    fn v() { }
+    fn f() -> int { var x = v(); return x; }
+  )"), 0u);
+}
+
+TEST(Sema, PrintBuiltinAvailable) {
+  EXPECT_EQ(check("fn f() { print(42); }"), 0u);
+  EXPECT_GT(check("fn f() { print(true); }"), 0u);
+  EXPECT_GT(check("fn f() { print(1, 2); }"), 0u);
+}
+
+TEST(Sema, MutualRecursionWithinModule) {
+  EXPECT_EQ(check(R"(
+    fn even(n: int) -> bool {
+      if (n == 0) { return true; }
+      return odd(n - 1);
+    }
+    fn odd(n: int) -> bool {
+      if (n == 0) { return false; }
+      return even(n - 1);
+    }
+  )"), 0u);
+}
+
+TEST(Sema, ExportedInterfaceShape) {
+  DiagnosticEngine Diags;
+  Parser P("fn a(x: int) -> bool { return true; } fn b() { }", Diags);
+  auto M = P.parseModule();
+  ModuleInterface Iface = analyzeModule(*M, {}, Diags);
+  ASSERT_EQ(Iface.size(), 2u);
+  EXPECT_EQ(Iface[0].Name, "a");
+  EXPECT_EQ(Iface[0].ParamTypes.size(), 1u);
+  EXPECT_EQ(Iface[0].ReturnType, TypeName::Bool);
+  EXPECT_EQ(Iface[1].Name, "b");
+  EXPECT_EQ(Iface[1].ReturnType, TypeName::Void);
+}
+
+TEST(Sema, TypeAnnotationMismatch) {
+  EXPECT_GT(check("fn f() { var x: bool = 3; }"), 0u);
+  EXPECT_EQ(check("fn f() { var x: int = 3; }"), 0u);
+}

@@ -1,0 +1,119 @@
+//===- tests/state/BuildStateDBTest.cpp --------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "state/BuildStateDB.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+TUState makeTU(uint64_t Sig, unsigned NumFuncs, size_t PipelineLen) {
+  TUState TU;
+  TU.PipelineSignature = Sig;
+  TU.ModuleDormancy.assign(PipelineLen, 0);
+  TU.ModuleDormancy[0] = 1;
+  for (unsigned I = 0; I != NumFuncs; ++I) {
+    FunctionRecord Rec;
+    Rec.Fingerprint = 1000 + I;
+    Rec.Age = I;
+    Rec.Dormancy.assign(PipelineLen, static_cast<uint8_t>(I % 2));
+    TU.Functions["fn" + std::to_string(I)] = std::move(Rec);
+  }
+  return TU;
+}
+
+} // namespace
+
+TEST(BuildStateDB, LookupUpdateRemove) {
+  BuildStateDB DB;
+  EXPECT_EQ(DB.lookup("a.mc"), nullptr);
+  DB.update("a.mc", makeTU(1, 2, 4));
+  ASSERT_NE(DB.lookup("a.mc"), nullptr);
+  EXPECT_EQ(DB.lookup("a.mc")->Functions.size(), 2u);
+  EXPECT_EQ(DB.numTUs(), 1u);
+
+  DB.update("a.mc", makeTU(2, 3, 4));
+  EXPECT_EQ(DB.lookup("a.mc")->PipelineSignature, 2u);
+  EXPECT_EQ(DB.lookup("a.mc")->Functions.size(), 3u);
+
+  DB.remove("a.mc");
+  EXPECT_EQ(DB.lookup("a.mc"), nullptr);
+}
+
+TEST(BuildStateDB, SerializationRoundTrip) {
+  BuildStateDB DB;
+  DB.update("a.mc", makeTU(0xabcdef, 3, 16));
+  DB.update("b/b.mc", makeTU(0x123456, 1, 16));
+
+  std::string Bytes = DB.serialize();
+  BuildStateDB Restored;
+  ASSERT_TRUE(Restored.deserialize(Bytes));
+  EXPECT_EQ(Restored.numTUs(), 2u);
+
+  const TUState *TU = Restored.lookup("a.mc");
+  ASSERT_NE(TU, nullptr);
+  EXPECT_EQ(TU->PipelineSignature, 0xabcdefu);
+  EXPECT_EQ(TU->ModuleDormancy.size(), 16u);
+  EXPECT_EQ(TU->ModuleDormancy[0], 1);
+  ASSERT_TRUE(TU->Functions.count("fn1"));
+  const FunctionRecord &Rec = TU->Functions.at("fn1");
+  EXPECT_EQ(Rec.Fingerprint, 1001u);
+  EXPECT_EQ(Rec.Age, 1u);
+  EXPECT_EQ(Rec.Dormancy, std::vector<uint8_t>(16, 1));
+}
+
+TEST(BuildStateDB, EmptyRoundTrip) {
+  BuildStateDB DB;
+  BuildStateDB Restored;
+  EXPECT_TRUE(Restored.deserialize(DB.serialize()));
+  EXPECT_EQ(Restored.numTUs(), 0u);
+}
+
+TEST(BuildStateDB, CorruptionDetected) {
+  BuildStateDB DB;
+  DB.update("a.mc", makeTU(1, 2, 8));
+  std::string Bytes = DB.serialize();
+
+  // Truncation.
+  BuildStateDB R1;
+  EXPECT_FALSE(R1.deserialize(Bytes.substr(0, Bytes.size() / 2)));
+  EXPECT_EQ(R1.numTUs(), 0u);
+
+  // Bit flip in the middle (checksum must catch it).
+  std::string Flipped = Bytes;
+  Flipped[Bytes.size() / 2] ^= 0x40;
+  BuildStateDB R2;
+  EXPECT_FALSE(R2.deserialize(Flipped));
+
+  // Garbage.
+  BuildStateDB R3;
+  EXPECT_FALSE(R3.deserialize("not a state db"));
+  EXPECT_FALSE(R3.deserialize(""));
+}
+
+TEST(BuildStateDB, FilePersistence) {
+  InMemoryFileSystem FS;
+  BuildStateDB DB;
+  DB.update("x.mc", makeTU(42, 1, 4));
+  EXPECT_TRUE(DB.saveToFile(FS, "out/state.db"));
+
+  BuildStateDB Loaded;
+  EXPECT_TRUE(Loaded.loadFromFile(FS, "out/state.db"));
+  EXPECT_EQ(Loaded.numTUs(), 1u);
+
+  BuildStateDB Missing;
+  EXPECT_FALSE(Missing.loadFromFile(FS, "no/such/file"));
+}
+
+TEST(BuildStateDB, SizeGrowsWithContent) {
+  BuildStateDB Small, Large;
+  Small.update("a.mc", makeTU(1, 1, 4));
+  for (int I = 0; I != 50; ++I)
+    Large.update("f" + std::to_string(I) + ".mc", makeTU(1, 10, 20));
+  EXPECT_LT(Small.sizeBytes(), Large.sizeBytes());
+}

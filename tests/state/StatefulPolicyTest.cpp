@@ -1,0 +1,252 @@
+//===- tests/state/StatefulPolicyTest.cpp - skip-policy unit tests -----------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "state/StatefulPolicy.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+constexpr uint64_t Sig = 0x5157;
+constexpr size_t Len = 4;
+
+/// Builds a previous-build record: fn "f" with the given dormancy.
+TUState prevState(std::vector<uint8_t> Dormancy, uint64_t Fingerprint = 77,
+                  uint32_t Age = 0) {
+  TUState TU;
+  TU.PipelineSignature = Sig;
+  TU.ModuleDormancy.assign(Len, 0);
+  FunctionRecord Rec;
+  Rec.Fingerprint = Fingerprint;
+  Rec.Age = Age;
+  Rec.Dormancy = std::move(Dormancy);
+  TU.Functions["f"] = std::move(Rec);
+  return TU;
+}
+
+struct PolicyFixture : public ::testing::Test {
+  Module M{"m"};
+  Function *F = M.createFunction("f", IRType::Void, {});
+
+  StatefulConfig heuristic() {
+    StatefulConfig C;
+    C.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+    return C;
+  }
+};
+
+} // namespace
+
+TEST_F(PolicyFixture, ColdBuildRunsEverything) {
+  StatefulInstrumentation SI(heuristic(), nullptr, Sig, Len, {{"f", 77}});
+  for (size_t I = 0; I != Len; ++I)
+    EXPECT_TRUE(SI.shouldRunPass("p", I, *F));
+}
+
+TEST_F(PolicyFixture, DormantPassesSkipped) {
+  TUState Prev = prevState({1, 0, 1, 0});
+  StatefulInstrumentation SI(heuristic(), &Prev, Sig, Len, {{"f", 77}});
+  EXPECT_FALSE(SI.shouldRunPass("p", 0, *F));
+  EXPECT_TRUE(SI.shouldRunPass("p", 1, *F));
+  EXPECT_FALSE(SI.shouldRunPass("p", 2, *F));
+  EXPECT_TRUE(SI.shouldRunPass("p", 3, *F));
+}
+
+TEST_F(PolicyFixture, SkippedVerdictsCarryForward) {
+  TUState Prev = prevState({1, 0, 1, 0});
+  StatefulInstrumentation SI(heuristic(), &Prev, Sig, Len, {{"f", 99}});
+  // Simulate the pipeline: skip 0, run 1 (changed), skip 2, run 3
+  // (dormant).
+  SI.onSkippedPass("p", 0, *F);
+  SI.afterPass("p", 1, *F, /*Changed=*/true, 1.0);
+  SI.onSkippedPass("p", 2, *F);
+  SI.afterPass("p", 3, *F, /*Changed=*/false, 1.0);
+
+  TUState Next = SI.takeNewState();
+  const FunctionRecord &Rec = Next.Functions.at("f");
+  EXPECT_EQ(Rec.Dormancy, (std::vector<uint8_t>{1, 0, 1, 1}));
+  EXPECT_EQ(Rec.Fingerprint, 99u) << "new fingerprint recorded";
+  EXPECT_EQ(Rec.Age, 1u) << "skipping ages the record";
+  EXPECT_EQ(SI.stats().PassesSkipped, 2u);
+  EXPECT_EQ(SI.stats().PassesRun, 2u);
+}
+
+TEST_F(PolicyFixture, PipelineSignatureMismatchInvalidates) {
+  TUState Prev = prevState({1, 1, 1, 1});
+  Prev.PipelineSignature = Sig + 1; // Different pipeline.
+  StatefulInstrumentation SI(heuristic(), &Prev, Sig, Len, {{"f", 77}});
+  for (size_t I = 0; I != Len; ++I)
+    EXPECT_TRUE(SI.shouldRunPass("p", I, *F));
+}
+
+TEST_F(PolicyFixture, PipelineLengthMismatchInvalidates) {
+  TUState Prev = prevState({1, 1}); // Wrong record length.
+  StatefulInstrumentation SI(heuristic(), &Prev, Sig, Len, {{"f", 77}});
+  EXPECT_TRUE(SI.shouldRunPass("p", 0, *F));
+}
+
+TEST_F(PolicyFixture, UnknownFunctionRunsFully) {
+  TUState Prev = prevState({1, 1, 1, 1});
+  StatefulInstrumentation SI(heuristic(), &Prev, Sig, Len,
+                             {{"newfn", 5}});
+  Function *G = M.createFunction("newfn", IRType::Void, {});
+  for (size_t I = 0; I != Len; ++I)
+    EXPECT_TRUE(SI.shouldRunPass("p", I, *G));
+}
+
+TEST_F(PolicyFixture, ExactModeRequiresFingerprintMatch) {
+  StatefulConfig Exact;
+  Exact.SkipMode = StatefulConfig::Mode::ExactSkip;
+
+  TUState Prev = prevState({1, 1, 1, 1}, /*Fingerprint=*/77);
+  {
+    // Same fingerprint: skipping allowed.
+    StatefulInstrumentation SI(Exact, &Prev, Sig, Len, {{"f", 77}});
+    EXPECT_FALSE(SI.shouldRunPass("p", 0, *F));
+  }
+  {
+    // Changed body: no skipping.
+    StatefulInstrumentation SI(Exact, &Prev, Sig, Len, {{"f", 78}});
+    EXPECT_TRUE(SI.shouldRunPass("p", 0, *F));
+  }
+}
+
+TEST_F(PolicyFixture, HeuristicModeSkipsChangedBodies) {
+  TUState Prev = prevState({1, 1, 1, 1}, /*Fingerprint=*/77);
+  // The paper's policy: name match suffices even though the body hash
+  // differs.
+  StatefulInstrumentation SI(heuristic(), &Prev, Sig, Len, {{"f", 78}});
+  EXPECT_FALSE(SI.shouldRunPass("p", 0, *F));
+}
+
+TEST_F(PolicyFixture, RefreshIntervalForcesFullRun) {
+  StatefulConfig Cfg = heuristic();
+  Cfg.RefreshInterval = 3;
+
+  // Age 2: 2+1 >= 3 -> refresh now.
+  TUState Prev = prevState({1, 1, 1, 1}, 77, /*Age=*/2);
+  StatefulInstrumentation SI(Cfg, &Prev, Sig, Len, {{"f", 77}});
+  for (size_t I = 0; I != Len; ++I)
+    EXPECT_TRUE(SI.shouldRunPass("p", I, *F));
+  EXPECT_EQ(SI.stats().FunctionsRefreshed, 1u);
+
+  // A fully-run record resets its age.
+  for (size_t I = 0; I != Len; ++I)
+    SI.afterPass("p", I, *F, false, 1.0);
+  TUState Next = SI.takeNewState();
+  EXPECT_EQ(Next.Functions.at("f").Age, 0u);
+}
+
+TEST_F(PolicyFixture, YoungRecordNotRefreshed) {
+  StatefulConfig Cfg = heuristic();
+  Cfg.RefreshInterval = 3;
+  TUState Prev = prevState({1, 1, 1, 1}, 77, /*Age=*/0);
+  StatefulInstrumentation SI(Cfg, &Prev, Sig, Len, {{"f", 77}});
+  EXPECT_FALSE(SI.shouldRunPass("p", 0, *F));
+}
+
+TEST_F(PolicyFixture, ModulePassSkipping) {
+  TUState Prev = prevState({0, 0, 0, 0});
+  Prev.ModuleDormancy = {1, 0, 1, 0};
+  StatefulConfig Cfg = heuristic();
+  {
+    StatefulInstrumentation SI(Cfg, &Prev, Sig, Len, {});
+    EXPECT_FALSE(SI.shouldRunModulePass("mp", 0, M));
+    EXPECT_TRUE(SI.shouldRunModulePass("mp", 1, M));
+    TUState Next = SI.takeNewState();
+    EXPECT_EQ(Next.ModuleDormancy[0], 1) << "skip carries forward";
+  }
+  {
+    Cfg.SkipModulePasses = false;
+    StatefulInstrumentation SI(Cfg, &Prev, Sig, Len, {});
+    EXPECT_TRUE(SI.shouldRunModulePass("mp", 0, M));
+  }
+}
+
+TEST_F(PolicyFixture, StatelessModeNeverSkips) {
+  StatefulConfig Cfg;
+  Cfg.SkipMode = StatefulConfig::Mode::Stateless;
+  TUState Prev = prevState({1, 1, 1, 1});
+  StatefulInstrumentation SI(Cfg, &Prev, Sig, Len, {{"f", 77}});
+  for (size_t I = 0; I != Len; ++I)
+    EXPECT_TRUE(SI.shouldRunPass("p", I, *F));
+  EXPECT_TRUE(SI.shouldRunModulePass("mp", 0, M))
+      << "stateless mode always runs module passes too";
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end through the Compiler facade
+//===----------------------------------------------------------------------===//
+
+TEST(StatefulCompiler, SecondBuildSkips) {
+  const char *Src = R"(
+    fn work(n: int) -> int {
+      var s = 0;
+      for (var i = 0; i < n; i = i + 1) { s = s + i * i; }
+      return s;
+    }
+    fn main() -> int { return work(10); }
+  )";
+  BuildStateDB DB;
+  CompilerOptions Opt;
+  Opt.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Opt.VerifyEach = true;
+  Compiler C(Opt, &DB);
+
+  CompileResult R1 = C.compile("a.mc", Src, {});
+  ASSERT_TRUE(R1.Success);
+  EXPECT_EQ(R1.SkipStats.PassesSkipped, 0u);
+  EXPECT_GT(R1.SkipStats.PassesRun, 0u);
+
+  CompileResult R2 = C.compile("a.mc", Src, {});
+  ASSERT_TRUE(R2.Success);
+  EXPECT_GT(R2.SkipStats.PassesSkipped, 0u);
+  EXPECT_LT(R2.SkipStats.PassesRun, R1.SkipStats.PassesRun);
+  EXPECT_EQ(R2.SkipStats.FunctionsMatched, 2u);
+
+  // The produced objects must be byte-identical for identical input:
+  // skipped passes were all dormant, so the IR is the same.
+  EXPECT_EQ(writeObject(R1.Object), writeObject(R2.Object));
+}
+
+TEST(StatefulCompiler, EditedFunctionStillCorrect) {
+  BuildStateDB DB;
+  CompilerOptions Opt;
+  Opt.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Opt.VerifyEach = true;
+  Compiler C(Opt, &DB);
+
+  const char *V1 = "fn main() -> int { var s = 2; return s * 10; }";
+  const char *V2 = "fn main() -> int { var s = 3; return s * 10; }";
+  ASSERT_TRUE(C.compile("a.mc", V1, {}).Success);
+  CompileResult R = C.compile("a.mc", V2, {});
+  ASSERT_TRUE(R.Success);
+
+  LinkResult L = linkObjects({&R.Object});
+  ASSERT_TRUE(L.succeeded());
+  VM Vm(*L.Program);
+  EXPECT_EQ(Vm.run().ReturnValue.value_or(-1), 30);
+}
+
+TEST(StatefulCompiler, CompilerVersionBumpInvalidates) {
+  const char *Src = "fn main() -> int { return 1 + 2; }";
+  BuildStateDB DB;
+  CompilerOptions Opt;
+  Opt.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Compiler C1(Opt, &DB);
+  ASSERT_TRUE(C1.compile("a.mc", Src, {}).Success);
+
+  Opt.CompilerVersion = 2;
+  Compiler C2(Opt, &DB);
+  CompileResult R = C2.compile("a.mc", Src, {});
+  EXPECT_EQ(R.SkipStats.PassesSkipped, 0u)
+      << "records from the old compiler version must be ignored";
+}

@@ -1,0 +1,102 @@
+//===- tests/support/FileSystemTest.cpp ------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+using namespace sc;
+
+TEST(InMemoryFS, BasicOperations) {
+  InMemoryFileSystem FS;
+  EXPECT_FALSE(FS.exists("a.txt"));
+  EXPECT_FALSE(FS.readFile("a.txt").has_value());
+
+  EXPECT_TRUE(FS.writeFile("a.txt", "hello"));
+  EXPECT_TRUE(FS.exists("a.txt"));
+  EXPECT_EQ(FS.readFile("a.txt").value(), "hello");
+
+  EXPECT_TRUE(FS.writeFile("a.txt", "overwritten"));
+  EXPECT_EQ(FS.readFile("a.txt").value(), "overwritten");
+
+  EXPECT_TRUE(FS.removeFile("a.txt"));
+  EXPECT_FALSE(FS.exists("a.txt"));
+  EXPECT_FALSE(FS.removeFile("a.txt"));
+}
+
+TEST(InMemoryFS, ListIsSorted) {
+  InMemoryFileSystem FS;
+  FS.writeFile("b.mc", "x");
+  FS.writeFile("a.mc", "y");
+  FS.writeFile("c/d.mc", "z");
+  std::vector<std::string> Files = FS.listFiles();
+  ASSERT_EQ(Files.size(), 3u);
+  EXPECT_EQ(Files[0], "a.mc");
+  EXPECT_EQ(Files[1], "b.mc");
+  EXPECT_EQ(Files[2], "c/d.mc");
+}
+
+TEST(InMemoryFS, TotalBytes) {
+  InMemoryFileSystem FS;
+  FS.writeFile("a", "1234");
+  FS.writeFile("b", "56");
+  EXPECT_EQ(FS.totalBytes(), 6u);
+}
+
+namespace {
+
+std::string makeTempDir() {
+  std::string Template =
+      (std::filesystem::temp_directory_path() / "scfsXXXXXX").string();
+  std::vector<char> Buf(Template.begin(), Template.end());
+  Buf.push_back('\0');
+  char *Result = mkdtemp(Buf.data());
+  EXPECT_NE(Result, nullptr);
+  return std::string(Result ? Result : "/tmp");
+}
+
+} // namespace
+
+TEST(RealFS, RoundTripAndNesting) {
+  std::string Dir = makeTempDir();
+  {
+    RealFileSystem FS(Dir);
+    EXPECT_TRUE(FS.writeFile("x/y/z.mc", "content"));
+    EXPECT_TRUE(FS.exists("x/y/z.mc"));
+    EXPECT_EQ(FS.readFile("x/y/z.mc").value(), "content");
+
+    std::vector<std::string> Files = FS.listFiles();
+    ASSERT_EQ(Files.size(), 1u);
+    EXPECT_EQ(Files[0], "x/y/z.mc");
+
+    EXPECT_TRUE(FS.removeFile("x/y/z.mc"));
+    EXPECT_FALSE(FS.exists("x/y/z.mc"));
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(RealFS, MissingFileReadsAsNullopt) {
+  std::string Dir = makeTempDir();
+  {
+    RealFileSystem FS(Dir);
+    EXPECT_FALSE(FS.readFile("nope.txt").has_value());
+  }
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(RealFS, BinaryContentPreserved) {
+  std::string Dir = makeTempDir();
+  {
+    RealFileSystem FS(Dir);
+    std::string Binary("\x00\x01\xff\x7f binary", 12);
+    EXPECT_TRUE(FS.writeFile("bin", Binary));
+    EXPECT_EQ(FS.readFile("bin").value(), Binary);
+  }
+  std::filesystem::remove_all(Dir);
+}

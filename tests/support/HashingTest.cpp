@@ -1,0 +1,75 @@
+//===- tests/support/HashingTest.cpp ---------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace sc;
+
+TEST(Hashing, StableAcrossCalls) {
+  EXPECT_EQ(hashString("hello"), hashString("hello"));
+  EXPECT_EQ(hashBytes("abc", 3), hashBytes("abc", 3));
+}
+
+TEST(Hashing, EmptyInput) {
+  EXPECT_EQ(hashString(""), hashBytes(nullptr, 0));
+}
+
+TEST(Hashing, DifferentInputsDiffer) {
+  EXPECT_NE(hashString("hello"), hashString("hellp"));
+  EXPECT_NE(hashString("a"), hashString("aa"));
+  EXPECT_NE(hashString(""), hashString(std::string_view("\0", 1)));
+}
+
+TEST(Hashing, SeedChaining) {
+  uint64_t H1 = hashBytes("ab", 2);
+  uint64_t H2 = hashBytes("b", 1, hashBytes("a", 1));
+  EXPECT_EQ(H1, H2) << "FNV-1a chaining must be byte-incremental";
+}
+
+TEST(Hashing, CombineOrderSensitive) {
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+TEST(Hashing, Mix64SpreadsLowEntropy) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Seen.insert(mix64(I));
+  EXPECT_EQ(Seen.size(), 1000u);
+}
+
+TEST(HashBuilder, LengthPrefixingPreventsConcatCollisions) {
+  HashBuilder A, B;
+  A.addString("ab").addString("c");
+  B.addString("a").addString("bc");
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(HashBuilder, ScalarsMatter) {
+  HashBuilder A, B;
+  A.addU64(1).addU64(2);
+  B.addU64(1).addU64(3);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(HashBuilder, BoolAndNegativeValues) {
+  HashBuilder A, B;
+  A.addBool(true).addI64(-5);
+  B.addBool(false).addI64(-5);
+  EXPECT_NE(A.digest(), B.digest());
+
+  HashBuilder C, D;
+  C.addI64(-1);
+  D.addI64(-1);
+  EXPECT_EQ(C.digest(), D.digest());
+}
+
+TEST(HashBuilder, EmptyBuilderIsDeterministic) {
+  EXPECT_EQ(HashBuilder().digest(), HashBuilder().digest());
+}

@@ -1,0 +1,82 @@
+//===- tests/support/RNGTest.cpp -------------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RNG.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+TEST(RNG, DeterministicForSeed) {
+  RNG A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RNG, DifferentSeedsDiffer) {
+  RNG A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(RNG, NextBelowRespectsBound) {
+  RNG R(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(R.nextBelow(13), 13u);
+  // Bound of 1 always yields 0.
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(RNG, NextInRangeInclusive) {
+  RNG R(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RNG, SingletonRange) {
+  RNG R(5);
+  EXPECT_EQ(R.nextInRange(42, 42), 42);
+}
+
+TEST(RNG, ChancePercentExtremes) {
+  RNG R(11);
+  for (int I = 0; I != 50; ++I) {
+    EXPECT_FALSE(R.chancePercent(0));
+    EXPECT_TRUE(R.chancePercent(100));
+  }
+}
+
+TEST(RNG, PickCoversAllElements) {
+  RNG R(13);
+  std::vector<int> V{10, 20, 30};
+  bool Saw[3] = {false, false, false};
+  for (int I = 0; I != 300; ++I) {
+    int X = R.pick(V);
+    Saw[X / 10 - 1] = true;
+  }
+  EXPECT_TRUE(Saw[0] && Saw[1] && Saw[2]);
+}
+
+TEST(RNG, ForkIndependence) {
+  RNG A(99);
+  RNG Child = A.fork();
+  // Child stream should differ from the parent's continuation.
+  bool AnyDiff = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDiff |= Child.next() != A.next();
+  EXPECT_TRUE(AnyDiff);
+}

@@ -1,0 +1,99 @@
+//===- tests/support/SerializerTest.cpp ------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace sc;
+
+TEST(Serializer, ScalarRoundTrip) {
+  BinaryWriter W;
+  W.writeU8(0xab);
+  W.writeU32(0xdeadbeef);
+  W.writeU64(0x0123456789abcdefULL);
+  W.writeI64(-42);
+
+  BinaryReader R(W.data());
+  EXPECT_EQ(R.readU8(), 0xab);
+  EXPECT_EQ(R.readU32(), 0xdeadbeefu);
+  EXPECT_EQ(R.readU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(R.readI64(), -42);
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(Serializer, VarIntRoundTrip) {
+  const uint64_t Cases[] = {0,    1,    127,        128,
+                            129,  300,  0xffffffff, UINT64_MAX,
+                            1u << 14, (1u << 14) - 1};
+  BinaryWriter W;
+  for (uint64_t V : Cases)
+    W.writeVarU64(V);
+  BinaryReader R(W.data());
+  for (uint64_t V : Cases)
+    EXPECT_EQ(R.readVarU64(), V);
+  EXPECT_FALSE(R.failed());
+}
+
+TEST(Serializer, VarIntCompactness) {
+  BinaryWriter W;
+  W.writeVarU64(5);
+  EXPECT_EQ(W.size(), 1u);
+  BinaryWriter W2;
+  W2.writeVarU64(300);
+  EXPECT_EQ(W2.size(), 2u);
+}
+
+TEST(Serializer, StringRoundTrip) {
+  BinaryWriter W;
+  W.writeString("");
+  W.writeString("hello");
+  W.writeString(std::string("nul\0inside", 10));
+
+  BinaryReader R(W.data());
+  EXPECT_EQ(R.readString(), "");
+  EXPECT_EQ(R.readString(), "hello");
+  EXPECT_EQ(R.readString(), std::string("nul\0inside", 10));
+}
+
+TEST(Serializer, TruncatedInputFailsCleanly) {
+  BinaryWriter W;
+  W.writeU64(12345);
+  // Drop the last byte.
+  BinaryReader R(W.data().data(), W.size() - 1);
+  EXPECT_EQ(R.readU64(), 0u);
+  EXPECT_TRUE(R.failed());
+  // Subsequent reads stay failed and return zero.
+  EXPECT_EQ(R.readU32(), 0u);
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Serializer, TruncatedStringFails) {
+  BinaryWriter W;
+  W.writeString("hello world");
+  BinaryReader R(W.data().data(), 3);
+  EXPECT_EQ(R.readString(), "");
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Serializer, OverlongVarIntFails) {
+  // 11 continuation bytes exceed a 64-bit value.
+  std::vector<uint8_t> Bad(11, 0x80);
+  BinaryReader R(Bad.data(), Bad.size());
+  R.readVarU64();
+  EXPECT_TRUE(R.failed());
+}
+
+TEST(Serializer, EmptyReaderAtEnd) {
+  BinaryReader R(nullptr, 0);
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_FALSE(R.failed());
+  R.readU8();
+  EXPECT_TRUE(R.failed());
+}

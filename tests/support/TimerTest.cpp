@@ -1,0 +1,77 @@
+//===- tests/support/TimerTest.cpp ---------------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace sc;
+
+TEST(Timer, AccumulatesAcrossStartStopCycles) {
+  Timer T;
+  for (int I = 0; I != 3; ++I) {
+    T.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    T.stop();
+  }
+  EXPECT_GE(T.millis(), 5.0);
+  EXPECT_EQ(T.micros(), T.nanos() / 1000.0);
+}
+
+TEST(Timer, ResetClears) {
+  Timer T;
+  T.start();
+  T.stop();
+  T.reset();
+  EXPECT_EQ(T.nanos(), 0u);
+}
+
+TEST(Timer, Accumulate) {
+  Timer A, B;
+  A.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  A.stop();
+  B.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  B.stop();
+  uint64_t ANanos = A.nanos();
+  A.accumulate(B);
+  EXPECT_EQ(A.nanos(), ANanos + B.nanos());
+}
+
+TEST(ScopedTimer, TimesScope) {
+  Timer T;
+  {
+    ScopedTimer S(T);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(T.millis(), 1.0);
+}
+
+TEST(TimerGroup, NamedTimersAndTotal) {
+  TimerGroup G;
+  {
+    ScopedTimer S(G.get("alpha"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  {
+    ScopedTimer S(G.get("beta"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(G.timers().size(), 2u);
+  EXPECT_GE(G.totalMicros(),
+            G.get("alpha").micros()); // Total covers both members.
+  G.reset();
+  EXPECT_TRUE(G.timers().empty());
+}
+
+TEST(Timer, NowNanosMonotonic) {
+  uint64_t A = nowNanos();
+  uint64_t B = nowNanos();
+  EXPECT_LE(A, B);
+}

@@ -1,0 +1,237 @@
+//===- tests/transforms/CFGOptTest.cpp - simplifycfg -------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+TEST(SimplifyCFG, FoldsConstantBranch) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  condbr true, b1, b2
+b1:
+  ret %x
+b2:
+  ret 0
+}
+)");
+  auto P = createSimplifyCFGPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(F->numBlocks(), 1u) << "taken arm merges, dead arm removed";
+  EXPECT_TRUE(isa<RetInst>(F->entry()->terminator()));
+}
+
+TEST(SimplifyCFG, EqualTargetsBecomeBr) {
+  auto P = createSimplifyCFGPass();
+  bool Changed = expectPassPreservesBehavior(R"(fn @f(i1 %c) -> i64 {
+b0:
+  condbr %c, b1, b1
+b1:
+  ret 7
+}
+)", *P, "f", {1});
+  EXPECT_TRUE(Changed);
+}
+
+TEST(SimplifyCFG, MergesStraightLineChains) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 1
+  br b1
+b1:
+  %t1 = mul %t0, 2
+  br b2
+b2:
+  ret %t1
+}
+)");
+  auto P = createSimplifyCFGPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->numBlocks(), 1u);
+}
+
+TEST(SimplifyCFG, BypassesEmptyForwarder) {
+  auto M = parseIR(R"(fn @f(i1 %c) -> i64 {
+b0:
+  condbr %c, b1, b2
+b1:
+  ret 1
+b2:
+  br b3
+b3:
+  ret 2
+}
+)");
+  auto P = createSimplifyCFGPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_LE(M->getFunction("f")->numBlocks(), 3u);
+}
+
+TEST(SimplifyCFG, ForwarderWithPhiRewiresIncoming) {
+  auto P = createSimplifyCFGPass();
+  // b2 forwards to b3 which has a phi; the incoming must move to b0.
+  bool Changed = expectPassPreservesBehavior(R"(fn @f(i1 %c, i64 %x) -> i64 {
+b0:
+  condbr %c, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t0 = phi i64 [1, b1], [%x, b2]
+  ret %t0
+}
+)", *P, "f", {0, 42});
+  EXPECT_TRUE(Changed);
+}
+
+TEST(SimplifyCFG, DiamondToSelect) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t1 = phi i64 [1, b1], [2, b2]
+  ret %t1
+}
+)");
+  auto P = createSimplifyCFGPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(F->numBlocks(), 1u);
+  bool HasSelect = false;
+  F->forEachInstruction([&](Instruction *I) { HasSelect |= isa<SelectInst>(I); });
+  EXPECT_TRUE(HasSelect);
+
+  auto M2 = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t1 = phi i64 [1, b1], [2, b2]
+  ret %t1
+}
+)");
+  ExecResult A = interpretIR({M.get()}, "f", {-5});
+  ExecResult B = interpretIR({M2.get()}, "f", {-5});
+  expectSameBehavior(A, B);
+  EXPECT_EQ(A.ReturnValue.value_or(0), 1);
+}
+
+TEST(SimplifyCFG, TriangleToSelect) {
+  auto P = createSimplifyCFGPass();
+  bool Changed = expectPassPreservesBehavior(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp sgt %x, 10
+  condbr %t0, b1, b2
+b1:
+  br b2
+b2:
+  %t1 = phi i64 [100, b1], [%x, b0]
+  ret %t1
+}
+)", *P, "f", {50});
+  EXPECT_TRUE(Changed);
+}
+
+TEST(SimplifyCFG, RemovesUnreachableCode) {
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  ret 1
+b1:
+  %t0 = add 1, 2
+  br b2
+b2:
+  ret %t0
+}
+)");
+  auto P = createSimplifyCFGPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->numBlocks(), 1u);
+}
+
+TEST(SimplifyCFG, LoopSkeletonReduced) {
+  // After SCCP proves a loop dead, simplifycfg must collapse it.
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  br b1
+b1:
+  condbr false, b2, b3
+b2:
+  br b1
+b3:
+  ret 9
+}
+)");
+  auto P = createSimplifyCFGPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->numBlocks(), 1u);
+}
+
+TEST(SimplifyCFG, KeepsRealLoops) {
+  auto M = parseIR(R"(fn @f(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t2, b2]
+  %t1 = cmp slt %t0, %n
+  condbr %t1, b2, b3
+b2:
+  %t2 = add %t0, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  auto P = createSimplifyCFGPass();
+  runPass(*M, *P);
+  // The loop must still execute correctly.
+  ExecResult R = interpretIR({M.get()}, "f", {5});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 5);
+}
+
+TEST(SimplifyCFG, IdempotentOnCleanCFG) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var s = 0;
+      for (var i = 0; i < 3; i = i + 1) { s = s + i; }
+      return s;
+    }
+  )");
+  auto P = createSimplifyCFGPass();
+  runPass(*M, *P); // First run may clean IRGen scaffolding.
+  EXPECT_FALSE(runPass(*M, *P)) << "second run must be dormant";
+}
+
+TEST(SimplifyCFG, InfiniteSelfLoopSurvives) {
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  br b1
+b1:
+  br b1
+b2:
+  ret 0
+}
+)");
+  auto P = createSimplifyCFGPass();
+  runPass(*M, *P);
+  // Must not crash or produce invalid IR; the loop stays.
+  expectValid(*M);
+  EXPECT_GE(M->getFunction("f")->numBlocks(), 2u);
+}

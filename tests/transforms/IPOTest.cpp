@@ -1,0 +1,382 @@
+//===- tests/transforms/IPOTest.cpp - inline/globalopt/strength/reassoc ------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+unsigned countCalls(const Function &F) {
+  unsigned N = 0;
+  F.forEachInstruction([&](Instruction *I) {
+    if (isa<CallInst>(I))
+      ++N;
+  });
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Inliner
+//===----------------------------------------------------------------------===//
+
+TEST(Inliner, InlinesSmallCallee) {
+  auto M = parseIR(R"(fn @small(i64 %x) -> i64 {
+b0:
+  %t0 = mul %x, 3
+  ret %t0
+}
+
+fn @caller(i64 %y) -> i64 {
+b0:
+  %t0 = call @small(%y) -> i64
+  %t1 = add %t0, 1
+  ret %t1
+}
+)");
+  auto P = createInlinerPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(countCalls(*M->getFunction("caller")), 0u);
+  ExecResult R = interpretIR({M.get()}, "caller", {5});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 16);
+}
+
+TEST(Inliner, InlinesMultiReturnCallee) {
+  auto P = createInlinerPass();
+  bool Changed = expectPassPreservesBehavior(R"(fn @abs(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  %t1 = sub 0, %x
+  ret %t1
+b2:
+  ret %x
+}
+
+fn @caller(i64 %y) -> i64 {
+b0:
+  %t0 = call @abs(%y) -> i64
+  %t1 = call @abs(5) -> i64
+  %t2 = add %t0, %t1
+  ret %t2
+}
+)", *P, "caller", {-9});
+  EXPECT_TRUE(Changed);
+}
+
+TEST(Inliner, SkipsRecursiveCallee) {
+  auto M = parseIR(R"(fn @rec(i64 %n) -> i64 {
+b0:
+  %t0 = cmp sle %n, 0
+  condbr %t0, b1, b2
+b1:
+  ret 0
+b2:
+  %t1 = sub %n, 1
+  %t2 = call @rec(%t1) -> i64
+  %t3 = add %t2, %n
+  ret %t3
+}
+
+fn @caller() -> i64 {
+b0:
+  %t0 = call @rec(4) -> i64
+  ret %t0
+}
+)");
+  auto P = createInlinerPass();
+  EXPECT_FALSE(runPass(*M, *P));
+  EXPECT_EQ(countCalls(*M->getFunction("caller")), 1u);
+}
+
+TEST(Inliner, SkipsLargeCallee) {
+  // Build a callee above the size threshold.
+  std::string Big = "fn @big(i64 %x) -> i64 {\nb0:\n";
+  std::string Prev = "%x";
+  for (int I = 0; I != 30; ++I) {
+    Big += "  %t" + std::to_string(I) + " = add " + Prev + ", " +
+           std::to_string(I) + "\n";
+    Prev = "%t" + std::to_string(I);
+  }
+  Big += "  ret " + Prev + "\n}\n\n";
+  Big += R"(fn @caller(i64 %y) -> i64 {
+b0:
+  %t0 = call @big(%y) -> i64
+  ret %t0
+}
+)";
+  auto M = parseIR(Big);
+  auto P = createInlinerPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+TEST(Inliner, InlinesTransitively) {
+  // leaf into mid, then (mid+leaf) into top — bottom-up order.
+  auto M = parseIR(R"(fn @leaf(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 1
+  ret %t0
+}
+
+fn @mid(i64 %x) -> i64 {
+b0:
+  %t0 = call @leaf(%x) -> i64
+  %t1 = mul %t0, 2
+  ret %t1
+}
+
+fn @top(i64 %x) -> i64 {
+b0:
+  %t0 = call @mid(%x) -> i64
+  ret %t0
+}
+)");
+  auto P = createInlinerPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(countCalls(*M->getFunction("top")), 0u);
+  ExecResult R = interpretIR({M.get()}, "top", {10});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 22);
+}
+
+TEST(Inliner, CalleeWithLoopInlined) {
+  auto P = createInlinerPass();
+  expectPassPreservesBehavior(R"(fn @sum(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t3, b2]
+  %t1 = phi i64 [0, b0], [%t4, b2]
+  %t2 = cmp slt %t1, %n
+  condbr %t2, b2, b3
+b2:
+  %t3 = add %t0, %t1
+  %t4 = add %t1, 1
+  br b1
+b3:
+  ret %t0
+}
+
+fn @caller(i64 %n) -> i64 {
+b0:
+  %t0 = call @sum(%n) -> i64
+  %t1 = call @sum(3) -> i64
+  %t2 = add %t0, %t1
+  ret %t2
+}
+)", *P, "caller", {5});
+}
+
+TEST(Inliner, PreservesExternVisibility) {
+  // The callee stays in the module even after being inlined
+  // everywhere (other TUs may call it).
+  auto M = parseIR(R"(fn @helper(i64 %x) -> i64 {
+b0:
+  ret %x
+}
+
+fn @caller(i64 %y) -> i64 {
+b0:
+  %t0 = call @helper(%y) -> i64
+  ret %t0
+}
+)");
+  auto P = createInlinerPass();
+  runPass(*M, *P);
+  EXPECT_NE(M->getFunction("helper"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// GlobalOpt
+//===----------------------------------------------------------------------===//
+
+TEST(GlobalOpt, RemovesUnusedGlobal) {
+  auto M = parseIR(R"(global @unused = 5
+global @used = 7
+
+fn @f() -> i64 {
+b0:
+  %t0 = load @used
+  ret %t0
+}
+)");
+  auto P = createGlobalOptPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getGlobal("unused"), nullptr);
+}
+
+TEST(GlobalOpt, FoldsReadOnlyGlobal) {
+  auto M = parseIR(R"(global @konst = 42
+
+fn @f() -> i64 {
+b0:
+  %t0 = load @konst
+  %t1 = add %t0, 1
+  ret %t1
+}
+)");
+  auto P = createGlobalOptPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getGlobal("konst"), nullptr) << "folded away entirely";
+  ExecResult R = interpretIR({M.get()}, "f", {});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 43);
+}
+
+TEST(GlobalOpt, RemovesWriteOnlyGlobal) {
+  auto M = parseIR(R"(global @sink = 0
+global @arr[4]
+
+fn @f(i64 %x) -> i64 {
+b0:
+  store %x, @sink
+  %t0 = gep @arr, 2
+  store %x, %t0
+  ret %x
+}
+)");
+  auto P = createGlobalOptPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getGlobal("sink"), nullptr);
+  EXPECT_EQ(M->getGlobal("arr"), nullptr);
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 1u);
+}
+
+TEST(GlobalOpt, KeepsReadWriteGlobal) {
+  auto M = parseIR(R"(global @state = 0
+
+fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = load @state
+  %t1 = add %t0, %x
+  store %t1, @state
+  ret %t1
+}
+)");
+  auto P = createGlobalOptPass();
+  EXPECT_FALSE(runPass(*M, *P));
+  EXPECT_NE(M->getGlobal("state"), nullptr);
+}
+
+TEST(GlobalOpt, ReadOnlyArrayNotFolded) {
+  // Arrays read through variable indices cannot be folded to their
+  // (zero) initializer by this pass; they must be kept.
+  auto M = parseIR(R"(global @tab[4]
+
+fn @f(i64 %i) -> i64 {
+b0:
+  %t0 = gep @tab, %i
+  %t1 = load %t0
+  ret %t1
+}
+)");
+  auto P = createGlobalOptPass();
+  EXPECT_FALSE(runPass(*M, *P));
+  EXPECT_NE(M->getGlobal("tab"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// StrengthReduce
+//===----------------------------------------------------------------------===//
+
+TEST(StrengthReduce, MulByTwoBecomesAdd) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = mul %x, 2
+  ret %t0
+}
+)");
+  auto P = createStrengthReducePass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("f");
+  bool HasMul = false;
+  F->forEachInstruction([&](Instruction *I) {
+    if (auto *B = dyn_cast<BinaryInst>(I))
+      HasMul |= B->op() == BinOp::Mul;
+  });
+  EXPECT_FALSE(HasMul);
+  ExecResult R = interpretIR({M.get()}, "f", {21});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 42);
+}
+
+TEST(StrengthReduce, SmallConstantsAndNegation) {
+  auto P = createStrengthReducePass();
+  for (int64_t K : {2, 3, 4, -1}) {
+    std::string IR = R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = mul %x, )" + std::to_string(K) + R"(
+  ret %t0
+}
+)";
+    bool Changed = expectPassPreservesBehavior(IR, *P, "f", {17});
+    EXPECT_TRUE(Changed) << "K=" << K;
+  }
+}
+
+TEST(StrengthReduce, LargeConstantsLeftAlone) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = mul %x, 100
+  ret %t0
+}
+)");
+  auto P = createStrengthReducePass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+//===----------------------------------------------------------------------===//
+// Reassociate
+//===----------------------------------------------------------------------===//
+
+TEST(Reassociate, ClustersConstants) {
+  auto M = parseIR(R"(fn @f(i64 %x, i64 %y) -> i64 {
+b0:
+  %t0 = add %x, 1
+  %t1 = add %y, 2
+  %t2 = add %t0, %t1
+  ret %t2
+}
+)");
+  auto Re = createReassociatePass();
+  auto Fold = createConstantFoldPass();
+  EXPECT_TRUE(runPass(*M, *Re));
+  runPass(*M, *Fold);
+  Function *F = M->getFunction("f");
+  // (x + y) + 3: exactly two adds, one constant leaf.
+  EXPECT_EQ(F->instructionCount(), 3u);
+  ExecResult R = interpretIR({M.get()}, "f", {10, 20});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 33);
+}
+
+TEST(Reassociate, DormantWhenCanonical) {
+  auto M = parseIR(R"(fn @f(i64 %x, i64 %y) -> i64 {
+b0:
+  %t0 = add %x, %y
+  %t1 = add %t0, 3
+  ret %t1
+}
+)");
+  auto P = createReassociatePass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+TEST(Reassociate, RespectsMultiUseBoundaries) {
+  auto P = createReassociatePass();
+  // %t0 has two uses: it is not a free interior node.
+  expectPassPreservesBehavior(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 1
+  %t1 = add %t0, 2
+  %t2 = mul %t0, %t1
+  ret %t2
+}
+)", *P, "f", {5});
+}

@@ -1,0 +1,204 @@
+//===- tests/transforms/JumpThreadingTest.cpp ---------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+TEST(JumpThreading, ThreadsConstantPhiEdge) {
+  // P1 always continues to T; P2's fate is dynamic.
+  const char *IR = R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  br b3
+b2:
+  %t1 = cmp sgt %x, 100
+  br b3
+b3:
+  %t2 = phi i1 [true, b1], [%t1, b2]
+  condbr %t2, b4, b5
+b4:
+  ret 1
+b5:
+  ret 0
+}
+)";
+  auto M = parseIR(IR);
+  auto P = createJumpThreadingPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  // b1 now branches straight to the ret-1 block.
+  Function *F = M->getFunction("f");
+  auto *B1Term = dyn_cast<BrInst>(F->block(1)->terminator());
+  ASSERT_NE(B1Term, nullptr);
+  EXPECT_TRUE(isa<RetInst>(B1Term->target()->terminator()));
+
+  auto P2 = createJumpThreadingPass();
+  expectPassPreservesBehavior(IR, *P2, "f", {-5});
+  auto P3 = createJumpThreadingPass();
+  expectPassPreservesBehavior(IR, *P3, "f", {50});
+  auto P4 = createJumpThreadingPass();
+  expectPassPreservesBehavior(IR, *P4, "f", {500});
+}
+
+TEST(JumpThreading, RepairsTargetPhis) {
+  // The join forwards a value phi alongside the condition phi; after
+  // threading, the target's phi must pick up the per-edge value.
+  const char *IR = R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t1 = phi i1 [true, b1], [false, b2]
+  %t2 = phi i64 [10, b1], [20, b2]
+  condbr %t1, b4, b5
+b4:
+  %t3 = phi i64 [%t2, b3]
+  ret %t3
+b5:
+  %t4 = phi i64 [%t2, b3]
+  %t5 = add %t4, 1
+  ret %t5
+}
+)";
+  auto P = createJumpThreadingPass();
+  EXPECT_TRUE(expectPassPreservesBehavior(IR, *P, "f", {-3}));
+  auto P2 = createJumpThreadingPass();
+  expectPassPreservesBehavior(IR, *P2, "f", {3});
+
+  // Fully constant joins collapse to straight-line code after cleanup.
+  auto M = parseIR(IR);
+  auto JT = createJumpThreadingPass();
+  auto Cfg = createSimplifyCFGPass();
+  runPass(*M, *JT);
+  runPass(*M, *Cfg);
+  ExecResult A = interpretIR({M.get()}, "f", {-3});
+  EXPECT_EQ(A.ReturnValue.value_or(-1), 10);
+  ExecResult B = interpretIR({M.get()}, "f", {3});
+  EXPECT_EQ(B.ReturnValue.value_or(-1), 21);
+}
+
+TEST(JumpThreading, SkipsBlocksWithRealCode) {
+  // Non-phi instructions in the join would need duplication; the
+  // limited pass must leave them alone.
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t1 = phi i1 [true, b1], [false, b2]
+  %t2 = mul %x, 2
+  condbr %t1, b4, b5
+b4:
+  ret %t2
+b5:
+  ret 0
+}
+)");
+  auto P = createJumpThreadingPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+TEST(JumpThreading, SkipsDynamicEdges) {
+  auto M = parseIR(R"(fn @f(i1 %a, i1 %b) -> i64 {
+b0:
+  condbr %a, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t0 = phi i1 [%a, b1], [%b, b2]
+  condbr %t0, b4, b5
+b4:
+  ret 1
+b5:
+  ret 0
+}
+)");
+  auto P = createJumpThreadingPass();
+  EXPECT_FALSE(runPass(*M, *P)) << "no constant incoming to thread";
+}
+
+TEST(JumpThreading, LoopHeaderGuardRefused) {
+  // A rotation-shaped header: its phis are used by the loop body, so
+  // the limited pass must refuse (threading would break dominance;
+  // full jump threading would need SSA repair/duplication).
+  const char *IR = R"(fn @f(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i1 [true, b0], [%t4, b2]
+  %t1 = phi i64 [0, b0], [%t3, b2]
+  condbr %t0, b2, b3
+b2:
+  %t3 = add %t1, 1
+  %t4 = cmp slt %t3, %n
+  br b1
+b3:
+  %t5 = phi i64 [%t1, b1]
+  ret %t5
+}
+)";
+  auto M = parseIR(IR);
+  auto P = createJumpThreadingPass();
+  EXPECT_FALSE(runPass(*M, *P))
+      << "body reads the header phi; threading would be unsound";
+  ExecResult R = interpretIR({M.get()}, "f", {5});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 5);
+}
+
+TEST(JumpThreading, EndToEndThroughPipeline) {
+  // Source-level shape that produces a threadable join at O2: a bool
+  // flag assigned on both arms and immediately branched on.
+  ExecResult R = compileAndRun(R"(
+    fn classify(x: int) -> int {
+      var big = false;
+      if (x > 10) { big = true; } else { big = false; }
+      if (big) { return 100; }
+      return 1;
+    }
+    fn main() -> int { return classify(50) + classify(5); }
+  )", OptLevel::O2);
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 101);
+}
+
+TEST(JumpThreading, DormantSecondRun) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt %x, 0
+  condbr %t0, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t1 = phi i1 [true, b1], [false, b2]
+  condbr %t1, b4, b5
+b4:
+  ret 1
+b5:
+  ret 0
+}
+)");
+  auto P = createJumpThreadingPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto P2 = createJumpThreadingPass();
+  EXPECT_FALSE(runPass(*M, *P2));
+}

@@ -1,0 +1,362 @@
+//===- tests/transforms/LoopOptTest.cpp - licm/loopunroll --------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "analysis/LoopInfo.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+const char *InvariantLoopIR = R"(fn @f(i64 %n, i64 %k) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t4, b2]
+  %t1 = phi i64 [0, b0], [%t5, b2]
+  %t2 = cmp slt %t1, %n
+  condbr %t2, b2, b3
+b2:
+  %t3 = mul %k, 7
+  %t4 = add %t0, %t3
+  %t5 = add %t1, 1
+  br b1
+b3:
+  ret %t0
+}
+)";
+
+/// Position of an instruction's block: true if it sits in the entry.
+bool inEntry(const Function &F, Value::Kind K, BinOp Op) {
+  for (size_t I = 0; I != F.entry()->size(); ++I) {
+    auto *Bin = dyn_cast<BinaryInst>(F.entry()->inst(I));
+    if (Bin && Bin->op() == Op)
+      return true;
+  }
+  (void)K;
+  return false;
+}
+
+} // namespace
+
+TEST(LICM, HoistsInvariantArithmetic) {
+  auto M = parseIR(InvariantLoopIR);
+  auto P = createLICMPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("f");
+  EXPECT_TRUE(inEntry(*F, Value::Kind::Binary, BinOp::Mul))
+      << "k*7 must move to the preheader";
+  ExecResult R = interpretIR({M.get()}, "f", {5, 3});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 5 * 21);
+}
+
+TEST(LICM, LeavesVariantCodeInLoop) {
+  auto M = parseIR(InvariantLoopIR);
+  auto P = createLICMPass();
+  runPass(*M, *P);
+  Function *F = M->getFunction("f");
+  // The induction increment must stay in the loop.
+  bool IncInLoop = false;
+  for (size_t B = 1; B != F->numBlocks(); ++B)
+    for (size_t I = 0; I != F->block(B)->size(); ++I)
+      if (auto *Bin = dyn_cast<BinaryInst>(F->block(B)->inst(I)))
+        if (Bin->op() == BinOp::Add)
+          IncInLoop = true;
+  EXPECT_TRUE(IncInLoop);
+}
+
+TEST(LICM, HoistsChainsTogether) {
+  auto P = createLICMPass();
+  bool Changed = expectPassPreservesBehavior(R"(fn @f(i64 %n, i64 %k) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t6, b2]
+  %t1 = phi i64 [0, b0], [%t7, b2]
+  %t2 = cmp slt %t1, %n
+  condbr %t2, b2, b3
+b2:
+  %t3 = mul %k, %k
+  %t4 = add %t3, 5
+  %t5 = sdiv %t4, 3
+  %t6 = add %t0, %t5
+  %t7 = add %t1, 1
+  br b1
+b3:
+  ret %t0
+}
+)", *P, "f", {4, 6});
+  EXPECT_TRUE(Changed);
+}
+
+TEST(LICM, DoesNotHoistLoadPastAliasingStore) {
+  auto P = createLICMPass();
+  // The loop writes @g, so the load of @g is not invariant.
+  auto M = parseIR(R"(global @g = 1
+fn @f(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t5, b2]
+  %t1 = cmp slt %t0, %n
+  condbr %t1, b2, b3
+b2:
+  %t2 = load @g
+  %t3 = add %t2, 1
+  store %t3, @g
+  %t5 = add %t0, 1
+  br b1
+b3:
+  %t6 = load @g
+  ret %t6
+}
+)");
+  runPass(*M, *P);
+  ExecResult R = interpretIR({M.get()}, "f", {5});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 6) << "g incremented 5 times";
+}
+
+TEST(LICM, HoistsLoadWhenLoopHasNoStores) {
+  auto M = parseIR(R"(global @g = 11
+fn @f(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t4, b2]
+  %t1 = phi i64 [0, b0], [%t5, b2]
+  %t2 = cmp slt %t1, %n
+  condbr %t2, b2, b3
+b2:
+  %t3 = load @g
+  %t4 = add %t0, %t3
+  %t5 = add %t1, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  auto P = createLICMPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  // The load should now be outside the loop body block.
+  Function *F = M->getFunction("f");
+  bool LoadInEntry = false;
+  for (size_t I = 0; I != F->entry()->size(); ++I)
+    LoadInEntry |= isa<LoadInst>(F->entry()->inst(I));
+  EXPECT_TRUE(LoadInEntry);
+  ExecResult R = interpretIR({M.get()}, "f", {3});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 33);
+}
+
+TEST(LICM, DormantSecondRun) {
+  auto M = parseIR(InvariantLoopIR);
+  auto P = createLICMPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+//===----------------------------------------------------------------------===//
+// LoopUnroll
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *CountedLoopIR = R"(fn @f(i64 %k) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t4, b2]
+  %t1 = phi i64 [0, b0], [%t5, b2]
+  %t2 = cmp slt %t1, 4
+  condbr %t2, b2, b3
+b2:
+  %t3 = mul %t1, %k
+  %t4 = add %t0, %t3
+  %t5 = add %t1, 1
+  br b1
+b3:
+  ret %t0
+}
+)";
+
+} // namespace
+
+TEST(LoopUnroll, PeelsCountedLoop) {
+  auto M = parseIR(CountedLoopIR);
+  auto P = createLoopUnrollPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("f");
+  EXPECT_GT(F->numBlocks(), 4u) << "peeled copies were added";
+  // Behavior preserved: sum of i*k for i in [0,4) = 6k.
+  ExecResult R = interpretIR({M.get()}, "f", {10});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 60);
+}
+
+TEST(LoopUnroll, FullPipelineEliminatesLoop) {
+  // unroll + sccp + simplifycfg + instsimplify + constfold + dce
+  // should reduce a constant-trip loop over constants to a constant.
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t4, b2]
+  %t1 = phi i64 [0, b0], [%t5, b2]
+  %t2 = cmp slt %t1, 5
+  condbr %t2, b2, b3
+b2:
+  %t3 = mul %t1, %t1
+  %t4 = add %t0, %t3
+  %t5 = add %t1, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  std::vector<std::unique_ptr<FunctionPass>> Passes;
+  Passes.push_back(createLoopUnrollPass());
+  Passes.push_back(createSCCPPass());
+  Passes.push_back(createSimplifyCFGPass());
+  Passes.push_back(createInstSimplifyPass());
+  Passes.push_back(createConstantFoldPass());
+  Passes.push_back(createDCEPass());
+  Passes.push_back(createSimplifyCFGPass());
+  for (auto &P : Passes)
+    runPass(*M, *P);
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(F->numBlocks(), 1u);
+  EXPECT_EQ(F->instructionCount(), 1u) << "fully evaluated at compile time";
+  auto *Ret = cast<RetInst>(F->entry()->terminator());
+  EXPECT_EQ(cast<ConstantInt>(Ret->value())->value(), 0 + 1 + 4 + 9 + 16);
+}
+
+TEST(LoopUnroll, SkipsUncountedLoop) {
+  auto M = parseIR(R"(fn @f(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t2, b2]
+  %t1 = cmp slt %t0, %n
+  condbr %t1, b2, b3
+b2:
+  %t2 = add %t0, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  auto P = createLoopUnrollPass();
+  EXPECT_FALSE(runPass(*M, *P)) << "bound is not a constant";
+}
+
+TEST(LoopUnroll, SkipsLargeTripCounts) {
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t2, b2]
+  %t1 = cmp slt %t0, 1000
+  condbr %t1, b2, b3
+b2:
+  %t2 = add %t0, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  auto P = createLoopUnrollPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+TEST(LoopUnroll, ZeroTripLoopNotPeeled) {
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [9, b0], [%t2, b2]
+  %t1 = cmp slt %t0, 5
+  condbr %t1, b2, b3
+b2:
+  %t2 = add %t0, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  auto P = createLoopUnrollPass();
+  EXPECT_FALSE(runPass(*M, *P)) << "trip count 0: nothing to peel";
+}
+
+TEST(LoopUnroll, DecrementingLoop) {
+  auto P = createLoopUnrollPass();
+  bool Changed = expectPassPreservesBehavior(R"(fn @f(i64 %k) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [6, b0], [%t3, b2]
+  %t1 = phi i64 [0, b0], [%t4, b2]
+  %t2 = cmp sgt %t0, 0
+  condbr %t2, b2, b3
+b2:
+  %t3 = sub %t0, 2
+  %t4 = add %t1, %k
+  br b1
+b3:
+  ret %t1
+}
+)", *P, "f", {5});
+  EXPECT_TRUE(Changed);
+}
+
+TEST(LoopUnroll, SwappedExitEdges) {
+  // Loop continues on the FALSE edge (cond is an exit test).
+  auto P = createLoopUnrollPass();
+  bool Changed = expectPassPreservesBehavior(R"(fn @f(i64 %k) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t3, b2]
+  %t1 = phi i64 [0, b0], [%t4, b2]
+  %t2 = cmp sge %t0, 3
+  condbr %t2, b3, b2
+b2:
+  %t3 = add %t0, 1
+  %t4 = add %t1, %k
+  br b1
+b3:
+  ret %t1
+}
+)", *P, "f", {7});
+  EXPECT_TRUE(Changed);
+}
+
+TEST(LoopUnroll, ValueUsedInExitBlockLCSSA) {
+  // The loop-carried sum is used by arithmetic in the exit block; the
+  // pass must build exit phis (LCSSA) before peeling.
+  auto P = createLoopUnrollPass();
+  bool Changed = expectPassPreservesBehavior(R"(fn @f(i64 %k) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t4, b2]
+  %t1 = phi i64 [0, b0], [%t5, b2]
+  %t2 = cmp slt %t1, 3
+  condbr %t2, b2, b3
+b2:
+  %t3 = mul %t1, %k
+  %t4 = add %t0, %t3
+  %t5 = add %t1, 1
+  br b1
+b3:
+  %t6 = mul %t0, 100
+  %t7 = add %t6, %t1
+  ret %t7
+}
+)", *P, "f", {2});
+  EXPECT_TRUE(Changed);
+}

@@ -1,0 +1,161 @@
+//===- tests/transforms/Mem2RegTest.cpp --------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+unsigned countKind(const Function &F, Value::Kind K) {
+  unsigned N = 0;
+  F.forEachInstruction([&](Instruction *I) {
+    if (I->kind() == K)
+      ++N;
+  });
+  return N;
+}
+
+} // namespace
+
+TEST(Mem2Reg, PromotesStraightLine) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var x = 1;
+      x = x + 2;
+      return x * 3;
+    }
+  )");
+  auto P = createMem2RegPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("main");
+  EXPECT_EQ(countKind(*F, Value::Kind::Alloca), 0u);
+  EXPECT_EQ(countKind(*F, Value::Kind::Load), 0u);
+  EXPECT_EQ(countKind(*F, Value::Kind::Store), 0u);
+
+  ExecResult R = interpretIR({M.get()}, "main", {});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 9);
+}
+
+TEST(Mem2Reg, InsertsPhisAtJoins) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var x = 0;
+      if (1 < 2) { x = 5; } else { x = 7; }
+      return x;
+    }
+  )");
+  auto P = createMem2RegPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("main");
+  EXPECT_EQ(countKind(*F, Value::Kind::Alloca), 0u);
+  EXPECT_GE(countKind(*F, Value::Kind::Phi), 1u);
+  EXPECT_EQ(interpretIR({M.get()}, "main", {}).ReturnValue.value_or(-1), 5);
+}
+
+TEST(Mem2Reg, LoopCarriedVariableBecomesPhi) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var s = 0;
+      var i = 0;
+      while (i < 5) { s = s + i; i = i + 1; }
+      return s;
+    }
+  )");
+  auto P = createMem2RegPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("main");
+  EXPECT_EQ(countKind(*F, Value::Kind::Alloca), 0u);
+  EXPECT_GE(countKind(*F, Value::Kind::Phi), 2u);
+  EXPECT_EQ(interpretIR({M.get()}, "main", {}).ReturnValue.value_or(-1), 10);
+}
+
+TEST(Mem2Reg, ArraysNotPromoted) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var a[4];
+      a[0] = 3;
+      return a[0];
+    }
+  )");
+  auto P = createMem2RegPass();
+  runPass(*M, *P);
+  Function *F = M->getFunction("main");
+  EXPECT_EQ(countKind(*F, Value::Kind::Alloca), 1u)
+      << "indexed arrays must stay in memory";
+  EXPECT_EQ(interpretIR({M.get()}, "main", {}).ReturnValue.value_or(-1), 3);
+}
+
+TEST(Mem2Reg, UninitializedPathReadsZero) {
+  // A variable assigned on only one path: the other path must read 0
+  // (the language's uninitialized-memory semantics).
+  const char *IR = R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = alloca 1
+  %t1 = cmp sgt %x, 0
+  condbr %t1, b1, b2
+b1:
+  store 42, %t0
+  br b2
+b2:
+  %t2 = load %t0
+  ret %t2
+}
+)";
+  auto P = createMem2RegPass();
+  expectPassPreservesBehavior(IR, *P, "f", {5});
+  expectPassPreservesBehavior(IR, *P, "f", {-5});
+}
+
+TEST(Mem2Reg, ParametersPromoted) {
+  auto M = lowerToIR(R"(
+    fn f(n: int) -> int {
+      n = n * 2;
+      return n + 1;
+    }
+    fn main() -> int { return f(10); }
+  )");
+  auto P = createMem2RegPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(countKind(*M->getFunction("f"), Value::Kind::Alloca), 0u);
+  EXPECT_EQ(interpretIR({M.get()}, "main", {}).ReturnValue.value_or(-1), 21);
+}
+
+TEST(Mem2Reg, IdempotentSecondRunIsDormant) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var a = 3;
+      var b = 4;
+      if (a < b) { a = b; }
+      return a;
+    }
+  )");
+  auto P = createMem2RegPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_FALSE(runPass(*M, *P))
+      << "second run must report no change (dormancy)";
+}
+
+TEST(Mem2Reg, BoolVariablePromoted) {
+  auto M = lowerToIR(R"(
+    fn main() -> int {
+      var flag = true;
+      var i = 0;
+      while (flag) {
+        i = i + 1;
+        if (i > 3) { flag = false; }
+      }
+      return i;
+    }
+  )");
+  auto P = createMem2RegPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(interpretIR({M.get()}, "main", {}).ReturnValue.value_or(-1), 4);
+}

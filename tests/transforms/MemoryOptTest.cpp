@@ -1,0 +1,344 @@
+//===- tests/transforms/MemoryOptTest.cpp - cse/loadforward/dse --------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "transforms/MemoryUtils.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+//===----------------------------------------------------------------------===//
+// Alias reasoning
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryUtils, AliasDecisions) {
+  auto M = parseIR(R"(global @g[8]
+global @h[8]
+
+fn @f(i64 %i) -> i64 {
+b0:
+  %t0 = alloca 4
+  %t1 = gep %t0, 1
+  %t2 = gep %t0, 2
+  %t3 = gep %t0, %i
+  %t4 = gep @g, 1
+  %t5 = gep @h, 1
+  ret 0
+}
+)");
+  Function *F = M->getFunction("f");
+  Value *A = F->entry()->inst(0);      // alloca
+  Value *A1 = F->entry()->inst(1);     // a+1
+  Value *A2 = F->entry()->inst(2);     // a+2
+  Value *AI = F->entry()->inst(3);     // a+i
+  Value *G1 = F->entry()->inst(4);     // g+1
+  Value *H1 = F->entry()->inst(5);     // h+1
+
+  EXPECT_EQ(aliasPointers(A1, A1), AliasResult::MustAlias);
+  EXPECT_EQ(aliasPointers(A1, A2), AliasResult::NoAlias);
+  EXPECT_EQ(aliasPointers(A1, AI), AliasResult::MayAlias);
+  EXPECT_EQ(aliasPointers(A1, G1), AliasResult::NoAlias)
+      << "different allocation sites never alias";
+  EXPECT_EQ(aliasPointers(G1, H1), AliasResult::NoAlias);
+  EXPECT_EQ(aliasPointers(A, A1), AliasResult::NoAlias)
+      << "base is offset 0, gep is offset 1";
+}
+
+//===----------------------------------------------------------------------===//
+// CSE
+//===----------------------------------------------------------------------===//
+
+TEST(CSE, EliminatesRepeatedArithmetic) {
+  auto M = parseIR(R"(fn @f(i64 %x, i64 %y) -> i64 {
+b0:
+  %t0 = add %x, %y
+  %t1 = add %x, %y
+  %t2 = mul %t0, %t1
+  ret %t2
+}
+)");
+  auto P = createCSEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 3u);
+}
+
+TEST(CSE, WorksAcrossDominatedBlocks) {
+  auto M = parseIR(R"(fn @f(i64 %x, i1 %c) -> i64 {
+b0:
+  %t0 = mul %x, %x
+  condbr %c, b1, b2
+b1:
+  %t1 = mul %x, %x
+  ret %t1
+b2:
+  ret %t0
+}
+)");
+  auto P = createCSEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  // The duplicate in b1 now returns %t0.
+  auto *Ret = cast<RetInst>(M->getFunction("f")->block(1)->terminator());
+  EXPECT_EQ(Ret->value(), M->getFunction("f")->entry()->inst(0));
+}
+
+TEST(CSE, DoesNotMergeAcrossSiblingBranches) {
+  auto M = parseIR(R"(fn @f(i64 %x, i1 %c) -> i64 {
+b0:
+  condbr %c, b1, b2
+b1:
+  %t0 = mul %x, %x
+  ret %t0
+b2:
+  %t1 = mul %x, %x
+  ret %t1
+}
+)");
+  auto P = createCSEPass();
+  EXPECT_FALSE(runPass(*M, *P))
+      << "neither branch dominates the other";
+}
+
+TEST(CSE, DifferentOpcodesNotMerged) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 1
+  %t1 = sub %x, 1
+  %t2 = add %t0, %t1
+  ret %t2
+}
+)");
+  auto P = createCSEPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+TEST(CSE, GepAndSelectMerged) {
+  auto M = parseIR(R"(fn @f(i64 %i, i1 %c) -> i64 {
+b0:
+  %t0 = alloca 8
+  %t1 = gep %t0, %i
+  %t2 = gep %t0, %i
+  store 1, %t1
+  %t3 = load %t2
+  %t4 = select i64 %c, %t3, %i
+  %t5 = select i64 %c, %t3, %i
+  %t6 = add %t4, %t5
+  ret %t6
+}
+)");
+  auto P = createCSEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 7u);
+}
+
+//===----------------------------------------------------------------------===//
+// LoadForward
+//===----------------------------------------------------------------------===//
+
+TEST(LoadForward, ForwardsStoreToLoad) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = alloca 1
+  store %x, %t0
+  %t1 = load %t0
+  ret %t1
+}
+)");
+  auto P = createLoadForwardPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto *Ret = cast<RetInst>(M->getFunction("f")->entry()->terminator());
+  EXPECT_TRUE(isa<Argument>(Ret->value()));
+}
+
+TEST(LoadForward, RepeatedLoadsMerged) {
+  auto M = parseIR(R"(global @g = 3
+fn @f() -> i64 {
+b0:
+  %t0 = load @g
+  %t1 = load @g
+  %t2 = add %t0, %t1
+  ret %t2
+}
+)");
+  auto P = createLoadForwardPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 3u);
+}
+
+TEST(LoadForward, CallInvalidatesGlobalsOnly) {
+  auto M = parseIR(R"(global @g = 3
+fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = alloca 1
+  store %x, %t0
+  %t1 = load @g
+  call @print(%x) -> void
+  %t2 = load @g
+  %t3 = load %t0
+  %t4 = add %t2, %t3
+  ret %t4
+}
+)");
+  auto P = createLoadForwardPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("f");
+  // The alloca load forwards (%x); the second global load must stay.
+  unsigned Loads = 0;
+  F->forEachInstruction([&](Instruction *I) {
+    if (isa<LoadInst>(I))
+      ++Loads;
+  });
+  EXPECT_EQ(Loads, 2u) << "both @g loads survive the call barrier; "
+                          "the alloca load is forwarded";
+}
+
+TEST(LoadForward, MayAliasStoreInvalidates) {
+  auto P = createLoadForwardPass();
+  // Store to a[i] may alias a[1]: the load must not be forwarded.
+  auto M = parseIR(R"(fn @f(i64 %i) -> i64 {
+b0:
+  %t0 = alloca 8
+  %t1 = gep %t0, 1
+  store 10, %t1
+  %t2 = gep %t0, %i
+  store 20, %t2
+  %t3 = load %t1
+  ret %t3
+}
+)");
+  runPass(*M, *P);
+  // Whatever the pass did, behavior must match: f(1) == 20, f(2) == 10.
+  expectPassPreservesBehavior(R"(fn @f(i64 %i) -> i64 {
+b0:
+  %t0 = alloca 8
+  %t1 = gep %t0, 1
+  store 10, %t1
+  %t2 = gep %t0, %i
+  store 20, %t2
+  %t3 = load %t1
+  ret %t3
+}
+)", *P, "f", {1});
+  unsigned Loads = 0;
+  M->getFunction("f")->forEachInstruction([&](Instruction *I) {
+    if (isa<LoadInst>(I))
+      ++Loads;
+  });
+  EXPECT_EQ(Loads, 1u) << "the load must survive";
+}
+
+TEST(LoadForward, NoAliasStoreDoesNotInvalidate) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = alloca 8
+  %t1 = gep %t0, 1
+  %t2 = gep %t0, 2
+  store %x, %t1
+  store 99, %t2
+  %t3 = load %t1
+  ret %t3
+}
+)");
+  auto P = createLoadForwardPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto *Ret = cast<RetInst>(M->getFunction("f")->entry()->terminator());
+  EXPECT_TRUE(isa<Argument>(Ret->value()))
+      << "store to a different constant offset cannot interfere";
+}
+
+//===----------------------------------------------------------------------===//
+// DSE
+//===----------------------------------------------------------------------===//
+
+TEST(DSE, RemovesOverwrittenStore) {
+  auto M = parseIR(R"(global @g = 0
+fn @f(i64 %x) -> i64 {
+b0:
+  store 1, @g
+  store %x, @g
+  %t0 = load @g
+  ret %t0
+}
+)");
+  auto P = createDSEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  unsigned Stores = 0;
+  M->getFunction("f")->forEachInstruction([&](Instruction *I) {
+    if (isa<StoreInst>(I))
+      ++Stores;
+  });
+  EXPECT_EQ(Stores, 1u);
+  expectPassPreservesBehavior(R"(global @g = 0
+fn @f(i64 %x) -> i64 {
+b0:
+  store 1, @g
+  store %x, @g
+  %t0 = load @g
+  ret %t0
+}
+)", *P, "f", {42});
+}
+
+TEST(DSE, InterveningLoadBlocksElimination) {
+  auto M = parseIR(R"(global @g = 0
+fn @f(i64 %x) -> i64 {
+b0:
+  store 1, @g
+  %t0 = load @g
+  store %x, @g
+  %t1 = add %t0, 0
+  ret %t1
+}
+)");
+  auto P = createDSEPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+TEST(DSE, CallBlocksGlobalElimination) {
+  auto M = parseIR(R"(global @g = 0
+fn @f(i64 %x) -> i64 {
+b0:
+  store 1, @g
+  call @print(%x) -> void
+  store %x, @g
+  ret %x
+}
+)");
+  auto P = createDSEPass();
+  EXPECT_FALSE(runPass(*M, *P))
+      << "the callee might read @g between the stores";
+}
+
+TEST(DSE, WriteOnlyAllocaRemoved) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = alloca 4
+  %t1 = gep %t0, 1
+  store %x, %t1
+  store 5, %t0
+  ret %x
+}
+)");
+  auto P = createDSEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 1u)
+      << "never-read alloca and all its stores vanish";
+}
+
+TEST(DSE, ReadAllocaKept) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = alloca 1
+  store %x, %t0
+  %t1 = load %t0
+  ret %t1
+}
+)");
+  auto P = createDSEPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}

@@ -1,0 +1,404 @@
+//===- tests/transforms/ScalarOptTest.cpp - constfold/instsimplify/sccp/dce --===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "transforms/FoldUtils.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+//===----------------------------------------------------------------------===//
+// Constant folding semantics (shared with the VM)
+//===----------------------------------------------------------------------===//
+
+TEST(FoldUtils, WrappingArithmetic) {
+  EXPECT_EQ(evalBinOp(BinOp::Add, INT64_MAX, 1), INT64_MIN);
+  EXPECT_EQ(evalBinOp(BinOp::Sub, INT64_MIN, 1), INT64_MAX);
+  EXPECT_EQ(evalBinOp(BinOp::Mul, INT64_MAX, 2), -2);
+}
+
+TEST(FoldUtils, TotalDivision) {
+  EXPECT_EQ(evalBinOp(BinOp::SDiv, 7, 0), 0);
+  EXPECT_EQ(evalBinOp(BinOp::SRem, 7, 0), 0);
+  EXPECT_EQ(evalBinOp(BinOp::SDiv, INT64_MIN, -1), INT64_MIN);
+  EXPECT_EQ(evalBinOp(BinOp::SRem, INT64_MIN, -1), 0);
+  EXPECT_EQ(evalBinOp(BinOp::SDiv, -7, 2), -3) << "C-style truncation";
+  EXPECT_EQ(evalBinOp(BinOp::SRem, -7, 2), -1);
+}
+
+TEST(FoldUtils, Comparisons) {
+  EXPECT_TRUE(evalCmp(CmpPred::SLT, -1, 0));
+  EXPECT_FALSE(evalCmp(CmpPred::SGT, -1, 0));
+  EXPECT_TRUE(evalCmp(CmpPred::EQ, 5, 5));
+  EXPECT_TRUE(evalCmp(CmpPred::SLE, 5, 5));
+  EXPECT_TRUE(evalCmp(CmpPred::SGE, 5, 5));
+  EXPECT_FALSE(evalCmp(CmpPred::NE, 5, 5));
+}
+
+//===----------------------------------------------------------------------===//
+// ConstantFold
+//===----------------------------------------------------------------------===//
+
+TEST(ConstantFold, CascadingFolds) {
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  %t0 = add 2, 3
+  %t1 = mul %t0, 4
+  %t2 = sub %t1, 5
+  ret %t2
+}
+)");
+  auto P = createConstantFoldPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(F->instructionCount(), 1u) << "everything folds into ret 15";
+  auto *Ret = cast<RetInst>(F->entry()->terminator());
+  EXPECT_EQ(cast<ConstantInt>(Ret->value())->value(), 15);
+}
+
+TEST(ConstantFold, FoldsCmpAndSelect) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp slt 3, 5
+  %t1 = select i64 %t0, %x, 0
+  ret %t1
+}
+)");
+  auto P = createConstantFoldPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto *Ret = cast<RetInst>(M->getFunction("f")->entry()->terminator());
+  EXPECT_TRUE(isa<Argument>(Ret->value()));
+}
+
+TEST(ConstantFold, LeavesNonConstantAlone) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 3
+  ret %t0
+}
+)");
+  auto P = createConstantFoldPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+//===----------------------------------------------------------------------===//
+// InstSimplify
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Applies instsimplify (plus constfold to clean residue) and returns
+/// the instruction count of @f.
+size_t simplifiedSize(const std::string &IR) {
+  auto M = parseIR(IR);
+  auto P1 = createInstSimplifyPass();
+  auto P2 = createConstantFoldPass();
+  runPass(*M, *P1);
+  runPass(*M, *P2);
+  runPass(*M, *P1);
+  return M->getFunction("f")->instructionCount();
+}
+
+} // namespace
+
+TEST(InstSimplify, AlgebraicIdentities) {
+  // x+0, x*1, x-0, x/1 all collapse to returning %x directly.
+  EXPECT_EQ(simplifiedSize(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 0
+  %t1 = mul %t0, 1
+  %t2 = sub %t1, 0
+  %t3 = sdiv %t2, 1
+  ret %t3
+}
+)"), 1u);
+}
+
+TEST(InstSimplify, ZeroAbsorbers) {
+  EXPECT_EQ(simplifiedSize(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = mul %x, 0
+  %t1 = sub %x, %x
+  %t2 = srem %x, 1
+  %t3 = add %t0, %t1
+  %t4 = add %t3, %t2
+  ret %t4
+}
+)"), 1u);
+}
+
+TEST(InstSimplify, ConstantCanonicalizedToRHS) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add 5, %x
+  ret %t0
+}
+)");
+  auto P = createInstSimplifyPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto *Add = cast<BinaryInst>(M->getFunction("f")->entry()->inst(0));
+  EXPECT_TRUE(isa<Argument>(Add->lhs()));
+  EXPECT_TRUE(isa<ConstantInt>(Add->rhs()));
+}
+
+TEST(InstSimplify, AddChainFolding) {
+  // (x + 2) + 3 -> x + 5.
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 2
+  %t1 = add %t0, 3
+  ret %t1
+}
+)");
+  auto P = createInstSimplifyPass();
+  auto DCE = createDCEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  runPass(*M, *DCE);
+  Function *F = M->getFunction("f");
+  EXPECT_EQ(F->instructionCount(), 2u);
+  auto *Add = cast<BinaryInst>(F->entry()->inst(0));
+  EXPECT_EQ(cast<ConstantInt>(Add->rhs())->value(), 5);
+}
+
+TEST(InstSimplify, CmpSameOperands) {
+  EXPECT_EQ(simplifiedSize(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp sle %x, %x
+  %t1 = select i64 %t0, 1, 0
+  ret %t1
+}
+)"), 1u);
+}
+
+TEST(InstSimplify, NotOfCmpInverted) {
+  // The frontend's "not" idiom folds into an inverted predicate.
+  auto M = parseIR(R"(fn @f(i64 %x) -> i1 {
+b0:
+  %t0 = cmp slt %x, 5
+  %t1 = cmp eq i1 %t0, false
+  ret %t1
+}
+)");
+  auto P = createInstSimplifyPass();
+  auto DCE = createDCEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  runPass(*M, *DCE);
+  Function *F = M->getFunction("f");
+  ASSERT_EQ(F->instructionCount(), 2u);
+  auto *Cmp = cast<CmpInst>(F->entry()->inst(0));
+  EXPECT_EQ(Cmp->pred(), CmpPred::SGE);
+}
+
+TEST(InstSimplify, SelectSameArms) {
+  EXPECT_EQ(simplifiedSize(R"(fn @f(i64 %x, i1 %c) -> i64 {
+b0:
+  %t0 = select i64 %c, %x, %x
+  ret %t0
+}
+)"), 1u);
+}
+
+TEST(InstSimplify, PreservesBehaviorOnDivEdgeCases) {
+  auto P = createInstSimplifyPass();
+  // x / 0 -> 0 rewrite must match runtime semantics.
+  expectPassPreservesBehavior(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = sdiv %x, 0
+  %t1 = srem %x, 0
+  %t2 = add %t0, %t1
+  ret %t2
+}
+)", *P, "f", {123});
+}
+
+//===----------------------------------------------------------------------===//
+// SCCP
+//===----------------------------------------------------------------------===//
+
+TEST(SCCP, PropagatesThroughPhis) {
+  auto M = parseIR(R"(fn @f(i1 %c) -> i64 {
+b0:
+  condbr %c, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t0 = phi i64 [7, b1], [7, b2]
+  %t1 = add %t0, 1
+  ret %t1
+}
+)");
+  auto P = createSCCPPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto *Ret = cast<RetInst>(M->getFunction("f")->block(3)->terminator());
+  EXPECT_EQ(cast<ConstantInt>(Ret->value())->value(), 8);
+}
+
+TEST(SCCP, ResolvesConditionalConstants) {
+  // The false edge is never executable, so the phi sees only 10.
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  %t0 = cmp slt 1, 2
+  condbr %t0, b1, b2
+b1:
+  br b3
+b2:
+  br b3
+b3:
+  %t1 = phi i64 [10, b1], [20, b2]
+  ret %t1
+}
+)");
+  auto P = createSCCPPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto *Ret = cast<RetInst>(M->getFunction("f")->block(3)->terminator());
+  EXPECT_EQ(cast<ConstantInt>(Ret->value())->value(), 10);
+}
+
+TEST(SCCP, LoopInductionNotConstant) {
+  auto M = parseIR(R"(fn @f(i64 %n) -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [0, b0], [%t2, b2]
+  %t1 = cmp slt %t0, %n
+  condbr %t1, b2, b3
+b2:
+  %t2 = add %t0, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  auto P = createSCCPPass();
+  EXPECT_FALSE(runPass(*M, *P)) << "nothing constant here";
+}
+
+TEST(SCCP, DeadLoopAfterPeelBecomesConstant) {
+  // The shape LoopUnroll leaves behind: a loop whose entry value makes
+  // the guard false, so SCCP must prove the body unreachable and fold
+  // the exit value.
+  auto M = parseIR(R"(fn @f() -> i64 {
+b0:
+  br b1
+b1:
+  %t0 = phi i64 [5, b0], [%t2, b2]
+  %t1 = cmp slt %t0, 5
+  condbr %t1, b2, b3
+b2:
+  %t2 = add %t0, 1
+  br b1
+b3:
+  ret %t0
+}
+)");
+  auto P = createSCCPPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  auto *Ret = cast<RetInst>(M->getFunction("f")->block(3)->terminator());
+  EXPECT_EQ(cast<ConstantInt>(Ret->value())->value(), 5);
+}
+
+TEST(SCCP, PreservesBehavior) {
+  auto P = createSCCPPass();
+  expectPassPreservesBehavior(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = cmp sgt 10, 3
+  condbr %t0, b1, b2
+b1:
+  %t1 = mul %x, 2
+  ret %t1
+b2:
+  ret 0
+}
+)", *P, "f", {21});
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+TEST(DCE, RemovesDeadExpressionTrees) {
+  auto M = parseIR(R"(fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = add %x, 1
+  %t1 = mul %t0, 2
+  %t2 = sub %t1, 3
+  ret %x
+}
+)");
+  auto P = createDCEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 1u);
+}
+
+TEST(DCE, KeepsSideEffects) {
+  auto M = parseIR(R"(global @g = 0
+fn @f(i64 %x) -> i64 {
+b0:
+  store %x, @g
+  call @print(%x) -> void
+  ret %x
+}
+)");
+  auto P = createDCEPass();
+  EXPECT_FALSE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 3u);
+}
+
+TEST(DCE, RemovesUnusedPureCalls) {
+  auto M = parseIR(R"(fn @pure(i64 %x) -> i64 {
+b0:
+  %t0 = mul %x, %x
+  ret %t0
+}
+
+fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = call @pure(%x) -> i64
+  ret %x
+}
+)");
+  auto P = createDCEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 1u);
+}
+
+TEST(DCE, KeepsUnusedImpureCalls) {
+  auto M = parseIR(R"(global @g = 0
+fn @impure(i64 %x) -> i64 {
+b0:
+  store %x, @g
+  ret %x
+}
+
+fn @f(i64 %x) -> i64 {
+b0:
+  %t0 = call @impure(%x) -> i64
+  ret %x
+}
+)");
+  auto P = createDCEPass();
+  EXPECT_FALSE(runPass(*M, *P));
+}
+
+TEST(DCE, DeadLoadRemovedDeadStoreKept) {
+  auto M = parseIR(R"(global @g = 1
+fn @f() -> i64 {
+b0:
+  %t0 = load @g
+  store 5, @g
+  ret 0
+}
+)");
+  auto P = createDCEPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  // The load goes; the store stays (observable by later readers).
+  EXPECT_EQ(M->getFunction("f")->instructionCount(), 2u);
+}

@@ -1,0 +1,145 @@
+//===- tests/transforms/TailRecursionTest.cpp ---------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "transforms/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+namespace {
+
+unsigned countSelfCalls(const Function &F) {
+  unsigned N = 0;
+  F.forEachInstruction([&](Instruction *I) {
+    if (auto *Call = dyn_cast<CallInst>(I))
+      if (Call->callee() == F.name())
+        ++N;
+  });
+  return N;
+}
+
+} // namespace
+
+TEST(TailRecursion, AccumulatorPatternBecomesLoop) {
+  auto M = lowerToIR(R"(
+    fn sum(n: int, acc: int) -> int {
+      if (n <= 0) { return acc; }
+      return sum(n - 1, acc + n);
+    }
+    fn main() -> int { return sum(10, 0); }
+  )");
+  // Promote first so the tail call is directly visible.
+  auto Mem2Reg = createMem2RegPass();
+  runPass(*M, *Mem2Reg);
+  auto P = createTailRecursionPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(countSelfCalls(*M->getFunction("sum")), 0u);
+  ExecResult R = interpretIR({M.get()}, "main", {});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 55);
+}
+
+TEST(TailRecursion, DeepRecursionNoLongerOverflows) {
+  // 100k tail-recursive frames would blow the VM's depth limit; after
+  // the transform it is a loop.
+  ExecResult R = compileAndRun(R"(
+    fn count(n: int, acc: int) -> int {
+      if (n == 0) { return acc; }
+      return count(n - 1, acc + 1);
+    }
+    fn main() -> int { return count(100000, 0); }
+  )", OptLevel::O2);
+  EXPECT_FALSE(R.Trapped) << R.TrapReason;
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 100000);
+}
+
+TEST(TailRecursion, NonTailCallUntouched) {
+  auto M = lowerToIR(R"(
+    fn fact(n: int) -> int {
+      if (n <= 1) { return 1; }
+      return n * fact(n - 1);
+    }
+  )");
+  auto Mem2Reg = createMem2RegPass();
+  runPass(*M, *Mem2Reg);
+  auto P = createTailRecursionPass();
+  EXPECT_FALSE(runPass(*M, *P))
+      << "the multiply after the call makes it non-tail";
+  EXPECT_EQ(countSelfCalls(*M->getFunction("fact")), 1u);
+}
+
+TEST(TailRecursion, VoidTailRecursion) {
+  auto M = lowerToIR(R"(
+    global hits = 0;
+    fn pump(n: int) {
+      if (n <= 0) { return; }
+      hits = hits + 1;
+      pump(n - 1);
+    }
+    fn main() -> int { pump(7); return hits; }
+  )");
+  auto Mem2Reg = createMem2RegPass();
+  runPass(*M, *Mem2Reg);
+  auto P = createTailRecursionPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_EQ(countSelfCalls(*M->getFunction("pump")), 0u);
+  ExecResult R = interpretIR({M.get()}, "main", {});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 7);
+}
+
+TEST(TailRecursion, MixedTailAndNonTailSites) {
+  auto P = createTailRecursionPass();
+  auto Mem2Reg = createMem2RegPass();
+  auto M = lowerToIR(R"(
+    fn tricky(n: int) -> int {
+      if (n <= 0) { return 0; }
+      if (n % 2 == 0) { return tricky(n - 1); }
+      return 1 + tricky(n - 1);
+    }
+    fn main() -> int { return tricky(9); }
+  )");
+  runPass(*M, *Mem2Reg);
+  EXPECT_TRUE(runPass(*M, *P));
+  // Only the tail site is rewritten; the other call remains.
+  EXPECT_EQ(countSelfCalls(*M->getFunction("tricky")), 1u);
+  ExecResult R = interpretIR({M.get()}, "main", {});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 5);
+}
+
+TEST(TailRecursion, EnablesLoopOptimizations) {
+  // Full O2 should turn constant-input tail recursion into a constant.
+  CompilerOptions Opt;
+  Opt.VerifyEach = true;
+  Compiler C(Opt);
+  CompileResult R = C.compile("t.mc", R"(
+    fn addUp(n: int, acc: int) -> int {
+      if (n == 0) { return acc; }
+      return addUp(n - 1, acc + n);
+    }
+    fn main() -> int { return addUp(4, 0); }
+  )", {});
+  ASSERT_TRUE(R.Success);
+  LinkResult L = linkObjects({&R.Object});
+  VM Vm(*L.Program);
+  ExecResult E = Vm.run();
+  EXPECT_EQ(E.ReturnValue.value_or(-1), 10);
+}
+
+TEST(TailRecursion, DormantSecondRun) {
+  auto M = lowerToIR(R"(
+    fn sum(n: int, acc: int) -> int {
+      if (n <= 0) { return acc; }
+      return sum(n - 1, acc + n);
+    }
+  )");
+  auto Mem2Reg = createMem2RegPass();
+  runPass(*M, *Mem2Reg);
+  auto P = createTailRecursionPass();
+  EXPECT_TRUE(runPass(*M, *P));
+  EXPECT_FALSE(runPass(*M, *P));
+}

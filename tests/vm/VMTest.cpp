@@ -1,0 +1,240 @@
+//===- tests/vm/VMTest.cpp - VM and IR interpreter semantics -----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "codegen/ISel.h"
+#include "codegen/RegAlloc.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+TEST(VM, ReturnValueAndOutput) {
+  ExecResult R = compileAndRun(R"(
+    fn main() -> int {
+      print(10);
+      print(-3);
+      return 7;
+    }
+  )");
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 7);
+  EXPECT_EQ(R.Output, (std::vector<int64_t>{10, -3}));
+}
+
+TEST(VM, DivisionByZeroIsTotal) {
+  ExecResult R = compileAndRun(R"(
+    fn main() -> int {
+      var z = 0;
+      return 10 / z + 7 % z;
+    }
+  )", OptLevel::O0);
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 0);
+}
+
+TEST(VM, SignedDivisionTruncates) {
+  ExecResult R = compileAndRun(R"(
+    fn main() -> int {
+      var a = -7;
+      var b = 2;
+      return a / b * 100 + a % b;
+    }
+  )", OptLevel::O0);
+  EXPECT_EQ(R.ReturnValue.value_or(0), -301);
+}
+
+TEST(VM, WrappingOverflow) {
+  ExecResult R = compileAndRun(R"(
+    fn main() -> int {
+      var big = 9223372036854775807;
+      return big + 1;
+    }
+  )", OptLevel::O0);
+  EXPECT_EQ(R.ReturnValue.value_or(0), INT64_MIN);
+}
+
+TEST(VM, OutOfBoundsReadsZeroWritesIgnored) {
+  ExecResult R = compileAndRun(R"(
+    fn main() -> int {
+      var a[4];
+      a[100] = 55;
+      a[-3] = 99;
+      return a[100] + a[-3] + a[1000000];
+    }
+  )", OptLevel::O0);
+  EXPECT_FALSE(R.Trapped);
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 0);
+}
+
+TEST(VM, FuelLimitTrapsInfiniteLoop) {
+  CompilerOptions Options;
+  Options.Opt = OptLevel::O0;
+  Compiler C(Options);
+  CompileResult R =
+      C.compile("t.mc", "fn main() -> int { while (true) { } return 1; }",
+                {});
+  ASSERT_TRUE(R.Success);
+  LinkResult L = linkObjects({&R.Object});
+  ASSERT_TRUE(L.succeeded());
+  VM Vm(*L.Program);
+  Vm.setFuel(10'000);
+  ExecResult E = Vm.run();
+  EXPECT_TRUE(E.Trapped);
+  EXPECT_NE(E.TrapReason.find("fuel"), std::string::npos);
+}
+
+TEST(VM, StackDepthLimitTrapsRunawayRecursion) {
+  CompilerOptions Options;
+  Options.Opt = OptLevel::O0;
+  Compiler C(Options);
+  CompileResult R = C.compile(
+      "t.mc", "fn f(n: int) -> int { return f(n + 1); }\n"
+              "fn main() -> int { return f(0); }",
+      {});
+  ASSERT_TRUE(R.Success);
+  LinkResult L = linkObjects({&R.Object});
+  ASSERT_TRUE(L.succeeded());
+  VM Vm(*L.Program);
+  Vm.setMaxDepth(64);
+  ExecResult E = Vm.run();
+  EXPECT_TRUE(E.Trapped);
+  EXPECT_NE(E.TrapReason.find("depth"), std::string::npos);
+}
+
+TEST(VM, BoundedRecursionWorks) {
+  ExecResult R = compileAndRun(R"(
+    fn fib(n: int) -> int {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn main() -> int { return fib(15); }
+  )");
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 610);
+}
+
+TEST(VM, FramesIsolateLocals) {
+  // Callee locals must not clobber caller locals.
+  ExecResult R = compileAndRun(R"(
+    fn clobber() -> int {
+      var a[16];
+      for (var i = 0; i < 16; i = i + 1) { a[i] = 999; }
+      return a[0];
+    }
+    fn main() -> int {
+      var mine[4];
+      mine[2] = 42;
+      var c = clobber();
+      return mine[2] + c - 999;
+    }
+  )", OptLevel::O0);
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 42);
+}
+
+TEST(VM, FrameMemoryZeroInitialized) {
+  // A frame freed by a call and reallocated must read as zero.
+  ExecResult R = compileAndRun(R"(
+    fn dirty() -> int {
+      var a[8];
+      for (var i = 0; i < 8; i = i + 1) { a[i] = 777; }
+      return 0;
+    }
+    fn readsFresh() -> int {
+      var b[8];
+      return b[3];
+    }
+    fn main() -> int {
+      var x = dirty();
+      return readsFresh() + x;
+    }
+  )", OptLevel::O0);
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 0);
+}
+
+TEST(VM, DynamicCountsAndCosts) {
+  CompilerOptions Options;
+  Options.Opt = OptLevel::O0;
+  Compiler C(Options);
+  CompileResult R = C.compile(
+      "t.mc", "fn main() -> int { var p = 6; return p * 7; }", {});
+  ASSERT_TRUE(R.Success);
+  LinkResult L = linkObjects({&R.Object});
+  VM Vm(*L.Program);
+  ExecResult E = Vm.run();
+  EXPECT_GT(E.DynamicInsts, 0u);
+  EXPECT_GT(E.Cost, E.DynamicInsts) << "mul and memory weigh more than 1";
+}
+
+TEST(VM, MissingEntryTraps) {
+  auto M = lowerToIR("fn f() -> int { return 1; }");
+  MModule Obj = selectModule(*M);
+  allocateRegisters(Obj);
+  LinkResult L = linkObjects({&Obj}, false);
+  VM Vm(*L.Program);
+  ExecResult E = Vm.run("nonexistent");
+  EXPECT_TRUE(E.Trapped);
+}
+
+//===----------------------------------------------------------------------===//
+// IR interpreter agreement
+//===----------------------------------------------------------------------===//
+
+TEST(IRInterpreter, MatchesVMOnPrograms) {
+  const char *Programs[] = {
+      "fn main() -> int { return 1 + 2 * 3; }",
+      R"(fn main() -> int {
+        var s = 0;
+        for (var i = 0; i < 12; i = i + 1) {
+          if (i % 3 == 0) { s = s + i; } else { s = s - 1; }
+        }
+        print(s);
+        return s;
+      })",
+      R"(global acc = 10;
+      fn add(x: int) { acc = acc + x; }
+      fn main() -> int {
+        add(5);
+        add(-2);
+        return acc;
+      })",
+      R"(fn collatz(n: int) -> int {
+        var steps = 0;
+        while (n != 1) {
+          if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+          steps = steps + 1;
+        }
+        return steps;
+      }
+      fn main() -> int { return collatz(27); })",
+  };
+  for (const char *Src : Programs) {
+    ExecResult A = interpretSource(Src);
+    ExecResult B = compileAndRun(Src, OptLevel::O0);
+    ExecResult C = compileAndRun(Src, OptLevel::O2);
+    expectSameBehavior(A, B, "interp vs O0");
+    expectSameBehavior(A, C, "interp vs O2");
+  }
+}
+
+TEST(IRInterpreter, ArgumentsPassed) {
+  auto M = lowerToIR("fn f(a: int, b: int) -> int { return a * 100 + b; }");
+  ExecResult R = interpretIR({M.get()}, "f", {7, 9});
+  EXPECT_EQ(R.ReturnValue.value_or(-1), 709);
+}
+
+TEST(IRInterpreter, FuelLimit) {
+  auto M = lowerToIR("fn main() -> int { while (true) { } return 0; }");
+  ExecResult R = interpretIR({M.get()}, "main", {}, /*Fuel=*/1000);
+  EXPECT_TRUE(R.Trapped);
+}
+
+TEST(VMCost, CostModelWeights) {
+  CostModel CM;
+  EXPECT_GT(CM.DivRem, CM.Mul);
+  EXPECT_GT(CM.Mul, CM.Simple);
+  EXPECT_GT(CM.Memory, CM.Simple);
+}

@@ -1,0 +1,145 @@
+//===- tests/workload/WorkloadTest.cpp ----------------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+#include "build_sys/BuildSystem.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+using namespace sc::test;
+
+TEST(Workload, DeterministicGeneration) {
+  ProjectProfile Prof = profileByName("small_cli");
+  ProjectModel A = ProjectModel::generate(Prof, 123);
+  ProjectModel B = ProjectModel::generate(Prof, 123);
+  ASSERT_EQ(A.numFiles(), B.numFiles());
+  for (unsigned I = 0; I != A.numFiles(); ++I)
+    EXPECT_EQ(A.renderFile(I), B.renderFile(I));
+
+  ProjectModel C = ProjectModel::generate(Prof, 124);
+  bool AnyDiff = false;
+  for (unsigned I = 0; I != std::min(A.numFiles(), C.numFiles()); ++I)
+    AnyDiff |= A.renderFile(I) != C.renderFile(I);
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Workload, ProfilesHaveExpectedShape) {
+  for (const ProjectProfile &Prof : standardProfiles()) {
+    ProjectModel M = ProjectModel::generate(Prof, 1);
+    EXPECT_EQ(M.numFiles(), Prof.NumFiles) << Prof.Name;
+    EXPECT_GT(M.numFunctions(), Prof.NumFiles / 2) << Prof.Name;
+    EXPECT_GT(M.totalSourceLines(), Prof.NumFiles * 10) << Prof.Name;
+  }
+}
+
+TEST(Workload, GeneratedProjectsBuildAndRun) {
+  for (uint64_t Seed : {7u, 21u, 99u}) {
+    InMemoryFileSystem FS;
+    ProjectModel Model =
+        ProjectModel::generate(profileByName("small_cli"), Seed);
+    Model.renderAll(FS);
+    BuildOptions BO;
+    BO.Compiler.VerifyEach = true;
+    BuildDriver Driver(FS, BO);
+    BuildStats S = Driver.build();
+    ASSERT_TRUE(S.Success) << "seed " << Seed << ": " << S.ErrorText;
+    VM Vm(*Driver.program());
+    ExecResult R = Vm.run();
+    EXPECT_FALSE(R.Trapped) << "seed " << Seed << ": " << R.TrapReason;
+  }
+}
+
+TEST(Workload, EditsChangeExactlyReportedFiles) {
+  InMemoryFileSystem FS;
+  ProjectModel Model =
+      ProjectModel::generate(profileByName("small_cli"), 5);
+  Model.renderAll(FS);
+  std::map<std::string, std::string> Before;
+  for (const std::string &Path : FS.listFiles())
+    Before[Path] = *FS.readFile(Path);
+
+  RNG Rand(17);
+  std::vector<std::string> Changed =
+      Model.applyEdit(EditKind::ConstTweak, Rand, FS);
+
+  for (const std::string &Path : FS.listFiles()) {
+    bool Reported =
+        std::find(Changed.begin(), Changed.end(), Path) != Changed.end();
+    bool ActuallyChanged = Before[Path] != *FS.readFile(Path);
+    EXPECT_EQ(Reported, ActuallyChanged) << Path;
+  }
+}
+
+TEST(Workload, AllEditKindsKeepProjectBuildable) {
+  InMemoryFileSystem FS;
+  ProjectModel Model =
+      ProjectModel::generate(profileByName("small_cli"), 31);
+  Model.renderAll(FS);
+  BuildOptions BO;
+  BO.Compiler.VerifyEach = true;
+  BuildDriver Driver(FS, BO);
+  ASSERT_TRUE(Driver.build().Success);
+
+  RNG Rand(13);
+  for (EditKind Kind :
+       {EditKind::ConstTweak, EditKind::CondFlip, EditKind::StmtInsert,
+        EditKind::StmtDelete, EditKind::BodyRewrite, EditKind::AddFunction,
+        EditKind::SignatureChange}) {
+    Model.applyEdit(Kind, Rand, FS);
+    BuildStats S = Driver.build();
+    ASSERT_TRUE(S.Success)
+        << editKindName(Kind) << " broke the build: " << S.ErrorText;
+    VM Vm(*Driver.program());
+    EXPECT_FALSE(Vm.run().Trapped) << editKindName(Kind);
+  }
+}
+
+TEST(Workload, SignatureChangeTouchesCallers) {
+  InMemoryFileSystem FS;
+  ProjectModel Model =
+      ProjectModel::generate(profileByName("json_lib"), 11);
+  Model.renderAll(FS);
+  RNG Rand(3);
+  // Over several signature edits, at least one should ripple to more
+  // than one file (the defining file plus a caller's file).
+  size_t MaxChanged = 0;
+  for (int I = 0; I != 10; ++I) {
+    auto Changed = Model.applyEdit(EditKind::SignatureChange, Rand, FS);
+    MaxChanged = std::max(MaxChanged, Changed.size());
+  }
+  EXPECT_GE(MaxChanged, 2u);
+}
+
+TEST(Workload, CommitsAreSmall) {
+  InMemoryFileSystem FS;
+  ProjectModel Model =
+      ProjectModel::generate(profileByName("http_server"), 77);
+  Model.renderAll(FS);
+  RNG Rand(41);
+  for (int C = 0; C != 20; ++C) {
+    auto Changed = Model.applyCommit(Rand, FS);
+    EXPECT_LE(Changed.size(), Model.numFiles() / 2)
+        << "commits must stay incremental-sized";
+  }
+}
+
+TEST(Workload, DeterministicCommitStream) {
+  InMemoryFileSystem FS1, FS2;
+  ProjectModel M1 = ProjectModel::generate(profileByName("small_cli"), 9);
+  ProjectModel M2 = ProjectModel::generate(profileByName("small_cli"), 9);
+  M1.renderAll(FS1);
+  M2.renderAll(FS2);
+  RNG R1(55), R2(55);
+  for (int C = 0; C != 5; ++C) {
+    auto Ch1 = M1.applyCommit(R1, FS1);
+    auto Ch2 = M2.applyCommit(R2, FS2);
+    EXPECT_EQ(Ch1, Ch2);
+  }
+  for (const std::string &Path : FS1.listFiles())
+    EXPECT_EQ(FS1.readFile(Path), FS2.readFile(Path)) << Path;
+}

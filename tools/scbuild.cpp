@@ -1,0 +1,131 @@
+//===- tools/scbuild.cpp - Incremental build tool --------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// `scbuild` — build a directory of .mc files incrementally and
+/// optionally run the linked program. The on-disk artifacts (objects,
+/// manifest, compiler state) live in <dir>/out and persist between
+/// invocations, so repeated `scbuild` calls behave like make/ninja
+/// driving the stateful compiler.
+///
+///   scbuild [dir] [options]
+///
+/// Options:
+///   -O0|-O1|-O2     optimization level (default -O2)
+///   -j <N>          compile dirty files with N worker threads
+///   --stateless     baseline compiler (default: stateful)
+///   --exact         ExactSkip policy instead of the paper's heuristic
+///   --reuse         enable function-level code reuse
+///   --clean         drop artifacts and state before building
+///   --run [args...] execute main() after a successful build; the
+///                   remaining arguments are passed as integers
+///   --quiet         suppress the build summary
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "support/FileSystem.h"
+#include "vm/VM.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace sc;
+
+int main(int argc, char **argv) {
+  std::string Dir = ".";
+  BuildOptions Options;
+  Options.Compiler.Stateful.SkipMode =
+      StatefulConfig::Mode::HeuristicSkip;
+  bool Clean = false, Run = false, Quiet = false;
+  std::vector<int64_t> RunArgs;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Run) {
+      RunArgs.push_back(std::strtoll(Arg.c_str(), nullptr, 10));
+      continue;
+    }
+    if (Arg == "-O0")
+      Options.Compiler.Opt = OptLevel::O0;
+    else if (Arg == "-O1")
+      Options.Compiler.Opt = OptLevel::O1;
+    else if (Arg == "-O2")
+      Options.Compiler.Opt = OptLevel::O2;
+    else if (Arg == "-j" && I + 1 < argc)
+      Options.Jobs = static_cast<unsigned>(
+          std::strtoul(argv[++I], nullptr, 10));
+    else if (Arg == "--stateless")
+      Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::Stateless;
+    else if (Arg == "--exact")
+      Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::ExactSkip;
+    else if (Arg == "--reuse")
+      Options.Compiler.Stateful.ReuseFunctionCode = true;
+    else if (Arg == "--clean")
+      Clean = true;
+    else if (Arg == "--run")
+      Run = true;
+    else if (Arg == "--quiet")
+      Quiet = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: scbuild [dir] [-O0|-O1|-O2] [-j N] "
+                   "[--stateless] [--exact] [--reuse]\n               "
+                   "[--clean] [--quiet] [--run [args...]]\n");
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "scbuild: error: unknown option '%s'\n",
+                   Arg.c_str());
+      return 1;
+    } else {
+      Dir = Arg;
+    }
+  }
+
+  RealFileSystem FS(Dir);
+  BuildDriver Driver(FS, Options);
+  if (Clean)
+    Driver.clean();
+
+  BuildStats Stats = Driver.build();
+  if (!Stats.Success) {
+    std::fprintf(stderr, "%s\n", Stats.ErrorText.c_str());
+    return 1;
+  }
+
+  if (!Quiet) {
+    std::printf("scbuild: %u/%u files compiled in %.1f ms "
+                "(scan %.1f, compile %.1f, link %.1f, state %.1f)\n",
+                Stats.FilesCompiled, Stats.FilesTotal,
+                Stats.TotalUs / 1000, Stats.ScanUs / 1000,
+                Stats.CompileUs / 1000, Stats.LinkUs / 1000,
+                Stats.StateIOUs / 1000);
+    if (Options.Compiler.Stateful.SkipMode !=
+        StatefulConfig::Mode::Stateless)
+      std::printf("scbuild: passes run %llu, skipped %llu; "
+                  "functions reused %llu; state db %.1f KB\n",
+                  static_cast<unsigned long long>(Stats.Skip.PassesRun),
+                  static_cast<unsigned long long>(
+                      Stats.Skip.PassesSkipped),
+                  static_cast<unsigned long long>(
+                      Stats.Skip.FunctionsReused),
+                  Stats.StateDBBytes / 1024.0);
+  }
+
+  if (Run) {
+    VM Machine(*Driver.program());
+    ExecResult R = Machine.run("main", RunArgs);
+    if (R.Trapped) {
+      std::fprintf(stderr, "scbuild: trap: %s\n", R.TrapReason.c_str());
+      return 1;
+    }
+    for (int64_t V : R.Output)
+      std::printf("%lld\n", static_cast<long long>(V));
+    return static_cast<int>(R.ReturnValue.value_or(0) & 0xff);
+  }
+  return 0;
+}

@@ -1,0 +1,264 @@
+//===- tools/scc.cpp - Stateful-compiler command-line driver ---------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// `scc` — compile, inspect, and run MiniC translation units.
+///
+///   scc file.mc [options]
+///
+/// Options:
+///   -o <path>          write the object file (default: <file>.o)
+///   -O0|-O1|-O2        optimization level (default -O2)
+///   --stateful         enable dormant-pass skipping
+///   --reuse            also enable function-level code reuse
+///   --state-db <path>  persistent state location (default: .scc-state.db)
+///   --emit-ir          print the optimized IR
+///   --emit-asm         print the generated VISA assembly
+///   --run              link this object alone and execute main()
+///   --stats            print compile statistics
+///   --verify-each      run the IR verifier after every changing pass
+///
+/// Imports are resolved relative to the current directory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "codegen/AsmPrinter.h"
+#include "codegen/ObjectFile.h"
+#include "driver/Compiler.h"
+#include "driver/IRGen.h"
+#include "ir/IRPrinter.h"
+#include "lang/Parser.h"
+#include "support/FileSystem.h"
+#include "vm/VM.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: scc <file.mc> [-o out.o] [-O0|-O1|-O2] [--stateful] "
+      "[--reuse]\n           [--state-db path] [--emit-ir] [--emit-asm] "
+      "[--run] [--stats]\n           [--verify-each]\n");
+}
+
+/// Resolves the direct imports' interfaces (one level is enough: sema
+/// only needs signatures, which the import's own file declares).
+bool resolveImports(RealFileSystem &FS, const std::string &Source,
+                    ModuleInterface &Out) {
+  auto Scanned = Compiler::scanInterface(Source);
+  if (!Scanned)
+    return true; // Syntax errors surface in the real compile below.
+  for (const std::string &Dep : Scanned->second) {
+    std::optional<std::string> DepSource = FS.readFile(Dep);
+    if (!DepSource) {
+      std::fprintf(stderr, "scc: error: cannot read import '%s'\n",
+                   Dep.c_str());
+      return false;
+    }
+    auto DepScanned = Compiler::scanInterface(*DepSource);
+    if (!DepScanned) {
+      std::fprintf(stderr, "scc: error: syntax errors in import '%s'\n",
+                   Dep.c_str());
+      return false;
+    }
+    Out.insert(Out.end(), DepScanned->first.begin(),
+               DepScanned->first.end());
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string InputPath, OutputPath, StatePath = ".scc-state.db";
+  CompilerOptions Options;
+  bool Stateful = false, EmitIR = false, EmitAsm = false, Run = false,
+       Stats = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-o" && I + 1 < argc)
+      OutputPath = argv[++I];
+    else if (Arg == "-O0")
+      Options.Opt = OptLevel::O0;
+    else if (Arg == "-O1")
+      Options.Opt = OptLevel::O1;
+    else if (Arg == "-O2")
+      Options.Opt = OptLevel::O2;
+    else if (Arg == "--stateful")
+      Stateful = true;
+    else if (Arg == "--reuse") {
+      Stateful = true;
+      Options.Stateful.ReuseFunctionCode = true;
+    } else if (Arg == "--state-db" && I + 1 < argc)
+      StatePath = argv[++I];
+    else if (Arg == "--emit-ir")
+      EmitIR = true;
+    else if (Arg == "--emit-asm")
+      EmitAsm = true;
+    else if (Arg == "--run")
+      Run = true;
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg == "--verify-each")
+      Options.VerifyEach = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "scc: error: unknown option '%s'\n",
+                   Arg.c_str());
+      usage();
+      return 1;
+    } else if (InputPath.empty()) {
+      InputPath = Arg;
+    } else {
+      std::fprintf(stderr, "scc: error: multiple input files\n");
+      return 1;
+    }
+  }
+  if (InputPath.empty()) {
+    usage();
+    return 1;
+  }
+  if (OutputPath.empty())
+    OutputPath = InputPath + ".o";
+
+  RealFileSystem FS(".");
+  std::optional<std::string> Source = FS.readFile(InputPath);
+  if (!Source) {
+    std::fprintf(stderr, "scc: error: cannot read '%s'\n",
+                 InputPath.c_str());
+    return 1;
+  }
+
+  ModuleInterface Imports;
+  if (!resolveImports(FS, *Source, Imports))
+    return 1;
+
+  BuildStateDB DB;
+  if (Stateful) {
+    Options.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+    DB.loadFromFile(FS, StatePath); // Missing/corrupt: cold build.
+  }
+
+  Compiler TheCompiler(Options, Stateful ? &DB : nullptr);
+  CompileResult Result =
+      TheCompiler.compile(InputPath, *Source, Imports);
+  if (!Result.Success) {
+    std::fprintf(stderr, "%s", Result.DiagText.c_str());
+    return 1;
+  }
+
+  if (!FS.writeFile(OutputPath, writeObject(Result.Object))) {
+    std::fprintf(stderr, "scc: error: cannot write '%s'\n",
+                 OutputPath.c_str());
+    return 1;
+  }
+  if (Stateful)
+    DB.saveToFile(FS, StatePath);
+
+  if (EmitIR) {
+    // Re-lower to show the optimized IR: the driver does not keep the
+    // module, so compile a display copy through the same pipeline.
+    DiagnosticEngine Diags;
+    Parser P(*Source, Diags);
+    auto AST = P.parseModule();
+    ModuleInterface Own = analyzeModule(*AST, Imports, Diags);
+    ModuleInterface All = Imports;
+    All.insert(All.end(), Own.begin(), Own.end());
+    auto M = generateIR(*AST, InputPath, All);
+    PassPipeline Pipeline = buildPipeline(Options.Opt);
+    AnalysisManager AM(*M);
+    Pipeline.run(*M, AM);
+    std::printf("%s", printModule(*M).c_str());
+  }
+  if (EmitAsm)
+    std::printf("%s", printAssembly(Result.Object).c_str());
+
+  if (Stats) {
+    std::printf("scc: %s: fe %.0fus | mid %.0fus | be %.0fus | "
+                "IR %zu -> %zu insts",
+                InputPath.c_str(), Result.Timings.FrontendUs,
+                Result.Timings.MiddleUs, Result.Timings.BackendUs,
+                Result.IRInstsBeforeOpt, Result.IRInstsAfterOpt);
+    if (Stateful)
+      std::printf(" | passes run %llu skipped %llu | reused fns %llu",
+                  static_cast<unsigned long long>(
+                      Result.SkipStats.PassesRun),
+                  static_cast<unsigned long long>(
+                      Result.SkipStats.PassesSkipped),
+                  static_cast<unsigned long long>(
+                      Result.SkipStats.FunctionsReused));
+    std::printf("\n");
+  }
+
+  if (Run) {
+    // Compile the transitive imports so the program links, like a
+    // one-shot `gcc a.c b.c` driver invocation.
+    std::vector<MModule> Extra;
+    std::vector<std::string> Done{InputPath};
+    auto Scanned = Compiler::scanInterface(*Source);
+    std::vector<std::string> Queue =
+        Scanned ? Scanned->second : std::vector<std::string>{};
+    while (!Queue.empty()) {
+      std::string Dep = Queue.back();
+      Queue.pop_back();
+      if (std::find(Done.begin(), Done.end(), Dep) != Done.end())
+        continue;
+      Done.push_back(Dep);
+      std::optional<std::string> DepSource = FS.readFile(Dep);
+      if (!DepSource) {
+        std::fprintf(stderr, "scc: error: cannot read import '%s'\n",
+                     Dep.c_str());
+        return 1;
+      }
+      ModuleInterface DepImports;
+      if (!resolveImports(FS, *DepSource, DepImports))
+        return 1;
+      auto DepScan = Compiler::scanInterface(*DepSource);
+      if (DepScan)
+        for (const std::string &Next : DepScan->second)
+          Queue.push_back(Next);
+      Compiler DepCompiler(Options, Stateful ? &DB : nullptr);
+      CompileResult DepResult =
+          DepCompiler.compile(Dep, *DepSource, DepImports);
+      if (!DepResult.Success) {
+        std::fprintf(stderr, "%s", DepResult.DiagText.c_str());
+        return 1;
+      }
+      Extra.push_back(std::move(DepResult.Object));
+    }
+
+    std::vector<const MModule *> LinkSet{&Result.Object};
+    for (const MModule &Obj : Extra)
+      LinkSet.push_back(&Obj);
+    LinkResult Linked = linkObjects(LinkSet);
+    if (!Linked.succeeded()) {
+      for (const std::string &E : Linked.Errors)
+        std::fprintf(stderr, "scc: link error: %s\n", E.c_str());
+      return 1;
+    }
+    VM Machine(*Linked.Program);
+    ExecResult R = Machine.run();
+    if (R.Trapped) {
+      std::fprintf(stderr, "scc: trap: %s\n", R.TrapReason.c_str());
+      return 1;
+    }
+    for (int64_t V : R.Output)
+      std::printf("%lld\n", static_cast<long long>(V));
+    return static_cast<int>(R.ReturnValue.value_or(0) & 0xff);
+  }
+  return 0;
+}
