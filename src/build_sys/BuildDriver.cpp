@@ -1,0 +1,330 @@
+//===- build_sys/BuildDriver.cpp - Incremental build orchestration -------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// build() = scan -> import DAG -> dirty set -> parallel compile ->
+/// link -> persist. See BuildSystem.h for the phase-by-phase contract.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+
+#include "build_sys/DependencyScanner.h"
+#include "build_sys/ImportGraph.h"
+#include "build_sys/Manifest.h"
+#include "build_sys/ObjectCache.h"
+#include "build_sys/Scheduler.h"
+#include "codegen/ObjectFile.h"
+#include "support/Hashing.h"
+#include "support/Timer.h"
+
+#include <optional>
+
+using namespace sc;
+
+namespace {
+
+bool isSourcePath(const std::string &Path, const std::string &OutDir) {
+  if (Path.size() < 3 || Path.compare(Path.size() - 3, 3, ".mc") != 0)
+    return false;
+  return Path.compare(0, OutDir.size() + 1, OutDir + "/") != 0;
+}
+
+void addTimings(PhaseTimings &Sum, const PhaseTimings &T) {
+  Sum.FrontendUs += T.FrontendUs;
+  Sum.MiddleUs += T.MiddleUs;
+  Sum.BackendUs += T.BackendUs;
+  Sum.StateUs += T.StateUs;
+}
+
+void addSkipStats(StatefulStats &Sum, const StatefulStats &S) {
+  Sum.PassesRun += S.PassesRun;
+  Sum.PassesSkipped += S.PassesSkipped;
+  Sum.FunctionsMatched += S.FunctionsMatched;
+  Sum.FunctionsRefreshed += S.FunctionsRefreshed;
+  Sum.FunctionsReused += S.FunctionsReused;
+}
+
+} // namespace
+
+namespace sc {
+
+class BuildDriverImpl {
+public:
+  BuildDriverImpl(VirtualFileSystem &FS, BuildOptions Options)
+      : FS(FS), Options(std::move(Options)),
+        Objects(FS, this->Options.OutDir) {}
+
+  BuildStats build();
+  void clean();
+
+  const MModule *program() const {
+    return Program ? &*Program : nullptr;
+  }
+  const BuildStateDB &stateDB() const { return DB; }
+  const BuildOptions &options() const { return Opts(); }
+
+private:
+  const BuildOptions &Opts() const { return Options; }
+
+  bool stateful() const {
+    return Options.Compiler.Stateful.SkipMode !=
+           StatefulConfig::Mode::Stateless;
+  }
+
+  std::string statePath() const { return Options.OutDir + "/state.db"; }
+  std::string manifestPath() const {
+    return Options.OutDir + "/manifest.bin";
+  }
+
+  /// Objects compiled under a different optimization level or compiler
+  /// version must not be trusted; this hash is recorded per manifest
+  /// entry. Skip *policy* is deliberately excluded — all policies are
+  /// semantically interchangeable, like real incremental builds that
+  /// mix objects from differently-warmed compiler runs.
+  uint64_t configHash() const {
+    HashBuilder H;
+    H.addU32(static_cast<uint32_t>(Options.Compiler.Opt));
+    H.addU32(Options.Compiler.CompilerVersion);
+    return H.digest();
+  }
+
+  /// Writes the manifest (always) and the state DB (stateful only);
+  /// called on every exit path so even failed builds leave their
+  /// completed work persisted. Returns the state DB size.
+  uint64_t persist(Timer &StateIO);
+
+  VirtualFileSystem &FS;
+  BuildOptions Options;
+
+  BuildStateDB DB;
+  DependencyScanner Scanner;
+  BuildManifest Manifest;
+  ObjectCache Objects;
+  std::optional<MModule> Program;
+
+  /// Persisted state is loaded once per driver; later builds trust the
+  /// in-memory copies and only write.
+  bool PersistentLoaded = false;
+};
+
+} // namespace sc
+
+uint64_t BuildDriverImpl::persist(Timer &StateIO) {
+  StateIO.start();
+  Manifest.saveToFile(FS, manifestPath());
+  uint64_t StateBytes = 0;
+  if (stateful()) {
+    std::string Bytes = DB.serialize();
+    StateBytes = Bytes.size();
+    FS.writeFile(statePath(), Bytes);
+  }
+  StateIO.stop();
+  return StateBytes;
+}
+
+BuildStats BuildDriverImpl::build() {
+  BuildStats S;
+  Timer Total, Scan, Compile, Link, StateIO;
+  Total.start();
+
+  if (!PersistentLoaded) {
+    StateIO.start();
+    if (stateful())
+      DB.loadFromFile(FS, statePath()); // Missing/corrupt: cold build.
+    Manifest.loadFromFile(FS, manifestPath());
+    StateIO.stop();
+    PersistentLoaded = true;
+  }
+  Scanner.trim();
+
+  //===--- Scan: sources, interfaces, import DAG, dirty set ---------------===//
+
+  Scan.start();
+  std::map<std::string, std::string> Sources;
+  for (const std::string &Path : FS.listFiles()) {
+    if (!isSourcePath(Path, Options.OutDir))
+      continue;
+    if (std::optional<std::string> Content = FS.readFile(Path))
+      Sources.emplace(Path, std::move(*Content));
+  }
+  S.FilesTotal = static_cast<unsigned>(Sources.size());
+
+  std::map<std::string, const ScanResult *> Scans;
+  for (const auto &[Path, Content] : Sources)
+    Scans[Path] = &Scanner.scan(Path, Content);
+
+  ImportGraph Graph = ImportGraph::build(Scans);
+  if (!Graph.valid()) {
+    Scan.stop();
+    Total.stop();
+    S.ErrorText = "build error: " + Graph.error();
+    S.ScanUs = Scan.micros();
+    S.TotalUs = Total.micros();
+    return S;
+  }
+
+  // Files that disappeared since the last build: drop every trace so
+  // they neither link nor haunt the state DB.
+  std::vector<std::string> Gone;
+  for (const auto &[Path, Entry] : Manifest.entries())
+    if (!Sources.count(Path))
+      Gone.push_back(Path);
+  for (const std::string &Path : Gone) {
+    Manifest.remove(Path);
+    DB.remove(Path);
+    Objects.invalidate(Path);
+  }
+
+  const uint64_t Config = configHash();
+  std::vector<std::string> Dirty;
+  for (const std::string &Path : Graph.topologicalOrder()) {
+    const ScanResult *SR = Scans.at(Path);
+    const ManifestEntry *E = Manifest.lookup(Path);
+    bool NeedsCompile =
+        !E || E->ConfigHash != Config || E->ContentHash != SR->ContentHash ||
+        E->ImportsEffectiveHash != Graph.importsEffectiveHash(Path) ||
+        // Missing/vandalized/corrupt object: self-heal by recompiling.
+        !Objects.load(Path, E->ObjectHash);
+    if (NeedsCompile)
+      Dirty.push_back(Path);
+  }
+  Scan.stop();
+
+  //===--- Compile: dirty TUs in topological order, Jobs workers ----------===//
+
+  Compile.start();
+  std::vector<CompileJob> Jobs;
+  Jobs.reserve(Dirty.size());
+  for (const std::string &Path : Dirty) {
+    CompileJob J;
+    J.Path = Path;
+    J.Source = &Sources.at(Path);
+    for (const std::string &Dep : Graph.imports(Path)) {
+      const ModuleInterface &Iface = Scans.at(Dep)->Interface;
+      J.Imports.insert(J.Imports.end(), Iface.begin(), Iface.end());
+    }
+    Jobs.push_back(std::move(J));
+  }
+  std::vector<CompileResult> Results = compileInParallel(
+      Jobs, Options.Compiler, stateful() ? &DB : nullptr, Options.Jobs);
+  Compile.stop();
+
+  std::string Errors;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    CompileResult &R = Results[I];
+    addTimings(S.CompilePhases, R.Timings);
+    addSkipStats(S.Skip, R.SkipStats);
+    if (!R.Success) {
+      Errors += R.DiagText;
+      // Forget the TU so the next build retries it from scratch.
+      Manifest.remove(Jobs[I].Path);
+      continue;
+    }
+    ++S.FilesCompiled;
+    ManifestEntry E;
+    E.ContentHash = Scans.at(Jobs[I].Path)->ContentHash;
+    E.ImportsEffectiveHash = Graph.importsEffectiveHash(Jobs[I].Path);
+    E.ObjectHash = Objects.store(Jobs[I].Path, std::move(R.Object));
+    E.ConfigHash = Config;
+    Manifest.update(Jobs[I].Path, E);
+  }
+
+  if (!Errors.empty()) {
+    S.StateDBBytes = persist(StateIO);
+    Total.stop();
+    S.ErrorText = std::move(Errors);
+    S.ScanUs = Scan.micros();
+    S.CompileUs = Compile.micros();
+    S.StateIOUs = StateIO.micros();
+    S.TotalUs = Total.micros();
+    return S;
+  }
+
+  //===--- Link: all objects into one program image -----------------------===//
+
+  Link.start();
+  std::vector<const MModule *> LinkSet;
+  LinkSet.reserve(Graph.topologicalOrder().size());
+  std::string LinkErrors;
+  uint64_t ObjectBytes = 0;
+  for (const std::string &Path : Graph.topologicalOrder()) {
+    const ManifestEntry *E = Manifest.lookup(Path);
+    const MModule *Obj = E ? Objects.load(Path, E->ObjectHash) : nullptr;
+    if (!Obj) {
+      LinkErrors += "build error: object for '" + Path +
+                    "' vanished during the build\n";
+      continue;
+    }
+    LinkSet.push_back(Obj);
+    ObjectBytes += Objects.objectBytes(Path);
+  }
+  LinkResult Linked;
+  if (LinkErrors.empty())
+    Linked = linkObjects(LinkSet);
+  Link.stop();
+
+  if (!LinkErrors.empty() || !Linked.succeeded()) {
+    for (const std::string &E : Linked.Errors)
+      LinkErrors += "link error: " + E + "\n";
+    S.StateDBBytes = persist(StateIO);
+    Total.stop();
+    S.ErrorText = std::move(LinkErrors);
+    S.ScanUs = Scan.micros();
+    S.CompileUs = Compile.micros();
+    S.LinkUs = Link.micros();
+    S.StateIOUs = StateIO.micros();
+    S.TotalUs = Total.micros();
+    return S;
+  }
+  Program = std::move(*Linked.Program);
+  S.ObjectBytes = ObjectBytes;
+
+  //===--- Persist: manifest + compiler state -----------------------------===//
+
+  S.StateDBBytes = persist(StateIO);
+
+  Total.stop();
+  S.Success = true;
+  S.ScanUs = Scan.micros();
+  S.CompileUs = Compile.micros();
+  S.LinkUs = Link.micros();
+  S.StateIOUs = StateIO.micros();
+  S.TotalUs = Total.micros();
+  return S;
+}
+
+void BuildDriverImpl::clean() {
+  for (const std::string &Path : FS.listFiles())
+    if (Path.compare(0, Options.OutDir.size() + 1, Options.OutDir + "/") ==
+        0)
+      FS.removeFile(Path);
+  DB.clear();
+  Manifest.clear();
+  Objects.clearMemory();
+  Scanner.clear();
+  Program.reset();
+  // Nothing left on disk worth loading.
+  PersistentLoaded = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Public facade
+//===----------------------------------------------------------------------===//
+
+BuildDriver::BuildDriver(VirtualFileSystem &FS, BuildOptions Options)
+    : Impl(std::make_unique<BuildDriverImpl>(FS, std::move(Options))) {}
+
+BuildDriver::~BuildDriver() = default;
+
+BuildStats BuildDriver::build() { return Impl->build(); }
+
+void BuildDriver::clean() { Impl->clean(); }
+
+const MModule *BuildDriver::program() const { return Impl->program(); }
+
+const BuildStateDB &BuildDriver::stateDB() const { return Impl->stateDB(); }
+
+const BuildOptions &BuildDriver::options() const { return Impl->options(); }

@@ -1,0 +1,127 @@
+//===- build_sys/BuildSystem.h - Incremental build system -------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The from-scratch incremental build system (DESIGN.md §inventory):
+/// the stateful layer *above* the compiler that the paper's end-to-end
+/// measurements run through. One BuildDriver owns a project rooted in a
+/// VirtualFileSystem and, per build() call:
+///
+///  1. scans every `.mc` source for its import directives and exported
+///     interface (cached by content hash — the daemon scan cache);
+///  2. assembles the import DAG and rejects cycles;
+///  3. computes the dirty set: a file recompiles iff its content hash
+///     changed, the *effective interface* of something it imports
+///     changed (interface hashes propagate transitively, so a
+///     body-only edit never dirties importers), or its cached object
+///     is missing/corrupt;
+///  4. compiles dirty files in topological order on `Jobs` worker
+///     threads (the BuildStateDB is internally synchronized);
+///  5. links all objects into one executable program image; and
+///  6. persists the object cache, build manifest, and compiler state
+///     under `<OutDir>/` so the next build — in this process or a
+///     fresh one — starts warm.
+///
+/// Every persistent artifact is integrity-checked; damage degrades to
+/// recompilation, never to a wrong program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_BUILDSYSTEM_H
+#define SC_BUILD_SYS_BUILDSYSTEM_H
+
+#include "driver/Compiler.h"
+#include "support/FileSystem.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sc {
+
+class BuildDriverImpl;
+
+/// Configuration for one BuildDriver.
+struct BuildOptions {
+  /// Per-TU compiler configuration (opt level, skip policy, reuse).
+  CompilerOptions Compiler;
+
+  /// Worker threads compiling dirty files (1 = in-thread). The linked
+  /// program is byte-identical for any Jobs value.
+  unsigned Jobs = 1;
+
+  /// Directory (inside the project filesystem) holding objects, the
+  /// build manifest, and the persisted compiler state.
+  std::string OutDir = "out";
+};
+
+/// Everything one build() call did, and how long each phase took.
+struct BuildStats {
+  bool Success = false;
+  std::string ErrorText; // Rendered diagnostics when !Success.
+
+  unsigned FilesCompiled = 0; // Dirty files recompiled this build.
+  unsigned FilesTotal = 0;    // Source files in the project.
+
+  //===--- Phase timers (wall clock, microseconds) -----------------------===//
+
+  double ScanUs = 0;    // Listing, scanning, DAG, dirty set.
+  double CompileUs = 0; // Compiling dirty files (wall, not CPU-sum).
+  double LinkUs = 0;    // Object loading + symbol resolution.
+  double StateIOUs = 0; // Manifest + state DB load/save.
+  double TotalUs = 0;   // The whole build() call.
+
+  /// Per-phase compile time summed over recompiled TUs (CPU-sum; under
+  /// Jobs>1 this exceeds CompileUs).
+  PhaseTimings CompilePhases;
+
+  /// Pass-skip counters summed over recompiled TUs.
+  StatefulStats Skip;
+
+  /// Serialized size of the compiler state after this build (0 when
+  /// running stateless).
+  uint64_t StateDBBytes = 0;
+
+  /// Total bytes of all linked object files.
+  uint64_t ObjectBytes = 0;
+};
+
+/// Drives incremental builds of one project. Long-lived: in-memory
+/// caches (scan results, parsed objects, compiler state) persist
+/// across build() calls, which is what makes a warm no-op rebuild
+/// nearly free — the "build daemon" usage mode.
+class BuildDriver {
+public:
+  BuildDriver(VirtualFileSystem &FS, BuildOptions Options);
+  ~BuildDriver();
+
+  BuildDriver(const BuildDriver &) = delete;
+  BuildDriver &operator=(const BuildDriver &) = delete;
+
+  /// Runs one incremental build: scan, dirty set, compile, link,
+  /// persist. Always safe to call again after a failure.
+  BuildStats build();
+
+  /// Drops every build artifact (objects, manifest, state DB) and all
+  /// in-memory caches; the next build() is cold.
+  void clean();
+
+  /// The linked program of the most recent successful build; null
+  /// before the first success.
+  const MModule *program() const;
+
+  /// The compiler state shared by every TU compilation.
+  const BuildStateDB &stateDB() const;
+
+  const BuildOptions &options() const;
+
+private:
+  std::unique_ptr<BuildDriverImpl> Impl;
+};
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_BUILDSYSTEM_H

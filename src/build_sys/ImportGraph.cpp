@@ -1,0 +1,113 @@
+//===- build_sys/ImportGraph.cpp - Import DAG + dirty propagation --------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/ImportGraph.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace sc;
+
+ImportGraph
+ImportGraph::build(const std::map<std::string, const ScanResult *> &Scans) {
+  ImportGraph G;
+  for (const auto &[Path, Scan] : Scans) {
+    Node N;
+    N.Imports = Scan->Imports;
+    for (const std::string &Dep : N.Imports) {
+      if (!Scans.count(Dep)) {
+        G.ErrorText = Path + ": imports '" + Dep +
+                      "', which is not a source file of this project";
+        return G;
+      }
+    }
+    G.Nodes.emplace(Path, std::move(N));
+  }
+
+  // Iterative three-color DFS: detects cycles and emits a postorder
+  // (dependencies first). Roots are visited in lexicographic order
+  // (std::map iteration), so the result is deterministic.
+  enum : uint8_t { White, Grey, Black };
+  std::map<std::string, uint8_t> Color;
+  for (const auto &[Path, N] : G.Nodes)
+    Color[Path] = White;
+
+  struct Frame {
+    const std::string *Path;
+    size_t NextImport = 0;
+  };
+  for (const auto &[Root, RootNode] : G.Nodes) {
+    if (Color[Root] != White)
+      continue;
+    std::vector<Frame> Stack{{&Root, 0}};
+    Color[Root] = Grey;
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      Node &N = G.Nodes.at(*F.Path);
+      if (F.NextImport == N.Imports.size()) {
+        Color[*F.Path] = Black;
+        G.Topo.push_back(*F.Path);
+        Stack.pop_back();
+        continue;
+      }
+      const std::string &Dep = N.Imports[F.NextImport++];
+      uint8_t &C = Color[Dep];
+      if (C == White) {
+        C = Grey;
+        Stack.push_back({&G.Nodes.find(Dep)->first, 0});
+      } else if (C == Grey) {
+        // Dep is on the stack: report the cycle Dep -> ... -> Dep.
+        std::string Cycle = Dep;
+        for (size_t I = Stack.size(); I-- != 0;) {
+          Cycle += " -> " + *Stack[I].Path;
+          if (*Stack[I].Path == Dep)
+            break;
+        }
+        G.ErrorText = "import cycle: " + Cycle;
+        return G;
+      }
+    }
+  }
+
+  // Effective hashes in topological order: every import's value is
+  // final before its importers fold it in.
+  for (const std::string &Path : G.Topo) {
+    Node &N = G.Nodes.at(Path);
+    const ScanResult *Scan = Scans.at(Path);
+    HashBuilder Own, Deps;
+    Own.addU64(Scan->InterfaceHash);
+    Deps.addU64(N.Imports.size());
+    for (const std::string &Dep : N.Imports) {
+      uint64_t DepEff = G.Nodes.at(Dep).Effective;
+      Own.addU64(DepEff);
+      Deps.addString(Dep);
+      Deps.addU64(DepEff);
+    }
+    N.Effective = Own.digest();
+    N.ImportsEffective = Deps.digest();
+  }
+  return G;
+}
+
+const std::vector<std::string> &
+ImportGraph::imports(const std::string &Path) const {
+  auto It = Nodes.find(Path);
+  assert(It != Nodes.end() && "unknown file");
+  return It->second.Imports;
+}
+
+uint64_t ImportGraph::effectiveInterfaceHash(const std::string &Path) const {
+  auto It = Nodes.find(Path);
+  assert(It != Nodes.end() && "unknown file");
+  return It->second.Effective;
+}
+
+uint64_t ImportGraph::importsEffectiveHash(const std::string &Path) const {
+  auto It = Nodes.find(Path);
+  assert(It != Nodes.end() && "unknown file");
+  return It->second.ImportsEffective;
+}

@@ -1,0 +1,77 @@
+//===- build_sys/ImportGraph.h - Import DAG + dirty propagation -*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The project's import graph: validates that imports resolve and form
+/// a DAG, produces a deterministic topological compile order, and
+/// computes the *effective interface hash* of every file — the value
+/// that makes dirty propagation both precise and transitive.
+///
+/// effective(F) = H(interfaceHash(F), effective(D) for each import D)
+///
+/// A body-only edit changes a file's content hash but not its
+/// effective hash, so importers stay clean. An interface edit changes
+/// the effective hash, which ripples to every transitive importer —
+/// conservative for indirect importers (MiniC imports do not
+/// re-export), but always sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_IMPORTGRAPH_H
+#define SC_BUILD_SYS_IMPORTGRAPH_H
+
+#include "build_sys/DependencyScanner.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+class ImportGraph {
+public:
+  /// Builds the graph over \p Scans (path -> scan result, one entry
+  /// per source file). Detects unresolved imports and import cycles;
+  /// check valid() before using the accessors.
+  static ImportGraph build(const std::map<std::string, const ScanResult *> &Scans);
+
+  bool valid() const { return ErrorText.empty(); }
+
+  /// Human-readable description of the first unresolved import or
+  /// cycle found (empty when valid).
+  const std::string &error() const { return ErrorText; }
+
+  /// Every file, dependencies before dependents; ties broken
+  /// lexicographically so the order is reproducible.
+  const std::vector<std::string> &topologicalOrder() const { return Topo; }
+
+  /// Direct imports of \p Path, in declaration order.
+  const std::vector<std::string> &imports(const std::string &Path) const;
+
+  /// The file's own interface hash folded with every transitive
+  /// dependency's (see file comment).
+  uint64_t effectiveInterfaceHash(const std::string &Path) const;
+
+  /// Combined effective hashes of \p Path's direct imports — the value
+  /// the manifest records to decide import-driven recompilation.
+  uint64_t importsEffectiveHash(const std::string &Path) const;
+
+private:
+  struct Node {
+    std::vector<std::string> Imports;
+    uint64_t Effective = 0;
+    uint64_t ImportsEffective = 0;
+  };
+
+  std::map<std::string, Node> Nodes;
+  std::vector<std::string> Topo;
+  std::string ErrorText;
+};
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_IMPORTGRAPH_H

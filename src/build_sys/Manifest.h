@@ -1,0 +1,67 @@
+//===- build_sys/Manifest.h - Persistent build manifest ---------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// What the previous build knew about every translation unit: the
+/// content hash it compiled, the combined effective interface hash of
+/// its imports, and the hash of the object file it produced. The next
+/// build's dirty set is exactly the disagreement between the manifest
+/// and the current project.
+///
+/// The on-disk form is versioned, magic-tagged, and checksummed; a
+/// missing or damaged manifest degrades to a full recompile, never to
+/// stale artifacts being trusted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_MANIFEST_H
+#define SC_BUILD_SYS_MANIFEST_H
+
+#include "support/FileSystem.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sc {
+
+/// Per-TU facts recorded after a successful compilation.
+struct ManifestEntry {
+  uint64_t ContentHash = 0;
+  uint64_t ImportsEffectiveHash = 0;
+  uint64_t ObjectHash = 0; // Hash of the serialized object bytes.
+  uint64_t ConfigHash = 0; // Compiler config (opt level, version).
+};
+
+class BuildManifest {
+public:
+  /// Returns the entry for \p Path, or null when unknown.
+  const ManifestEntry *lookup(const std::string &Path) const;
+
+  void update(const std::string &Path, const ManifestEntry &Entry);
+  void remove(const std::string &Path);
+  void clear();
+
+  const std::map<std::string, ManifestEntry> &entries() const {
+    return Entries;
+  }
+
+  std::string serialize() const;
+
+  /// Replaces the contents from serialized bytes; false (and an empty
+  /// manifest) on malformed input.
+  bool deserialize(const std::string &Bytes);
+
+  bool saveToFile(VirtualFileSystem &FS, const std::string &Path) const;
+  bool loadFromFile(VirtualFileSystem &FS, const std::string &Path);
+
+private:
+  std::map<std::string, ManifestEntry> Entries;
+};
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_MANIFEST_H

@@ -1,0 +1,65 @@
+//===- build_sys/ObjectCache.cpp - Object store + parsed cache -----------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/ObjectCache.h"
+
+#include "support/Hashing.h"
+
+using namespace sc;
+
+ObjectCache::ObjectCache(VirtualFileSystem &FS, std::string OutDir)
+    : FS(FS), OutDir(std::move(OutDir)) {}
+
+std::string ObjectCache::objectPath(const std::string &SourcePath) const {
+  return OutDir + "/" + SourcePath + ".o";
+}
+
+uint64_t ObjectCache::store(const std::string &SourcePath, MModule Object) {
+  std::string Bytes = writeObject(Object);
+  uint64_t Hash = hashString(Bytes);
+  // The FS write stays under the lock: workers store distinct paths,
+  // but VirtualFileSystem implementations share one path map.
+  std::lock_guard<std::mutex> Lock(Mu);
+  FS.writeFile(objectPath(SourcePath), Bytes);
+  Mem[SourcePath] = {Hash, Bytes.size(), std::move(Object)};
+  return Hash;
+}
+
+const MModule *ObjectCache::load(const std::string &SourcePath,
+                                 uint64_t ExpectedHash) {
+  std::optional<std::string> Bytes = FS.readFile(objectPath(SourcePath));
+  if (!Bytes || hashString(*Bytes) != ExpectedHash)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Mem.find(SourcePath);
+  if (It != Mem.end() && It->second.Hash == ExpectedHash)
+    return &It->second.Object;
+  std::optional<MModule> Parsed = readObject(*Bytes);
+  if (!Parsed)
+    return nullptr; // Bytes matched the manifest but do not decode.
+  Cached &C = Mem[SourcePath];
+  C = {ExpectedHash, Bytes->size(), std::move(*Parsed)};
+  return &C.Object;
+}
+
+uint64_t ObjectCache::objectBytes(const std::string &SourcePath) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Mem.find(SourcePath);
+  return It == Mem.end() ? 0 : It->second.Bytes;
+}
+
+void ObjectCache::invalidate(const std::string &SourcePath) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Mem.erase(SourcePath);
+  }
+  FS.removeFile(objectPath(SourcePath));
+}
+
+void ObjectCache::clearMemory() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Mem.clear();
+}

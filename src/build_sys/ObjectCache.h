@@ -1,0 +1,78 @@
+//===- build_sys/ObjectCache.h - Object store + parsed cache ----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-TU object files under `<OutDir>/<source>.o`, fronted by an
+/// in-memory parsed-object cache (the build daemon's second cache):
+/// clean files contribute their previous object to the link without a
+/// deserialization, and repeated rebuilds without edits deserialize
+/// nothing at all.
+///
+/// Integrity: a caller asks for an object *by expected content hash*
+/// (recorded in the build manifest). A missing, vandalized, or
+/// re-written object file fails the hash check and simply reports a
+/// miss — the build system then recompiles the TU. Stale or corrupt
+/// objects can therefore never reach the linker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_OBJECTCACHE_H
+#define SC_BUILD_SYS_OBJECTCACHE_H
+
+#include "codegen/ObjectFile.h"
+#include "support/FileSystem.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sc {
+
+class ObjectCache {
+public:
+  ObjectCache(VirtualFileSystem &FS, std::string OutDir);
+
+  /// `<OutDir>/<source>.o`.
+  std::string objectPath(const std::string &SourcePath) const;
+
+  /// Serializes and writes \p Object for \p SourcePath, retaining the
+  /// parsed form in memory. Returns the object-byte hash to record in
+  /// the manifest. Thread-safe (workers store concurrently).
+  uint64_t store(const std::string &SourcePath, MModule Object);
+
+  /// Returns the cached object for \p SourcePath iff the on-disk bytes
+  /// hash to \p ExpectedHash (deserializing at most once per distinct
+  /// byte content); null on any mismatch, damage, or absence. The
+  /// pointer stays valid until the entry is stored over, invalidated,
+  /// or the cache is cleared.
+  const MModule *load(const std::string &SourcePath, uint64_t ExpectedHash);
+
+  /// Serialized size of the most recently stored/loaded object.
+  uint64_t objectBytes(const std::string &SourcePath) const;
+
+  /// Drops \p SourcePath's memory entry and deletes its object file.
+  void invalidate(const std::string &SourcePath);
+
+  /// Drops only the in-memory entries (files stay).
+  void clearMemory();
+
+private:
+  struct Cached {
+    uint64_t Hash = 0;     // Hash of the serialized bytes.
+    uint64_t Bytes = 0;    // Serialized size.
+    MModule Object;
+  };
+
+  VirtualFileSystem &FS;
+  std::string OutDir;
+  mutable std::mutex Mu;
+  std::map<std::string, Cached> Mem;
+};
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_OBJECTCACHE_H

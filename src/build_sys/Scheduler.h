@@ -1,0 +1,48 @@
+//===- build_sys/Scheduler.h - Parallel compile scheduler -------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the dirty set through the compiler on `Jobs` worker threads.
+/// Jobs arrive already topologically ordered; because a TU's compile
+/// inputs are its source plus *scanned* import interfaces (never
+/// another TU's compile output), jobs are mutually independent and the
+/// scheduler is a deterministic work queue: results land in job order,
+/// every worker owns a private Compiler, and the shared BuildStateDB
+/// is internally synchronized. The linked program is byte-identical
+/// for any Jobs value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_SCHEDULER_H
+#define SC_BUILD_SYS_SCHEDULER_H
+
+#include "driver/Compiler.h"
+
+#include <string>
+#include <vector>
+
+namespace sc {
+
+class BuildStateDB;
+
+/// One dirty translation unit ready to compile.
+struct CompileJob {
+  std::string Path;
+  const std::string *Source = nullptr;  // Owned by the build driver.
+  ModuleInterface Imports;              // Resolved direct-import sigs.
+};
+
+/// Compiles \p Jobs with \p NumThreads workers (1 = in the calling
+/// thread). Returns one CompileResult per job, in job order. \p DB may
+/// be null for stateless configurations.
+std::vector<CompileResult> compileInParallel(const std::vector<CompileJob> &Jobs,
+                                             const CompilerOptions &Options,
+                                             BuildStateDB *DB,
+                                             unsigned NumThreads);
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_SCHEDULER_H

@@ -1,0 +1,89 @@
+//===- tests/build_sys/DependencyScannerTest.cpp --------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The scanner feeds the import DAG and the dirty-set computation, so
+/// its contract is load-bearing: imports in declaration order, an
+/// interface hash that ignores bodies but tracks signatures, graceful
+/// degradation on broken sources, and content-hash memoization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/DependencyScanner.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+TEST(DependencyScanner, ExtractsImportsInDeclarationOrder) {
+  DependencyScanner S;
+  const ScanResult &R = S.scan("main.mc", R"(
+    import "zeta.mc";
+    import "alpha.mc";
+    fn main() -> int { return 0; }
+  )");
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Imports.size(), 2u);
+  EXPECT_EQ(R.Imports[0], "zeta.mc"); // Declaration order, not sorted.
+  EXPECT_EQ(R.Imports[1], "alpha.mc");
+}
+
+TEST(DependencyScanner, ExtractsExportedInterface) {
+  DependencyScanner S;
+  const ScanResult &R = S.scan("util.mc", R"(
+    fn twice(x: int) -> int { return x * 2; }
+    fn pick(a: int, b: int) -> int { return a; }
+  )");
+  ASSERT_TRUE(R.Ok);
+  ASSERT_EQ(R.Interface.size(), 2u);
+  EXPECT_EQ(R.Interface[0].Name, "twice");
+  EXPECT_EQ(R.Interface[0].ParamTypes.size(), 1u);
+  EXPECT_EQ(R.Interface[1].Name, "pick");
+  EXPECT_EQ(R.Interface[1].ParamTypes.size(), 2u);
+}
+
+TEST(DependencyScanner, MalformedSourceDegradesSafely) {
+  DependencyScanner S;
+  const ScanResult &R =
+      S.scan("broken.mc", "import \"ok.mc\";\nfn oops( {");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Interface.empty());
+  EXPECT_TRUE(R.Imports.empty());
+  // Tied to the content so importers re-examine once the file changes.
+  EXPECT_EQ(R.InterfaceHash, R.ContentHash);
+}
+
+TEST(DependencyScanner, BodyEditPreservesInterfaceHash) {
+  DependencyScanner S;
+  const ScanResult &A =
+      S.scan("u.mc", "fn f(x: int) -> int { return x + 1; }");
+  const ScanResult &B =
+      S.scan("u.mc", "fn f(x: int) -> int { return x * 7 - 3; }");
+  EXPECT_NE(A.ContentHash, B.ContentHash);
+  EXPECT_EQ(A.InterfaceHash, B.InterfaceHash)
+      << "a body-only edit must not look like an interface change";
+}
+
+TEST(DependencyScanner, SignatureEditChangesInterfaceHash) {
+  DependencyScanner S;
+  const ScanResult &A =
+      S.scan("u.mc", "fn f(x: int) -> int { return x; }");
+  const ScanResult &B =
+      S.scan("u.mc", "fn f(x: int, y: int) -> int { return x; }");
+  const ScanResult &C =
+      S.scan("u.mc", "fn g(x: int) -> int { return x; }");
+  EXPECT_NE(A.InterfaceHash, B.InterfaceHash); // Arity change.
+  EXPECT_NE(A.InterfaceHash, C.InterfaceHash); // Rename.
+}
+
+TEST(DependencyScanner, MemoizesByContentHash) {
+  DependencyScanner S;
+  const std::string Src = "fn main() -> int { return 4; }";
+  const ScanResult &A = S.scan("a.mc", Src);
+  const ScanResult &B = S.scan("b.mc", Src); // Same bytes, other path.
+  EXPECT_EQ(&A, &B);
+  EXPECT_EQ(S.cacheMisses(), 1u);
+  EXPECT_EQ(S.cacheHits(), 1u);
+}

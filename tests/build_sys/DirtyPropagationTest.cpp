@@ -1,0 +1,157 @@
+//===- tests/build_sys/DirtyPropagationTest.cpp ---------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end dirty-set behavior of the BuildDriver: body edits stay
+/// local, interface edits ripple to every transitive importer, no-op
+/// rebuilds compile nothing, and parallel builds are byte-identical to
+/// serial ones.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "vm/VM.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+/// util.mc <- mid.mc <- main.mc (main imports mid only, so util is a
+/// transitive, not direct, dependency of main).
+void writeChain(VirtualFileSystem &FS) {
+  FS.writeFile("util.mc", R"(
+    fn base(x: int) -> int { return x + 1; }
+  )");
+  FS.writeFile("mid.mc", R"(
+    import "util.mc";
+    fn mid(x: int) -> int { return base(x) * 2; }
+  )");
+  FS.writeFile("main.mc", R"(
+    import "mid.mc";
+    fn main() -> int { return mid(20); }
+  )");
+}
+
+TEST(DirtyPropagation, NoopRebuildCompilesNothing) {
+  InMemoryFileSystem FS;
+  writeChain(FS);
+  BuildDriver Driver(FS, BuildOptions{});
+  BuildStats Cold = Driver.build();
+  ASSERT_TRUE(Cold.Success) << Cold.ErrorText;
+  EXPECT_EQ(Cold.FilesCompiled, 3u);
+  EXPECT_EQ(Cold.FilesTotal, 3u);
+
+  BuildStats Warm = Driver.build();
+  ASSERT_TRUE(Warm.Success) << Warm.ErrorText;
+  EXPECT_EQ(Warm.FilesCompiled, 0u);
+  ASSERT_NE(Driver.program(), nullptr);
+  EXPECT_EQ(VM(*Driver.program()).run().ReturnValue.value_or(-1), 42);
+}
+
+TEST(DirtyPropagation, BodyEditRecompilesOnlyTheEditedFile) {
+  InMemoryFileSystem FS;
+  writeChain(FS);
+  BuildDriver Driver(FS, BuildOptions{});
+  ASSERT_TRUE(Driver.build().Success);
+
+  FS.writeFile("util.mc", R"(
+    fn base(x: int) -> int { return x + 2; }
+  )");
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.FilesCompiled, 1u)
+      << "a body-only edit must not dirty importers";
+  EXPECT_EQ(VM(*Driver.program()).run().ReturnValue.value_or(-1), 44);
+}
+
+TEST(DirtyPropagation, InterfaceEditRecompilesTransitiveImporters) {
+  InMemoryFileSystem FS;
+  writeChain(FS);
+  BuildDriver Driver(FS, BuildOptions{});
+  ASSERT_TRUE(Driver.build().Success);
+
+  // Adding a function changes util's exported interface.
+  FS.writeFile("util.mc", R"(
+    fn base(x: int) -> int { return x + 1; }
+    fn extra(x: int) -> int { return x; }
+  )");
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.FilesCompiled, 3u)
+      << "an interface edit must dirty direct AND transitive importers";
+  EXPECT_EQ(VM(*Driver.program()).run().ReturnValue.value_or(-1), 42);
+}
+
+TEST(DirtyPropagation, FreshDriverTrustsPersistedManifest) {
+  InMemoryFileSystem FS;
+  writeChain(FS);
+  {
+    BuildDriver First(FS, BuildOptions{});
+    ASSERT_TRUE(First.build().Success);
+  }
+  // New driver, same FS: the manifest + objects must carry over.
+  BuildDriver Second(FS, BuildOptions{});
+  BuildStats S = Second.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.FilesCompiled, 0u);
+  EXPECT_EQ(VM(*Second.program()).run().ReturnValue.value_or(-1), 42);
+}
+
+TEST(DirtyPropagation, ParallelBuildMatchesSerialByteForByte) {
+  InMemoryFileSystem SerialFS, ParallelFS;
+  ProjectModel Model =
+      ProjectModel::generate(profileByName("small_cli"), 21);
+  Model.renderAll(SerialFS);
+  Model.renderAll(ParallelFS);
+
+  BuildOptions Serial, Parallel;
+  Serial.Jobs = 1;
+  Parallel.Jobs = 8;
+  BuildDriver DS(SerialFS, Serial);
+  BuildDriver DP(ParallelFS, Parallel);
+  BuildStats SS = DS.build(), SP = DP.build();
+  ASSERT_TRUE(SS.Success) << SS.ErrorText;
+  ASSERT_TRUE(SP.Success) << SP.ErrorText;
+  EXPECT_EQ(SS.FilesCompiled, SP.FilesCompiled);
+
+  for (const std::string &Path : SerialFS.listFiles()) {
+    if (Path.size() < 2 || Path.substr(Path.size() - 2) != ".o")
+      continue;
+    EXPECT_EQ(SerialFS.readFile(Path), ParallelFS.readFile(Path)) << Path;
+  }
+  ExecResult RS = VM(*DS.program()).run();
+  ExecResult RP = VM(*DP.program()).run();
+  EXPECT_EQ(RS.ReturnValue, RP.ReturnValue);
+  EXPECT_EQ(RS.Output, RP.Output);
+}
+
+TEST(DirtyPropagation, DeletedFileDropsOutOfTheProgram) {
+  InMemoryFileSystem FS;
+  FS.writeFile("main.mc", R"(
+    import "extra.mc";
+    fn main() -> int { return helper(); }
+  )");
+  FS.writeFile("extra.mc", R"(
+    fn helper() -> int { return 7; }
+  )");
+  BuildDriver Driver(FS, BuildOptions{});
+  ASSERT_TRUE(Driver.build().Success);
+
+  // Remove the import and the file; the stale object must not linger
+  // in the link set.
+  FS.writeFile("main.mc", R"(
+    fn main() -> int { return 9; }
+  )");
+  FS.removeFile("extra.mc");
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.FilesTotal, 1u);
+  EXPECT_EQ(VM(*Driver.program()).run().ReturnValue.value_or(-1), 9);
+}
+
+} // namespace

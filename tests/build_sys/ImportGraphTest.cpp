@@ -1,0 +1,116 @@
+//===- tests/build_sys/ImportGraphTest.cpp --------------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// DAG validation (unresolved imports, self-imports, longer cycles),
+/// deterministic topological ordering, and the effective-interface-
+/// hash propagation that drives transitive dirty marking.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/ImportGraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace sc;
+
+namespace {
+
+/// Scans a set of (path, source) files and builds their import graph.
+/// The scanner must outlive the graph's ScanResult pointers, so the
+/// fixture owns both.
+class ImportGraphTest : public ::testing::Test {
+protected:
+  ImportGraph graphOf(
+      const std::vector<std::pair<std::string, std::string>> &Files) {
+    std::map<std::string, const ScanResult *> Scans;
+    for (const auto &[Path, Source] : Files)
+      Scans[Path] = &Scanner.scan(Path, Source);
+    return ImportGraph::build(Scans);
+  }
+
+  DependencyScanner Scanner;
+};
+
+TEST_F(ImportGraphTest, MissingImportIsAnError) {
+  ImportGraph G = graphOf({{"a.mc", "import \"nope.mc\";\n"
+                                    "fn main() -> int { return 0; }"}});
+  ASSERT_FALSE(G.valid());
+  EXPECT_NE(G.error().find("nope.mc"), std::string::npos) << G.error();
+}
+
+TEST_F(ImportGraphTest, SelfImportIsACycle) {
+  ImportGraph G = graphOf({{"a.mc", "import \"a.mc\";\n"
+                                    "fn main() -> int { return 0; }"}});
+  ASSERT_FALSE(G.valid());
+  EXPECT_NE(G.error().find("cycle"), std::string::npos) << G.error();
+}
+
+TEST_F(ImportGraphTest, ThreeFileCycleIsDetected) {
+  ImportGraph G = graphOf({
+      {"a.mc", "import \"b.mc\";\nfn fa() -> int { return 1; }"},
+      {"b.mc", "import \"c.mc\";\nfn fb() -> int { return 2; }"},
+      {"c.mc", "import \"a.mc\";\nfn fc() -> int { return 3; }"},
+  });
+  ASSERT_FALSE(G.valid());
+  EXPECT_NE(G.error().find("cycle"), std::string::npos) << G.error();
+}
+
+TEST_F(ImportGraphTest, TopologicalOrderPutsDependenciesFirst) {
+  ImportGraph G = graphOf({
+      {"main.mc", "import \"mid.mc\";\nfn main() -> int { return 0; }"},
+      {"mid.mc", "import \"util.mc\";\nfn m() -> int { return 1; }"},
+      {"util.mc", "fn u() -> int { return 2; }"},
+  });
+  ASSERT_TRUE(G.valid()) << G.error();
+  const std::vector<std::string> &Topo = G.topologicalOrder();
+  ASSERT_EQ(Topo.size(), 3u);
+  auto Pos = [&](const std::string &P) {
+    return std::find(Topo.begin(), Topo.end(), P) - Topo.begin();
+  };
+  EXPECT_LT(Pos("util.mc"), Pos("mid.mc"));
+  EXPECT_LT(Pos("mid.mc"), Pos("main.mc"));
+}
+
+TEST_F(ImportGraphTest, BodyEditLeavesEffectiveHashesAlone) {
+  auto Files = [](const std::string &UtilBody) {
+    return std::vector<std::pair<std::string, std::string>>{
+        {"main.mc", "import \"mid.mc\";\nfn main() -> int { return 0; }"},
+        {"mid.mc", "import \"util.mc\";\nfn m() -> int { return 1; }"},
+        {"util.mc", "fn u() -> int { return " + UtilBody + "; }"},
+    };
+  };
+  ImportGraph Before = graphOf(Files("2"));
+  ImportGraph After = graphOf(Files("99 - 1"));
+  ASSERT_TRUE(Before.valid() && After.valid());
+  EXPECT_EQ(Before.importsEffectiveHash("mid.mc"),
+            After.importsEffectiveHash("mid.mc"));
+  EXPECT_EQ(Before.importsEffectiveHash("main.mc"),
+            After.importsEffectiveHash("main.mc"));
+}
+
+TEST_F(ImportGraphTest, InterfaceEditRipplesToTransitiveImporters) {
+  auto Files = [](const std::string &UtilSource) {
+    return std::vector<std::pair<std::string, std::string>>{
+        {"main.mc", "import \"mid.mc\";\nfn main() -> int { return 0; }"},
+        {"mid.mc", "import \"util.mc\";\nfn m() -> int { return 1; }"},
+        {"util.mc", UtilSource},
+    };
+  };
+  ImportGraph Before = graphOf(Files("fn u() -> int { return 2; }"));
+  ImportGraph After = graphOf(Files("fn u(x: int) -> int { return 2; }"));
+  ASSERT_TRUE(Before.valid() && After.valid());
+  // Direct importer sees the change...
+  EXPECT_NE(Before.importsEffectiveHash("mid.mc"),
+            After.importsEffectiveHash("mid.mc"));
+  // ...and so does the transitive one, even though main.mc does not
+  // import util.mc directly.
+  EXPECT_NE(Before.importsEffectiveHash("main.mc"),
+            After.importsEffectiveHash("main.mc"));
+}
+
+} // namespace
