@@ -50,13 +50,85 @@ inline std::string fmtPercent(double Fraction, int Precision = 2) {
   return Buf;
 }
 
-/// Standard build options for an experiment run.
+/// Standard build options for an experiment run. \p Jobs is the total
+/// build concurrency (work-stealing pool shared by TU jobs and
+/// function tasks).
 inline BuildOptions makeOptions(StatefulConfig::Mode Mode,
-                                OptLevel Opt = OptLevel::O2) {
+                                OptLevel Opt = OptLevel::O2,
+                                unsigned Jobs = 1) {
   BuildOptions BO;
   BO.Compiler.Opt = Opt;
   BO.Compiler.Stateful.SkipMode = Mode;
+  BO.Jobs = Jobs;
   return BO;
+}
+
+//===--- Machine-readable output (BENCH_*.json) ---------------------------===//
+
+/// Minimal JSON object builder: enough for flat benchmark records and
+/// nested arrays built via raw(). Not a general serializer — bench
+/// values are ASCII numbers and identifier-like strings.
+class JsonBuilder {
+public:
+  JsonBuilder &field(const std::string &K, const std::string &V) {
+    sep();
+    Out += "\"" + K + "\":\"" + V + "\"";
+    return *this;
+  }
+  JsonBuilder &field(const std::string &K, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+    sep();
+    Out += "\"" + K + "\":" + Buf;
+    return *this;
+  }
+  JsonBuilder &field(const std::string &K, uint64_t V) {
+    sep();
+    Out += "\"" + K + "\":" + std::to_string(V);
+    return *this;
+  }
+  JsonBuilder &field(const std::string &K, unsigned V) {
+    return field(K, static_cast<uint64_t>(V));
+  }
+  /// Inserts \p RawJson verbatim (for arrays / nested objects).
+  JsonBuilder &raw(const std::string &K, const std::string &RawJson) {
+    sep();
+    Out += "\"" + K + "\":" + RawJson;
+    return *this;
+  }
+  std::string str() const { return "{" + Out + "}"; }
+
+private:
+  void sep() {
+    if (!Out.empty())
+      Out += ",";
+  }
+  std::string Out;
+};
+
+/// Joins element JSON strings into an array literal.
+inline std::string jsonArray(const std::vector<std::string> &Elems) {
+  std::string Out = "[";
+  for (size_t I = 0; I != Elems.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += Elems[I];
+  }
+  return Out + "]";
+}
+
+/// Writes \p Json to \p Path (relative to the bench's working
+/// directory) and echoes where it went.
+inline void writeBenchJson(const std::string &Path, const std::string &Json) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+  std::printf("\nwrote %s\n", Path.c_str());
 }
 
 /// Measured end-to-end numbers for one commit-replay run.
@@ -81,19 +153,18 @@ struct ReplayResult {
 };
 
 /// Replays \p NumCommits commits over a generated project with the
-/// given compiler mode. The same (ProfileSeed, EditSeed) gives an
-/// identical source history for every mode, so modes are directly
-/// comparable.
+/// given build options. The same (ProfileSeed, EditSeed) gives an
+/// identical source history for every configuration, so they are
+/// directly comparable.
 inline ReplayResult replayCommits(const ProjectProfile &Profile,
                                   uint64_t ProfileSeed, uint64_t EditSeed,
                                   unsigned NumCommits,
-                                  StatefulConfig::Mode Mode,
-                                  OptLevel Opt = OptLevel::O2) {
+                                  const BuildOptions &Options) {
   InMemoryFileSystem FS;
   ProjectModel Model = ProjectModel::generate(Profile, ProfileSeed);
   Model.renderAll(FS);
 
-  BuildDriver Driver(FS, makeOptions(Mode, Opt));
+  BuildDriver Driver(FS, Options);
   ReplayResult R;
   BuildStats Cold = Driver.build();
   if (!Cold.Success) {
@@ -126,12 +197,22 @@ inline ReplayResult replayCommits(const ProjectProfile &Profile,
   return R;
 }
 
+inline ReplayResult replayCommits(const ProjectProfile &Profile,
+                                  uint64_t ProfileSeed, uint64_t EditSeed,
+                                  unsigned NumCommits,
+                                  StatefulConfig::Mode Mode,
+                                  OptLevel Opt = OptLevel::O2) {
+  return replayCommits(Profile, ProfileSeed, EditSeed, NumCommits,
+                       makeOptions(Mode, Opt));
+}
+
 /// One compiler configuration for an interleaved comparison.
 struct ReplayConfig {
   std::string Label;
   StatefulConfig::Mode Mode = StatefulConfig::Mode::Stateless;
   bool ReuseCode = false;
   OptLevel Opt = OptLevel::O2;
+  unsigned Jobs = 1;
 };
 
 /// Replays the same commit stream against several configurations,
@@ -157,7 +238,7 @@ replayCommitsInterleaved(const ProjectProfile &Profile, uint64_t ProfileSeed,
     L.Model = std::make_unique<ProjectModel>(
         ProjectModel::generate(Profile, ProfileSeed));
     L.Model->renderAll(*L.FS);
-    BuildOptions BO = makeOptions(Cfg.Mode, Cfg.Opt);
+    BuildOptions BO = makeOptions(Cfg.Mode, Cfg.Opt, Cfg.Jobs);
     BO.Compiler.Stateful.ReuseFunctionCode = Cfg.ReuseCode;
     L.Driver = std::make_unique<BuildDriver>(*L.FS, BO);
     L.Rand = RNG(EditSeed);

@@ -1,0 +1,106 @@
+//===- bench/bench_e10_thread_scaling.cpp - E10: thread scaling -----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// E10 measures how end-to-end build time scales with the shared
+/// work-stealing pool: -j 1/2/4/8 × {stateless, stateful} over the
+/// same commit replay on a large generated project. Both parallelism
+/// levels are exercised — TU-level compile jobs and intra-TU
+/// function-pass tasks — and the output is byte-identical at every
+/// thread count (asserted by the ParallelDeterminism test; this bench
+/// only measures).
+///
+/// Results are written to BENCH_e10.json so the perf trajectory is
+/// tracked across PRs and machines; hardware_threads records how many
+/// cores the numbers were taken on (speedup is bounded by it).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+
+#include <thread>
+
+using namespace sc;
+using namespace sc::bench;
+
+int main() {
+  banner("E10", "Thread scaling: end-to-end build time at -j 1/2/4/8");
+
+  constexpr unsigned NumCommits = 12;
+  constexpr uint64_t ProfileSeed = 42;
+  constexpr uint64_t EditSeed = 1337;
+  const unsigned HardwareThreads =
+      std::max(1u, std::thread::hardware_concurrency());
+
+  // Large workload: enough files for TU-level parallelism and enough
+  // functions per file for the intra-TU level to matter.
+  ProjectProfile Profile;
+  Profile.Name = "large";
+  Profile.NumFiles = 30;
+  Profile.MinFuncsPerFile = 8;
+  Profile.MaxFuncsPerFile = 16;
+  Profile.MaxImportsPerFile = 4;
+  Profile.MinSegs = 3;
+  Profile.MaxSegs = 8;
+
+  const std::vector<unsigned> JobCounts = {1, 2, 4, 8};
+  std::printf("\n%u-commit replay, %u files, O2, machine has %u hardware "
+              "threads.\nAll 8 configurations interleaved per commit:\n\n",
+              NumCommits, Profile.NumFiles, HardwareThreads);
+
+  std::vector<ReplayConfig> Configs;
+  for (unsigned J : JobCounts)
+    Configs.push_back({"stateless-j" + std::to_string(J),
+                       StatefulConfig::Mode::Stateless, false, OptLevel::O2,
+                       J});
+  for (unsigned J : JobCounts)
+    Configs.push_back({"stateful-j" + std::to_string(J),
+                       StatefulConfig::Mode::HeuristicSkip, false,
+                       OptLevel::O2, J});
+
+  std::vector<ReplayResult> Rs = replayCommitsInterleaved(
+      Profile, ProfileSeed, EditSeed, NumCommits, Configs);
+
+  printRow({"config", "cold(ms)", "inc-mean(ms)", "speedup-vs-j1"});
+  std::vector<std::string> JsonRows;
+  for (size_t I = 0; I != Configs.size(); ++I) {
+    const ReplayResult &R = Rs[I];
+    // Baseline: the -j1 lane of the same mode (lanes are grouped by
+    // mode, four job counts each).
+    const ReplayResult &J1 = Rs[I - (I % JobCounts.size())];
+    double Speedup = R.meanIncrementalUs() > 0
+                         ? J1.meanIncrementalUs() / R.meanIncrementalUs()
+                         : 0;
+    printRow({Configs[I].Label, fmt(R.ColdBuildUs / 1000),
+              fmt(R.meanIncrementalUs() / 1000), fmt(Speedup, 3) + "x"});
+    JsonRows.push_back(
+        JsonBuilder()
+            .field("config", Configs[I].Label)
+            .field("jobs", Configs[I].Jobs)
+            .field("stateful",
+                   uint64_t(Configs[I].Mode != StatefulConfig::Mode::Stateless))
+            .field("cold_us", R.ColdBuildUs)
+            .field("incremental_mean_us", R.meanIncrementalUs())
+            .field("speedup_vs_j1", Speedup)
+            .field("passes_run", R.PassesRun)
+            .field("passes_skipped", R.PassesSkipped)
+            .str());
+  }
+
+  std::printf("\nNote: speedup is bounded by the %u hardware thread(s) of "
+              "this machine;\nthe JSON records the count so cross-machine "
+              "trajectories stay comparable.\n",
+              HardwareThreads);
+
+  writeBenchJson("BENCH_e10.json",
+                 JsonBuilder()
+                     .field("experiment", std::string("e10_thread_scaling"))
+                     .field("hardware_threads", HardwareThreads)
+                     .field("commits", NumCommits)
+                     .field("files", Profile.NumFiles)
+                     .raw("runs", jsonArray(JsonRows))
+                     .str());
+  return 0;
+}

@@ -34,6 +34,7 @@ int main() {
   double SumSpeedup = 0;
   double TotalBase = 0, TotalStateful = 0;
   unsigned NumProjects = 0;
+  std::vector<std::string> JsonRows;
 
   const std::vector<ReplayConfig> Configs = {
       {"stateless", StatefulConfig::Mode::Stateless, false, OptLevel::O2},
@@ -60,6 +61,15 @@ int main() {
               fmt(Speedup, 3) + "x",
               std::to_string(Stateful.PassesSkipped),
               std::to_string(Stateful.PassesRun)});
+    JsonRows.push_back(
+        JsonBuilder()
+            .field("project", Profile.Name)
+            .field("stateless_mean_us", Base.meanIncrementalUs())
+            .field("stateful_mean_us", Stateful.meanIncrementalUs())
+            .field("speedup", Speedup)
+            .field("passes_run", Stateful.PassesRun)
+            .field("passes_skipped", Stateful.PassesSkipped)
+            .str());
   }
 
   double MeanSpeedup = NumProjects ? SumSpeedup / NumProjects : 0;
@@ -84,5 +94,16 @@ int main() {
               fmt(Stateful.ColdBuildUs / 1000),
               fmtPercent(Stateful.ColdBuildUs / Base.ColdBuildUs - 1.0)});
   }
+
+  writeBenchJson("BENCH_e2.json",
+                 JsonBuilder()
+                     .field("experiment", std::string("e2_e2e_build"))
+                     .field("commits", NumCommits)
+                     .field("mean_speedup", MeanSpeedup)
+                     .field("aggregate_speedup", AggSpeedup)
+                     .field("improvement_fraction",
+                            1.0 - TotalStateful / TotalBase)
+                     .raw("projects", jsonArray(JsonRows))
+                     .str());
   return 0;
 }

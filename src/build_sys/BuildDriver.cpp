@@ -18,8 +18,10 @@
 #include "build_sys/Scheduler.h"
 #include "codegen/ObjectFile.h"
 #include "support/Hashing.h"
+#include "support/TaskPool.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <optional>
 
 using namespace sc;
@@ -55,7 +57,8 @@ class BuildDriverImpl {
 public:
   BuildDriverImpl(VirtualFileSystem &FS, BuildOptions Options)
       : FS(FS), Options(std::move(Options)),
-        Objects(FS, this->Options.OutDir) {}
+        Objects(FS, this->Options.OutDir),
+        Pool(std::make_unique<TaskPool>(std::max(1u, this->Options.Jobs))) {}
 
   BuildStats build();
   void clean();
@@ -104,6 +107,16 @@ private:
   BuildManifest Manifest;
   ObjectCache Objects;
   std::optional<MModule> Program;
+
+  /// One work-stealing pool per driver, sized by Options.Jobs and
+  /// shared by both parallelism levels: TU-level compile jobs and the
+  /// intra-TU function-pass tasks they fan out.
+  std::unique_ptr<TaskPool> Pool;
+
+  /// Per-driver memo of pre-optimization fingerprints (see
+  /// FingerprintMemo); avoids re-hashing functions of TUs recompiled
+  /// only because a dependency's implementation changed.
+  FingerprintMemo FPMemo;
 
   /// Persisted state is loaded once per driver; later builds trust the
   /// in-memory copies and only write.
@@ -208,8 +221,11 @@ BuildStats BuildDriverImpl::build() {
     }
     Jobs.push_back(std::move(J));
   }
-  std::vector<CompileResult> Results = compileInParallel(
-      Jobs, Options.Compiler, stateful() ? &DB : nullptr, Options.Jobs);
+  CompilerOptions CO = Options.Compiler;
+  CO.Workers = Pool.get();
+  CO.FPMemo = &FPMemo;
+  std::vector<CompileResult> Results =
+      compileInParallel(Jobs, CO, stateful() ? &DB : nullptr, *Pool);
   Compile.stop();
 
   std::string Errors;

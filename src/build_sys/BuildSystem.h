@@ -49,8 +49,11 @@ struct BuildOptions {
   /// Per-TU compiler configuration (opt level, skip policy, reuse).
   CompilerOptions Compiler;
 
-  /// Worker threads compiling dirty files (1 = in-thread). The linked
-  /// program is byte-identical for any Jobs value.
+  /// Total concurrency: one work-stealing pool of this many threads
+  /// (including the calling thread; 1 = fully in-thread) is shared by
+  /// TU-level compile jobs AND intra-TU function-pass tasks. The
+  /// linked program and the persisted compiler state are
+  /// byte-identical for any Jobs value.
   unsigned Jobs = 1;
 
   /// Directory (inside the project filesystem) holding objects, the

@@ -7,48 +7,36 @@
 #include "build_sys/Scheduler.h"
 
 #include "state/BuildStateDB.h"
-
-#include <atomic>
-#include <thread>
+#include "support/TaskPool.h"
 
 using namespace sc;
 
 std::vector<CompileResult>
 sc::compileInParallel(const std::vector<CompileJob> &Jobs,
                       const CompilerOptions &Options, BuildStateDB *DB,
-                      unsigned NumThreads) {
+                      TaskPool &Pool) {
   std::vector<CompileResult> Results(Jobs.size());
   if (Jobs.empty())
     return Results;
 
-  if (NumThreads <= 1 || Jobs.size() == 1) {
-    Compiler C(Options, DB);
-    for (size_t I = 0; I != Jobs.size(); ++I)
-      Results[I] = C.compile(Jobs[I].Path, *Jobs[I].Source, Jobs[I].Imports);
-    return Results;
-  }
-
-  // Deterministic work queue: workers claim the next job index from an
-  // atomic counter and write into a pre-sized slot. No two workers
-  // ever share a slot or a TU key, and each owns a private Compiler
-  // (the pipeline and its analyses are per-instance state).
-  std::atomic<size_t> Next{0};
-  auto Worker = [&] {
-    Compiler C(Options, DB);
-    for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= Jobs.size())
-        return;
-      Results[I] = C.compile(Jobs[I].Path, *Jobs[I].Source, Jobs[I].Imports);
-    }
-  };
-
-  unsigned N = std::min<size_t>(NumThreads, Jobs.size());
-  std::vector<std::thread> Threads;
-  Threads.reserve(N);
-  for (unsigned T = 0; T != N; ++T)
-    Threads.emplace_back(Worker);
-  for (std::thread &T : Threads)
-    T.join();
+  // Each participating thread lazily builds a private Compiler (the
+  // pipeline and its analyses are per-instance state) and writes into
+  // pre-sized, disjoint result slots — no slot or TU key is ever
+  // shared, so results are identical for any work-stealing schedule.
+  std::vector<std::unique_ptr<Compiler>> PerSlot(Pool.maxSlots());
+  Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned Slot) {
+    if (!PerSlot[Slot])
+      PerSlot[Slot] = std::make_unique<Compiler>(Options, DB);
+    Results[I] =
+        PerSlot[Slot]->compile(Jobs[I].Path, *Jobs[I].Source, Jobs[I].Imports);
+  });
   return Results;
+}
+
+std::vector<CompileResult>
+sc::compileInParallel(const std::vector<CompileJob> &Jobs,
+                      const CompilerOptions &Options, BuildStateDB *DB,
+                      unsigned NumThreads) {
+  TaskPool Pool(NumThreads);
+  return compileInParallel(Jobs, Options, DB, Pool);
 }

@@ -5,14 +5,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs the dirty set through the compiler on `Jobs` worker threads.
-/// Jobs arrive already topologically ordered; because a TU's compile
-/// inputs are its source plus *scanned* import interfaces (never
-/// another TU's compile output), jobs are mutually independent and the
-/// scheduler is a deterministic work queue: results land in job order,
-/// every worker owns a private Compiler, and the shared BuildStateDB
-/// is internally synchronized. The linked program is byte-identical
-/// for any Jobs value.
+/// Runs the dirty set through the compiler on a work-stealing task
+/// pool. Jobs arrive already topologically ordered; because a TU's
+/// compile inputs are its source plus *scanned* import interfaces
+/// (never another TU's compile output), jobs are mutually independent:
+/// results land in job order, every participating thread owns a
+/// private Compiler, and the shared BuildStateDB is internally
+/// synchronized. The linked program is byte-identical for any
+/// concurrency level.
+///
+/// When CompilerOptions::Workers points at the same pool, the two
+/// parallelism levels compose: a build with one huge dirty TU no
+/// longer serializes on a single worker — the TU occupies one thread
+/// and the others steal its per-function pass tasks.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +32,7 @@
 namespace sc {
 
 class BuildStateDB;
+class TaskPool;
 
 /// One dirty translation unit ready to compile.
 struct CompileJob {
@@ -35,9 +41,16 @@ struct CompileJob {
   ModuleInterface Imports;              // Resolved direct-import sigs.
 };
 
-/// Compiles \p Jobs with \p NumThreads workers (1 = in the calling
-/// thread). Returns one CompileResult per job, in job order. \p DB may
-/// be null for stateless configurations.
+/// Compiles \p Jobs on \p Pool (the calling thread participates).
+/// Returns one CompileResult per job, in job order. \p DB may be null
+/// for stateless configurations. Pass the same pool in
+/// \p Options.Workers to enable intra-TU function-task stealing.
+std::vector<CompileResult> compileInParallel(const std::vector<CompileJob> &Jobs,
+                                             const CompilerOptions &Options,
+                                             BuildStateDB *DB, TaskPool &Pool);
+
+/// Convenience overload owning a transient pool of \p NumThreads
+/// (1 = in the calling thread, no threads spawned).
 std::vector<CompileResult> compileInParallel(const std::vector<CompileJob> &Jobs,
                                              const CompilerOptions &Options,
                                              BuildStateDB *DB,

@@ -16,6 +16,7 @@
 #include "ir/Verifier.h"
 #include "lang/Parser.h"
 #include "support/Hashing.h"
+#include "support/TaskPool.h"
 #include "support/Timer.h"
 #include "transforms/MemoryUtils.h"
 
@@ -30,6 +31,27 @@ Compiler::Compiler(CompilerOptions Options, BuildStateDB *DB)
   assert((DB || Options.Stateful.SkipMode ==
                     StatefulConfig::Mode::Stateless) &&
          "stateful modes require a BuildStateDB");
+}
+
+bool FingerprintMemo::lookup(uint64_t Key,
+                             std::map<std::string, uint64_t> &Out) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void FingerprintMemo::insert(uint64_t Key,
+                             std::map<std::string, uint64_t> Fingerprints) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entries[Key] = std::move(Fingerprints);
+}
+
+size_t FingerprintMemo::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
 }
 
 namespace {
@@ -164,9 +186,43 @@ CompileResult Compiler::compile(const std::string &TUKey,
   //===--- State: fingerprints and previous records -------------------------===//
 
   State.start();
-  for (size_t I = 0; I != M->numFunctions(); ++I) {
-    const Function *F = M->function(I);
-    Result.Fingerprints[F->name()] = structuralHash(*F);
+  uint64_t MemoKey = 0;
+  bool MemoHit = false;
+  if (Options.FPMemo) {
+    // The fingerprints are a pure function of the generated IR, which
+    // is a pure function of (TUKey, source, visible import
+    // signatures) — fold exactly those into the memo key.
+    HashBuilder MK;
+    MK.addString(TUKey);
+    MK.addString(Source);
+    MK.addU64(Imports.size());
+    for (const FunctionSignature &Sig : Imports) {
+      MK.addString(Sig.Name);
+      MK.addU32(static_cast<uint32_t>(Sig.ReturnType));
+      MK.addU64(Sig.ParamTypes.size());
+      for (TypeName T : Sig.ParamTypes)
+        MK.addU32(static_cast<uint32_t>(T));
+    }
+    MemoKey = MK.digest();
+    MemoHit = Options.FPMemo->lookup(MemoKey, Result.Fingerprints);
+  }
+  if (!MemoHit) {
+    // Hash functions in parallel when a pool is available: disjoint
+    // output slots, name-keyed map built afterwards in index order.
+    const size_t NumFns = M->numFunctions();
+    std::vector<uint64_t> Hashes(NumFns);
+    auto HashOne = [&](size_t I, unsigned) {
+      Hashes[I] = structuralHash(*M->function(I));
+    };
+    if (Options.Workers && NumFns > 1)
+      Options.Workers->parallelFor(NumFns, HashOne);
+    else
+      for (size_t I = 0; I != NumFns; ++I)
+        HashOne(I, 0);
+    for (size_t I = 0; I != NumFns; ++I)
+      Result.Fingerprints[M->function(I)->name()] = Hashes[I];
+    if (Options.FPMemo)
+      Options.FPMemo->insert(MemoKey, Result.Fingerprints);
   }
 
   std::unique_ptr<StatefulInstrumentation> Instr;
@@ -198,8 +254,8 @@ CompileResult Compiler::compile(const std::string &TUKey,
 
   Middle.start();
   AnalysisManager AM(*M);
-  Result.PassStats =
-      Pipeline.run(*M, AM, Instr.get(), Options.VerifyEach);
+  Result.PassStats = Pipeline.run(*M, AM, Instr.get(), Options.VerifyEach,
+                                  Options.Workers);
   Middle.stop();
 
   Result.IRInstsAfterOpt = 0;

@@ -24,10 +24,34 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
 namespace sc {
+
+class TaskPool;
+
+/// Per-build memo of pre-optimization function fingerprints, keyed by
+/// a hash of (TUKey, source bytes, visible import signatures) — the
+/// complete input of IR generation, hence of the fingerprints. A TU
+/// recompiled because a dependency's *implementation* changed (its
+/// interface hash is what the key folds in) hits the memo and skips
+/// re-hashing every function. Thread-safe; shared across the parallel
+/// compilations of one BuildDriver.
+class FingerprintMemo {
+public:
+  /// Copies the memoized fingerprints into \p Out on hit.
+  bool lookup(uint64_t Key, std::map<std::string, uint64_t> &Out) const;
+
+  void insert(uint64_t Key, std::map<std::string, uint64_t> Fingerprints);
+
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<uint64_t, std::map<std::string, uint64_t>> Entries;
+};
 
 struct CompilerOptions {
   OptLevel Opt = OptLevel::O2;
@@ -42,6 +66,16 @@ struct CompilerOptions {
   /// Folded into the pipeline signature: bump to invalidate all
   /// persisted dormancy state (simulates a compiler upgrade).
   uint32_t CompilerVersion = 1;
+
+  /// Optional shared worker pool enabling function-level parallelism
+  /// in the middle end (and parallel fingerprinting). Owned by the
+  /// caller (one pool per BuildDriver, shared with TU-level jobs).
+  /// Deliberately NOT part of any configuration hash: parallelism
+  /// never changes output, so dormancy state is portable across -j.
+  TaskPool *Workers = nullptr;
+
+  /// Optional per-build fingerprint memo; see FingerprintMemo.
+  FingerprintMemo *FPMemo = nullptr;
 };
 
 /// Wall-clock spent per compilation phase, in microseconds.

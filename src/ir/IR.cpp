@@ -7,6 +7,7 @@
 #include "ir/IR.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace sc;
 
@@ -14,7 +15,51 @@ using namespace sc;
 // Value
 //===----------------------------------------------------------------------===//
 
+namespace {
+// Striped spinlocks guarding the user lists of values shared across
+// functions (constants, globals). Instruction results and arguments are
+// only ever used from their owning function, which the parallel pass
+// engine runs on exactly one thread at a time, so they take no lock.
+// The critical sections are a handful of pointer moves; a spinlock
+// beats a mutex here and keeps Value allocation-free.
+struct SpinLock {
+  std::atomic_flag F = ATOMIC_FLAG_INIT;
+  void lock() {
+    while (F.test_and_set(std::memory_order_acquire)) {
+    }
+  }
+  void unlock() { F.clear(std::memory_order_release); }
+};
+
+SpinLock SharedUseLocks[64];
+
+SpinLock &lockFor(const Value *V) {
+  return SharedUseLocks[(reinterpret_cast<uintptr_t>(V) >> 4) & 63];
+}
+} // namespace
+
+void Value::addUser(Instruction *I) {
+  if (isSharedAcrossFunctions()) {
+    SpinLock &L = lockFor(this);
+    L.lock();
+    Users.push_back(I);
+    L.unlock();
+    return;
+  }
+  Users.push_back(I);
+}
+
 void Value::removeUser(Instruction *I) {
+  if (isSharedAcrossFunctions()) {
+    SpinLock &L = lockFor(this);
+    L.lock();
+    auto It = std::find(Users.begin(), Users.end(), I);
+    assert(It != Users.end() && "removing a non-existent user");
+    *It = Users.back();
+    Users.pop_back();
+    L.unlock();
+    return;
+  }
   auto It = std::find(Users.begin(), Users.end(), I);
   assert(It != Users.end() && "removing a non-existent user");
   // Order is irrelevant: swap-and-pop.
@@ -360,6 +405,10 @@ size_t Function::instructionCount() const {
 //===----------------------------------------------------------------------===//
 
 ConstantInt *Module::getConstant(IRType Ty, int64_t V) {
+  // Locked: function passes running concurrently materialize constants.
+  // Uniquing makes the resulting pointer independent of call order, so
+  // parallel creation cannot perturb output.
+  std::lock_guard<std::mutex> Lock(ConstantMu);
   auto Key = std::make_pair(static_cast<uint8_t>(Ty), V);
   auto It = ConstantIndex.find(Key);
   if (It != ConstantIndex.end())

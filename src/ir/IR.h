@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -87,13 +88,24 @@ public:
     return K >= Kind::Binary && K <= Kind::Ret;
   }
 
+  /// Constants and globals are the only values whose user lists can be
+  /// mutated from concurrently-optimized functions (instructions and
+  /// arguments belong to exactly one function); their list updates go
+  /// through a striped lock so function-level pass parallelism is
+  /// race-free. Consumers of a shared value's user list must be
+  /// order-insensitive — the list order is not deterministic under
+  /// parallel optimization (only the set is).
+  bool isSharedAcrossFunctions() const {
+    return K == Kind::ConstantInt || K == Kind::GlobalVariable;
+  }
+
 protected:
   Value(Kind K, IRType Ty) : K(K), Ty(Ty) {}
 
 private:
   friend class Instruction;
 
-  void addUser(Instruction *I) { Users.push_back(I); }
+  void addUser(Instruction *I);
   void removeUser(Instruction *I);
 
   const Kind K;
@@ -636,7 +648,13 @@ public:
 
   const std::string &name() const { return Name; }
 
-  /// Uniqued integer constant of the given type.
+  /// Uniqued integer constant of the given type. Thread-safe: function
+  /// passes running on parallel workers materialize constants through
+  /// this entry point (the pool is locked internally; uniquing keeps
+  /// constant pointer identity independent of creation order, so
+  /// parallel optimization stays deterministic). The rest of Module's
+  /// mutation API (globals, functions) is single-threaded by contract:
+  /// it is only called from IR generation and module passes.
   ConstantInt *getConstant(IRType Ty, int64_t V);
   ConstantInt *getI64(int64_t V) { return getConstant(IRType::I64, V); }
   ConstantInt *getBool(bool B) { return getConstant(IRType::I1, B ? 1 : 0); }
@@ -662,6 +680,7 @@ private:
   // unregister from the user lists of constants and globals.
   std::vector<std::unique_ptr<ConstantInt>> Constants;
   std::map<std::pair<uint8_t, int64_t>, ConstantInt *> ConstantIndex;
+  mutable std::mutex ConstantMu; // Guards the two members above.
   std::vector<std::unique_ptr<GlobalVariable>> Globals;
   std::vector<std::unique_ptr<Function>> Functions;
 };

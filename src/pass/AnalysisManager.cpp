@@ -8,44 +8,83 @@
 
 using namespace sc;
 
+AnalysisManager::FunctionAnalyses &
+AnalysisManager::slotFor(const Function &F) {
+  std::lock_guard<std::mutex> Lock(SlotMu);
+  return PerFunction[&F];
+}
+
 const DominatorTree &AnalysisManager::domTree(const Function &F) {
-  auto &Slot = PerFunction[&F];
+  FunctionAnalyses &Slot = slotFor(F);
   if (!Slot.DT) {
     Slot.DT = std::make_unique<DominatorTree>(DominatorTree::compute(F));
-    ++NumDomTrees;
+    NumDomTrees.fetch_add(1, std::memory_order_relaxed);
   }
   return *Slot.DT;
 }
 
 const LoopInfo &AnalysisManager::loopInfo(const Function &F) {
-  auto &Slot = PerFunction[&F];
+  FunctionAnalyses &Slot = slotFor(F);
   if (!Slot.LI) {
     Slot.LI = std::make_unique<LoopInfo>(LoopInfo::compute(F, domTree(F)));
-    ++NumLoopInfos;
+    NumLoopInfos.fetch_add(1, std::memory_order_relaxed);
   }
   return *Slot.LI;
 }
 
 const PurityInfo &AnalysisManager::purity() {
+  if (Frozen) {
+    assert(Purity && "purity() while frozen without a snapshot");
+    return *Purity;
+  }
+  if (ModuleAnalysesStale.exchange(false, std::memory_order_acq_rel)) {
+    Purity.reset();
+    CG.reset();
+  }
   if (!Purity)
     Purity = std::make_unique<PurityInfo>(PurityInfo::compute(M));
   return *Purity;
 }
 
 const CallGraph &AnalysisManager::callGraph() {
+  assert(!Frozen && "callGraph() has no frozen consumers (module passes "
+                    "run sequentially)");
+  if (ModuleAnalysesStale.exchange(false, std::memory_order_acq_rel)) {
+    Purity.reset();
+    CG.reset();
+  }
   if (!CG)
     CG = std::make_unique<CallGraph>(CallGraph::compute(M));
   return *CG;
 }
 
+void AnalysisManager::freezeModuleAnalyses() {
+  assert(!Frozen && "nested freeze");
+  Frozen = true;
+}
+
+void AnalysisManager::unfreezeModuleAnalyses() {
+  assert(Frozen && "unbalanced unfreeze");
+  Frozen = false;
+}
+
 void AnalysisManager::invalidate(const Function &F) {
-  PerFunction.erase(&F);
-  Purity.reset();
-  CG.reset();
+  {
+    std::lock_guard<std::mutex> Lock(SlotMu);
+    PerFunction.erase(&F);
+  }
+  // Module-level analyses are invalidated lazily: resetting them here
+  // would race with concurrent readers of the frozen snapshot, and in
+  // sequential mode the deferred reset is observationally identical
+  // (the next query recomputes either way).
+  ModuleAnalysesStale.store(true, std::memory_order_release);
 }
 
 void AnalysisManager::invalidateAll() {
+  std::lock_guard<std::mutex> Lock(SlotMu);
+  assert(!Frozen && "invalidateAll() during a parallel position");
   PerFunction.clear();
   Purity.reset();
   CG.reset();
+  ModuleAnalysesStale.store(false, std::memory_order_relaxed);
 }

@@ -10,6 +10,14 @@
 /// skipping sound for analyses: analyses are never "skipped", they are
 /// simply not computed until a pass that actually runs requests them.
 ///
+/// Thread-safety contract for the parallel pass engine: per-function
+/// analyses may be queried/invalidated concurrently as long as each
+/// function is touched by at most one thread at a time (the engine
+/// guarantees this — one task per function). Module-level analyses
+/// (purity, call graph) are snapshotted and frozen for the duration of
+/// each parallel function-pass position; invalidation while frozen is
+/// deferred via a stale flag and applied at the next unfrozen query.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SC_PASS_ANALYSISMANAGER_H
@@ -21,8 +29,10 @@
 #include "analysis/Purity.h"
 #include "ir/IR.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 
 namespace sc {
 
@@ -42,21 +52,37 @@ public:
   const PurityInfo &purity();
   const CallGraph &callGraph();
 
+  /// Freezes the current module-analysis snapshot: while frozen,
+  /// purity()/callGraph() return the snapshot as-is and invalidate()
+  /// only defers (sets a stale flag) instead of dropping them. The
+  /// parallel engine freezes around each function-pass position so
+  /// every function sees the same purity facts regardless of which
+  /// sibling tasks have already mutated their own functions. Callers
+  /// must materialize the analyses they need (e.g. call purity())
+  /// before freezing.
+  void freezeModuleAnalyses();
+  void unfreezeModuleAnalyses();
+
   //===--- Invalidation -------------------------------------------------------===//
 
   /// Drops cached per-function analyses for \p F. Called by every
   /// function pass that reports a change. Module-level analyses are
-  /// structural (call edges, purity) and also conservatively dropped:
-  /// transforms can delete calls.
+  /// structural (call edges, purity) and also conservatively dropped
+  /// (deferred while frozen): transforms can delete calls.
   void invalidate(const Function &F);
 
   /// Drops everything; called after module passes that change IR.
+  /// Not safe concurrently with queries (module passes are sequential).
   void invalidateAll();
 
   //===--- Statistics -----------------------------------------------------------===//
 
-  unsigned domTreeComputations() const { return NumDomTrees; }
-  unsigned loopInfoComputations() const { return NumLoopInfos; }
+  unsigned domTreeComputations() const {
+    return NumDomTrees.load(std::memory_order_relaxed);
+  }
+  unsigned loopInfoComputations() const {
+    return NumLoopInfos.load(std::memory_order_relaxed);
+  }
 
 private:
   struct FunctionAnalyses {
@@ -64,12 +90,22 @@ private:
     std::unique_ptr<LoopInfo> LI;
   };
 
+  /// Locked map access; the returned reference is stable (std::map)
+  /// and, per the contract above, only touched by the one thread
+  /// currently processing \p F.
+  FunctionAnalyses &slotFor(const Function &F);
+
   Module &M;
+  std::mutex SlotMu;
   std::map<const Function *, FunctionAnalyses> PerFunction;
   std::unique_ptr<PurityInfo> Purity;
   std::unique_ptr<CallGraph> CG;
-  unsigned NumDomTrees = 0;
-  unsigned NumLoopInfos = 0;
+  bool Frozen = false;
+  /// Set by invalidate() while frozen; consumed by the next unfrozen
+  /// purity()/callGraph() query.
+  std::atomic<bool> ModuleAnalysesStale{false};
+  std::atomic<unsigned> NumDomTrees{0};
+  std::atomic<unsigned> NumLoopInfos{0};
 };
 
 } // namespace sc

@@ -37,6 +37,13 @@ public:
   /// returning false is recorded as dormant). A pass that modifies IR
   /// must invalidate the function's cached analyses through \p AM.
   virtual bool run(Function &F, AnalysisManager &AM) = 0;
+
+  /// True if run() consults AM.purity(). The parallel pass engine
+  /// snapshots module-level analyses before fanning a pass out across
+  /// functions; declaring the dependency here lets it refresh the
+  /// snapshot exactly once per pipeline position instead of racing on
+  /// lazy recomputation inside run().
+  virtual bool requiresPurity() const { return false; }
 };
 
 /// Transform operating on the whole module (inliner, global opts).

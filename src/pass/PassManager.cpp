@@ -9,6 +9,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "support/Hashing.h"
+#include "support/TaskPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -82,8 +83,8 @@ void verifyOrDie(const Function &F, const std::string &PassName) {
 } // namespace
 
 PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
-                                PassInstrumentation *PI,
-                                bool VerifyEach) const {
+                                PassInstrumentation *PI, bool VerifyEach,
+                                TaskPool *Pool) const {
   PipelineStats Stats;
   Timers.reset();
 
@@ -114,28 +115,73 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
       continue;
     }
 
-    for (size_t FI = 0; FI != M.numFunctions(); ++FI) {
+    // Function-pass position: fan out across functions. The same body
+    // runs sequentially when no pool is given, with identical
+    // snapshot/freeze semantics, so -j1 and -jN produce the same
+    // output bytes and the same dormancy records.
+    //
+    // Snapshot module analyses the pass depends on, then freeze them
+    // for the whole position: every function sees the purity facts
+    // computed from the IR as it stood when the position started,
+    // independent of how sibling tasks interleave. (This is also what
+    // the old sequential engine observed for the passes that exist
+    // today: a function pass can delete a pure call but can never make
+    // an Impure function non-impure, so a snapshot taken at position
+    // start classifies every function identically.)
+    if (E.FP->requiresPurity())
+      AM.purity();
+    AM.freezeModuleAnalyses();
+
+    // Per-slot accumulators: each participating thread gets a private
+    // counter set, merged after the barrier. Integer sums are
+    // commutative, so totals are identical for any item->slot split.
+    struct SlotStats {
+      uint64_t Runs = 0;
+      uint64_t Skips = 0;
+      uint64_t Changes = 0;
+      uint64_t Nanos = 0;
+    };
+    const unsigned NumSlots = Pool ? Pool->maxSlots() : 1;
+    std::vector<SlotStats> Slots(NumSlots);
+
+    auto Body = [&](size_t FI, unsigned Slot) {
       Function &F = *M.function(FI);
+      SlotStats &SS = Slots[Slot];
       if (PI && !PI->shouldRunPass(Name, Index, F)) {
-        ++Stats.FunctionPassSkips;
+        ++SS.Skips;
         PI->onSkippedPass(Name, Index, F);
-        continue;
+        return;
       }
-      Timer T;
-      T.start();
+      uint64_t T0 = nowNanos();
       bool Changed = E.FP->run(F, AM);
-      T.stop();
+      uint64_t Dur = nowNanos() - T0;
       if (Changed) {
         AM.invalidate(F);
-        ++Stats.FunctionPassChanges;
+        ++SS.Changes;
       }
-      PassTimer.accumulate(T);
-      ++Stats.FunctionPassRuns;
-      Stats.TotalPassMicros += T.micros();
+      SS.Nanos += Dur;
+      ++SS.Runs;
       if (PI)
-        PI->afterPass(Name, Index, F, Changed, T.micros());
+        PI->afterPass(Name, Index, F, Changed,
+                      static_cast<double>(Dur) / 1000.0);
       if (VerifyEach && Changed)
         verifyOrDie(F, Name);
+    };
+
+    if (Pool && M.numFunctions() > 1)
+      Pool->parallelFor(M.numFunctions(), Body);
+    else
+      for (size_t FI = 0; FI != M.numFunctions(); ++FI)
+        Body(FI, 0);
+
+    AM.unfreezeModuleAnalyses();
+
+    for (const SlotStats &SS : Slots) {
+      Stats.FunctionPassRuns += SS.Runs;
+      Stats.FunctionPassSkips += SS.Skips;
+      Stats.FunctionPassChanges += SS.Changes;
+      Stats.TotalPassMicros += static_cast<double>(SS.Nanos) / 1000.0;
+      PassTimer.addNanos(SS.Nanos);
     }
   }
   return Stats;

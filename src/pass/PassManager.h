@@ -27,6 +27,8 @@
 
 namespace sc {
 
+class TaskPool;
+
 /// Observer/controller of pipeline execution.
 class PassInstrumentation {
 public:
@@ -88,9 +90,18 @@ public:
   /// Runs the pipeline over \p M. \p PI may be null (always-run).
   /// When \p VerifyEach is set, the IR verifier runs after every pass
   /// execution that reported a change, aborting on malformed IR.
+  ///
+  /// When \p Pool is non-null, each function-pass position fans out
+  /// across functions on the pool (module passes stay sequential
+  /// barriers). Execution identity is unchanged — the same (function,
+  /// pass-index) pairs run or skip — and output is byte-identical to
+  /// the sequential engine for any thread count: functions only mutate
+  /// their own IR, module analyses are frozen per position, and stats
+  /// merge commutatively. \p PI callbacks may then arrive concurrently
+  /// from multiple threads and must lock internally.
   PipelineStats run(Module &M, AnalysisManager &AM,
                     PassInstrumentation *PI = nullptr,
-                    bool VerifyEach = false) const;
+                    bool VerifyEach = false, TaskPool *Pool = nullptr) const;
 
   /// Per-pass accumulated wall-clock time of the last run() call.
   const TimerGroup &lastRunTimers() const { return Timers; }

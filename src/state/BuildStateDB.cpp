@@ -9,46 +9,97 @@
 #include "support/Hashing.h"
 #include "support/Serializer.h"
 
+#include <algorithm>
+
 using namespace sc;
 
 namespace {
 constexpr uint32_t DBMagic = 0x53434442; // "SCDB"
 constexpr uint32_t DBVersion = 3;
+
+/// Encoded length of BinaryWriter::writeVarU64(V) (LEB128).
+unsigned varintLen(uint64_t V) {
+  unsigned N = 1;
+  while (V >= 0x80) {
+    V >>= 7;
+    ++N;
+  }
+  return N;
+}
 } // namespace
 
-// numTUs is approximate under concurrency; used for stats only.
+BuildStateDB::Shard &BuildStateDB::shardFor(const std::string &TUKey) const {
+  return Shards[hashString(TUKey) % NumShards];
+}
+
 const TUState *BuildStateDB::lookup(const std::string &TUKey) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = TUs.find(TUKey);
-  return It != TUs.end() ? &It->second : nullptr;
+  Shard &S = shardFor(TUKey);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.TUs.find(TUKey);
+  return It != S.TUs.end() ? &It->second : nullptr;
 }
 
 void BuildStateDB::update(const std::string &TUKey, TUState State) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  TUs[TUKey] = std::move(State);
-  SegmentCache.erase(TUKey);
+  Shard &S = shardFor(TUKey);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.TUs[TUKey] = std::move(State);
+  S.SegmentCache.erase(TUKey);
 }
 
 void BuildStateDB::remove(const std::string &TUKey) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  TUs.erase(TUKey);
-  SegmentCache.erase(TUKey);
+  Shard &S = shardFor(TUKey);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.TUs.erase(TUKey);
+  S.SegmentCache.erase(TUKey);
 }
 
 void BuildStateDB::clear() {
-  std::lock_guard<std::mutex> Lock(Mu);
-  TUs.clear();
-  SegmentCache.clear();
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.TUs.clear();
+    S.SegmentCache.clear();
+  }
 }
 
-uint64_t BuildStateDB::sizeBytes() const { return serialize().size(); }
+// Approximate under concurrency; used for stats only.
+size_t BuildStateDB::numTUs() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.TUs.size();
+  }
+  return N;
+}
+
+uint64_t BuildStateDB::sizeBytes() const {
+  // Sum the framing arithmetic over cached segments instead of
+  // materializing the full byte string: header (magic, version, TU
+  // count) + per TU {varint length prefix, segment} + u64 checksum.
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(NumShards);
+  for (const Shard &S : Shards)
+    Locks.emplace_back(S.Mu);
+
+  uint64_t N = 0;
+  uint64_t Total = 8; // Magic + version.
+  for (const Shard &S : Shards)
+    for (const auto &[Key, TU] : S.TUs) {
+      (void)TU;
+      const Segment &Seg = segmentFor(S, Key);
+      Total += varintLen(Seg.Bytes.size()) + Seg.Bytes.size();
+      ++N;
+    }
+  Total += varintLen(N);
+  Total += 8; // Checksum.
+  return Total;
+}
 
 const BuildStateDB::Segment &
-BuildStateDB::segmentFor(const std::string &TUKey) const {
-  auto Cached = SegmentCache.find(TUKey);
-  if (Cached != SegmentCache.end())
+BuildStateDB::segmentFor(const Shard &S, const std::string &TUKey) {
+  auto Cached = S.SegmentCache.find(TUKey);
+  if (Cached != S.SegmentCache.end())
     return Cached->second;
-  const TUState &TU = TUs.at(TUKey);
+  const TUState &TU = S.TUs.at(TUKey);
   BinaryWriter W;
   W.writeString(TUKey);
   W.writeU64(TU.PipelineSignature);
@@ -69,11 +120,28 @@ BuildStateDB::segmentFor(const std::string &TUKey) const {
   Segment Seg;
   Seg.Bytes = std::string(W.data().begin(), W.data().end());
   Seg.Hash = hashString(Seg.Bytes);
-  return SegmentCache[TUKey] = std::move(Seg);
+  return S.SegmentCache[TUKey] = std::move(Seg);
 }
 
 std::string BuildStateDB::serialize() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  // Lock every shard (fixed index order — no deadlock) so the emitted
+  // snapshot is consistent, then emit segments in globally sorted key
+  // order: the format is identical to the pre-sharding single-map
+  // layout, so files round-trip across the sharding change.
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(NumShards);
+  for (const Shard &S : Shards)
+    Locks.emplace_back(S.Mu);
+
+  std::vector<std::pair<const std::string *, const Shard *>> Keys;
+  for (const Shard &S : Shards)
+    for (const auto &[Key, TU] : S.TUs) {
+      (void)TU;
+      Keys.push_back({&Key, &S});
+    }
+  std::sort(Keys.begin(), Keys.end(),
+            [](const auto &A, const auto &B) { return *A.first < *B.first; });
+
   // Format: header, then per TU {varint segment length, segment
   // bytes}, then a trailing checksum folding the per-segment hashes.
   // Folding cached hashes (instead of hashing the whole buffer) keeps
@@ -83,13 +151,12 @@ std::string BuildStateDB::serialize() const {
   BinaryWriter Header;
   Header.writeU32(DBMagic);
   Header.writeU32(DBVersion);
-  Header.writeVarU64(TUs.size());
+  Header.writeVarU64(Keys.size());
 
-  uint64_t Checksum =
-      hashBytes(Header.data().data(), Header.data().size());
+  uint64_t Checksum = hashBytes(Header.data().data(), Header.data().size());
   std::string Out(Header.data().begin(), Header.data().end());
-  for (const auto &[Key, TU] : TUs) {
-    const Segment &Seg = segmentFor(Key);
+  for (const auto &[Key, S] : Keys) {
+    const Segment &Seg = segmentFor(*S, *Key);
     BinaryWriter Len;
     Len.writeVarU64(Seg.Bytes.size());
     Out.append(Len.data().begin(), Len.data().end());
@@ -103,9 +170,18 @@ std::string BuildStateDB::serialize() const {
 }
 
 bool BuildStateDB::deserialize(const std::string &Bytes) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  TUs.clear();
-  SegmentCache.clear();
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(NumShards);
+  for (const Shard &S : Shards)
+    Locks.emplace_back(S.Mu);
+
+  auto ClearAll = [this] {
+    for (Shard &S : Shards) {
+      S.TUs.clear();
+      S.SegmentCache.clear();
+    }
+  };
+  ClearAll();
   if (Bytes.size() < 16)
     return false;
   BinaryReader Tail(
@@ -123,7 +199,7 @@ bool BuildStateDB::deserialize(const std::string &Bytes) {
     uint64_t SegLen = R.readVarU64();
     size_t SegStart = R.position();
     if (R.failed() || SegLen > Bytes.size() - 8 - SegStart) {
-      TUs.clear();
+      ClearAll();
       return false;
     }
     Checksum =
@@ -151,16 +227,16 @@ bool BuildStateDB::deserialize(const std::string &Bytes) {
       TU.Functions[Name] = std::move(Rec);
     }
     if (SR.failed() || !SR.atEnd()) {
-      TUs.clear();
+      ClearAll();
       return false;
     }
-    TUs[Key] = std::move(TU);
+    shardFor(Key).TUs[Key] = std::move(TU);
 
     // Advance the outer reader past the segment.
     R.skip(SegLen);
   }
   if (R.failed() || !R.atEnd() || Checksum != Expected) {
-    TUs.clear();
+    ClearAll();
     return false;
   }
   return true;

@@ -68,11 +68,15 @@ struct TUState {
   std::map<std::string, FunctionRecord> Functions;
 };
 
-/// Thread-safety: the map structure is internally locked, so
-/// concurrent compilations of different TUs may lookup/update freely.
+/// Thread-safety: the store is sharded by TU-key hash into 16
+/// independently-locked stripes, so parallel workers recording
+/// dormancy for different TUs almost never contend on the same lock.
 /// A TUState pointer returned by lookup() stays valid under other
 /// keys' updates (node-based map) and is only replaced by an update of
 /// its own key — which the build system performs exactly once per TU.
+/// The serialized format is shard-independent: segments are emitted in
+/// globally sorted key order, byte-identical to the pre-sharding
+/// single-map layout.
 class BuildStateDB {
 public:
   /// Looks up a TU's state; returns null when absent.
@@ -87,9 +91,11 @@ public:
   /// Drops everything (build-system clean).
   void clear();
 
-  size_t numTUs() const { return TUs.size(); }
+  size_t numTUs() const;
 
   /// Serialized size in bytes (the E4 storage-overhead metric).
+  /// Computed from the cached per-TU segments plus fixed framing —
+  /// no serialize() round-trip, so it is O(dirty TUs), not O(bytes).
   uint64_t sizeBytes() const;
 
   //===--- Persistence ---------------------------------------------------===//
@@ -110,16 +116,27 @@ private:
     uint64_t Hash = 0;
   };
 
-  const Segment &segmentFor(const std::string &TUKey) const;
+  /// One lock stripe. SegmentCache holds per-TU serialized segments
+  /// with their hashes, invalidated on update/remove: a build that
+  /// recompiled k of n files re-serializes and re-hashes only k
+  /// segments, keeping the per-build save cost proportional to the
+  /// work done (it matters once records carry cached code). The file
+  /// checksum folds the per-segment hashes.
+  struct Shard {
+    mutable std::mutex Mu;
+    std::map<std::string, TUState> TUs;
+    mutable std::map<std::string, Segment> SegmentCache;
+  };
 
-  mutable std::mutex Mu;
-  std::map<std::string, TUState> TUs;
-  // Per-TU serialized segments with their hashes, invalidated on
-  // update/remove: a build that recompiled k of n files re-serializes
-  // and re-hashes only k segments, keeping the per-build save cost
-  // proportional to the work done (it matters once records carry
-  // cached code). The file checksum folds the per-segment hashes.
-  mutable std::map<std::string, Segment> SegmentCache;
+  static constexpr size_t NumShards = 16;
+
+  Shard &shardFor(const std::string &TUKey) const;
+
+  /// Serializes (or returns the cached segment for) \p TUKey. The
+  /// shard's lock must be held.
+  static const Segment &segmentFor(const Shard &S, const std::string &TUKey);
+
+  mutable Shard Shards[NumShards];
 };
 
 } // namespace sc

@@ -68,6 +68,7 @@ void StatefulInstrumentation::setReusedFunctions(
 bool StatefulInstrumentation::shouldRunPass(const std::string &,
                                             size_t PassIndex,
                                             const Function &F) {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (ReusedFunctions.count(F.name()))
     return false;
   bool Refresh = false;
@@ -82,6 +83,7 @@ bool StatefulInstrumentation::shouldRunPass(const std::string &,
 void StatefulInstrumentation::afterPass(const std::string &, size_t PassIndex,
                                         const Function &F, bool Changed,
                                         double) {
+  std::lock_guard<std::mutex> Lock(Mu);
   FunctionRecord &Rec = NewState.Functions[F.name()];
   if (Rec.Dormancy.empty()) {
     Rec.Dormancy.assign(PipelineLength, 0);
@@ -95,6 +97,7 @@ void StatefulInstrumentation::afterPass(const std::string &, size_t PassIndex,
 void StatefulInstrumentation::onSkippedPass(const std::string &,
                                             size_t PassIndex,
                                             const Function &F) {
+  std::lock_guard<std::mutex> Lock(Mu);
   FunctionRecord &Rec = NewState.Functions[F.name()];
   if (Rec.Dormancy.empty()) {
     Rec.Dormancy.assign(PipelineLength, 0);
@@ -124,6 +127,7 @@ void StatefulInstrumentation::onSkippedPass(const std::string &,
 bool StatefulInstrumentation::shouldRunModulePass(const std::string &,
                                                   size_t PassIndex,
                                                   const Module &) {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (!Prev || !Config.SkipModulePasses ||
       Config.SkipMode == StatefulConfig::Mode::Stateless)
     return true;
@@ -140,6 +144,7 @@ bool StatefulInstrumentation::shouldRunModulePass(const std::string &,
 void StatefulInstrumentation::afterModulePass(const std::string &,
                                               size_t PassIndex, const Module &,
                                               bool Changed, double) {
+  std::lock_guard<std::mutex> Lock(Mu);
   NewState.ModuleDormancy[PassIndex] = Changed ? 0 : 1;
   ++Stats.PassesRun;
 }

@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -75,6 +76,13 @@ struct StatefulStats {
 
 /// PassInstrumentation that implements dormancy-based skipping and
 /// simultaneously records the TU's next-build state.
+///
+/// Thread-safe for the parallel pass engine: the per-function hooks
+/// lock internally, so they may be called concurrently from pipeline
+/// worker threads. The per-(function, pass) records they write are
+/// keyed by name, independent of call order — the recorded state is
+/// identical for any thread count. setReusedFunctions()/takeNewState()
+/// must be called outside pipeline execution.
 ///
 /// Usage (per compilation of one TU):
 ///   StatefulInstrumentation SI(Config, Prev, Signature, Fingerprints);
@@ -120,6 +128,9 @@ private:
   const FunctionRecord *usableRecord(const std::string &FName,
                                      bool &RefreshOut);
 
+  /// Guards all mutable members below against concurrent hook calls
+  /// from pipeline worker threads.
+  std::mutex Mu;
   StatefulConfig Config;
   const TUState *Prev;
   uint64_t PipelineSignature;

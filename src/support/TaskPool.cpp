@@ -1,0 +1,191 @@
+//===- support/TaskPool.cpp - Work-stealing thread pool ------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TaskPool.h"
+
+#include <cassert>
+
+using namespace sc;
+
+TaskPool::TaskPool(unsigned Concurrency) {
+  NumWorkers = Concurrency > 1 ? Concurrency - 1 : 0;
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.push_back(std::make_unique<WorkerState>());
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> Lock(SleepMu);
+    Stopping.store(true, std::memory_order_relaxed);
+  }
+  SleepCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void TaskPool::enqueue(std::function<void()> Fn) {
+  assert(NumWorkers > 0 && "enqueue on a sequential pool");
+  // Round-robin across worker deques so queued work spreads out even
+  // before anyone steals.
+  unsigned W = NextVictim.fetch_add(1, std::memory_order_relaxed) % NumWorkers;
+  {
+    std::lock_guard<std::mutex> Lock(Workers[W]->Mu);
+    Workers[W]->Deque.push_back(std::move(Fn));
+  }
+  NumQueued.fetch_add(1, std::memory_order_release);
+  NumPending.fetch_add(1, std::memory_order_release);
+  SleepCv.notify_one();
+}
+
+std::function<void()> TaskPool::grabTask(unsigned Index) {
+  // Own deque first (back = most recently pushed, cache-warm) ...
+  {
+    WorkerState &Own = *Workers[Index];
+    std::lock_guard<std::mutex> Lock(Own.Mu);
+    if (!Own.Deque.empty()) {
+      auto Fn = std::move(Own.Deque.back());
+      Own.Deque.pop_back();
+      NumQueued.fetch_sub(1, std::memory_order_relaxed);
+      return Fn;
+    }
+  }
+  // ... then steal the oldest task from someone else.
+  for (unsigned K = 1; K != NumWorkers; ++K) {
+    WorkerState &Victim = *Workers[(Index + K) % NumWorkers];
+    std::lock_guard<std::mutex> Lock(Victim.Mu);
+    if (!Victim.Deque.empty()) {
+      auto Fn = std::move(Victim.Deque.front());
+      Victim.Deque.pop_front();
+      NumQueued.fetch_sub(1, std::memory_order_relaxed);
+      return Fn;
+    }
+  }
+  return {};
+}
+
+void TaskPool::workerLoop(unsigned Index) {
+  for (;;) {
+    if (std::function<void()> Fn = grabTask(Index)) {
+      Fn();
+      if (NumPending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> Lock(SleepMu);
+        DrainCv.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(SleepMu);
+    SleepCv.wait(Lock, [this] {
+      return Stopping.load(std::memory_order_relaxed) ||
+             NumQueued.load(std::memory_order_acquire) != 0;
+    });
+    if (Stopping.load(std::memory_order_relaxed))
+      return;
+  }
+}
+
+void TaskPool::async(std::function<void()> Fn) {
+  if (NumWorkers == 0) {
+    Fn(); // Sequential pool: run in place.
+    return;
+  }
+  enqueue(std::move(Fn));
+}
+
+void TaskPool::wait() {
+  if (NumWorkers == 0)
+    return;
+  // Help drain instead of blocking a thread that could be working.
+  while (NumPending.load(std::memory_order_acquire) != 0) {
+    std::function<void()> Fn;
+    for (unsigned W = 0; W != NumWorkers && !Fn; ++W) {
+      std::lock_guard<std::mutex> Lock(Workers[W]->Mu);
+      if (!Workers[W]->Deque.empty()) {
+        Fn = std::move(Workers[W]->Deque.front());
+        Workers[W]->Deque.pop_front();
+      }
+    }
+    if (Fn) {
+      NumQueued.fetch_sub(1, std::memory_order_relaxed);
+      Fn();
+      if (NumPending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        return;
+      continue;
+    }
+    // Everything is claimed; wait for the executing threads to finish.
+    std::unique_lock<std::mutex> Lock(SleepMu);
+    DrainCv.wait(Lock, [this] {
+      return NumPending.load(std::memory_order_acquire) == 0 ||
+             NumQueued.load(std::memory_order_acquire) != 0;
+    });
+  }
+}
+
+void TaskPool::parallelFor(size_t N,
+                           const std::function<void(size_t, unsigned)> &Body) {
+  if (N == 0)
+    return;
+  if (NumWorkers == 0 || N == 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I, 0);
+    return;
+  }
+
+  // Shared claim state. Helpers keep it alive via shared_ptr: a helper
+  // dequeued after this call returned finds Next >= N and never touches
+  // Body (which may be dead by then).
+  struct State {
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    std::atomic<unsigned> Participants{0};
+    size_t N = 0;
+    const std::function<void(size_t, unsigned)> *Body = nullptr;
+    std::mutex Mu;
+    std::condition_variable Cv;
+  };
+  auto S = std::make_shared<State>();
+  S->N = N;
+  S->Body = &Body;
+
+  auto Claim = [](const std::shared_ptr<State> &St) {
+    // Claim the slot lazily: a helper that arrives after all items are
+    // taken must not consume a slot id.
+    size_t I = St->Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= St->N)
+      return;
+    unsigned Slot = St->Participants.fetch_add(1, std::memory_order_relaxed);
+    size_t Completed = 0;
+    do {
+      (*St->Body)(I, Slot);
+      ++Completed;
+      I = St->Next.fetch_add(1, std::memory_order_relaxed);
+    } while (I < St->N);
+    size_t D = St->Done.fetch_add(Completed, std::memory_order_acq_rel) +
+               Completed;
+    if (D == St->N) {
+      std::lock_guard<std::mutex> Lock(St->Mu);
+      St->Cv.notify_all();
+    }
+  };
+
+  // One helper per worker (capped by the item count); idle workers
+  // pick them up or steal them from busy workers' deques.
+  size_t NumHelpers = std::min<size_t>(NumWorkers, N - 1);
+  for (size_t H = 0; H != NumHelpers; ++H)
+    enqueue([S, Claim] { Claim(S); });
+
+  // The submitting thread is participant zero-or-later and typically
+  // executes the lion's share.
+  Claim(S);
+
+  std::unique_lock<std::mutex> Lock(S->Mu);
+  S->Cv.wait(Lock, [&] {
+    return S->Done.load(std::memory_order_acquire) == S->N;
+  });
+}

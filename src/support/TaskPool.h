@@ -1,0 +1,116 @@
+//===- support/TaskPool.h - Work-stealing thread pool -----------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A work-stealing thread pool shared by BOTH parallelism levels of a
+/// build: TU-level compile jobs (build_sys/Scheduler) and function-
+/// level pass tasks inside one compilation (pass/PassManager). One
+/// pool per BuildDriver, sized by BuildOptions::Jobs.
+///
+/// Each worker owns a deque: it pushes/pops its own back (LIFO, cache-
+/// warm) and steals from other workers' fronts (FIFO, oldest first).
+/// parallelFor() never blocks the submitting thread on a free worker —
+/// the caller claims and executes items itself while idle workers join
+/// through stolen helper tasks. That makes nested parallelism (a
+/// compile job fanning out per-function tasks) deadlock-free by
+/// construction, and it is what keeps every core busy when a build has
+/// one huge dirty TU: the single compile job occupies one worker and
+/// the remaining workers steal its function tasks.
+///
+/// The pool provides throughput only, never ordering: callers must be
+/// correct under any execution interleaving. Determinism of compiler
+/// output is guaranteed one level up (disjoint result slots, per-
+/// function dormancy records, commutative stat merges).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_TASKPOOL_H
+#define SC_SUPPORT_TASKPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sc {
+
+class TaskPool {
+public:
+  /// \p Concurrency is the total number of executing threads,
+  /// including the calling thread: Concurrency - 1 workers are
+  /// spawned. 0 is treated as 1 (fully sequential, no threads).
+  explicit TaskPool(unsigned Concurrency);
+
+  /// Drains nothing: outstanding async tasks must be waited for (or
+  /// be helper tasks of an already-finished parallelFor, which are
+  /// no-ops) before destruction.
+  ~TaskPool();
+
+  TaskPool(const TaskPool &) = delete;
+  TaskPool &operator=(const TaskPool &) = delete;
+
+  /// Total executing threads (workers + the submitting thread).
+  unsigned concurrency() const { return NumWorkers + 1; }
+
+  /// Upper bound (exclusive) on the Slot values parallelFor passes to
+  /// its body; size per-participant accumulators with this.
+  unsigned maxSlots() const { return NumWorkers + 1; }
+
+  /// Runs Body(I, Slot) for every I in [0, N) and blocks until all N
+  /// executed. The calling thread participates; idle workers steal a
+  /// share. Slot < maxSlots() identifies the participating executor of
+  /// that invocation (stable within one parallelFor call), so bodies
+  /// can accumulate into per-slot state without synchronization.
+  /// Item execution order and the item->slot assignment are
+  /// nondeterministic; bodies must only write disjoint or per-slot
+  /// state. Safe to call from inside a task (nested parallelism).
+  void parallelFor(size_t N,
+                   const std::function<void(size_t, unsigned)> &Body);
+
+  /// Enqueues a fire-and-forget task. Pair with wait().
+  void async(std::function<void()> Fn);
+
+  /// Blocks until every async task has finished; the calling thread
+  /// executes queued tasks while it waits.
+  void wait();
+
+private:
+  struct WorkerState {
+    std::mutex Mu;
+    std::deque<std::function<void()>> Deque;
+  };
+
+  void workerLoop(unsigned Index);
+
+  /// Pops from \p Index's own back, else steals from another front.
+  /// Returns an empty function when every deque is empty.
+  std::function<void()> grabTask(unsigned Index);
+
+  void enqueue(std::function<void()> Fn);
+
+  unsigned NumWorkers = 0;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+  std::vector<std::thread> Threads;
+
+  std::mutex SleepMu;
+  std::condition_variable SleepCv;
+  std::condition_variable DrainCv;
+  std::atomic<bool> Stopping{false};
+  /// Tasks sitting in deques (not yet claimed by a thread).
+  std::atomic<size_t> NumQueued{0};
+  /// Queued + currently-executing tasks (drives wait()).
+  std::atomic<size_t> NumPending{0};
+  std::atomic<unsigned> NextVictim{0};
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_TASKPOOL_H

@@ -56,6 +56,10 @@ public:
   /// Folds another (stopped) timer's accumulated time into this one.
   void accumulate(const Timer &Other) { TotalNs += Other.TotalNs; }
 
+  /// Folds raw nanoseconds into this timer. Used by the parallel pass
+  /// engine to merge per-worker duration accumulators after a barrier.
+  void addNanos(uint64_t Ns) { TotalNs += Ns; }
+
   void reset() {
     TotalNs = 0;
     Running = false;

@@ -36,6 +36,10 @@ class DCEPass : public FunctionPass {
 public:
   std::string name() const override { return "dce"; }
 
+  // Lets the parallel pass engine snapshot PurityInfo once per
+  // pipeline position instead of racing on lazy recomputation.
+  bool requiresPurity() const override { return true; }
+
   bool run(Function &F, AnalysisManager &AM) override {
     const PurityInfo &Purity = AM.purity();
     bool Changed = false;

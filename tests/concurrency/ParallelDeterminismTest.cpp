@@ -1,0 +1,126 @@
+//===- tests/concurrency/ParallelDeterminismTest.cpp ----------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The determinism invariant of the parallel middle-end: the SAME
+/// workload built at 1, 2, and 8 threads must produce a byte-identical
+/// linked program, identical pass run/skip counts, and a byte-identical
+/// serialized BuildStateDB — parallelism provides throughput, never a
+/// different compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "codegen/ObjectFile.h"
+#include "support/RNG.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+struct Lane {
+  unsigned Jobs;
+  InMemoryFileSystem FS;
+  std::unique_ptr<ProjectModel> Model;
+  std::unique_ptr<BuildDriver> Driver;
+  RNG Rand{0};
+  BuildStats Last;
+};
+
+std::vector<std::unique_ptr<Lane>>
+makeLanes(const std::vector<unsigned> &JobCounts, StatefulConfig::Mode Mode,
+          uint64_t ProfileSeed, uint64_t EditSeed) {
+  std::vector<std::unique_ptr<Lane>> Lanes;
+  for (unsigned J : JobCounts) {
+    auto L = std::make_unique<Lane>();
+    L->Jobs = J;
+    L->Model = std::make_unique<ProjectModel>(
+        ProjectModel::generate(profileByName("small_cli"), ProfileSeed));
+    L->Model->renderAll(L->FS);
+    BuildOptions BO;
+    BO.Jobs = J;
+    BO.Compiler.Stateful.SkipMode = Mode;
+    L->Driver = std::make_unique<BuildDriver>(L->FS, BO);
+    L->Rand = RNG(EditSeed);
+    Lanes.push_back(std::move(L));
+  }
+  return Lanes;
+}
+
+/// Builds every lane and asserts they all match lane 0 on the three
+/// determinism axes: program bytes, run/skip counts, state DB bytes.
+void buildAndCompare(std::vector<std::unique_ptr<Lane>> &Lanes,
+                     const char *Phase) {
+  for (auto &L : Lanes) {
+    L->Last = L->Driver->build();
+    ASSERT_TRUE(L->Last.Success)
+        << Phase << " failed at -j" << L->Jobs << ": " << L->Last.ErrorText;
+  }
+  Lane &Ref = *Lanes[0];
+  const std::string RefProgram = writeObject(*Ref.Driver->program());
+  const std::string RefState = Ref.Driver->stateDB().serialize();
+  for (size_t I = 1; I != Lanes.size(); ++I) {
+    Lane &L = *Lanes[I];
+    EXPECT_EQ(L.Last.FilesCompiled, Ref.Last.FilesCompiled)
+        << Phase << " -j" << L.Jobs;
+    EXPECT_EQ(L.Last.Skip.PassesRun, Ref.Last.Skip.PassesRun)
+        << Phase << " -j" << L.Jobs;
+    EXPECT_EQ(L.Last.Skip.PassesSkipped, Ref.Last.Skip.PassesSkipped)
+        << Phase << " -j" << L.Jobs;
+    EXPECT_EQ(writeObject(*L.Driver->program()), RefProgram)
+        << Phase << " -j" << L.Jobs << ": linked program differs";
+    EXPECT_EQ(L.Driver->stateDB().serialize(), RefState)
+        << Phase << " -j" << L.Jobs << ": state DB differs";
+    // The on-disk artifact too, not just the in-memory DB.
+    EXPECT_EQ(L.FS.readFile("out/state.db"), Ref.FS.readFile("out/state.db"))
+        << Phase << " -j" << L.Jobs;
+  }
+}
+
+TEST(ParallelDeterminism, StatefulIdenticalAtAnyThreadCount) {
+  auto Lanes = makeLanes({1, 2, 8}, StatefulConfig::Mode::HeuristicSkip,
+                         /*ProfileSeed=*/77, /*EditSeed=*/4242);
+  buildAndCompare(Lanes, "cold");
+
+  // Drive several commits; every lane applies the identical edit
+  // stream, so every incremental build must stay in lockstep.
+  for (unsigned C = 0; C != 5; ++C) {
+    for (auto &L : Lanes)
+      L->Model->applyCommit(L->Rand, L->FS);
+    buildAndCompare(Lanes, "incremental");
+  }
+}
+
+TEST(ParallelDeterminism, StatelessIdenticalAtAnyThreadCount) {
+  auto Lanes = makeLanes({1, 2, 8}, StatefulConfig::Mode::Stateless,
+                         /*ProfileSeed=*/91, /*EditSeed=*/1717);
+  for (auto &L : Lanes) {
+    L->Last = L->Driver->build();
+    ASSERT_TRUE(L->Last.Success) << L->Last.ErrorText;
+  }
+  const std::string RefProgram = writeObject(*Lanes[0]->Driver->program());
+  for (size_t I = 1; I != Lanes.size(); ++I)
+    EXPECT_EQ(writeObject(*Lanes[I]->Driver->program()), RefProgram)
+        << "-j" << Lanes[I]->Jobs;
+}
+
+TEST(ParallelDeterminism, ExactSkipIdenticalAtAnyThreadCount) {
+  auto Lanes = makeLanes({1, 8}, StatefulConfig::Mode::ExactSkip,
+                         /*ProfileSeed=*/13, /*EditSeed=*/999);
+  buildAndCompare(Lanes, "cold");
+  for (unsigned C = 0; C != 3; ++C) {
+    for (auto &L : Lanes)
+      L->Model->applyCommit(L->Rand, L->FS);
+    buildAndCompare(Lanes, "incremental");
+  }
+}
+
+} // namespace

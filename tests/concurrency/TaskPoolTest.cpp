@@ -1,0 +1,110 @@
+//===- tests/concurrency/TaskPoolTest.cpp - TaskPool unit tests -----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TaskPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+TEST(TaskPool, ParallelForCoversEveryIndexExactlyOnce) {
+  TaskPool Pool(8);
+  constexpr size_t N = 5000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I, unsigned) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I != N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(TaskPool, SequentialPoolRunsInlineInOrder) {
+  TaskPool Pool(1);
+  EXPECT_EQ(Pool.concurrency(), 1u);
+  EXPECT_EQ(Pool.maxSlots(), 1u);
+  std::vector<size_t> Order;
+  Pool.parallelFor(10, [&](size_t I, unsigned Slot) {
+    EXPECT_EQ(Slot, 0u);
+    Order.push_back(I);
+  });
+  ASSERT_EQ(Order.size(), 10u);
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(Order[I], I);
+}
+
+TEST(TaskPool, SlotsStayBelowMaxSlots) {
+  TaskPool Pool(4);
+  constexpr size_t N = 2000;
+  std::atomic<bool> Bad{false};
+  Pool.parallelFor(N, [&](size_t, unsigned Slot) {
+    if (Slot >= Pool.maxSlots())
+      Bad.store(true);
+  });
+  EXPECT_FALSE(Bad.load());
+}
+
+TEST(TaskPool, PerSlotAccumulatorsSumCorrectly) {
+  TaskPool Pool(8);
+  constexpr size_t N = 10000;
+  std::vector<uint64_t> PerSlot(Pool.maxSlots(), 0);
+  Pool.parallelFor(N, [&](size_t I, unsigned Slot) { PerSlot[Slot] += I; });
+  uint64_t Sum = 0;
+  for (uint64_t V : PerSlot)
+    Sum += V;
+  EXPECT_EQ(Sum, uint64_t(N) * (N - 1) / 2);
+}
+
+TEST(TaskPool, NestedParallelForDoesNotDeadlock) {
+  TaskPool Pool(4);
+  constexpr size_t Outer = 8, Inner = 64;
+  std::atomic<uint64_t> Total{0};
+  Pool.parallelFor(Outer, [&](size_t, unsigned) {
+    Pool.parallelFor(Inner, [&](size_t, unsigned) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Total.load(), Outer * Inner);
+}
+
+TEST(TaskPool, AsyncTasksAllRunBeforeWaitReturns) {
+  TaskPool Pool(4);
+  constexpr int N = 200;
+  std::atomic<int> Ran{0};
+  for (int I = 0; I != N; ++I)
+    Pool.async([&] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), N);
+}
+
+TEST(TaskPool, EmptyAndSingleItemLoops) {
+  TaskPool Pool(4);
+  int Calls = 0;
+  Pool.parallelFor(0, [&](size_t, unsigned) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  Pool.parallelFor(1, [&](size_t I, unsigned Slot) {
+    EXPECT_EQ(I, 0u);
+    EXPECT_EQ(Slot, 0u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls, 1);
+}
+
+TEST(TaskPool, ReusableAcrossManyWaves) {
+  TaskPool Pool(4);
+  std::atomic<uint64_t> Total{0};
+  for (int Wave = 0; Wave != 50; ++Wave)
+    Pool.parallelFor(100, [&](size_t, unsigned) {
+      Total.fetch_add(1, std::memory_order_relaxed);
+    });
+  EXPECT_EQ(Total.load(), 50u * 100u);
+}
+
+} // namespace

@@ -14,7 +14,9 @@
 ///
 /// Options:
 ///   -O0|-O1|-O2     optimization level (default -O2)
-///   -j <N>          compile dirty files with N worker threads
+///   -j <N>          total build concurrency, shared by TU-level jobs
+///                   and intra-TU function-pass tasks (default: all
+///                   hardware threads)
 ///   --stateless     baseline compiler (default: stateful)
 ///   --exact         ExactSkip policy instead of the paper's heuristic
 ///   --reuse         enable function-level code reuse
@@ -29,9 +31,11 @@
 #include "support/FileSystem.h"
 #include "vm/VM.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace sc;
@@ -41,6 +45,9 @@ int main(int argc, char **argv) {
   BuildOptions Options;
   Options.Compiler.Stateful.SkipMode =
       StatefulConfig::Mode::HeuristicSkip;
+  // Default to every hardware thread; hardware_concurrency() may
+  // return 0 on exotic platforms.
+  Options.Jobs = std::max(1u, std::thread::hardware_concurrency());
   bool Clean = false, Run = false, Quiet = false;
   std::vector<int64_t> RunArgs;
 
