@@ -17,12 +17,15 @@
 #include "build_sys/ObjectCache.h"
 #include "build_sys/Scheduler.h"
 #include "codegen/ObjectFile.h"
+#include "support/AtomicFile.h"
+#include "support/FileLock.h"
 #include "support/Hashing.h"
 #include "support/TaskPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 using namespace sc;
 
@@ -47,6 +50,15 @@ void addSkipStats(StatefulStats &Sum, const StatefulStats &S) {
   Sum.FunctionsMatched += S.FunctionsMatched;
   Sum.FunctionsRefreshed += S.FunctionsRefreshed;
   Sum.FunctionsReused += S.FunctionsReused;
+}
+
+/// Appends a persistence warning, with the filesystem's error detail
+/// (errno text or injected fault) when it has one.
+void warn(BuildStats &S, VirtualFileSystem &FS, std::string Text) {
+  std::string Err = FS.lastError();
+  if (!Err.empty())
+    Text += " (" + Err + ")";
+  S.Warnings.push_back(std::move(Text));
 }
 
 } // namespace
@@ -81,6 +93,7 @@ private:
   std::string manifestPath() const {
     return Options.OutDir + "/manifest.bin";
   }
+  std::string lockPath() const { return Options.OutDir + "/.lock"; }
 
   /// Objects compiled under a different optimization level or compiler
   /// version must not be trusted; this hash is recorded per manifest
@@ -96,8 +109,10 @@ private:
 
   /// Writes the manifest (always) and the state DB (stateful only);
   /// called on every exit path so even failed builds leave their
-  /// completed work persisted. Returns the state DB size.
-  uint64_t persist(Timer &StateIO);
+  /// completed work persisted. Write failures surface as warnings on
+  /// \p S, never as build failures; read-only builds skip all writes.
+  /// Returns the state DB size.
+  uint64_t persist(Timer &StateIO, BuildStats &S);
 
   VirtualFileSystem &FS;
   BuildOptions Options;
@@ -121,19 +136,39 @@ private:
   /// Persisted state is loaded once per driver; later builds trust the
   /// in-memory copies and only write.
   bool PersistentLoaded = false;
+
+  /// Set per build() call: true when the advisory lock could not be
+  /// acquired and this build must not write anything.
+  bool ReadOnlyBuild = false;
 };
 
 } // namespace sc
 
-uint64_t BuildDriverImpl::persist(Timer &StateIO) {
+uint64_t BuildDriverImpl::persist(Timer &StateIO, BuildStats &S) {
   StateIO.start();
-  Manifest.saveToFile(FS, manifestPath());
   uint64_t StateBytes = 0;
+  if (ReadOnlyBuild) {
+    // Nothing may be written; report the in-memory state size.
+    StateBytes = stateful() ? DB.sizeBytes() : 0;
+    StateIO.stop();
+    return StateBytes;
+  }
+  if (!Manifest.saveToFile(FS, manifestPath()))
+    warn(S, FS,
+         "failed to persist '" + manifestPath() +
+             "'; the next build recomputes its dirty set from scratch");
   if (stateful()) {
     std::string Bytes = DB.serialize();
     StateBytes = Bytes.size();
-    FS.writeFile(statePath(), Bytes);
+    if (!atomicWriteFile(FS, statePath(), Bytes))
+      warn(S, FS,
+           "failed to persist '" + statePath() +
+               "'; the next build starts with cold compiler state");
   }
+  if (!Objects.allStoresPersisted())
+    warn(S, FS,
+         "one or more object files could not be written under '" +
+             Options.OutDir + "'; affected TUs recompile next build");
   StateIO.stop();
   return StateBytes;
 }
@@ -143,11 +178,52 @@ BuildStats BuildDriverImpl::build() {
   Timer Total, Scan, Compile, Link, StateIO;
   Total.start();
 
+  // Advisory lock: one writing build per state directory. On timeout
+  // degrade to a read-only build — correct output, nothing persisted —
+  // rather than interleave writes with the other process.
+  FileLock Lock = FileLock::acquire(FS, lockPath(), Options.LockTimeoutMs,
+                                    Options.LockBackoffMs);
+  ReadOnlyBuild = !Lock.held();
+  S.ReadOnly = ReadOnlyBuild;
+  if (ReadOnlyBuild)
+    S.Warnings.push_back(
+        "another build holds '" + lockPath() +
+        "'; running read-only (nothing will be persisted; delete the "
+        "lock file if its owner is gone)");
+  Objects.setWritable(!ReadOnlyBuild);
+  Objects.resetStoreStatus();
+
   if (!PersistentLoaded) {
     StateIO.start();
-    if (stateful())
-      DB.loadFromFile(FS, statePath()); // Missing/corrupt: cold build.
-    Manifest.loadFromFile(FS, manifestPath());
+    if (stateful()) {
+      // Missing store: quiet cold build. Damaged store: cold build
+      // with a warning. Partially damaged store: per-segment salvage —
+      // only the corrupt TUs go cold.
+      StateLoadReport Rep;
+      bool Existed = FS.exists(statePath());
+      bool Loaded = DB.loadFromFile(FS, statePath(), &Rep);
+      if (Existed && !Loaded)
+        warn(S, FS,
+             "state '" + statePath() +
+                 "' was unreadable or damaged; starting cold");
+      if (Rep.salvaged()) {
+        S.StateTUsSalvaged = Rep.TUsLoaded;
+        S.StateTUsDropped = Rep.TUsDropped;
+        S.Warnings.push_back(
+            "salvaged " + std::to_string(Rep.TUsLoaded) +
+            " TU record(s) from damaged '" + statePath() + "'; dropped " +
+            std::to_string(Rep.TUsDropped) +
+            " corrupt record(s) (those TUs compile cold)");
+      }
+    }
+    bool ManifestExisted = FS.exists(manifestPath());
+    if (!Manifest.loadFromFile(FS, manifestPath())) {
+      Manifest.clear();
+      if (ManifestExisted)
+        warn(S, FS,
+             "manifest '" + manifestPath() +
+                 "' was unreadable or damaged; full recompile");
+    }
     StateIO.stop();
     PersistentLoaded = true;
   }
@@ -228,13 +304,18 @@ BuildStats BuildDriverImpl::build() {
       compileInParallel(Jobs, CO, stateful() ? &DB : nullptr, *Pool);
   Compile.stop();
 
-  std::string Errors;
+  // Fault containment: a failed TU never aborts the others — the whole
+  // wave already ran, every successful TU's object and state are kept,
+  // and only the failed TUs are forgotten (retried next build).
+  // Diagnostics are emitted in TU-key-sorted order so the error text
+  // is deterministic at any -j.
+  std::vector<std::pair<std::string, std::string>> Failures;
   for (size_t I = 0; I != Results.size(); ++I) {
     CompileResult &R = Results[I];
     addTimings(S.CompilePhases, R.Timings);
     addSkipStats(S.Skip, R.SkipStats);
     if (!R.Success) {
-      Errors += R.DiagText;
+      Failures.emplace_back(Jobs[I].Path, std::move(R.DiagText));
       // Forget the TU so the next build retries it from scratch.
       Manifest.remove(Jobs[I].Path);
       continue;
@@ -247,9 +328,13 @@ BuildStats BuildDriverImpl::build() {
     E.ConfigHash = Config;
     Manifest.update(Jobs[I].Path, E);
   }
+  std::sort(Failures.begin(), Failures.end());
+  std::string Errors;
+  for (auto &[Path, Diag] : Failures)
+    Errors += Diag;
 
   if (!Errors.empty()) {
-    S.StateDBBytes = persist(StateIO);
+    S.StateDBBytes = persist(StateIO, S);
     Total.stop();
     S.ErrorText = std::move(Errors);
     S.ScanUs = Scan.micros();
@@ -285,7 +370,7 @@ BuildStats BuildDriverImpl::build() {
   if (!LinkErrors.empty() || !Linked.succeeded()) {
     for (const std::string &E : Linked.Errors)
       LinkErrors += "link error: " + E + "\n";
-    S.StateDBBytes = persist(StateIO);
+    S.StateDBBytes = persist(StateIO, S);
     Total.stop();
     S.ErrorText = std::move(LinkErrors);
     S.ScanUs = Scan.micros();
@@ -300,7 +385,7 @@ BuildStats BuildDriverImpl::build() {
 
   //===--- Persist: manifest + compiler state -----------------------------===//
 
-  S.StateDBBytes = persist(StateIO);
+  S.StateDBBytes = persist(StateIO, S);
 
   Total.stop();
   S.Success = true;

@@ -39,6 +39,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace sc {
 
@@ -59,12 +60,36 @@ struct BuildOptions {
   /// Directory (inside the project filesystem) holding objects, the
   /// build manifest, and the persisted compiler state.
   std::string OutDir = "out";
+
+  /// Milliseconds to wait (with doubling backoff) for the advisory
+  /// build lock `<OutDir>/.lock` when another build holds it. On
+  /// timeout the build degrades to read-only: it compiles and links
+  /// correctly in memory but persists nothing (BuildStats::ReadOnly).
+  unsigned LockTimeoutMs = 2000;
+
+  /// Initial lock-retry backoff in milliseconds (doubles, capped 8x).
+  unsigned LockBackoffMs = 5;
 };
 
 /// Everything one build() call did, and how long each phase took.
 struct BuildStats {
   bool Success = false;
   std::string ErrorText; // Rendered diagnostics when !Success.
+
+  /// Non-fatal degradations the user should know about: persistence
+  /// failures (state not saved — next build is colder than it should
+  /// be), lock contention (read-only fallback), and state-DB salvage.
+  std::vector<std::string> Warnings;
+
+  /// True when the advisory build lock could not be acquired: the
+  /// build ran correctly in memory but persisted nothing.
+  bool ReadOnly = false;
+
+  /// State-DB segment salvage from the initial load (first build of a
+  /// driver only): TUs whose dormancy records survived a damaged
+  /// store, and TUs dropped to cold compilation.
+  uint64_t StateTUsSalvaged = 0;
+  uint64_t StateTUsDropped = 0;
 
   unsigned FilesCompiled = 0; // Dirty files recompiled this build.
   unsigned FilesTotal = 0;    // Source files in the project.

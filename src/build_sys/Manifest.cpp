@@ -6,6 +6,7 @@
 
 #include "build_sys/Manifest.h"
 
+#include "support/AtomicFile.h"
 #include "support/Hashing.h"
 #include "support/Serializer.h"
 
@@ -55,7 +56,8 @@ std::string BuildManifest::serialize() const {
 }
 
 bool BuildManifest::deserialize(const std::string &Bytes) {
-  Entries.clear();
+  // Parse into a scratch map; malformed input leaves the live manifest
+  // untouched (the caller decides whether to clear).
   if (Bytes.size() < 8)
     return false;
   uint64_t Payload = Bytes.size() - 8;
@@ -86,7 +88,7 @@ bool BuildManifest::deserialize(const std::string &Bytes) {
 
 bool BuildManifest::saveToFile(VirtualFileSystem &FS,
                                const std::string &Path) const {
-  return FS.writeFile(Path, serialize());
+  return atomicWriteFile(FS, Path, serialize());
 }
 
 bool BuildManifest::loadFromFile(VirtualFileSystem &FS,

@@ -51,10 +51,11 @@ public:
 
   std::string serialize() const;
 
-  /// Replaces the contents from serialized bytes; false (and an empty
-  /// manifest) on malformed input.
+  /// Replaces the contents from serialized bytes; false (leaving the
+  /// manifest unchanged) on malformed input.
   bool deserialize(const std::string &Bytes);
 
+  /// Crash-safe: stages through atomicWriteFile.
   bool saveToFile(VirtualFileSystem &FS, const std::string &Path) const;
   bool loadFromFile(VirtualFileSystem &FS, const std::string &Path);
 

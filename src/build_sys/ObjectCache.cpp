@@ -6,6 +6,7 @@
 
 #include "build_sys/ObjectCache.h"
 
+#include "support/AtomicFile.h"
 #include "support/Hashing.h"
 
 using namespace sc;
@@ -21,15 +22,28 @@ uint64_t ObjectCache::store(const std::string &SourcePath, MModule Object) {
   std::string Bytes = writeObject(Object);
   uint64_t Hash = hashString(Bytes);
   // The FS write stays under the lock: workers store distinct paths,
-  // but VirtualFileSystem implementations share one path map.
+  // but VirtualFileSystem implementations share one path map. A failed
+  // (or read-only-suppressed) write degrades to a memory-only entry:
+  // this build links from memory; the next process recompiles the TU.
   std::lock_guard<std::mutex> Lock(Mu);
-  FS.writeFile(objectPath(SourcePath), Bytes);
-  Mem[SourcePath] = {Hash, Bytes.size(), std::move(Object)};
+  bool OnDisk = Writable && atomicWriteFile(FS, objectPath(SourcePath), Bytes);
+  if (Writable && !OnDisk)
+    StoresPersisted = false;
+  Mem[SourcePath] = {Hash, Bytes.size(), !OnDisk, std::move(Object)};
   return Hash;
 }
 
 const MModule *ObjectCache::load(const std::string &SourcePath,
                                  uint64_t ExpectedHash) {
+  {
+    // Memory-only entries have no on-disk bytes to validate; trust the
+    // hash recorded at store time.
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Mem.find(SourcePath);
+    if (It != Mem.end() && It->second.MemOnly &&
+        It->second.Hash == ExpectedHash)
+      return &It->second.Object;
+  }
   std::optional<std::string> Bytes = FS.readFile(objectPath(SourcePath));
   if (!Bytes || hashString(*Bytes) != ExpectedHash)
     return nullptr;
@@ -41,8 +55,18 @@ const MModule *ObjectCache::load(const std::string &SourcePath,
   if (!Parsed)
     return nullptr; // Bytes matched the manifest but do not decode.
   Cached &C = Mem[SourcePath];
-  C = {ExpectedHash, Bytes->size(), std::move(*Parsed)};
+  C = {ExpectedHash, Bytes->size(), false, std::move(*Parsed)};
   return &C.Object;
+}
+
+bool ObjectCache::allStoresPersisted() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return StoresPersisted;
+}
+
+void ObjectCache::resetStoreStatus() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  StoresPersisted = true;
 }
 
 uint64_t ObjectCache::objectBytes(const std::string &SourcePath) const {
@@ -56,7 +80,8 @@ void ObjectCache::invalidate(const std::string &SourcePath) {
     std::lock_guard<std::mutex> Lock(Mu);
     Mem.erase(SourcePath);
   }
-  FS.removeFile(objectPath(SourcePath));
+  if (Writable)
+    FS.removeFile(objectPath(SourcePath));
 }
 
 void ObjectCache::clearMemory() {

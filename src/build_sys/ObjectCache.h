@@ -39,17 +39,32 @@ public:
   /// `<OutDir>/<source>.o`.
   std::string objectPath(const std::string &SourcePath) const;
 
-  /// Serializes and writes \p Object for \p SourcePath, retaining the
-  /// parsed form in memory. Returns the object-byte hash to record in
-  /// the manifest. Thread-safe (workers store concurrently).
+  /// Serializes and writes \p Object for \p SourcePath (atomically:
+  /// temp + rename, so a crash never leaves a torn object), retaining
+  /// the parsed form in memory. When the write fails (disk full, torn,
+  /// read-only mode) the entry is kept memory-only: this build still
+  /// links correctly and the next process recompiles the TU (manifest
+  /// hash mismatch). Returns the object-byte hash to record in the
+  /// manifest. Thread-safe (workers store concurrently).
   uint64_t store(const std::string &SourcePath, MModule Object);
 
   /// Returns the cached object for \p SourcePath iff the on-disk bytes
   /// hash to \p ExpectedHash (deserializing at most once per distinct
-  /// byte content); null on any mismatch, damage, or absence. The
-  /// pointer stays valid until the entry is stored over, invalidated,
-  /// or the cache is cleared.
+  /// byte content); null on any mismatch, damage, or absence.
+  /// Memory-only entries (failed/suppressed writes) are served from
+  /// memory when the hash matches. The pointer stays valid until the
+  /// entry is stored over, invalidated, or the cache is cleared.
   const MModule *load(const std::string &SourcePath, uint64_t ExpectedHash);
+
+  /// In read-only mode (another process holds the build lock) store()
+  /// keeps entries memory-only and invalidate() leaves files on disk.
+  void setWritable(bool W) { Writable = W; }
+
+  /// True when every store() since the last reset hit the filesystem
+  /// successfully; cleared by store() failures. For surfacing
+  /// persistence warnings.
+  bool allStoresPersisted() const;
+  void resetStoreStatus();
 
   /// Serialized size of the most recently stored/loaded object.
   uint64_t objectBytes(const std::string &SourcePath) const;
@@ -64,13 +79,16 @@ private:
   struct Cached {
     uint64_t Hash = 0;     // Hash of the serialized bytes.
     uint64_t Bytes = 0;    // Serialized size.
+    bool MemOnly = false;  // Not on disk (failed or suppressed write).
     MModule Object;
   };
 
   VirtualFileSystem &FS;
   std::string OutDir;
+  bool Writable = true;
   mutable std::mutex Mu;
   std::map<std::string, Cached> Mem;
+  bool StoresPersisted = true; // Guarded by Mu.
 };
 
 } // namespace sc

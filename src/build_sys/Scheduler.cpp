@@ -9,6 +9,8 @@
 #include "state/BuildStateDB.h"
 #include "support/TaskPool.h"
 
+#include <exception>
+
 using namespace sc;
 
 std::vector<CompileResult>
@@ -23,12 +25,25 @@ sc::compileInParallel(const std::vector<CompileJob> &Jobs,
   // pipeline and its analyses are per-instance state) and writes into
   // pre-sized, disjoint result slots — no slot or TU key is ever
   // shared, so results are identical for any work-stealing schedule.
+  //
+  // Fault containment: one TU blowing up (an internal error escaping
+  // as an exception) must not take down the wave — it becomes a failed
+  // result for that TU alone, and every independent TU still finishes.
+  // Only std::exception is contained; FaultyFileSystem's CrashPoint
+  // (simulated process death) deliberately is not.
   std::vector<std::unique_ptr<Compiler>> PerSlot(Pool.maxSlots());
   Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned Slot) {
     if (!PerSlot[Slot])
       PerSlot[Slot] = std::make_unique<Compiler>(Options, DB);
-    Results[I] =
-        PerSlot[Slot]->compile(Jobs[I].Path, *Jobs[I].Source, Jobs[I].Imports);
+    try {
+      Results[I] = PerSlot[Slot]->compile(Jobs[I].Path, *Jobs[I].Source,
+                                          Jobs[I].Imports);
+    } catch (const std::exception &E) {
+      Results[I] = CompileResult();
+      Results[I].Success = false;
+      Results[I].DiagText = "error: " + Jobs[I].Path +
+                            ": internal compiler error: " + E.what() + "\n";
+    }
   });
   return Results;
 }

@@ -6,6 +6,7 @@
 
 #include "state/BuildStateDB.h"
 
+#include "support/AtomicFile.h"
 #include "support/Hashing.h"
 #include "support/Serializer.h"
 
@@ -15,7 +16,11 @@ using namespace sc;
 
 namespace {
 constexpr uint32_t DBMagic = 0x53434442; // "SCDB"
-constexpr uint32_t DBVersion = 3;
+// Version 4: every per-TU segment is followed by its own u64 checksum,
+// enabling partial-corruption salvage. Version 3 stores (one whole-file
+// checksum only) fail the version check and load cold — the 3->4
+// migration is one cold build.
+constexpr uint32_t DBVersion = 4;
 
 /// Encoded length of BinaryWriter::writeVarU64(V) (LEB128).
 unsigned varintLen(uint64_t V) {
@@ -74,7 +79,8 @@ size_t BuildStateDB::numTUs() const {
 uint64_t BuildStateDB::sizeBytes() const {
   // Sum the framing arithmetic over cached segments instead of
   // materializing the full byte string: header (magic, version, TU
-  // count) + per TU {varint length prefix, segment} + u64 checksum.
+  // count) + per TU {varint length prefix, segment, u64 segment
+  // checksum} + u64 file checksum.
   std::vector<std::unique_lock<std::mutex>> Locks;
   Locks.reserve(NumShards);
   for (const Shard &S : Shards)
@@ -86,7 +92,7 @@ uint64_t BuildStateDB::sizeBytes() const {
     for (const auto &[Key, TU] : S.TUs) {
       (void)TU;
       const Segment &Seg = segmentFor(S, Key);
-      Total += varintLen(Seg.Bytes.size()) + Seg.Bytes.size();
+      Total += varintLen(Seg.Bytes.size()) + Seg.Bytes.size() + 8;
       ++N;
     }
   Total += varintLen(N);
@@ -143,8 +149,10 @@ std::string BuildStateDB::serialize() const {
             [](const auto &A, const auto &B) { return *A.first < *B.first; });
 
   // Format: header, then per TU {varint segment length, segment
-  // bytes}, then a trailing checksum folding the per-segment hashes.
-  // Folding cached hashes (instead of hashing the whole buffer) keeps
+  // bytes, u64 segment checksum}, then a trailing checksum folding the
+  // per-segment hashes. The per-segment checksum localizes damage — a
+  // flipped bit inside one segment drops only that TU on load — and
+  // folding cached hashes (instead of hashing the whole buffer) keeps
   // the save cost of an incremental build proportional to the number
   // of recompiled TUs even when records carry megabytes of cached
   // code.
@@ -157,10 +165,13 @@ std::string BuildStateDB::serialize() const {
   std::string Out(Header.data().begin(), Header.data().end());
   for (const auto &[Key, S] : Keys) {
     const Segment &Seg = segmentFor(*S, *Key);
-    BinaryWriter Len;
-    Len.writeVarU64(Seg.Bytes.size());
-    Out.append(Len.data().begin(), Len.data().end());
+    BinaryWriter Frame;
+    Frame.writeVarU64(Seg.Bytes.size());
+    Out.append(Frame.data().begin(), Frame.data().end());
     Out += Seg.Bytes;
+    BinaryWriter SegTail;
+    SegTail.writeU64(Seg.Hash);
+    Out.append(SegTail.data().begin(), SegTail.data().end());
     Checksum = hashCombine(Checksum, Seg.Hash);
   }
   BinaryWriter Tail;
@@ -169,19 +180,44 @@ std::string BuildStateDB::serialize() const {
   return Out;
 }
 
-bool BuildStateDB::deserialize(const std::string &Bytes) {
-  std::vector<std::unique_lock<std::mutex>> Locks;
-  Locks.reserve(NumShards);
-  for (const Shard &S : Shards)
-    Locks.emplace_back(S.Mu);
+namespace {
 
-  auto ClearAll = [this] {
-    for (Shard &S : Shards) {
-      S.TUs.clear();
-      S.SegmentCache.clear();
-    }
-  };
-  ClearAll();
+/// Decodes one per-TU segment. Returns false (leaving \p Key / \p TU
+/// partially filled but unused) when the segment bytes are malformed.
+bool decodeSegment(const uint8_t *Data, size_t Len, std::string &Key,
+                   TUState &TU) {
+  BinaryReader SR(Data, Len);
+  Key = SR.readString();
+  TU.PipelineSignature = SR.readU64();
+  uint64_t NumModuleBits = SR.readVarU64();
+  for (uint64_t I = 0; I != NumModuleBits && !SR.failed(); ++I)
+    TU.ModuleDormancy.push_back(SR.readU8());
+  uint64_t NumFuncs = SR.readVarU64();
+  for (uint64_t FI = 0; FI != NumFuncs && !SR.failed(); ++FI) {
+    std::string Name = SR.readString();
+    FunctionRecord Rec;
+    Rec.Fingerprint = SR.readU64();
+    Rec.Age = SR.readU32();
+    Rec.CodeKey = SR.readU64();
+    Rec.CachedCode = SR.readString();
+    uint64_t NumBits = SR.readVarU64();
+    for (uint64_t I = 0; I != NumBits && !SR.failed(); ++I)
+      Rec.Dormancy.push_back(SR.readU8());
+    TU.Functions[Name] = std::move(Rec);
+  }
+  return !SR.failed() && SR.atEnd();
+}
+
+} // namespace
+
+bool BuildStateDB::deserialize(const std::string &Bytes,
+                               StateLoadReport *Report) {
+  // Parse into a scratch map first and swap only on success: a failed
+  // load must never leave the live DB half-mutated (or clobber records
+  // a running build already refreshed).
+  std::map<std::string, TUState> Scratch;
+  StateLoadReport Rep;
+
   if (Bytes.size() < 16)
     return false;
   BinaryReader Tail(
@@ -193,64 +229,73 @@ bool BuildStateDB::deserialize(const std::string &Bytes) {
   if (R.readU32() != DBMagic || R.readU32() != DBVersion)
     return false;
   uint64_t NumTUs = R.readVarU64();
+  if (R.failed())
+    return false;
   uint64_t Checksum = hashBytes(Bytes.data(), R.position());
 
-  for (uint64_t T = 0; T != NumTUs && !R.failed(); ++T) {
+  for (uint64_t T = 0; T != NumTUs; ++T) {
+    // Framing: {varint len, bytes, u64 stored hash}. Damage *here*
+    // (bad length, truncation) makes everything after unaddressable,
+    // so it rejects the whole store; damage confined to the segment
+    // bytes is caught by the per-segment hash below and drops only
+    // that TU.
     uint64_t SegLen = R.readVarU64();
     size_t SegStart = R.position();
-    if (R.failed() || SegLen > Bytes.size() - 8 - SegStart) {
-      ClearAll();
+    if (R.failed() || SegLen > Bytes.size() - 8 - SegStart)
       return false;
-    }
-    Checksum =
-        hashCombine(Checksum, hashBytes(Bytes.data() + SegStart, SegLen));
-
-    BinaryReader SR(
-        reinterpret_cast<const uint8_t *>(Bytes.data()) + SegStart, SegLen);
-    std::string Key = SR.readString();
-    TUState TU;
-    TU.PipelineSignature = SR.readU64();
-    uint64_t NumModuleBits = SR.readVarU64();
-    for (uint64_t I = 0; I != NumModuleBits && !SR.failed(); ++I)
-      TU.ModuleDormancy.push_back(SR.readU8());
-    uint64_t NumFuncs = SR.readVarU64();
-    for (uint64_t FI = 0; FI != NumFuncs && !SR.failed(); ++FI) {
-      std::string Name = SR.readString();
-      FunctionRecord Rec;
-      Rec.Fingerprint = SR.readU64();
-      Rec.Age = SR.readU32();
-      Rec.CodeKey = SR.readU64();
-      Rec.CachedCode = SR.readString();
-      uint64_t NumBits = SR.readVarU64();
-      for (uint64_t I = 0; I != NumBits && !SR.failed(); ++I)
-        Rec.Dormancy.push_back(SR.readU8());
-      TU.Functions[Name] = std::move(Rec);
-    }
-    if (SR.failed() || !SR.atEnd()) {
-      ClearAll();
-      return false;
-    }
-    shardFor(Key).TUs[Key] = std::move(TU);
-
-    // Advance the outer reader past the segment.
     R.skip(SegLen);
+    uint64_t StoredHash = R.readU64();
+    if (R.failed())
+      return false;
+    uint64_t ActualHash = hashBytes(Bytes.data() + SegStart, SegLen);
+    Checksum = hashCombine(Checksum, ActualHash);
+
+    std::string Key;
+    TUState TU;
+    if (ActualHash != StoredHash ||
+        !decodeSegment(reinterpret_cast<const uint8_t *>(Bytes.data()) +
+                           SegStart,
+                       SegLen, Key, TU)) {
+      ++Rep.TUsDropped; // Salvage: this TU compiles cold next build.
+      continue;
+    }
+    Scratch[std::move(Key)] = std::move(TU);
+    ++Rep.TUsLoaded;
   }
-  if (R.failed() || !R.atEnd() || Checksum != Expected) {
-    ClearAll();
+  if (R.failed() || !R.atEnd())
     return false;
+  // With zero drops the fold of per-segment hashes must match the
+  // trailing checksum (catches e.g. a flipped trailing checksum or
+  // resequenced segments). With drops it cannot match — the mismatch
+  // is already explained and accounted per segment.
+  if (Rep.TUsDropped == 0 && Checksum != Expected)
+    return false;
+
+  std::vector<std::unique_lock<std::mutex>> Locks;
+  Locks.reserve(NumShards);
+  for (const Shard &S : Shards)
+    Locks.emplace_back(S.Mu);
+  for (Shard &S : Shards) {
+    S.TUs.clear();
+    S.SegmentCache.clear();
   }
+  for (auto &[Key, TU] : Scratch)
+    shardFor(Key).TUs[Key] = std::move(TU);
+  if (Report)
+    *Report = Rep;
   return true;
 }
 
 bool BuildStateDB::saveToFile(VirtualFileSystem &FS,
                               const std::string &Path) const {
-  return FS.writeFile(Path, serialize());
+  return atomicWriteFile(FS, Path, serialize());
 }
 
 bool BuildStateDB::loadFromFile(VirtualFileSystem &FS,
-                                const std::string &Path) {
+                                const std::string &Path,
+                                StateLoadReport *Report) {
   std::optional<std::string> Bytes = FS.readFile(Path);
   if (!Bytes)
     return false;
-  return deserialize(*Bytes);
+  return deserialize(*Bytes, Report);
 }

@@ -12,11 +12,14 @@
 /// function in the most recent compilation. Module-pass dormancy is
 /// tracked per TU.
 ///
-/// Integrity: the store is versioned and checksummed; a missing,
-/// truncated, or signature-mismatched store degrades to a cold build
-/// (never a wrong build). A pipeline-signature mismatch (different
-/// pass sequence, optimization level, or compiler version) invalidates
-/// a TU's records wholesale.
+/// Integrity: the store is versioned and checksummed at two
+/// granularities. Every per-TU segment carries its own checksum, so a
+/// bit flip inside one segment drops only that TU to cold compilation
+/// (partial-corruption salvage) while the rest of the store survives;
+/// damage to the framing (header, segment lengths, truncation) rejects
+/// the whole store and degrades to a cold build — never a wrong build.
+/// A pipeline-signature mismatch (different pass sequence, optimization
+/// level, or compiler version) invalidates a TU's records wholesale.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -68,6 +71,14 @@ struct TUState {
   std::map<std::string, FunctionRecord> Functions;
 };
 
+/// What a load salvaged from a damaged (or healthy) serialized store.
+struct StateLoadReport {
+  uint64_t TUsLoaded = 0;  // Segments that passed their checksum.
+  uint64_t TUsDropped = 0; // Corrupt segments dropped (those TUs go cold).
+
+  bool salvaged() const { return TUsDropped != 0; }
+};
+
 /// Thread-safety: the store is sharded by TU-key hash into 16
 /// independently-locked stripes, so parallel workers recording
 /// dormancy for different TUs almost never contend on the same lock.
@@ -102,13 +113,22 @@ public:
 
   std::string serialize() const;
 
-  /// Replaces the contents from serialized bytes. Returns false (and
-  /// leaves the DB empty) on malformed input.
-  bool deserialize(const std::string &Bytes);
+  /// Replaces the contents from serialized bytes. Parses into a
+  /// scratch store first and swaps only on success, so failure never
+  /// mutates the live DB. Returns false when the framing (magic,
+  /// version, lengths, trailing checksum) is unusable; returns true —
+  /// filling \p Report with loaded/dropped counts — when the framing
+  /// is intact, even if individual corrupt segments had to be dropped
+  /// (those TUs simply compile cold next build).
+  bool deserialize(const std::string &Bytes,
+                   StateLoadReport *Report = nullptr);
 
-  /// Convenience wrappers over a VirtualFileSystem.
+  /// Convenience wrappers over a VirtualFileSystem. saveToFile is
+  /// crash-safe: it stages through atomicWriteFile, so a crash mid-save
+  /// leaves the previous store intact.
   bool saveToFile(VirtualFileSystem &FS, const std::string &Path) const;
-  bool loadFromFile(VirtualFileSystem &FS, const std::string &Path);
+  bool loadFromFile(VirtualFileSystem &FS, const std::string &Path,
+                    StateLoadReport *Report = nullptr);
 
 private:
   struct Segment {

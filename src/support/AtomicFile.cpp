@@ -1,0 +1,31 @@
+//===- support/AtomicFile.cpp - Crash-safe whole-file writes -------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+using namespace sc;
+
+std::string sc::atomicTempPath(const std::string &Path) {
+  return Path + ".tmp";
+}
+
+bool sc::atomicWriteFile(VirtualFileSystem &FS, const std::string &Path,
+                         const std::string &Content) {
+  const std::string Tmp = atomicTempPath(Path);
+  if (!FS.writeFile(Tmp, Content)) {
+    FS.removeFile(Tmp); // Drop a torn temp; the destination is intact.
+    return false;
+  }
+  if (!FS.syncFile(Tmp)) {
+    FS.removeFile(Tmp);
+    return false;
+  }
+  if (!FS.renameFile(Tmp, Path)) {
+    FS.removeFile(Tmp);
+    return false;
+  }
+  return true;
+}

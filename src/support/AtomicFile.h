@@ -1,0 +1,39 @@
+//===- support/AtomicFile.h - Crash-safe whole-file writes ------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one durable-write primitive every persistent artifact (state DB,
+/// manifest, object files) goes through: write a sibling temp file,
+/// fsync it, then rename it over the destination. A crash or I/O error
+/// at any point leaves the destination either fully old or fully new —
+/// never torn — so readers need no recovery logic beyond their normal
+/// checksum validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_ATOMICFILE_H
+#define SC_SUPPORT_ATOMICFILE_H
+
+#include "support/FileSystem.h"
+
+#include <string>
+
+namespace sc {
+
+/// Atomically replaces \p Path with \p Content via write-temp -> fsync
+/// -> rename. On failure the destination is untouched and the temp file
+/// is removed (best effort). Returns false on any I/O failure; consult
+/// FS.lastError() for the cause.
+bool atomicWriteFile(VirtualFileSystem &FS, const std::string &Path,
+                     const std::string &Content);
+
+/// The sibling temp path atomicWriteFile stages through (exposed so
+/// cleanup and tests agree on the name).
+std::string atomicTempPath(const std::string &Path);
+
+} // namespace sc
+
+#endif // SC_SUPPORT_ATOMICFILE_H

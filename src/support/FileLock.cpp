@@ -1,0 +1,64 @@
+//===- support/FileLock.cpp - Advisory lock over a VFS -------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FileLock.h"
+
+#include <chrono>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace sc;
+
+FileLock FileLock::acquire(VirtualFileSystem &FS, const std::string &Path,
+                           unsigned TimeoutMs, unsigned BackoffMs) {
+  const std::string Content = "pid " + std::to_string(::getpid()) + "\n";
+  using Clock = std::chrono::steady_clock;
+  const auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  unsigned Backoff = BackoffMs ? BackoffMs : 1;
+  const unsigned MaxBackoff = Backoff * 8;
+  for (;;) {
+    if (FS.createExclusive(Path, Content))
+      return FileLock(&FS, Path);
+    if (Clock::now() >= Deadline)
+      return FileLock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+    Backoff = std::min(Backoff * 2, MaxBackoff);
+  }
+}
+
+FileLock::FileLock(FileLock &&Other) noexcept
+    : FS(Other.FS), Path(std::move(Other.Path)) {
+  Other.FS = nullptr;
+}
+
+FileLock &FileLock::operator=(FileLock &&Other) noexcept {
+  if (this != &Other) {
+    release();
+    FS = Other.FS;
+    Path = std::move(Other.Path);
+    Other.FS = nullptr;
+  }
+  return *this;
+}
+
+FileLock::~FileLock() {
+  try {
+    release();
+  } catch (...) {
+    // A simulated crash (CrashPoint) during the destructor's unlock
+    // must not escape a noexcept destructor. The lock file stays
+    // behind — exactly what a process dying mid-exit leaves — and the
+    // next build times out on it and degrades to read-only.
+    FS = nullptr;
+  }
+}
+
+void FileLock::release() {
+  if (FS)
+    FS->removeFile(Path);
+  FS = nullptr;
+}

@@ -1,0 +1,67 @@
+//===- support/FileLock.h - Advisory lock over a VFS ------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Advisory whole-directory lock for the build's state directory: two
+/// scbuild processes over the same project must not interleave writes
+/// to state.db / manifest.bin / objects. The lock is a file created
+/// with create-exclusive semantics (O_CREAT|O_EXCL on real
+/// filesystems); acquisition retries with exponential backoff up to a
+/// timeout, after which the caller is expected to degrade to a
+/// read-only (nothing persisted) build rather than corrupt shared
+/// state.
+///
+/// The lock is advisory: it protects cooperating builds, not hostile
+/// writers. A process that dies without running destructors leaves the
+/// file behind; the lock content records the owner's PID so a human (or
+/// a future doctor command) can identify and remove a stale lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_FILELOCK_H
+#define SC_SUPPORT_FILELOCK_H
+
+#include "support/FileSystem.h"
+
+#include <string>
+
+namespace sc {
+
+/// RAII advisory file lock. Move-only; releases (removes the lock
+/// file) on destruction when held.
+class FileLock {
+public:
+  /// Attempts to create \p Path exclusively, retrying with doubling
+  /// backoff (starting at \p BackoffMs, capped at 8x) until
+  /// \p TimeoutMs elapses. Returns a lock that may or may not be
+  /// held(); a zero timeout means exactly one attempt.
+  static FileLock acquire(VirtualFileSystem &FS, const std::string &Path,
+                          unsigned TimeoutMs, unsigned BackoffMs = 10);
+
+  FileLock() = default;
+  FileLock(FileLock &&Other) noexcept;
+  FileLock &operator=(FileLock &&Other) noexcept;
+  FileLock(const FileLock &) = delete;
+  FileLock &operator=(const FileLock &) = delete;
+  ~FileLock();
+
+  bool held() const { return FS != nullptr; }
+  const std::string &path() const { return Path; }
+
+  /// Removes the lock file now (idempotent).
+  void release();
+
+private:
+  FileLock(VirtualFileSystem *FS, std::string Path)
+      : FS(FS), Path(std::move(Path)) {}
+
+  VirtualFileSystem *FS = nullptr; // Null when not held.
+  std::string Path;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_FILELOCK_H

@@ -7,15 +7,42 @@
 #include "support/FileSystem.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace sc;
 
 namespace fs = std::filesystem;
 
 VirtualFileSystem::~VirtualFileSystem() = default;
+
+bool VirtualFileSystem::renameFile(const std::string &From,
+                                   const std::string &To) {
+  std::optional<std::string> Content = readFile(From);
+  if (!Content)
+    return false;
+  if (!writeFile(To, *Content))
+    return false;
+  removeFile(From);
+  return true;
+}
+
+bool VirtualFileSystem::syncFile(const std::string &) { return true; }
+
+bool VirtualFileSystem::createExclusive(const std::string &Path,
+                                        const std::string &Content) {
+  if (exists(Path))
+    return false;
+  return writeFile(Path, Content);
+}
+
+std::string VirtualFileSystem::lastError() const { return std::string(); }
 
 //===----------------------------------------------------------------------===//
 // InMemoryFileSystem
@@ -49,6 +76,21 @@ std::vector<std::string> InMemoryFileSystem::listFiles() {
   for (const auto &[Path, Content] : Files)
     Paths.push_back(Path);
   return Paths;
+}
+
+bool InMemoryFileSystem::renameFile(const std::string &From,
+                                    const std::string &To) {
+  auto It = Files.find(From);
+  if (It == Files.end())
+    return false;
+  Files[To] = std::move(It->second);
+  Files.erase(From);
+  return true;
+}
+
+bool InMemoryFileSystem::createExclusive(const std::string &Path,
+                                         const std::string &Content) {
+  return Files.emplace(Path, Content).second;
 }
 
 uint64_t InMemoryFileSystem::totalBytes() const {
@@ -86,11 +128,18 @@ bool RealFileSystem::writeFile(const std::string &Path,
   std::error_code EC;
   if (Abs.has_parent_path())
     fs::create_directories(Abs.parent_path(), EC);
+  errno = 0;
   std::ofstream Out(Abs, std::ios::binary | std::ios::trunc);
-  if (!Out)
+  if (!Out) {
+    LastErr = std::strerror(errno);
     return false;
+  }
   Out.write(Content.data(), static_cast<std::streamsize>(Content.size()));
-  return static_cast<bool>(Out);
+  if (!Out) {
+    LastErr = std::strerror(errno ? errno : EIO);
+    return false;
+  }
+  return true;
 }
 
 bool RealFileSystem::exists(const std::string &Path) {
@@ -102,6 +151,65 @@ bool RealFileSystem::removeFile(const std::string &Path) {
   std::error_code EC;
   return fs::remove(absolute(Path), EC);
 }
+
+bool RealFileSystem::renameFile(const std::string &From,
+                                const std::string &To) {
+  std::error_code EC;
+  fs::rename(absolute(From), absolute(To), EC);
+  if (EC) {
+    LastErr = EC.message();
+    return false;
+  }
+  return true;
+}
+
+bool RealFileSystem::syncFile(const std::string &Path) {
+  // fsync the file, then its directory so the entry itself is durable.
+  int FD = ::open(absolute(Path).c_str(), O_RDONLY);
+  if (FD < 0) {
+    LastErr = std::strerror(errno);
+    return false;
+  }
+  bool OK = ::fsync(FD) == 0;
+  if (!OK)
+    LastErr = std::strerror(errno);
+  ::close(FD);
+  fs::path Parent = fs::path(absolute(Path)).parent_path();
+  int DirFD = ::open(Parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFD >= 0) {
+    ::fsync(DirFD); // Best effort; some filesystems reject dir fsync.
+    ::close(DirFD);
+  }
+  return OK;
+}
+
+bool RealFileSystem::createExclusive(const std::string &Path,
+                                     const std::string &Content) {
+  fs::path Abs(absolute(Path));
+  std::error_code EC;
+  if (Abs.has_parent_path())
+    fs::create_directories(Abs.parent_path(), EC);
+  int FD = ::open(Abs.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (FD < 0) {
+    LastErr = std::strerror(errno);
+    return false;
+  }
+  size_t Off = 0;
+  bool OK = true;
+  while (Off != Content.size()) {
+    ssize_t N = ::write(FD, Content.data() + Off, Content.size() - Off);
+    if (N <= 0) {
+      LastErr = std::strerror(errno);
+      OK = false;
+      break;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  ::close(FD);
+  return OK;
+}
+
+std::string RealFileSystem::lastError() const { return LastErr; }
 
 std::vector<std::string> RealFileSystem::listFiles() {
   std::vector<std::string> Paths;

@@ -42,6 +42,28 @@ public:
 
   /// Lists all file paths, sorted lexicographically for determinism.
   virtual std::vector<std::string> listFiles() = 0;
+
+  /// Atomically replaces \p To with \p From (the crash-safe commit step
+  /// of atomicWriteFile). The default is a non-atomic read/write/remove
+  /// emulation; implementations backed by a real filesystem override it
+  /// with an O_ATOMIC rename so a crash can never expose a half-written
+  /// destination.
+  virtual bool renameFile(const std::string &From, const std::string &To);
+
+  /// Flushes \p Path to stable storage (fsync). No-op (success) for
+  /// memory-backed implementations.
+  virtual bool syncFile(const std::string &Path);
+
+  /// Creates \p Path with \p Content only if it does not already exist;
+  /// returns false when it does (or on I/O failure). The advisory-lock
+  /// primitive: real filesystems implement it with O_CREAT|O_EXCL.
+  virtual bool createExclusive(const std::string &Path,
+                               const std::string &Content);
+
+  /// Human-readable description of the most recent failure (errno text
+  /// for real filesystems, the injected fault for FaultyFileSystem).
+  /// Empty when unknown.
+  virtual std::string lastError() const;
 };
 
 /// Heap-backed filesystem; the default substrate for benchmarks/tests.
@@ -52,6 +74,9 @@ public:
   bool exists(const std::string &Path) override;
   bool removeFile(const std::string &Path) override;
   std::vector<std::string> listFiles() override;
+  bool renameFile(const std::string &From, const std::string &To) override;
+  bool createExclusive(const std::string &Path,
+                       const std::string &Content) override;
 
   /// Total bytes stored across all files (for overhead accounting).
   uint64_t totalBytes() const;
@@ -70,6 +95,11 @@ public:
   bool exists(const std::string &Path) override;
   bool removeFile(const std::string &Path) override;
   std::vector<std::string> listFiles() override;
+  bool renameFile(const std::string &From, const std::string &To) override;
+  bool syncFile(const std::string &Path) override;
+  bool createExclusive(const std::string &Path,
+                       const std::string &Content) override;
+  std::string lastError() const override;
 
   const std::string &root() const { return Root; }
 
@@ -77,6 +107,7 @@ private:
   std::string absolute(const std::string &Path) const;
 
   std::string Root;
+  mutable std::string LastErr;
 };
 
 } // namespace sc

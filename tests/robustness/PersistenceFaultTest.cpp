@@ -1,0 +1,369 @@
+//===- tests/robustness/PersistenceFaultTest.cpp - load-failure matrix ----===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit-level crash-safety coverage for the persistence primitives:
+/// the BuildStateDB load-failure matrix (every damage class either
+/// rejects the whole store or salvages around the damaged segment —
+/// never a silent wrong accept, never mutation of the live DB),
+/// atomicWriteFile's all-or-nothing contract under injected faults,
+/// and the advisory FileLock protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#include "state/BuildStateDB.h"
+#include "support/AtomicFile.h"
+#include "support/FaultyFileSystem.h"
+#include "support/FileLock.h"
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+TUState makeTU(uint64_t Sig, unsigned NumFuncs, size_t PipelineLen) {
+  TUState TU;
+  TU.PipelineSignature = Sig;
+  TU.ModuleDormancy.assign(PipelineLen, 0);
+  TU.ModuleDormancy[0] = 1;
+  for (unsigned I = 0; I != NumFuncs; ++I) {
+    FunctionRecord Rec;
+    Rec.Fingerprint = 1000 + I;
+    Rec.Age = I;
+    Rec.Dormancy.assign(PipelineLen, static_cast<uint8_t>(I % 2));
+    TU.Functions["fn" + std::to_string(I)] = std::move(Rec);
+  }
+  return TU;
+}
+
+/// Serialized three-TU store with distinctive keys so tests can locate
+/// one TU's segment in the bytes by searching for its key string.
+std::string threeTUBytes() {
+  BuildStateDB DB;
+  DB.update("alpha.mc", makeTU(0x111, 2, 8));
+  DB.update("bravo.mc", makeTU(0x222, 3, 8));
+  DB.update("charlie.mc", makeTU(0x333, 1, 8));
+  return DB.serialize();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Load-failure matrix
+//===----------------------------------------------------------------------===//
+
+TEST(StateLoadMatrix, TruncatedHeaderRejected) {
+  std::string Bytes = threeTUBytes();
+  for (size_t Cut : {size_t(0), size_t(1), size_t(7), size_t(15)}) {
+    BuildStateDB R;
+    EXPECT_FALSE(R.deserialize(Bytes.substr(0, Cut))) << "cut at " << Cut;
+    EXPECT_EQ(R.numTUs(), 0u);
+  }
+}
+
+TEST(StateLoadMatrix, WrongMagicRejected) {
+  std::string Bytes = threeTUBytes();
+  Bytes[0] ^= 0xFF;
+  BuildStateDB R;
+  EXPECT_FALSE(R.deserialize(Bytes));
+  EXPECT_EQ(R.numTUs(), 0u);
+}
+
+TEST(StateLoadMatrix, WrongVersionRejectedNotSalvaged) {
+  // An old-format file (e.g. v3) must be rejected wholesale — one cold
+  // build — not misparsed into salvage.
+  std::string Bytes = threeTUBytes();
+  Bytes[4] ^= 0x01; // Version field follows the 4-byte magic.
+  BuildStateDB R;
+  StateLoadReport Rep;
+  EXPECT_FALSE(R.deserialize(Bytes, &Rep));
+  EXPECT_EQ(Rep.TUsDropped, 0u); // Rejected before any segment parse.
+  EXPECT_EQ(R.numTUs(), 0u);
+}
+
+TEST(StateLoadMatrix, TruncatedMidSegmentRejected) {
+  std::string Bytes = threeTUBytes();
+  // Cut inside the second TU's segment: framing damage, whole reject.
+  size_t Cut = Bytes.find("bravo.mc") + 4;
+  ASSERT_LT(Cut, Bytes.size());
+  BuildStateDB R;
+  EXPECT_FALSE(R.deserialize(Bytes.substr(0, Cut)));
+  EXPECT_EQ(R.numTUs(), 0u);
+}
+
+TEST(StateLoadMatrix, FlippedSegmentByteSalvagesOthersExactly) {
+  std::string Bytes = threeTUBytes();
+  // Damage one byte inside bravo's segment (its key string is part of
+  // the checksummed segment bytes).
+  size_t Pos = Bytes.find("bravo.mc");
+  ASSERT_NE(Pos, std::string::npos);
+  Bytes[Pos + 2] ^= 0x10;
+
+  BuildStateDB R;
+  StateLoadReport Rep;
+  ASSERT_TRUE(R.deserialize(Bytes, &Rep));
+  EXPECT_EQ(Rep.TUsLoaded, 2u);
+  EXPECT_EQ(Rep.TUsDropped, 1u);
+  EXPECT_TRUE(Rep.salvaged());
+  EXPECT_EQ(R.numTUs(), 2u);
+  EXPECT_EQ(R.lookup("bravo.mc"), nullptr);
+
+  // The survivors must be bit-exact, not merely present.
+  const TUState *A = R.lookup("alpha.mc");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->PipelineSignature, 0x111u);
+  EXPECT_EQ(A->Functions.size(), 2u);
+  EXPECT_EQ(A->Functions.at("fn1").Fingerprint, 1001u);
+  EXPECT_EQ(A->Functions.at("fn1").Dormancy, std::vector<uint8_t>(8, 1));
+  const TUState *C = R.lookup("charlie.mc");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->PipelineSignature, 0x333u);
+  EXPECT_EQ(C->Functions.size(), 1u);
+}
+
+TEST(StateLoadMatrix, FlippedStoredSegmentHashDropsSegment) {
+  // Single-TU store: the 8 bytes before the trailing checksum are the
+  // segment's stored hash. Damaging the *hash* (not the data) still
+  // conservatively drops the segment — we cannot tell which is wrong.
+  BuildStateDB DB;
+  DB.update("only.mc", makeTU(0x999, 1, 4));
+  std::string Bytes = DB.serialize();
+  ASSERT_GE(Bytes.size(), 16u);
+  Bytes[Bytes.size() - 16] ^= 0x01;
+
+  BuildStateDB R;
+  StateLoadReport Rep;
+  ASSERT_TRUE(R.deserialize(Bytes, &Rep));
+  EXPECT_EQ(Rep.TUsLoaded, 0u);
+  EXPECT_EQ(Rep.TUsDropped, 1u);
+  EXPECT_EQ(R.numTUs(), 0u);
+}
+
+TEST(StateLoadMatrix, FlippedTrailingChecksumRejected) {
+  // With zero dropped segments the fold must match the trailing
+  // checksum; a damaged trailer is framing damage.
+  std::string Bytes = threeTUBytes();
+  Bytes[Bytes.size() - 1] ^= 0x01;
+  BuildStateDB R;
+  EXPECT_FALSE(R.deserialize(Bytes));
+  EXPECT_EQ(R.numTUs(), 0u);
+}
+
+TEST(StateLoadMatrix, EmptyAndGarbageRejected) {
+  BuildStateDB R;
+  EXPECT_FALSE(R.deserialize(""));
+  EXPECT_FALSE(R.deserialize("not a state db at all, sorry"));
+  EXPECT_FALSE(R.deserialize(std::string(64, '\0')));
+  EXPECT_EQ(R.numTUs(), 0u);
+}
+
+TEST(StateLoadMatrix, FailedLoadNeverMutatesLiveDB) {
+  // A daemon's in-memory DB asked to reload from a damaged file must
+  // keep serving its current records untouched.
+  BuildStateDB Live;
+  Live.update("keep.mc", makeTU(0xAA, 2, 4));
+  std::string Good = threeTUBytes();
+
+  EXPECT_FALSE(Live.deserialize("garbage"));
+  EXPECT_FALSE(Live.deserialize(Good.substr(0, Good.size() / 2)));
+  std::string BadVersion = Good;
+  BadVersion[4] ^= 0x01;
+  EXPECT_FALSE(Live.deserialize(BadVersion));
+
+  ASSERT_EQ(Live.numTUs(), 1u);
+  const TUState *Kept = Live.lookup("keep.mc");
+  ASSERT_NE(Kept, nullptr);
+  EXPECT_EQ(Kept->PipelineSignature, 0xAAu);
+  EXPECT_EQ(Kept->Functions.size(), 2u);
+
+  // A successful load, by contrast, fully replaces the contents.
+  ASSERT_TRUE(Live.deserialize(Good));
+  EXPECT_EQ(Live.numTUs(), 3u);
+  EXPECT_EQ(Live.lookup("keep.mc"), nullptr);
+}
+
+TEST(StateLoadMatrix, SalvagedStoreRoundTripsCleanly) {
+  // Re-serializing after a salvage yields a healthy store: the damage
+  // does not propagate into the next save.
+  std::string Bytes = threeTUBytes();
+  size_t Pos = Bytes.find("charlie.mc");
+  ASSERT_NE(Pos, std::string::npos);
+  Bytes[Pos] ^= 0x20;
+
+  BuildStateDB R;
+  StateLoadReport Rep;
+  ASSERT_TRUE(R.deserialize(Bytes, &Rep));
+  ASSERT_EQ(Rep.TUsDropped, 1u);
+
+  BuildStateDB R2;
+  StateLoadReport Rep2;
+  ASSERT_TRUE(R2.deserialize(R.serialize(), &Rep2));
+  EXPECT_EQ(Rep2.TUsLoaded, 2u);
+  EXPECT_EQ(Rep2.TUsDropped, 0u);
+  EXPECT_EQ(R2.numTUs(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// atomicWriteFile
+//===----------------------------------------------------------------------===//
+
+TEST(AtomicFile, SuccessfulWriteLeavesNoTemp) {
+  InMemoryFileSystem FS;
+  ASSERT_TRUE(atomicWriteFile(FS, "out/state.db", "new content"));
+  EXPECT_EQ(FS.readFile("out/state.db").value_or(""), "new content");
+  EXPECT_FALSE(FS.exists(atomicTempPath("out/state.db")));
+}
+
+TEST(AtomicFile, TornWriteKeepsOldContentAndCleansTemp) {
+  InMemoryFileSystem Base;
+  ASSERT_TRUE(Base.writeFile("out/state.db", "old content"));
+  FaultyFileSystem FS(Base);
+  FS.arm(FaultyFileSystem::Fault::TornWrite, 1);
+
+  EXPECT_FALSE(atomicWriteFile(FS, "out/state.db", "new content"));
+  EXPECT_EQ(Base.readFile("out/state.db").value_or(""), "old content");
+  EXPECT_FALSE(Base.exists(atomicTempPath("out/state.db")));
+  EXPECT_NE(FS.lastError().find("torn"), std::string::npos);
+}
+
+TEST(AtomicFile, WriteErrorKeepsOldContent) {
+  InMemoryFileSystem Base;
+  ASSERT_TRUE(Base.writeFile("out/state.db", "old content"));
+  FaultyFileSystem FS(Base);
+  FS.arm(FaultyFileSystem::Fault::WriteError, 1);
+
+  EXPECT_FALSE(atomicWriteFile(FS, "out/state.db", "new content"));
+  EXPECT_EQ(Base.readFile("out/state.db").value_or(""), "old content");
+  EXPECT_FALSE(Base.exists(atomicTempPath("out/state.db")));
+}
+
+TEST(AtomicFile, CrashMidWriteLeavesDestinationIntact) {
+  // A crash inside the temp-file write leaves a torn *temp* file; the
+  // destination is untouched and the torn temp is ignored by readers.
+  InMemoryFileSystem Base;
+  ASSERT_TRUE(Base.writeFile("out/state.db", "old content"));
+  FaultyFileSystem FS(Base);
+  FS.arm(FaultyFileSystem::Fault::Crash, 1);
+
+  bool Crashed = false;
+  try {
+    atomicWriteFile(FS, "out/state.db", "new content");
+  } catch (const CrashPoint &) {
+    Crashed = true;
+  }
+  EXPECT_TRUE(Crashed);
+  EXPECT_EQ(Base.readFile("out/state.db").value_or(""), "old content");
+}
+
+//===----------------------------------------------------------------------===//
+// FileLock
+//===----------------------------------------------------------------------===//
+
+TEST(FileLockTest, AcquireHoldReleaseCycle) {
+  InMemoryFileSystem FS;
+  {
+    FileLock Lock = FileLock::acquire(FS, "out/.lock", 0);
+    ASSERT_TRUE(Lock.held());
+    EXPECT_TRUE(FS.exists("out/.lock"));
+
+    // Contended: a second acquisition with zero timeout fails fast.
+    FileLock Second = FileLock::acquire(FS, "out/.lock", 0);
+    EXPECT_FALSE(Second.held());
+  }
+  // RAII release removed the file; a fresh acquire succeeds.
+  EXPECT_FALSE(FS.exists("out/.lock"));
+  FileLock Again = FileLock::acquire(FS, "out/.lock", 0);
+  EXPECT_TRUE(Again.held());
+}
+
+TEST(FileLockTest, TimedAcquireWaitsOutAShortHolder) {
+  InMemoryFileSystem FS;
+  ASSERT_TRUE(FS.createExclusive("out/.lock", "pid 0\n"));
+  // Simulate the holder exiting shortly: remove the file from another
+  // "thread of control" by releasing before the deadline. Here we just
+  // verify the timeout path itself — a held lock outlasting the
+  // deadline yields an unheld result without hanging.
+  FileLock L = FileLock::acquire(FS, "out/.lock", 30, 5);
+  EXPECT_FALSE(L.held());
+  // Stale-lock recovery is manual by design: deleting the file
+  // unblocks the next acquire.
+  FS.removeFile("out/.lock");
+  FileLock L2 = FileLock::acquire(FS, "out/.lock", 30, 5);
+  EXPECT_TRUE(L2.held());
+}
+
+TEST(FileLockTest, MoveTransfersOwnership) {
+  InMemoryFileSystem FS;
+  FileLock A = FileLock::acquire(FS, "out/.lock", 0);
+  ASSERT_TRUE(A.held());
+  FileLock B = std::move(A);
+  EXPECT_FALSE(A.held()); // NOLINT: moved-from probe is the point.
+  EXPECT_TRUE(B.held());
+  B.release();
+  EXPECT_FALSE(FS.exists("out/.lock"));
+}
+
+TEST(FileLockTest, ExplicitReleaseIsIdempotent) {
+  InMemoryFileSystem FS;
+  FileLock L = FileLock::acquire(FS, "out/.lock", 0);
+  ASSERT_TRUE(L.held());
+  L.release();
+  L.release();
+  EXPECT_FALSE(L.held());
+  EXPECT_FALSE(FS.exists("out/.lock"));
+}
+
+//===----------------------------------------------------------------------===//
+// FaultyFileSystem mechanics (the injector itself must be predictable)
+//===----------------------------------------------------------------------===//
+
+TEST(FaultyFS, SpecParsing) {
+  InMemoryFileSystem Base;
+  FaultyFileSystem FS(Base);
+  EXPECT_TRUE(FS.armSpec("torn:1"));
+  EXPECT_TRUE(FS.armSpec("enospc:3"));
+  EXPECT_TRUE(FS.armSpec("enospc*:2"));
+  EXPECT_TRUE(FS.armSpec("read:10"));
+  EXPECT_TRUE(FS.armSpec("crash:5"));
+  EXPECT_FALSE(FS.armSpec("torn"));
+  EXPECT_FALSE(FS.armSpec("torn:"));
+  EXPECT_FALSE(FS.armSpec("torn:0"));
+  EXPECT_FALSE(FS.armSpec("torn:2x"));
+  EXPECT_FALSE(FS.armSpec("gamma:1"));
+  EXPECT_FALSE(FS.armSpec(""));
+}
+
+TEST(FaultyFS, StickyWriteErrorPersists) {
+  InMemoryFileSystem Base;
+  FaultyFileSystem FS(Base);
+  ASSERT_TRUE(FS.armSpec("enospc*:2"));
+  EXPECT_TRUE(FS.writeFile("a", "1"));  // Op 1: before the fault.
+  EXPECT_FALSE(FS.writeFile("b", "2")); // Op 2: disk full.
+  EXPECT_FALSE(FS.writeFile("c", "3")); // Still full.
+  EXPECT_TRUE(Base.exists("a"));
+  EXPECT_FALSE(Base.exists("b"));
+  EXPECT_FALSE(Base.exists("c"));
+  EXPECT_EQ(FS.faultsFired(), 2u);
+}
+
+TEST(FaultyFS, OneShotReadErrorThenRecovers) {
+  InMemoryFileSystem Base;
+  Base.writeFile("f", "payload");
+  FaultyFileSystem FS(Base);
+  ASSERT_TRUE(FS.armSpec("read:1"));
+  EXPECT_FALSE(FS.readFile("f").has_value());
+  EXPECT_EQ(FS.readFile("f").value_or(""), "payload");
+  EXPECT_EQ(FS.readOps(), 2u);
+}
+
+TEST(FaultyFS, TornWriteLeavesHalfTheBytes) {
+  InMemoryFileSystem Base;
+  FaultyFileSystem FS(Base);
+  ASSERT_TRUE(FS.armSpec("torn:1"));
+  EXPECT_FALSE(FS.writeFile("f", "0123456789"));
+  EXPECT_EQ(Base.readFile("f").value_or(""), "01234");
+}

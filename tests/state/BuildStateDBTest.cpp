@@ -84,11 +84,15 @@ TEST(BuildStateDB, CorruptionDetected) {
   EXPECT_FALSE(R1.deserialize(Bytes.substr(0, Bytes.size() / 2)));
   EXPECT_EQ(R1.numTUs(), 0u);
 
-  // Bit flip in the middle (checksum must catch it).
+  // Bit flip in the middle: detected either as a full reject (framing
+  // damage) or as a salvage that drops the damaged TU segment — never
+  // a silent clean accept.
   std::string Flipped = Bytes;
   Flipped[Bytes.size() / 2] ^= 0x40;
   BuildStateDB R2;
-  EXPECT_FALSE(R2.deserialize(Flipped));
+  StateLoadReport Rep;
+  bool Ok = R2.deserialize(Flipped, &Rep);
+  EXPECT_TRUE(!Ok || Rep.TUsDropped > 0);
 
   // Garbage.
   BuildStateDB R3;

@@ -71,4 +71,28 @@ rm bad.mc # Keep the project buildable for the steps below.
 OUT="$("$SCBUILD" . --stateless --quiet --run)"
 [ "$OUT" = "42" ] || { echo "FAIL: stateless got '$OUT'"; exit 1; }
 
+# Fault injection: a torn write costs persistence only — the build
+# succeeds, warns on stderr, and the tree stays consistent.
+"$SCBUILD" . --clean --quiet
+WARNINGS="$("$SCBUILD" . --quiet --inject-fault torn:1 2>&1 >/dev/null)"
+echo "$WARNINGS" | grep -q "scbuild: warning:.*torn" || {
+  echo "FAIL: expected a torn-write warning, got: $WARNINGS"; exit 1; }
+OUT="$("$SCBUILD" . --quiet --run)"
+[ "$OUT" = "42" ] || { echo "FAIL after torn write: got '$OUT'"; exit 1; }
+
+# A simulated crash mid-persist exits with the crash code (3); the
+# next build recovers to the identical, correct program.
+set +e
+"$SCBUILD" . --inject-fault crash:2 >/dev/null 2>&1
+RC=$?
+set -e
+[ "$RC" -eq 3 ] || { echo "FAIL: expected crash exit 3, got $RC"; exit 1; }
+OUT="$("$SCBUILD" . --quiet --run)"
+[ "$OUT" = "42" ] || { echo "FAIL after crash: got '$OUT'"; exit 1; }
+
+# Malformed fault specs are rejected up front.
+if "$SCBUILD" . --inject-fault bogus:1 2>/dev/null; then
+  echo "FAIL: bad --inject-fault spec accepted"; exit 1
+fi
+
 echo "tools smoke: OK"

@@ -28,12 +28,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "build_sys/BuildSystem.h"
+#include "support/FaultyFileSystem.h"
 #include "support/FileSystem.h"
 #include "vm/VM.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,6 +52,7 @@ int main(int argc, char **argv) {
   Options.Jobs = std::max(1u, std::thread::hardware_concurrency());
   bool Clean = false, Run = false, Quiet = false;
   std::vector<int64_t> RunArgs;
+  std::vector<std::string> FaultSpecs; // Hidden --inject-fault op:N.
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -78,6 +81,15 @@ int main(int argc, char **argv) {
       Run = true;
     else if (Arg == "--quiet")
       Quiet = true;
+    else if (Arg == "--inject-fault" && I + 1 < argc)
+      // Hidden: deterministic fault injection for repros/benchmarks —
+      // torn:N | enospc:N | enospc*:N (sticky) | read:N | crash:N,
+      // firing on the Nth matching filesystem operation.
+      FaultSpecs.push_back(argv[++I]);
+    else if (Arg == "--lock-timeout-ms" && I + 1 < argc)
+      // Hidden: shorten the advisory-lock wait (tests/repros).
+      Options.LockTimeoutMs = static_cast<unsigned>(
+          std::strtoul(argv[++I], nullptr, 10));
     else if (Arg == "--help" || Arg == "-h") {
       std::fprintf(stderr,
                    "usage: scbuild [dir] [-O0|-O1|-O2] [-j N] "
@@ -93,12 +105,36 @@ int main(int argc, char **argv) {
     }
   }
 
-  RealFileSystem FS(Dir);
-  BuildDriver Driver(FS, Options);
-  if (Clean)
-    Driver.clean();
+  RealFileSystem DiskFS(Dir);
+  VirtualFileSystem *FS = &DiskFS;
+  std::unique_ptr<FaultyFileSystem> Faulty;
+  if (!FaultSpecs.empty()) {
+    Faulty = std::make_unique<FaultyFileSystem>(DiskFS);
+    for (const std::string &Spec : FaultSpecs)
+      if (!Faulty->armSpec(Spec)) {
+        std::fprintf(stderr,
+                     "scbuild: error: bad --inject-fault spec '%s' "
+                     "(want torn:N|enospc:N|enospc*:N|read:N|crash:N)\n",
+                     Spec.c_str());
+        return 1;
+      }
+    FS = Faulty.get();
+  }
 
-  BuildStats Stats = Driver.build();
+  BuildDriver Driver(*FS, Options);
+  BuildStats Stats;
+  try {
+    if (Clean)
+      Driver.clean();
+    Stats = Driver.build();
+  } catch (const CrashPoint &C) {
+    // Simulated process death from --inject-fault crash:N. Exit
+    // without any cleanup beyond unwinding, like the real thing.
+    std::fprintf(stderr, "scbuild: simulated crash in %s\n", C.Op.c_str());
+    return 3;
+  }
+  for (const std::string &W : Stats.Warnings)
+    std::fprintf(stderr, "scbuild: warning: %s\n", W.c_str());
   if (!Stats.Success) {
     std::fprintf(stderr, "%s\n", Stats.ErrorText.c_str());
     return 1;

@@ -166,8 +166,11 @@ int main(int argc, char **argv) {
                  OutputPath.c_str());
     return 1;
   }
-  if (Stateful)
-    DB.saveToFile(FS, StatePath);
+  if (Stateful && !DB.saveToFile(FS, StatePath))
+    // Non-fatal: the object was written, only the next run is colder.
+    std::fprintf(stderr,
+                 "scc: warning: cannot save compiler state to '%s' (%s)\n",
+                 StatePath.c_str(), FS.lastError().c_str());
 
   if (EmitIR) {
     // Re-lower to show the optimized IR: the driver does not keep the
