@@ -15,6 +15,11 @@
 
 #include "BenchUtils.h"
 
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <map>
+
 using namespace sc;
 using namespace sc::bench;
 
@@ -50,6 +55,67 @@ int main() {
                            Stateful.BackendUs + Stateful.StateUs;
   Row("compile total", BaseCompile, StatefulCompile);
   Row("end-to-end", Base.TotalIncrementalUs, Stateful.TotalIncrementalUs);
+
+  // Trace-derived per-pass refinement: the PhaseTimings above say how
+  // big the middle end is; the telemetry spans say which passes the
+  // remaining middle-end time goes to and which dormancy verdicts the
+  // skips carry — the same data `scbuild --trace-out` shows on a
+  // timeline.
+  {
+    constexpr unsigned TracedCommits = 10;
+    TraceRecorder Trace;
+    BuildOptions BO =
+        makeOptions(StatefulConfig::Mode::HeuristicSkip, OptLevel::O2);
+    BO.Compiler.Trace = &Trace;
+
+    InMemoryFileSystem FS;
+    ProjectModel Model = ProjectModel::generate(Profile, 42);
+    Model.renderAll(FS);
+    BuildDriver Driver(FS, BO);
+    if (!Driver.build().Success)
+      return 1;
+    Trace.clear(); // Cold build aside: trace only the incrementals.
+    RNG Rand(1337);
+    for (unsigned C = 0; C != TracedCommits; ++C) {
+      Model.applyCommit(Rand, FS);
+      if (!Driver.build().Success)
+        return 1;
+    }
+
+    struct PassTotals {
+      uint64_t Runs = 0;
+      double Ms = 0;
+      uint64_t Skips = 0;
+    };
+    std::map<std::string, PassTotals> ByPass;
+    for (const TraceEvent &E : Trace.snapshot()) {
+      const std::string Cat = E.Category;
+      if (Cat == "pass") {
+        PassTotals &T = ByPass[E.Name];
+        ++T.Runs;
+        T.Ms += double(E.DurNs) / 1e6;
+      } else if (Cat == "pass.skip") {
+        ++ByPass[E.Name].Skips;
+      }
+    }
+    std::vector<std::pair<std::string, PassTotals>> Sorted(ByPass.begin(),
+                                                           ByPass.end());
+    std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+      return A.second.Ms > B.second.Ms;
+    });
+
+    std::printf("\nTrace-derived per-pass totals over %u traced commits "
+                "(stateful, from pass spans):\n\n",
+                TracedCommits);
+    printRow({"pass", "runs", "time(ms)", "skips"});
+    for (size_t I = 0; I != Sorted.size() && I != 10; ++I)
+      printRow({Sorted[I].first, std::to_string(Sorted[I].second.Runs),
+                fmt(Sorted[I].second.Ms),
+                std::to_string(Sorted[I].second.Skips)});
+    if (Trace.droppedEvents())
+      std::printf("(trace dropped %llu events; totals are a lower bound)\n",
+                  static_cast<unsigned long long>(Trace.droppedEvents()));
+  }
 
   std::printf("\nMiddle-end share of stateless compile time: %s\n",
               fmtPercent(BaseCompile > 0 ? Base.MiddleEndUs / BaseCompile

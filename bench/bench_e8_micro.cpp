@@ -16,6 +16,7 @@
 #include "ir/StructuralHash.h"
 #include "lang/Parser.h"
 #include "state/BuildStateDB.h"
+#include "support/Trace.h"
 #include "transforms/Passes.h"
 #include "workload/Workload.h"
 
@@ -197,6 +198,46 @@ BENCHMARK_CAPTURE(BM_CompileTU, O0, OptLevel::O0, false);
 BENCHMARK_CAPTURE(BM_CompileTU, O1, OptLevel::O1, false);
 BENCHMARK_CAPTURE(BM_CompileTU, O2_stateless, OptLevel::O2, false);
 BENCHMARK_CAPTURE(BM_CompileTU, O2_stateful_warm, OptLevel::O2, true);
+
+void BM_CompileTU_TraceDisabled(benchmark::State &State) {
+  // The zero-overhead guarantee behind `scbuild --trace-out`: a
+  // compiled-in but DISABLED recorder must not perturb an untraced
+  // compile. Compare against BM_CompileTU/O2_stateless — the delta is
+  // the total cost of the telemetry call sites (one pointer+flag test
+  // each), expected to be within run-to-run noise.
+  static const std::string Src = representativeSource();
+  TraceRecorder Trace(/*StartEnabled=*/false);
+  CompilerOptions Options;
+  Options.Opt = OptLevel::O2;
+  Options.Trace = &Trace;
+  Compiler C(Options);
+  for (auto _ : State) {
+    CompileResult R = C.compile("bench.mc", Src, {});
+    benchmark::DoNotOptimize(R.Success);
+  }
+  if (Trace.numEvents() != 0 || Trace.droppedEvents() != 0) {
+    std::fprintf(stderr,
+                 "E8: disabled TraceRecorder recorded events — the "
+                 "zero-overhead gate is broken\n");
+    std::abort();
+  }
+}
+BENCHMARK(BM_CompileTU_TraceDisabled);
+
+void BM_TraceSpanRecord(benchmark::State &State, bool Enabled) {
+  // Per-event recording cost: enabled measures the lock-free ring
+  // append (steady-state: the ring wraps and overwrites), disabled
+  // measures the early-out every instrumented call site pays.
+  TraceRecorder R(Enabled, 1u << 12);
+  for (auto _ : State) {
+    const uint64_t T0 = nowNanos();
+    R.span("bench", "s", T0, T0 + 1);
+  }
+  if (!Enabled && R.numEvents() != 0)
+    std::abort();
+}
+BENCHMARK_CAPTURE(BM_TraceSpanRecord, enabled, true);
+BENCHMARK_CAPTURE(BM_TraceSpanRecord, disabled, false);
 
 } // namespace
 

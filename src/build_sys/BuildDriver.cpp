@@ -12,6 +12,7 @@
 #include "build_sys/BuildSystem.h"
 
 #include "build_sys/DependencyScanner.h"
+#include "build_sys/Explain.h"
 #include "build_sys/ImportGraph.h"
 #include "build_sys/Manifest.h"
 #include "build_sys/ObjectCache.h"
@@ -20,8 +21,10 @@
 #include "support/AtomicFile.h"
 #include "support/FileLock.h"
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 #include "support/TaskPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <optional>
@@ -35,13 +38,6 @@ bool isSourcePath(const std::string &Path, const std::string &OutDir) {
   if (Path.size() < 3 || Path.compare(Path.size() - 3, 3, ".mc") != 0)
     return false;
   return Path.compare(0, OutDir.size() + 1, OutDir + "/") != 0;
-}
-
-void addTimings(PhaseTimings &Sum, const PhaseTimings &T) {
-  Sum.FrontendUs += T.FrontendUs;
-  Sum.MiddleUs += T.MiddleUs;
-  Sum.BackendUs += T.BackendUs;
-  Sum.StateUs += T.StateUs;
 }
 
 void addSkipStats(StatefulStats &Sum, const StatefulStats &S) {
@@ -94,6 +90,17 @@ private:
     return Options.OutDir + "/manifest.bin";
   }
   std::string lockPath() const { return Options.OutDir + "/.lock"; }
+  std::string decisionsPath() const {
+    return Options.OutDir + "/decisions.bin";
+  }
+
+  TraceRecorder *trace() const { return Options.Compiler.Trace; }
+  bool tracing() const { return trace() && trace()->enabled(); }
+
+  /// Mirrors the finished BuildStats into the metrics registry (the
+  /// machine-readable face of the same numbers). Counters accumulate
+  /// across the driver's builds; gauges describe the latest one.
+  void publishMetrics(const BuildStats &S);
 
   /// Objects compiled under a different optimization level or compiler
   /// version must not be trusted; this hash is recorded per manifest
@@ -140,11 +147,17 @@ private:
   /// Set per build() call: true when the advisory lock could not be
   /// acquired and this build must not write anything.
   bool ReadOnlyBuild = false;
+
+  /// Decision logs of the TUs this build recompiled (only populated
+  /// when Options.Compiler.RecordDecisions); persist() writes them to
+  /// decisions.bin wholesale, giving the file last-build semantics.
+  std::vector<std::pair<std::string, TUDecisionLog>> PendingDecisions;
 };
 
 } // namespace sc
 
 uint64_t BuildDriverImpl::persist(Timer &StateIO, BuildStats &S) {
+  const uint64_t T0 = nowNanos();
   StateIO.start();
   uint64_t StateBytes = 0;
   if (ReadOnlyBuild) {
@@ -165,24 +178,64 @@ uint64_t BuildDriverImpl::persist(Timer &StateIO, BuildStats &S) {
            "failed to persist '" + statePath() +
                "'; the next build starts with cold compiler state");
   }
+  if (Options.Compiler.RecordDecisions && stateful()) {
+    if (!atomicWriteFile(FS, decisionsPath(),
+                         serializeDecisions(PendingDecisions)))
+      warn(S, FS,
+           "failed to persist '" + decisionsPath() +
+               "'; `scbuild --explain` will describe an older build");
+  }
   if (!Objects.allStoresPersisted())
     warn(S, FS,
          "one or more object files could not be written under '" +
              Options.OutDir + "'; affected TUs recompile next build");
   StateIO.stop();
+  if (tracing())
+    trace()->span("build", "stateSave", T0, nowNanos());
   return StateBytes;
+}
+
+void BuildDriverImpl::publishMetrics(const BuildStats &S) {
+  MetricsRegistry *M = Options.Compiler.Metrics;
+  if (!M)
+    return;
+  M->counter("build.builds").add(1);
+  M->counter("build.files_compiled").add(S.FilesCompiled);
+  M->counter("build.passes_run").add(S.Skip.PassesRun);
+  M->counter("build.passes_skipped").add(S.Skip.PassesSkipped);
+  M->counter("build.functions_reused").add(S.Skip.FunctionsReused);
+  M->counter("build.state_tus_salvaged").add(S.StateTUsSalvaged);
+  M->counter("build.state_tus_dropped").add(S.StateTUsDropped);
+  M->counter("build.warnings").add(S.Warnings.size());
+  M->gauge("build.files_total").set(S.FilesTotal);
+  M->gauge("build.scan_us").set(S.ScanUs);
+  M->gauge("build.compile_us").set(S.CompileUs);
+  M->gauge("build.link_us").set(S.LinkUs);
+  M->gauge("build.state_io_us").set(S.StateIOUs);
+  M->gauge("build.total_us").set(S.TotalUs);
+  M->gauge("build.state_db_bytes").set(static_cast<double>(S.StateDBBytes));
+  M->gauge("build.object_bytes").set(static_cast<double>(S.ObjectBytes));
 }
 
 BuildStats BuildDriverImpl::build() {
   BuildStats S;
   Timer Total, Scan, Compile, Link, StateIO;
   Total.start();
+  TraceSpan BuildSpan(trace(), "build", "build");
+  PendingDecisions.clear();
 
   // Advisory lock: one writing build per state directory. On timeout
   // degrade to a read-only build — correct output, nothing persisted —
-  // rather than interleave writes with the other process.
+  // rather than interleave writes with the other process. A provably
+  // dead owner's stale lock is reclaimed inside acquire().
+  const uint64_t LockT0 = nowNanos();
   FileLock Lock = FileLock::acquire(FS, lockPath(), Options.LockTimeoutMs,
                                     Options.LockBackoffMs);
+  if (tracing())
+    trace()->span("build", "lock", LockT0, nowNanos(),
+                  std::string("{\"held\":") +
+                      (Lock.held() ? "true" : "false") + ",\"reclaimed\":" +
+                      (Lock.reclaimedStale() ? "true" : "false") + "}");
   ReadOnlyBuild = !Lock.held();
   S.ReadOnly = ReadOnlyBuild;
   if (ReadOnlyBuild)
@@ -190,10 +243,22 @@ BuildStats BuildDriverImpl::build() {
         "another build holds '" + lockPath() +
         "'; running read-only (nothing will be persisted; delete the "
         "lock file if its owner is gone)");
+  else if (Lock.reclaimedStale()) {
+    S.Warnings.push_back(
+        "reclaimed stale lock '" + lockPath() + "' left by dead process " +
+        std::to_string(Lock.reclaimedPid()) +
+        " (its build did not exit cleanly; artifacts were already "
+        "integrity-checked on load)");
+    if (tracing())
+      trace()->instant("build", "lockReclaimed",
+                       "{\"pid\":" + std::to_string(Lock.reclaimedPid()) +
+                           "}");
+  }
   Objects.setWritable(!ReadOnlyBuild);
   Objects.resetStoreStatus();
 
   if (!PersistentLoaded) {
+    const uint64_t LoadT0 = nowNanos();
     StateIO.start();
     if (stateful()) {
       // Missing store: quiet cold build. Damaged store: cold build
@@ -214,6 +279,12 @@ BuildStats BuildDriverImpl::build() {
             " TU record(s) from damaged '" + statePath() + "'; dropped " +
             std::to_string(Rep.TUsDropped) +
             " corrupt record(s) (those TUs compile cold)");
+        if (tracing())
+          trace()->instant("state", "salvage",
+                           "{\"tus_loaded\":" +
+                               std::to_string(Rep.TUsLoaded) +
+                               ",\"tus_dropped\":" +
+                               std::to_string(Rep.TUsDropped) + "}");
       }
     }
     bool ManifestExisted = FS.exists(manifestPath());
@@ -225,12 +296,15 @@ BuildStats BuildDriverImpl::build() {
                  "' was unreadable or damaged; full recompile");
     }
     StateIO.stop();
+    if (tracing())
+      trace()->span("build", "stateLoad", LoadT0, nowNanos());
     PersistentLoaded = true;
   }
   Scanner.trim();
 
   //===--- Scan: sources, interfaces, import DAG, dirty set ---------------===//
 
+  const uint64_t ScanT0 = nowNanos();
   Scan.start();
   std::map<std::string, std::string> Sources;
   for (const std::string &Path : FS.listFiles()) {
@@ -252,6 +326,7 @@ BuildStats BuildDriverImpl::build() {
     S.ErrorText = "build error: " + Graph.error();
     S.ScanUs = Scan.micros();
     S.TotalUs = Total.micros();
+    publishMetrics(S);
     return S;
   }
 
@@ -281,9 +356,14 @@ BuildStats BuildDriverImpl::build() {
       Dirty.push_back(Path);
   }
   Scan.stop();
+  if (tracing())
+    trace()->span("build", "scan", ScanT0, nowNanos(),
+                  "{\"files\":" + std::to_string(S.FilesTotal) +
+                      ",\"dirty\":" + std::to_string(Dirty.size()) + "}");
 
   //===--- Compile: dirty TUs in topological order, Jobs workers ----------===//
 
+  const uint64_t CompileT0 = nowNanos();
   Compile.start();
   std::vector<CompileJob> Jobs;
   Jobs.reserve(Dirty.size());
@@ -303,6 +383,9 @@ BuildStats BuildDriverImpl::build() {
   std::vector<CompileResult> Results =
       compileInParallel(Jobs, CO, stateful() ? &DB : nullptr, *Pool);
   Compile.stop();
+  if (tracing())
+    trace()->span("build", "compile", CompileT0, nowNanos(),
+                  "{\"jobs\":" + std::to_string(Jobs.size()) + "}");
 
   // Fault containment: a failed TU never aborts the others — the whole
   // wave already ran, every successful TU's object and state are kept,
@@ -312,8 +395,10 @@ BuildStats BuildDriverImpl::build() {
   std::vector<std::pair<std::string, std::string>> Failures;
   for (size_t I = 0; I != Results.size(); ++I) {
     CompileResult &R = Results[I];
-    addTimings(S.CompilePhases, R.Timings);
+    S.CompilePhases.accumulate(R.Timings);
     addSkipStats(S.Skip, R.SkipStats);
+    if (CO.RecordDecisions && R.Success)
+      PendingDecisions.emplace_back(Jobs[I].Path, std::move(R.Decisions));
     if (!R.Success) {
       Failures.emplace_back(Jobs[I].Path, std::move(R.DiagText));
       // Forget the TU so the next build retries it from scratch.
@@ -341,11 +426,13 @@ BuildStats BuildDriverImpl::build() {
     S.CompileUs = Compile.micros();
     S.StateIOUs = StateIO.micros();
     S.TotalUs = Total.micros();
+    publishMetrics(S);
     return S;
   }
 
   //===--- Link: all objects into one program image -----------------------===//
 
+  const uint64_t LinkT0 = nowNanos();
   Link.start();
   std::vector<const MModule *> LinkSet;
   LinkSet.reserve(Graph.topologicalOrder().size());
@@ -366,6 +453,9 @@ BuildStats BuildDriverImpl::build() {
   if (LinkErrors.empty())
     Linked = linkObjects(LinkSet);
   Link.stop();
+  if (tracing())
+    trace()->span("build", "link", LinkT0, nowNanos(),
+                  "{\"objects\":" + std::to_string(LinkSet.size()) + "}");
 
   if (!LinkErrors.empty() || !Linked.succeeded()) {
     for (const std::string &E : Linked.Errors)
@@ -378,6 +468,7 @@ BuildStats BuildDriverImpl::build() {
     S.LinkUs = Link.micros();
     S.StateIOUs = StateIO.micros();
     S.TotalUs = Total.micros();
+    publishMetrics(S);
     return S;
   }
   Program = std::move(*Linked.Program);
@@ -394,6 +485,7 @@ BuildStats BuildDriverImpl::build() {
   S.LinkUs = Link.micros();
   S.StateIOUs = StateIO.micros();
   S.TotalUs = Total.micros();
+  publishMetrics(S);
   return S;
 }
 

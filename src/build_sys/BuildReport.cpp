@@ -1,0 +1,77 @@
+//===- build_sys/BuildReport.cpp - Machine-readable build report ---------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildReport.h"
+
+#include "support/Metrics.h"
+#include "support/Trace.h" // jsonEscape
+
+#include <cstdio>
+
+using namespace sc;
+
+namespace {
+
+std::string num(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V);
+  return Buf;
+}
+
+std::string boolean(bool B) { return B ? "true" : "false"; }
+
+} // namespace
+
+std::string sc::buildReportJson(const BuildStats &S,
+                                const MetricsRegistry *Metrics) {
+  std::string J = "{\n";
+  J += "  \"schema\": \"scbuild-report\",\n";
+  J += "  \"schema_version\": " + std::to_string(BuildReportSchemaVersion) +
+       ",\n";
+  J += "  \"success\": " + boolean(S.Success) + ",\n";
+  J += "  \"read_only\": " + boolean(S.ReadOnly) + ",\n";
+
+  J += "  \"files\": {\"compiled\": " + std::to_string(S.FilesCompiled) +
+       ", \"total\": " + std::to_string(S.FilesTotal) + "},\n";
+
+  J += "  \"phases_us\": {\"scan\": " + num(S.ScanUs) +
+       ", \"compile\": " + num(S.CompileUs) + ", \"link\": " + num(S.LinkUs) +
+       ", \"state_io\": " + num(S.StateIOUs) +
+       ", \"total\": " + num(S.TotalUs) + "},\n";
+
+  J += "  \"compile_phases_us\": {\"frontend\": " +
+       num(S.CompilePhases.FrontendUs) +
+       ", \"middle\": " + num(S.CompilePhases.MiddleUs) +
+       ", \"backend\": " + num(S.CompilePhases.BackendUs) +
+       ", \"state\": " + num(S.CompilePhases.StateUs) + "},\n";
+
+  J += "  \"passes\": {\"run\": " + std::to_string(S.Skip.PassesRun) +
+       ", \"skipped\": " + std::to_string(S.Skip.PassesSkipped) +
+       ", \"functions_matched\": " + std::to_string(S.Skip.FunctionsMatched) +
+       ", \"functions_refreshed\": " +
+       std::to_string(S.Skip.FunctionsRefreshed) +
+       ", \"functions_reused\": " + std::to_string(S.Skip.FunctionsReused) +
+       "},\n";
+
+  J += "  \"state\": {\"db_bytes\": " + std::to_string(S.StateDBBytes) +
+       ", \"tus_salvaged\": " + std::to_string(S.StateTUsSalvaged) +
+       ", \"tus_dropped\": " + std::to_string(S.StateTUsDropped) + "},\n";
+
+  J += "  \"object_bytes\": " + std::to_string(S.ObjectBytes) + ",\n";
+
+  J += "  \"warnings\": [";
+  for (size_t I = 0; I != S.Warnings.size(); ++I)
+    J += (I ? ", " : "") + ("\"" + jsonEscape(S.Warnings[I]) + "\"");
+  J += "],\n";
+
+  if (!S.ErrorText.empty())
+    J += "  \"error\": \"" + jsonEscape(S.ErrorText) + "\",\n";
+
+  J += "  \"metrics\": ";
+  J += Metrics ? Metrics->toJson() : "{\"counters\":{},\"gauges\":{}}";
+  J += "\n}\n";
+  return J;
+}

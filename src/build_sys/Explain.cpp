@@ -1,0 +1,254 @@
+//===- build_sys/Explain.cpp - Dormancy decision log + explain -----------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/Explain.h"
+
+#include "support/Hashing.h"
+#include "support/Serializer.h"
+
+#include <algorithm>
+
+using namespace sc;
+
+namespace {
+
+constexpr uint32_t DecisionsMagic = 0x4c444353; // "SCDL"
+constexpr uint32_t DecisionsVersion = 1;
+
+void writeCodes(BinaryWriter &W, const std::vector<uint8_t> &Codes) {
+  W.writeVarU64(Codes.size());
+  if (!Codes.empty())
+    W.writeBytes(Codes.data(), Codes.size());
+}
+
+std::vector<uint8_t> readCodes(BinaryReader &R) {
+  uint64_t N = R.readVarU64();
+  std::vector<uint8_t> Codes;
+  Codes.reserve(N);
+  for (uint64_t I = 0; I != N && !R.failed(); ++I)
+    Codes.push_back(R.readU8());
+  return Codes;
+}
+
+/// Human phrase for a packed decision code.
+std::string describeCode(uint8_t Code) {
+  const bool Changed = Code & TUDecisionLog::ChangedBit;
+  const uint8_t Raw = Code & ~TUDecisionLog::ChangedBit;
+  if (Raw == TUDecisionLog::NoDecision)
+    return "(no decision recorded)";
+  std::string Text;
+  switch (static_cast<PassDecision>(Raw)) {
+  case PassDecision::RanAlways:
+    Text = "ran — no skip policy applied";
+    break;
+  case PassDecision::RanColdState:
+    Text = "ran — no previous build state (cold)";
+    break;
+  case PassDecision::RanSignatureChange:
+    Text = "ran — pipeline/config signature changed, state discarded";
+    break;
+  case PassDecision::RanNewFunction:
+    Text = "ran — new function, no previous record";
+    break;
+  case PassDecision::RanStaleRecord:
+    Text = "ran — previous record is stale (pipeline changed shape)";
+    break;
+  case PassDecision::RanFingerprint:
+    Text = "ran — function body changed (fingerprint mismatch)";
+    break;
+  case PassDecision::RanRefresh:
+    Text = "ran — forced dormancy refresh (record aged out)";
+    break;
+  case PassDecision::RanActive:
+    Text = "ran — pass was active for this function last build";
+    break;
+  case PassDecision::SkippedDormant:
+    Text = "skipped — pass was dormant for this function last build";
+    break;
+  case PassDecision::SkippedReused:
+    Text = "skipped — whole function reused from the code cache";
+    break;
+  default:
+    Text = "(unrecognized decision code)";
+    break;
+  }
+  if (Changed)
+    Text += "; it changed the IR";
+  return Text;
+}
+
+} // namespace
+
+std::string sc::serializeDecisions(
+    const std::vector<std::pair<std::string, TUDecisionLog>> &TUs) {
+  BinaryWriter W;
+  W.writeU32(DecisionsMagic);
+  W.writeU32(DecisionsVersion);
+
+  // Pass-name table: every TU of one build ran the same pipeline, so
+  // store the first non-empty table once.
+  const std::vector<std::string> *PassNames = nullptr;
+  for (const auto &KV : TUs)
+    if (!KV.second.PassNames.empty()) {
+      PassNames = &KV.second.PassNames;
+      break;
+    }
+  W.writeVarU64(PassNames ? PassNames->size() : 0);
+  if (PassNames)
+    for (const std::string &Name : *PassNames)
+      W.writeString(Name);
+
+  W.writeVarU64(TUs.size());
+  for (const auto &[Key, Log] : TUs) {
+    W.writeString(Key);
+    writeCodes(W, Log.Module);
+    W.writeVarU64(Log.Functions.size());
+    for (const auto &[FName, Codes] : Log.Functions) {
+      W.writeString(FName);
+      writeCodes(W, Codes);
+    }
+  }
+
+  uint64_t Checksum = hashBytes(W.data().data(), W.size());
+  W.writeU64(Checksum);
+  return std::string(reinterpret_cast<const char *>(W.data().data()),
+                     W.size());
+}
+
+bool sc::deserializeDecisions(
+    const std::string &Bytes,
+    std::vector<std::pair<std::string, TUDecisionLog>> &Out) {
+  if (Bytes.size() < 8 + 8)
+    return false;
+  const auto *Data = reinterpret_cast<const uint8_t *>(Bytes.data());
+  const size_t Payload = Bytes.size() - 8;
+
+  BinaryReader Tail(Data + Payload, 8);
+  if (Tail.readU64() != hashBytes(Data, Payload))
+    return false;
+
+  BinaryReader R(Data, Payload);
+  if (R.readU32() != DecisionsMagic || R.readU32() != DecisionsVersion)
+    return false;
+
+  std::vector<std::string> PassNames;
+  uint64_t NumNames = R.readVarU64();
+  for (uint64_t I = 0; I != NumNames && !R.failed(); ++I)
+    PassNames.push_back(R.readString());
+
+  std::vector<std::pair<std::string, TUDecisionLog>> Scratch;
+  uint64_t NumTUs = R.readVarU64();
+  for (uint64_t I = 0; I != NumTUs && !R.failed(); ++I) {
+    std::string Key = R.readString();
+    TUDecisionLog Log;
+    Log.PassNames = PassNames;
+    Log.Module = readCodes(R);
+    uint64_t NumFns = R.readVarU64();
+    for (uint64_t J = 0; J != NumFns && !R.failed(); ++J) {
+      std::string FName = R.readString();
+      Log.Functions[FName] = readCodes(R);
+    }
+    Scratch.emplace_back(std::move(Key), std::move(Log));
+  }
+  if (R.failed() || R.position() != Payload)
+    return false;
+  Out = std::move(Scratch);
+  return true;
+}
+
+std::string sc::explainQuery(VirtualFileSystem &FS, const std::string &OutDir,
+                             const std::string &Query, bool *OK) {
+  auto Fail = [&](std::string Text) {
+    if (OK)
+      *OK = false;
+    return Text;
+  };
+
+  // Split "TU" / "TU:pass".
+  std::string TU = Query, Pass;
+  if (size_t Colon = Query.rfind(':'); Colon != std::string::npos) {
+    TU = Query.substr(0, Colon);
+    Pass = Query.substr(Colon + 1);
+  }
+  if (TU.empty())
+    return Fail("explain: empty TU in query '" + Query + "'\n");
+
+  const std::string Path = OutDir + "/decisions.bin";
+  std::optional<std::string> Bytes = FS.readFile(Path);
+  if (!Bytes)
+    return Fail("explain: no decision log at '" + Path +
+                "' — run a stateful `scbuild` first (decision recording "
+                "is on by default for scbuild)\n");
+
+  std::vector<std::pair<std::string, TUDecisionLog>> TUs;
+  if (!deserializeDecisions(*Bytes, TUs))
+    return Fail("explain: decision log '" + Path +
+                "' is damaged or from an incompatible version\n");
+
+  auto It = std::find_if(TUs.begin(), TUs.end(),
+                         [&](const auto &KV) { return KV.first == TU; });
+  if (It == TUs.end()) {
+    std::string Text = "explain: '" + TU +
+                       "' was not recompiled by the last recorded build "
+                       "(it was up to date). TUs with decisions:\n";
+    for (const auto &KV : TUs)
+      Text += "  " + KV.first + "\n";
+    if (TUs.empty())
+      Text += "  (none — the last build recompiled nothing)\n";
+    if (OK)
+      *OK = true;
+    return Text;
+  }
+
+  const TUDecisionLog &Log = It->second;
+  if (!Pass.empty() &&
+      std::find(Log.PassNames.begin(), Log.PassNames.end(), Pass) ==
+          Log.PassNames.end()) {
+    std::string Text =
+        "explain: no pass named '" + Pass + "' in the recorded pipeline (";
+    for (size_t I = 0; I != Log.PassNames.size(); ++I)
+      Text += (I ? ", " : "") + Log.PassNames[I];
+    Text += ")\n";
+    return Fail(std::move(Text));
+  }
+
+  std::string Text = "explain: " + TU + " — last recorded build, " +
+                     std::to_string(Log.PassNames.size()) +
+                     " pipeline position(s), " +
+                     std::to_string(Log.Functions.size()) + " function(s)\n";
+
+  auto ShowPosition = [&](size_t I) {
+    return Pass.empty() ||
+           (I < Log.PassNames.size() && Log.PassNames[I] == Pass);
+  };
+  auto NameOf = [&](size_t I) {
+    return I < Log.PassNames.size() ? Log.PassNames[I]
+                                    : "pass#" + std::to_string(I);
+  };
+
+  for (size_t I = 0; I != Log.Module.size(); ++I) {
+    if (!ShowPosition(I))
+      continue;
+    uint8_t Code = Log.Module[I];
+    if ((Code & ~TUDecisionLog::ChangedBit) == TUDecisionLog::NoDecision)
+      continue; // A function-pass position.
+    Text += "  [module] " + NameOf(I) + ": " + describeCode(Code) + "\n";
+  }
+  for (const auto &[FName, Codes] : Log.Functions) {
+    Text += "  " + FName + ":\n";
+    for (size_t I = 0; I != Codes.size(); ++I) {
+      if (!ShowPosition(I))
+        continue;
+      if ((Codes[I] & ~TUDecisionLog::ChangedBit) ==
+          TUDecisionLog::NoDecision)
+        continue;
+      Text += "    " + NameOf(I) + ": " + describeCode(Codes[I]) + "\n";
+    }
+  }
+  if (OK)
+    *OK = true;
+  return Text;
+}

@@ -1,0 +1,54 @@
+//===- build_sys/Explain.h - Dormancy decision log + explain ----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence and replay of the per-(function, pass) decision audit
+/// trail. A stateful build run with CompilerOptions::RecordDecisions
+/// writes `<OutDir>/decisions.bin` — the packed TUDecisionLog of every
+/// TU it recompiled — and `scbuild --explain TU[:pass]` replays it to
+/// print *why* each pass ran or slept in that build.
+///
+/// The log has last-build semantics: it is overwritten wholesale by
+/// each recording build, so it describes exactly the most recent
+/// build's decisions. A TU absent from the log was simply not
+/// recompiled by that build (it was up to date).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_EXPLAIN_H
+#define SC_BUILD_SYS_EXPLAIN_H
+
+#include "state/StatefulPolicy.h"
+#include "support/FileSystem.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sc {
+
+/// Serializes per-TU decision logs (versioned, checksummed; pass names
+/// are stored once — every TU of one build shares a pipeline).
+std::string
+serializeDecisions(const std::vector<std::pair<std::string, TUDecisionLog>> &TUs);
+
+/// Inverse of serializeDecisions. Returns false (leaving \p Out
+/// untouched) on any framing, version, or checksum mismatch.
+bool deserializeDecisions(
+    const std::string &Bytes,
+    std::vector<std::pair<std::string, TUDecisionLog>> &Out);
+
+/// Renders a human-readable answer to `--explain Query` where Query is
+/// `TU` or `TU:pass`, reading `<OutDir>/decisions.bin` from \p FS.
+/// Always returns printable text; \p OK (when non-null) reports
+/// whether the query resolved (log present and TU found or legitimately
+/// up to date).
+std::string explainQuery(VirtualFileSystem &FS, const std::string &OutDir,
+                         const std::string &Query, bool *OK = nullptr);
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_EXPLAIN_H

@@ -7,7 +7,10 @@
 #include "build_sys/Scheduler.h"
 
 #include "state/BuildStateDB.h"
+#include "support/Metrics.h"
 #include "support/TaskPool.h"
+#include "support/Timer.h"
+#include "support/Trace.h"
 
 #include <exception>
 
@@ -20,6 +23,12 @@ sc::compileInParallel(const std::vector<CompileJob> &Jobs,
   std::vector<CompileResult> Results(Jobs.size());
   if (Jobs.empty())
     return Results;
+
+  // Queue-wait accounting: how long after wave dispatch each TU job
+  // actually started, i.e. how backed up the pool was. The max gauge
+  // is the wave's worst-case scheduling delay.
+  const uint64_t WaveStartNs = nowNanos();
+  const bool Tracing = Options.Trace && Options.Trace->enabled();
 
   // Each participating thread lazily builds a private Compiler (the
   // pipeline and its analyses are per-instance state) and writes into
@@ -35,6 +44,13 @@ sc::compileInParallel(const std::vector<CompileJob> &Jobs,
   Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned Slot) {
     if (!PerSlot[Slot])
       PerSlot[Slot] = std::make_unique<Compiler>(Options, DB);
+    if (Options.Metrics) {
+      Options.Metrics->counter("scheduler.jobs_dispatched").add(1);
+      Options.Metrics->gauge("scheduler.queue_wait_max_us")
+          .max(static_cast<double>(nowNanos() - WaveStartNs) / 1000.0);
+    }
+    if (Tracing)
+      Options.Trace->setThreadName("worker-" + std::to_string(Slot));
     try {
       Results[I] = PerSlot[Slot]->compile(Jobs[I].Path, *Jobs[I].Source,
                                           Jobs[I].Imports);

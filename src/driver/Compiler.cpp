@@ -16,8 +16,10 @@
 #include "ir/Verifier.h"
 #include "lang/Parser.h"
 #include "support/Hashing.h"
+#include "support/Metrics.h"
 #include "support/TaskPool.h"
 #include "support/Timer.h"
+#include "support/Trace.h"
 #include "transforms/MemoryUtils.h"
 
 #include <algorithm>
@@ -148,8 +150,15 @@ CompileResult Compiler::compile(const std::string &TUKey,
   CompileResult Result;
   Timer Frontend, Middle, Backend, State;
 
+  // One span covering the whole TU job: in a parallel build these
+  // spans land on different trace threads, making -j scheduling
+  // visible. Phase sub-spans nest inside it.
+  const bool Tracing = Options.Trace && Options.Trace->enabled();
+  TraceSpan TUSpan(Options.Trace, "compile", "compile:" + TUKey);
+
   //===--- Frontend: parse, sema, IR generation -----------------------------===//
 
+  uint64_t PhaseT0 = nowNanos();
   Frontend.start();
   DiagnosticEngine Diags;
   Parser P(Source, Diags);
@@ -167,6 +176,9 @@ CompileResult Compiler::compile(const std::string &TUKey,
   Callables.insert(Callables.end(), Exported.begin(), Exported.end());
   std::unique_ptr<Module> M = generateIR(*AST, TUKey, Callables);
   Frontend.stop();
+  if (Tracing)
+    Options.Trace->span("compile.phase", "frontend:" + TUKey, PhaseT0,
+                        nowNanos());
 
   {
     std::vector<std::string> Errors;
@@ -185,6 +197,7 @@ CompileResult Compiler::compile(const std::string &TUKey,
 
   //===--- State: fingerprints and previous records -------------------------===//
 
+  PhaseT0 = nowNanos();
   State.start();
   uint64_t MemoKey = 0;
   bool MemoHit = false;
@@ -249,14 +262,26 @@ CompileResult Compiler::compile(const std::string &TUKey,
     }
   }
   State.stop();
+  if (Options.Metrics) {
+    Options.Metrics->counter(MemoHit ? "compiler.fingerprint_memo_hits"
+                                     : "compiler.fingerprint_memo_misses")
+        .add(1);
+  }
+  if (Tracing)
+    Options.Trace->span("compile.phase", "state:" + TUKey, PhaseT0,
+                        nowNanos());
 
   //===--- Middle end: the optimization pipeline ----------------------------===//
 
+  PhaseT0 = nowNanos();
   Middle.start();
   AnalysisManager AM(*M);
   Result.PassStats = Pipeline.run(*M, AM, Instr.get(), Options.VerifyEach,
-                                  Options.Workers);
+                                  Options.Workers, Options.Trace);
   Middle.stop();
+  if (Tracing)
+    Options.Trace->span("compile.phase", "middle:" + TUKey, PhaseT0,
+                        nowNanos());
 
   Result.IRInstsAfterOpt = 0;
   for (size_t I = 0; I != M->numFunctions(); ++I)
@@ -266,6 +291,7 @@ CompileResult Compiler::compile(const std::string &TUKey,
   // Functions whose inline-closure key matched splice their cached
   // compiled code instead of going through codegen.
 
+  PhaseT0 = nowNanos();
   Backend.start();
   MModule Object;
   Object.Name = M->name();
@@ -292,12 +318,22 @@ CompileResult Compiler::compile(const std::string &TUKey,
     Object.Functions.push_back(std::move(MF));
   }
   Backend.stop();
+  if (Tracing)
+    Options.Trace->span("compile.phase", "backend:" + TUKey, PhaseT0,
+                        nowNanos());
 
   //===--- State: persist dormancy records and the code cache ----------------===//
 
+  PhaseT0 = nowNanos();
   State.start();
   if (Instr) {
     Result.SkipStats = Instr->stats();
+    if (Options.RecordDecisions) {
+      Result.Decisions = Instr->takeDecisions();
+      Result.Decisions.PassNames.reserve(Pipeline.size());
+      for (size_t I = 0; I != Pipeline.size(); ++I)
+        Result.Decisions.PassNames.push_back(Pipeline.passName(I));
+    }
     TUState NewState = Instr->takeNewState();
     if (Options.Stateful.ReuseFunctionCode) {
       for (const MFunction &MF : Object.Functions) {
@@ -320,6 +356,18 @@ CompileResult Compiler::compile(const std::string &TUKey,
     DB->update(TUKey, std::move(NewState));
   }
   State.stop();
+  if (Tracing) {
+    Options.Trace->span("compile.phase", "state:" + TUKey, PhaseT0,
+                        nowNanos());
+    TUSpan.args("{\"passes_run\":" +
+                std::to_string(Result.PassStats.FunctionPassRuns +
+                               Result.PassStats.ModulePassRuns) +
+                ",\"passes_skipped\":" +
+                std::to_string(Result.PassStats.FunctionPassSkips +
+                               Result.PassStats.ModulePassSkips) +
+                ",\"functions_reused\":" +
+                std::to_string(Result.SkipStats.FunctionsReused) + "}");
+  }
 
   Result.Object = std::move(Object);
   Result.Interface = std::move(Exported);

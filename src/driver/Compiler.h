@@ -31,6 +31,8 @@
 namespace sc {
 
 class TaskPool;
+class TraceRecorder;
+class MetricsRegistry;
 
 /// Per-build memo of pre-optimization function fingerprints, keyed by
 /// a hash of (TUKey, source bytes, visible import signatures) — the
@@ -76,6 +78,17 @@ struct CompilerOptions {
 
   /// Optional per-build fingerprint memo; see FingerprintMemo.
   FingerprintMemo *FPMemo = nullptr;
+
+  /// Optional telemetry sinks (support/Trace.h, support/Metrics.h).
+  /// Like Workers/FPMemo these are observation-only plumbing: they
+  /// never change what the compiler produces and are deliberately NOT
+  /// part of any configuration hash.
+  TraceRecorder *Trace = nullptr;
+  MetricsRegistry *Metrics = nullptr;
+
+  /// Capture the per-(function, pass) decision log into
+  /// CompileResult::Decisions (the `scbuild --explain` data source).
+  bool RecordDecisions = false;
 };
 
 /// Wall-clock spent per compilation phase, in microseconds.
@@ -87,6 +100,15 @@ struct PhaseTimings {
 
   double totalUs() const {
     return FrontendUs + MiddleUs + BackendUs + StateUs;
+  }
+
+  /// Folds another TU's timings into this one (commutative, so the
+  /// per-worker merge order of parallel builds never changes totals).
+  void accumulate(const PhaseTimings &Other) {
+    FrontendUs += Other.FrontendUs;
+    MiddleUs += Other.MiddleUs;
+    BackendUs += Other.BackendUs;
+    StateUs += Other.StateUs;
   }
 };
 
@@ -100,6 +122,7 @@ struct CompileResult {
   PhaseTimings Timings;
   PipelineStats PassStats;
   StatefulStats SkipStats;
+  TUDecisionLog Decisions; // Populated when Options.RecordDecisions.
   std::map<std::string, uint64_t> Fingerprints;
   size_t IRInstsBeforeOpt = 0;
   size_t IRInstsAfterOpt = 0;

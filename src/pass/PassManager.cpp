@@ -10,6 +10,7 @@
 #include "ir/Verifier.h"
 #include "support/Hashing.h"
 #include "support/TaskPool.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,8 +21,36 @@ FunctionPass::~FunctionPass() = default;
 ModulePass::~ModulePass() = default;
 PassInstrumentation::~PassInstrumentation() = default;
 
+const char *sc::passDecisionName(PassDecision D) {
+  switch (D) {
+  case PassDecision::RanAlways:
+    return "ran:always";
+  case PassDecision::RanColdState:
+    return "ran:cold-state";
+  case PassDecision::RanSignatureChange:
+    return "ran:signature-change";
+  case PassDecision::RanNewFunction:
+    return "ran:new-function";
+  case PassDecision::RanStaleRecord:
+    return "ran:stale-record";
+  case PassDecision::RanFingerprint:
+    return "ran:fingerprint-change";
+  case PassDecision::RanRefresh:
+    return "ran:dormancy-refresh";
+  case PassDecision::RanActive:
+    return "ran:active";
+  case PassDecision::SkippedDormant:
+    return "skipped:dormant";
+  case PassDecision::SkippedReused:
+    return "skipped:function-reused";
+  }
+  return "unknown";
+}
+
 bool PassInstrumentation::shouldRunPass(const std::string &, size_t,
-                                        const Function &) {
+                                        const Function &, PassDecision *Reason) {
+  if (Reason)
+    *Reason = PassDecision::RanAlways;
   return true;
 }
 
@@ -32,7 +61,10 @@ void PassInstrumentation::onSkippedPass(const std::string &, size_t,
                                         const Function &) {}
 
 bool PassInstrumentation::shouldRunModulePass(const std::string &, size_t,
-                                              const Module &) {
+                                              const Module &,
+                                              PassDecision *Reason) {
+  if (Reason)
+    *Reason = PassDecision::RanAlways;
   return true;
 }
 
@@ -84,9 +116,12 @@ void verifyOrDie(const Function &F, const std::string &PassName) {
 
 PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
                                 PassInstrumentation *PI, bool VerifyEach,
-                                TaskPool *Pool) const {
+                                TaskPool *Pool, TraceRecorder *Trace) const {
   PipelineStats Stats;
   Timers.reset();
+
+  // Sampled once: tracing toggles between builds, not mid-pipeline.
+  const bool Tracing = Trace && Trace->enabled();
 
   for (size_t Index = 0; Index != Entries.size(); ++Index) {
     const Entry &E = Entries[Index];
@@ -94,11 +129,17 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
     Timer &PassTimer = Timers.get(Name);
 
     if (E.MP) {
-      if (PI && !PI->shouldRunModulePass(Name, Index, M)) {
+      PassDecision Reason = PassDecision::RanAlways;
+      if (PI && !PI->shouldRunModulePass(Name, Index, M, &Reason)) {
         ++Stats.ModulePassSkips;
+        if (Tracing)
+          Trace->instant("pass.skip", Name,
+                         std::string("{\"module\":true,\"reason\":\"") +
+                             passDecisionName(Reason) + "\"}");
         continue;
       }
       Timer T;
+      const uint64_t T0 = nowNanos();
       T.start();
       bool Changed = E.MP->run(M, AM);
       T.stop();
@@ -109,6 +150,11 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
       Stats.TotalPassMicros += T.micros();
       if (PI)
         PI->afterModulePass(Name, Index, M, Changed, T.micros());
+      if (Tracing)
+        Trace->span("pass", Name, T0, T0 + T.nanos(),
+                    std::string("{\"module\":true,\"changed\":") +
+                        (Changed ? "true" : "false") + ",\"reason\":\"" +
+                        passDecisionName(Reason) + "\"}");
       if (VerifyEach && Changed)
         for (size_t FI = 0; FI != M.numFunctions(); ++FI)
           verifyOrDie(*M.function(FI), Name);
@@ -147,9 +193,15 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
     auto Body = [&](size_t FI, unsigned Slot) {
       Function &F = *M.function(FI);
       SlotStats &SS = Slots[Slot];
-      if (PI && !PI->shouldRunPass(Name, Index, F)) {
+      PassDecision Reason = PassDecision::RanAlways;
+      if (PI && !PI->shouldRunPass(Name, Index, F, &Reason)) {
         ++SS.Skips;
         PI->onSkippedPass(Name, Index, F);
+        if (Tracing)
+          Trace->instant("pass.skip", Name,
+                         "{\"fn\":\"" + jsonEscape(F.name()) +
+                             "\",\"reason\":\"" + passDecisionName(Reason) +
+                             "\"}");
         return;
       }
       uint64_t T0 = nowNanos();
@@ -164,6 +216,11 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
       if (PI)
         PI->afterPass(Name, Index, F, Changed,
                       static_cast<double>(Dur) / 1000.0);
+      if (Tracing)
+        Trace->span("pass", Name, T0, T0 + Dur,
+                    "{\"fn\":\"" + jsonEscape(F.name()) + "\",\"changed\":" +
+                        (Changed ? "true" : "false") + ",\"reason\":\"" +
+                        passDecisionName(Reason) + "\"}");
       if (VerifyEach && Changed)
         verifyOrDie(F, Name);
     };

@@ -28,6 +28,28 @@
 namespace sc {
 
 class TaskPool;
+class TraceRecorder;
+
+/// Why a (function, pass) execution ran or slept. Produced by the
+/// skip policy (StatefulInstrumentation fills the out-param on
+/// shouldRunPass), recorded into the per-build decision log, attached
+/// to trace events, and replayed by `scbuild --explain`. Values are
+/// persisted in decisions.bin — append only, never renumber.
+enum class PassDecision : uint8_t {
+  RanAlways = 0,      // No skip policy consulted; pass always runs.
+  RanColdState,       // No previous build state for this TU.
+  RanSignatureChange, // Pipeline/config signature changed; state unusable.
+  RanNewFunction,     // Function had no record in the previous state.
+  RanStaleRecord,     // Record shape mismatch (pipeline length changed).
+  RanFingerprint,     // Function fingerprint changed (body edited).
+  RanRefresh,         // Dormancy refresh probe (record aged out).
+  RanActive,          // Record present; pass was active last build.
+  SkippedDormant,     // Pass was dormant for this function last build.
+  SkippedReused,      // Whole function reused (clean fingerprint).
+};
+
+/// Stable machine-readable name for \p D (used in traces/reports).
+const char *passDecisionName(PassDecision D);
 
 /// Observer/controller of pipeline execution.
 class PassInstrumentation {
@@ -35,9 +57,11 @@ public:
   virtual ~PassInstrumentation();
 
   /// Return false to skip this pass execution for \p F. \p PassIndex
-  /// is the stable pipeline position of the pass.
+  /// is the stable pipeline position of the pass. When \p Reason is
+  /// non-null, the implementation stores why it decided either way.
   virtual bool shouldRunPass(const std::string &PassName, size_t PassIndex,
-                             const Function &F);
+                             const Function &F,
+                             PassDecision *Reason = nullptr);
 
   /// Called after a pass executed (not called for skipped passes).
   virtual void afterPass(const std::string &PassName, size_t PassIndex,
@@ -49,7 +73,8 @@ public:
 
   /// Module-pass variants. Module passes are skipped per-module.
   virtual bool shouldRunModulePass(const std::string &PassName,
-                                   size_t PassIndex, const Module &M);
+                                   size_t PassIndex, const Module &M,
+                                   PassDecision *Reason = nullptr);
   virtual void afterModulePass(const std::string &PassName, size_t PassIndex,
                                const Module &M, bool Changed, double Micros);
 };
@@ -99,9 +124,15 @@ public:
   /// their own IR, module analyses are frozen per position, and stats
   /// merge commutatively. \p PI callbacks may then arrive concurrently
   /// from multiple threads and must lock internally.
+  ///
+  /// When \p Trace is non-null and enabled, every executed pass emits
+  /// a thread-attributed span and every skipped pass an instant event
+  /// carrying the dormancy verdict (see support/Trace.h). Tracing
+  /// never alters which passes run, so outputs stay byte-identical.
   PipelineStats run(Module &M, AnalysisManager &AM,
                     PassInstrumentation *PI = nullptr,
-                    bool VerifyEach = false, TaskPool *Pool = nullptr) const;
+                    bool VerifyEach = false, TaskPool *Pool = nullptr,
+                    TraceRecorder *Trace = nullptr) const;
 
   /// Per-pass accumulated wall-clock time of the last run() call.
   const TimerGroup &lastRunTimers() const { return Timers; }

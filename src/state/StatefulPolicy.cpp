@@ -15,30 +15,46 @@ StatefulInstrumentation::StatefulInstrumentation(
     : Config(Config), Prev(Prev), PipelineSignature(PipelineSignature),
       PipelineLength(PipelineLength), Fingerprints(std::move(Fingerprints)) {
   // Records from a different pipeline are meaningless; drop them.
-  if (Prev && Prev->PipelineSignature != PipelineSignature)
+  if (Prev && Prev->PipelineSignature != PipelineSignature) {
     this->Prev = nullptr;
+    SigMismatch = true;
+  }
 
   NewState.PipelineSignature = PipelineSignature;
   NewState.ModuleDormancy.assign(PipelineLength, 0);
+  Decisions.Module.assign(PipelineLength, TUDecisionLog::NoDecision);
 }
 
 const FunctionRecord *
 StatefulInstrumentation::usableRecord(const std::string &FName,
-                                      bool &RefreshOut) {
+                                      bool &RefreshOut, PassDecision &Why) {
   RefreshOut = false;
-  if (!Prev || Config.SkipMode == StatefulConfig::Mode::Stateless)
+  if (Config.SkipMode == StatefulConfig::Mode::Stateless) {
+    Why = PassDecision::RanAlways;
     return nullptr;
+  }
+  if (!Prev) {
+    Why = SigMismatch ? PassDecision::RanSignatureChange
+                      : PassDecision::RanColdState;
+    return nullptr;
+  }
   auto It = Prev->Functions.find(FName);
-  if (It == Prev->Functions.end())
+  if (It == Prev->Functions.end()) {
+    Why = PassDecision::RanNewFunction;
     return nullptr;
+  }
   const FunctionRecord &Rec = It->second;
-  if (Rec.Dormancy.size() != PipelineLength)
+  if (Rec.Dormancy.size() != PipelineLength) {
+    Why = PassDecision::RanStaleRecord;
     return nullptr;
+  }
 
   if (Config.SkipMode == StatefulConfig::Mode::ExactSkip) {
     auto FPIt = Fingerprints.find(FName);
-    if (FPIt == Fingerprints.end() || FPIt->second != Rec.Fingerprint)
+    if (FPIt == Fingerprints.end() || FPIt->second != Rec.Fingerprint) {
+      Why = PassDecision::RanFingerprint;
       return nullptr;
+    }
   }
 
   // Refresh policy: decide once per function per build.
@@ -53,10 +69,19 @@ StatefulInstrumentation::usableRecord(const std::string &FName,
     }
     if (Decided->second) {
       RefreshOut = true;
+      Why = PassDecision::RanRefresh;
       return nullptr;
     }
   }
   return &Rec;
+}
+
+uint8_t &StatefulInstrumentation::decisionSlot(const std::string &FName,
+                                               size_t PassIndex) {
+  std::vector<uint8_t> &Codes = Decisions.Functions[FName];
+  if (Codes.empty())
+    Codes.assign(PipelineLength, TUDecisionLog::NoDecision);
+  return Codes[PassIndex];
 }
 
 void StatefulInstrumentation::setReusedFunctions(
@@ -67,17 +92,30 @@ void StatefulInstrumentation::setReusedFunctions(
 
 bool StatefulInstrumentation::shouldRunPass(const std::string &,
                                             size_t PassIndex,
-                                            const Function &F) {
+                                            const Function &F,
+                                            PassDecision *Reason) {
   std::lock_guard<std::mutex> Lock(Mu);
-  if (ReusedFunctions.count(F.name()))
-    return false;
-  bool Refresh = false;
-  const FunctionRecord *Rec = usableRecord(F.name(), Refresh);
-  if (!Rec)
-    return true;
-  MatchedFunctions.insert(F.name());
-  Stats.FunctionsMatched = MatchedFunctions.size();
-  return Rec->Dormancy[PassIndex] == 0;
+  PassDecision Why = PassDecision::RanAlways;
+  bool Run;
+  if (ReusedFunctions.count(F.name())) {
+    Why = PassDecision::SkippedReused;
+    Run = false;
+  } else {
+    bool Refresh = false;
+    const FunctionRecord *Rec = usableRecord(F.name(), Refresh, Why);
+    if (!Rec) {
+      Run = true;
+    } else {
+      MatchedFunctions.insert(F.name());
+      Stats.FunctionsMatched = MatchedFunctions.size();
+      Run = Rec->Dormancy[PassIndex] == 0;
+      Why = Run ? PassDecision::RanActive : PassDecision::SkippedDormant;
+    }
+  }
+  decisionSlot(F.name(), PassIndex) = TUDecisionLog::pack(Why, false);
+  if (Reason)
+    *Reason = Why;
+  return Run;
 }
 
 void StatefulInstrumentation::afterPass(const std::string &, size_t PassIndex,
@@ -91,6 +129,8 @@ void StatefulInstrumentation::afterPass(const std::string &, size_t PassIndex,
     Rec.Fingerprint = It != Fingerprints.end() ? It->second : 0;
   }
   Rec.Dormancy[PassIndex] = Changed ? 0 : 1;
+  if (Changed)
+    decisionSlot(F.name(), PassIndex) |= TUDecisionLog::ChangedBit;
   ++Stats.PassesRun;
 }
 
@@ -126,19 +166,36 @@ void StatefulInstrumentation::onSkippedPass(const std::string &,
 
 bool StatefulInstrumentation::shouldRunModulePass(const std::string &,
                                                   size_t PassIndex,
-                                                  const Module &) {
+                                                  const Module &,
+                                                  PassDecision *Reason) {
   std::lock_guard<std::mutex> Lock(Mu);
-  if (!Prev || !Config.SkipModulePasses ||
-      Config.SkipMode == StatefulConfig::Mode::Stateless)
-    return true;
-  if (PassIndex >= Prev->ModuleDormancy.size())
-    return true;
-  if (Prev->ModuleDormancy[PassIndex] == 0)
-    return true;
-  // Dormant last build: skip and carry the verdict forward.
-  NewState.ModuleDormancy[PassIndex] = 1;
-  ++Stats.PassesSkipped;
-  return false;
+  PassDecision Why;
+  bool Run;
+  if (!Config.SkipModulePasses ||
+      Config.SkipMode == StatefulConfig::Mode::Stateless) {
+    Why = PassDecision::RanAlways;
+    Run = true;
+  } else if (!Prev) {
+    Why = SigMismatch ? PassDecision::RanSignatureChange
+                      : PassDecision::RanColdState;
+    Run = true;
+  } else if (PassIndex >= Prev->ModuleDormancy.size()) {
+    Why = PassDecision::RanStaleRecord;
+    Run = true;
+  } else if (Prev->ModuleDormancy[PassIndex] == 0) {
+    Why = PassDecision::RanActive;
+    Run = true;
+  } else {
+    // Dormant last build: skip and carry the verdict forward.
+    Why = PassDecision::SkippedDormant;
+    Run = false;
+    NewState.ModuleDormancy[PassIndex] = 1;
+    ++Stats.PassesSkipped;
+  }
+  Decisions.Module[PassIndex] = TUDecisionLog::pack(Why, false);
+  if (Reason)
+    *Reason = Why;
+  return Run;
 }
 
 void StatefulInstrumentation::afterModulePass(const std::string &,
@@ -146,6 +203,8 @@ void StatefulInstrumentation::afterModulePass(const std::string &,
                                               bool Changed, double) {
   std::lock_guard<std::mutex> Lock(Mu);
   NewState.ModuleDormancy[PassIndex] = Changed ? 0 : 1;
+  if (Changed)
+    Decisions.Module[PassIndex] |= TUDecisionLog::ChangedBit;
   ++Stats.PassesRun;
 }
 
@@ -166,4 +225,8 @@ TUState StatefulInstrumentation::takeNewState() {
     }
   }
   return std::move(NewState);
+}
+
+TUDecisionLog StatefulInstrumentation::takeDecisions() {
+  return std::move(Decisions);
 }

@@ -74,6 +74,29 @@ struct StatefulStats {
   uint64_t FunctionsReused = 0;     // Whole compiled code reused.
 };
 
+/// One TU's per-decision audit trail for a single build: for every
+/// (function, pipeline-position) pair, why the pass ran or slept.
+/// Persisted as out/decisions.bin and replayed by `scbuild --explain`.
+struct TUDecisionLog {
+  /// A packed decision: low 7 bits are a PassDecision, bit 0x80 means
+  /// the executed pass reported a change.
+  static constexpr uint8_t ChangedBit = 0x80;
+  /// Sentinel for "no decision at this position" (e.g. a module-pass
+  /// position inside a function's vector).
+  static constexpr uint8_t NoDecision = 0x7F;
+
+  static uint8_t pack(PassDecision D, bool Changed) {
+    return static_cast<uint8_t>(D) | (Changed ? ChangedBit : 0);
+  }
+
+  /// Pipeline position names, index-aligned with the code vectors.
+  std::vector<std::string> PassNames;
+  /// Function name -> one packed code per pipeline position.
+  std::map<std::string, std::vector<uint8_t>> Functions;
+  /// Module-pass decisions, one packed code per pipeline position.
+  std::vector<uint8_t> Module;
+};
+
 /// PassInstrumentation that implements dormancy-based skipping and
 /// simultaneously records the TU's next-build state.
 ///
@@ -99,14 +122,16 @@ public:
                           std::map<std::string, uint64_t> Fingerprints);
 
   bool shouldRunPass(const std::string &PassName, size_t PassIndex,
-                     const Function &F) override;
+                     const Function &F,
+                     PassDecision *Reason = nullptr) override;
   void afterPass(const std::string &PassName, size_t PassIndex,
                  const Function &F, bool Changed, double Micros) override;
   void onSkippedPass(const std::string &PassName, size_t PassIndex,
                      const Function &F) override;
 
   bool shouldRunModulePass(const std::string &PassName, size_t PassIndex,
-                           const Module &M) override;
+                           const Module &M,
+                           PassDecision *Reason = nullptr) override;
   void afterModulePass(const std::string &PassName, size_t PassIndex,
                        const Module &M, bool Changed, double Micros) override;
 
@@ -121,22 +146,33 @@ public:
   /// pipeline ran.
   TUState takeNewState();
 
+  /// The per-decision audit trail for this compilation (pass names are
+  /// left empty; the driver fills them from the pipeline). Call once,
+  /// after the pipeline ran.
+  TUDecisionLog takeDecisions();
+
   const StatefulStats &stats() const { return Stats; }
 
 private:
   /// Previous record for \p FName, usable under the current policy.
+  /// When returning null, \p Why says which precondition failed.
   const FunctionRecord *usableRecord(const std::string &FName,
-                                     bool &RefreshOut);
+                                     bool &RefreshOut, PassDecision &Why);
+
+  /// The packed-decision slot for (FName, PassIndex), sized on demand.
+  uint8_t &decisionSlot(const std::string &FName, size_t PassIndex);
 
   /// Guards all mutable members below against concurrent hook calls
   /// from pipeline worker threads.
   std::mutex Mu;
   StatefulConfig Config;
   const TUState *Prev;
+  bool SigMismatch = false; // Prev dropped over a signature change.
   uint64_t PipelineSignature;
   size_t PipelineLength;
   std::map<std::string, uint64_t> Fingerprints;
   TUState NewState;
+  TUDecisionLog Decisions;
   StatefulStats Stats;
   // Functions the refresh policy forces through the full pipeline in
   // this build.

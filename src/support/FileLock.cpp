@@ -6,12 +6,42 @@
 
 #include "support/FileLock.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
+#include <signal.h>
 #include <unistd.h>
 
 using namespace sc;
+
+namespace {
+
+/// Parses "pid N" lock-file content. Returns 0 when the content is not
+/// in our format or the PID is non-positive — an unparseable lock is
+/// treated as a live foreign lock, never reclaimed. (PID 0 and
+/// negative PIDs address process groups in kill(); probing them would
+/// be both meaningless and dangerous.)
+long parseOwnerPid(const std::string &Content) {
+  if (Content.compare(0, 4, "pid ") != 0)
+    return 0;
+  char *End = nullptr;
+  long Pid = std::strtol(Content.c_str() + 4, &End, 10);
+  if (End == Content.c_str() + 4 || Pid <= 0)
+    return 0;
+  return Pid;
+}
+
+/// True only when \p Pid verifiably does not exist. EPERM means the
+/// process exists but is not ours — alive, don't touch its lock.
+bool ownerIsDead(long Pid) {
+  if (::kill(static_cast<pid_t>(Pid), 0) == 0)
+    return false;
+  return errno == ESRCH;
+}
+
+} // namespace
 
 FileLock FileLock::acquire(VirtualFileSystem &FS, const std::string &Path,
                            unsigned TimeoutMs, unsigned BackoffMs) {
@@ -24,14 +54,36 @@ FileLock FileLock::acquire(VirtualFileSystem &FS, const std::string &Path,
     if (FS.createExclusive(Path, Content))
       return FileLock(&FS, Path);
     if (Clock::now() >= Deadline)
-      return FileLock();
+      break;
     std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
     Backoff = std::min(Backoff * 2, MaxBackoff);
   }
+
+  // Timed out. If the lock file names a provably dead owner, reclaim
+  // it: remove the stale file and take the lock ourselves. Two waiters
+  // may race here — both remove, but create-exclusive arbitrates and
+  // exactly one wins; the loser stays unlocked (read-only build), the
+  // same degradation as before reclaim existed.
+  std::optional<std::string> Existing = FS.readFile(Path);
+  if (!Existing)
+    // Owner released between our last attempt and now: one more try.
+    return FS.createExclusive(Path, Content) ? FileLock(&FS, Path)
+                                             : FileLock();
+  long Owner = parseOwnerPid(*Existing);
+  if (Owner == 0 || !ownerIsDead(Owner))
+    return FileLock();
+  FS.removeFile(Path);
+  if (!FS.createExclusive(Path, Content))
+    return FileLock();
+  FileLock Lock(&FS, Path);
+  Lock.Reclaimed = true;
+  Lock.ReclaimedOwner = Owner;
+  return Lock;
 }
 
 FileLock::FileLock(FileLock &&Other) noexcept
-    : FS(Other.FS), Path(std::move(Other.Path)) {
+    : FS(Other.FS), Path(std::move(Other.Path)), Reclaimed(Other.Reclaimed),
+      ReclaimedOwner(Other.ReclaimedOwner) {
   Other.FS = nullptr;
 }
 
@@ -40,6 +92,8 @@ FileLock &FileLock::operator=(FileLock &&Other) noexcept {
     release();
     FS = Other.FS;
     Path = std::move(Other.Path);
+    Reclaimed = Other.Reclaimed;
+    ReclaimedOwner = Other.ReclaimedOwner;
     Other.FS = nullptr;
   }
   return *this;

@@ -16,8 +16,13 @@
 ///
 /// The lock is advisory: it protects cooperating builds, not hostile
 /// writers. A process that dies without running destructors leaves the
-/// file behind; the lock content records the owner's PID so a human (or
-/// a future doctor command) can identify and remove a stale lock.
+/// file behind; the lock content records the owner's PID. When
+/// acquisition times out, acquire() probes the recorded owner with
+/// `kill(pid, 0)`: if that process is verifiably gone (ESRCH) the
+/// stale lock is reclaimed — removed and re-created as ours — instead
+/// of degrading the build to read-only. A live owner (or an
+/// unreadable/foreign lock file, where liveness cannot be proven) is
+/// never reclaimed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +56,13 @@ public:
   bool held() const { return FS != nullptr; }
   const std::string &path() const { return Path; }
 
+  /// True when this lock was obtained by reclaiming a dead owner's
+  /// stale lock file (callers surface this as a build warning).
+  bool reclaimedStale() const { return Reclaimed; }
+
+  /// The dead owner's PID when reclaimedStale().
+  long reclaimedPid() const { return ReclaimedOwner; }
+
   /// Removes the lock file now (idempotent).
   void release();
 
@@ -60,6 +72,8 @@ private:
 
   VirtualFileSystem *FS = nullptr; // Null when not held.
   std::string Path;
+  bool Reclaimed = false;
+  long ReclaimedOwner = 0;
 };
 
 } // namespace sc

@@ -1,0 +1,74 @@
+//===- support/Metrics.cpp - Typed counter/gauge registry ----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Trace.h" // jsonEscape
+
+#include <cstdio>
+
+using namespace sc;
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &KV : Counters)
+    Out.emplace_back(KV.first, KV.second->value());
+  return Out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::pair<std::string, double>> Out;
+  Out.reserve(Gauges.size());
+  for (const auto &KV : Gauges)
+    Out.emplace_back(KV.first, KV.second->value());
+  return Out;
+}
+
+std::string MetricsRegistry::toJson() const {
+  auto Cs = counters();
+  auto Gs = gauges();
+
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &KV : Cs) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(KV.first) + "\":" + std::to_string(KV.second);
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  char Num[64];
+  for (const auto &KV : Gs) {
+    if (!First)
+      Out += ",";
+    First = false;
+    std::snprintf(Num, sizeof(Num), "%.6g", KV.second);
+    Out += "\"" + jsonEscape(KV.first) + "\":";
+    Out += Num;
+  }
+  Out += "}}";
+  return Out;
+}

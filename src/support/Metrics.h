@@ -1,0 +1,92 @@
+//===- support/Metrics.h - Typed counter/gauge registry ---------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small typed metrics registry: named monotonic counters and
+/// last/max gauges, created on first use and safe to update from any
+/// thread. The build driver dumps the registry into the JSON build
+/// report (see build_sys/BuildReport.h and docs/OBSERVABILITY.md);
+/// benches and tests read individual metrics back by name.
+///
+/// Like TraceRecorder, every producer holds a `MetricsRegistry *` that
+/// defaults to null, so unobserved builds pay one pointer test per
+/// would-be update. Metric objects live as long as the registry and
+/// are never removed, so call sites may cache `Counter *` / `Gauge *`
+/// across updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_METRICS_H
+#define SC_SUPPORT_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Monotonic event counter.
+class Counter {
+public:
+  void add(uint64_t Delta = 1) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Point-in-time measurement; set() overwrites, max() keeps the peak.
+class Gauge {
+public:
+  void set(double X) { V.store(X, std::memory_order_relaxed); }
+
+  /// Raises the gauge to \p X if it exceeds the current value.
+  void max(double X) {
+    double Cur = V.load(std::memory_order_relaxed);
+    while (X > Cur &&
+           !V.compare_exchange_weak(Cur, X, std::memory_order_relaxed))
+      ;
+  }
+
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Thread-safe name -> metric registry. Creation takes a lock; updates
+/// on the returned objects are lock-free.
+class MetricsRegistry {
+public:
+  /// Returns the counter named \p Name, creating it on first use.
+  Counter &counter(const std::string &Name);
+
+  /// Returns the gauge named \p Name, creating it on first use.
+  Gauge &gauge(const std::string &Name);
+
+  /// Snapshot of all metrics, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+
+  /// The registry as one JSON object:
+  ///   {"counters":{...},"gauges":{...}}
+  /// Keys are sorted so output is deterministic.
+  std::string toJson() const;
+
+private:
+  mutable std::mutex Mu;
+  // Node-based maps: references stay valid as the maps grow.
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_METRICS_H

@@ -1,0 +1,230 @@
+//===- support/Trace.cpp - Build-telemetry span recorder -----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace sc;
+
+std::string sc::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+/// Monotonically increasing id distinguishing recorder instances, so a
+/// thread_local cache entry can never match a recorder reallocated at
+/// the address of a destroyed one.
+std::atomic<uint64_t> NextEpoch{1};
+
+} // namespace
+
+TraceRecorder::TraceRecorder(bool StartEnabled, size_t PerThreadCapacity)
+    : Enabled(StartEnabled),
+      Capacity(std::max<size_t>(16, PerThreadCapacity)), BaseNs(nowNanos()),
+      Epoch(NextEpoch.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::ThreadLog &TraceRecorder::logForThisThread() {
+  // Fast path: this thread already resolved its log for this recorder.
+  static thread_local const TraceRecorder *CachedOwner = nullptr;
+  static thread_local uint64_t CachedEpoch = 0;
+  static thread_local ThreadLog *CachedLog = nullptr;
+  if (CachedOwner == this && CachedEpoch == Epoch)
+    return *CachedLog;
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  ThreadLog *&Slot = ByThread[std::this_thread::get_id()];
+  if (!Slot) {
+    Logs.push_back(std::make_unique<ThreadLog>());
+    Slot = Logs.back().get();
+    Slot->Tid = static_cast<uint32_t>(Logs.size() - 1);
+    Slot->Name = "thread-" + std::to_string(Slot->Tid);
+    Slot->Ring.reserve(std::min<size_t>(Capacity, 1024));
+  }
+  CachedOwner = this;
+  CachedEpoch = Epoch;
+  CachedLog = Slot;
+  return *Slot;
+}
+
+void TraceRecorder::append(TraceEvent E) {
+  ThreadLog &TL = logForThisThread();
+  if (TL.Ring.size() < Capacity) {
+    TL.Ring.push_back(std::move(E));
+    return;
+  }
+  // Ring full: overwrite the oldest event and count the loss.
+  TL.Ring[TL.Next] = std::move(E);
+  TL.Next = (TL.Next + 1) % Capacity;
+  TL.Dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::span(const char *Category, std::string Name,
+                         uint64_t StartNs, uint64_t EndNs,
+                         std::string ArgsJson) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.K = TraceEvent::Kind::Span;
+  E.Category = Category;
+  E.Name = std::move(Name);
+  E.StartNs = StartNs;
+  E.DurNs = EndNs >= StartNs ? EndNs - StartNs : 0;
+  E.ArgsJson = std::move(ArgsJson);
+  append(std::move(E));
+}
+
+void TraceRecorder::instant(const char *Category, std::string Name,
+                            std::string ArgsJson) {
+  if (!enabled())
+    return;
+  TraceEvent E;
+  E.K = TraceEvent::Kind::Instant;
+  E.Category = Category;
+  E.Name = std::move(Name);
+  E.StartNs = nowNanos();
+  E.ArgsJson = std::move(ArgsJson);
+  append(std::move(E));
+}
+
+void TraceRecorder::setThreadName(std::string Name) {
+  ThreadLog &TL = logForThisThread();
+  std::lock_guard<std::mutex> Lock(Mu);
+  TL.Name = std::move(Name);
+}
+
+uint64_t TraceRecorder::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t Total = 0;
+  for (const auto &TL : Logs)
+    Total += TL->Dropped.load(std::memory_order_relaxed);
+  return Total;
+}
+
+size_t TraceRecorder::numEvents() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Total = 0;
+  for (const auto &TL : Logs)
+    Total += TL->Ring.size();
+  return Total;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &TL : Logs) {
+      // Ring order: oldest first is [Next, end) then [0, Next).
+      const size_t N = TL->Ring.size();
+      const size_t First = N == Capacity ? TL->Next : 0;
+      for (size_t I = 0; I != N; ++I) {
+        TraceEvent E = TL->Ring[(First + I) % (N ? N : 1)];
+        E.Tid = TL->Tid;
+        Out.push_back(std::move(E));
+      }
+    }
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.StartNs < B.StartNs;
+                   });
+  return Out;
+}
+
+std::string TraceRecorder::toChromeJson() const {
+  std::vector<TraceEvent> Events = snapshot();
+
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  auto Emit = [&](const std::string &Obj) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n";
+    Out += Obj;
+  };
+
+  // Thread-name metadata so chrome://tracing labels the lanes.
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+         "\"args\":{\"name\":\"stateful-compiler build\"}}");
+    for (const auto &TL : Logs)
+      Emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(TL->Tid) + ",\"args\":{\"name\":\"" +
+           jsonEscape(TL->Name) + "\"}}");
+  }
+
+  char Num[64];
+  for (const TraceEvent &E : Events) {
+    // ts relative to the recorder's creation, in microseconds.
+    const uint64_t RelNs = E.StartNs >= BaseNs ? E.StartNs - BaseNs : 0;
+    std::string Obj = "{\"name\":\"" + jsonEscape(E.Name) +
+                      "\",\"cat\":\"" + jsonEscape(E.Category) + "\"";
+    if (E.K == TraceEvent::Kind::Span) {
+      std::snprintf(Num, sizeof(Num), "%.3f",
+                    static_cast<double>(RelNs) / 1000.0);
+      Obj += ",\"ph\":\"X\",\"ts\":";
+      Obj += Num;
+      std::snprintf(Num, sizeof(Num), "%.3f",
+                    static_cast<double>(E.DurNs) / 1000.0);
+      Obj += ",\"dur\":";
+      Obj += Num;
+    } else {
+      std::snprintf(Num, sizeof(Num), "%.3f",
+                    static_cast<double>(RelNs) / 1000.0);
+      Obj += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+      Obj += Num;
+    }
+    Obj += ",\"pid\":1,\"tid\":" + std::to_string(E.Tid);
+    if (!E.ArgsJson.empty())
+      Obj += ",\"args\":" + E.ArgsJson;
+    Obj += "}";
+    Emit(Obj);
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &TL : Logs) {
+    TL->Ring.clear();
+    TL->Next = 0;
+    TL->Dropped.store(0, std::memory_order_relaxed);
+  }
+}

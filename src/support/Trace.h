@@ -1,0 +1,174 @@
+//===- support/Trace.h - Build-telemetry span recorder ----------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The build telemetry recorder: a per-thread span/instant-event log
+/// merged into Chrome trace-event JSON (loadable by chrome://tracing
+/// and Perfetto) at build end. One recorder serves one build process;
+/// every layer that wants to emit events holds a `TraceRecorder *`
+/// that is null (or disabled) by default, so an untraced build pays a
+/// single pointer/flag test per would-be event and nothing else.
+///
+/// Concurrency model: each recording thread owns a private event ring
+/// (registered once under a mutex, then written lock-free), so pass
+/// tasks and TU compile jobs on TaskPool workers record without
+/// contending. Rings are bounded; when one fills, the oldest events
+/// are overwritten (the tail of a build matters more than its start)
+/// and the drop is counted. Merging (snapshot / toChromeJson) locks,
+/// tags each event with its thread id, and sorts by start timestamp.
+///
+/// Event vocabulary (see docs/OBSERVABILITY.md for the full schema):
+///   * spans  ("ph":"X") — build phases, per-TU compiles, per-pass
+///     executions, state-DB load/save;
+///   * instants ("ph":"i") — skipped passes carrying the dormancy
+///     verdict, state salvage, lock reclaim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_TRACE_H
+#define SC_SUPPORT_TRACE_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sc {
+
+/// Escapes \p S for embedding inside a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+/// One recorded telemetry event. Category pointers must have static
+/// lifetime (string literals); names and args are owned.
+struct TraceEvent {
+  enum class Kind : uint8_t {
+    Span,    // "ph":"X" — complete event with duration.
+    Instant, // "ph":"i" — point-in-time marker.
+  };
+
+  Kind K = Kind::Span;
+  uint32_t Tid = 0;    // Filled in when logs are merged.
+  uint64_t StartNs = 0; // Monotonic (nowNanos) timestamp.
+  uint64_t DurNs = 0;   // Spans only.
+  const char *Category = "";
+  std::string Name;
+  std::string ArgsJson; // Preformatted JSON object text, or empty.
+};
+
+/// Lock-free-per-thread span recorder; see the file comment.
+class TraceRecorder {
+public:
+  /// \p PerThreadCapacity bounds each thread's ring; a build emits one
+  /// span per executed pass, so the default comfortably holds the
+  /// largest bench project and drops (counted) beyond that.
+  explicit TraceRecorder(bool StartEnabled = true,
+                         size_t PerThreadCapacity = 1u << 16);
+
+  /// Cheap gate for call sites: a disabled recorder records nothing
+  /// and every record call returns after this one relaxed load.
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+  void setEnabled(bool E) { Enabled.store(E, std::memory_order_relaxed); }
+
+  /// Records a complete span [StartNs, EndNs] on the calling thread.
+  void span(const char *Category, std::string Name, uint64_t StartNs,
+            uint64_t EndNs, std::string ArgsJson = std::string());
+
+  /// Records an instant event stamped now on the calling thread.
+  void instant(const char *Category, std::string Name,
+               std::string ArgsJson = std::string());
+
+  /// Names the calling thread in the emitted trace (default thread-N).
+  void setThreadName(std::string Name);
+
+  /// Total events overwritten because a thread ring filled.
+  uint64_t droppedEvents() const;
+
+  /// Events currently held across all thread rings.
+  size_t numEvents() const;
+
+  /// Merged copy of all thread logs: tid-tagged, sorted by StartNs.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// The merged log as a Chrome trace-event JSON document: a
+  /// {"traceEvents":[...]} object with thread-name metadata, ts/dur in
+  /// microseconds relative to recorder creation.
+  std::string toChromeJson() const;
+
+  /// Drops all recorded events (thread registrations survive).
+  void clear();
+
+private:
+  struct ThreadLog {
+    uint32_t Tid = 0;
+    std::string Name;
+    std::vector<TraceEvent> Ring;
+    size_t Next = 0;                   // Overwrite cursor once full.
+    std::atomic<uint64_t> Dropped{0};
+  };
+
+  /// The calling thread's log, registering it on first use. The fast
+  /// path is two thread_local compares (owner pointer + epoch).
+  ThreadLog &logForThisThread();
+
+  void append(TraceEvent E);
+
+  std::atomic<bool> Enabled;
+  const size_t Capacity;
+  const uint64_t BaseNs;  // Trace epoch: ts 0 in the emitted JSON.
+  const uint64_t Epoch;   // Unique per recorder instance; guards the
+                          // thread_local cache against stale owners.
+
+  mutable std::mutex Mu;  // Guards Logs/ByThread (registration+merge).
+  std::vector<std::unique_ptr<ThreadLog>> Logs;
+  std::map<std::thread::id, ThreadLog *> ByThread;
+};
+
+/// RAII span: records [construction, destruction] on the calling
+/// thread. A null (or disabled-at-construction) recorder makes it a
+/// no-op; callers building dynamic names should gate the string
+/// construction on `R && R->enabled()` themselves.
+class TraceSpan {
+public:
+  TraceSpan(TraceRecorder *R, const char *Category, std::string Name)
+      : R(R && R->enabled() ? R : nullptr), Category(Category) {
+    if (this->R) {
+      this->Name = std::move(Name);
+      StartNs = nowNanos();
+    }
+  }
+
+  /// Attaches a preformatted JSON args object to the span.
+  void args(std::string ArgsJson) {
+    if (R)
+      Args = std::move(ArgsJson);
+  }
+
+  ~TraceSpan() {
+    if (R)
+      R->span(Category, std::move(Name), StartNs, nowNanos(),
+              std::move(Args));
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+private:
+  TraceRecorder *R;
+  const char *Category;
+  std::string Name;
+  std::string Args;
+  uint64_t StartNs = 0;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_TRACE_H

@@ -1,0 +1,344 @@
+//===- tests/observability/BuildTelemetryTest.cpp --------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end telemetry: a real BuildDriver over an in-memory project
+/// with a TraceRecorder + MetricsRegistry attached must produce the
+/// full event vocabulary (phase spans, per-TU compile spans, per-pass
+/// spans, skip instants with dormancy verdicts), a versioned build
+/// report, and a replayable decision log — and stale build locks left
+/// by dead processes must be reclaimed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildReport.h"
+#include "build_sys/BuildSystem.h"
+#include "codegen/ObjectFile.h"
+#include "build_sys/Explain.h"
+#include "support/FileLock.h"
+#include "support/FileSystem.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace sc;
+
+namespace {
+
+void writeProject(VirtualFileSystem &FS) {
+  FS.writeFile("alpha.mc", R"(
+    fn twice(x: int) -> int { return x + x; }
+    fn quad(x: int) -> int { return twice(twice(x)); }
+  )");
+  FS.writeFile("bravo.mc", R"(
+    import "alpha.mc";
+    fn inc(x: int) -> int { return quad(x) + 1; }
+  )");
+  FS.writeFile("charlie.mc", R"(
+    import "bravo.mc";
+    fn main() -> int { return inc(10); }
+  )");
+}
+
+BuildOptions telemetryOptions(TraceRecorder *Trace, MetricsRegistry *Metrics) {
+  BuildOptions BO;
+  BO.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  BO.Compiler.Trace = Trace;
+  BO.Compiler.Metrics = Metrics;
+  BO.Compiler.RecordDecisions = true;
+  BO.LockTimeoutMs = 50;
+  BO.LockBackoffMs = 2;
+  return BO;
+}
+
+size_t countCategory(const std::vector<TraceEvent> &Events, const char *Cat) {
+  size_t N = 0;
+  for (const TraceEvent &E : Events)
+    if (std::string(E.Category) == Cat)
+      ++N;
+  return N;
+}
+
+bool hasSpan(const std::vector<TraceEvent> &Events, const std::string &Name) {
+  for (const TraceEvent &E : Events)
+    if (E.K == TraceEvent::Kind::Span && E.Name == Name)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(BuildTelemetry, ColdBuildEmitsFullSpanVocabulary) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  TraceRecorder Trace;
+  MetricsRegistry Metrics;
+  BuildDriver Driver(FS, telemetryOptions(&Trace, &Metrics));
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+
+  std::vector<TraceEvent> Events = Trace.snapshot();
+  // One span per build phase.
+  EXPECT_TRUE(hasSpan(Events, "build"));
+  EXPECT_TRUE(hasSpan(Events, "scan"));
+  EXPECT_TRUE(hasSpan(Events, "compile"));
+  EXPECT_TRUE(hasSpan(Events, "link"));
+  EXPECT_TRUE(hasSpan(Events, "stateLoad"));
+  EXPECT_TRUE(hasSpan(Events, "stateSave"));
+  // One compile span per recompiled TU, plus its phase breakdown.
+  EXPECT_TRUE(hasSpan(Events, "compile:alpha.mc"));
+  EXPECT_TRUE(hasSpan(Events, "compile:bravo.mc"));
+  EXPECT_TRUE(hasSpan(Events, "compile:charlie.mc"));
+  EXPECT_TRUE(hasSpan(Events, "frontend:alpha.mc"));
+  EXPECT_TRUE(hasSpan(Events, "middle:alpha.mc"));
+  EXPECT_TRUE(hasSpan(Events, "backend:alpha.mc"));
+  // Every executed pass got a span; a cold build skips nothing.
+  EXPECT_EQ(countCategory(Events, "pass"), S.Skip.PassesRun);
+  EXPECT_GT(S.Skip.PassesRun, 0u);
+  // Cold-build reason codes ride on the pass spans.
+  bool SawColdReason = false;
+  for (const TraceEvent &E : Events)
+    if (std::string(E.Category) == "pass" &&
+        E.ArgsJson.find("ran:cold-state") != std::string::npos)
+      SawColdReason = true;
+  EXPECT_TRUE(SawColdReason);
+}
+
+TEST(BuildTelemetry, IncrementalBuildEmitsSkipInstantsWithVerdicts) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  TraceRecorder Trace;
+  MetricsRegistry Metrics;
+  BuildDriver Driver(FS, telemetryOptions(&Trace, &Metrics));
+  ASSERT_TRUE(Driver.build().Success);
+
+  // Touch charlie.mc without changing main()'s body: main's records
+  // match, so its dormant passes are skipped — each with an instant.
+  FS.writeFile("charlie.mc", R"(
+    import "bravo.mc";
+    fn main() -> int { return inc(10); }
+    fn extra() -> int { return 7; }
+  )");
+  Trace.clear();
+  BuildStats S2 = Driver.build();
+  ASSERT_TRUE(S2.Success) << S2.ErrorText;
+  EXPECT_EQ(S2.FilesCompiled, 1u);
+  EXPECT_GT(S2.Skip.PassesSkipped, 0u);
+
+  std::vector<TraceEvent> Events = Trace.snapshot();
+  EXPECT_EQ(countCategory(Events, "pass.skip"), S2.Skip.PassesSkipped);
+  size_t DormantInstants = 0;
+  for (const TraceEvent &E : Events)
+    if (std::string(E.Category) == "pass.skip") {
+      EXPECT_EQ(E.K, TraceEvent::Kind::Instant);
+      EXPECT_NE(E.ArgsJson.find("\"reason\""), std::string::npos);
+      if (E.ArgsJson.find("skipped:dormant") != std::string::npos)
+        ++DormantInstants;
+    }
+  EXPECT_GT(DormantInstants, 0u);
+  // Only the touched TU recompiled.
+  EXPECT_TRUE(hasSpan(Events, "compile:charlie.mc"));
+  EXPECT_FALSE(hasSpan(Events, "compile:alpha.mc"));
+}
+
+TEST(BuildTelemetry, MetricsAndReportDescribeTheBuild) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  TraceRecorder Trace;
+  MetricsRegistry Metrics;
+  BuildDriver Driver(FS, telemetryOptions(&Trace, &Metrics));
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  ASSERT_TRUE(Driver.build().Success); // No-op incremental build.
+
+  // Counters accumulate across builds; gauges describe the latest.
+  EXPECT_EQ(Metrics.counter("build.builds").value(), 2u);
+  EXPECT_EQ(Metrics.counter("build.files_compiled").value(), 3u);
+  EXPECT_DOUBLE_EQ(Metrics.gauge("build.files_total").value(), 3.0);
+  EXPECT_GT(Metrics.counter("build.passes_run").value(), 0u);
+  EXPECT_GT(Metrics.gauge("build.total_us").value(), 0.0);
+
+  const std::string Report = buildReportJson(S, &Metrics);
+  EXPECT_NE(Report.find("\"schema\": \"scbuild-report\""), std::string::npos);
+  EXPECT_NE(Report.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(Report.find("\"success\": true"), std::string::npos);
+  EXPECT_NE(Report.find("\"files\": {\"compiled\": 3, \"total\": 3}"),
+            std::string::npos);
+  EXPECT_NE(Report.find("\"phases_us\""), std::string::npos);
+  EXPECT_NE(Report.find("\"compile_phases_us\""), std::string::npos);
+  EXPECT_NE(Report.find("\"passes\""), std::string::npos);
+  EXPECT_NE(Report.find("\"state\""), std::string::npos);
+  EXPECT_NE(Report.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(Report.find("build.builds"), std::string::npos);
+}
+
+TEST(BuildTelemetry, DecisionLogHasLastBuildSemantics) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  MetricsRegistry Metrics;
+  BuildDriver Driver(FS, telemetryOptions(nullptr, &Metrics));
+  ASSERT_TRUE(Driver.build().Success);
+  ASSERT_TRUE(FS.exists("out/decisions.bin"));
+
+  // After the cold build every TU has decisions.
+  bool OK = false;
+  std::string Text = explainQuery(FS, "out", "alpha.mc", &OK);
+  EXPECT_TRUE(OK) << Text;
+  EXPECT_NE(Text.find("cold"), std::string::npos);
+
+  // Rebuild with one touched TU: the log now describes only that TU.
+  FS.writeFile("charlie.mc", R"(
+    import "bravo.mc";
+    fn main() -> int { return inc(10); }
+    fn extra() -> int { return 7; }
+  )");
+  ASSERT_TRUE(Driver.build().Success);
+  OK = false;
+  Text = explainQuery(FS, "out", "charlie.mc", &OK);
+  EXPECT_TRUE(OK) << Text;
+  EXPECT_NE(Text.find("main"), std::string::npos);
+  OK = false;
+  Text = explainQuery(FS, "out", "alpha.mc", &OK);
+  EXPECT_TRUE(OK) << Text; // Up to date is not an error...
+  EXPECT_NE(Text.find("was not recompiled"), std::string::npos);
+}
+
+TEST(BuildTelemetry, UntracedBuildWritesNoDecisionLogWhenDisabled) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  MetricsRegistry Metrics;
+  BuildOptions BO = telemetryOptions(nullptr, &Metrics);
+  BO.Compiler.RecordDecisions = false;
+  BuildDriver Driver(FS, BO);
+  ASSERT_TRUE(Driver.build().Success);
+  EXPECT_FALSE(FS.exists("out/decisions.bin"));
+}
+
+TEST(BuildTelemetry, TracingDoesNotPerturbOutputAtAnyJobCount) {
+  // Telemetry observes the build, it never steers it: the linked
+  // program and persisted state must be byte-identical with tracing
+  // on at any -j, and identical to an untraced build.
+  std::string Reference, ReferenceState;
+  {
+    InMemoryFileSystem FS;
+    writeProject(FS);
+    MetricsRegistry Metrics;
+    BuildDriver Driver(FS, telemetryOptions(nullptr, &Metrics));
+    ASSERT_TRUE(Driver.build().Success);
+    ASSERT_TRUE(Driver.program() != nullptr);
+    Reference = writeObject(*Driver.program());
+    ReferenceState = FS.readFile("out/state.db").value_or("");
+  }
+  ASSERT_FALSE(Reference.empty());
+  for (unsigned Jobs : {1u, 4u, 8u}) {
+    InMemoryFileSystem FS;
+    writeProject(FS);
+    TraceRecorder Trace;
+    MetricsRegistry Metrics;
+    BuildOptions BO = telemetryOptions(&Trace, &Metrics);
+    BO.Jobs = Jobs;
+    BuildDriver Driver(FS, BO);
+    ASSERT_TRUE(Driver.build().Success) << "-j" << Jobs;
+    ASSERT_TRUE(Driver.program() != nullptr);
+    EXPECT_EQ(writeObject(*Driver.program()), Reference) << "-j" << Jobs;
+    EXPECT_EQ(FS.readFile("out/state.db").value_or(""), ReferenceState)
+        << "-j" << Jobs;
+    EXPECT_GT(Trace.snapshot().size(), 0u);
+  }
+}
+
+//===--- Stale-lock auto-recovery -----------------------------------------===//
+
+namespace {
+
+/// A PID that verifiably belonged to a dead process: fork a child that
+/// exits immediately, then reap it.
+long deadChildPid() {
+  pid_t Child = ::fork();
+  if (Child == 0)
+    ::_exit(0);
+  if (Child < 0)
+    return 0;
+  int Status = 0;
+  ::waitpid(Child, &Status, 0);
+  return Child;
+}
+
+} // namespace
+
+TEST(StaleLock, DeadOwnerIsReclaimed) {
+  long Dead = deadChildPid();
+  ASSERT_GT(Dead, 0);
+  InMemoryFileSystem FS;
+  ASSERT_TRUE(FS.createExclusive(
+      "out/.lock", "pid " + std::to_string(Dead) + "\n"));
+
+  FileLock L = FileLock::acquire(FS, "out/.lock", 20, 2);
+  EXPECT_TRUE(L.held());
+  EXPECT_TRUE(L.reclaimedStale());
+  EXPECT_EQ(L.reclaimedPid(), Dead);
+  // The reclaimed lock is now ours: the file names our PID.
+  std::optional<std::string> Content = FS.readFile("out/.lock");
+  ASSERT_TRUE(Content.has_value());
+  EXPECT_NE(Content->find(std::to_string(::getpid())), std::string::npos);
+}
+
+TEST(StaleLock, LiveOwnerIsNeverReclaimed) {
+  InMemoryFileSystem FS;
+  ASSERT_TRUE(FS.createExclusive(
+      "out/.lock", "pid " + std::to_string(::getpid()) + "\n"));
+  FileLock L = FileLock::acquire(FS, "out/.lock", 20, 2);
+  EXPECT_FALSE(L.held());
+  EXPECT_FALSE(L.reclaimedStale());
+  EXPECT_TRUE(FS.exists("out/.lock"));
+}
+
+TEST(StaleLock, UnparseableOwnerIsNeverReclaimed) {
+  for (const char *Content :
+       {"", "garbage", "pid ", "pid abc", "pid 0\n", "pid -4\n"}) {
+    InMemoryFileSystem FS;
+    ASSERT_TRUE(FS.createExclusive("out/.lock", Content));
+    FileLock L = FileLock::acquire(FS, "out/.lock", 15, 2);
+    EXPECT_FALSE(L.held()) << "content: '" << Content << "'";
+    EXPECT_TRUE(FS.exists("out/.lock"));
+  }
+}
+
+TEST(StaleLock, BuildReclaimsAndWarnsEndToEnd) {
+  long Dead = deadChildPid();
+  ASSERT_GT(Dead, 0);
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  ASSERT_TRUE(FS.createExclusive(
+      "out/.lock", "pid " + std::to_string(Dead) + "\n"));
+
+  TraceRecorder Trace;
+  MetricsRegistry Metrics;
+  BuildDriver Driver(FS, telemetryOptions(&Trace, &Metrics));
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  // Reclaimed, so NOT read-only: state persisted normally.
+  EXPECT_FALSE(S.ReadOnly);
+  EXPECT_TRUE(FS.exists("out/state.db"));
+  ASSERT_FALSE(S.Warnings.empty());
+  bool Warned = false;
+  for (const std::string &W : S.Warnings)
+    if (W.find("reclaimed stale lock") != std::string::npos &&
+        W.find(std::to_string(Dead)) != std::string::npos)
+      Warned = true;
+  EXPECT_TRUE(Warned);
+  // And the trace carries the reclaim instant.
+  bool SawInstant = false;
+  for (const TraceEvent &E : Trace.snapshot())
+    if (E.Name == "lockReclaimed")
+      SawInstant = true;
+  EXPECT_TRUE(SawInstant);
+  // Lock released on the way out.
+  EXPECT_FALSE(FS.exists("out/.lock"));
+}

@@ -1,0 +1,182 @@
+//===- tests/observability/DecisionLogTest.cpp -----------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/Explain.h"
+#include "support/FileSystem.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+namespace {
+
+using TULogs = std::vector<std::pair<std::string, TUDecisionLog>>;
+
+TULogs sampleLogs() {
+  TUDecisionLog Log;
+  Log.PassNames = {"mem2reg", "cse", "dce"};
+  Log.Functions["main"] = {
+      TUDecisionLog::pack(PassDecision::RanColdState, true),
+      TUDecisionLog::pack(PassDecision::RanColdState, false),
+      TUDecisionLog::pack(PassDecision::RanColdState, true),
+  };
+  Log.Functions["helper"] = {
+      TUDecisionLog::pack(PassDecision::RanActive, true),
+      TUDecisionLog::pack(PassDecision::SkippedDormant, false),
+      TUDecisionLog::pack(PassDecision::SkippedReused, false),
+  };
+  Log.Module = {TUDecisionLog::NoDecision,
+                TUDecisionLog::pack(PassDecision::RanAlways, false),
+                TUDecisionLog::NoDecision};
+
+  TUDecisionLog Other;
+  Other.PassNames = Log.PassNames;
+  Other.Functions["f"] = {
+      TUDecisionLog::pack(PassDecision::RanFingerprint, true),
+      TUDecisionLog::pack(PassDecision::RanRefresh, false),
+      TUDecisionLog::pack(PassDecision::RanStaleRecord, false),
+  };
+
+  TULogs TUs;
+  TUs.emplace_back("alpha.mc", std::move(Log));
+  TUs.emplace_back("bravo.mc", std::move(Other));
+  return TUs;
+}
+
+} // namespace
+
+TEST(DecisionLog, PackKeepsDecisionAndChangeBitSeparate) {
+  const uint8_t Packed = TUDecisionLog::pack(PassDecision::RanActive, true);
+  EXPECT_EQ(Packed & TUDecisionLog::ChangedBit, TUDecisionLog::ChangedBit);
+  EXPECT_EQ(static_cast<PassDecision>(Packed & ~TUDecisionLog::ChangedBit),
+            PassDecision::RanActive);
+  EXPECT_EQ(TUDecisionLog::pack(PassDecision::SkippedDormant, false),
+            static_cast<uint8_t>(PassDecision::SkippedDormant));
+}
+
+TEST(DecisionLog, SerializeDeserializeRoundTrip) {
+  const TULogs Original = sampleLogs();
+  const std::string Bytes = serializeDecisions(Original);
+  ASSERT_FALSE(Bytes.empty());
+
+  TULogs Restored;
+  ASSERT_TRUE(deserializeDecisions(Bytes, Restored));
+  ASSERT_EQ(Restored.size(), Original.size());
+  for (size_t I = 0; I < Original.size(); ++I) {
+    EXPECT_EQ(Restored[I].first, Original[I].first);
+    EXPECT_EQ(Restored[I].second.PassNames, Original[I].second.PassNames);
+    EXPECT_EQ(Restored[I].second.Functions, Original[I].second.Functions);
+    EXPECT_EQ(Restored[I].second.Module, Original[I].second.Module);
+  }
+}
+
+TEST(DecisionLog, EmptyLogRoundTrips) {
+  TULogs Restored;
+  ASSERT_TRUE(deserializeDecisions(serializeDecisions({}), Restored));
+  EXPECT_TRUE(Restored.empty());
+}
+
+TEST(DecisionLog, RejectsCorruptionEverywhere) {
+  const std::string Bytes = serializeDecisions(sampleLogs());
+  // Every single-byte flip must be rejected (checksum) — and must not
+  // touch the output.
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::string Bad = Bytes;
+    Bad[I] ^= 0x41;
+    TULogs Out;
+    Out.emplace_back("sentinel", TUDecisionLog());
+    EXPECT_FALSE(deserializeDecisions(Bad, Out)) << "byte " << I;
+    ASSERT_EQ(Out.size(), 1u);
+    EXPECT_EQ(Out[0].first, "sentinel");
+  }
+}
+
+TEST(DecisionLog, RejectsTruncationAndGarbage) {
+  const std::string Bytes = serializeDecisions(sampleLogs());
+  TULogs Out;
+  for (size_t Keep = 0; Keep < Bytes.size(); Keep += 7)
+    EXPECT_FALSE(deserializeDecisions(Bytes.substr(0, Keep), Out));
+  EXPECT_FALSE(deserializeDecisions("", Out));
+  EXPECT_FALSE(deserializeDecisions("not a decision log", Out));
+  // Trailing junk after a valid payload is also rejected.
+  EXPECT_FALSE(deserializeDecisions(Bytes + "x", Out));
+}
+
+//===--- explainQuery ------------------------------------------------------===//
+
+TEST(Explain, MissingLogIsAnActionableError) {
+  InMemoryFileSystem FS;
+  bool OK = true;
+  const std::string Text = explainQuery(FS, "out", "alpha.mc", &OK);
+  EXPECT_FALSE(OK);
+  EXPECT_NE(Text.find("no decision log"), std::string::npos);
+  EXPECT_NE(Text.find("scbuild"), std::string::npos);
+}
+
+TEST(Explain, DamagedLogIsReported) {
+  InMemoryFileSystem FS;
+  std::string Bytes = serializeDecisions(sampleLogs());
+  Bytes[Bytes.size() / 2] ^= 0x5a;
+  FS.writeFile("out/decisions.bin", Bytes);
+  bool OK = true;
+  const std::string Text = explainQuery(FS, "out", "alpha.mc", &OK);
+  EXPECT_FALSE(OK);
+  EXPECT_NE(Text.find("damaged"), std::string::npos);
+}
+
+TEST(Explain, DescribesEveryFunctionAndPass) {
+  InMemoryFileSystem FS;
+  FS.writeFile("out/decisions.bin", serializeDecisions(sampleLogs()));
+  bool OK = false;
+  const std::string Text = explainQuery(FS, "out", "alpha.mc", &OK);
+  EXPECT_TRUE(OK) << Text;
+  EXPECT_NE(Text.find("alpha.mc"), std::string::npos);
+  EXPECT_NE(Text.find("main"), std::string::npos);
+  EXPECT_NE(Text.find("helper"), std::string::npos);
+  EXPECT_NE(Text.find("mem2reg"), std::string::npos);
+  // Dormancy verdicts in plain language.
+  EXPECT_NE(Text.find("dormant"), std::string::npos);
+  EXPECT_NE(Text.find("reused"), std::string::npos);
+  EXPECT_NE(Text.find("cold"), std::string::npos);
+  // The module-pass line for the one recorded module decision.
+  EXPECT_NE(Text.find("[module]"), std::string::npos);
+}
+
+TEST(Explain, PassFilterNarrowsAndValidates) {
+  InMemoryFileSystem FS;
+  FS.writeFile("out/decisions.bin", serializeDecisions(sampleLogs()));
+
+  bool OK = false;
+  const std::string Text = explainQuery(FS, "out", "alpha.mc:cse", &OK);
+  EXPECT_TRUE(OK) << Text;
+  EXPECT_NE(Text.find("cse"), std::string::npos);
+  // Only the cse column: the other passes' names do not appear.
+  EXPECT_EQ(Text.find("mem2reg"), std::string::npos);
+
+  OK = true;
+  const std::string Bad = explainQuery(FS, "out", "alpha.mc:nope", &OK);
+  EXPECT_FALSE(OK);
+  EXPECT_NE(Bad.find("no pass named"), std::string::npos);
+  EXPECT_NE(Bad.find("mem2reg"), std::string::npos); // Lists the pipeline.
+}
+
+TEST(Explain, UpToDateTUIsNotAnError) {
+  InMemoryFileSystem FS;
+  FS.writeFile("out/decisions.bin", serializeDecisions(sampleLogs()));
+  bool OK = false;
+  const std::string Text = explainQuery(FS, "out", "charlie.mc", &OK);
+  EXPECT_TRUE(OK) << Text;
+  EXPECT_NE(Text.find("was not recompiled"), std::string::npos);
+  EXPECT_NE(Text.find("alpha.mc"), std::string::npos); // Lists known TUs.
+}
+
+TEST(Explain, EmptyTUQueryFails) {
+  InMemoryFileSystem FS;
+  FS.writeFile("out/decisions.bin", serializeDecisions(sampleLogs()));
+  bool OK = true;
+  explainQuery(FS, "out", ":cse", &OK);
+  EXPECT_FALSE(OK);
+}

@@ -1,0 +1,182 @@
+//===- tests/observability/TraceRecorderTest.cpp ---------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace sc;
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(TraceRecorder, RecordsSpansAndInstants) {
+  TraceRecorder R;
+  const uint64_t T0 = nowNanos();
+  R.span("cat", "work", T0, T0 + 5000, "{\"k\":1}");
+  R.instant("cat", "marker");
+  EXPECT_EQ(R.numEvents(), 2u);
+  EXPECT_EQ(R.droppedEvents(), 0u);
+
+  std::vector<TraceEvent> Events = R.snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].K, TraceEvent::Kind::Span);
+  EXPECT_EQ(Events[0].Name, "work");
+  EXPECT_EQ(Events[0].DurNs, 5000u);
+  EXPECT_EQ(Events[0].ArgsJson, "{\"k\":1}");
+  EXPECT_EQ(Events[1].K, TraceEvent::Kind::Instant);
+  EXPECT_EQ(Events[1].Name, "marker");
+}
+
+TEST(TraceRecorder, DisabledRecorderRecordsNothing) {
+  TraceRecorder R(/*StartEnabled=*/false);
+  EXPECT_FALSE(R.enabled());
+  R.span("cat", "work", 0, 1);
+  R.instant("cat", "marker");
+  { TraceSpan S(&R, "cat", "raii"); }
+  { TraceSpan S(nullptr, "cat", "null-recorder"); }
+  EXPECT_EQ(R.numEvents(), 0u);
+
+  // Re-enabled, it records again.
+  R.setEnabled(true);
+  R.instant("cat", "now");
+  EXPECT_EQ(R.numEvents(), 1u);
+}
+
+TEST(TraceRecorder, TraceSpanRecordsConstructionToDestruction) {
+  TraceRecorder R;
+  {
+    TraceSpan S(&R, "cat", "scoped");
+    S.args("{\"x\":2}");
+  }
+  std::vector<TraceEvent> Events = R.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "scoped");
+  EXPECT_EQ(Events[0].ArgsJson, "{\"x\":2}");
+}
+
+TEST(TraceRecorder, RingOverflowDropsOldestAndCounts) {
+  // Capacity is clamped to a minimum of 16.
+  TraceRecorder R(true, 16);
+  for (int I = 0; I < 40; ++I)
+    R.span("cat", "e" + std::to_string(I), 1000u * I, 1000u * I + 10);
+  EXPECT_EQ(R.numEvents(), 16u);
+  EXPECT_EQ(R.droppedEvents(), 24u);
+
+  // The survivors are the newest 24..39, oldest-first after reorder.
+  std::vector<TraceEvent> Events = R.snapshot();
+  ASSERT_EQ(Events.size(), 16u);
+  EXPECT_EQ(Events.front().Name, "e24");
+  EXPECT_EQ(Events.back().Name, "e39");
+}
+
+TEST(TraceRecorder, ClearKeepsRegistrationsDropsEvents) {
+  TraceRecorder R;
+  R.instant("cat", "one");
+  R.clear();
+  EXPECT_EQ(R.numEvents(), 0u);
+  R.instant("cat", "two");
+  std::vector<TraceEvent> Events = R.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Name, "two");
+}
+
+TEST(TraceRecorder, MultiThreadedRecordingTagsThreadIds) {
+  TraceRecorder R;
+  R.setThreadName("main");
+  constexpr int Threads = 4, PerThread = 50;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&R, T] {
+      R.setThreadName("t" + std::to_string(T));
+      for (int I = 0; I < PerThread; ++I) {
+        const uint64_t Now = nowNanos();
+        R.span("cat", "w", Now, Now + 1);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  std::vector<TraceEvent> Events = R.snapshot();
+  EXPECT_EQ(Events.size(), size_t(Threads * PerThread));
+  EXPECT_EQ(R.droppedEvents(), 0u);
+  std::set<uint32_t> Tids;
+  for (const TraceEvent &E : Events)
+    Tids.insert(E.Tid);
+  EXPECT_EQ(Tids.size(), size_t(Threads));
+  // Sorted by start timestamp.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_LE(Events[I - 1].StartNs, Events[I].StartNs);
+
+  // All four worker names (plus "main") appear as thread_name metadata.
+  const std::string Json = R.toChromeJson();
+  EXPECT_NE(Json.find("\"main\""), std::string::npos);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_NE(Json.find("\"t" + std::to_string(T) + "\""), std::string::npos);
+}
+
+TEST(TraceRecorder, ChromeJsonShape) {
+  TraceRecorder R;
+  R.setThreadName("build-main");
+  const uint64_t T0 = nowNanos();
+  R.span("build", "scan", T0, T0 + 2000, "{\"files\":3}");
+  R.instant("pass.skip", "dce", "{\"reason\":\"skipped:dormant\"}");
+
+  const std::string Json = R.toChromeJson();
+  // Top-level object with the trace-event array and a time unit.
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"displayTimeUnit\""), std::string::npos);
+  // Metadata naming the process and the thread.
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(Json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Json.find("build-main"), std::string::npos);
+  // The complete span: X phase with a dur, category, args.
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"cat\":\"build\""), std::string::npos);
+  EXPECT_NE(Json.find("\"files\":3"), std::string::npos);
+  // The instant: i phase, thread scope, dormancy verdict payload.
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(Json.find("skipped:dormant"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  long Braces = 0, Brackets = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Json.size(); ++I) {
+    char C = Json[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Braces;
+    else if (C == '}')
+      --Braces;
+    else if (C == '[')
+      ++Brackets;
+    else if (C == ']')
+      --Brackets;
+  }
+  EXPECT_EQ(Braces, 0);
+  EXPECT_EQ(Brackets, 0);
+  EXPECT_FALSE(InString);
+}

@@ -20,10 +20,15 @@ struct RecordingInstrumentation : public PassInstrumentation {
   std::vector<std::string> Events;
   std::set<std::pair<std::string, std::string>> SkipSet; // (pass, func)
 
-  bool shouldRunPass(const std::string &Name, size_t, const Function &F)
-      override {
-    if (SkipSet.count({Name, F.name()}))
+  bool shouldRunPass(const std::string &Name, size_t, const Function &F,
+                     PassDecision *Reason = nullptr) override {
+    if (SkipSet.count({Name, F.name()})) {
+      if (Reason)
+        *Reason = PassDecision::SkippedDormant;
       return false;
+    }
+    if (Reason)
+      *Reason = PassDecision::RanAlways;
     return true;
   }
   void afterPass(const std::string &Name, size_t, const Function &F,

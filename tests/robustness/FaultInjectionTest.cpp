@@ -22,6 +22,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 using namespace sc;
 
 namespace {
@@ -263,8 +265,10 @@ TEST(FaultInjectionE2E, ConcurrentLockDegradesToReadOnly) {
 
   InMemoryFileSystem FS;
   writeProject(FS);
-  // Another "build" already holds the lock.
-  ASSERT_TRUE(FS.createExclusive("out/.lock", "pid 12345\n"));
+  // Another "build" already holds the lock. Use our own (live) PID so
+  // stale-lock reclaim correctly refuses to steal it.
+  ASSERT_TRUE(FS.createExclusive(
+      "out/.lock", "pid " + std::to_string(::getpid()) + "\n"));
 
   BuildOptions BO = baseOptions();
   BO.LockTimeoutMs = 30;

@@ -289,7 +289,8 @@ TEST(FileLockTest, TimedAcquireWaitsOutAShortHolder) {
   // deadline yields an unheld result without hanging.
   FileLock L = FileLock::acquire(FS, "out/.lock", 30, 5);
   EXPECT_FALSE(L.held());
-  // Stale-lock recovery is manual by design: deleting the file
+  // "pid 0" is unparseable by design (PID 0 addresses a process
+  // group), so automatic reclaim refuses it; deleting the file
   // unblocks the next acquire.
   FS.removeFile("out/.lock");
   FileLock L2 = FileLock::acquire(FS, "out/.lock", 30, 5);

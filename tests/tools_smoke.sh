@@ -95,4 +95,74 @@ if "$SCBUILD" . --inject-fault bogus:1 2>/dev/null; then
   echo "FAIL: bad --inject-fault spec accepted"; exit 1
 fi
 
+# Telemetry: --trace-out writes Chrome trace-event JSON and
+# --report-json writes the versioned build report; both must parse and
+# carry their required keys. A fresh --clean build guarantees compile
+# spans are present.
+"$SCBUILD" . --clean --quiet --trace-out=trace.json --report-json=report.json
+[ -s trace.json ] || { echo "FAIL: no trace written"; exit 1; }
+[ -s report.json ] || { echo "FAIL: no report written"; exit 1; }
+python3 - <<'PYEOF' || { echo "FAIL: telemetry JSON invalid"; exit 1; }
+import json, sys
+
+trace = json.load(open("trace.json"))
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "empty traceEvents"
+phases = {e["name"] for e in events if e.get("ph") == "X"}
+for phase in ("build", "scan", "compile", "link"):
+    assert phase in phases, f"missing {phase} span"
+assert any(n.startswith("compile:") for n in phases), "no per-TU span"
+assert all("ts" in e for e in events if e.get("ph") in ("X", "i"))
+assert all("tid" in e for e in events)
+
+report = json.load(open("report.json"))
+assert report["schema"] == "scbuild-report", report.get("schema")
+assert report["schema_version"] == 1
+for key in ("success", "files", "phases_us", "compile_phases_us",
+            "passes", "state", "metrics"):
+    assert key in report, f"missing report key {key}"
+assert report["success"] is True
+assert report["files"]["compiled"] == report["files"]["total"] == 2
+PYEOF
+
+# An incremental rebuild's trace carries pass-skip instants with
+# machine-readable dormancy verdicts: edit one body so its TU
+# recompiles while the TU's other functions stay dormant.
+sed -i 's/x + x + x/x \* 3/' util.mc
+"$SCBUILD" . --quiet --trace-out=trace2.json > /dev/null
+python3 - <<'PYEOF' || { echo "FAIL: skip instants missing"; exit 1; }
+import json
+
+events = json.load(open("trace2.json"))["traceEvents"]
+skips = [e for e in events
+         if e.get("ph") == "i" and e.get("cat") == "pass.skip"]
+assert skips, "no pass.skip instants in incremental trace"
+assert all(e["args"]["reason"].startswith("skipped:") for e in skips)
+PYEOF
+
+# --explain replays the recorded decision log. Touch util.mc so the
+# last recorded build actually recompiles it.
+sed -i 's/return 7;/return 8;/' util.mc
+"$SCBUILD" . --quiet > /dev/null
+"$SCBUILD" . --explain util.mc > explain.log
+grep -q "triple" explain.log || {
+  echo "FAIL: explain missing function"; cat explain.log; exit 1; }
+grep -qE "ran|skipped" explain.log || {
+  echo "FAIL: explain has no verdicts"; cat explain.log; exit 1; }
+"$SCBUILD" . --explain main.mc > explain2.log
+grep -q "was not recompiled" explain2.log || {
+  echo "FAIL: up-to-date TU not reported"; cat explain2.log; exit 1; }
+if "$SCBUILD" . --explain util.mc:nonexistent-pass 2>/dev/null; then
+  echo "FAIL: unknown pass accepted by --explain"; exit 1
+fi
+
+# --quiet on both tools silences the human summaries.
+OUT="$("$SCBUILD" . --quiet)"
+[ -z "$OUT" ] || { echo "FAIL: scbuild --quiet printed: $OUT"; exit 1; }
+OUT="$("$SCC" util.mc --stateful --quiet -o util.o)"
+[ -z "$OUT" ] || { echo "FAIL: scc --quiet printed: $OUT"; exit 1; }
+# ...and without --quiet, scc prints the same skip summary scbuild does.
+"$SCC" util.mc --stateful -o util.o | grep -q "passes run" || {
+  echo "FAIL: scc skip summary missing"; exit 1; }
+
 echo "tools smoke: OK"

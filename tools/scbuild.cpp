@@ -23,13 +23,22 @@
 ///   --clean         drop artifacts and state before building
 ///   --run [args...] execute main() after a successful build; the
 ///                   remaining arguments are passed as integers
-///   --quiet         suppress the build summary
+///   --quiet         suppress the build summary (warnings still print)
+///   --trace-out=FILE   write a Chrome trace-event JSON of the build
+///                      (load in chrome://tracing or Perfetto)
+///   --report-json=FILE write the versioned JSON build report
+///   --explain TU[:pass] replay why each pass ran or slept for TU in
+///                       the last recorded build (no build happens)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "build_sys/BuildReport.h"
 #include "build_sys/BuildSystem.h"
+#include "build_sys/Explain.h"
 #include "support/FaultyFileSystem.h"
 #include "support/FileSystem.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 #include "vm/VM.h"
 
 #include <algorithm>
@@ -51,8 +60,24 @@ int main(int argc, char **argv) {
   // return 0 on exotic platforms.
   Options.Jobs = std::max(1u, std::thread::hardware_concurrency());
   bool Clean = false, Run = false, Quiet = false;
+  std::string TraceOut, ReportOut, ExplainQ;
   std::vector<int64_t> RunArgs;
   std::vector<std::string> FaultSpecs; // Hidden --inject-fault op:N.
+
+  // Accepts --flag=VALUE or --flag VALUE.
+  auto FlagValue = [&](const std::string &Arg, const char *Flag, int &I,
+                       std::string &Out) {
+    std::string Prefix = std::string(Flag) + "=";
+    if (Arg.compare(0, Prefix.size(), Prefix) == 0) {
+      Out = Arg.substr(Prefix.size());
+      return true;
+    }
+    if (Arg == Flag && I + 1 < argc) {
+      Out = argv[++I];
+      return true;
+    }
+    return false;
+  };
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -60,6 +85,10 @@ int main(int argc, char **argv) {
       RunArgs.push_back(std::strtoll(Arg.c_str(), nullptr, 10));
       continue;
     }
+    if (FlagValue(Arg, "--trace-out", I, TraceOut) ||
+        FlagValue(Arg, "--report-json", I, ReportOut) ||
+        FlagValue(Arg, "--explain", I, ExplainQ))
+      continue;
     if (Arg == "-O0")
       Options.Compiler.Opt = OptLevel::O0;
     else if (Arg == "-O1")
@@ -94,7 +123,9 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: scbuild [dir] [-O0|-O1|-O2] [-j N] "
                    "[--stateless] [--exact] [--reuse]\n               "
-                   "[--clean] [--quiet] [--run [args...]]\n");
+                   "[--clean] [--quiet] [--trace-out=FILE] "
+                   "[--report-json=FILE]\n               "
+                   "[--explain TU[:pass]] [--run [args...]]\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "scbuild: error: unknown option '%s'\n",
@@ -106,6 +137,30 @@ int main(int argc, char **argv) {
   }
 
   RealFileSystem DiskFS(Dir);
+
+  // --explain replays the recorded decision log; no build happens.
+  if (!ExplainQ.empty()) {
+    bool OK = false;
+    std::string Text = explainQuery(DiskFS, Options.OutDir, ExplainQ, &OK);
+    std::fprintf(OK ? stdout : stderr, "%s", Text.c_str());
+    return OK ? 0 : 1;
+  }
+
+  // Telemetry sinks. Decision recording is on for every stateful
+  // scbuild (it feeds --explain); the trace recorder exists only when
+  // asked for, so untraced builds skip even the pointer-registered
+  // ring work.
+  Options.Compiler.RecordDecisions =
+      Options.Compiler.Stateful.SkipMode != StatefulConfig::Mode::Stateless;
+  std::unique_ptr<TraceRecorder> Trace;
+  if (!TraceOut.empty()) {
+    Trace = std::make_unique<TraceRecorder>();
+    Trace->setThreadName("build-main");
+    Options.Compiler.Trace = Trace.get();
+  }
+  MetricsRegistry Metrics;
+  Options.Compiler.Metrics = &Metrics;
+
   VirtualFileSystem *FS = &DiskFS;
   std::unique_ptr<FaultyFileSystem> Faulty;
   if (!FaultSpecs.empty()) {
@@ -135,6 +190,26 @@ int main(int argc, char **argv) {
   }
   for (const std::string &W : Stats.Warnings)
     std::fprintf(stderr, "scbuild: warning: %s\n", W.c_str());
+
+  // Telemetry outputs are written for failed builds too — a failing
+  // build is exactly when a timeline is most wanted. These are
+  // user-facing host paths, independent of the project filesystem.
+  auto WriteHostFile = [](const std::string &Path, const std::string &Text,
+                          const char *What) {
+    if (std::FILE *F = std::fopen(Path.c_str(), "wb")) {
+      std::fwrite(Text.data(), 1, Text.size(), F);
+      std::fclose(F);
+      return true;
+    }
+    std::fprintf(stderr, "scbuild: warning: could not write %s '%s'\n", What,
+                 Path.c_str());
+    return false;
+  };
+  if (Trace)
+    WriteHostFile(TraceOut, Trace->toChromeJson(), "trace");
+  if (!ReportOut.empty())
+    WriteHostFile(ReportOut, buildReportJson(Stats, &Metrics), "report");
+
   if (!Stats.Success) {
     std::fprintf(stderr, "%s\n", Stats.ErrorText.c_str());
     return 1;

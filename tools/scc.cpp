@@ -18,6 +18,7 @@
 ///   --emit-asm         print the generated VISA assembly
 ///   --run              link this object alone and execute main()
 ///   --stats            print compile statistics
+///   --quiet            suppress the pass-skip summary (never warnings)
 ///   --verify-each      run the IR verifier after every changing pass
 ///
 /// Imports are resolved relative to the current directory.
@@ -49,7 +50,7 @@ void usage() {
       stderr,
       "usage: scc <file.mc> [-o out.o] [-O0|-O1|-O2] [--stateful] "
       "[--reuse]\n           [--state-db path] [--emit-ir] [--emit-asm] "
-      "[--run] [--stats]\n           [--verify-each]\n");
+      "[--run] [--stats]\n           [--quiet] [--verify-each]\n");
 }
 
 /// Resolves the direct imports' interfaces (one level is enough: sema
@@ -84,7 +85,7 @@ int main(int argc, char **argv) {
   std::string InputPath, OutputPath, StatePath = ".scc-state.db";
   CompilerOptions Options;
   bool Stateful = false, EmitIR = false, EmitAsm = false, Run = false,
-       Stats = false;
+       Stats = false, Quiet = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -111,6 +112,8 @@ int main(int argc, char **argv) {
       Run = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--quiet")
+      Quiet = true;
     else if (Arg == "--verify-each")
       Options.VerifyEach = true;
     else if (Arg == "--help" || Arg == "-h") {
@@ -172,6 +175,19 @@ int main(int argc, char **argv) {
                  "scc: warning: cannot save compiler state to '%s' (%s)\n",
                  StatePath.c_str(), FS.lastError().c_str());
 
+  // The same pass-skip summary scbuild prints, so a lone `scc
+  // --stateful` run is as observable as a full build. --quiet
+  // suppresses this (and --stats), never warnings or diagnostics.
+  if (Stateful && !Quiet)
+    std::printf("scc: passes run %llu, skipped %llu; "
+                "functions reused %llu; state db %.1f KB\n",
+                static_cast<unsigned long long>(Result.SkipStats.PassesRun),
+                static_cast<unsigned long long>(
+                    Result.SkipStats.PassesSkipped),
+                static_cast<unsigned long long>(
+                    Result.SkipStats.FunctionsReused),
+                DB.sizeBytes() / 1024.0);
+
   if (EmitIR) {
     // Re-lower to show the optimized IR: the driver does not keep the
     // module, so compile a display copy through the same pipeline.
@@ -190,7 +206,7 @@ int main(int argc, char **argv) {
   if (EmitAsm)
     std::printf("%s", printAssembly(Result.Object).c_str());
 
-  if (Stats) {
+  if (Stats && !Quiet) {
     std::printf("scc: %s: fe %.0fus | mid %.0fus | be %.0fus | "
                 "IR %zu -> %zu insts",
                 InputPath.c_str(), Result.Timings.FrontendUs,
