@@ -42,15 +42,18 @@ sc::compileInParallel(const std::vector<CompileJob> &Jobs,
   // (simulated process death) deliberately is not.
   std::vector<std::unique_ptr<Compiler>> PerSlot(Pool.maxSlots());
   Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned Slot) {
-    if (!PerSlot[Slot])
+    if (!PerSlot[Slot]) {
       PerSlot[Slot] = std::make_unique<Compiler>(Options, DB);
+      // Once per slot, not per job: naming takes the recorder mutex,
+      // which must stay off the per-TU hot path.
+      if (Tracing)
+        Options.Trace->setThreadName("worker-" + std::to_string(Slot));
+    }
     if (Options.Metrics) {
       Options.Metrics->counter("scheduler.jobs_dispatched").add(1);
       Options.Metrics->gauge("scheduler.queue_wait_max_us")
           .max(static_cast<double>(nowNanos() - WaveStartNs) / 1000.0);
     }
-    if (Tracing)
-      Options.Trace->setThreadName("worker-" + std::to_string(Slot));
     try {
       Results[I] = PerSlot[Slot]->compile(Jobs[I].Path, *Jobs[I].Source,
                                           Jobs[I].Imports);

@@ -6,6 +6,7 @@
 
 #include "support/FileLock.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -17,6 +18,12 @@
 using namespace sc;
 
 namespace {
+
+/// Per-acquisition token appended to the lock content so every lock
+/// file this process writes is distinguishable — from other processes
+/// (by PID) and from other acquisitions in this process (by token).
+/// Ownership checks compare whole content, never just the PID.
+std::atomic<uint64_t> NextToken{1};
 
 /// Parses "pid N" lock-file content. Returns 0 when the content is not
 /// in our format or the PID is non-positive — an unparseable lock is
@@ -45,14 +52,16 @@ bool ownerIsDead(long Pid) {
 
 FileLock FileLock::acquire(VirtualFileSystem &FS, const std::string &Path,
                            unsigned TimeoutMs, unsigned BackoffMs) {
-  const std::string Content = "pid " + std::to_string(::getpid()) + "\n";
+  const uint64_t Token = NextToken.fetch_add(1, std::memory_order_relaxed);
+  const std::string Content = "pid " + std::to_string(::getpid()) + " #" +
+                              std::to_string(Token) + "\n";
   using Clock = std::chrono::steady_clock;
   const auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
   unsigned Backoff = BackoffMs ? BackoffMs : 1;
   const unsigned MaxBackoff = Backoff * 8;
   for (;;) {
     if (FS.createExclusive(Path, Content))
-      return FileLock(&FS, Path);
+      return FileLock(&FS, Path, Content);
     if (Clock::now() >= Deadline)
       break;
     std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
@@ -60,29 +69,51 @@ FileLock FileLock::acquire(VirtualFileSystem &FS, const std::string &Path,
   }
 
   // Timed out. If the lock file names a provably dead owner, reclaim
-  // it: remove the stale file and take the lock ourselves. Two waiters
-  // may race here — both remove, but create-exclusive arbitrates and
-  // exactly one wins; the loser stays unlocked (read-only build), the
-  // same degradation as before reclaim existed.
+  // it. The reclaim must never unlink a file it has not exclusively
+  // captured — a remove+create sequence would let one waiter unlink a
+  // lock another waiter just reclaimed and re-created (both would then
+  // hold "exclusive" locks). So capture-by-rename first: moving the
+  // file aside to a name unique to this acquisition is atomic, fails
+  // for every racer but one once the file is gone, and transfers the
+  // file wholly to the winner before anything is deleted.
   std::optional<std::string> Existing = FS.readFile(Path);
   if (!Existing)
     // Owner released between our last attempt and now: one more try.
-    return FS.createExclusive(Path, Content) ? FileLock(&FS, Path)
+    return FS.createExclusive(Path, Content) ? FileLock(&FS, Path, Content)
                                              : FileLock();
   long Owner = parseOwnerPid(*Existing);
   if (Owner == 0 || !ownerIsDead(Owner))
     return FileLock();
-  FS.removeFile(Path);
+  const std::string Aside = Path + ".reclaim." + std::to_string(::getpid()) +
+                            "." + std::to_string(Token);
+  if (!FS.renameFile(Path, Aside))
+    // Another reclaimer captured the file first (or the path vanished);
+    // stay unlocked and let the build degrade read-only as before.
+    return FileLock();
+  // Re-verify the captured file is the one we probed. If the content
+  // changed between probe and rename, the stale lock was already
+  // reclaimed and the path re-created by a new *live* holder — hand the
+  // file back (create-exclusive, so a third waiter that took the path
+  // meanwhile is never clobbered) and stand down.
+  std::optional<std::string> Captured = FS.readFile(Aside);
+  if (!Captured || *Captured != *Existing) {
+    if (Captured)
+      FS.createExclusive(Path, *Captured);
+    FS.removeFile(Aside);
+    return FileLock();
+  }
+  FS.removeFile(Aside);
   if (!FS.createExclusive(Path, Content))
     return FileLock();
-  FileLock Lock(&FS, Path);
+  FileLock Lock(&FS, Path, Content);
   Lock.Reclaimed = true;
   Lock.ReclaimedOwner = Owner;
   return Lock;
 }
 
 FileLock::FileLock(FileLock &&Other) noexcept
-    : FS(Other.FS), Path(std::move(Other.Path)), Reclaimed(Other.Reclaimed),
+    : FS(Other.FS), Path(std::move(Other.Path)),
+      Content(std::move(Other.Content)), Reclaimed(Other.Reclaimed),
       ReclaimedOwner(Other.ReclaimedOwner) {
   Other.FS = nullptr;
 }
@@ -92,6 +123,7 @@ FileLock &FileLock::operator=(FileLock &&Other) noexcept {
     release();
     FS = Other.FS;
     Path = std::move(Other.Path);
+    Content = std::move(Other.Content);
     Reclaimed = Other.Reclaimed;
     ReclaimedOwner = Other.ReclaimedOwner;
     Other.FS = nullptr;
@@ -112,7 +144,16 @@ FileLock::~FileLock() {
 }
 
 void FileLock::release() {
-  if (FS)
-    FS->removeFile(Path);
+  if (FS) {
+    // Ownership check: the path could in principle hold another
+    // process's lock by now (crash → reclaim → re-create shuffles);
+    // never unlink a file that verifiably is not ours. An unreadable
+    // file is still removed — it is almost certainly ours, and leaving
+    // it behind would wedge every later build behind a lock whose
+    // owner is alive.
+    std::optional<std::string> Cur = FS->readFile(Path);
+    if (!Cur || *Cur == Content)
+      FS->removeFile(Path);
+  }
   FS = nullptr;
 }

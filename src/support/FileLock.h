@@ -16,13 +16,24 @@
 ///
 /// The lock is advisory: it protects cooperating builds, not hostile
 /// writers. A process that dies without running destructors leaves the
-/// file behind; the lock content records the owner's PID. When
-/// acquisition times out, acquire() probes the recorded owner with
-/// `kill(pid, 0)`: if that process is verifiably gone (ESRCH) the
-/// stale lock is reclaimed — removed and re-created as ours — instead
-/// of degrading the build to read-only. A live owner (or an
+/// file behind; the lock content records the owner's PID plus a
+/// per-acquisition token. When acquisition times out, acquire() probes
+/// the recorded owner with `kill(pid, 0)`: if that process is
+/// verifiably gone (ESRCH) the stale lock is reclaimed instead of
+/// degrading the build to read-only. A live owner (or an
 /// unreadable/foreign lock file, where liveness cannot be proven) is
 /// never reclaimed.
+///
+/// Reclaim protocol: the stale file is first *captured* by an atomic
+/// rename to a waiter-unique aside name — of N waiters racing to
+/// reclaim the same corpse, exactly one rename succeeds and the rest
+/// stay unlocked — then its content is re-verified against the probed
+/// content (a mismatch means a new live holder took the path between
+/// probe and rename; its lock is handed back untouched) before the
+/// winner deletes it and re-creates the path as its own. release()
+/// likewise removes the lock file only after checking it still holds
+/// this acquisition's content, so no step of the protocol ever unlinks
+/// another process's live lock.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,15 +74,16 @@ public:
   /// The dead owner's PID when reclaimedStale().
   long reclaimedPid() const { return ReclaimedOwner; }
 
-  /// Removes the lock file now (idempotent).
+  /// Removes the lock file now if it is still ours (idempotent).
   void release();
 
 private:
-  FileLock(VirtualFileSystem *FS, std::string Path)
-      : FS(FS), Path(std::move(Path)) {}
+  FileLock(VirtualFileSystem *FS, std::string Path, std::string Content)
+      : FS(FS), Path(std::move(Path)), Content(std::move(Content)) {}
 
   VirtualFileSystem *FS = nullptr; // Null when not held.
   std::string Path;
+  std::string Content; // What we wrote; release() removes only a match.
   bool Reclaimed = false;
   long ReclaimedOwner = 0;
 };

@@ -83,6 +83,10 @@ TraceRecorder::ThreadLog &TraceRecorder::logForThisThread() {
 
 void TraceRecorder::append(TraceEvent E) {
   ThreadLog &TL = logForThisThread();
+  // Only this thread and the merge/clear paths ever take RingMu, so
+  // this lock is uncontended unless the trace is being snapshotted
+  // mid-build — recording threads never serialize on each other.
+  std::lock_guard<std::mutex> Lock(TL.RingMu);
   if (TL.Ring.size() < Capacity) {
     TL.Ring.push_back(std::move(E));
     return;
@@ -138,8 +142,10 @@ uint64_t TraceRecorder::droppedEvents() const {
 size_t TraceRecorder::numEvents() const {
   std::lock_guard<std::mutex> Lock(Mu);
   size_t Total = 0;
-  for (const auto &TL : Logs)
+  for (const auto &TL : Logs) {
+    std::lock_guard<std::mutex> RingLock(TL->RingMu);
     Total += TL->Ring.size();
+  }
   return Total;
 }
 
@@ -148,6 +154,7 @@ std::vector<TraceEvent> TraceRecorder::snapshot() const {
   {
     std::lock_guard<std::mutex> Lock(Mu);
     for (const auto &TL : Logs) {
+      std::lock_guard<std::mutex> RingLock(TL->RingMu);
       // Ring order: oldest first is [Next, end) then [0, Next).
       const size_t N = TL->Ring.size();
       const size_t First = N == Capacity ? TL->Next : 0;
@@ -223,6 +230,7 @@ std::string TraceRecorder::toChromeJson() const {
 void TraceRecorder::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   for (auto &TL : Logs) {
+    std::lock_guard<std::mutex> RingLock(TL->RingMu);
     TL->Ring.clear();
     TL->Next = 0;
     TL->Dropped.store(0, std::memory_order_relaxed);

@@ -12,13 +12,15 @@
 /// that is null (or disabled) by default, so an untraced build pays a
 /// single pointer/flag test per would-be event and nothing else.
 ///
-/// Concurrency model: each recording thread owns a private event ring
-/// (registered once under a mutex, then written lock-free), so pass
-/// tasks and TU compile jobs on TaskPool workers record without
-/// contending. Rings are bounded; when one fills, the oldest events
-/// are overwritten (the tail of a build matters more than its start)
-/// and the drop is counted. Merging (snapshot / toChromeJson) locks,
-/// tags each event with its thread id, and sorts by start timestamp.
+/// Concurrency model: each recording thread owns a private event ring,
+/// registered once under the registry mutex and thereafter written
+/// under a per-ring lock that only its owning thread and the merge
+/// paths ever take — recording threads never contend with one another,
+/// and snapshot()/numEvents()/clear() are safe to call while workers
+/// are still recording. Rings are bounded; when one fills, the oldest
+/// events are overwritten (the tail of a build matters more than its
+/// start) and the drop is counted. Merging (snapshot / toChromeJson)
+/// tags each event with its thread id and sorts by start timestamp.
 ///
 /// Event vocabulary (see docs/OBSERVABILITY.md for the full schema):
 ///   * spans  ("ph":"X") — build phases, per-TU compiles, per-pass
@@ -64,7 +66,7 @@ struct TraceEvent {
   std::string ArgsJson; // Preformatted JSON object text, or empty.
 };
 
-/// Lock-free-per-thread span recorder; see the file comment.
+/// Contention-free-per-thread span recorder; see the file comment.
 class TraceRecorder {
 public:
   /// \p PerThreadCapacity bounds each thread's ring; a build emits one
@@ -110,6 +112,8 @@ private:
   struct ThreadLog {
     uint32_t Tid = 0;
     std::string Name;
+    std::mutex RingMu; // Owner thread vs. merge/clear; never contended
+                       // between recording threads.
     std::vector<TraceEvent> Ring;
     size_t Next = 0;                   // Overwrite cursor once full.
     std::atomic<uint64_t> Dropped{0};

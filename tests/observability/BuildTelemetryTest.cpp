@@ -24,6 +24,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -270,6 +272,49 @@ long deadChildPid() {
   return Child;
 }
 
+/// VFS decorator that runs \p Hook immediately before forwarding the
+/// first renameFile — a deterministic stand-in for "another process
+/// acted in the probe→rename window" of the stale-lock reclaim.
+class PreRenameHookFS : public VirtualFileSystem {
+public:
+  PreRenameHookFS(VirtualFileSystem &Base, std::function<void()> Hook)
+      : Base(Base), Hook(std::move(Hook)) {}
+
+  std::optional<std::string> readFile(const std::string &P) override {
+    return Base.readFile(P);
+  }
+  bool writeFile(const std::string &P, const std::string &C) override {
+    return Base.writeFile(P, C);
+  }
+  bool exists(const std::string &P) override { return Base.exists(P); }
+  bool removeFile(const std::string &P) override {
+    return Base.removeFile(P);
+  }
+  std::vector<std::string> listFiles() override { return Base.listFiles(); }
+  bool renameFile(const std::string &From, const std::string &To) override {
+    if (!Fired) {
+      Fired = true;
+      Hook();
+    }
+    return Base.renameFile(From, To);
+  }
+  bool createExclusive(const std::string &P, const std::string &C) override {
+    return Base.createExclusive(P, C);
+  }
+
+private:
+  VirtualFileSystem &Base;
+  std::function<void()> Hook;
+  bool Fired = false;
+};
+
+/// No ".reclaim." capture file may survive a reclaim attempt, won or
+/// lost.
+void expectNoAsideLitter(VirtualFileSystem &FS) {
+  for (const std::string &P : FS.listFiles())
+    EXPECT_EQ(P.find(".reclaim."), std::string::npos) << P;
+}
+
 } // namespace
 
 TEST(StaleLock, DeadOwnerIsReclaimed) {
@@ -287,6 +332,59 @@ TEST(StaleLock, DeadOwnerIsReclaimed) {
   std::optional<std::string> Content = FS.readFile("out/.lock");
   ASSERT_TRUE(Content.has_value());
   EXPECT_NE(Content->find(std::to_string(::getpid())), std::string::npos);
+  expectNoAsideLitter(FS);
+}
+
+TEST(StaleLock, ReclaimRaceLoserStaysUnlocked) {
+  long Dead = deadChildPid();
+  ASSERT_GT(Dead, 0);
+  InMemoryFileSystem Base;
+  ASSERT_TRUE(Base.createExclusive(
+      "out/.lock", "pid " + std::to_string(Dead) + "\n"));
+  // Between our liveness probe and our capture, another reclaimer
+  // captures the corpse: our rename must fail and leave us unlocked —
+  // never fall back to a blind unlink.
+  PreRenameHookFS FS(Base, [&] { Base.removeFile("out/.lock"); });
+  FileLock L = FileLock::acquire(FS, "out/.lock", 20, 2);
+  EXPECT_FALSE(L.held());
+  EXPECT_FALSE(L.reclaimedStale());
+  expectNoAsideLitter(Base);
+}
+
+TEST(StaleLock, ReclaimHandsBackAFreshLiveLock) {
+  long Dead = deadChildPid();
+  ASSERT_GT(Dead, 0);
+  InMemoryFileSystem Base;
+  ASSERT_TRUE(Base.createExclusive(
+      "out/.lock", "pid " + std::to_string(Dead) + "\n"));
+  // Worst-case interleaving of the old remove+create reclaim: another
+  // waiter completes its whole reclaim (corpse gone, its own live lock
+  // created) inside our probe→capture window, so our rename captures a
+  // *live* lock. The content re-check must detect the mismatch, hand
+  // the file back untouched, and leave us unlocked.
+  const std::string Live = "pid " + std::to_string(::getpid()) + " #99\n";
+  PreRenameHookFS FS(Base, [&] {
+    Base.removeFile("out/.lock");
+    EXPECT_TRUE(Base.createExclusive("out/.lock", Live));
+  });
+  FileLock L = FileLock::acquire(FS, "out/.lock", 20, 2);
+  EXPECT_FALSE(L.held());
+  EXPECT_FALSE(L.reclaimedStale());
+  EXPECT_EQ(Base.readFile("out/.lock").value_or(""), Live);
+  expectNoAsideLitter(Base);
+}
+
+TEST(StaleLock, ReleaseRefusesAForeignLockFile) {
+  InMemoryFileSystem FS;
+  FileLock L = FileLock::acquire(FS, "out/.lock", 0);
+  ASSERT_TRUE(L.held());
+  // Simulate the path ending up holding another process's live lock
+  // while we believe we still own it: release() must leave it alone.
+  ASSERT_TRUE(FS.removeFile("out/.lock"));
+  const std::string Foreign = "pid 424242 #7\n";
+  ASSERT_TRUE(FS.createExclusive("out/.lock", Foreign));
+  L.release();
+  EXPECT_EQ(FS.readFile("out/.lock").value_or(""), Foreign);
 }
 
 TEST(StaleLock, LiveOwnerIsNeverReclaimed) {

@@ -128,6 +128,38 @@ TEST(TraceRecorder, MultiThreadedRecordingTagsThreadIds) {
     EXPECT_NE(Json.find("\"t" + std::to_string(T) + "\""), std::string::npos);
 }
 
+TEST(TraceRecorder, SnapshotWhileRecordingIsSafe) {
+  // The merge/inspect paths must be callable while workers are still
+  // appending (per-ring locks): hammer snapshot/numEvents/clear from
+  // the main thread against concurrent recorders. Correctness here is
+  // "no crash / no torn reads" (TSan-visible), not event counts.
+  TraceRecorder R;
+  std::atomic<bool> Stop{false};
+  constexpr int Threads = 4;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&R, &Stop] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        const uint64_t Now = nowNanos();
+        R.span("cat", "w", Now, Now + 1);
+        R.instant("cat", "i");
+      }
+    });
+  for (int I = 0; I < 200; ++I) {
+    std::vector<TraceEvent> Events = R.snapshot();
+    for (size_t J = 1; J < Events.size(); ++J)
+      EXPECT_LE(Events[J - 1].StartNs, Events[J].StartNs);
+    (void)R.numEvents();
+    (void)R.droppedEvents();
+    if (I % 50 == 49)
+      R.clear();
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Pool)
+    T.join();
+  (void)R.toChromeJson();
+}
+
 TEST(TraceRecorder, ChromeJsonShape) {
   TraceRecorder R;
   R.setThreadName("build-main");

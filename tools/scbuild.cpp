@@ -64,7 +64,10 @@ int main(int argc, char **argv) {
   std::vector<int64_t> RunArgs;
   std::vector<std::string> FaultSpecs; // Hidden --inject-fault op:N.
 
-  // Accepts --flag=VALUE or --flag VALUE.
+  // Accepts --flag=VALUE or --flag VALUE. A matching flag with no
+  // value is consumed too (ArgError set), so it reports "requires a
+  // value" instead of falling through to "unknown option".
+  bool ArgError = false;
   auto FlagValue = [&](const std::string &Arg, const char *Flag, int &I,
                        std::string &Out) {
     std::string Prefix = std::string(Flag) + "=";
@@ -72,11 +75,16 @@ int main(int argc, char **argv) {
       Out = Arg.substr(Prefix.size());
       return true;
     }
-    if (Arg == Flag && I + 1 < argc) {
+    if (Arg != Flag)
+      return false;
+    if (I + 1 < argc) {
       Out = argv[++I];
       return true;
     }
-    return false;
+    std::fprintf(stderr, "scbuild: error: option '%s' requires a value\n",
+                 Flag);
+    ArgError = true;
+    return true;
   };
 
   for (int I = 1; I < argc; ++I) {
@@ -95,9 +103,14 @@ int main(int argc, char **argv) {
       Options.Compiler.Opt = OptLevel::O1;
     else if (Arg == "-O2")
       Options.Compiler.Opt = OptLevel::O2;
-    else if (Arg == "-j" && I + 1 < argc)
+    else if (Arg == "-j") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "scbuild: error: option '-j' requires a value\n");
+        return 1;
+      }
       Options.Jobs = static_cast<unsigned>(
           std::strtoul(argv[++I], nullptr, 10));
+    }
     else if (Arg == "--stateless")
       Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::Stateless;
     else if (Arg == "--exact")
@@ -110,16 +123,28 @@ int main(int argc, char **argv) {
       Run = true;
     else if (Arg == "--quiet")
       Quiet = true;
-    else if (Arg == "--inject-fault" && I + 1 < argc)
+    else if (Arg == "--inject-fault") {
       // Hidden: deterministic fault injection for repros/benchmarks —
       // torn:N | enospc:N | enospc*:N (sticky) | read:N | crash:N,
       // firing on the Nth matching filesystem operation.
+      if (I + 1 >= argc) {
+        std::fprintf(
+            stderr,
+            "scbuild: error: option '--inject-fault' requires a value\n");
+        return 1;
+      }
       FaultSpecs.push_back(argv[++I]);
-    else if (Arg == "--lock-timeout-ms" && I + 1 < argc)
+    } else if (Arg == "--lock-timeout-ms") {
       // Hidden: shorten the advisory-lock wait (tests/repros).
+      if (I + 1 >= argc) {
+        std::fprintf(
+            stderr,
+            "scbuild: error: option '--lock-timeout-ms' requires a value\n");
+        return 1;
+      }
       Options.LockTimeoutMs = static_cast<unsigned>(
           std::strtoul(argv[++I], nullptr, 10));
-    else if (Arg == "--help" || Arg == "-h") {
+    } else if (Arg == "--help" || Arg == "-h") {
       std::fprintf(stderr,
                    "usage: scbuild [dir] [-O0|-O1|-O2] [-j N] "
                    "[--stateless] [--exact] [--reuse]\n               "
@@ -135,6 +160,8 @@ int main(int argc, char **argv) {
       Dir = Arg;
     }
   }
+  if (ArgError)
+    return 1;
 
   RealFileSystem DiskFS(Dir);
 

@@ -89,9 +89,13 @@ int main(int argc, char **argv) {
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "-o" && I + 1 < argc)
+    if (Arg == "-o") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "scc: error: option '-o' requires a value\n");
+        return 1;
+      }
       OutputPath = argv[++I];
-    else if (Arg == "-O0")
+    } else if (Arg == "-O0")
       Options.Opt = OptLevel::O0;
     else if (Arg == "-O1")
       Options.Opt = OptLevel::O1;
@@ -102,9 +106,14 @@ int main(int argc, char **argv) {
     else if (Arg == "--reuse") {
       Stateful = true;
       Options.Stateful.ReuseFunctionCode = true;
-    } else if (Arg == "--state-db" && I + 1 < argc)
+    } else if (Arg == "--state-db") {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr,
+                     "scc: error: option '--state-db' requires a value\n");
+        return 1;
+      }
       StatePath = argv[++I];
-    else if (Arg == "--emit-ir")
+    } else if (Arg == "--emit-ir")
       EmitIR = true;
     else if (Arg == "--emit-asm")
       EmitAsm = true;
