@@ -206,6 +206,10 @@ void BuildDriverImpl::publishMetrics(const BuildStats &S) {
   M->counter("build.functions_reused").add(S.Skip.FunctionsReused);
   M->counter("build.state_tus_salvaged").add(S.StateTUsSalvaged);
   M->counter("build.state_tus_dropped").add(S.StateTUsDropped);
+  M->counter("build.interface_scans").add(S.InterfaceScans);
+  M->counter("build.scan_cache_hits").add(S.ScanCacheHits);
+  M->counter("build.objects_parsed").add(S.ObjectsParsed);
+  M->counter("build.temp_files_swept").add(S.TempFilesSwept);
   M->counter("build.warnings").add(S.Warnings.size());
   M->gauge("build.files_total").set(S.FilesTotal);
   M->gauge("build.scan_us").set(S.ScanUs);
@@ -227,18 +231,42 @@ BuildStats BuildDriverImpl::build() {
   // Advisory lock: one writing build per state directory. On timeout
   // degrade to a read-only build — correct output, nothing persisted —
   // rather than interleave writes with the other process. A provably
-  // dead owner's stale lock is reclaimed inside acquire().
-  const uint64_t LockT0 = nowNanos();
-  FileLock Lock = FileLock::acquire(FS, lockPath(), Options.LockTimeoutMs,
-                                    Options.LockBackoffMs);
-  if (tracing())
-    trace()->span("build", "lock", LockT0, nowNanos(),
-                  std::string("{\"held\":") +
-                      (Lock.held() ? "true" : "false") + ",\"reclaimed\":" +
-                      (Lock.reclaimedStale() ? "true" : "false") + "}");
-  ReadOnlyBuild = !Lock.held();
+  // dead owner's stale lock is reclaimed inside acquire(). A lock held
+  // by a *live daemon* is recognized up front: the daemon keeps the
+  // lock for its whole lifetime, so waiting out the timeout would be
+  // pointless — degrade immediately with a diagnostic that names the
+  // daemon and the way in. When the caller itself is the daemon
+  // (ExternalLock), the lock is already held above this call.
+  FileLock Lock;
+  bool DaemonOwned = false;
+  long DaemonPid = 0;
+  if (!Options.ExternalLock) {
+    if (auto Owner = FileLock::probe(FS, lockPath());
+        Owner && Owner->Alive && Owner->Tag == "daemon") {
+      DaemonOwned = true;
+      DaemonPid = Owner->Pid;
+    }
+    if (!DaemonOwned) {
+      const uint64_t LockT0 = nowNanos();
+      Lock = FileLock::acquire(FS, lockPath(), Options.LockTimeoutMs,
+                               Options.LockBackoffMs);
+      if (tracing())
+        trace()->span("build", "lock", LockT0, nowNanos(),
+                      std::string("{\"held\":") +
+                          (Lock.held() ? "true" : "false") +
+                          ",\"reclaimed\":" +
+                          (Lock.reclaimedStale() ? "true" : "false") + "}");
+    }
+  }
+  ReadOnlyBuild = !Options.ExternalLock && !Lock.held();
   S.ReadOnly = ReadOnlyBuild;
-  if (ReadOnlyBuild)
+  if (DaemonOwned)
+    S.Warnings.push_back(
+        "the build daemon (pid " + std::to_string(DaemonPid) + ") owns '" +
+        lockPath() +
+        "'; running read-only — build through it with `scbuild --daemon`, "
+        "or stop it with `scbuild --daemon-shutdown`");
+  else if (ReadOnlyBuild)
     S.Warnings.push_back(
         "another build holds '" + lockPath() +
         "'; running read-only (nothing will be persisted; delete the "
@@ -256,6 +284,29 @@ BuildStats BuildDriverImpl::build() {
   }
   Objects.setWritable(!ReadOnlyBuild);
   Objects.resetStoreStatus();
+
+  // Sweep staging debris (`*.tmp.<pid>.<n>` orphans) left under OutDir
+  // by a crash between temp-write and rename; without this they leak
+  // forever. Safe exactly because we hold the build lock — no other
+  // cooperating process can be mid-stage right now.
+  if (!ReadOnlyBuild) {
+    S.TempFilesSwept = sweepAtomicTemps(FS, Options.OutDir);
+    if (S.TempFilesSwept && tracing())
+      trace()->instant("build", "tempSweep",
+                       "{\"removed\":" + std::to_string(S.TempFilesSwept) +
+                           "}");
+  }
+
+  // Warm-cache accounting: deltas of the resident caches' lifetime
+  // counters across this build() call.
+  const uint64_t ScanHits0 = Scanner.cacheHits();
+  const uint64_t ScanMisses0 = Scanner.cacheMisses();
+  const uint64_t Parses0 = Objects.deserializations();
+  auto FinishCacheCounters = [&] {
+    S.ScanCacheHits = Scanner.cacheHits() - ScanHits0;
+    S.InterfaceScans = Scanner.cacheMisses() - ScanMisses0;
+    S.ObjectsParsed = Objects.deserializations() - Parses0;
+  };
 
   if (!PersistentLoaded) {
     const uint64_t LoadT0 = nowNanos();
@@ -326,6 +377,7 @@ BuildStats BuildDriverImpl::build() {
     S.ErrorText = "build error: " + Graph.error();
     S.ScanUs = Scan.micros();
     S.TotalUs = Total.micros();
+    FinishCacheCounters();
     publishMetrics(S);
     return S;
   }
@@ -426,6 +478,7 @@ BuildStats BuildDriverImpl::build() {
     S.CompileUs = Compile.micros();
     S.StateIOUs = StateIO.micros();
     S.TotalUs = Total.micros();
+    FinishCacheCounters();
     publishMetrics(S);
     return S;
   }
@@ -468,6 +521,7 @@ BuildStats BuildDriverImpl::build() {
     S.LinkUs = Link.micros();
     S.StateIOUs = StateIO.micros();
     S.TotalUs = Total.micros();
+    FinishCacheCounters();
     publishMetrics(S);
     return S;
   }
@@ -485,6 +539,7 @@ BuildStats BuildDriverImpl::build() {
   S.LinkUs = Link.micros();
   S.StateIOUs = StateIO.micros();
   S.TotalUs = Total.micros();
+  FinishCacheCounters();
   publishMetrics(S);
   return S;
 }

@@ -69,6 +69,12 @@ struct BuildOptions {
 
   /// Initial lock-retry backoff in milliseconds (doubles, capped 8x).
   unsigned LockBackoffMs = 5;
+
+  /// The caller already holds the advisory build lock for OutDir and
+  /// keeps it across build() calls (the daemon holds it for its whole
+  /// lifetime). build() then neither acquires nor releases the lock,
+  /// and never degrades to read-only over it.
+  bool ExternalLock = false;
 };
 
 /// Everything one build() call did, and how long each phase took.
@@ -93,6 +99,23 @@ struct BuildStats {
 
   unsigned FilesCompiled = 0; // Dirty files recompiled this build.
   unsigned FilesTotal = 0;    // Source files in the project.
+
+  //===--- Warm-cache counters (daemon observability) ---------------------===//
+
+  /// Interface scans actually performed this build (scan-cache misses).
+  /// A warm no-op rebuild in a resident driver performs zero.
+  uint64_t InterfaceScans = 0;
+
+  /// Interface scans answered from the content-hash cache this build.
+  uint64_t ScanCacheHits = 0;
+
+  /// Object files deserialized from bytes this build (parsed-object
+  /// cache misses). A warm rebuild re-hashes bytes but re-parses none.
+  uint64_t ObjectsParsed = 0;
+
+  /// Orphaned atomic-write temp files swept at build start (debris of
+  /// a crashed previous build).
+  unsigned TempFilesSwept = 0;
 
   //===--- Phase timers (wall clock, microseconds) -----------------------===//
 

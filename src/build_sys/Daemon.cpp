@@ -1,0 +1,589 @@
+//===- build_sys/Daemon.cpp - Resident build daemon ----------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/Daemon.h"
+
+#include "build_sys/Explain.h"
+#include "support/FileSystem.h"
+#include "support/Trace.h"
+#include "vm/VM.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace sc;
+
+//===----------------------------------------------------------------------===//
+// Flat-JSON codec
+//
+// The wire format is a single-level JSON object whose values are
+// strings, integers, booleans, or arrays of integers — enough for the
+// protocol, small enough to hand-roll, and readable with `socat` when
+// debugging. The decoder skips unknown keys so the protocol can grow.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+/// Cursor over a JSON text. Parse failures set Bad; every accessor is a
+/// no-op once Bad, so callers check once at the end.
+struct JsonCursor {
+  const std::string &S;
+  size_t I = 0;
+  bool Bad = false;
+
+  explicit JsonCursor(const std::string &S) : S(S) {}
+
+  void ws() {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\t' || S[I] == '\n' ||
+                            S[I] == '\r'))
+      ++I;
+  }
+  bool eat(char C) {
+    ws();
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+  void expect(char C) {
+    if (!eat(C))
+      Bad = true;
+  }
+  char peek() {
+    ws();
+    return I < S.size() ? S[I] : '\0';
+  }
+
+  std::string parseString() {
+    std::string Out;
+    expect('"');
+    while (!Bad && I < S.size() && S[I] != '"') {
+      char C = S[I++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (I >= S.size()) {
+        Bad = true;
+        break;
+      }
+      char E = S[I++];
+      switch (E) {
+      case '"':  Out += '"';  break;
+      case '\\': Out += '\\'; break;
+      case '/':  Out += '/';  break;
+      case 'n':  Out += '\n'; break;
+      case 'r':  Out += '\r'; break;
+      case 't':  Out += '\t'; break;
+      case 'b':  Out += '\b'; break;
+      case 'f':  Out += '\f'; break;
+      case 'u': {
+        if (I + 4 > S.size()) {
+          Bad = true;
+          break;
+        }
+        unsigned V = 0;
+        for (int K = 0; K != 4; ++K) {
+          char H = S[I++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            Bad = true;
+        }
+        // The encoder only emits \u00XX control escapes; anything else
+        // is clamped into one byte, which is fine for this protocol.
+        Out += static_cast<char>(V & 0xff);
+        break;
+      }
+      default:
+        Bad = true;
+      }
+    }
+    expect('"');
+    return Out;
+  }
+
+  int64_t parseInt() {
+    ws();
+    bool Neg = eat('-');
+    ws();
+    if (I >= S.size() || S[I] < '0' || S[I] > '9') {
+      Bad = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    while (I < S.size() && S[I] >= '0' && S[I] <= '9')
+      V = V * 10 + static_cast<uint64_t>(S[I++] - '0');
+    return Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+  }
+
+  bool parseBool() {
+    ws();
+    if (S.compare(I, 4, "true") == 0) {
+      I += 4;
+      return true;
+    }
+    if (S.compare(I, 5, "false") == 0) {
+      I += 5;
+      return false;
+    }
+    Bad = true;
+    return false;
+  }
+
+  std::vector<int64_t> parseIntArray() {
+    std::vector<int64_t> Out;
+    expect('[');
+    if (eat(']'))
+      return Out;
+    do
+      Out.push_back(parseInt());
+    while (!Bad && eat(','));
+    expect(']');
+    return Out;
+  }
+
+  /// Skips one value of any supported shape (for unknown keys).
+  void skipValue() {
+    char C = peek();
+    if (C == '"')
+      parseString();
+    else if (C == '[')
+      parseIntArray();
+    else if (C == 't' || C == 'f')
+      parseBool();
+    else
+      parseInt();
+  }
+};
+
+/// Walks a flat object, invoking \p OnKey(cursor, key) per entry.
+template <typename Fn> bool parseFlatObject(const std::string &Json, Fn OnKey) {
+  JsonCursor C(Json);
+  C.expect('{');
+  if (!C.eat('}')) {
+    do {
+      std::string Key = C.parseString();
+      C.expect(':');
+      if (C.Bad)
+        break;
+      OnKey(C, Key);
+    } while (!C.Bad && C.eat(','));
+    C.expect('}');
+  }
+  return !C.Bad;
+}
+
+} // namespace
+
+std::string sc::encodeRequest(const DaemonRequest &R) {
+  std::string J = "{\"verb\":";
+  appendJsonString(J, R.Verb);
+  J += ",\"clean\":" + std::string(R.Clean ? "true" : "false");
+  J += ",\"quiet\":" + std::string(R.Quiet ? "true" : "false");
+  J += ",\"run\":" + std::string(R.Run ? "true" : "false");
+  J += ",\"runArgs\":[";
+  for (size_t I = 0; I != R.RunArgs.size(); ++I)
+    J += (I ? "," : "") + std::to_string(R.RunArgs[I]);
+  J += "]";
+  J += ",\"opt\":" + std::to_string(R.Opt);
+  J += ",\"mode\":" + std::to_string(R.Mode);
+  J += ",\"reuse\":" + std::string(R.Reuse ? "true" : "false");
+  J += ",\"jobs\":" + std::to_string(R.Jobs);
+  J += ",\"query\":";
+  appendJsonString(J, R.Query);
+  J += "}";
+  return J;
+}
+
+bool sc::decodeRequest(const std::string &Json, DaemonRequest &R) {
+  return parseFlatObject(Json, [&](JsonCursor &C, const std::string &Key) {
+    if (Key == "verb")
+      R.Verb = C.parseString();
+    else if (Key == "clean")
+      R.Clean = C.parseBool();
+    else if (Key == "quiet")
+      R.Quiet = C.parseBool();
+    else if (Key == "run")
+      R.Run = C.parseBool();
+    else if (Key == "runArgs")
+      R.RunArgs = C.parseIntArray();
+    else if (Key == "opt")
+      R.Opt = static_cast<int>(C.parseInt());
+    else if (Key == "mode")
+      R.Mode = static_cast<int>(C.parseInt());
+    else if (Key == "reuse")
+      R.Reuse = C.parseBool();
+    else if (Key == "jobs")
+      R.Jobs = static_cast<unsigned>(C.parseInt());
+    else if (Key == "query")
+      R.Query = C.parseString();
+    else
+      C.skipValue();
+  });
+}
+
+std::string sc::encodeFrame(const DaemonFrame &F) {
+  std::string J = "{\"type\":";
+  appendJsonString(J, F.Type);
+  J += ",\"text\":";
+  appendJsonString(J, F.Text);
+  J += ",\"code\":" + std::to_string(F.Code);
+  if (F.HasStats) {
+    J += ",\"compiled\":" + std::to_string(F.Compiled);
+    J += ",\"total\":" + std::to_string(F.Total);
+    J += ",\"scans\":" + std::to_string(F.InterfaceScans);
+    J += ",\"scanHits\":" + std::to_string(F.ScanCacheHits);
+    J += ",\"parses\":" + std::to_string(F.ObjectsParsed);
+  }
+  J += "}";
+  return J;
+}
+
+bool sc::decodeFrame(const std::string &Json, DaemonFrame &F) {
+  return parseFlatObject(Json, [&](JsonCursor &C, const std::string &Key) {
+    if (Key == "type")
+      F.Type = C.parseString();
+    else if (Key == "text")
+      F.Text = C.parseString();
+    else if (Key == "code")
+      F.Code = static_cast<int>(C.parseInt());
+    else if (Key == "compiled") {
+      F.Compiled = static_cast<unsigned>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "total") {
+      F.Total = static_cast<unsigned>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "scans") {
+      F.InterfaceScans = static_cast<uint64_t>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "scanHits") {
+      F.ScanCacheHits = static_cast<uint64_t>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "parses") {
+      F.ObjectsParsed = static_cast<uint64_t>(C.parseInt());
+      F.HasStats = true;
+    } else
+      C.skipValue();
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Shared output rendering
+//===----------------------------------------------------------------------===//
+
+RenderedOutcome sc::renderBuildOutcome(const BuildStats &Stats, bool Stateful,
+                                       bool Quiet) {
+  RenderedOutcome R;
+  for (const std::string &W : Stats.Warnings)
+    R.Err += "scbuild: warning: " + W + "\n";
+  if (!Stats.Success) {
+    R.Err += Stats.ErrorText + "\n";
+    R.Code = 1;
+    return R;
+  }
+  if (Quiet)
+    return R;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "scbuild: %u/%u files compiled in %.1f ms "
+                "(scan %.1f, compile %.1f, link %.1f, state %.1f)\n",
+                Stats.FilesCompiled, Stats.FilesTotal, Stats.TotalUs / 1000,
+                Stats.ScanUs / 1000, Stats.CompileUs / 1000,
+                Stats.LinkUs / 1000, Stats.StateIOUs / 1000);
+  R.Out += Buf;
+  if (Stateful) {
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "scbuild: passes run %llu, skipped %llu; "
+        "functions reused %llu; state db %.1f KB\n",
+        static_cast<unsigned long long>(Stats.Skip.PassesRun),
+        static_cast<unsigned long long>(Stats.Skip.PassesSkipped),
+        static_cast<unsigned long long>(Stats.Skip.FunctionsReused),
+        Stats.StateDBBytes / 1024.0);
+    R.Out += Buf;
+  }
+  return R;
+}
+
+void sc::renderRunOutcome(RenderedOutcome &R, const ExecResult &Exec) {
+  if (Exec.Trapped) {
+    R.Err += "scbuild: trap: " + Exec.TrapReason + "\n";
+    R.Code = 1;
+    return;
+  }
+  char Buf[32];
+  for (int64_t V : Exec.Output) {
+    std::snprintf(Buf, sizeof(Buf), "%lld\n", static_cast<long long>(V));
+    R.Out += Buf;
+  }
+  R.Code = static_cast<int>(Exec.ReturnValue.value_or(0) & 0xff);
+}
+
+//===----------------------------------------------------------------------===//
+// BuildDaemon
+//===----------------------------------------------------------------------===//
+
+std::string sc::daemonSocketPath(const std::string &HostRoot,
+                                 const std::string &OutDir) {
+  return HostRoot + "/" + OutDir + "/.daemon.sock";
+}
+
+BuildDaemon::BuildDaemon(RealFileSystem &FS, DaemonConfig Config)
+    : FS(FS), Config(std::move(Config)) {
+  this->Config.Build.ExternalLock = true;
+}
+
+BuildDaemon::~BuildDaemon() {
+  Listener.close();
+  if (!SockPath.empty())
+    ::unlink(SockPath.c_str());
+  // Lock (the daemon's lifetime lock) releases in its own destructor.
+}
+
+void BuildDaemon::chat(const char *Fmt, ...) {
+  if (Config.Quiet)
+    return;
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::vfprintf(stderr, Fmt, Ap);
+  va_end(Ap);
+}
+
+bool BuildDaemon::start(std::string *Err) {
+  const std::string LockPath = Config.Build.OutDir + "/.lock";
+  // The lifetime lock. Acquiring it also creates <OutDir> (exclusive
+  // create makes parent directories), so the socket bind below has a
+  // directory to land in.
+  Lock = FileLock::acquire(FS, LockPath, Config.Build.LockTimeoutMs,
+                           Config.Build.LockBackoffMs, "daemon");
+  if (!Lock.held()) {
+    if (Err) {
+      *Err = "could not acquire '" + LockPath + "'";
+      if (auto Owner = FileLock::probe(FS, LockPath); Owner && Owner->Alive)
+        *Err += Owner->Tag == "daemon"
+                    ? " — a daemon (pid " + std::to_string(Owner->Pid) +
+                          ") already serves this tree"
+                    : " — held by live process " + std::to_string(Owner->Pid);
+    }
+    return false;
+  }
+  // Holding the lock proves no live daemon owns this tree, so a
+  // leftover socket file is debris from a dead one: remove it, or
+  // bind() would fail with EADDRINUSE forever.
+  SockPath = daemonSocketPath(FS.root(), Config.Build.OutDir);
+  ::unlink(SockPath.c_str());
+  std::string SockErr;
+  Listener = UnixSocket::listenOn(SockPath, &SockErr);
+  if (!Listener.valid()) {
+    if (Err)
+      *Err = "could not listen on '" + SockPath + "': " + SockErr;
+    Lock = FileLock();
+    SockPath.clear();
+    return false;
+  }
+  Driver = std::make_unique<BuildDriver>(FS, Config.Build);
+  chat("scbuildd: pid %ld serving '%s' (socket %s)\n",
+       static_cast<long>(::getpid()), FS.root().c_str(), SockPath.c_str());
+  return true;
+}
+
+std::string BuildDaemon::statusText() const {
+  std::string T = "scbuildd: pid " + std::to_string(::getpid()) +
+                  " serving '" + FS.root() + "', builds served " +
+                  std::to_string(BuildsServed.load()) + "\n";
+  if (LastExit.HasStats)
+    T += "scbuildd: last build: compiled " + std::to_string(LastExit.Compiled) +
+         "/" + std::to_string(LastExit.Total) + ", interface scans " +
+         std::to_string(LastExit.InterfaceScans) + " (cache hits " +
+         std::to_string(LastExit.ScanCacheHits) + "), objects parsed " +
+         std::to_string(LastExit.ObjectsParsed) + "\n";
+  return T;
+}
+
+void BuildDaemon::handleBuild(UnixSocket &Conn, const DaemonRequest &Req) {
+  const CompilerOptions &CO = Config.Build.Compiler;
+  const bool Stateful =
+      CO.Stateful.SkipMode != StatefulConfig::Mode::Stateless;
+  if (Req.Opt != static_cast<int>(CO.Opt) ||
+      Req.Mode != static_cast<int>(CO.Stateful.SkipMode) ||
+      Req.Reuse != CO.Stateful.ReuseFunctionCode) {
+    // The resident caches are only valid for the daemon's own
+    // configuration; silently building with ours would not be the
+    // build the user asked for. (A -j mismatch is fine: concurrency
+    // never changes outputs.)
+    DaemonFrame E;
+    E.Type = "err";
+    E.Text = "scbuild: error: daemon (pid " + std::to_string(::getpid()) +
+             ") was started with a different compiler configuration; "
+             "restart it with the flags you want, or drop --daemon\n";
+    Conn.sendFrame(encodeFrame(E));
+    DaemonFrame X;
+    X.Code = 1;
+    Conn.sendFrame(encodeFrame(X));
+    return;
+  }
+
+  if (Req.Clean)
+    Driver->clean();
+  BuildStats Stats = Driver->build();
+  BuildsServed.fetch_add(1);
+
+  RenderedOutcome R = renderBuildOutcome(Stats, Stateful, Req.Quiet);
+  if (Stats.Success && Req.Run) {
+    VM Machine(*Driver->program());
+    renderRunOutcome(R, Machine.run("main", Req.RunArgs));
+  }
+
+  if (!R.Err.empty()) {
+    DaemonFrame F;
+    F.Type = "err";
+    F.Text = R.Err;
+    Conn.sendFrame(encodeFrame(F));
+  }
+  if (!R.Out.empty()) {
+    DaemonFrame F;
+    F.Type = "out";
+    F.Text = R.Out;
+    Conn.sendFrame(encodeFrame(F));
+  }
+  DaemonFrame X;
+  X.Code = R.Code;
+  X.HasStats = true;
+  X.Compiled = Stats.FilesCompiled;
+  X.Total = Stats.FilesTotal;
+  X.InterfaceScans = Stats.InterfaceScans;
+  X.ScanCacheHits = Stats.ScanCacheHits;
+  X.ObjectsParsed = Stats.ObjectsParsed;
+  LastExit = X;
+  Conn.sendFrame(encodeFrame(X));
+}
+
+void BuildDaemon::handle(UnixSocket &Conn) {
+  std::string Payload;
+  if (!Conn.recvFrame(Payload, /*TimeoutMs=*/5000))
+    return; // Client vanished or stalled; drop the connection.
+  DaemonRequest Req;
+  if (!decodeRequest(Payload, Req)) {
+    DaemonFrame E;
+    E.Type = "err";
+    E.Text = "scbuild: error: daemon received a malformed request\n";
+    Conn.sendFrame(encodeFrame(E));
+    DaemonFrame X;
+    X.Code = 2;
+    Conn.sendFrame(encodeFrame(X));
+    return;
+  }
+
+  if (Req.Verb == "build") {
+    handleBuild(Conn, Req);
+  } else if (Req.Verb == "status") {
+    DaemonFrame F;
+    F.Type = "out";
+    F.Text = statusText();
+    Conn.sendFrame(encodeFrame(F));
+    DaemonFrame X;
+    Conn.sendFrame(encodeFrame(X));
+  } else if (Req.Verb == "explain") {
+    bool OK = false;
+    std::string Text = explainQuery(FS, Config.Build.OutDir, Req.Query, &OK);
+    DaemonFrame F;
+    F.Type = OK ? "out" : "err";
+    F.Text = Text;
+    Conn.sendFrame(encodeFrame(F));
+    DaemonFrame X;
+    X.Code = OK ? 0 : 1;
+    Conn.sendFrame(encodeFrame(X));
+  } else if (Req.Verb == "shutdown") {
+    DaemonFrame X;
+    Conn.sendFrame(encodeFrame(X));
+    chat("scbuildd: shutdown requested, exiting\n");
+    Stop.store(true);
+  } else {
+    DaemonFrame E;
+    E.Type = "err";
+    E.Text = "scbuild: error: daemon does not understand verb '" + Req.Verb +
+             "'\n";
+    Conn.sendFrame(encodeFrame(E));
+    DaemonFrame X;
+    X.Code = 2;
+    Conn.sendFrame(encodeFrame(X));
+  }
+}
+
+int BuildDaemon::serve() {
+  using Clock = std::chrono::steady_clock;
+  auto LastActivity = Clock::now();
+  while (!Stop.load()) {
+    if (Config.IdleTimeoutMs &&
+        Clock::now() - LastActivity >=
+            std::chrono::milliseconds(Config.IdleTimeoutMs)) {
+      chat("scbuildd: idle for %u ms, exiting\n", Config.IdleTimeoutMs);
+      break;
+    }
+    bool TimedOut = false;
+    UnixSocket Conn = Listener.accept(/*TimeoutMs=*/200, &TimedOut);
+    if (!Conn.valid())
+      continue; // Timeout slice (or transient accept error): re-poll.
+    handle(Conn);
+    // With a streaming sink attached (scbuildd --trace-stream), push
+    // this request's spans out now — the trace stays live and readable
+    // while the daemon keeps running.
+    if (TraceRecorder *T = Config.Build.Compiler.Trace)
+      T->flush();
+    LastActivity = Clock::now();
+  }
+  // Stop accepting the moment serving ends: close the listener and
+  // remove the socket file so clients fail over to in-process builds
+  // instead of queueing on a daemon that will never answer. (The
+  // destructor repeats both; they are idempotent.)
+  Listener.close();
+  if (!SockPath.empty())
+    ::unlink(SockPath.c_str());
+  return 0;
+}

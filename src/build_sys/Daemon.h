@@ -1,0 +1,203 @@
+//===- build_sys/Daemon.h - Resident build daemon ---------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resident build daemon: one long-lived BuildDriver parked behind
+/// a Unix-domain socket (`<OutDir>/.daemon.sock`), serving build
+/// requests from `scbuild --daemon` clients. Because the driver never
+/// dies between requests, the interface-scan cache, the parsed-object
+/// cache, and the in-memory compiler state stay warm — a no-op rebuild
+/// through the daemon re-scans nothing and re-parses nothing
+/// (BuildStats::InterfaceScans == 0, ObjectsParsed == 0).
+///
+/// Wire protocol (shared with DaemonClient): one request per
+/// connection. Each message is a 4-byte little-endian length followed
+/// by a flat JSON object (see UnixSocket framing). The client sends one
+/// DaemonRequest; the daemon answers with a stream of DaemonFrames —
+/// any number of `out` / `err` text frames (the client copies them to
+/// its stdout/stderr verbatim, which is what makes daemon output
+/// byte-identical to in-process output) terminated by exactly one
+/// `exit` frame carrying the exit code and the build's warm-cache
+/// counters.
+///
+/// Locking: the daemon acquires the advisory build lock `<OutDir>/.lock`
+/// once at start() with tag "daemon" and holds it until it exits; the
+/// resident driver runs with BuildOptions::ExternalLock. A plain
+/// `scbuild` pointed at the same tree recognizes the daemon-tagged lock
+/// and degrades read-only with a diagnostic naming the daemon instead
+/// of timing out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_DAEMON_H
+#define SC_BUILD_SYS_DAEMON_H
+
+#include "build_sys/BuildSystem.h"
+#include "support/FileLock.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+class RealFileSystem;
+
+//===----------------------------------------------------------------------===//
+// Wire messages
+//===----------------------------------------------------------------------===//
+
+/// One client request. Flat-JSON encoded; unknown keys are ignored so
+/// the protocol can grow without breaking older daemons.
+struct DaemonRequest {
+  /// "build" | "status" | "explain" | "shutdown".
+  std::string Verb = "build";
+
+  // -- build --
+  bool Clean = false;
+  bool Quiet = false;
+  bool Run = false;
+  std::vector<int64_t> RunArgs;
+
+  /// Requested compiler configuration, for the config-compatibility
+  /// check: the resident driver was created with one configuration and
+  /// its caches are only valid for it. Opt is the OptLevel as an int
+  /// (default O2), Mode the StatefulConfig::Mode as an int (default
+  /// HeuristicSkip — the scbuild default).
+  int Opt = 2;
+  int Mode = 2;
+  bool Reuse = false;
+
+  /// Requested -j. A mismatch is tolerated (concurrency does not change
+  /// outputs — the build is byte-identical at any Jobs value).
+  unsigned Jobs = 0;
+
+  // -- explain --
+  std::string Query;
+};
+
+/// One daemon response frame.
+struct DaemonFrame {
+  /// "out" (copy Text to stdout), "err" (copy Text to stderr), or
+  /// "exit" (final frame: Code + counters; Text unused).
+  std::string Type = "exit";
+  std::string Text;
+  int Code = 0;
+
+  // Warm-cache counters of the build this frame terminates (exit
+  // frames of build requests only; zero otherwise).
+  bool HasStats = false;
+  unsigned Compiled = 0;
+  unsigned Total = 0;
+  uint64_t InterfaceScans = 0;
+  uint64_t ScanCacheHits = 0;
+  uint64_t ObjectsParsed = 0;
+};
+
+std::string encodeRequest(const DaemonRequest &R);
+bool decodeRequest(const std::string &Json, DaemonRequest &R);
+std::string encodeFrame(const DaemonFrame &F);
+bool decodeFrame(const std::string &Json, DaemonFrame &F);
+
+//===----------------------------------------------------------------------===//
+// Shared output rendering
+//===----------------------------------------------------------------------===//
+
+/// The user-facing text of one build outcome, split by stream.
+struct RenderedOutcome {
+  std::string Out; ///< Bytes for stdout.
+  std::string Err; ///< Bytes for stderr.
+  int Code = 0;    ///< Process exit code.
+};
+
+/// Renders warnings, error text, and the summary lines exactly as
+/// `scbuild` prints them. Both the in-process CLI path and the daemon
+/// go through this one function, so their output is byte-identical by
+/// construction (same format strings, same ordering per stream).
+RenderedOutcome renderBuildOutcome(const BuildStats &Stats, bool Stateful,
+                                   bool Quiet);
+
+/// Appends the `--run` outcome (trap text, printed output values, exit
+/// code) to \p R, again shared verbatim between CLI and daemon.
+struct ExecResult;
+void renderRunOutcome(RenderedOutcome &R, const ExecResult &Exec);
+
+//===----------------------------------------------------------------------===//
+// Daemon
+//===----------------------------------------------------------------------===//
+
+/// Host-filesystem path of the daemon socket for a project rooted at
+/// \p HostRoot with build directory \p OutDir: `<root>/<out>/.daemon.sock`.
+std::string daemonSocketPath(const std::string &HostRoot,
+                             const std::string &OutDir);
+
+struct DaemonConfig {
+  /// Configuration of the resident driver. ExternalLock is forced on.
+  BuildOptions Build;
+
+  /// Exit after this many milliseconds without a request (0 = never).
+  unsigned IdleTimeoutMs = 0;
+
+  /// Suppress the daemon's own lifecycle chatter on stderr.
+  bool Quiet = false;
+};
+
+/// The resident daemon. Single-threaded: requests are served one at a
+/// time in arrival order (builds are internally parallel via Jobs), so
+/// two clients never race the driver.
+class BuildDaemon {
+public:
+  /// \p FS must outlive the daemon. The socket binds at
+  /// daemonSocketPath(FS.root(), Config.Build.OutDir).
+  BuildDaemon(RealFileSystem &FS, DaemonConfig Config);
+  ~BuildDaemon();
+
+  BuildDaemon(const BuildDaemon &) = delete;
+  BuildDaemon &operator=(const BuildDaemon &) = delete;
+
+  /// Acquires the build lock (tag "daemon") and binds the socket.
+  /// A stale socket file is removed only after the lock is held — the
+  /// lock proves no live daemon owns it. False + \p Err on failure
+  /// (most importantly: another live daemon already serves this tree).
+  bool start(std::string *Err);
+
+  /// Serves requests until a shutdown request, the idle timeout, or
+  /// requestStop(). Returns the process exit code (0 = clean).
+  int serve();
+
+  /// Asks serve() to return after the in-flight request (signal-safe;
+  /// callable from another thread).
+  void requestStop() { Stop.store(true); }
+
+  /// Host path of the bound socket (valid after start()).
+  const std::string &socketPath() const { return SockPath; }
+
+  /// Builds served so far (for tests and `status`).
+  uint64_t buildsServed() const { return BuildsServed.load(); }
+
+private:
+  void handle(UnixSocket &Conn);
+  void handleBuild(UnixSocket &Conn, const DaemonRequest &Req);
+  std::string statusText() const;
+  void chat(const char *Fmt, ...);
+
+  RealFileSystem &FS;
+  DaemonConfig Config;
+  std::string SockPath;
+  FileLock Lock;
+  UnixSocket Listener;
+  std::unique_ptr<BuildDriver> Driver;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> BuildsServed{0};
+  DaemonFrame LastExit; ///< Exit frame of the most recent build.
+};
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_DAEMON_H

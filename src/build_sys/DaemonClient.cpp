@@ -1,0 +1,55 @@
+//===- build_sys/DaemonClient.cpp - Build-daemon client ------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/DaemonClient.h"
+
+using namespace sc;
+
+DaemonClient DaemonClient::connect(const std::string &SocketHostPath) {
+  std::string Ignored;
+  return DaemonClient(UnixSocket::connectTo(SocketHostPath, &Ignored));
+}
+
+int DaemonClient::roundTrip(
+    const DaemonRequest &Req,
+    const std::function<void(const std::string &)> &OnOut,
+    const std::function<void(const std::string &)> &OnErr, DaemonFrame *Exit,
+    std::string *Err, unsigned FrameTimeoutMs) {
+  auto Fail = [&](const std::string &Why) {
+    if (Err)
+      *Err = Why;
+    Sock.close();
+    return -1;
+  };
+  if (!Sock.valid())
+    return Fail("not connected");
+  if (!Sock.sendFrame(encodeRequest(Req)))
+    return Fail("could not send the request (daemon gone?)");
+  // Builds can legitimately take a while; the generous per-frame
+  // timeout only catches a daemon that died mid-response.
+  for (;;) {
+    std::string Payload;
+    if (!Sock.recvFrame(Payload, FrameTimeoutMs))
+      return Fail("connection lost before the exit frame");
+    DaemonFrame F;
+    if (!decodeFrame(Payload, F))
+      return Fail("malformed response frame");
+    if (F.Type == "out") {
+      if (OnOut)
+        OnOut(F.Text);
+    } else if (F.Type == "err") {
+      if (OnErr)
+        OnErr(F.Text);
+    } else if (F.Type == "exit") {
+      if (Exit)
+        *Exit = F;
+      Sock.close();
+      return F.Code;
+    } else {
+      return Fail("unknown frame type '" + F.Type + "'");
+    }
+  }
+}

@@ -1,0 +1,57 @@
+//===- build_sys/DaemonClient.h - Build-daemon client -----------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Client side of the build-daemon protocol (see Daemon.h): connect to
+/// `<OutDir>/.daemon.sock`, send one DaemonRequest, stream the response
+/// frames to callbacks until the terminating `exit` frame. `scbuild
+/// --daemon` is a thin wrapper over this class; tests drive it
+/// directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_BUILD_SYS_DAEMONCLIENT_H
+#define SC_BUILD_SYS_DAEMONCLIENT_H
+
+#include "build_sys/Daemon.h"
+#include "support/Socket.h"
+
+#include <functional>
+#include <string>
+
+namespace sc {
+
+class DaemonClient {
+public:
+  /// Connects to the daemon socket at \p SocketHostPath. The result is
+  /// disconnected (no error text — "no daemon running" is an expected,
+  /// quiet condition the caller falls back from) when nothing listens.
+  static DaemonClient connect(const std::string &SocketHostPath);
+
+  bool connected() const { return Sock.valid(); }
+
+  /// Sends \p Req and streams response frames: `out` frame text to
+  /// \p OnOut, `err` frame text to \p OnErr, until the `exit` frame,
+  /// whose full content (code + counters) is copied to \p Exit when
+  /// non-null. Returns the exit code from the frame, or -1 on a
+  /// transport/protocol failure (\p Err describes it). One request per
+  /// connection: the client is disconnected afterwards.
+  int roundTrip(const DaemonRequest &Req,
+                const std::function<void(const std::string &)> &OnOut,
+                const std::function<void(const std::string &)> &OnErr,
+                DaemonFrame *Exit = nullptr, std::string *Err = nullptr,
+                unsigned FrameTimeoutMs = 600000);
+
+private:
+  DaemonClient() = default;
+  explicit DaemonClient(UnixSocket S) : Sock(std::move(S)) {}
+
+  UnixSocket Sock;
+};
+
+} // namespace sc
+
+#endif // SC_BUILD_SYS_DAEMONCLIENT_H

@@ -52,6 +52,7 @@ const MModule *ObjectCache::load(const std::string &SourcePath,
   if (It != Mem.end() && It->second.Hash == ExpectedHash)
     return &It->second.Object;
   std::optional<MModule> Parsed = readObject(*Bytes);
+  ++Deserializations;
   if (!Parsed)
     return nullptr; // Bytes matched the manifest but do not decode.
   Cached &C = Mem[SourcePath];
@@ -67,6 +68,11 @@ bool ObjectCache::allStoresPersisted() const {
 void ObjectCache::resetStoreStatus() {
   std::lock_guard<std::mutex> Lock(Mu);
   StoresPersisted = true;
+}
+
+uint64_t ObjectCache::deserializations() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Deserializations;
 }
 
 uint64_t ObjectCache::objectBytes(const std::string &SourcePath) const {

@@ -69,6 +69,11 @@ public:
   /// Serialized size of the most recently stored/loaded object.
   uint64_t objectBytes(const std::string &SourcePath) const;
 
+  /// Total object deserializations performed by load() since
+  /// construction — the parsed-object cache's miss counter. A warm
+  /// rebuild serves every clean TU from memory and adds zero.
+  uint64_t deserializations() const;
+
   /// Drops \p SourcePath's memory entry and deletes its object file.
   void invalidate(const std::string &SourcePath);
 
@@ -88,7 +93,8 @@ private:
   bool Writable = true;
   mutable std::mutex Mu;
   std::map<std::string, Cached> Mem;
-  bool StoresPersisted = true; // Guarded by Mu.
+  bool StoresPersisted = true;  // Guarded by Mu.
+  uint64_t Deserializations = 0; // Guarded by Mu.
 };
 
 } // namespace sc

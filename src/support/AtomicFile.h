@@ -30,9 +30,25 @@ namespace sc {
 bool atomicWriteFile(VirtualFileSystem &FS, const std::string &Path,
                      const std::string &Content);
 
-/// The sibling temp path atomicWriteFile stages through (exposed so
-/// cleanup and tests agree on the name).
+/// A fresh sibling temp path for staging \p Path:
+/// `<path>.tmp.<pid>.<counter>`. Unique per process *and* per call, so
+/// two processes (daemon + CLI) or two attempts staging the same
+/// artifact can never collide on the temp name and rename each other's
+/// half-written bytes into place.
 std::string atomicTempPath(const std::string &Path);
+
+/// True when \p Path looks like an atomicTempPath product (including
+/// the legacy fixed `<path>.tmp` form older builds staged through).
+bool isAtomicTempPath(const std::string &Path);
+
+/// Removes orphaned staging temps under `DirPrefix/` (all files when
+/// \p DirPrefix is empty) — the debris a crash between write and rename
+/// leaves behind, which would otherwise leak forever. Callers must hold
+/// the build lock: unique names protect concurrent *writers*, but a
+/// sweep could still reap a temp an unlocked writer is about to rename.
+/// Returns the number of files removed.
+unsigned sweepAtomicTemps(VirtualFileSystem &FS,
+                          const std::string &DirPrefix);
 
 } // namespace sc
 

@@ -25,11 +25,11 @@ namespace {
 /// Ownership checks compare whole content, never just the PID.
 std::atomic<uint64_t> NextToken{1};
 
-/// Parses "pid N" lock-file content. Returns 0 when the content is not
-/// in our format or the PID is non-positive — an unparseable lock is
-/// treated as a live foreign lock, never reclaimed. (PID 0 and
-/// negative PIDs address process groups in kill(); probing them would
-/// be both meaningless and dangerous.)
+/// Parses "pid N #token [tag]" lock-file content. Returns 0 when the
+/// content is not in our format or the PID is non-positive — an
+/// unparseable lock is treated as a live foreign lock, never reclaimed.
+/// (PID 0 and negative PIDs address process groups in kill(); probing
+/// them would be both meaningless and dangerous.)
 long parseOwnerPid(const std::string &Content) {
   if (Content.compare(0, 4, "pid ") != 0)
     return 0;
@@ -38,6 +38,21 @@ long parseOwnerPid(const std::string &Content) {
   if (End == Content.c_str() + 4 || Pid <= 0)
     return 0;
   return Pid;
+}
+
+/// Extracts the optional tag trailing the "#token" field. Content
+/// shape: "pid N #T[ tag]\n".
+std::string parseOwnerTag(const std::string &Content) {
+  size_t Hash = Content.find('#');
+  if (Hash == std::string::npos)
+    return std::string();
+  size_t Space = Content.find(' ', Hash);
+  if (Space == std::string::npos)
+    return std::string();
+  size_t End = Content.find_last_not_of(" \n");
+  if (End == std::string::npos || End < Space + 1)
+    return std::string();
+  return Content.substr(Space + 1, End - Space);
 }
 
 /// True only when \p Pid verifiably does not exist. EPERM means the
@@ -50,11 +65,25 @@ bool ownerIsDead(long Pid) {
 
 } // namespace
 
+std::optional<FileLock::OwnerInfo>
+FileLock::probe(VirtualFileSystem &FS, const std::string &Path) {
+  std::optional<std::string> Content = FS.readFile(Path);
+  if (!Content)
+    return std::nullopt;
+  OwnerInfo Info;
+  Info.Pid = parseOwnerPid(*Content);
+  Info.Alive = Info.Pid != 0 && !ownerIsDead(Info.Pid);
+  Info.Tag = parseOwnerTag(*Content);
+  return Info;
+}
+
 FileLock FileLock::acquire(VirtualFileSystem &FS, const std::string &Path,
-                           unsigned TimeoutMs, unsigned BackoffMs) {
+                           unsigned TimeoutMs, unsigned BackoffMs,
+                           const std::string &Tag) {
   const uint64_t Token = NextToken.fetch_add(1, std::memory_order_relaxed);
   const std::string Content = "pid " + std::to_string(::getpid()) + " #" +
-                              std::to_string(Token) + "\n";
+                              std::to_string(Token) +
+                              (Tag.empty() ? "" : " " + Tag) + "\n";
   using Clock = std::chrono::steady_clock;
   const auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
   unsigned Backoff = BackoffMs ? BackoffMs : 1;

@@ -42,6 +42,7 @@
 
 #include "support/FileSystem.h"
 
+#include <optional>
 #include <string>
 
 namespace sc {
@@ -53,9 +54,27 @@ public:
   /// Attempts to create \p Path exclusively, retrying with doubling
   /// backoff (starting at \p BackoffMs, capped at 8x) until
   /// \p TimeoutMs elapses. Returns a lock that may or may not be
-  /// held(); a zero timeout means exactly one attempt.
+  /// held(); a zero timeout means exactly one attempt. A non-empty
+  /// \p Tag is recorded in the lock content (e.g. "daemon") so other
+  /// processes probing the lock can describe its owner.
   static FileLock acquire(VirtualFileSystem &FS, const std::string &Path,
-                          unsigned TimeoutMs, unsigned BackoffMs = 10);
+                          unsigned TimeoutMs, unsigned BackoffMs = 10,
+                          const std::string &Tag = std::string());
+
+  /// What a lock file at \p Path says about its owner, without trying
+  /// to acquire anything. Lets a CLI build recognize "a live daemon
+  /// owns this directory" up front and print a purposeful diagnostic
+  /// instead of timing out against a lock that will never be released.
+  struct OwnerInfo {
+    long Pid = 0;        // 0 when the content is not in our format.
+    bool Alive = false;  // kill(pid, 0) liveness (false when Pid == 0).
+    std::string Tag;     // "daemon" for scbuildd; empty for plain builds.
+  };
+
+  /// Reads and parses the lock file. std::nullopt when no lock file
+  /// exists (or it vanished mid-read).
+  static std::optional<OwnerInfo> probe(VirtualFileSystem &FS,
+                                        const std::string &Path);
 
   FileLock() = default;
   FileLock(FileLock &&Other) noexcept;

@@ -1,0 +1,182 @@
+//===- support/Socket.cpp - Unix-domain socket wrapper -------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace sc;
+
+namespace {
+
+bool fillAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string *Err) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long (" + std::to_string(Path.size()) +
+             " bytes; Unix sockets allow " +
+             std::to_string(sizeof(Addr.sun_path) - 1) + "): " + Path;
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+/// Waits until \p FD is readable. True on ready, false on timeout or
+/// error (with errno left describing the failure for the caller).
+bool waitReadable(int FD, unsigned TimeoutMs, bool *TimedOut) {
+  if (TimedOut)
+    *TimedOut = false;
+  pollfd P{FD, POLLIN, 0};
+  for (;;) {
+    int R = ::poll(&P, 1, static_cast<int>(TimeoutMs));
+    if (R > 0)
+      return true;
+    if (R == 0) {
+      if (TimedOut)
+        *TimedOut = true;
+      return false;
+    }
+    if (errno != EINTR)
+      return false;
+  }
+}
+
+} // namespace
+
+UnixSocket UnixSocket::listenOn(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Err))
+    return UnixSocket();
+  int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (FD < 0) {
+    if (Err)
+      *Err = std::strerror(errno);
+    return UnixSocket();
+  }
+  if (::bind(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(FD, 8) != 0) {
+    if (Err)
+      *Err = std::strerror(errno);
+    ::close(FD);
+    return UnixSocket();
+  }
+  return UnixSocket(FD);
+}
+
+UnixSocket UnixSocket::connectTo(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Err))
+    return UnixSocket();
+  int FD = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (FD < 0) {
+    if (Err)
+      *Err = std::strerror(errno);
+    return UnixSocket();
+  }
+  if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = std::strerror(errno);
+    ::close(FD);
+    return UnixSocket();
+  }
+  return UnixSocket(FD);
+}
+
+UnixSocket::UnixSocket(UnixSocket &&Other) noexcept : FD(Other.FD) {
+  Other.FD = -1;
+}
+
+UnixSocket &UnixSocket::operator=(UnixSocket &&Other) noexcept {
+  if (this != &Other) {
+    close();
+    FD = Other.FD;
+    Other.FD = -1;
+  }
+  return *this;
+}
+
+UnixSocket::~UnixSocket() { close(); }
+
+void UnixSocket::close() {
+  if (FD >= 0) {
+    ::close(FD);
+    FD = -1;
+  }
+}
+
+UnixSocket UnixSocket::accept(unsigned TimeoutMs, bool *TimedOut) {
+  if (!waitReadable(FD, TimeoutMs, TimedOut))
+    return UnixSocket();
+  int Conn = ::accept(FD, nullptr, nullptr);
+  if (Conn < 0)
+    return UnixSocket();
+  return UnixSocket(Conn);
+}
+
+bool UnixSocket::sendFrame(const std::string &Payload) {
+  if (FD < 0 || Payload.size() > MaxFramePayload)
+    return false;
+  const uint32_t Len = static_cast<uint32_t>(Payload.size());
+  unsigned char Header[4] = {
+      static_cast<unsigned char>(Len & 0xff),
+      static_cast<unsigned char>((Len >> 8) & 0xff),
+      static_cast<unsigned char>((Len >> 16) & 0xff),
+      static_cast<unsigned char>((Len >> 24) & 0xff)};
+  std::string Wire(reinterpret_cast<char *>(Header), 4);
+  Wire += Payload;
+  size_t Off = 0;
+  while (Off != Wire.size()) {
+    ssize_t N = ::send(FD, Wire.data() + Off, Wire.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool UnixSocket::recvFrame(std::string &Payload, unsigned TimeoutMs) {
+  if (FD < 0)
+    return false;
+  auto ReadExactly = [&](char *Buf, size_t Want) {
+    size_t Off = 0;
+    while (Off != Want) {
+      if (!waitReadable(FD, TimeoutMs, nullptr))
+        return false;
+      ssize_t N = ::recv(FD, Buf + Off, Want - Off, 0);
+      if (N <= 0) {
+        if (N < 0 && errno == EINTR)
+          continue;
+        return false; // Disconnect or hard error.
+      }
+      Off += static_cast<size_t>(N);
+    }
+    return true;
+  };
+  unsigned char Header[4];
+  if (!ReadExactly(reinterpret_cast<char *>(Header), 4))
+    return false;
+  const uint32_t Len = static_cast<uint32_t>(Header[0]) |
+                       (static_cast<uint32_t>(Header[1]) << 8) |
+                       (static_cast<uint32_t>(Header[2]) << 16) |
+                       (static_cast<uint32_t>(Header[3]) << 24);
+  if (Len > MaxFramePayload)
+    return false;
+  Payload.resize(Len);
+  return Len == 0 || ReadExactly(Payload.data(), Len);
+}

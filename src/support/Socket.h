@@ -1,0 +1,83 @@
+//===- support/Socket.h - Unix-domain socket wrapper ------------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small RAII wrapper over Unix-domain stream sockets, used by the
+/// build daemon (`scbuildd`) and its clients. On top of the raw socket
+/// it provides the one framing primitive the daemon protocol needs:
+/// length-prefixed messages (4-byte little-endian length + payload), so
+/// higher layers exchange complete JSON documents and never parse out
+/// of a partial read.
+///
+/// All operations are blocking with explicit millisecond timeouts
+/// (poll(2) before accept/read), so a stuck peer can never wedge the
+/// daemon's accept loop or a client waiting on a dead daemon. Sends use
+/// MSG_NOSIGNAL: a client that disconnects mid-response surfaces as a
+/// send error, not a fatal SIGPIPE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_SOCKET_H
+#define SC_SUPPORT_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+namespace sc {
+
+/// RAII Unix-domain stream socket (listener or connection). Move-only.
+class UnixSocket {
+public:
+  /// Largest accepted frame payload; a peer announcing more is treated
+  /// as protocol corruption and disconnected.
+  static constexpr uint32_t MaxFramePayload = 64u << 20;
+
+  /// Binds and listens on \p Path (an absolute or cwd-relative host
+  /// path; Unix sockets cap paths at ~107 bytes). The path must not be
+  /// in use — callers remove a stale socket file first, *after* proving
+  /// via the build lock that no live daemon owns it. On failure returns
+  /// an invalid socket and sets \p Err.
+  static UnixSocket listenOn(const std::string &Path, std::string *Err);
+
+  /// Connects to a listening socket. Returns an invalid socket when
+  /// nothing is listening (the caller's cue to fall back or
+  /// auto-start); \p Err carries the errno text.
+  static UnixSocket connectTo(const std::string &Path, std::string *Err);
+
+  UnixSocket() = default;
+  UnixSocket(UnixSocket &&Other) noexcept;
+  UnixSocket &operator=(UnixSocket &&Other) noexcept;
+  UnixSocket(const UnixSocket &) = delete;
+  UnixSocket &operator=(const UnixSocket &) = delete;
+  ~UnixSocket();
+
+  bool valid() const { return FD >= 0; }
+
+  /// Accepts one pending connection, waiting at most \p TimeoutMs.
+  /// Returns an invalid socket on timeout (\p TimedOut set true) or
+  /// error (\p TimedOut false).
+  UnixSocket accept(unsigned TimeoutMs, bool *TimedOut);
+
+  /// Sends one length-prefixed frame. Returns false when the peer is
+  /// gone or the write fails.
+  bool sendFrame(const std::string &Payload);
+
+  /// Receives one length-prefixed frame, waiting at most \p TimeoutMs
+  /// for each chunk. Returns false on timeout, disconnect, or a frame
+  /// announcing more than MaxFramePayload bytes.
+  bool recvFrame(std::string &Payload, unsigned TimeoutMs);
+
+  void close();
+
+private:
+  explicit UnixSocket(int FD) : FD(FD) {}
+
+  int FD = -1;
+};
+
+} // namespace sc
+
+#endif // SC_SUPPORT_SOCKET_H

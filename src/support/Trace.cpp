@@ -51,7 +51,80 @@ namespace {
 /// the address of a destroyed one.
 std::atomic<uint64_t> NextEpoch{1};
 
+/// One event as a Chrome trace-event JSON object (ts/dur in
+/// microseconds relative to \p BaseNs). Shared by the whole-build
+/// toChromeJson() merge and the streaming flush() path, so both sinks
+/// emit byte-identical event objects.
+std::string chromeEventJson(const TraceEvent &E, uint64_t BaseNs) {
+  char Num[64];
+  const uint64_t RelNs = E.StartNs >= BaseNs ? E.StartNs - BaseNs : 0;
+  std::string Obj = "{\"name\":\"" + jsonEscape(E.Name) + "\",\"cat\":\"" +
+                    jsonEscape(E.Category) + "\"";
+  if (E.K == TraceEvent::Kind::Span) {
+    std::snprintf(Num, sizeof(Num), "%.3f",
+                  static_cast<double>(RelNs) / 1000.0);
+    Obj += ",\"ph\":\"X\",\"ts\":";
+    Obj += Num;
+    std::snprintf(Num, sizeof(Num), "%.3f",
+                  static_cast<double>(E.DurNs) / 1000.0);
+    Obj += ",\"dur\":";
+    Obj += Num;
+  } else {
+    std::snprintf(Num, sizeof(Num), "%.3f",
+                  static_cast<double>(RelNs) / 1000.0);
+    Obj += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    Obj += Num;
+  }
+  Obj += ",\"pid\":1,\"tid\":" + std::to_string(E.Tid);
+  if (!E.ArgsJson.empty())
+    Obj += ",\"args\":" + E.ArgsJson;
+  Obj += "}";
+  return Obj;
+}
+
+std::string threadNameJson(uint32_t Tid, const std::string &Name) {
+  return "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+         std::to_string(Tid) + ",\"args\":{\"name\":\"" + jsonEscape(Name) +
+         "\"}}";
+}
+
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// TraceSink / FileTraceSink
+//===----------------------------------------------------------------------===//
+
+TraceSink::~TraceSink() = default;
+
+FileTraceSink::FileTraceSink(std::string HostPath) {
+  F = std::fopen(HostPath.c_str(), "wb");
+  if (F)
+    std::fputs("[", F);
+}
+
+FileTraceSink::~FileTraceSink() { close(); }
+
+bool FileTraceSink::event(const std::string &EventJson) {
+  if (!F)
+    return false;
+  if (std::fputs(AnyEvent ? ",\n" : "\n", F) < 0 ||
+      std::fputs(EventJson.c_str(), F) < 0)
+    return false;
+  AnyEvent = true;
+  // Flush per event: the file must be loadable while the daemon lives,
+  // and trace volume is a few events per request, not per instruction.
+  std::fflush(F);
+  return true;
+}
+
+bool FileTraceSink::close() {
+  if (!F)
+    return true;
+  bool OK = std::fputs("\n]\n", F) >= 0;
+  OK = std::fclose(F) == 0 && OK;
+  F = nullptr;
+  return OK;
+}
 
 TraceRecorder::TraceRecorder(bool StartEnabled, size_t PerThreadCapacity)
     : Enabled(StartEnabled),
@@ -191,40 +264,64 @@ std::string TraceRecorder::toChromeJson() const {
     Emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
          "\"args\":{\"name\":\"stateful-compiler build\"}}");
     for (const auto &TL : Logs)
-      Emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
-           std::to_string(TL->Tid) + ",\"args\":{\"name\":\"" +
-           jsonEscape(TL->Name) + "\"}}");
+      Emit(threadNameJson(TL->Tid, TL->Name));
   }
 
-  char Num[64];
-  for (const TraceEvent &E : Events) {
-    // ts relative to the recorder's creation, in microseconds.
-    const uint64_t RelNs = E.StartNs >= BaseNs ? E.StartNs - BaseNs : 0;
-    std::string Obj = "{\"name\":\"" + jsonEscape(E.Name) +
-                      "\",\"cat\":\"" + jsonEscape(E.Category) + "\"";
-    if (E.K == TraceEvent::Kind::Span) {
-      std::snprintf(Num, sizeof(Num), "%.3f",
-                    static_cast<double>(RelNs) / 1000.0);
-      Obj += ",\"ph\":\"X\",\"ts\":";
-      Obj += Num;
-      std::snprintf(Num, sizeof(Num), "%.3f",
-                    static_cast<double>(E.DurNs) / 1000.0);
-      Obj += ",\"dur\":";
-      Obj += Num;
-    } else {
-      std::snprintf(Num, sizeof(Num), "%.3f",
-                    static_cast<double>(RelNs) / 1000.0);
-      Obj += ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
-      Obj += Num;
-    }
-    Obj += ",\"pid\":1,\"tid\":" + std::to_string(E.Tid);
-    if (!E.ArgsJson.empty())
-      Obj += ",\"args\":" + E.ArgsJson;
-    Obj += "}";
-    Emit(Obj);
-  }
+  for (const TraceEvent &E : Events)
+    Emit(chromeEventJson(E, BaseNs));
   Out += "\n]}\n";
   return Out;
+}
+
+void TraceRecorder::setSink(TraceSink *S) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Sink = S;
+}
+
+size_t TraceRecorder::flush() {
+  // Drain under the locks, serialize and emit outside them: the sink
+  // may do file I/O, and recording threads must not block on it.
+  std::vector<TraceEvent> Events;
+  std::vector<std::string> Metadata;
+  TraceSink *S;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S = Sink;
+    if (!S)
+      return 0;
+    if (!AnnouncedProcess) {
+      Metadata.push_back(
+          "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+          "\"args\":{\"name\":\"stateful-compiler build\"}}");
+      AnnouncedProcess = true;
+    }
+    for (const auto &TL : Logs) {
+      std::string &Sent = AnnouncedThreads[TL->Tid];
+      if (Sent != TL->Name) {
+        Sent = TL->Name;
+        Metadata.push_back(threadNameJson(TL->Tid, TL->Name));
+      }
+      std::lock_guard<std::mutex> RingLock(TL->RingMu);
+      const size_t N = TL->Ring.size();
+      const size_t First = N == Capacity ? TL->Next : 0;
+      for (size_t I = 0; I != N; ++I) {
+        TraceEvent E = std::move(TL->Ring[(First + I) % (N ? N : 1)]);
+        E.Tid = TL->Tid;
+        Events.push_back(std::move(E));
+      }
+      TL->Ring.clear();
+      TL->Next = 0;
+    }
+  }
+  std::stable_sort(Events.begin(), Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.StartNs < B.StartNs;
+                   });
+  for (const std::string &M : Metadata)
+    S->event(M);
+  for (const TraceEvent &E : Events)
+    S->event(chromeEventJson(E, BaseNs));
+  return Events.size();
 }
 
 void TraceRecorder::clear() {

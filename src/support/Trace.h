@@ -49,6 +49,46 @@ namespace sc {
 /// Escapes \p S for embedding inside a JSON string literal.
 std::string jsonEscape(const std::string &S);
 
+/// Destination for streamed trace events (daemon mode): instead of
+/// buffering a whole build's events until toChromeJson(), a recorder
+/// with a sink drains its rings on every flush() and the sink appends
+/// them to wherever they live — so a long-lived process's trace is
+/// bounded by the ring capacity between flushes, never by process
+/// lifetime. Each call receives one complete Chrome-trace event object
+/// (metadata rows included); the sink owns the surrounding framing.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+
+  /// Appends one serialized trace-event JSON object. Returns false on
+  /// a sink I/O failure (the recorder keeps going; streaming telemetry
+  /// is best-effort).
+  virtual bool event(const std::string &EventJson) = 0;
+};
+
+/// TraceSink appending to a host file in Chrome's *JSON array* trace
+/// format: `[\n {event},\n {event}, ...` — readable by Perfetto and
+/// chrome://tracing even while the daemon is still running (both
+/// tolerate a truncated array), and terminated into strictly valid
+/// JSON by close(). One sink serves one file for the process lifetime.
+class FileTraceSink : public TraceSink {
+public:
+  /// Opens (truncates) \p HostPath. ok() reports whether it opened.
+  explicit FileTraceSink(std::string HostPath);
+  ~FileTraceSink() override;
+
+  bool ok() const { return F != nullptr; }
+  bool event(const std::string &EventJson) override;
+
+  /// Writes the closing bracket and closes the file; the result is
+  /// strictly valid JSON (an array of events). Idempotent.
+  bool close();
+
+private:
+  std::FILE *F = nullptr;
+  bool AnyEvent = false;
+};
+
 /// One recorded telemetry event. Category pointers must have static
 /// lifetime (string literals); names and args are owned.
 struct TraceEvent {
@@ -108,6 +148,18 @@ public:
   /// Drops all recorded events (thread registrations survive).
   void clear();
 
+  /// Attaches a streaming sink. The recorder does not take ownership;
+  /// the sink must outlive the recorder or be detached (nullptr) first.
+  void setSink(TraceSink *S);
+
+  /// Drains every thread ring into the sink (tid-tagged, sorted by
+  /// start time, with thread-name metadata rows emitted the first time
+  /// each thread — or a renamed thread — appears) and clears the rings.
+  /// Returns the number of events emitted; 0 (and no clear) without a
+  /// sink. The daemon calls this after each request, bounding memory
+  /// for arbitrarily long-lived processes.
+  size_t flush();
+
 private:
   struct ThreadLog {
     uint32_t Tid = 0;
@@ -134,6 +186,11 @@ private:
   mutable std::mutex Mu;  // Guards Logs/ByThread (registration+merge).
   std::vector<std::unique_ptr<ThreadLog>> Logs;
   std::map<std::thread::id, ThreadLog *> ByThread;
+
+  TraceSink *Sink = nullptr;            // Guarded by Mu.
+  std::map<uint32_t, std::string> AnnouncedThreads; // Tid -> last name
+                                                    // sent to the sink.
+  bool AnnouncedProcess = false;
 };
 
 /// RAII span: records [construction, destruction] on the calling

@@ -1,0 +1,515 @@
+//===- tests/daemon/DaemonTest.cpp - Build-daemon tests ------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The resident build daemon end to end: protocol round-trips, warm
+// caches across client builds (the tentpole acceptance — a second
+// build of an unchanged tree re-scans and re-parses nothing),
+// byte-identical output versus an in-process build, lock arbitration
+// against plain scbuild builds, idle timeout, shutdown, and client
+// fallback when no daemon listens.
+//
+// These tests exercise real Unix-domain sockets, so they run against
+// RealFileSystem in a mkdtemp scratch directory rather than the
+// in-memory filesystem the rest of the suite prefers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "build_sys/Daemon.h"
+#include "build_sys/DaemonClient.h"
+#include "support/FileSystem.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+
+using namespace sc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Harness
+//===----------------------------------------------------------------------===//
+
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/sc-daemon-XXXXXX";
+    const char *P = ::mkdtemp(Buf);
+    EXPECT_NE(P, nullptr);
+    Path = P ? P : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code EC;
+      std::filesystem::remove_all(Path, EC);
+    }
+  }
+};
+
+void writeProject(RealFileSystem &FS) {
+  ASSERT_TRUE(FS.writeFile("util.mc",
+                           "fn triple(x: int) -> int { return x * 3; }\n"));
+  ASSERT_TRUE(FS.writeFile("main.mc", "import \"util.mc\";\n"
+                                      "fn main() -> int {\n"
+                                      "  print(triple(14));\n"
+                                      "  return 0;\n"
+                                      "}\n"));
+}
+
+/// One daemon on its own scratch tree, served from a background
+/// thread. The destructor stops it hard if a test forgot to.
+struct DaemonHarness {
+  TempDir Dir;
+  RealFileSystem FS{Dir.Path};
+  std::unique_ptr<BuildDaemon> Daemon;
+  std::thread Server;
+  int ServeCode = -1;
+
+  bool start(DaemonConfig Config = {}) {
+    Config.Quiet = true;
+    // Mirror scbuildd's defaults (CompilerOptions alone defaults to the
+    // stateless baseline; the tools default to the paper's policy).
+    Config.Build.Compiler.Stateful.SkipMode =
+        StatefulConfig::Mode::HeuristicSkip;
+    Config.Build.Compiler.RecordDecisions = true;
+    Daemon = std::make_unique<BuildDaemon>(FS, std::move(Config));
+    std::string Err;
+    if (!Daemon->start(&Err)) {
+      ADD_FAILURE() << "daemon start failed: " << Err;
+      return false;
+    }
+    Server = std::thread([this] { ServeCode = Daemon->serve(); });
+    return true;
+  }
+
+  DaemonClient client() { return DaemonClient::connect(Daemon->socketPath()); }
+
+  /// Runs one build request; returns the exit frame.
+  DaemonFrame build(std::string *Out = nullptr, std::string *ErrText = nullptr,
+                    bool Clean = false, bool Quiet = true) {
+    DaemonRequest Req;
+    Req.Verb = "build";
+    Req.Clean = Clean;
+    Req.Quiet = Quiet;
+    DaemonFrame Exit;
+    std::string Err;
+    DaemonClient C = client();
+    EXPECT_TRUE(C.connected());
+    int Code = C.roundTrip(
+        Req, [&](const std::string &T) { if (Out) *Out += T; },
+        [&](const std::string &T) { if (ErrText) *ErrText += T; }, &Exit,
+        &Err);
+    EXPECT_GE(Code, 0) << Err;
+    return Exit;
+  }
+
+  void shutdown() {
+    DaemonRequest Req;
+    Req.Verb = "shutdown";
+    DaemonClient C = client();
+    ASSERT_TRUE(C.connected());
+    std::string Err;
+    EXPECT_EQ(C.roundTrip(Req, nullptr, nullptr, nullptr, &Err), 0) << Err;
+    Server.join();
+    EXPECT_EQ(ServeCode, 0);
+  }
+
+  ~DaemonHarness() {
+    if (Server.joinable()) {
+      Daemon->requestStop();
+      Server.join();
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Protocol round-trips
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonProtocol, RequestRoundTrip) {
+  DaemonRequest R;
+  R.Verb = "build";
+  R.Clean = true;
+  R.Quiet = true;
+  R.Run = true;
+  R.RunArgs = {-3, 0, 42};
+  R.Opt = 1;
+  R.Mode = 0;
+  R.Reuse = true;
+  R.Jobs = 7;
+  R.Query = "weird \"chars\"\n\ttab \\ backslash";
+
+  DaemonRequest D;
+  ASSERT_TRUE(decodeRequest(encodeRequest(R), D));
+  EXPECT_EQ(D.Verb, R.Verb);
+  EXPECT_EQ(D.Clean, R.Clean);
+  EXPECT_EQ(D.Quiet, R.Quiet);
+  EXPECT_EQ(D.Run, R.Run);
+  EXPECT_EQ(D.RunArgs, R.RunArgs);
+  EXPECT_EQ(D.Opt, R.Opt);
+  EXPECT_EQ(D.Mode, R.Mode);
+  EXPECT_EQ(D.Reuse, R.Reuse);
+  EXPECT_EQ(D.Jobs, R.Jobs);
+  EXPECT_EQ(D.Query, R.Query);
+}
+
+TEST(DaemonProtocol, FrameRoundTrip) {
+  DaemonFrame F;
+  F.Type = "exit";
+  F.Text = "line one\nline \"two\"\n";
+  F.Code = 3;
+  F.HasStats = true;
+  F.Compiled = 4;
+  F.Total = 9;
+  F.InterfaceScans = 123;
+  F.ScanCacheHits = 456;
+  F.ObjectsParsed = 789;
+
+  DaemonFrame D;
+  ASSERT_TRUE(decodeFrame(encodeFrame(F), D));
+  EXPECT_EQ(D.Type, F.Type);
+  EXPECT_EQ(D.Text, F.Text);
+  EXPECT_EQ(D.Code, F.Code);
+  EXPECT_TRUE(D.HasStats);
+  EXPECT_EQ(D.Compiled, F.Compiled);
+  EXPECT_EQ(D.Total, F.Total);
+  EXPECT_EQ(D.InterfaceScans, F.InterfaceScans);
+  EXPECT_EQ(D.ScanCacheHits, F.ScanCacheHits);
+  EXPECT_EQ(D.ObjectsParsed, F.ObjectsParsed);
+}
+
+TEST(DaemonProtocol, DecoderToleratesUnknownKeysAndRejectsGarbage) {
+  DaemonRequest R;
+  EXPECT_TRUE(decodeRequest(
+      "{\"verb\":\"status\",\"future_key\":\"x\",\"future_arr\":[1,2],"
+      "\"future_bool\":true,\"future_int\":-9}",
+      R));
+  EXPECT_EQ(R.Verb, "status");
+
+  EXPECT_FALSE(decodeRequest("", R));
+  EXPECT_FALSE(decodeRequest("not json", R));
+  EXPECT_FALSE(decodeRequest("{\"verb\":}", R));
+  DaemonFrame F;
+  EXPECT_FALSE(decodeFrame("{\"code\":\"not an int\"}", F));
+}
+
+TEST(DaemonProtocol, SocketFramesSurviveLargePayloads) {
+  TempDir Dir;
+  const std::string Path = Dir.Path + "/frame.sock";
+  std::string Err;
+  UnixSocket Listener = UnixSocket::listenOn(Path, &Err);
+  ASSERT_TRUE(Listener.valid()) << Err;
+
+  // 1 MiB of binary-ish text through send/recv, both directions.
+  std::string Big(1 << 20, '\0');
+  for (size_t I = 0; I != Big.size(); ++I)
+    Big[I] = static_cast<char>(I * 31 + 7);
+
+  std::thread Peer([&] {
+    UnixSocket Conn = Listener.accept(/*TimeoutMs=*/5000, nullptr);
+    ASSERT_TRUE(Conn.valid());
+    std::string Got;
+    ASSERT_TRUE(Conn.recvFrame(Got, /*TimeoutMs=*/5000));
+    EXPECT_EQ(Got, Big);
+    EXPECT_TRUE(Conn.sendFrame(Got));
+  });
+  UnixSocket Client = UnixSocket::connectTo(Path, &Err);
+  ASSERT_TRUE(Client.valid()) << Err;
+  ASSERT_TRUE(Client.sendFrame(Big));
+  std::string Echo;
+  ASSERT_TRUE(Client.recvFrame(Echo, /*TimeoutMs=*/5000));
+  EXPECT_EQ(Echo, Big);
+  Peer.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Warm caches (the tentpole acceptance)
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonWarmCache, SecondBuildScansAndParsesNothing) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+
+  DaemonFrame Cold = H.build();
+  ASSERT_TRUE(Cold.HasStats);
+  EXPECT_EQ(Cold.Code, 0);
+  EXPECT_EQ(Cold.Compiled, 2u);
+  EXPECT_EQ(Cold.Total, 2u);
+  EXPECT_GT(Cold.InterfaceScans, 0u) << "cold build must scan";
+
+  // The acceptance criterion: an unchanged tree re-scans zero
+  // interfaces (all content hashes hit the scan cache) and
+  // deserializes zero objects (all served from the parsed cache).
+  DaemonFrame Warm = H.build();
+  ASSERT_TRUE(Warm.HasStats);
+  EXPECT_EQ(Warm.Code, 0);
+  EXPECT_EQ(Warm.Compiled, 0u);
+  EXPECT_EQ(Warm.InterfaceScans, 0u);
+  EXPECT_EQ(Warm.ObjectsParsed, 0u);
+  EXPECT_EQ(Warm.ScanCacheHits, 2u);
+
+  // An edit warms back down exactly one file.
+  ASSERT_TRUE(H.FS.writeFile(
+      "util.mc", "fn triple(x: int) -> int { return x + x + x; }\n"));
+  DaemonFrame Edited = H.build();
+  EXPECT_EQ(Edited.Compiled, 1u);
+  EXPECT_EQ(Edited.InterfaceScans, 1u) << "only the edited file re-scans";
+
+  H.shutdown();
+}
+
+TEST(DaemonWarmCache, CleanRequestColdsTheCaches) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+  H.build();
+  DaemonFrame Cleaned = H.build(nullptr, nullptr, /*Clean=*/true);
+  EXPECT_EQ(Cleaned.Compiled, 2u) << "clean must force a full recompile";
+  EXPECT_GT(Cleaned.InterfaceScans, 0u);
+  H.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Byte-identical output
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonOutput, MatchesInProcessBuildByteForByte) {
+  // Build the same project through the daemon and in-process; under
+  // --quiet both paths must produce exactly the same bytes per stream
+  // (here: none on success) and the same out/ artifacts, because both
+  // run the identical BuildDriver pipeline through the identical
+  // renderer.
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+  std::string DOut, DErr;
+  DaemonFrame Exit = H.build(&DOut, &DErr);
+  EXPECT_EQ(Exit.Code, 0);
+  H.shutdown();
+
+  TempDir Dir2;
+  RealFileSystem FS2{Dir2.Path};
+  writeProject(FS2);
+  BuildOptions Options;
+  Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Options.Compiler.RecordDecisions = true;
+  BuildDriver Driver(FS2, Options);
+  BuildStats Stats = Driver.build();
+  RenderedOutcome R = renderBuildOutcome(Stats, /*Stateful=*/true,
+                                         /*Quiet=*/true);
+
+  EXPECT_EQ(DOut, R.Out);
+  EXPECT_EQ(DErr, R.Err);
+  EXPECT_EQ(Exit.Code, R.Code);
+
+  // The build artifacts are byte-identical too (the manifest and state
+  // DB embed no daemon-ness). Objects and manifest must match; compare
+  // every out/ file both trees produced.
+  for (const std::string &Path : H.FS.listFiles()) {
+    if (Path.compare(0, 4, "out/") != 0 || Path == "out/.lock")
+      continue;
+    auto A = H.FS.readFile(Path);
+    auto B = FS2.readFile(Path);
+    ASSERT_TRUE(A.has_value()) << Path;
+    ASSERT_TRUE(B.has_value()) << Path << " missing from in-process build";
+    EXPECT_EQ(*A, *B) << Path << " differs between daemon and in-process";
+  }
+}
+
+TEST(DaemonOutput, UnquietSummaryHasIdenticalShape) {
+  // Without --quiet the summary embeds timings, so bytes differ run to
+  // run; assert the daemon streams the same *rendered shape* by
+  // normalizing digits.
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+  std::string DOut, DErr;
+  H.build(&DOut, &DErr, /*Clean=*/false, /*Quiet=*/false);
+  H.shutdown();
+
+  TempDir Dir2;
+  RealFileSystem FS2{Dir2.Path};
+  writeProject(FS2);
+  BuildOptions Options;
+  Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Options.Compiler.RecordDecisions = true;
+  BuildDriver Driver(FS2, Options);
+  RenderedOutcome R =
+      renderBuildOutcome(Driver.build(), /*Stateful=*/true, /*Quiet=*/false);
+
+  auto Normalize = [](std::string S) {
+    for (char &C : S)
+      if (C >= '0' && C <= '9')
+        C = '#';
+    return S;
+  };
+  EXPECT_EQ(Normalize(DOut), Normalize(R.Out));
+  EXPECT_EQ(DErr, R.Err);
+}
+
+//===----------------------------------------------------------------------===//
+// Lock arbitration
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonLock, CliBuildDegradesWithDaemonDiagnostic) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+  H.build();
+
+  // A plain (non-daemon) build against the same tree must not wait out
+  // the lock timeout: it recognizes the daemon-tagged lock immediately,
+  // runs read-only, and names the daemon and both ways out.
+  BuildOptions Options;
+  Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  Options.LockTimeoutMs = 60000; // Would hang noticeably if waited out.
+  BuildDriver Cli(H.FS, Options);
+  auto T0 = std::chrono::steady_clock::now();
+  BuildStats Stats = Cli.build();
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  EXPECT_TRUE(Stats.Success);
+  EXPECT_TRUE(Stats.ReadOnly);
+  EXPECT_LT(ElapsedMs, 10000) << "must not wait out the lock timeout";
+  ASSERT_FALSE(Stats.Warnings.empty());
+  const std::string &W = Stats.Warnings.front();
+  EXPECT_NE(W.find("build daemon"), std::string::npos) << W;
+  EXPECT_NE(W.find("scbuild --daemon"), std::string::npos) << W;
+  EXPECT_NE(W.find("--daemon-shutdown"), std::string::npos) << W;
+
+  // The daemon still owns the tree and keeps serving.
+  DaemonFrame After = H.build();
+  EXPECT_EQ(After.Code, 0);
+  H.shutdown();
+}
+
+TEST(DaemonLock, SecondDaemonRefusesToStart) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+
+  DaemonConfig Config;
+  Config.Quiet = true;
+  Config.Build.LockTimeoutMs = 50;
+  BuildDaemon Second(H.FS, Config);
+  std::string Err;
+  EXPECT_FALSE(Second.start(&Err));
+  EXPECT_NE(Err.find("daemon"), std::string::npos) << Err;
+  H.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Lifecycle
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonLifecycle, IdleTimeoutExpiresAndReleasesTheTree) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  DaemonConfig Config;
+  Config.IdleTimeoutMs = 300;
+  ASSERT_TRUE(H.start(Config));
+  H.Server.join(); // serve() returns by itself after ~300 ms idle.
+  EXPECT_EQ(H.ServeCode, 0);
+  H.Daemon.reset(); // Destructor unlinks the socket; lock releases.
+
+  // The tree is fully released: a plain build acquires the lock and
+  // persists (not read-only).
+  BuildOptions Options;
+  Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+  BuildDriver Cli(H.FS, Options);
+  BuildStats Stats = Cli.build();
+  EXPECT_TRUE(Stats.Success);
+  EXPECT_FALSE(Stats.ReadOnly);
+}
+
+TEST(DaemonLifecycle, ShutdownVerbStopsServing) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+  H.shutdown(); // Joins the server thread; asserts exit code 0.
+  EXPECT_FALSE(
+      DaemonClient::connect(H.Daemon->socketPath()).connected());
+}
+
+TEST(DaemonLifecycle, StatusReportsLastBuildCounters) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start());
+  H.build();
+  H.build(); // Warm.
+
+  DaemonRequest Req;
+  Req.Verb = "status";
+  std::string Out;
+  DaemonClient C = H.client();
+  ASSERT_TRUE(C.connected());
+  EXPECT_EQ(C.roundTrip(Req, [&](const std::string &T) { Out += T; },
+                        nullptr),
+            0);
+  EXPECT_NE(Out.find("builds served 2"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("interface scans 0"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("objects parsed 0"), std::string::npos) << Out;
+  H.shutdown();
+}
+
+TEST(DaemonLifecycle, MismatchedConfigIsRejected) {
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.start()); // Daemon at default -O2.
+
+  DaemonRequest Req;
+  Req.Verb = "build";
+  Req.Opt = 0; // Client asks -O0.
+  std::string Err;
+  DaemonClient C = H.client();
+  ASSERT_TRUE(C.connected());
+  int Code = C.roundTrip(Req, nullptr,
+                         [&](const std::string &T) { Err += T; });
+  EXPECT_EQ(Code, 1);
+  EXPECT_NE(Err.find("different compiler configuration"), std::string::npos)
+      << Err;
+  H.shutdown();
+}
+
+//===----------------------------------------------------------------------===//
+// Client fallback
+//===----------------------------------------------------------------------===//
+
+TEST(DaemonClientTest, ConnectFailsQuietlyWhenNoDaemonListens) {
+  TempDir Dir;
+  // No socket at all.
+  EXPECT_FALSE(
+      DaemonClient::connect(Dir.Path + "/out/.daemon.sock").connected());
+
+  // A stale socket file with no listener behind it (daemon died hard).
+  RealFileSystem FS(Dir.Path);
+  ASSERT_TRUE(FS.writeFile("out/.daemon.sock", ""));
+  EXPECT_FALSE(
+      DaemonClient::connect(Dir.Path + "/out/.daemon.sock").connected());
+}
+
+TEST(DaemonClientTest, StaleSocketFileIsReplacedOnStart) {
+  // A dead daemon leaves both a socket file and (maybe) no lock; a new
+  // daemon must clear the debris and serve.
+  DaemonHarness H;
+  writeProject(H.FS);
+  ASSERT_TRUE(H.FS.writeFile("out/.daemon.sock", "stale"));
+  ASSERT_TRUE(H.start());
+  DaemonFrame Exit = H.build();
+  EXPECT_EQ(Exit.Code, 0);
+  H.shutdown();
+}
+
+} // namespace

@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace sc;
 
@@ -211,4 +214,136 @@ TEST(TraceRecorder, ChromeJsonShape) {
   EXPECT_EQ(Braces, 0);
   EXPECT_EQ(Brackets, 0);
   EXPECT_FALSE(InString);
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming sink (daemon mode)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string slurp(const std::string &Path) {
+  std::string Out;
+  if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Out.append(Buf, N);
+    std::fclose(F);
+  }
+  return Out;
+}
+
+struct TempTracePath {
+  std::string Path;
+  TempTracePath() {
+    char Buf[] = "/tmp/sc-trace-XXXXXX";
+    int FD = ::mkstemp(Buf);
+    if (FD >= 0)
+      ::close(FD);
+    Path = Buf;
+  }
+  ~TempTracePath() { ::unlink(Path.c_str()); }
+};
+
+/// Cheap well-formedness: balanced braces/brackets outside strings.
+bool balancedJson(const std::string &Json) {
+  long Braces = 0, Brackets = 0;
+  bool InString = false;
+  for (size_t I = 0; I < Json.size(); ++I) {
+    char C = Json[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{')
+      ++Braces;
+    else if (C == '}')
+      --Braces;
+    else if (C == '[')
+      ++Brackets;
+    else if (C == ']')
+      --Brackets;
+  }
+  return Braces == 0 && Brackets == 0 && !InString;
+}
+
+} // namespace
+
+TEST(TraceStreaming, FlushDrainsRingsIntoSink) {
+  TempTracePath Tmp;
+  FileTraceSink Sink(Tmp.Path);
+  ASSERT_TRUE(Sink.ok());
+
+  TraceRecorder R;
+  R.setThreadName("daemon-main");
+  R.setSink(&Sink);
+  const uint64_t T0 = nowNanos();
+  R.span("build", "scan", T0, T0 + 1000);
+  R.instant("build", "tempSweep", "{\"removed\":2}");
+
+  EXPECT_GE(R.flush(), 2u); // 2 events (+ metadata rows don't count).
+  EXPECT_EQ(R.numEvents(), 0u) << "flush must clear the rings";
+  EXPECT_EQ(R.flush(), 0u) << "nothing new, nothing emitted";
+
+  // A second request's events append to the same stream.
+  const uint64_t T1 = nowNanos();
+  R.span("build", "link", T1, T1 + 500);
+  EXPECT_EQ(R.flush(), 1u);
+
+  // Mid-run (no close): a truncated array readable by Perfetto.
+  std::string Mid = slurp(Tmp.Path);
+  EXPECT_EQ(Mid.front(), '[');
+  EXPECT_NE(Mid.find("\"scan\""), std::string::npos);
+  EXPECT_NE(Mid.find("\"link\""), std::string::npos);
+  EXPECT_NE(Mid.find("daemon-main"), std::string::npos)
+      << "thread_name metadata must stream too";
+  EXPECT_NE(Mid.find("tempSweep"), std::string::npos);
+
+  // close() seals it into strictly valid JSON.
+  EXPECT_TRUE(Sink.close());
+  std::string Full = slurp(Tmp.Path);
+  EXPECT_TRUE(balancedJson(Full)) << Full;
+  EXPECT_EQ(Full.front(), '[');
+  EXPECT_EQ(Full[Full.find_last_not_of('\n')], ']');
+
+  R.setSink(nullptr); // Detach before the sink dies.
+}
+
+TEST(TraceStreaming, ThreadNameMetadataEmittedOncePerThread) {
+  TempTracePath Tmp;
+  FileTraceSink Sink(Tmp.Path);
+  ASSERT_TRUE(Sink.ok());
+  TraceRecorder R;
+  R.setThreadName("main");
+  R.setSink(&Sink);
+
+  const uint64_t T0 = nowNanos();
+  R.span("c", "one", T0, T0 + 10);
+  R.flush();
+  R.span("c", "two", T0 + 20, T0 + 30);
+  R.flush();
+  Sink.close();
+
+  const std::string Json = slurp(Tmp.Path);
+  size_t Count = 0;
+  for (size_t Pos = Json.find("thread_name"); Pos != std::string::npos;
+       Pos = Json.find("thread_name", Pos + 1))
+    ++Count;
+  EXPECT_EQ(Count, 1u) << Json;
+  R.setSink(nullptr);
+}
+
+TEST(TraceStreaming, FlushWithoutSinkKeepsEvents) {
+  TraceRecorder R;
+  const uint64_t T0 = nowNanos();
+  R.span("c", "kept", T0, T0 + 10);
+  EXPECT_EQ(R.flush(), 0u);
+  EXPECT_EQ(R.numEvents(), 1u)
+      << "no sink: flush must not drop events (toChromeJson path)";
 }

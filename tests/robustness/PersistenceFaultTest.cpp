@@ -211,11 +211,24 @@ TEST(StateLoadMatrix, SalvagedStoreRoundTripsCleanly) {
 // atomicWriteFile
 //===----------------------------------------------------------------------===//
 
+namespace {
+/// Temp paths are unique per attempt (pid + counter), so "no temp left
+/// behind" is asserted by scanning for the `.tmp.<pid>.<n>` pattern
+/// rather than probing one predictable name.
+unsigned countAtomicTemps(VirtualFileSystem &FS) {
+  unsigned N = 0;
+  for (const std::string &Path : FS.listFiles())
+    if (isAtomicTempPath(Path))
+      ++N;
+  return N;
+}
+} // namespace
+
 TEST(AtomicFile, SuccessfulWriteLeavesNoTemp) {
   InMemoryFileSystem FS;
   ASSERT_TRUE(atomicWriteFile(FS, "out/state.db", "new content"));
   EXPECT_EQ(FS.readFile("out/state.db").value_or(""), "new content");
-  EXPECT_FALSE(FS.exists(atomicTempPath("out/state.db")));
+  EXPECT_EQ(countAtomicTemps(FS), 0u);
 }
 
 TEST(AtomicFile, TornWriteKeepsOldContentAndCleansTemp) {
@@ -226,7 +239,7 @@ TEST(AtomicFile, TornWriteKeepsOldContentAndCleansTemp) {
 
   EXPECT_FALSE(atomicWriteFile(FS, "out/state.db", "new content"));
   EXPECT_EQ(Base.readFile("out/state.db").value_or(""), "old content");
-  EXPECT_FALSE(Base.exists(atomicTempPath("out/state.db")));
+  EXPECT_EQ(countAtomicTemps(Base), 0u);
   EXPECT_NE(FS.lastError().find("torn"), std::string::npos);
 }
 
@@ -238,7 +251,7 @@ TEST(AtomicFile, WriteErrorKeepsOldContent) {
 
   EXPECT_FALSE(atomicWriteFile(FS, "out/state.db", "new content"));
   EXPECT_EQ(Base.readFile("out/state.db").value_or(""), "old content");
-  EXPECT_FALSE(Base.exists(atomicTempPath("out/state.db")));
+  EXPECT_EQ(countAtomicTemps(Base), 0u);
 }
 
 TEST(AtomicFile, CrashMidWriteLeavesDestinationIntact) {
@@ -257,6 +270,37 @@ TEST(AtomicFile, CrashMidWriteLeavesDestinationIntact) {
   }
   EXPECT_TRUE(Crashed);
   EXPECT_EQ(Base.readFile("out/state.db").value_or(""), "old content");
+}
+
+TEST(AtomicFile, TempPathsAreUniquePerAttempt) {
+  // Two concurrent writers staging the same destination (two processes
+  // racing for the lock, or crash debris vs a live writer) must never
+  // share a temp name — the old fixed `<path>.tmp` scheme let one
+  // writer rename the other's half-written bytes into place.
+  std::string A = atomicTempPath("out/state.db");
+  std::string B = atomicTempPath("out/state.db");
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(isAtomicTempPath(A));
+  EXPECT_TRUE(isAtomicTempPath(B));
+  EXPECT_TRUE(isAtomicTempPath("out/state.db.tmp")); // Legacy scheme.
+  EXPECT_FALSE(isAtomicTempPath("out/state.db"));
+  EXPECT_FALSE(isAtomicTempPath("out/state.db.tmp.12x.4"));
+  EXPECT_FALSE(isAtomicTempPath("out/.tmp.1.2")); // No destination name.
+}
+
+TEST(AtomicFile, SweepRemovesOrphanedTempsUnderPrefix) {
+  InMemoryFileSystem FS;
+  ASSERT_TRUE(FS.writeFile("out/state.db", "keep"));
+  ASSERT_TRUE(FS.writeFile("out/state.db.tmp.1234.7", "crash debris"));
+  ASSERT_TRUE(FS.writeFile("out/a.mc.o.tmp", "legacy debris"));
+  ASSERT_TRUE(FS.writeFile("elsewhere/f.tmp.1.1", "outside out/"));
+  EXPECT_EQ(sweepAtomicTemps(FS, "out"), 2u);
+  EXPECT_EQ(FS.readFile("out/state.db").value_or(""), "keep");
+  EXPECT_TRUE(FS.exists("elsewhere/f.tmp.1.1"));
+  EXPECT_FALSE(FS.exists("out/state.db.tmp.1234.7"));
+  EXPECT_FALSE(FS.exists("out/a.mc.o.tmp"));
+  // Idempotent: nothing left to sweep.
+  EXPECT_EQ(sweepAtomicTemps(FS, "out"), 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Smoke test for the scc / scbuild command-line tools: builds and runs
-# a small two-file project end to end, edits it, and checks that the
-# incremental path (dirty detection + dormant-pass skipping) engages.
+# Smoke test for the scc / scbuild / scbuildd command-line tools:
+# builds and runs a small two-file project end to end, edits it, checks
+# that the incremental path (dirty detection + dormant-pass skipping)
+# engages, and drives the same project through a resident build daemon.
 set -eu
 
 SCC="$1"
 SCBUILD="$2"
+SCBUILDD="$3"
 
 DIR="$(mktemp -d)"
-trap 'rm -rf "$DIR"' EXIT
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
 cd "$DIR"
 
 cat > util.mc <<'EOF'
@@ -164,5 +171,88 @@ OUT="$("$SCC" util.mc --stateful --quiet -o util.o)"
 # ...and without --quiet, scc prints the same skip summary scbuild does.
 "$SCC" util.mc --stateful -o util.o | grep -q "passes run" || {
   echo "FAIL: scc skip summary missing"; exit 1; }
+
+# -j validates its argument: non-numeric values are rejected with a
+# clear diagnostic (they used to silently become Jobs=0), and 0 is
+# clamped to a serial build rather than refused.
+for BAD in abc 4x -- -1; do
+  if "$SCBUILD" . -j "$BAD" --quiet 2>jerr.log; then
+    echo "FAIL: -j $BAD accepted"; exit 1
+  fi
+  grep -q "requires a positive integer" jerr.log || {
+    echo "FAIL: -j $BAD diagnostic wrong: $(cat jerr.log)"; exit 1; }
+done
+"$SCBUILD" . -j 0 --quiet || { echo "FAIL: -j 0 must clamp to 1"; exit 1; }
+
+# scc resolves imports relative to the importing file's directory, so
+# compiling from a sibling directory (or anywhere else) works.
+mkdir -p sub
+cat > sub/part.mc <<'EOF'
+fn twelve() -> int { return 12; }
+EOF
+cat > sub/entry.mc <<'EOF'
+import "part.mc";
+fn main() -> int {
+  print(twelve());
+  return 0;
+}
+EOF
+mkdir -p sibling
+cd sibling
+OUT="$("$SCC" ../sub/entry.mc --run | head -1)"
+[ "$OUT" = "12" ] || { echo "FAIL: sibling-dir import got '$OUT'"; exit 1; }
+cd "$DIR"
+rm -rf sub sibling
+
+#===--- Resident daemon ---------------------------------------------------===#
+
+# Start scbuildd, then drive two builds through scbuild --daemon: the
+# first is cold, the second must be fully warm — zero interface
+# re-scans and zero object re-parses, as reported by --daemon-status.
+"$SCBUILD" . --clean --quiet
+"$SCBUILDD" . --quiet &
+DAEMON_PID=$!
+for _ in $(seq 50); do
+  [ -S out/.daemon.sock ] && break
+  sleep 0.1
+done
+[ -S out/.daemon.sock ] || { echo "FAIL: daemon socket never appeared"; exit 1; }
+
+OUT="$("$SCBUILD" . --daemon --quiet --run)"
+[ "$OUT" = "42" ] || { echo "FAIL: daemon build got '$OUT'"; exit 1; }
+"$SCBUILD" . --daemon | grep -q "0/2 files compiled" || {
+  echo "FAIL: daemon no-op rebuild recompiled something"; exit 1; }
+STATUS="$("$SCBUILD" . --daemon-status)"
+echo "$STATUS" | grep -q "interface scans 0 (cache hits 2)" || {
+  echo "FAIL: warm rebuild re-scanned: $STATUS"; exit 1; }
+echo "$STATUS" | grep -q "objects parsed 0" || {
+  echo "FAIL: warm rebuild re-parsed objects: $STATUS"; exit 1; }
+
+# While the daemon owns the tree, a plain scbuild degrades read-only
+# with a diagnostic naming the daemon — it must not time out waiting.
+WARN="$("$SCBUILD" . --quiet 2>&1 >/dev/null)"
+echo "$WARN" | grep -q "build daemon (pid $DAEMON_PID)" || {
+  echo "FAIL: expected daemon-owns-lock warning, got: $WARN"; exit 1; }
+
+# --explain answered by the daemon (same decision log, same text).
+sed -i 's/return 8;/return 9;/' util.mc
+"$SCBUILD" . --daemon --quiet
+"$SCBUILD" . --daemon --explain util.mc > dexplain.log
+grep -qE "ran|skipped" dexplain.log || {
+  echo "FAIL: daemon --explain has no verdicts"; cat dexplain.log; exit 1; }
+
+# Clean shutdown: the daemon exits, releases the lock, removes the
+# socket, and a plain build owns the tree again.
+"$SCBUILD" . --daemon-shutdown
+wait "$DAEMON_PID" || { echo "FAIL: daemon exited nonzero"; exit 1; }
+DAEMON_PID=""
+[ ! -e out/.daemon.sock ] || { echo "FAIL: socket left behind"; exit 1; }
+[ ! -e out/.lock ] || { echo "FAIL: lock left behind"; exit 1; }
+WARN="$("$SCBUILD" . --quiet 2>&1 >/dev/null)"
+[ -z "$WARN" ] || { echo "FAIL: post-shutdown build warned: $WARN"; exit 1; }
+
+# With no daemon listening, --daemon falls back to an in-process build.
+OUT="$("$SCBUILD" . --daemon --quiet --run)"
+[ "$OUT" = "42" ] || { echo "FAIL: daemon fallback got '$OUT'"; exit 1; }
 
 echo "tools smoke: OK"

@@ -1,4 +1,4 @@
-//===- tools/scbuild.cpp - Incremental build tool --------------------------------===//
+//===- tools/scbuild.cpp - Incremental build tool --------------------------===//
 //
 // Part of the stateful-compiler project. MIT license.
 //
@@ -16,7 +16,7 @@
 ///   -O0|-O1|-O2     optimization level (default -O2)
 ///   -j <N>          total build concurrency, shared by TU-level jobs
 ///                   and intra-TU function-pass tasks (default: all
-///                   hardware threads)
+///                   hardware threads; 0 is clamped to 1)
 ///   --stateless     baseline compiler (default: stateful)
 ///   --exact         ExactSkip policy instead of the paper's heuristic
 ///   --reuse         enable function-level code reuse
@@ -24,16 +24,28 @@
 ///   --run [args...] execute main() after a successful build; the
 ///                   remaining arguments are passed as integers
 ///   --quiet         suppress the build summary (warnings still print)
+///   --daemon[=auto-start]
+///                   build through a resident scbuildd daemon when one
+///                   serves <dir>/out (warm caches across builds); with
+///                   =auto-start, launch one if none is running. Falls
+///                   back to an in-process build when no daemon listens.
+///                   Output is byte-identical either way.
+///   --daemon-status print the serving daemon's status and exit
+///   --daemon-shutdown
+///                   stop the serving daemon and exit
 ///   --trace-out=FILE   write a Chrome trace-event JSON of the build
 ///                      (load in chrome://tracing or Perfetto)
 ///   --report-json=FILE write the versioned JSON build report
 ///   --explain TU[:pass] replay why each pass ran or slept for TU in
-///                       the last recorded build (no build happens)
+///                       the last recorded build (no build happens;
+///                       with --daemon, answered by the daemon)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "build_sys/BuildReport.h"
 #include "build_sys/BuildSystem.h"
+#include "build_sys/Daemon.h"
+#include "build_sys/DaemonClient.h"
 #include "build_sys/Explain.h"
 #include "support/FaultyFileSystem.h"
 #include "support/FileSystem.h"
@@ -44,12 +56,104 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 using namespace sc;
+
+namespace {
+
+/// Strict decimal parse for numeric options. Rejects empty strings,
+/// signs, and trailing junk ("4x"), which strtoul would quietly accept.
+bool parseUnsigned(const char *Text, unsigned &Out) {
+  if (!*Text)
+    return false;
+  unsigned long V = 0;
+  for (const char *P = Text; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    V = V * 10 + static_cast<unsigned long>(*P - '0');
+    if (V > 0xffffffffUL)
+      return false;
+  }
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Launches `scbuildd` (found next to this executable) detached, with
+/// its stdio under <dir>/out/.daemon.log, then waits for the socket to
+/// appear. Returns a connected client (disconnected on failure).
+DaemonClient autoStartDaemon(const std::string &Dir, const std::string &Sock,
+                             const BuildOptions &Options) {
+  // Find scbuildd next to /proc/self/exe; fall back to PATH lookup.
+  std::string Daemon = "scbuildd";
+  char Self[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Self, sizeof(Self) - 1);
+  if (N > 0) {
+    Self[N] = '\0';
+    std::string Exe(Self);
+    size_t Slash = Exe.find_last_of('/');
+    if (Slash != std::string::npos)
+      Daemon = Exe.substr(0, Slash + 1) + "scbuildd";
+  }
+
+  std::vector<std::string> Args = {Daemon, Dir};
+  Args.push_back(Options.Compiler.Opt == OptLevel::O0   ? "-O0"
+                 : Options.Compiler.Opt == OptLevel::O1 ? "-O1"
+                                                        : "-O2");
+  if (Options.Compiler.Stateful.SkipMode == StatefulConfig::Mode::Stateless)
+    Args.push_back("--stateless");
+  else if (Options.Compiler.Stateful.SkipMode ==
+           StatefulConfig::Mode::ExactSkip)
+    Args.push_back("--exact");
+  if (Options.Compiler.Stateful.ReuseFunctionCode)
+    Args.push_back("--reuse");
+  Args.push_back("-j");
+  Args.push_back(std::to_string(Options.Jobs));
+
+  const std::string LogDir = Dir + "/" + Options.OutDir;
+  ::mkdir(LogDir.c_str(), 0755); // Best effort; scbuildd creates it too.
+  const std::string LogPath = LogDir + "/.daemon.log";
+
+  pid_t Pid = ::fork();
+  if (Pid == 0) {
+    ::setsid(); // Detach: outlive this scbuild and its terminal.
+    int Log = ::open(LogPath.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (Log >= 0) {
+      ::dup2(Log, 1);
+      ::dup2(Log, 2);
+      ::close(Log);
+    }
+    std::vector<char *> Argv;
+    for (std::string &A : Args)
+      Argv.push_back(A.data());
+    Argv.push_back(nullptr);
+    ::execv(Argv[0], Argv.data());
+    ::execvp("scbuildd", Argv.data());
+    _exit(127);
+  }
+  if (Pid < 0)
+    return DaemonClient::connect(Sock); // One last direct try.
+  // The daemon runs in its own session; we never wait() on it — it is
+  // reparented when this scbuild exits.
+  for (int Tries = 0; Tries != 60; ++Tries) {
+    DaemonClient C = DaemonClient::connect(Sock);
+    if (C.connected())
+      return C;
+    ::usleep(50 * 1000);
+  }
+  return DaemonClient::connect(Sock);
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   std::string Dir = ".";
@@ -60,6 +164,8 @@ int main(int argc, char **argv) {
   // return 0 on exotic platforms.
   Options.Jobs = std::max(1u, std::thread::hardware_concurrency());
   bool Clean = false, Run = false, Quiet = false;
+  bool Daemon = false, DaemonAutoStart = false;
+  bool DaemonStatus = false, DaemonShutdown = false;
   std::string TraceOut, ReportOut, ExplainQ;
   std::vector<int64_t> RunArgs;
   std::vector<std::string> FaultSpecs; // Hidden --inject-fault op:N.
@@ -108,8 +214,17 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "scbuild: error: option '-j' requires a value\n");
         return 1;
       }
-      Options.Jobs = static_cast<unsigned>(
-          std::strtoul(argv[++I], nullptr, 10));
+      unsigned Jobs = 0;
+      if (!parseUnsigned(argv[++I], Jobs)) {
+        std::fprintf(stderr,
+                     "scbuild: error: option '-j' requires a positive "
+                     "integer (got '%s')\n",
+                     argv[I]);
+        return 1;
+      }
+      // 0 would mean "no threads at all"; the nearest meaningful
+      // request is a serial build.
+      Options.Jobs = std::max(1u, Jobs);
     }
     else if (Arg == "--stateless")
       Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::Stateless;
@@ -123,6 +238,15 @@ int main(int argc, char **argv) {
       Run = true;
     else if (Arg == "--quiet")
       Quiet = true;
+    else if (Arg == "--daemon")
+      Daemon = true;
+    else if (Arg == "--daemon=auto-start") {
+      Daemon = true;
+      DaemonAutoStart = true;
+    } else if (Arg == "--daemon-status")
+      DaemonStatus = true;
+    else if (Arg == "--daemon-shutdown")
+      DaemonShutdown = true;
     else if (Arg == "--inject-fault") {
       // Hidden: deterministic fault injection for repros/benchmarks —
       // torn:N | enospc:N | enospc*:N (sticky) | read:N | crash:N,
@@ -148,8 +272,9 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: scbuild [dir] [-O0|-O1|-O2] [-j N] "
                    "[--stateless] [--exact] [--reuse]\n               "
-                   "[--clean] [--quiet] [--trace-out=FILE] "
-                   "[--report-json=FILE]\n               "
+                   "[--clean] [--quiet] [--daemon[=auto-start]] "
+                   "[--daemon-status] [--daemon-shutdown]\n               "
+                   "[--trace-out=FILE] [--report-json=FILE]\n               "
                    "[--explain TU[:pass]] [--run [args...]]\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -162,6 +287,88 @@ int main(int argc, char **argv) {
   }
   if (ArgError)
     return 1;
+
+  const bool Stateful =
+      Options.Compiler.Stateful.SkipMode != StatefulConfig::Mode::Stateless;
+
+  //===--- Daemon paths ---------------------------------------------------===//
+
+  auto PrintOut = [](const std::string &T) {
+    std::fwrite(T.data(), 1, T.size(), stdout);
+  };
+  auto PrintErr = [](const std::string &T) {
+    std::fwrite(T.data(), 1, T.size(), stderr);
+  };
+  const std::string SockPath = daemonSocketPath(Dir, Options.OutDir);
+
+  if (DaemonStatus || DaemonShutdown) {
+    DaemonClient Client = DaemonClient::connect(SockPath);
+    if (!Client.connected()) {
+      if (DaemonShutdown) {
+        std::fprintf(stderr, "scbuild: no daemon is serving '%s' "
+                             "(nothing to stop)\n",
+                     SockPath.c_str());
+        return 0;
+      }
+      std::fprintf(stderr, "scbuild: no daemon is serving '%s'\n",
+                   SockPath.c_str());
+      return 1;
+    }
+    DaemonRequest Req;
+    Req.Verb = DaemonShutdown ? "shutdown" : "status";
+    std::string Err;
+    int Code = Client.roundTrip(Req, PrintOut, PrintErr, nullptr, &Err);
+    if (Code < 0) {
+      std::fprintf(stderr, "scbuild: error: daemon request failed: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+    return Code;
+  }
+
+  if (Daemon) {
+    // Per-process telemetry sinks cannot cross the socket; the daemon
+    // has its own (scbuildd --trace-stream).
+    if (!TraceOut.empty() || !ReportOut.empty() || !FaultSpecs.empty()) {
+      std::fprintf(stderr,
+                   "scbuild: error: --trace-out/--report-json/--inject-fault "
+                   "cannot be combined with --daemon (the daemon process owns "
+                   "those sinks; see scbuildd --trace-stream)\n");
+      return 1;
+    }
+    DaemonClient Client = DaemonClient::connect(SockPath);
+    if (!Client.connected() && DaemonAutoStart)
+      Client = autoStartDaemon(Dir, SockPath, Options);
+    if (Client.connected()) {
+      DaemonRequest Req;
+      if (!ExplainQ.empty()) {
+        Req.Verb = "explain";
+        Req.Query = ExplainQ;
+      } else {
+        Req.Verb = "build";
+        Req.Clean = Clean;
+        Req.Quiet = Quiet;
+        Req.Run = Run;
+        Req.RunArgs = RunArgs;
+        Req.Opt = static_cast<int>(Options.Compiler.Opt);
+        Req.Mode = static_cast<int>(Options.Compiler.Stateful.SkipMode);
+        Req.Reuse = Options.Compiler.Stateful.ReuseFunctionCode;
+        Req.Jobs = Options.Jobs;
+      }
+      std::string Err;
+      int Code = Client.roundTrip(Req, PrintOut, PrintErr, nullptr, &Err);
+      if (Code >= 0)
+        return Code;
+      std::fprintf(stderr,
+                   "scbuild: warning: daemon request failed (%s); "
+                   "building in-process\n",
+                   Err.c_str());
+    }
+    // No daemon (or it died mid-request): transparent in-process
+    // fallback — same flags, same output, just cold caches.
+  }
+
+  //===--- In-process build ----------------------------------------------===//
 
   RealFileSystem DiskFS(Dir);
 
@@ -177,8 +384,7 @@ int main(int argc, char **argv) {
   // scbuild (it feeds --explain); the trace recorder exists only when
   // asked for, so untraced builds skip even the pointer-registered
   // ring work.
-  Options.Compiler.RecordDecisions =
-      Options.Compiler.Stateful.SkipMode != StatefulConfig::Mode::Stateless;
+  Options.Compiler.RecordDecisions = Stateful;
   std::unique_ptr<TraceRecorder> Trace;
   if (!TraceOut.empty()) {
     Trace = std::make_unique<TraceRecorder>();
@@ -215,8 +421,6 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "scbuild: simulated crash in %s\n", C.Op.c_str());
     return 3;
   }
-  for (const std::string &W : Stats.Warnings)
-    std::fprintf(stderr, "scbuild: warning: %s\n", W.c_str());
 
   // Telemetry outputs are written for failed builds too — a failing
   // build is exactly when a timeline is most wanted. These are
@@ -237,40 +441,14 @@ int main(int argc, char **argv) {
   if (!ReportOut.empty())
     WriteHostFile(ReportOut, buildReportJson(Stats, &Metrics), "report");
 
-  if (!Stats.Success) {
-    std::fprintf(stderr, "%s\n", Stats.ErrorText.c_str());
-    return 1;
-  }
-
-  if (!Quiet) {
-    std::printf("scbuild: %u/%u files compiled in %.1f ms "
-                "(scan %.1f, compile %.1f, link %.1f, state %.1f)\n",
-                Stats.FilesCompiled, Stats.FilesTotal,
-                Stats.TotalUs / 1000, Stats.ScanUs / 1000,
-                Stats.CompileUs / 1000, Stats.LinkUs / 1000,
-                Stats.StateIOUs / 1000);
-    if (Options.Compiler.Stateful.SkipMode !=
-        StatefulConfig::Mode::Stateless)
-      std::printf("scbuild: passes run %llu, skipped %llu; "
-                  "functions reused %llu; state db %.1f KB\n",
-                  static_cast<unsigned long long>(Stats.Skip.PassesRun),
-                  static_cast<unsigned long long>(
-                      Stats.Skip.PassesSkipped),
-                  static_cast<unsigned long long>(
-                      Stats.Skip.FunctionsReused),
-                  Stats.StateDBBytes / 1024.0);
-  }
-
-  if (Run) {
+  // One renderer shared with the daemon, so `scbuild` and `scbuild
+  // --daemon` produce byte-identical output per stream.
+  RenderedOutcome R = renderBuildOutcome(Stats, Stateful, Quiet);
+  if (Stats.Success && Run) {
     VM Machine(*Driver.program());
-    ExecResult R = Machine.run("main", RunArgs);
-    if (R.Trapped) {
-      std::fprintf(stderr, "scbuild: trap: %s\n", R.TrapReason.c_str());
-      return 1;
-    }
-    for (int64_t V : R.Output)
-      std::printf("%lld\n", static_cast<long long>(V));
-    return static_cast<int>(R.ReturnValue.value_or(0) & 0xff);
+    renderRunOutcome(R, Machine.run("main", RunArgs));
   }
-  return 0;
+  PrintErr(R.Err);
+  PrintOut(R.Out);
+  return R.Code;
 }

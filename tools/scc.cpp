@@ -21,7 +21,9 @@
 ///   --quiet            suppress the pass-skip summary (never warnings)
 ///   --verify-each      run the IR verifier after every changing pass
 ///
-/// Imports are resolved relative to the current directory.
+/// Imports are resolved relative to the directory of the importing
+/// file (like #include "..."), so `scc sub/main.mc` from anywhere finds
+/// `sub/util.mc` via `import "util.mc"`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,24 +55,68 @@ void usage() {
       "[--run] [--stats]\n           [--quiet] [--verify-each]\n");
 }
 
+/// Resolves \p Import as written in the file at \p FromPath: absolute
+/// imports are taken verbatim; relative ones are joined to the
+/// importer's directory and lexically normalized ("."/".." segments),
+/// the #include "..." rule. Keeping it lexical (no realpath) means the
+/// same source resolves identically on every filesystem.
+std::string resolveImportPath(const std::string &FromPath,
+                              const std::string &Import) {
+  std::string Joined;
+  if (!Import.empty() && Import[0] == '/') {
+    Joined = Import;
+  } else {
+    size_t Slash = FromPath.find_last_of('/');
+    Joined = Slash == std::string::npos
+                 ? Import
+                 : FromPath.substr(0, Slash + 1) + Import;
+  }
+  // Normalize: collapse "." and fold ".." into its parent where one
+  // exists (leading ".."s are kept — they climb above the start dir).
+  std::vector<std::string> Parts;
+  bool Absolute = !Joined.empty() && Joined[0] == '/';
+  size_t Pos = 0;
+  while (Pos <= Joined.size()) {
+    size_t Next = Joined.find('/', Pos);
+    if (Next == std::string::npos)
+      Next = Joined.size();
+    std::string Part = Joined.substr(Pos, Next - Pos);
+    Pos = Next + 1;
+    if (Part.empty() || Part == ".")
+      continue;
+    if (Part == ".." && !Parts.empty() && Parts.back() != "..") {
+      Parts.pop_back();
+      continue;
+    }
+    Parts.push_back(std::move(Part));
+  }
+  std::string Out = Absolute ? "/" : "";
+  for (size_t I = 0; I != Parts.size(); ++I)
+    Out += (I ? "/" : "") + Parts[I];
+  return Out;
+}
+
 /// Resolves the direct imports' interfaces (one level is enough: sema
 /// only needs signatures, which the import's own file declares).
-bool resolveImports(RealFileSystem &FS, const std::string &Source,
-                    ModuleInterface &Out) {
+/// \p FromPath is the importing file — import strings are resolved
+/// relative to its directory.
+bool resolveImports(RealFileSystem &FS, const std::string &FromPath,
+                    const std::string &Source, ModuleInterface &Out) {
   auto Scanned = Compiler::scanInterface(Source);
   if (!Scanned)
     return true; // Syntax errors surface in the real compile below.
   for (const std::string &Dep : Scanned->second) {
-    std::optional<std::string> DepSource = FS.readFile(Dep);
+    const std::string DepPath = resolveImportPath(FromPath, Dep);
+    std::optional<std::string> DepSource = FS.readFile(DepPath);
     if (!DepSource) {
-      std::fprintf(stderr, "scc: error: cannot read import '%s'\n",
-                   Dep.c_str());
+      std::fprintf(stderr, "scc: error: cannot read import '%s' (from '%s')\n",
+                   DepPath.c_str(), FromPath.c_str());
       return false;
     }
     auto DepScanned = Compiler::scanInterface(*DepSource);
     if (!DepScanned) {
       std::fprintf(stderr, "scc: error: syntax errors in import '%s'\n",
-                   Dep.c_str());
+                   DepPath.c_str());
       return false;
     }
     Out.insert(Out.end(), DepScanned->first.begin(),
@@ -156,7 +202,7 @@ int main(int argc, char **argv) {
   }
 
   ModuleInterface Imports;
-  if (!resolveImports(FS, *Source, Imports))
+  if (!resolveImports(FS, InputPath, *Source, Imports))
     return 1;
 
   BuildStateDB DB;
@@ -238,8 +284,10 @@ int main(int argc, char **argv) {
     std::vector<MModule> Extra;
     std::vector<std::string> Done{InputPath};
     auto Scanned = Compiler::scanInterface(*Source);
-    std::vector<std::string> Queue =
-        Scanned ? Scanned->second : std::vector<std::string>{};
+    std::vector<std::string> Queue;
+    if (Scanned)
+      for (const std::string &Dep : Scanned->second)
+        Queue.push_back(resolveImportPath(InputPath, Dep));
     while (!Queue.empty()) {
       std::string Dep = Queue.back();
       Queue.pop_back();
@@ -253,12 +301,12 @@ int main(int argc, char **argv) {
         return 1;
       }
       ModuleInterface DepImports;
-      if (!resolveImports(FS, *DepSource, DepImports))
+      if (!resolveImports(FS, Dep, *DepSource, DepImports))
         return 1;
       auto DepScan = Compiler::scanInterface(*DepSource);
       if (DepScan)
         for (const std::string &Next : DepScan->second)
-          Queue.push_back(Next);
+          Queue.push_back(resolveImportPath(Dep, Next));
       Compiler DepCompiler(Options, Stateful ? &DB : nullptr);
       CompileResult DepResult =
           DepCompiler.compile(Dep, *DepSource, DepImports);
