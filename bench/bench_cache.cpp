@@ -1,0 +1,180 @@
+//===- bench/bench_cache.cpp - Remote object-cache fleet benchmark --------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Measures the remote object-cache tier (sccached) from the fleet's
+/// point of view: how much of a cold build disappears when a warm
+/// cache already holds every object the workspace needs. Three runs
+/// per project profile, all from identical sources:
+///
+///   cold-local   a fresh workspace, no remote tier — every TU
+///                compiles (the baseline the fleet pays today);
+///   publisher    a fresh workspace that fills the empty cache while
+///                compiling (the one warm builder);
+///   cold+warm    another fresh workspace against the now-warm cache —
+///                the acceptance row: it must compile 0 TUs, parse 0
+///                objects, and take RemoteHits == object count.
+///
+/// Results go to BENCH_cache.json. The daemon runs in-process on a
+/// Unix socket with an in-memory store, so the numbers measure
+/// protocol + verification + admission cost, not disk jitter — the
+/// same substrate policy as every other bench.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtils.h"
+#include "cache_sys/CacheDaemon.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+using namespace sc;
+using namespace sc::bench;
+
+namespace {
+
+struct ProfileRun {
+  std::string Profile;
+  unsigned Files = 0;
+  double ColdLocalUs = 0;
+  double PublisherUs = 0;
+  double ColdWarmUs = 0;
+  BuildStats Warm; // The cold+warm acceptance build.
+};
+
+} // namespace
+
+int main() {
+  banner("CACHE", "Remote object cache: cold fleet member vs warm sccached");
+
+  char SockDir[] = "/tmp/sc-bench-cache-XXXXXX";
+  if (!::mkdtemp(SockDir)) {
+    std::fprintf(stderr, "cannot create socket dir\n");
+    return 1;
+  }
+  const std::string SockPath = std::string(SockDir) + "/cache.sock";
+
+  std::vector<ProfileRun> Runs;
+  bool AcceptanceOk = true;
+
+  for (const char *Name : {"small_cli", "json_lib", "http_server"}) {
+    // One fresh daemon per profile so each cold+warm run is measured
+    // against a cache holding exactly that project.
+    InMemoryFileSystem StoreFS;
+    CacheDaemonConfig DC;
+    DC.SocketPath = SockPath;
+    DC.Quiet = true;
+    CacheDaemon Daemon(StoreFS, DC);
+    std::string Err;
+    if (!Daemon.start(&Err)) {
+      std::fprintf(stderr, "daemon start failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::thread Serve([&Daemon] { Daemon.serve(); });
+
+    ProfileRun R;
+    R.Profile = Name;
+    ProjectProfile Profile = profileByName(Name);
+    constexpr uint64_t Seed = 42;
+
+    auto Workspace = [&](InMemoryFileSystem &FS) {
+      ProjectModel Model = ProjectModel::generate(Profile, Seed);
+      Model.renderAll(FS);
+    };
+
+    {
+      InMemoryFileSystem FS;
+      Workspace(FS);
+      BuildDriver Driver(FS, BuildOptions{});
+      BuildStats S = Driver.build();
+      if (!S.Success) {
+        std::fprintf(stderr, "cold-local build failed\n");
+        return 1;
+      }
+      R.ColdLocalUs = S.TotalUs;
+      R.Files = S.FilesTotal;
+    }
+    {
+      InMemoryFileSystem FS;
+      Workspace(FS);
+      BuildOptions BO;
+      BO.RemoteCache = SockPath;
+      BuildDriver Driver(FS, BO);
+      BuildStats S = Driver.build();
+      if (!S.Success || S.RemoteErrors) {
+        std::fprintf(stderr, "publisher build failed\n");
+        return 1;
+      }
+      R.PublisherUs = S.TotalUs;
+    }
+    {
+      InMemoryFileSystem FS;
+      Workspace(FS);
+      BuildOptions BO;
+      BO.RemoteCache = SockPath;
+      BuildDriver Driver(FS, BO);
+      R.Warm = Driver.build();
+      if (!R.Warm.Success) {
+        std::fprintf(stderr, "cold+warm build failed\n");
+        return 1;
+      }
+      R.ColdWarmUs = R.Warm.TotalUs;
+    }
+
+    // The acceptance contract: a cold workspace against a warm cache
+    // compiles nothing, parses nothing, and hits on every object.
+    if (R.Warm.FilesCompiled != 0 || R.Warm.ObjectsParsed != 0 ||
+        R.Warm.RemoteHits != R.Warm.FilesTotal || R.Warm.RemoteErrors != 0)
+      AcceptanceOk = false;
+
+    Runs.push_back(R);
+    Daemon.requestStop();
+    Serve.join();
+  }
+
+  std::error_code EC;
+  std::filesystem::remove_all(SockDir, EC);
+
+  std::printf("\nCold fleet member, identical sources, in-process daemon:\n\n");
+  printRow({"profile", "files", "cold-local(ms)", "cold+warm(ms)", "speedup",
+            "hits", "compiled"},
+           16);
+  std::vector<std::string> JsonRows;
+  for (const ProfileRun &R : Runs) {
+    double Speedup = R.ColdWarmUs > 0 ? R.ColdLocalUs / R.ColdWarmUs : 0;
+    printRow({R.Profile, std::to_string(R.Files), fmt(R.ColdLocalUs / 1000),
+              fmt(R.ColdWarmUs / 1000), fmt(Speedup, 2) + "x",
+              std::to_string(R.Warm.RemoteHits),
+              std::to_string(R.Warm.FilesCompiled)},
+             16);
+    JsonRows.push_back(JsonBuilder()
+                           .field("profile", R.Profile)
+                           .field("files", R.Files)
+                           .field("cold_local_us", R.ColdLocalUs)
+                           .field("publisher_us", R.PublisherUs)
+                           .field("cold_warm_us", R.ColdWarmUs)
+                           .field("speedup", Speedup)
+                           .field("remote_hits", R.Warm.RemoteHits)
+                           .field("remote_misses", R.Warm.RemoteMisses)
+                           .field("remote_errors", R.Warm.RemoteErrors)
+                           .field("files_compiled",
+                                  uint64_t(R.Warm.FilesCompiled))
+                           .field("objects_parsed", R.Warm.ObjectsParsed)
+                           .str());
+  }
+
+  std::printf("\nacceptance (every profile: RemoteHits == object count, "
+              "0 compiled, 0 parsed): %s\n",
+              AcceptanceOk ? "PASS" : "FAIL");
+
+  writeBenchJson("BENCH_cache.json",
+                 JsonBuilder()
+                     .field("experiment", std::string("remote_cache"))
+                     .field("acceptance_pass", uint64_t(AcceptanceOk))
+                     .raw("runs", jsonArray(JsonRows))
+                     .str());
+  return AcceptanceOk ? 0 : 1;
+}

@@ -17,6 +17,7 @@
 #include "build_sys/Manifest.h"
 #include "build_sys/ObjectCache.h"
 #include "build_sys/Scheduler.h"
+#include "cache_sys/RemoteCacheClient.h"
 #include "codegen/ObjectFile.h"
 #include "support/AtomicFile.h"
 #include "support/FileLock.h"
@@ -28,6 +29,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <tuple>
 #include <utility>
 
 using namespace sc;
@@ -152,6 +154,32 @@ private:
   /// when Options.Compiler.RecordDecisions); persist() writes them to
   /// decisions.bin wholesale, giving the file last-build semantics.
   std::vector<std::pair<std::string, TUDecisionLog>> PendingDecisions;
+
+  //===--- Remote object-cache tier ---------------------------------------===//
+
+  /// The input key naming what a TU's object deterministically depends
+  /// on — the `act` key under which sccached maps these inputs to an
+  /// object digest. Content + effective imports + config is exactly
+  /// the dirty test's identity, so "remote hit" and "would not have
+  /// recompiled locally" agree about what the object is.
+  uint64_t inputKey(uint64_t ContentHash, uint64_t ImportsEffectiveHash,
+                    uint64_t Config) const {
+    HashBuilder H;
+    H.addU64(ContentHash);
+    H.addU64(ImportsEffectiveHash);
+    H.addU64(Config);
+    return H.digest();
+  }
+
+  /// Returns the usable remote client, connecting on first use; null
+  /// when the tier is off or has degraded. Degradation is for the
+  /// driver's lifetime and warns exactly once.
+  RemoteCacheClient *remote(BuildStats &S);
+  void degradeRemote(BuildStats &S, const std::string &Why);
+
+  std::unique_ptr<RemoteCacheClient> Remote;
+  bool RemoteTried = false;    ///< connect() attempted (success or not).
+  bool RemoteDisabled = false; ///< Tier off for this driver's lifetime.
 };
 
 } // namespace sc
@@ -195,6 +223,40 @@ uint64_t BuildDriverImpl::persist(Timer &StateIO, BuildStats &S) {
   return StateBytes;
 }
 
+RemoteCacheClient *BuildDriverImpl::remote(BuildStats &S) {
+  if (Options.RemoteCache.empty() || RemoteDisabled)
+    return nullptr;
+  if (!RemoteTried) {
+    RemoteTried = true;
+    std::string Err;
+    Remote = RemoteCacheClient::connect(Options.RemoteCache, &Err);
+    if (!Remote) {
+      degradeRemote(S, "could not connect" + (Err.empty() ? "" : ": " + Err));
+      return nullptr;
+    }
+  }
+  if (Remote && Remote->failed()) {
+    // A mid-build failure latched in the client; fold it into the
+    // driver-lifetime degrade if a caller sees it before we did.
+    degradeRemote(S, "connection failed");
+    return nullptr;
+  }
+  return Remote.get();
+}
+
+void BuildDriverImpl::degradeRemote(BuildStats &S, const std::string &Why) {
+  if (RemoteDisabled)
+    return;
+  RemoteDisabled = true;
+  Remote.reset();
+  ++S.RemoteErrors;
+  S.Warnings.push_back("remote cache '" + Options.RemoteCache +
+                       "' is unavailable (" + Why +
+                       "); continuing local-only");
+  if (tracing())
+    trace()->instant("remote", "degrade", "{\"reason\":\"" + Why + "\"}");
+}
+
 void BuildDriverImpl::publishMetrics(const BuildStats &S) {
   MetricsRegistry *M = Options.Compiler.Metrics;
   if (!M)
@@ -210,6 +272,10 @@ void BuildDriverImpl::publishMetrics(const BuildStats &S) {
   M->counter("build.scan_cache_hits").add(S.ScanCacheHits);
   M->counter("build.objects_parsed").add(S.ObjectsParsed);
   M->counter("build.temp_files_swept").add(S.TempFilesSwept);
+  M->counter("build.remote_hits").add(S.RemoteHits);
+  M->counter("build.remote_misses").add(S.RemoteMisses);
+  M->counter("build.remote_puts").add(S.RemotePuts);
+  M->counter("build.remote_errors").add(S.RemoteErrors);
   M->counter("build.warnings").add(S.Warnings.size());
   M->gauge("build.files_total").set(S.FilesTotal);
   M->gauge("build.scan_us").set(S.ScanUs);
@@ -396,16 +462,60 @@ BuildStats BuildDriverImpl::build() {
 
   const uint64_t Config = configHash();
   std::vector<std::string> Dirty;
+  /// Locally-clean TUs, remembered so the remote-sync pass can keep
+  /// the fleet cache warm: (path, input key, object digest).
+  std::vector<std::tuple<std::string, uint64_t, uint64_t>> CleanTUs;
   for (const std::string &Path : Graph.topologicalOrder()) {
     const ScanResult *SR = Scans.at(Path);
     const ManifestEntry *E = Manifest.lookup(Path);
+    const uint64_t ImportsEff = Graph.importsEffectiveHash(Path);
     bool NeedsCompile =
         !E || E->ConfigHash != Config || E->ContentHash != SR->ContentHash ||
-        E->ImportsEffectiveHash != Graph.importsEffectiveHash(Path) ||
+        E->ImportsEffectiveHash != ImportsEff ||
         // Missing/vandalized/corrupt object: self-heal by recompiling.
         !Objects.load(Path, E->ObjectHash);
-    if (NeedsCompile)
-      Dirty.push_back(Path);
+    if (!NeedsCompile) {
+      CleanTUs.emplace_back(Path, inputKey(SR->ContentHash, ImportsEff, Config),
+                            E->ObjectHash);
+      continue;
+    }
+    // Local miss: before scheduling a compile, ask the remote tier.
+    // A verified remote hit is admitted into the local object cache
+    // and recorded in the manifest exactly as a compile would have —
+    // the TU then links from the fetched object and skips the
+    // compiler entirely.
+    if (RemoteCacheClient *RC = remote(S)) {
+      const uint64_t Key = inputKey(SR->ContentHash, ImportsEff, Config);
+      const uint64_t FetchT0 = nowNanos();
+      uint64_t Digest = 0;
+      std::string Bytes;
+      RemoteCacheClient::Result R = RC->fetch(Key, Digest, Bytes);
+      if (R == RemoteCacheClient::Result::Hit &&
+          Objects.storeFetched(Path, std::move(Bytes), Digest)) {
+        ++S.RemoteHits;
+        ManifestEntry NE;
+        NE.ContentHash = SR->ContentHash;
+        NE.ImportsEffectiveHash = ImportsEff;
+        NE.ObjectHash = Digest;
+        NE.ConfigHash = Config;
+        Manifest.update(Path, NE);
+        if (tracing())
+          trace()->span("remote", "fetch", FetchT0, nowNanos(),
+                        "{\"path\":\"" + Path + "\",\"hit\":true}");
+        continue;
+      }
+      if (R == RemoteCacheClient::Result::Error) {
+        degradeRemote(S, "request failed mid-build");
+      } else {
+        // Miss — or a fetched object that failed to decode, which the
+        // client's verification makes equivalent to one.
+        ++S.RemoteMisses;
+        if (tracing())
+          trace()->span("remote", "fetch", FetchT0, nowNanos(),
+                        "{\"path\":\"" + Path + "\",\"hit\":false}");
+      }
+    }
+    Dirty.push_back(Path);
   }
   Scan.stop();
   if (tracing())
@@ -445,6 +555,13 @@ BuildStats BuildDriverImpl::build() {
   // Diagnostics are emitted in TU-key-sorted order so the error text
   // is deterministic at any -j.
   std::vector<std::pair<std::string, std::string>> Failures;
+  struct PendingPublish {
+    std::string Path;
+    uint64_t Key;
+    uint64_t Digest;
+    std::string Bytes;
+  };
+  std::vector<PendingPublish> ToPublish;
   for (size_t I = 0; I != Results.size(); ++I) {
     CompileResult &R = Results[I];
     S.CompilePhases.accumulate(R.Timings);
@@ -458,17 +575,77 @@ BuildStats BuildDriverImpl::build() {
       continue;
     }
     ++S.FilesCompiled;
+    const bool WantPublish = !Options.RemoteCache.empty() && !RemoteDisabled;
+    std::string PubBytes;
     ManifestEntry E;
     E.ContentHash = Scans.at(Jobs[I].Path)->ContentHash;
     E.ImportsEffectiveHash = Graph.importsEffectiveHash(Jobs[I].Path);
-    E.ObjectHash = Objects.store(Jobs[I].Path, std::move(R.Object));
+    E.ObjectHash = Objects.store(Jobs[I].Path, std::move(R.Object),
+                                 WantPublish ? &PubBytes : nullptr);
     E.ConfigHash = Config;
     Manifest.update(Jobs[I].Path, E);
+    if (WantPublish)
+      ToPublish.push_back(
+          {Jobs[I].Path,
+           inputKey(E.ContentHash, E.ImportsEffectiveHash, Config),
+           E.ObjectHash, std::move(PubBytes)});
   }
   std::sort(Failures.begin(), Failures.end());
   std::string Errors;
   for (auto &[Path, Diag] : Failures)
     Errors += Diag;
+
+  //===--- Remote sync: publish new objects, keep the hot set warm --------===//
+
+  // Runs even when some TUs failed — the successful objects are valid
+  // and worth sharing, mirroring how persist() keeps completed work.
+  // Two duties: publish what this build compiled, and touch-or-publish
+  // the locally-clean TUs so an already-warm builder still populates a
+  // cold fleet cache (without recompiling anything). Any failure
+  // degrades the tier and abandons the rest of the sync.
+  if (remote(S)) {
+    const uint64_t SyncT0 = nowNanos();
+    uint64_t Touched = 0;
+    for (PendingPublish &P : ToPublish) {
+      RemoteCacheClient *RC = remote(S);
+      if (!RC)
+        break;
+      if (RC->publish(P.Key, P.Digest, P.Bytes) ==
+          RemoteCacheClient::Result::Error) {
+        degradeRemote(S, "publish failed mid-build");
+        break;
+      }
+      ++S.RemotePuts;
+    }
+    for (auto &[Path, Key, Digest] : CleanTUs) {
+      RemoteCacheClient *RC = remote(S);
+      if (!RC)
+        break;
+      RemoteCacheClient::Result R = RC->touchEntry(Key, Digest);
+      if (R == RemoteCacheClient::Result::Error) {
+        degradeRemote(S, "touch failed mid-build");
+        break;
+      }
+      ++Touched;
+      if (R == RemoteCacheClient::Result::Miss) {
+        // The remote lacks (part of) this TU; publish from the local
+        // object file or in-memory copy — no recompile needed.
+        std::string Bytes;
+        if (!Objects.serializedBytes(Path, Digest, Bytes))
+          continue; // Local copy unavailable; the remote stays cold.
+        if (RC->publish(Key, Digest, Bytes) ==
+            RemoteCacheClient::Result::Error) {
+          degradeRemote(S, "publish failed mid-build");
+          break;
+        }
+        ++S.RemotePuts;
+      }
+    }
+    if (tracing())
+      trace()->span("remote", "sync", SyncT0, nowNanos(),
+                    "{\"published\":" + std::to_string(S.RemotePuts) +
+                        ",\"touched\":" + std::to_string(Touched) + "}");
+  }
 
   if (!Errors.empty()) {
     S.StateDBBytes = persist(StateIO, S);

@@ -62,6 +62,11 @@ std::string sc::buildReportJson(const BuildStats &S,
 
   J += "  \"object_bytes\": " + std::to_string(S.ObjectBytes) + ",\n";
 
+  J += "  \"remote\": {\"hits\": " + std::to_string(S.RemoteHits) +
+       ", \"misses\": " + std::to_string(S.RemoteMisses) +
+       ", \"puts\": " + std::to_string(S.RemotePuts) +
+       ", \"errors\": " + std::to_string(S.RemoteErrors) + "},\n";
+
   J += "  \"warnings\": [";
   for (size_t I = 0; I != S.Warnings.size(); ++I)
     J += (I ? ", " : "") + ("\"" + jsonEscape(S.Warnings[I]) + "\"");

@@ -75,6 +75,16 @@ struct BuildOptions {
   /// lifetime). build() then neither acquires nor releases the lock,
   /// and never degrades to read-only over it.
   bool ExternalLock = false;
+
+  /// Host path of an `sccached` socket to use as a shared remote
+  /// object-cache tier; empty (the default) disables the tier.
+  /// Tiering per TU: local miss -> remote fetch (verify, admit
+  /// locally, skip the recompile) -> on remote miss compile and
+  /// publish; local hits are touched remotely (published when absent)
+  /// so a warm builder keeps the fleet cache populated. Any remote
+  /// failure — dead daemon, protocol error — degrades the build to
+  /// local-only with a single warning; it never fails the build.
+  std::string RemoteCache;
 };
 
 /// Everything one build() call did, and how long each phase took.
@@ -116,6 +126,25 @@ struct BuildStats {
   /// Orphaned atomic-write temp files swept at build start (debris of
   /// a crashed previous build).
   unsigned TempFilesSwept = 0;
+
+  //===--- Remote object-cache tier (BuildOptions::RemoteCache) -----------===//
+
+  /// Dirty TUs whose object was fetched (verified) from sccached
+  /// instead of recompiled.
+  uint64_t RemoteHits = 0;
+
+  /// Dirty TUs the remote cache did not have (compiled locally, then
+  /// published).
+  uint64_t RemoteMisses = 0;
+
+  /// Objects published to the remote cache this build (after a
+  /// compile, or for a locally-clean TU the remote was missing).
+  uint64_t RemotePuts = 0;
+
+  /// Remote operations that failed. The first failure disables the
+  /// tier for this driver's lifetime (local-only, one warning), so in
+  /// practice this is 0 or 1 per build.
+  uint64_t RemoteErrors = 0;
 
   //===--- Phase timers (wall clock, microseconds) -----------------------===//
 

@@ -8,6 +8,7 @@
 
 #include "build_sys/Explain.h"
 #include "support/FileSystem.h"
+#include "support/FlatJson.h"
 #include "support/Trace.h"
 #include "vm/VM.h"
 
@@ -21,205 +22,12 @@
 using namespace sc;
 
 //===----------------------------------------------------------------------===//
-// Flat-JSON codec
+// Wire codec
 //
-// The wire format is a single-level JSON object whose values are
-// strings, integers, booleans, or arrays of integers — enough for the
-// protocol, small enough to hand-roll, and readable with `socat` when
-// debugging. The decoder skips unknown keys so the protocol can grow.
+// Message shapes live here; the flat-JSON primitives (JsonCursor,
+// parseFlatObject, appendJsonString) are shared with the sccached
+// protocol via support/FlatJson.h.
 //===----------------------------------------------------------------------===//
-
-namespace {
-
-void appendJsonString(std::string &Out, const std::string &S) {
-  Out += '"';
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  Out += '"';
-}
-
-/// Cursor over a JSON text. Parse failures set Bad; every accessor is a
-/// no-op once Bad, so callers check once at the end.
-struct JsonCursor {
-  const std::string &S;
-  size_t I = 0;
-  bool Bad = false;
-
-  explicit JsonCursor(const std::string &S) : S(S) {}
-
-  void ws() {
-    while (I < S.size() && (S[I] == ' ' || S[I] == '\t' || S[I] == '\n' ||
-                            S[I] == '\r'))
-      ++I;
-  }
-  bool eat(char C) {
-    ws();
-    if (I < S.size() && S[I] == C) {
-      ++I;
-      return true;
-    }
-    return false;
-  }
-  void expect(char C) {
-    if (!eat(C))
-      Bad = true;
-  }
-  char peek() {
-    ws();
-    return I < S.size() ? S[I] : '\0';
-  }
-
-  std::string parseString() {
-    std::string Out;
-    expect('"');
-    while (!Bad && I < S.size() && S[I] != '"') {
-      char C = S[I++];
-      if (C != '\\') {
-        Out += C;
-        continue;
-      }
-      if (I >= S.size()) {
-        Bad = true;
-        break;
-      }
-      char E = S[I++];
-      switch (E) {
-      case '"':  Out += '"';  break;
-      case '\\': Out += '\\'; break;
-      case '/':  Out += '/';  break;
-      case 'n':  Out += '\n'; break;
-      case 'r':  Out += '\r'; break;
-      case 't':  Out += '\t'; break;
-      case 'b':  Out += '\b'; break;
-      case 'f':  Out += '\f'; break;
-      case 'u': {
-        if (I + 4 > S.size()) {
-          Bad = true;
-          break;
-        }
-        unsigned V = 0;
-        for (int K = 0; K != 4; ++K) {
-          char H = S[I++];
-          V <<= 4;
-          if (H >= '0' && H <= '9')
-            V |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            V |= static_cast<unsigned>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            V |= static_cast<unsigned>(H - 'A' + 10);
-          else
-            Bad = true;
-        }
-        // The encoder only emits \u00XX control escapes; anything else
-        // is clamped into one byte, which is fine for this protocol.
-        Out += static_cast<char>(V & 0xff);
-        break;
-      }
-      default:
-        Bad = true;
-      }
-    }
-    expect('"');
-    return Out;
-  }
-
-  int64_t parseInt() {
-    ws();
-    bool Neg = eat('-');
-    ws();
-    if (I >= S.size() || S[I] < '0' || S[I] > '9') {
-      Bad = true;
-      return 0;
-    }
-    uint64_t V = 0;
-    while (I < S.size() && S[I] >= '0' && S[I] <= '9')
-      V = V * 10 + static_cast<uint64_t>(S[I++] - '0');
-    return Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
-  }
-
-  bool parseBool() {
-    ws();
-    if (S.compare(I, 4, "true") == 0) {
-      I += 4;
-      return true;
-    }
-    if (S.compare(I, 5, "false") == 0) {
-      I += 5;
-      return false;
-    }
-    Bad = true;
-    return false;
-  }
-
-  std::vector<int64_t> parseIntArray() {
-    std::vector<int64_t> Out;
-    expect('[');
-    if (eat(']'))
-      return Out;
-    do
-      Out.push_back(parseInt());
-    while (!Bad && eat(','));
-    expect(']');
-    return Out;
-  }
-
-  /// Skips one value of any supported shape (for unknown keys).
-  void skipValue() {
-    char C = peek();
-    if (C == '"')
-      parseString();
-    else if (C == '[')
-      parseIntArray();
-    else if (C == 't' || C == 'f')
-      parseBool();
-    else
-      parseInt();
-  }
-};
-
-/// Walks a flat object, invoking \p OnKey(cursor, key) per entry.
-template <typename Fn> bool parseFlatObject(const std::string &Json, Fn OnKey) {
-  JsonCursor C(Json);
-  C.expect('{');
-  if (!C.eat('}')) {
-    do {
-      std::string Key = C.parseString();
-      C.expect(':');
-      if (C.Bad)
-        break;
-      OnKey(C, Key);
-    } while (!C.Bad && C.eat(','));
-    C.expect('}');
-  }
-  return !C.Bad;
-}
-
-} // namespace
 
 std::string sc::encodeRequest(const DaemonRequest &R) {
   std::string J = "{\"verb\":";
@@ -280,6 +88,10 @@ std::string sc::encodeFrame(const DaemonFrame &F) {
     J += ",\"scans\":" + std::to_string(F.InterfaceScans);
     J += ",\"scanHits\":" + std::to_string(F.ScanCacheHits);
     J += ",\"parses\":" + std::to_string(F.ObjectsParsed);
+    J += ",\"remoteHits\":" + std::to_string(F.RemoteHits);
+    J += ",\"remoteMisses\":" + std::to_string(F.RemoteMisses);
+    J += ",\"remotePuts\":" + std::to_string(F.RemotePuts);
+    J += ",\"remoteErrors\":" + std::to_string(F.RemoteErrors);
   }
   J += "}";
   return J;
@@ -307,6 +119,18 @@ bool sc::decodeFrame(const std::string &Json, DaemonFrame &F) {
       F.HasStats = true;
     } else if (Key == "parses") {
       F.ObjectsParsed = static_cast<uint64_t>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "remoteHits") {
+      F.RemoteHits = static_cast<uint64_t>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "remoteMisses") {
+      F.RemoteMisses = static_cast<uint64_t>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "remotePuts") {
+      F.RemotePuts = static_cast<uint64_t>(C.parseInt());
+      F.HasStats = true;
+    } else if (Key == "remoteErrors") {
+      F.RemoteErrors = static_cast<uint64_t>(C.parseInt());
       F.HasStats = true;
     } else
       C.skipValue();
@@ -346,6 +170,17 @@ RenderedOutcome sc::renderBuildOutcome(const BuildStats &Stats, bool Stateful,
         static_cast<unsigned long long>(Stats.Skip.PassesSkipped),
         static_cast<unsigned long long>(Stats.Skip.FunctionsReused),
         Stats.StateDBBytes / 1024.0);
+    R.Out += Buf;
+  }
+  // Only builds that exercised the remote tier mention it: a plain
+  // local build's output stays byte-for-byte what it always was.
+  if (Stats.RemoteHits || Stats.RemoteMisses || Stats.RemotePuts) {
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "scbuild: remote cache: %llu hit(s), %llu miss(es), %llu put(s)\n",
+        static_cast<unsigned long long>(Stats.RemoteHits),
+        static_cast<unsigned long long>(Stats.RemoteMisses),
+        static_cast<unsigned long long>(Stats.RemotePuts));
     R.Out += Buf;
   }
   return R;
@@ -437,12 +272,20 @@ std::string BuildDaemon::statusText() const {
   std::string T = "scbuildd: pid " + std::to_string(::getpid()) +
                   " serving '" + FS.root() + "', builds served " +
                   std::to_string(BuildsServed.load()) + "\n";
-  if (LastExit.HasStats)
+  if (LastExit.HasStats) {
     T += "scbuildd: last build: compiled " + std::to_string(LastExit.Compiled) +
          "/" + std::to_string(LastExit.Total) + ", interface scans " +
          std::to_string(LastExit.InterfaceScans) + " (cache hits " +
          std::to_string(LastExit.ScanCacheHits) + "), objects parsed " +
          std::to_string(LastExit.ObjectsParsed) + "\n";
+    if (LastExit.RemoteHits || LastExit.RemoteMisses || LastExit.RemotePuts ||
+        LastExit.RemoteErrors)
+      T += "scbuildd: last build remote cache: hits " +
+           std::to_string(LastExit.RemoteHits) + ", misses " +
+           std::to_string(LastExit.RemoteMisses) + ", puts " +
+           std::to_string(LastExit.RemotePuts) + ", errors " +
+           std::to_string(LastExit.RemoteErrors) + "\n";
+  }
   return T;
 }
 
@@ -500,6 +343,10 @@ void BuildDaemon::handleBuild(UnixSocket &Conn, const DaemonRequest &Req) {
   X.InterfaceScans = Stats.InterfaceScans;
   X.ScanCacheHits = Stats.ScanCacheHits;
   X.ObjectsParsed = Stats.ObjectsParsed;
+  X.RemoteHits = Stats.RemoteHits;
+  X.RemoteMisses = Stats.RemoteMisses;
+  X.RemotePuts = Stats.RemotePuts;
+  X.RemoteErrors = Stats.RemoteErrors;
   LastExit = X;
   Conn.sendFrame(encodeFrame(X));
 }

@@ -98,6 +98,13 @@ struct DaemonFrame {
   uint64_t InterfaceScans = 0;
   uint64_t ScanCacheHits = 0;
   uint64_t ObjectsParsed = 0;
+
+  // Remote object-cache counters (BuildOptions::RemoteCache; all zero
+  // when the tier is off).
+  uint64_t RemoteHits = 0;
+  uint64_t RemoteMisses = 0;
+  uint64_t RemotePuts = 0;
+  uint64_t RemoteErrors = 0;
 };
 
 std::string encodeRequest(const DaemonRequest &R);

@@ -18,7 +18,8 @@ std::string ObjectCache::objectPath(const std::string &SourcePath) const {
   return OutDir + "/" + SourcePath + ".o";
 }
 
-uint64_t ObjectCache::store(const std::string &SourcePath, MModule Object) {
+uint64_t ObjectCache::store(const std::string &SourcePath, MModule Object,
+                            std::string *BytesOut) {
   std::string Bytes = writeObject(Object);
   uint64_t Hash = hashString(Bytes);
   // The FS write stays under the lock: workers store distinct paths,
@@ -30,7 +31,43 @@ uint64_t ObjectCache::store(const std::string &SourcePath, MModule Object) {
   if (Writable && !OnDisk)
     StoresPersisted = false;
   Mem[SourcePath] = {Hash, Bytes.size(), !OnDisk, std::move(Object)};
+  if (BytesOut)
+    *BytesOut = std::move(Bytes);
   return Hash;
+}
+
+bool ObjectCache::storeFetched(const std::string &SourcePath,
+                               std::string Bytes, uint64_t ExpectedDigest) {
+  if (hashString(Bytes) != ExpectedDigest)
+    return false;
+  std::optional<MModule> Parsed = readObject(Bytes);
+  if (!Parsed)
+    return false;
+  // Same persistence contract as store(): a failed write keeps the
+  // entry memory-only and this TU recompiles next process. No
+  // Deserializations bump — see the header.
+  std::lock_guard<std::mutex> Lock(Mu);
+  bool OnDisk = Writable && atomicWriteFile(FS, objectPath(SourcePath), Bytes);
+  if (Writable && !OnDisk)
+    StoresPersisted = false;
+  Mem[SourcePath] = {ExpectedDigest, Bytes.size(), !OnDisk,
+                     std::move(*Parsed)};
+  return true;
+}
+
+bool ObjectCache::serializedBytes(const std::string &SourcePath,
+                                  uint64_t ExpectedHash, std::string &Out) {
+  if (std::optional<std::string> Bytes = FS.readFile(objectPath(SourcePath));
+      Bytes && hashString(*Bytes) == ExpectedHash) {
+    Out = std::move(*Bytes);
+    return true;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Mem.find(SourcePath);
+  if (It == Mem.end() || It->second.Hash != ExpectedHash)
+    return false;
+  Out = writeObject(It->second.Object);
+  return hashString(Out) == ExpectedHash;
 }
 
 const MModule *ObjectCache::load(const std::string &SourcePath,
@@ -45,16 +82,30 @@ const MModule *ObjectCache::load(const std::string &SourcePath,
       return &It->second.Object;
   }
   std::optional<std::string> Bytes = FS.readFile(objectPath(SourcePath));
-  if (!Bytes || hashString(*Bytes) != ExpectedHash)
+  if (!Bytes) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++NotFoundLoads;
     return nullptr;
+  }
+  if (hashString(*Bytes) != ExpectedHash) {
+    // Distinct from absence: the file exists but is not the object
+    // the manifest recorded — vandalism, torn write, or a foreign
+    // build. Callers recompile either way, but the stats (and the
+    // remote tier) care which it was.
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++CorruptLoads;
+    return nullptr;
+  }
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Mem.find(SourcePath);
   if (It != Mem.end() && It->second.Hash == ExpectedHash)
     return &It->second.Object;
   std::optional<MModule> Parsed = readObject(*Bytes);
   ++Deserializations;
-  if (!Parsed)
+  if (!Parsed) {
+    ++CorruptLoads;
     return nullptr; // Bytes matched the manifest but do not decode.
+  }
   Cached &C = Mem[SourcePath];
   C = {ExpectedHash, Bytes->size(), false, std::move(*Parsed)};
   return &C.Object;
@@ -73,6 +124,16 @@ void ObjectCache::resetStoreStatus() {
 uint64_t ObjectCache::deserializations() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Deserializations;
+}
+
+uint64_t ObjectCache::loadsNotFound() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NotFoundLoads;
+}
+
+uint64_t ObjectCache::loadsCorrupt() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return CorruptLoads;
 }
 
 uint64_t ObjectCache::objectBytes(const std::string &SourcePath) const {

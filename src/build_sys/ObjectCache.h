@@ -45,8 +45,28 @@ public:
   /// read-only mode) the entry is kept memory-only: this build still
   /// links correctly and the next process recompiles the TU (manifest
   /// hash mismatch). Returns the object-byte hash to record in the
-  /// manifest. Thread-safe (workers store concurrently).
-  uint64_t store(const std::string &SourcePath, MModule Object);
+  /// manifest. When \p BytesOut is non-null it receives the serialized
+  /// bytes (so a remote-cache publish needs no second serialization).
+  /// Thread-safe (workers store concurrently).
+  uint64_t store(const std::string &SourcePath, MModule Object,
+                 std::string *BytesOut = nullptr);
+
+  /// Admits bytes fetched from the remote cache tier: verifies
+  /// hash(Bytes) == ExpectedDigest, decodes, writes the object file,
+  /// and retains the parsed form — all exactly like a local compile's
+  /// store(), except deserializations() is NOT bumped: that counter
+  /// means "parsed-object-cache miss", and a remote arrival is
+  /// accounted by the driver as a RemoteHit instead. False (nothing
+  /// admitted) on hash mismatch or undecodable bytes.
+  bool storeFetched(const std::string &SourcePath, std::string Bytes,
+                    uint64_t ExpectedDigest);
+
+  /// Copies the serialized bytes whose hash is \p ExpectedHash into
+  /// \p Out — from disk when the on-disk bytes verify, else by
+  /// re-serializing the memory entry. False when neither source
+  /// matches. For publishing an already-built TU to the remote cache.
+  bool serializedBytes(const std::string &SourcePath, uint64_t ExpectedHash,
+                       std::string &Out);
 
   /// Returns the cached object for \p SourcePath iff the on-disk bytes
   /// hash to \p ExpectedHash (deserializing at most once per distinct
@@ -74,6 +94,14 @@ public:
   /// rebuild serves every clean TU from memory and adds zero.
   uint64_t deserializations() const;
 
+  /// load() misses split by cause, so callers (and the remote cache
+  /// tier) can tell a cold cache from a vandalized one:
+  /// loadsNotFound() counts absent object files; loadsCorrupt()
+  /// counts files that existed but failed the hash check or did not
+  /// decode — those TUs were quarantined (recompiled), never linked.
+  uint64_t loadsNotFound() const;
+  uint64_t loadsCorrupt() const;
+
   /// Drops \p SourcePath's memory entry and deletes its object file.
   void invalidate(const std::string &SourcePath);
 
@@ -95,6 +123,8 @@ private:
   std::map<std::string, Cached> Mem;
   bool StoresPersisted = true;  // Guarded by Mu.
   uint64_t Deserializations = 0; // Guarded by Mu.
+  uint64_t NotFoundLoads = 0;    // Guarded by Mu.
+  uint64_t CorruptLoads = 0;     // Guarded by Mu.
 };
 
 } // namespace sc

@@ -1,0 +1,86 @@
+//===- cache_sys/CacheDaemon.h - Shared object-cache daemon -----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server side of `sccached`: a Unix-domain-socket daemon serving
+/// the CacheProtocol get/put/touch/stats/shutdown verbs over a
+/// CacheStore. Unlike the build daemon (one request at a time against
+/// resident compiler caches), this daemon is a plain concurrent
+/// key-value service: the accept loop hands each connection to its own
+/// thread, connections are persistent (a build issues hundreds of
+/// requests over one connection), and the store's internal lock is the
+/// only serialization point.
+///
+/// Lifecycle mirrors scbuildd: start() binds the socket (unlinking a
+/// stale file after probing it is genuinely dead), serve() loops until
+/// requestStop() — from a signal handler or a client `shutdown` — or
+/// the idle timeout elapses, then joins every connection thread and
+/// unlinks the socket so clients degrade to local-only instead of
+/// hanging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_SYS_CACHEDAEMON_H
+#define SC_CACHE_SYS_CACHEDAEMON_H
+
+#include "cache_sys/CacheStore.h"
+#include "support/Socket.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sc {
+
+struct CacheDaemonConfig {
+  std::string SocketPath;      ///< Host path to bind.
+  std::string CacheRoot = "cache"; ///< Entry root inside the store FS.
+  uint64_t MaxBytes = 0;       ///< LRU budget; 0 = unlimited.
+  unsigned IdleTimeoutMs = 0;  ///< Exit after this much quiet; 0 = never.
+  bool Quiet = false;          ///< Suppress stderr chatter.
+};
+
+class CacheDaemon {
+public:
+  /// \p FS backs the store (RealFileSystem in production; tests may
+  /// pass an in-memory one).
+  CacheDaemon(VirtualFileSystem &FS, CacheDaemonConfig Config);
+  ~CacheDaemon();
+
+  /// Binds the socket and indexes the cache root. False (with \p Err)
+  /// when another live sccached owns the socket.
+  bool start(std::string *Err);
+
+  /// Accept loop; returns the process exit code. Blocks until
+  /// requestStop(), a client `shutdown`, or idle timeout.
+  int serve();
+
+  /// Async-signal-safe stop request.
+  void requestStop() { Stop.store(true); }
+
+  const CacheStore &store() const { return *Store; }
+
+private:
+  void chat(const char *Fmt, ...);
+  /// One connection's request loop (runs on its own thread).
+  void handleConnection(UnixSocket Conn);
+
+  VirtualFileSystem &FS;
+  CacheDaemonConfig Config;
+  std::unique_ptr<CacheStore> Store;
+  UnixSocket Listener;
+  std::string SockPath;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> ActivityTick{0}; ///< Bumped per request; idle reset.
+  std::vector<std::thread> Workers;
+};
+
+} // namespace sc
+
+#endif // SC_CACHE_SYS_CACHEDAEMON_H

@@ -1,0 +1,103 @@
+//===- cache_sys/CacheProtocol.h - sccached wire protocol -------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol between `sccached` (the shared object-cache
+/// daemon) and its clients, riding the same length-prefixed flat-JSON
+/// framing the build daemon uses (support/Socket.h + FlatJson.h).
+///
+/// Every request is one JSON header frame; a `put obj` request is
+/// followed by exactly one binary frame carrying the object bytes.
+/// Every response is one JSON header frame; a found `get obj` response
+/// is followed by exactly one binary frame carrying the bytes. All
+/// other payloads (action digests, stats) are small enough to ride
+/// inline in the header.
+///
+/// Two entry kinds share the store:
+///
+///  * `obj` — content-addressed object bytes. The key IS the 16-hex
+///    content hash of the bytes, so both ends can (and do) verify
+///    every transfer: the daemon rejects a put whose bytes do not hash
+///    to the key, evicts-never-serves a stored entry that fails the
+///    check on get, and the client re-verifies every fetched object
+///    before admitting it to the local cache.
+///  * `act` — action entries mapping an *input* key (hash of a TU's
+///    content hash, effective import interface hash, and build config
+///    hash) to the 16-hex digest of the object those inputs
+///    deterministically produce. This is what lets a cold workspace —
+///    which knows its inputs but has no manifest recording output
+///    hashes — resolve inputs -> digest -> verified bytes. A corrupt
+///    action value is harmless: it leads to an object miss or a hash
+///    mismatch, never to wrong bytes.
+///
+/// Decoders skip unknown keys (parseFlatObject), so the protocol can
+/// grow without breaking older peers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_SYS_CACHEPROTOCOL_H
+#define SC_CACHE_SYS_CACHEPROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace sc {
+
+/// Fixed-width lowercase hex spelling of a 64-bit hash — the wire and
+/// on-disk form of every cache key and digest.
+std::string hex16(uint64_t V);
+
+/// Strict inverse of hex16(): exactly 16 lowercase/uppercase hex
+/// digits. Anything else is a protocol error.
+bool parseHex16(const std::string &S, uint64_t &V);
+
+/// Aggregate counters the daemon reports via `stats` (and prints on
+/// shutdown). All lifetime totals since daemon start.
+struct CacheStats {
+  uint64_t Gets = 0;          ///< get requests served.
+  uint64_t Hits = 0;          ///< get requests that found a valid entry.
+  uint64_t Misses = 0;        ///< get requests that found nothing.
+  uint64_t Puts = 0;          ///< put requests that stored a new entry.
+  uint64_t Touches = 0;       ///< touch requests served.
+  uint64_t Evictions = 0;     ///< entries evicted to honor the budget.
+  uint64_t CorruptDropped = 0; ///< entries failing verification: rejected
+                               ///< puts + stored entries evicted on get.
+  uint64_t Entries = 0;       ///< live entries (objects + actions).
+  uint64_t BytesStored = 0;   ///< live payload bytes.
+  uint64_t MaxBytes = 0;      ///< configured budget (0 = unlimited).
+};
+
+/// One client request (the JSON header frame).
+struct CacheRequest {
+  enum class Op { Get, Put, Touch, Stats, Shutdown };
+  Op Operation = Op::Stats;
+  std::string Kind;   ///< "obj" or "act"; empty for stats/shutdown.
+  std::string Key;    ///< hex16 entry key.
+  std::string Digest; ///< put act: hex16 object digest this action maps to.
+  uint64_t Size = 0;  ///< put obj: byte count of the following binary frame.
+};
+
+/// One daemon response (the JSON header frame).
+struct CacheResponse {
+  bool Ok = false;      ///< Request was well-formed and processed.
+  bool Found = false;   ///< get/touch: entry exists (and verified, for obj).
+  bool Stored = false;  ///< put: entry admitted (false = rejected corrupt).
+  std::string Digest;   ///< get act hit: the mapped object digest.
+  uint64_t Size = 0;    ///< get obj hit: byte count of the following frame.
+  std::string Error;    ///< Ok == false: human-readable reason.
+  bool HasStats = false;
+  CacheStats Stats;
+};
+
+std::string encodeCacheRequest(const CacheRequest &R);
+bool decodeCacheRequest(const std::string &Json, CacheRequest &R);
+
+std::string encodeCacheResponse(const CacheResponse &R);
+bool decodeCacheResponse(const std::string &Json, CacheResponse &R);
+
+} // namespace sc
+
+#endif // SC_CACHE_SYS_CACHEPROTOCOL_H

@@ -1,0 +1,178 @@
+//===- cache_sys/CacheStore.cpp - Content-addressed LRU store ------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache_sys/CacheStore.h"
+
+#include "support/AtomicFile.h"
+#include "support/Hashing.h"
+
+using namespace sc;
+
+CacheStore::CacheStore(VirtualFileSystem &FS, std::string Root,
+                       uint64_t MaxBytes)
+    : FS(FS), Root(std::move(Root)), MaxBytes(MaxBytes) {
+  indexExisting();
+}
+
+std::string CacheStore::relPath(Kind K, uint64_t Key) const {
+  return (K == Kind::Object ? "obj/" : "act/") + hex16(Key);
+}
+
+void CacheStore::indexExisting() {
+  const std::string ObjPrefix = Root + "/obj/";
+  const std::string ActPrefix = Root + "/act/";
+  for (const std::string &Path : FS.listFiles()) {
+    bool IsObj = Path.compare(0, ObjPrefix.size(), ObjPrefix) == 0;
+    bool IsAct = Path.compare(0, ActPrefix.size(), ActPrefix) == 0;
+    if ((!IsObj && !IsAct) || isAtomicTempPath(Path))
+      continue;
+    std::optional<std::string> Bytes = FS.readFile(Path);
+    if (!Bytes)
+      continue;
+    // Re-index under the root-relative name; verification happens
+    // lazily on get, so a vandalized survivor costs nothing until
+    // someone asks for it.
+    admit(Path.substr(Root.size() + 1), Bytes->size());
+  }
+}
+
+void CacheStore::admit(const std::string &Rel, uint64_t Bytes) {
+  auto It = Index.find(Rel);
+  if (It != Index.end()) {
+    Lru.splice(Lru.end(), Lru, It->second.LruIt);
+    TotalBytes += Bytes - It->second.Bytes;
+    It->second.Bytes = Bytes;
+  } else {
+    Lru.push_back(Rel);
+    Index[Rel] = {std::prev(Lru.end()), Bytes};
+    TotalBytes += Bytes;
+  }
+  // Evict cold entries until the budget holds. The entry just
+  // admitted sits at the hot end and is never evicted — a single
+  // over-budget object is still served to the client that asked for
+  // it rather than thrashing.
+  while (MaxBytes && TotalBytes > MaxBytes && Lru.size() > 1) {
+    const std::string Cold = Lru.front();
+    FS.removeFile(Root + "/" + Cold);
+    drop(Cold);
+    ++S.Evictions;
+  }
+}
+
+void CacheStore::drop(const std::string &Rel) {
+  auto It = Index.find(Rel);
+  if (It == Index.end())
+    return;
+  TotalBytes -= It->second.Bytes;
+  Lru.erase(It->second.LruIt);
+  Index.erase(It);
+}
+
+bool CacheStore::putObject(uint64_t Key, const std::string &Bytes) {
+  // Verify before anything touches disk: a client claiming bytes it
+  // does not have must not poison the fleet.
+  if (hashString(Bytes) != Key) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.CorruptDropped;
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  const std::string Rel = relPath(Kind::Object, Key);
+  if (Index.count(Rel)) {
+    admit(Rel, Bytes.size()); // Recency refresh only.
+    return true;
+  }
+  if (!atomicWriteFile(FS, Root + "/" + Rel, Bytes))
+    return false;
+  admit(Rel, Bytes.size());
+  ++S.Puts;
+  return true;
+}
+
+bool CacheStore::getObject(uint64_t Key, std::string &Bytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Gets;
+  const std::string Rel = relPath(Kind::Object, Key);
+  auto It = Index.find(Rel);
+  if (It == Index.end()) {
+    ++S.Misses;
+    return false;
+  }
+  std::optional<std::string> Read = FS.readFile(Root + "/" + Rel);
+  if (!Read || hashString(*Read) != Key) {
+    // Evict, never serve. Absent bytes under a live index entry count
+    // as corruption too — something outside the daemon deleted them.
+    FS.removeFile(Root + "/" + Rel);
+    drop(Rel);
+    ++S.CorruptDropped;
+    ++S.Misses;
+    return false;
+  }
+  admit(Rel, Read->size());
+  ++S.Hits;
+  Bytes = std::move(*Read);
+  return true;
+}
+
+bool CacheStore::putAction(uint64_t Key, uint64_t Digest) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  const std::string Rel = relPath(Kind::Action, Key);
+  const std::string Value = hex16(Digest);
+  if (auto Existing = FS.readFile(Root + "/" + Rel);
+      Existing && *Existing == Value) {
+    admit(Rel, Value.size());
+    return true;
+  }
+  if (!atomicWriteFile(FS, Root + "/" + Rel, Value))
+    return false;
+  bool Fresh = !Index.count(Rel);
+  admit(Rel, Value.size());
+  if (Fresh)
+    ++S.Puts;
+  return true;
+}
+
+bool CacheStore::getAction(uint64_t Key, uint64_t &Digest) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Gets;
+  const std::string Rel = relPath(Kind::Action, Key);
+  auto It = Index.find(Rel);
+  if (It == Index.end()) {
+    ++S.Misses;
+    return false;
+  }
+  std::optional<std::string> Read = FS.readFile(Root + "/" + Rel);
+  if (!Read || !parseHex16(*Read, Digest)) {
+    FS.removeFile(Root + "/" + Rel);
+    drop(Rel);
+    ++S.CorruptDropped;
+    ++S.Misses;
+    return false;
+  }
+  admit(Rel, Read->size());
+  ++S.Hits;
+  return true;
+}
+
+bool CacheStore::touch(Kind K, uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Touches;
+  const std::string Rel = relPath(K, Key);
+  auto It = Index.find(Rel);
+  if (It == Index.end())
+    return false;
+  admit(Rel, It->second.Bytes);
+  return true;
+}
+
+CacheStats CacheStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  CacheStats Out = S;
+  Out.Entries = Index.size();
+  Out.BytesStored = TotalBytes;
+  Out.MaxBytes = MaxBytes;
+  return Out;
+}

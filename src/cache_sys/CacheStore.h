@@ -1,0 +1,109 @@
+//===- cache_sys/CacheStore.h - Content-addressed LRU store -----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sccached daemon's storage engine: a content-addressed,
+/// LRU-bounded entry store over a VirtualFileSystem. Two entry kinds
+/// (see CacheProtocol.h): `obj` entries whose key is the content hash
+/// of their bytes, and tiny `act` entries mapping an input key to an
+/// object digest.
+///
+/// Layout under the root: `<root>/obj/<hex16>` (raw object bytes) and
+/// `<root>/act/<hex16>` (the mapped digest as 16 hex chars). Every
+/// write is atomic (temp + rename), so a crashed daemon never leaves a
+/// torn entry; whatever IS on disk when a daemon starts is re-indexed
+/// and reused — the cache survives daemon restarts.
+///
+/// Integrity is enforced at both edges: a put whose bytes do not hash
+/// to the claimed key is rejected (never stored), and a stored object
+/// that no longer hashes to its key on get is evicted on the spot and
+/// never served. Corrupt entries are therefore indistinguishable from
+/// misses to clients — but counted separately (CorruptDropped), so
+/// operators and tests can tell vandalism from cold caches.
+///
+/// The LRU budget (`MaxBytes`, 0 = unlimited) counts payload bytes of
+/// both kinds; inserting past the budget evicts least-recently-used
+/// entries (gets and touches refresh recency) until the new entry
+/// fits. All methods are thread-safe — the daemon serves concurrent
+/// connections against one store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_SYS_CACHESTORE_H
+#define SC_CACHE_SYS_CACHESTORE_H
+
+#include "cache_sys/CacheProtocol.h"
+#include "support/FileSystem.h"
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sc {
+
+class CacheStore {
+public:
+  enum class Kind { Object, Action };
+
+  /// Indexes whatever already lives under `<Root>/obj/` and
+  /// `<Root>/act/` (recency order is arbitrary for pre-existing
+  /// entries); new entries append in true access order.
+  CacheStore(VirtualFileSystem &FS, std::string Root, uint64_t MaxBytes);
+
+  /// Stores object bytes under their content hash. Returns false —
+  /// and stores nothing — when hash(Bytes) != Key (a corrupt or lying
+  /// client) or the write fails. Re-putting an existing key just
+  /// refreshes its recency.
+  bool putObject(uint64_t Key, const std::string &Bytes);
+
+  /// Fetches and verifies an object. False on absence, on hash
+  /// mismatch (the entry is evicted and counted CorruptDropped — it
+  /// will never be served), or read failure.
+  bool getObject(uint64_t Key, std::string &Bytes);
+
+  /// Maps input key -> object digest.
+  bool putAction(uint64_t Key, uint64_t Digest);
+
+  /// Resolves an input key. A stored value that does not parse as a
+  /// digest is dropped as corrupt.
+  bool getAction(uint64_t Key, uint64_t &Digest);
+
+  /// Refreshes an entry's recency without reading it; false when
+  /// absent. This is how a warm builder keeps the fleet's hot set
+  /// alive without re-uploading it.
+  bool touch(Kind K, uint64_t Key);
+
+  CacheStats stats() const;
+
+private:
+  std::string relPath(Kind K, uint64_t Key) const;
+  void indexExisting();
+  /// Inserts or refreshes \p Rel in the LRU index, then evicts from
+  /// the cold end until the budget holds (the newest entry is never
+  /// evicted). Caller holds Mu.
+  void admit(const std::string &Rel, uint64_t Bytes);
+  void drop(const std::string &Rel);
+
+  VirtualFileSystem &FS;
+  const std::string Root;
+  const uint64_t MaxBytes;
+
+  mutable std::mutex Mu;
+  struct Entry {
+    std::list<std::string>::iterator LruIt;
+    uint64_t Bytes = 0;
+  };
+  std::list<std::string> Lru; ///< front = coldest, back = hottest.
+  std::map<std::string, Entry> Index;
+  uint64_t TotalBytes = 0;
+  CacheStats S;
+};
+
+} // namespace sc
+
+#endif // SC_CACHE_SYS_CACHESTORE_H

@@ -1,0 +1,142 @@
+//===- cache_sys/RemoteCacheClient.cpp - sccached client -----------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache_sys/RemoteCacheClient.h"
+
+#include "support/Hashing.h"
+
+using namespace sc;
+
+namespace {
+/// Generous per-frame budget: a fetch of a many-MiB object over a
+/// loaded local socket stays well inside it, while a dead daemon
+/// (closed socket) fails immediately, not after the timeout.
+constexpr unsigned FrameTimeoutMs = 30000;
+} // namespace
+
+std::unique_ptr<RemoteCacheClient>
+RemoteCacheClient::connect(const std::string &SocketPath, std::string *Err) {
+  UnixSocket Conn = UnixSocket::connectTo(SocketPath, Err);
+  if (!Conn.valid())
+    return nullptr;
+  return std::unique_ptr<RemoteCacheClient>(
+      new RemoteCacheClient(std::move(Conn)));
+}
+
+bool RemoteCacheClient::roundTrip(const CacheRequest &Req, CacheResponse &Resp,
+                                  const std::string *ObjBytes,
+                                  std::string *RespBytes) {
+  if (Failed)
+    return false;
+  auto Fail = [&] {
+    Failed = true;
+    Conn.close();
+    return false;
+  };
+  if (!Conn.sendFrame(encodeCacheRequest(Req)))
+    return Fail();
+  if (ObjBytes && !Conn.sendFrame(*ObjBytes))
+    return Fail();
+  std::string Header;
+  if (!Conn.recvFrame(Header, FrameTimeoutMs, nullptr))
+    return Fail();
+  if (!decodeCacheResponse(Header, Resp) || !Resp.Ok)
+    return Fail();
+  if (RespBytes && Resp.Found) {
+    if (!Conn.recvFrame(*RespBytes, FrameTimeoutMs, nullptr))
+      return Fail();
+    if (RespBytes->size() != Resp.Size)
+      return Fail();
+  }
+  return true;
+}
+
+RemoteCacheClient::Result
+RemoteCacheClient::fetch(uint64_t InputKey, uint64_t &Digest,
+                         std::string &Bytes) {
+  CacheRequest Req;
+  Req.Operation = CacheRequest::Op::Get;
+  Req.Kind = "act";
+  Req.Key = hex16(InputKey);
+  CacheResponse Resp;
+  if (!roundTrip(Req, Resp, nullptr, nullptr))
+    return Result::Error;
+  if (!Resp.Found || !parseHex16(Resp.Digest, Digest))
+    return Result::Miss;
+
+  Req.Kind = "obj";
+  Req.Key = Resp.Digest;
+  CacheResponse ObjResp;
+  if (!roundTrip(Req, ObjResp, nullptr, &Bytes))
+    return Result::Error;
+  if (!ObjResp.Found)
+    return Result::Miss;
+  // Never trust the wire: the daemon verified its copy, but these
+  // bytes crossed a socket since.
+  if (hashString(Bytes) != Digest)
+    return Result::Miss;
+  return Result::Hit;
+}
+
+RemoteCacheClient::Result
+RemoteCacheClient::publish(uint64_t InputKey, uint64_t Digest,
+                           const std::string &Bytes) {
+  CacheRequest Req;
+  Req.Operation = CacheRequest::Op::Put;
+  Req.Kind = "obj";
+  Req.Key = hex16(Digest);
+  Req.Size = Bytes.size();
+  CacheResponse Resp;
+  if (!roundTrip(Req, Resp, &Bytes, nullptr))
+    return Result::Error;
+
+  Req = CacheRequest();
+  Req.Operation = CacheRequest::Op::Put;
+  Req.Kind = "act";
+  Req.Key = hex16(InputKey);
+  Req.Digest = hex16(Digest);
+  CacheResponse ActResp;
+  if (!roundTrip(Req, ActResp, nullptr, nullptr))
+    return Result::Error;
+  return Resp.Stored || ActResp.Stored ? Result::Hit : Result::Miss;
+}
+
+RemoteCacheClient::Result
+RemoteCacheClient::touchEntry(uint64_t InputKey, uint64_t Digest) {
+  CacheRequest Req;
+  Req.Operation = CacheRequest::Op::Touch;
+  Req.Kind = "act";
+  Req.Key = hex16(InputKey);
+  CacheResponse ActResp;
+  if (!roundTrip(Req, ActResp, nullptr, nullptr))
+    return Result::Error;
+
+  Req.Kind = "obj";
+  Req.Key = hex16(Digest);
+  CacheResponse ObjResp;
+  if (!roundTrip(Req, ObjResp, nullptr, nullptr))
+    return Result::Error;
+  return ActResp.Found && ObjResp.Found ? Result::Hit : Result::Miss;
+}
+
+RemoteCacheClient::Result RemoteCacheClient::stats(CacheStats &Out) {
+  CacheRequest Req;
+  Req.Operation = CacheRequest::Op::Stats;
+  CacheResponse Resp;
+  if (!roundTrip(Req, Resp, nullptr, nullptr))
+    return Result::Error;
+  if (!Resp.HasStats)
+    return Result::Miss;
+  Out = Resp.Stats;
+  return Result::Hit;
+}
+
+bool RemoteCacheClient::shutdownServer() {
+  CacheRequest Req;
+  Req.Operation = CacheRequest::Op::Shutdown;
+  CacheResponse Resp;
+  return roundTrip(Req, Resp, nullptr, nullptr);
+}

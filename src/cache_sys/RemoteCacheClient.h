@@ -1,0 +1,89 @@
+//===- cache_sys/RemoteCacheClient.h - sccached client ----------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The build-side client of `sccached`, speaking CacheProtocol over
+/// one persistent connection. The BuildDriver composes its verbs into
+/// the tiering contract:
+///
+///   local miss -> fetch(input key)     [action -> object -> verify]
+///   local hit  -> touchOrNeedPut(key)  [keep the fleet's hot set warm]
+///   compiled   -> publish(key, digest, bytes)
+///
+/// Every fetched object is re-verified here (hash(bytes) == digest)
+/// before the caller may admit it to the local cache — the daemon
+/// verifies too, but a client never trusts the wire. Results are
+/// three-valued: Hit/Miss describe the cache, Error means the remote
+/// is unusable (dead daemon, protocol desync) — the driver's cue to
+/// degrade to local-only. After any Error the client latches into a
+/// failed state and answers Error without touching the socket, so one
+/// warning covers the whole build.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_CACHE_SYS_REMOTECACHECLIENT_H
+#define SC_CACHE_SYS_REMOTECACHECLIENT_H
+
+#include "cache_sys/CacheProtocol.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace sc {
+
+class RemoteCacheClient {
+public:
+  enum class Result { Hit, Miss, Error };
+
+  /// Connects to a listening sccached; null (with \p Err) when nothing
+  /// answers — the caller treats that like any other remote error.
+  static std::unique_ptr<RemoteCacheClient>
+  connect(const std::string &SocketPath, std::string *Err);
+
+  /// Full fetch pipeline for one TU: resolve the action entry for
+  /// \p InputKey, fetch the object it names, verify the bytes hash to
+  /// the digest. On Hit, \p Digest and \p Bytes are the verified
+  /// object. A fetched-but-corrupt object reports Miss (the daemon
+  /// already evicted its copy; we recompile).
+  Result fetch(uint64_t InputKey, uint64_t &Digest, std::string &Bytes);
+
+  /// Publishes a compiled object and its action mapping.
+  Result publish(uint64_t InputKey, uint64_t Digest,
+                 const std::string &Bytes);
+
+  /// Refreshes the action + object entries for a locally-clean TU;
+  /// Miss means the remote lacks (part of) it and the caller should
+  /// publish. This is what lets an already-warm builder populate a
+  /// cold fleet cache without recompiling anything.
+  Result touchEntry(uint64_t InputKey, uint64_t Digest);
+
+  Result stats(CacheStats &Out);
+
+  /// Asks the daemon to exit; true when it acknowledged.
+  bool shutdownServer();
+
+  /// True once any operation failed; all further calls return Error
+  /// cheaply.
+  bool failed() const { return Failed; }
+
+private:
+  explicit RemoteCacheClient(UnixSocket Conn) : Conn(std::move(Conn)) {}
+
+  /// One request/response exchange. Sends \p ObjBytes as a binary
+  /// frame after the header when non-null; receives a binary payload
+  /// into \p RespBytes when the response announces one.
+  bool roundTrip(const CacheRequest &Req, CacheResponse &Resp,
+                 const std::string *ObjBytes, std::string *RespBytes);
+
+  UnixSocket Conn;
+  bool Failed = false;
+};
+
+} // namespace sc
+
+#endif // SC_CACHE_SYS_REMOTECACHECLIENT_H

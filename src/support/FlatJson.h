@@ -1,0 +1,232 @@
+//===- support/FlatJson.h - Flat-JSON wire codec helpers --------*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hand-rolled flat-JSON codec shared by every socket protocol in
+/// the project (the build daemon `scbuildd` and the object-cache daemon
+/// `sccached`). A wire message is a single-level JSON object whose
+/// values are strings, integers, booleans, or arrays of integers —
+/// enough for the protocols, small enough to hand-roll, and readable
+/// with `socat` when debugging. Decoders built on parseFlatObject()
+/// skip unknown keys, so every protocol can grow without breaking
+/// older peers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_FLATJSON_H
+#define SC_SUPPORT_FLATJSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sc {
+
+/// Appends \p S to \p Out as a quoted, escaped JSON string literal.
+inline void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+/// Cursor over a JSON text. Parse failures set Bad; every accessor is a
+/// no-op once Bad, so callers check once at the end.
+struct JsonCursor {
+  const std::string &S;
+  size_t I = 0;
+  bool Bad = false;
+
+  explicit JsonCursor(const std::string &S) : S(S) {}
+
+  void ws() {
+    while (I < S.size() && (S[I] == ' ' || S[I] == '\t' || S[I] == '\n' ||
+                            S[I] == '\r'))
+      ++I;
+  }
+  bool eat(char C) {
+    ws();
+    if (I < S.size() && S[I] == C) {
+      ++I;
+      return true;
+    }
+    return false;
+  }
+  void expect(char C) {
+    if (!eat(C))
+      Bad = true;
+  }
+  char peek() {
+    ws();
+    return I < S.size() ? S[I] : '\0';
+  }
+
+  std::string parseString() {
+    std::string Out;
+    expect('"');
+    while (!Bad && I < S.size() && S[I] != '"') {
+      char C = S[I++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (I >= S.size()) {
+        Bad = true;
+        break;
+      }
+      char E = S[I++];
+      switch (E) {
+      case '"':  Out += '"';  break;
+      case '\\': Out += '\\'; break;
+      case '/':  Out += '/';  break;
+      case 'n':  Out += '\n'; break;
+      case 'r':  Out += '\r'; break;
+      case 't':  Out += '\t'; break;
+      case 'b':  Out += '\b'; break;
+      case 'f':  Out += '\f'; break;
+      case 'u': {
+        if (I + 4 > S.size()) {
+          Bad = true;
+          break;
+        }
+        unsigned V = 0;
+        for (int K = 0; K != 4; ++K) {
+          char H = S[I++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            Bad = true;
+        }
+        // The encoder only emits \u00XX control escapes; anything else
+        // is clamped into one byte, which is fine for these protocols.
+        Out += static_cast<char>(V & 0xff);
+        break;
+      }
+      default:
+        Bad = true;
+      }
+    }
+    expect('"');
+    return Out;
+  }
+
+  int64_t parseInt() {
+    ws();
+    bool Neg = eat('-');
+    ws();
+    if (I >= S.size() || S[I] < '0' || S[I] > '9') {
+      Bad = true;
+      return 0;
+    }
+    uint64_t V = 0;
+    while (I < S.size() && S[I] >= '0' && S[I] <= '9')
+      V = V * 10 + static_cast<uint64_t>(S[I++] - '0');
+    return Neg ? -static_cast<int64_t>(V) : static_cast<int64_t>(V);
+  }
+
+  /// Unsigned 64-bit variant (counters, byte sizes); a leading '-'
+  /// marks the document malformed.
+  uint64_t parseU64() {
+    ws();
+    if (I < S.size() && S[I] == '-') {
+      Bad = true;
+      return 0;
+    }
+    return static_cast<uint64_t>(parseInt());
+  }
+
+  bool parseBool() {
+    ws();
+    if (S.compare(I, 4, "true") == 0) {
+      I += 4;
+      return true;
+    }
+    if (S.compare(I, 5, "false") == 0) {
+      I += 5;
+      return false;
+    }
+    Bad = true;
+    return false;
+  }
+
+  std::vector<int64_t> parseIntArray() {
+    std::vector<int64_t> Out;
+    expect('[');
+    if (eat(']'))
+      return Out;
+    do
+      Out.push_back(parseInt());
+    while (!Bad && eat(','));
+    expect(']');
+    return Out;
+  }
+
+  /// Skips one value of any supported shape (for unknown keys).
+  void skipValue() {
+    char C = peek();
+    if (C == '"')
+      parseString();
+    else if (C == '[')
+      parseIntArray();
+    else if (C == 't' || C == 'f')
+      parseBool();
+    else
+      parseInt();
+  }
+};
+
+/// Walks a flat object, invoking \p OnKey(cursor, key) per entry.
+/// Returns false when the document is malformed.
+template <typename Fn> bool parseFlatObject(const std::string &Json, Fn OnKey) {
+  JsonCursor C(Json);
+  C.expect('{');
+  if (!C.eat('}')) {
+    do {
+      std::string Key = C.parseString();
+      C.expect(':');
+      if (C.Bad)
+        break;
+      OnKey(C, Key);
+    } while (!C.Bad && C.eat(','));
+    C.expect('}');
+  }
+  return !C.Bad;
+}
+
+} // namespace sc
+
+#endif // SC_SUPPORT_FLATJSON_H

@@ -16,7 +16,26 @@
 
 using namespace sc;
 
+// Linux spells write-side SIGPIPE suppression MSG_NOSIGNAL; the BSDs
+// (including macOS) spell it SO_NOSIGPIPE on the socket instead. Cover
+// both so a dead peer is always a send error, never a fatal signal.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
 namespace {
+
+/// Best-effort SO_NOSIGPIPE for platforms without MSG_NOSIGNAL. On
+/// Linux this is a no-op (the flag covers it); elsewhere it is the only
+/// line of defense, applied to every socket we create or accept.
+void suppressSigpipe(int FD) {
+#ifdef SO_NOSIGPIPE
+  int One = 1;
+  ::setsockopt(FD, SOL_SOCKET, SO_NOSIGPIPE, &One, sizeof(One));
+#else
+  (void)FD;
+#endif
+}
 
 bool fillAddress(const std::string &Path, sockaddr_un &Addr,
                  std::string *Err) {
@@ -65,6 +84,7 @@ UnixSocket UnixSocket::listenOn(const std::string &Path, std::string *Err) {
       *Err = std::strerror(errno);
     return UnixSocket();
   }
+  suppressSigpipe(FD);
   if (::bind(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
       ::listen(FD, 8) != 0) {
     if (Err)
@@ -85,7 +105,12 @@ UnixSocket UnixSocket::connectTo(const std::string &Path, std::string *Err) {
       *Err = std::strerror(errno);
     return UnixSocket();
   }
-  if (::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+  suppressSigpipe(FD);
+  int R;
+  do
+    R = ::connect(FD, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  while (R != 0 && errno == EINTR);
+  if (R != 0) {
     if (Err)
       *Err = std::strerror(errno);
     ::close(FD);
@@ -119,9 +144,13 @@ void UnixSocket::close() {
 UnixSocket UnixSocket::accept(unsigned TimeoutMs, bool *TimedOut) {
   if (!waitReadable(FD, TimeoutMs, TimedOut))
     return UnixSocket();
-  int Conn = ::accept(FD, nullptr, nullptr);
+  int Conn;
+  do
+    Conn = ::accept(FD, nullptr, nullptr);
+  while (Conn < 0 && errno == EINTR);
   if (Conn < 0)
     return UnixSocket();
+  suppressSigpipe(Conn);
   return UnixSocket(Conn);
 }
 
@@ -150,13 +179,20 @@ bool UnixSocket::sendFrame(const std::string &Payload) {
   return true;
 }
 
-bool UnixSocket::recvFrame(std::string &Payload, unsigned TimeoutMs) {
-  if (FD < 0)
+bool UnixSocket::recvFrame(std::string &Payload, unsigned TimeoutMs,
+                           RecvStatus *Status) {
+  auto Fail = [&](RecvStatus R) {
+    if (Status)
+      *Status = R;
     return false;
+  };
+  if (FD < 0)
+    return Fail(RecvStatus::Disconnected);
+  bool TimedOut = false;
   auto ReadExactly = [&](char *Buf, size_t Want) {
     size_t Off = 0;
     while (Off != Want) {
-      if (!waitReadable(FD, TimeoutMs, nullptr))
+      if (!waitReadable(FD, TimeoutMs, &TimedOut))
         return false;
       ssize_t N = ::recv(FD, Buf + Off, Want - Off, 0);
       if (N <= 0) {
@@ -170,13 +206,19 @@ bool UnixSocket::recvFrame(std::string &Payload, unsigned TimeoutMs) {
   };
   unsigned char Header[4];
   if (!ReadExactly(reinterpret_cast<char *>(Header), 4))
-    return false;
+    return Fail(TimedOut ? RecvStatus::TimedOut : RecvStatus::Disconnected);
   const uint32_t Len = static_cast<uint32_t>(Header[0]) |
                        (static_cast<uint32_t>(Header[1]) << 8) |
                        (static_cast<uint32_t>(Header[2]) << 16) |
                        (static_cast<uint32_t>(Header[3]) << 24);
+  // Reject before resize(): a corrupt header must never drive an
+  // allocation.
   if (Len > MaxFramePayload)
-    return false;
+    return Fail(RecvStatus::ProtocolError);
   Payload.resize(Len);
-  return Len == 0 || ReadExactly(Payload.data(), Len);
+  if (Len != 0 && !ReadExactly(Payload.data(), Len))
+    return Fail(TimedOut ? RecvStatus::TimedOut : RecvStatus::Disconnected);
+  if (Status)
+    *Status = RecvStatus::Ok;
+  return true;
 }

@@ -14,9 +14,23 @@
 ///
 /// All operations are blocking with explicit millisecond timeouts
 /// (poll(2) before accept/read), so a stuck peer can never wedge the
-/// daemon's accept loop or a client waiting on a dead daemon. Sends use
-/// MSG_NOSIGNAL: a client that disconnects mid-response surfaces as a
-/// send error, not a fatal SIGPIPE.
+/// daemon's accept loop or a client waiting on a dead daemon.
+///
+/// Multi-client-server hardening (the sccached daemon serves many
+/// concurrent peers, any of which may die mid-frame):
+///
+///  * SIGPIPE is suppressed on writes — MSG_NOSIGNAL where the
+///    platform has it, SO_NOSIGPIPE on the socket otherwise — so a
+///    peer that disconnects mid-response surfaces as a send error on
+///    that one connection, never a process-fatal signal.
+///  * Short reads/writes and EINTR are retried everywhere (send,
+///    recv, poll, accept, connect); a signal-heavy host cannot tear a
+///    frame.
+///  * A frame header announcing more than MaxFramePayload bytes is
+///    rejected as a protocol error *before* any allocation is
+///    attempted — a corrupt or malicious peer cannot OOM the server —
+///    and recvFrame() distinguishes that verdict from a plain
+///    disconnect via its optional status out-param.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -61,14 +75,25 @@ public:
   /// error (\p TimedOut false).
   UnixSocket accept(unsigned TimeoutMs, bool *TimedOut);
 
+  /// Why recvFrame() returned false (RecvStatus::Ok accompanies true).
+  enum class RecvStatus {
+    Ok,            ///< A complete frame was received.
+    Disconnected,  ///< Peer closed or hard I/O error mid-frame.
+    TimedOut,      ///< No (further) bytes within TimeoutMs.
+    ProtocolError, ///< Header announced more than MaxFramePayload.
+  };
+
   /// Sends one length-prefixed frame. Returns false when the peer is
-  /// gone or the write fails.
+  /// gone or the write fails (SIGPIPE is suppressed — see file
+  /// comment).
   bool sendFrame(const std::string &Payload);
 
   /// Receives one length-prefixed frame, waiting at most \p TimeoutMs
   /// for each chunk. Returns false on timeout, disconnect, or a frame
-  /// announcing more than MaxFramePayload bytes.
-  bool recvFrame(std::string &Payload, unsigned TimeoutMs);
+  /// announcing more than MaxFramePayload bytes (rejected before any
+  /// allocation); \p Status, when non-null, says which.
+  bool recvFrame(std::string &Payload, unsigned TimeoutMs,
+                 RecvStatus *Status = nullptr);
 
   void close();
 

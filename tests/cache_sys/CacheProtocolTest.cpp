@@ -1,0 +1,136 @@
+//===- tests/cache_sys/CacheProtocolTest.cpp - Wire codec tests -----------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The sccached wire codec: every field of every request/response shape
+// survives an encode/decode round trip, hex16 keys are strict in both
+// directions, and — because the protocol must be able to grow without
+// breaking older peers — decoders skip keys they do not know.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache_sys/CacheProtocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace sc;
+
+TEST(CacheProtocol, Hex16RoundTrip) {
+  EXPECT_EQ(hex16(0), "0000000000000000");
+  EXPECT_EQ(hex16(0xdeadbeefcafef00dULL), "deadbeefcafef00d");
+  for (uint64_t V : {0ULL, 1ULL, 0xffffffffffffffffULL, 0x123456789abcdefULL}) {
+    uint64_t Back = ~V;
+    ASSERT_TRUE(parseHex16(hex16(V), Back));
+    EXPECT_EQ(Back, V);
+  }
+}
+
+TEST(CacheProtocol, ParseHex16IsStrict) {
+  uint64_t V = 0;
+  EXPECT_FALSE(parseHex16("", V));
+  EXPECT_FALSE(parseHex16("abc", V));                  // Too short.
+  EXPECT_FALSE(parseHex16("00000000000000000", V));    // Too long.
+  EXPECT_FALSE(parseHex16("000000000000000g", V));     // Non-hex digit.
+  EXPECT_FALSE(parseHex16("0x00000000000000", V));     // No 0x prefix.
+  EXPECT_TRUE(parseHex16("DEADBEEFCAFEF00D", V));      // Uppercase OK.
+  EXPECT_EQ(V, 0xdeadbeefcafef00dULL);
+}
+
+TEST(CacheProtocol, RequestRoundTripsEveryOp) {
+  using Op = CacheRequest::Op;
+  for (Op O : {Op::Get, Op::Put, Op::Touch, Op::Stats, Op::Shutdown}) {
+    CacheRequest R;
+    R.Operation = O;
+    R.Kind = "obj";
+    R.Key = hex16(0x1111222233334444ULL);
+    R.Digest = hex16(0x5555666677778888ULL);
+    R.Size = 123456789;
+    CacheRequest Back;
+    ASSERT_TRUE(decodeCacheRequest(encodeCacheRequest(R), Back));
+    EXPECT_EQ(Back.Operation, O);
+    EXPECT_EQ(Back.Kind, R.Kind);
+    EXPECT_EQ(Back.Key, R.Key);
+    EXPECT_EQ(Back.Digest, R.Digest);
+    EXPECT_EQ(Back.Size, R.Size);
+  }
+}
+
+TEST(CacheProtocol, RequestDecoderRejectsGarbage) {
+  CacheRequest R;
+  EXPECT_FALSE(decodeCacheRequest("", R));
+  EXPECT_FALSE(decodeCacheRequest("not json", R));
+  EXPECT_FALSE(decodeCacheRequest("{\"kind\": \"obj\"}", R)); // No op.
+  EXPECT_FALSE(decodeCacheRequest("{\"op\": \"frobnicate\"}", R));
+}
+
+TEST(CacheProtocol, ResponseRoundTripsStats) {
+  CacheResponse R;
+  R.Ok = true;
+  R.Found = true;
+  R.Stored = true;
+  R.Digest = hex16(0xabcdef0123456789ULL);
+  R.Size = 4096;
+  R.HasStats = true;
+  R.Stats.Gets = 1;
+  R.Stats.Hits = 2;
+  R.Stats.Misses = 3;
+  R.Stats.Puts = 4;
+  R.Stats.Touches = 5;
+  R.Stats.Evictions = 6;
+  R.Stats.CorruptDropped = 7;
+  R.Stats.Entries = 8;
+  R.Stats.BytesStored = 9;
+  R.Stats.MaxBytes = 10;
+  CacheResponse Back;
+  ASSERT_TRUE(decodeCacheResponse(encodeCacheResponse(R), Back));
+  EXPECT_TRUE(Back.Ok);
+  EXPECT_TRUE(Back.Found);
+  EXPECT_TRUE(Back.Stored);
+  EXPECT_EQ(Back.Digest, R.Digest);
+  EXPECT_EQ(Back.Size, R.Size);
+  ASSERT_TRUE(Back.HasStats);
+  EXPECT_EQ(Back.Stats.Gets, 1u);
+  EXPECT_EQ(Back.Stats.Hits, 2u);
+  EXPECT_EQ(Back.Stats.Misses, 3u);
+  EXPECT_EQ(Back.Stats.Puts, 4u);
+  EXPECT_EQ(Back.Stats.Touches, 5u);
+  EXPECT_EQ(Back.Stats.Evictions, 6u);
+  EXPECT_EQ(Back.Stats.CorruptDropped, 7u);
+  EXPECT_EQ(Back.Stats.Entries, 8u);
+  EXPECT_EQ(Back.Stats.BytesStored, 9u);
+  EXPECT_EQ(Back.Stats.MaxBytes, 10u);
+}
+
+TEST(CacheProtocol, ResponseCarriesError) {
+  CacheResponse R;
+  R.Ok = false;
+  R.Error = "bad key or kind";
+  CacheResponse Back;
+  ASSERT_TRUE(decodeCacheResponse(encodeCacheResponse(R), Back));
+  EXPECT_FALSE(Back.Ok);
+  EXPECT_EQ(Back.Error, "bad key or kind");
+  EXPECT_FALSE(decodeCacheResponse("{\"found\": true}", Back)); // No ok.
+}
+
+TEST(CacheProtocol, DecodersSkipUnknownKeys) {
+  // A future daemon may add fields; today's peer must ignore them.
+  CacheRequest R;
+  ASSERT_TRUE(decodeCacheRequest(
+      "{\"compression\": \"zstd\", \"op\": \"get\", \"priority\": 9, "
+      "\"kind\": \"obj\", \"key\": \"00000000000000ff\", "
+      "\"tags\": [1, 2, 3]}",
+      R));
+  EXPECT_EQ(R.Operation, CacheRequest::Op::Get);
+  EXPECT_EQ(R.Kind, "obj");
+  EXPECT_EQ(R.Key, "00000000000000ff");
+
+  CacheResponse Resp;
+  ASSERT_TRUE(decodeCacheResponse(
+      "{\"served_by\": \"host7\", \"ok\": true, \"found\": true, "
+      "\"latency_us\": 12}",
+      Resp));
+  EXPECT_TRUE(Resp.Ok);
+  EXPECT_TRUE(Resp.Found);
+}

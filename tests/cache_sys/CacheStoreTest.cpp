@@ -1,0 +1,204 @@
+//===- tests/cache_sys/CacheStoreTest.cpp - LRU store unit tests ----------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The daemon's storage engine in isolation, on an in-memory filesystem:
+// content-addressed put/get with verification at both edges, corrupt
+// entries quarantined (never served), the LRU budget honored with the
+// documented recency rules, and re-indexing of whatever a previous
+// daemon left on disk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache_sys/CacheStore.h"
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace sc;
+
+namespace {
+
+std::string bytesOfSize(size_t N, char Fill) {
+  return std::string(N, Fill);
+}
+
+uint64_t keyOf(const std::string &Bytes) { return hashString(Bytes); }
+
+} // namespace
+
+TEST(CacheStore, ObjectRoundTrip) {
+  InMemoryFileSystem FS;
+  CacheStore Store(FS, "cache", 0);
+  std::string Bytes = "object payload #1";
+  uint64_t Key = keyOf(Bytes);
+  ASSERT_TRUE(Store.putObject(Key, Bytes));
+
+  std::string Back;
+  ASSERT_TRUE(Store.getObject(Key, Back));
+  EXPECT_EQ(Back, Bytes);
+
+  CacheStats S = Store.stats();
+  EXPECT_EQ(S.Puts, 1u);
+  EXPECT_EQ(S.Gets, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.BytesStored, Bytes.size());
+}
+
+TEST(CacheStore, RejectsPutWhoseBytesDoNotHashToKey) {
+  InMemoryFileSystem FS;
+  CacheStore Store(FS, "cache", 0);
+  std::string Bytes = "honest payload";
+  uint64_t LyingKey = keyOf(Bytes) + 1;
+  EXPECT_FALSE(Store.putObject(LyingKey, Bytes));
+  EXPECT_TRUE(FS.listFiles().empty()) << "rejected put must store nothing";
+
+  CacheStats S = Store.stats();
+  EXPECT_EQ(S.CorruptDropped, 1u);
+  EXPECT_EQ(S.Puts, 0u);
+  EXPECT_EQ(S.Entries, 0u);
+}
+
+TEST(CacheStore, QuarantinesVandalizedEntryOnGet) {
+  InMemoryFileSystem FS;
+  CacheStore Store(FS, "cache", 0);
+  std::string Bytes = "soon to be vandalized";
+  uint64_t Key = keyOf(Bytes);
+  ASSERT_TRUE(Store.putObject(Key, Bytes));
+
+  // Corrupt the stored file behind the store's back.
+  std::string Path = "cache/obj/" + hex16(Key);
+  ASSERT_TRUE(FS.exists(Path));
+  ASSERT_TRUE(FS.writeFile(Path, "garbage bytes"));
+
+  std::string Back = "sentinel";
+  EXPECT_FALSE(Store.getObject(Key, Back)) << "corrupt entry must not serve";
+  EXPECT_FALSE(FS.exists(Path)) << "corrupt entry must be evicted";
+
+  CacheStats S = Store.stats();
+  EXPECT_EQ(S.CorruptDropped, 1u);
+  EXPECT_EQ(S.Entries, 0u);
+
+  // A second get is a plain miss — the entry is gone, not resurrected.
+  EXPECT_FALSE(Store.getObject(Key, Back));
+  EXPECT_EQ(Store.stats().CorruptDropped, 1u);
+}
+
+TEST(CacheStore, ActionRoundTripAndCorruptValueDropped) {
+  InMemoryFileSystem FS;
+  CacheStore Store(FS, "cache", 0);
+  uint64_t InputKey = 0x1234;
+  uint64_t Digest = 0xfeedface;
+  ASSERT_TRUE(Store.putAction(InputKey, Digest));
+
+  uint64_t Back = 0;
+  ASSERT_TRUE(Store.getAction(InputKey, Back));
+  EXPECT_EQ(Back, Digest);
+
+  // An action value that does not parse as a digest is dropped, not
+  // served: a corrupt mapping may cost a recompile but never delivers
+  // wrong bytes.
+  std::string Path = "cache/act/" + hex16(InputKey);
+  ASSERT_TRUE(FS.writeFile(Path, "not-a-digest"));
+  EXPECT_FALSE(Store.getAction(InputKey, Back));
+  EXPECT_FALSE(FS.exists(Path));
+  EXPECT_EQ(Store.stats().CorruptDropped, 1u);
+}
+
+TEST(CacheStore, EvictsLeastRecentlyUsedAtBudget) {
+  InMemoryFileSystem FS;
+  // Budget fits two 100-byte entries, not three.
+  CacheStore Store(FS, "cache", 250);
+  std::string A = bytesOfSize(100, 'a');
+  std::string B = bytesOfSize(100, 'b');
+  std::string C = bytesOfSize(100, 'c');
+  ASSERT_TRUE(Store.putObject(keyOf(A), A));
+  ASSERT_TRUE(Store.putObject(keyOf(B), B));
+
+  // Refresh A — B becomes the coldest entry.
+  std::string Tmp;
+  ASSERT_TRUE(Store.getObject(keyOf(A), Tmp));
+
+  ASSERT_TRUE(Store.putObject(keyOf(C), C));
+
+  EXPECT_TRUE(Store.getObject(keyOf(A), Tmp)) << "recently used must survive";
+  EXPECT_TRUE(Store.getObject(keyOf(C), Tmp)) << "new entry must survive";
+  EXPECT_FALSE(Store.getObject(keyOf(B), Tmp)) << "coldest must be evicted";
+  EXPECT_FALSE(FS.exists("cache/obj/" + hex16(keyOf(B))));
+
+  CacheStats S = Store.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_LE(S.BytesStored, 250u);
+}
+
+TEST(CacheStore, TouchRefreshesRecency) {
+  InMemoryFileSystem FS;
+  CacheStore Store(FS, "cache", 250);
+  std::string A = bytesOfSize(100, 'a');
+  std::string B = bytesOfSize(100, 'b');
+  std::string C = bytesOfSize(100, 'c');
+  ASSERT_TRUE(Store.putObject(keyOf(A), A));
+  ASSERT_TRUE(Store.putObject(keyOf(B), B));
+
+  ASSERT_TRUE(Store.touch(CacheStore::Kind::Object, keyOf(A)));
+  EXPECT_FALSE(Store.touch(CacheStore::Kind::Object, 0xab5e47u))
+      << "touch of an absent entry reports false";
+
+  ASSERT_TRUE(Store.putObject(keyOf(C), C));
+  std::string Tmp;
+  EXPECT_TRUE(Store.getObject(keyOf(A), Tmp)) << "touched entry must survive";
+  EXPECT_FALSE(Store.getObject(keyOf(B), Tmp));
+  EXPECT_EQ(Store.stats().Touches, 2u);
+}
+
+TEST(CacheStore, NewestEntryNeverEvicted) {
+  InMemoryFileSystem FS;
+  CacheStore Store(FS, "cache", 10); // Budget smaller than any entry.
+  std::string Big = bytesOfSize(1000, 'x');
+  ASSERT_TRUE(Store.putObject(keyOf(Big), Big));
+  std::string Back;
+  EXPECT_TRUE(Store.getObject(keyOf(Big), Back))
+      << "a single over-budget entry still serves its requester";
+}
+
+TEST(CacheStore, ReindexesEntriesFromPreviousDaemon) {
+  InMemoryFileSystem FS;
+  std::string A = "persisted object";
+  uint64_t ActKey = 0x77;
+  uint64_t Digest = keyOf(A);
+  {
+    CacheStore First(FS, "cache", 0);
+    ASSERT_TRUE(First.putObject(keyOf(A), A));
+    ASSERT_TRUE(First.putAction(ActKey, Digest));
+  }
+
+  // A fresh store over the same filesystem — a daemon restart — serves
+  // everything the previous one persisted.
+  CacheStore Second(FS, "cache", 0);
+  CacheStats S = Second.stats();
+  EXPECT_EQ(S.Entries, 2u);
+  std::string Back;
+  EXPECT_TRUE(Second.getObject(keyOf(A), Back));
+  EXPECT_EQ(Back, A);
+  uint64_t D = 0;
+  EXPECT_TRUE(Second.getAction(ActKey, D));
+  EXPECT_EQ(D, Digest);
+}
+
+TEST(CacheStore, RePutRefreshesInsteadOfDuplicating) {
+  InMemoryFileSystem FS;
+  CacheStore Store(FS, "cache", 0);
+  std::string A = "same bytes";
+  ASSERT_TRUE(Store.putObject(keyOf(A), A));
+  ASSERT_TRUE(Store.putObject(keyOf(A), A));
+  CacheStats S = Store.stats();
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.BytesStored, A.size());
+}

@@ -1,0 +1,257 @@
+//===- tests/daemon/SocketHardeningTest.cpp - Socket hardening tests ------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The multi-client-server hardening contract of support/Socket:
+//
+//  * a peer that disappears mid-conversation surfaces as a send/recv
+//    error, never a process-fatal SIGPIPE;
+//  * a signal storm (EINTR) cannot tear a frame in either direction;
+//  * a frame header announcing more than MaxFramePayload is rejected
+//    as RecvStatus::ProtocolError before any allocation is attempted;
+//  * recvFrame's status out-param distinguishes timeout from
+//    disconnect from protocol corruption.
+//
+// These properties are what let the sccached daemon serve many
+// concurrent, mortal clients without wedging or dying.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include <pthread.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace sc;
+
+namespace {
+
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Buf[] = "/tmp/sc-sock-XXXXXX";
+    const char *P = ::mkdtemp(Buf);
+    EXPECT_NE(P, nullptr);
+    Path = P ? P : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::error_code EC;
+      std::filesystem::remove_all(Path, EC);
+    }
+  }
+};
+
+/// A listener plus one accepted connection, the minimal two-endpoint
+/// fixture every test here needs.
+struct SocketPair {
+  TempDir Dir;
+  std::string SockPath;
+  UnixSocket Listener;
+  UnixSocket Client;
+  UnixSocket Server;
+
+  SocketPair() {
+    SockPath = Dir.Path + "/s.sock";
+    std::string Err;
+    Listener = UnixSocket::listenOn(SockPath, &Err);
+    EXPECT_TRUE(Listener.valid()) << Err;
+    Client = UnixSocket::connectTo(SockPath, &Err);
+    EXPECT_TRUE(Client.valid()) << Err;
+    bool TimedOut = false;
+    Server = Listener.accept(2000, &TimedOut);
+    EXPECT_TRUE(Server.valid());
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SIGPIPE suppression
+//===----------------------------------------------------------------------===//
+
+// Writing to a peer that already closed must report failure via the
+// return value, not kill the process. The default disposition of
+// SIGPIPE is process death, so merely reaching the assertions proves
+// the suppression works. gtest runs us with SIGPIPE at its default
+// (the daemons install their own ignore handler; the library must not
+// rely on that).
+TEST(SocketHardening, SendToClosedPeerFailsWithoutSigpipe) {
+  SocketPair P;
+  P.Server.close();
+  // The first send may land in the kernel buffer before the RST is
+  // processed; keep writing until the failure surfaces.
+  std::string Big(1u << 20, 'x');
+  bool SawFailure = false;
+  for (int I = 0; I != 16 && !SawFailure; ++I)
+    SawFailure = !P.Client.sendFrame(Big);
+  EXPECT_TRUE(SawFailure);
+  // Process still alive — SIGPIPE was suppressed, not merely survived.
+}
+
+TEST(SocketHardening, RecvAfterPeerCloseReportsDisconnected) {
+  SocketPair P;
+  P.Client.close();
+  std::string Payload;
+  UnixSocket::RecvStatus Status;
+  EXPECT_FALSE(P.Server.recvFrame(Payload, 2000, &Status));
+  EXPECT_EQ(Status, UnixSocket::RecvStatus::Disconnected);
+}
+
+TEST(SocketHardening, RecvWithNoDataTimesOut) {
+  SocketPair P;
+  std::string Payload;
+  UnixSocket::RecvStatus Status;
+  EXPECT_FALSE(P.Server.recvFrame(Payload, 50, &Status));
+  EXPECT_EQ(Status, UnixSocket::RecvStatus::TimedOut);
+}
+
+//===----------------------------------------------------------------------===//
+// EINTR resilience
+//===----------------------------------------------------------------------===//
+
+std::atomic<int> SignalsSeen{0};
+void countSignal(int) { SignalsSeen.fetch_add(1, std::memory_order_relaxed); }
+
+// A signal storm aimed at the receiving thread while a large frame
+// trickles through must not tear the frame: every poll/recv that
+// returns EINTR is retried. The handler is installed WITHOUT
+// SA_RESTART so the syscalls genuinely fail with EINTR rather than
+// being restarted by the kernel.
+TEST(SocketHardening, FrameSurvivesSignalStorm) {
+  SocketPair P;
+
+  struct sigaction SA, Old;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = countSignal;
+  SA.sa_flags = 0; // deliberately no SA_RESTART
+  ASSERT_EQ(::sigaction(SIGUSR1, &SA, &Old), 0);
+
+  std::string Sent(4u << 20, '\0');
+  for (size_t I = 0; I != Sent.size(); ++I)
+    Sent[I] = static_cast<char>(I * 131 + 7);
+
+  SignalsSeen.store(0);
+  std::atomic<bool> Done{false};
+  std::string Got;
+  bool RecvOk = false;
+  UnixSocket::RecvStatus Status = UnixSocket::RecvStatus::Disconnected;
+
+  std::thread Receiver([&] {
+    RecvOk = P.Server.recvFrame(Got, 10000, &Status);
+    Done.store(true);
+  });
+  pthread_t ReceiverHandle = Receiver.native_handle();
+
+  std::thread Storm([&] {
+    while (!Done.load()) {
+      ::pthread_kill(ReceiverHandle, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Sender runs on this thread, also under no special protection.
+  EXPECT_TRUE(P.Client.sendFrame(Sent));
+
+  Receiver.join();
+  Done.store(true);
+  Storm.join();
+  ::sigaction(SIGUSR1, &Old, nullptr);
+
+  EXPECT_TRUE(RecvOk);
+  EXPECT_EQ(Status, UnixSocket::RecvStatus::Ok);
+  EXPECT_EQ(Got, Sent);
+  EXPECT_GT(SignalsSeen.load(), 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Oversize-frame rejection
+//===----------------------------------------------------------------------===//
+
+// A raw peer (not using sendFrame, which enforces the cap on its own
+// side) writes a header announcing far more than MaxFramePayload. The
+// server must refuse before allocating — the payload buffer must not
+// grow to the announced size — and report ProtocolError, distinct
+// from a disconnect.
+TEST(SocketHardening, OversizeHeaderRejectedBeforeAllocation) {
+  TempDir Dir;
+  std::string SockPath = Dir.Path + "/s.sock";
+  std::string Err;
+  UnixSocket Listener = UnixSocket::listenOn(SockPath, &Err);
+  ASSERT_TRUE(Listener.valid()) << Err;
+
+  // Raw POSIX client so we can write a malicious header.
+  int Raw = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(Raw, 0);
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, SockPath.c_str(), SockPath.size() + 1);
+  ASSERT_EQ(::connect(Raw, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)),
+            0);
+
+  bool TimedOut = false;
+  UnixSocket Server = Listener.accept(2000, &TimedOut);
+  ASSERT_TRUE(Server.valid());
+
+  // 0xFFFFFFFF bytes announced: ~4 GiB, way past the 64 MiB cap.
+  const unsigned char Evil[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(Raw, Evil, 4, 0), 4);
+
+  std::string Payload = "sentinel";
+  UnixSocket::RecvStatus Status;
+  EXPECT_FALSE(Server.recvFrame(Payload, 2000, &Status));
+  EXPECT_EQ(Status, UnixSocket::RecvStatus::ProtocolError);
+  // Rejected before resize: the buffer kept its previous contents
+  // instead of ballooning toward the announced 4 GiB.
+  EXPECT_EQ(Payload, "sentinel");
+
+  ::close(Raw);
+}
+
+// The boundary: exactly MaxFramePayload must still be accepted (the
+// cap is a ceiling, not a fence-post bug). Sending 64 MiB through a
+// socketpair is slow but well under test-timeout budgets.
+TEST(SocketHardening, MaxFramePayloadExactlyAccepted) {
+  SocketPair P;
+  std::string Sent(UnixSocket::MaxFramePayload, 'm');
+  std::string Got;
+  UnixSocket::RecvStatus Status = UnixSocket::RecvStatus::Disconnected;
+  bool RecvOk = false;
+  std::thread Receiver(
+      [&] { RecvOk = P.Server.recvFrame(Got, 30000, &Status); });
+  EXPECT_TRUE(P.Client.sendFrame(Sent));
+  Receiver.join();
+  EXPECT_TRUE(RecvOk);
+  EXPECT_EQ(Status, UnixSocket::RecvStatus::Ok);
+  EXPECT_EQ(Got.size(), Sent.size());
+  EXPECT_EQ(Got, Sent);
+}
+
+// sendFrame refuses anything past the cap locally instead of letting
+// the peer discover the violation.
+TEST(SocketHardening, SendFrameRefusesOversizePayloadLocally) {
+  SocketPair P;
+  std::string TooBig(static_cast<size_t>(UnixSocket::MaxFramePayload) + 1,
+                     'x');
+  EXPECT_FALSE(P.Client.sendFrame(TooBig));
+  // The connection is still usable for conforming frames.
+  EXPECT_TRUE(P.Client.sendFrame("ok"));
+  std::string Got;
+  EXPECT_TRUE(P.Server.recvFrame(Got, 2000, nullptr));
+  EXPECT_EQ(Got, "ok");
+}
+
+} // namespace

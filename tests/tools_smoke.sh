@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
-# Smoke test for the scc / scbuild / scbuildd command-line tools:
-# builds and runs a small two-file project end to end, edits it, checks
-# that the incremental path (dirty detection + dormant-pass skipping)
-# engages, and drives the same project through a resident build daemon.
+# Smoke test for the scc / scbuild / scbuildd / sccached command-line
+# tools: builds and runs a small two-file project end to end, edits it,
+# checks that the incremental path (dirty detection + dormant-pass
+# skipping) engages, drives the same project through a resident build
+# daemon, and shares objects across workspaces through sccached.
 set -eu
 
 SCC="$1"
 SCBUILD="$2"
 SCBUILDD="$3"
+SCCACHED="$4"
 
 DIR="$(mktemp -d)"
 DAEMON_PID=""
+CACHE_PID=""
 cleanup() {
   [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  [ -n "$CACHE_PID" ] && kill "$CACHE_PID" 2>/dev/null || true
   rm -rf "$DIR"
 }
 trap cleanup EXIT
@@ -254,5 +258,84 @@ WARN="$("$SCBUILD" . --quiet 2>&1 >/dev/null)"
 # With no daemon listening, --daemon falls back to an in-process build.
 OUT="$("$SCBUILD" . --daemon --quiet --run)"
 [ "$OUT" = "42" ] || { echo "FAIL: daemon fallback got '$OUT'"; exit 1; }
+
+#===--- Remote object cache (sccached) ------------------------------------===#
+
+# Start sccached on a temp socket, then build the same sources from two
+# fresh workspaces: the first publishes every object, the second must
+# fetch everything — RemoteHits > 0 and zero recompiles.
+CACHE_SOCK="$DIR/cache.sock"
+"$SCCACHED" --socket="$CACHE_SOCK" --quiet &
+CACHE_PID=$!
+for _ in $(seq 50); do
+  [ -S "$CACHE_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$CACHE_SOCK" ] || { echo "FAIL: sccached socket never appeared"; exit 1; }
+
+for WS in ws1 ws2; do
+  mkdir -p "$WS"
+  cat > "$WS/util.mc" <<'EOF'
+fn triple(x: int) -> int { return x * 3; }
+EOF
+  cat > "$WS/main.mc" <<'EOF'
+import "util.mc";
+fn main() -> int {
+  print(triple(14));
+  return 0;
+}
+EOF
+done
+
+# Workspace 1: cold cache — everything compiles, everything publishes.
+"$SCBUILD" ws1 --quiet --remote-cache="$CACHE_SOCK"
+
+# Workspace 2: warm cache — zero recompiles, objects fetched remotely,
+# counters in both the summary line and the JSON report.
+SUMMARY="$("$SCBUILD" ws2 --remote-cache="$CACHE_SOCK" \
+           --report-json=ws2-report.json)"
+echo "$SUMMARY" | grep -q "0/2 files compiled" || {
+  echo "FAIL: warm-cache workspace recompiled: $SUMMARY"; exit 1; }
+echo "$SUMMARY" | grep -q "remote cache: 2 hit(s)" || {
+  echo "FAIL: expected remote hits in summary: $SUMMARY"; exit 1; }
+python3 - <<'PYEOF' || { echo "FAIL: remote report invalid"; exit 1; }
+import json
+
+report = json.load(open("ws2-report.json"))
+assert report["remote"]["hits"] == 2, report["remote"]
+assert report["remote"]["errors"] == 0, report["remote"]
+assert report["files"]["compiled"] == 0, report["files"]
+PYEOF
+OUT="$("$SCBUILD" ws2 --quiet --run)"
+[ "$OUT" = "42" ] || { echo "FAIL: remote-fed build got '$OUT'"; exit 1; }
+
+# The remote-fed objects are byte-identical to the compiled ones.
+cmp ws1/out/util.mc.o ws2/out/util.mc.o || {
+  echo "FAIL: remote-fed object differs from compiled object"; exit 1; }
+
+# --stats answers over the same socket.
+"$SCCACHED" --socket="$CACHE_SOCK" --stats | grep -q "entries" || {
+  echo "FAIL: sccached --stats failed"; exit 1; }
+
+# Clean shutdown removes the socket.
+"$SCCACHED" --socket="$CACHE_SOCK" --shutdown
+wait "$CACHE_PID" || { echo "FAIL: sccached exited nonzero"; exit 1; }
+CACHE_PID=""
+[ ! -e "$CACHE_SOCK" ] || { echo "FAIL: cache socket left behind"; exit 1; }
+
+# A dead daemon degrades the build to local-only: success, exactly one
+# warning on stderr, never a failed build.
+rm -rf ws2/out
+WARN="$("$SCBUILD" ws2 --quiet --remote-cache="$CACHE_SOCK" 2>&1 >/dev/null)"
+[ "$(echo "$WARN" | grep -c "remote cache")" = "1" ] || {
+  echo "FAIL: expected exactly one remote warning, got: $WARN"; exit 1; }
+OUT="$("$SCBUILD" ws2 --quiet --run)"
+[ "$OUT" = "42" ] || { echo "FAIL: degraded build got '$OUT'"; exit 1; }
+
+# --remote-cache is a per-build flag; the resident daemon configures
+# the tier at startup instead.
+if "$SCBUILD" ws2 --daemon --remote-cache="$CACHE_SOCK" 2>/dev/null; then
+  echo "FAIL: --remote-cache with --daemon accepted"; exit 1
+fi
 
 echo "tools smoke: OK"

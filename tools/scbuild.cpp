@@ -33,6 +33,14 @@
 ///   --daemon-status print the serving daemon's status and exit
 ///   --daemon-shutdown
 ///                   stop the serving daemon and exit
+///   --remote-cache=PATH
+///                   use the sccached daemon listening on Unix socket
+///                   PATH as a shared remote object cache: objects
+///                   another machine already compiled are fetched and
+///                   verified instead of recompiled, and new objects
+///                   are published for the rest of the fleet. A dead or
+///                   absent daemon degrades to a plain local build with
+///                   one warning — never a failed build.
 ///   --trace-out=FILE   write a Chrome trace-event JSON of the build
 ///                      (load in chrome://tracing or Perfetto)
 ///   --report-json=FILE write the versioned JSON build report
@@ -166,7 +174,7 @@ int main(int argc, char **argv) {
   bool Clean = false, Run = false, Quiet = false;
   bool Daemon = false, DaemonAutoStart = false;
   bool DaemonStatus = false, DaemonShutdown = false;
-  std::string TraceOut, ReportOut, ExplainQ;
+  std::string TraceOut, ReportOut, ExplainQ, RemoteCache;
   std::vector<int64_t> RunArgs;
   std::vector<std::string> FaultSpecs; // Hidden --inject-fault op:N.
 
@@ -201,7 +209,8 @@ int main(int argc, char **argv) {
     }
     if (FlagValue(Arg, "--trace-out", I, TraceOut) ||
         FlagValue(Arg, "--report-json", I, ReportOut) ||
-        FlagValue(Arg, "--explain", I, ExplainQ))
+        FlagValue(Arg, "--explain", I, ExplainQ) ||
+        FlagValue(Arg, "--remote-cache", I, RemoteCache))
       continue;
     if (Arg == "-O0")
       Options.Compiler.Opt = OptLevel::O0;
@@ -274,7 +283,8 @@ int main(int argc, char **argv) {
                    "[--stateless] [--exact] [--reuse]\n               "
                    "[--clean] [--quiet] [--daemon[=auto-start]] "
                    "[--daemon-status] [--daemon-shutdown]\n               "
-                   "[--trace-out=FILE] [--report-json=FILE]\n               "
+                   "[--trace-out=FILE] [--report-json=FILE] "
+                   "[--remote-cache=SOCKET]\n               "
                    "[--explain TU[:pass]] [--run [args...]]\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -336,6 +346,15 @@ int main(int argc, char **argv) {
                    "those sinks; see scbuildd --trace-stream)\n");
       return 1;
     }
+    // Likewise the remote-cache connection: the resident driver lives
+    // in the daemon process, so the tier is configured there.
+    if (!RemoteCache.empty()) {
+      std::fprintf(stderr,
+                   "scbuild: error: --remote-cache cannot be combined with "
+                   "--daemon (configure the tier on the daemon: scbuildd "
+                   "--remote-cache=SOCKET)\n");
+      return 1;
+    }
     DaemonClient Client = DaemonClient::connect(SockPath);
     if (!Client.connected() && DaemonAutoStart)
       Client = autoStartDaemon(Dir, SockPath, Options);
@@ -385,6 +404,7 @@ int main(int argc, char **argv) {
   // asked for, so untraced builds skip even the pointer-registered
   // ring work.
   Options.Compiler.RecordDecisions = Stateful;
+  Options.RemoteCache = RemoteCache;
   std::unique_ptr<TraceRecorder> Trace;
   if (!TraceOut.empty()) {
     Trace = std::make_unique<TraceRecorder>();

@@ -19,6 +19,10 @@
 ///   --exact               ExactSkip policy
 ///   --reuse               function-level code reuse
 ///   --idle-timeout-ms=N   exit after N ms without a request (0 = never)
+///   --remote-cache=SOCKET use the sccached daemon on Unix socket SOCKET
+///                         as a shared remote object-cache tier (see
+///                         scbuild --remote-cache; same degrade-to-local
+///                         failure semantics)
 ///   --trace-stream=FILE   stream Chrome trace events to FILE as they
 ///                         happen (flushed after every request; the file
 ///                         is loadable in Perfetto even mid-run)
@@ -105,7 +109,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (FlagValue(Arg, "--trace-stream", I, TraceStream) ||
-        FlagValue(Arg, "--idle-timeout-ms", I, IdleText))
+        FlagValue(Arg, "--idle-timeout-ms", I, IdleText) ||
+        FlagValue(Arg, "--remote-cache", I, Config.Build.RemoteCache))
       continue;
     if (Arg == "-O0")
       Config.Build.Compiler.Opt = OptLevel::O0;
@@ -139,7 +144,8 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: scbuildd [dir] [-O0|-O1|-O2] [-j N] [--stateless] "
                    "[--exact] [--reuse]\n                "
-                   "[--idle-timeout-ms=N] [--trace-stream=FILE] [--quiet]\n");
+                   "[--idle-timeout-ms=N] [--trace-stream=FILE] "
+                   "[--remote-cache=SOCKET] [--quiet]\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "scbuildd: error: unknown option '%s'\n",
