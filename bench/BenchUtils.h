@@ -18,8 +18,10 @@
 #include "support/RNG.h"
 #include "workload/Workload.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace sc::bench {
@@ -131,10 +133,25 @@ inline void writeBenchJson(const std::string &Path, const std::string &Json) {
   std::printf("\nwrote %s\n", Path.c_str());
 }
 
+/// Linear-interpolated percentile of \p Values (\p P in [0, 100]).
+inline double percentile(std::vector<double> Values, double P) {
+  if (Values.empty())
+    return 0;
+  std::sort(Values.begin(), Values.end());
+  double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
 /// Measured end-to-end numbers for one commit-replay run.
 struct ReplayResult {
   double ColdBuildUs = 0;
   double TotalIncrementalUs = 0; // Sum over all commits.
+  /// Per-commit incremental build latency, in commit order; feeds the
+  /// p50/p95 tail metrics (means hide scheduling stalls).
+  std::vector<double> IncrementalUs;
   unsigned Commits = 0;
   unsigned FilesCompiled = 0;
   uint64_t PassesRun = 0;
@@ -150,6 +167,8 @@ struct ReplayResult {
   double meanIncrementalUs() const {
     return Commits ? TotalIncrementalUs / Commits : 0;
   }
+  double p50IncrementalUs() const { return percentile(IncrementalUs, 50); }
+  double p95IncrementalUs() const { return percentile(IncrementalUs, 95); }
 };
 
 /// Replays \p NumCommits commits over a generated project with the
@@ -184,6 +203,7 @@ inline ReplayResult replayCommits(const ProjectProfile &Profile,
     }
     ++R.Commits;
     R.TotalIncrementalUs += S.TotalUs;
+    R.IncrementalUs.push_back(S.TotalUs);
     R.FilesCompiled += S.FilesCompiled;
     R.PassesRun += S.Skip.PassesRun;
     R.PassesSkipped += S.Skip.PassesSkipped;
@@ -267,6 +287,7 @@ replayCommitsInterleaved(const ProjectProfile &Profile, uint64_t ProfileSeed,
       ReplayResult &R = Results[I];
       ++R.Commits;
       R.TotalIncrementalUs += S.TotalUs;
+      R.IncrementalUs.push_back(S.TotalUs);
       R.FilesCompiled += S.FilesCompiled;
       R.PassesRun += S.Skip.PassesRun;
       R.PassesSkipped += S.Skip.PassesSkipped;

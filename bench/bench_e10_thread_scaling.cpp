@@ -13,8 +13,14 @@
 /// only measures).
 ///
 /// Results are written to BENCH_e10.json so the perf trajectory is
-/// tracked across PRs and machines; hardware_threads records how many
-/// cores the numbers were taken on (speedup is bounded by it).
+/// tracked across PRs and machines. Every run records both the
+/// requested -j and the effective concurrency (min of -j and the
+/// machine's hardware threads): a scaling claim taken on a constrained
+/// runner where -j8 really ran on 1 core is not a scaling measurement,
+/// and the oversubscribed flag makes that visible to downstream
+/// tooling (tools/bench_check.py skips regression gating on such
+/// runs). Per-config p50/p95 incremental latency is recorded alongside
+/// the mean, since means hide scheduling stalls in the tail.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -63,8 +69,10 @@ int main() {
   std::vector<ReplayResult> Rs = replayCommitsInterleaved(
       Profile, ProfileSeed, EditSeed, NumCommits, Configs);
 
-  printRow({"config", "cold(ms)", "inc-mean(ms)", "speedup-vs-j1"});
+  printRow({"config", "cold(ms)", "inc-mean(ms)", "inc-p95(ms)",
+            "speedup-vs-j1", "eff-conc"});
   std::vector<std::string> JsonRows;
+  bool AnyOversubscribed = false;
   for (size_t I = 0; I != Configs.size(); ++I) {
     const ReplayResult &R = Rs[I];
     // Baseline: the -j1 lane of the same mode (lanes are grouped by
@@ -73,31 +81,51 @@ int main() {
     double Speedup = R.meanIncrementalUs() > 0
                          ? J1.meanIncrementalUs() / R.meanIncrementalUs()
                          : 0;
+    // What the pool can actually run simultaneously: a requested -j8
+    // on a 1-core machine time-slices 8 workers over 1 core.
+    const unsigned Effective = std::min(Configs[I].Jobs, HardwareThreads);
+    const bool Oversubscribed = Effective < Configs[I].Jobs;
+    AnyOversubscribed |= Oversubscribed;
     printRow({Configs[I].Label, fmt(R.ColdBuildUs / 1000),
-              fmt(R.meanIncrementalUs() / 1000), fmt(Speedup, 3) + "x"});
+              fmt(R.meanIncrementalUs() / 1000),
+              fmt(R.p95IncrementalUs() / 1000), fmt(Speedup, 3) + "x",
+              std::to_string(Effective) + (Oversubscribed ? "!" : "")});
     JsonRows.push_back(
         JsonBuilder()
             .field("config", Configs[I].Label)
-            .field("jobs", Configs[I].Jobs)
+            .field("jobs_requested", Configs[I].Jobs)
+            .field("effective_concurrency", Effective)
+            .field("oversubscribed", uint64_t(Oversubscribed))
             .field("stateful",
                    uint64_t(Configs[I].Mode != StatefulConfig::Mode::Stateless))
             .field("cold_us", R.ColdBuildUs)
             .field("incremental_mean_us", R.meanIncrementalUs())
+            .field("incremental_p50_us", R.p50IncrementalUs())
+            .field("incremental_p95_us", R.p95IncrementalUs())
             .field("speedup_vs_j1", Speedup)
             .field("passes_run", R.PassesRun)
             .field("passes_skipped", R.PassesSkipped)
             .str());
   }
 
-  std::printf("\nNote: speedup is bounded by the %u hardware thread(s) of "
-              "this machine;\nthe JSON records the count so cross-machine "
-              "trajectories stay comparable.\n",
-              HardwareThreads);
+  if (AnyOversubscribed)
+    std::printf("\nWARNING: some configurations requested more jobs than the "
+                "%u hardware\nthread(s) available — their speedup numbers "
+                "measure time-slicing overhead,\nnot scaling. The JSON flags "
+                "them (oversubscribed: 1) so regression\ntooling can skip "
+                "scaling assertions on this machine.\n",
+                HardwareThreads);
+  else
+    std::printf("\nNote: speedup is bounded by the %u hardware thread(s) of "
+                "this machine;\nthe JSON records the count so cross-machine "
+                "trajectories stay comparable.\n",
+                HardwareThreads);
 
   writeBenchJson("BENCH_e10.json",
                  JsonBuilder()
                      .field("experiment", std::string("e10_thread_scaling"))
                      .field("hardware_threads", HardwareThreads)
+                     .field("oversubscribed", uint64_t(AnyOversubscribed))
                      .field("commits", NumCommits)
                      .field("files", Profile.NumFiles)
                      .raw("runs", jsonArray(JsonRows))

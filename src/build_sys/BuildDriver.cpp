@@ -20,6 +20,7 @@
 #include "cache_sys/RemoteCacheClient.h"
 #include "codegen/ObjectFile.h"
 #include "support/AtomicFile.h"
+#include "support/ContentionStats.h"
 #include "support/FileLock.h"
 #include "support/Hashing.h"
 #include "support/Metrics.h"
@@ -141,6 +142,29 @@ private:
   /// FingerprintMemo); avoids re-hashing functions of TUs recompiled
   /// only because a dependency's implementation changed.
   FingerprintMemo FPMemo;
+
+  /// Lock-contention and pool-scheduling counters sampled at build()
+  /// entry; publishMetrics() publishes the per-build DELTAS as lock.*
+  /// and pool.* metrics (the counters themselves are cumulative — the
+  /// contention ones process-wide, the pool ones per driver).
+  struct HotPathSnapshots {
+    ContentionSnapshot Constants, SharedUsers, Stateful, FPMemo, StateDB,
+        Analysis;
+    TaskPoolStats Pool;
+  };
+  HotPathSnapshots BuildStartSnap;
+
+  HotPathSnapshots captureHotPathSnapshots() const {
+    HotPathSnapshots Snap;
+    Snap.Constants = snapshot(constantUniquingContention());
+    Snap.SharedUsers = snapshot(sharedUseContention());
+    Snap.Stateful = snapshot(statefulPolicyContention());
+    Snap.FPMemo = snapshot(fingerprintMemoContention());
+    Snap.StateDB = snapshot(stateDBContention());
+    Snap.Analysis = snapshot(analysisSlotContention());
+    Snap.Pool = Pool->stats();
+    return Snap;
+  }
 
   /// Persisted state is loaded once per driver; later builds trust the
   /// in-memory copies and only write.
@@ -285,10 +309,40 @@ void BuildDriverImpl::publishMetrics(const BuildStats &S) {
   M->gauge("build.total_us").set(S.TotalUs);
   M->gauge("build.state_db_bytes").set(static_cast<double>(S.StateDBBytes));
   M->gauge("build.object_bytes").set(static_cast<double>(S.ObjectBytes));
+
+  // Lock-wait and pool-scheduling deltas for this build: contention on
+  // the compiler's shared structures as first-class, regression-
+  // trackable numbers (docs/OBSERVABILITY.md "Lock-wait metrics").
+  const HotPathSnapshots Now = captureHotPathSnapshots();
+  auto PublishLock = [&](const char *Family, const ContentionSnapshot &Before,
+                         const ContentionSnapshot &After) {
+    std::string P = std::string("lock.") + Family;
+    M->counter(P + ".acquisitions").add(After.Acquisitions -
+                                        Before.Acquisitions);
+    M->counter(P + ".contended").add(After.Contended - Before.Contended);
+    M->counter(P + ".wait_ns").add(After.WaitNs - Before.WaitNs);
+  };
+  PublishLock("constants", BuildStartSnap.Constants, Now.Constants);
+  PublishLock("shared_users", BuildStartSnap.SharedUsers, Now.SharedUsers);
+  PublishLock("statefulpolicy", BuildStartSnap.Stateful, Now.Stateful);
+  PublishLock("fpmemo", BuildStartSnap.FPMemo, Now.FPMemo);
+  PublishLock("statedb", BuildStartSnap.StateDB, Now.StateDB);
+  PublishLock("analysis_slots", BuildStartSnap.Analysis, Now.Analysis);
+  const TaskPoolStats &P0 = BuildStartSnap.Pool;
+  const TaskPoolStats &P1 = Now.Pool;
+  M->counter("pool.tasks_executed").add(P1.TasksExecuted - P0.TasksExecuted);
+  M->counter("pool.steal_attempts").add(P1.StealAttempts - P0.StealAttempts);
+  M->counter("pool.steals").add(P1.Steals - P0.Steals);
+  M->counter("pool.helped_tasks").add(P1.HelpedTasks - P0.HelpedTasks);
+  M->counter("pool.spin_iterations").add(P1.SpinIterations -
+                                         P0.SpinIterations);
+  M->counter("pool.parks").add(P1.Parks - P0.Parks);
+  M->counter("pool.park_wait_ns").add(P1.ParkWaitNs - P0.ParkWaitNs);
 }
 
 BuildStats BuildDriverImpl::build() {
   BuildStats S;
+  BuildStartSnap = captureHotPathSnapshots();
   Timer Total, Scan, Compile, Link, StateIO;
   Total.start();
   TraceSpan BuildSpan(trace(), "build", "build");

@@ -24,6 +24,15 @@ sc::compileInParallel(const std::vector<CompileJob> &Jobs,
   if (Jobs.empty())
     return Results;
 
+  // Batched state write-back: workers return each TU's new state in
+  // its CompileResult instead of locking a DB shard mid-wave; the
+  // batch is applied once per shard after the wave quiesces. Previous
+  // state LOOKUPS all happen at compile start, before any batch write,
+  // so lookup()/applyBatch() never interleave on the same key.
+  CompilerOptions WaveOptions = Options;
+  if (DB)
+    WaveOptions.DeferStateWrite = true;
+
   // Queue-wait accounting: how long after wave dispatch each TU job
   // actually started, i.e. how backed up the pool was. The max gauge
   // is the wave's worst-case scheduling delay.
@@ -43,7 +52,7 @@ sc::compileInParallel(const std::vector<CompileJob> &Jobs,
   std::vector<std::unique_ptr<Compiler>> PerSlot(Pool.maxSlots());
   Pool.parallelFor(Jobs.size(), [&](size_t I, unsigned Slot) {
     if (!PerSlot[Slot]) {
-      PerSlot[Slot] = std::make_unique<Compiler>(Options, DB);
+      PerSlot[Slot] = std::make_unique<Compiler>(WaveOptions, DB);
       // Once per slot, not per job: naming takes the recorder mutex,
       // which must stay off the per-TU hot path.
       if (Tracing)
@@ -64,6 +73,26 @@ sc::compileInParallel(const std::vector<CompileJob> &Jobs,
                             ": internal compiler error: " + E.what() + "\n";
     }
   });
+
+  if (DB) {
+    std::vector<std::pair<std::string, TUState>> Batch;
+    Batch.reserve(Jobs.size());
+    for (size_t I = 0; I != Jobs.size(); ++I)
+      if (Results[I].HasNewState) {
+        Batch.emplace_back(Jobs[I].Path, std::move(Results[I].NewState));
+        Results[I].HasNewState = false;
+      }
+    if (!Batch.empty()) {
+      const uint64_t BatchT0 = nowNanos();
+      const size_t BatchSize = Batch.size();
+      DB->applyBatch(std::move(Batch));
+      if (Options.Metrics)
+        Options.Metrics->counter("scheduler.state_batched_writes")
+            .add(BatchSize);
+      if (Tracing)
+        Options.Trace->span("build", "state-batch", BatchT0, nowNanos());
+    }
+  }
   return Results;
 }
 

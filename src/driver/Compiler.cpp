@@ -15,6 +15,7 @@
 #include "ir/StructuralHash.h"
 #include "ir/Verifier.h"
 #include "lang/Parser.h"
+#include "support/ContentionStats.h"
 #include "support/Hashing.h"
 #include "support/Metrics.h"
 #include "support/TaskPool.h"
@@ -37,9 +38,10 @@ Compiler::Compiler(CompilerOptions Options, BuildStateDB *DB)
 
 bool FingerprintMemo::lookup(uint64_t Key,
                              std::map<std::string, uint64_t> &Out) const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Entries.find(Key);
-  if (It == Entries.end())
+  const Shard &S = shardFor(Key);
+  auto Lock = timedLock(S.Mu, fingerprintMemoContention());
+  auto It = S.Entries.find(Key);
+  if (It == S.Entries.end())
     return false;
   Out = It->second;
   return true;
@@ -47,13 +49,18 @@ bool FingerprintMemo::lookup(uint64_t Key,
 
 void FingerprintMemo::insert(uint64_t Key,
                              std::map<std::string, uint64_t> Fingerprints) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  Entries[Key] = std::move(Fingerprints);
+  Shard &S = shardFor(Key);
+  auto Lock = timedLock(S.Mu, fingerprintMemoContention());
+  S.Entries[Key] = std::move(Fingerprints);
 }
 
 size_t FingerprintMemo::size() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Entries.size();
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.Entries.size();
+  }
+  return N;
 }
 
 namespace {
@@ -353,7 +360,15 @@ CompileResult Compiler::compile(const std::string &TUKey,
           Rec.CachedCode = writeFunctionBlob(MF);
       }
     }
-    DB->update(TUKey, std::move(NewState));
+    if (Options.DeferStateWrite) {
+      // Batched write-back: hand the state to the caller (Scheduler)
+      // so one build applies all TU updates per DB shard in one lock
+      // acquisition instead of locking per TU from every worker.
+      Result.NewState = std::move(NewState);
+      Result.HasNewState = true;
+    } else {
+      DB->update(TUKey, std::move(NewState));
+    }
   }
   State.stop();
   if (Tracing) {

@@ -6,8 +6,11 @@
 
 #include "ir/IR.h"
 
+#include "support/ContentionStats.h"
+
 #include <algorithm>
 #include <atomic>
+#include <thread>
 
 using namespace sc;
 
@@ -21,12 +24,24 @@ namespace {
 // only ever used from their owning function, which the parallel pass
 // engine runs on exactly one thread at a time, so they take no lock.
 // The critical sections are a handful of pointer moves; a spinlock
-// beats a mutex here and keeps Value allocation-free.
+// beats a mutex here and keeps Value allocation-free. The spin is
+// bounded: after a short burst the holder is either descheduled or on
+// another core doing real work, and yielding beats burning the CPU —
+// unbounded spinning is catastrophic when threads outnumber cores.
 struct SpinLock {
   std::atomic_flag F = ATOMIC_FLAG_INIT;
   void lock() {
-    while (F.test_and_set(std::memory_order_acquire)) {
-    }
+    ContentionCounters &C = sharedUseContention();
+    C.Acquisitions.fetch_add(1, std::memory_order_relaxed);
+    if (!F.test_and_set(std::memory_order_acquire))
+      return;
+    C.Contended.fetch_add(1, std::memory_order_relaxed);
+    unsigned Spins = 0;
+    while (F.test_and_set(std::memory_order_acquire))
+      if (++Spins >= 32) {
+        Spins = 0;
+        std::this_thread::yield();
+      }
   }
   void unlock() { F.clear(std::memory_order_release); }
 };
@@ -407,15 +422,20 @@ size_t Function::instructionCount() const {
 ConstantInt *Module::getConstant(IRType Ty, int64_t V) {
   // Locked: function passes running concurrently materialize constants.
   // Uniquing makes the resulting pointer independent of call order, so
-  // parallel creation cannot perturb output.
-  std::lock_guard<std::mutex> Lock(ConstantMu);
+  // parallel creation cannot perturb output. The key picks the shard,
+  // so the same constant always uniques in the same shard and distinct
+  // hot constants spread across independent mutexes.
   auto Key = std::make_pair(static_cast<uint8_t>(Ty), V);
-  auto It = ConstantIndex.find(Key);
-  if (It != ConstantIndex.end())
+  uint64_t H = (static_cast<uint64_t>(V) ^ (static_cast<uint64_t>(Ty) << 56)) *
+               0x9E3779B97F4A7C15ull;
+  ConstantShard &Shard = ConstantShards[(H >> 32) % NumConstantShards];
+  auto Lock = timedLock(Shard.Mu, constantUniquingContention());
+  auto It = Shard.Index.find(Key);
+  if (It != Shard.Index.end())
     return It->second;
-  Constants.push_back(std::make_unique<ConstantInt>(Ty, V));
-  ConstantIndex[Key] = Constants.back().get();
-  return Constants.back().get();
+  Shard.Pool.push_back(std::make_unique<ConstantInt>(Ty, V));
+  Shard.Index[Key] = Shard.Pool.back().get();
+  return Shard.Pool.back().get();
 }
 
 GlobalVariable *Module::createGlobal(std::string GName, uint64_t Size,

@@ -675,12 +675,20 @@ public:
 
 private:
   std::string Name;
+  // Constant uniquing is sharded by (type, value) so concurrent
+  // function-pass chains materializing constants rarely collide on one
+  // mutex. Pointer identity is still creation-order independent: a key
+  // always lands in the same shard and is uniqued there.
+  static constexpr size_t NumConstantShards = 8;
+  struct ConstantShard {
+    std::vector<std::unique_ptr<ConstantInt>> Pool;
+    std::map<std::pair<uint8_t, int64_t>, ConstantInt *> Index;
+    std::mutex Mu; // Guards the two members above.
+  };
   // Declaration order doubles as (reverse) destruction order:
   // Functions must be destroyed first because their instructions
   // unregister from the user lists of constants and globals.
-  std::vector<std::unique_ptr<ConstantInt>> Constants;
-  std::map<std::pair<uint8_t, int64_t>, ConstantInt *> ConstantIndex;
-  mutable std::mutex ConstantMu; // Guards the two members above.
+  ConstantShard ConstantShards[NumConstantShards];
   std::vector<std::unique_ptr<GlobalVariable>> Globals;
   std::vector<std::unique_ptr<Function>> Functions;
 };

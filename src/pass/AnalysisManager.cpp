@@ -6,12 +6,20 @@
 
 #include "pass/AnalysisManager.h"
 
+#include "support/ContentionStats.h"
+
 using namespace sc;
+
+AnalysisManager::SlotShard &AnalysisManager::shardFor(const Function &F) {
+  uintptr_t P = reinterpret_cast<uintptr_t>(&F);
+  return SlotShards[(P >> 6) % NumSlotShards];
+}
 
 AnalysisManager::FunctionAnalyses &
 AnalysisManager::slotFor(const Function &F) {
-  std::lock_guard<std::mutex> Lock(SlotMu);
-  return PerFunction[&F];
+  SlotShard &Shard = shardFor(F);
+  auto Lock = timedLock(Shard.Mu, analysisSlotContention());
+  return Shard.Map[&F];
 }
 
 const DominatorTree &AnalysisManager::domTree(const Function &F) {
@@ -70,8 +78,9 @@ void AnalysisManager::unfreezeModuleAnalyses() {
 
 void AnalysisManager::invalidate(const Function &F) {
   {
-    std::lock_guard<std::mutex> Lock(SlotMu);
-    PerFunction.erase(&F);
+    SlotShard &Shard = shardFor(F);
+    auto Lock = timedLock(Shard.Mu, analysisSlotContention());
+    Shard.Map.erase(&F);
   }
   // Module-level analyses are invalidated lazily: resetting them here
   // would race with concurrent readers of the frozen snapshot, and in
@@ -81,9 +90,11 @@ void AnalysisManager::invalidate(const Function &F) {
 }
 
 void AnalysisManager::invalidateAll() {
-  std::lock_guard<std::mutex> Lock(SlotMu);
-  assert(!Frozen && "invalidateAll() during a parallel position");
-  PerFunction.clear();
+  assert(!Frozen && "invalidateAll() during a parallel segment");
+  for (SlotShard &Shard : SlotShards) {
+    std::lock_guard<std::mutex> Lock(Shard.Mu);
+    Shard.Map.clear();
+  }
   Purity.reset();
   CG.reset();
   ModuleAnalysesStale.store(false, std::memory_order_relaxed);

@@ -90,14 +90,24 @@ private:
     std::unique_ptr<LoopInfo> LI;
   };
 
+  /// The per-function slot map is sharded by function pointer so
+  /// concurrent chains' lookups/invalidations rarely collide on one
+  /// mutex (contention tracked via analysisSlotContention()).
+  static constexpr size_t NumSlotShards = 8;
+  struct SlotShard {
+    std::mutex Mu;
+    std::map<const Function *, FunctionAnalyses> Map;
+  };
+
+  SlotShard &shardFor(const Function &F);
+
   /// Locked map access; the returned reference is stable (std::map)
   /// and, per the contract above, only touched by the one thread
   /// currently processing \p F.
   FunctionAnalyses &slotFor(const Function &F);
 
   Module &M;
-  std::mutex SlotMu;
-  std::map<const Function *, FunctionAnalyses> PerFunction;
+  SlotShard SlotShards[NumSlotShards];
   std::unique_ptr<PurityInfo> Purity;
   std::unique_ptr<CallGraph> CG;
   bool Frozen = false;

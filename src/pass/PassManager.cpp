@@ -123,12 +123,37 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
   // Sampled once: tracing toggles between builds, not mid-pipeline.
   const bool Tracing = Trace && Trace->enabled();
 
-  for (size_t Index = 0; Index != Entries.size(); ++Index) {
-    const Entry &E = Entries[Index];
-    const std::string Name = passName(Index);
-    Timer &PassTimer = Timers.get(Name);
+  // Partition the pipeline into segments: one segment per module pass,
+  // and maximal runs of function passes in which only the FIRST pass
+  // may require module analyses (purity). A purity-requiring pass
+  // starts a new segment so its snapshot is taken at exactly the point
+  // the position-barriered engine took it — that is what keeps chained
+  // execution byte-identical to the historical engine.
+  struct Segment {
+    size_t Begin = 0;
+    size_t End = 0; // exclusive
+    bool IsModule = false;
+  };
+  std::vector<Segment> Segments;
+  for (size_t I = 0; I != Entries.size();) {
+    if (Entries[I].MP) {
+      Segments.push_back({I, I + 1, true});
+      ++I;
+      continue;
+    }
+    size_t B = I++;
+    while (I != Entries.size() && Entries[I].FP &&
+           !Entries[I].FP->requiresPurity())
+      ++I;
+    Segments.push_back({B, I, false});
+  }
 
-    if (E.MP) {
+  for (const Segment &Seg : Segments) {
+    if (Seg.IsModule) {
+      const size_t Index = Seg.Begin;
+      const Entry &E = Entries[Index];
+      const std::string Name = passName(Index);
+      Timer &PassTimer = Timers.get(Name);
       PassDecision Reason = PassDecision::RanAlways;
       if (PI && !PI->shouldRunModulePass(Name, Index, M, &Reason)) {
         ++Stats.ModulePassSkips;
@@ -161,85 +186,103 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
       continue;
     }
 
-    // Function-pass position: fan out across functions. The same body
-    // runs sequentially when no pool is given, with identical
-    // snapshot/freeze semantics, so -j1 and -jN produce the same
-    // output bytes and the same dormancy records.
+    // Function-pass segment: one task per function runs the whole
+    // chain Entries[Begin..End) over that function, in pipeline order.
+    // The same chain code runs sequentially when no pool is given, so
+    // -j1 and -jN produce the same output bytes and the same dormancy
+    // records.
     //
-    // Snapshot module analyses the pass depends on, then freeze them
-    // for the whole position: every function sees the purity facts
-    // computed from the IR as it stood when the position started,
-    // independent of how sibling tasks interleave. (This is also what
-    // the old sequential engine observed for the passes that exist
-    // today: a function pass can delete a pure call but can never make
-    // an Impure function non-impure, so a snapshot taken at position
-    // start classifies every function identically.)
-    if (E.FP->requiresPurity())
+    // Snapshot the module analyses the segment's head depends on, then
+    // freeze them for the whole segment: every function sees the purity
+    // facts computed from the IR as it stood when the segment started,
+    // independent of how sibling chains interleave. (Only a segment
+    // head can query purity — any later purity-requiring pass would
+    // have started its own segment — so this observes exactly what the
+    // position-barriered engine observed.)
+    const size_t SegLen = Seg.End - Seg.Begin;
+    if (Entries[Seg.Begin].FP->requiresPurity())
       AM.purity();
     AM.freezeModuleAnalyses();
 
-    // Per-slot accumulators: each participating thread gets a private
-    // counter set, merged after the barrier. Integer sums are
-    // commutative, so totals are identical for any item->slot split.
-    struct SlotStats {
+    // Resolve names and timers up front: TimerGroup is a map and must
+    // not be mutated from chain tasks.
+    std::vector<std::string> Names(SegLen);
+    std::vector<Timer *> SegTimers(SegLen);
+    for (size_t P = 0; P != SegLen; ++P) {
+      Names[P] = passName(Seg.Begin + P);
+      SegTimers[P] = &Timers.get(Names[P]);
+    }
+
+    // Per-slot, per-position accumulators: each participating thread
+    // gets a private counter set, merged after the barrier. Integer
+    // sums are commutative, so totals are identical for any
+    // item->slot split.
+    struct PosStats {
       uint64_t Runs = 0;
       uint64_t Skips = 0;
       uint64_t Changes = 0;
       uint64_t Nanos = 0;
     };
     const unsigned NumSlots = Pool ? Pool->maxSlots() : 1;
-    std::vector<SlotStats> Slots(NumSlots);
+    std::vector<std::vector<PosStats>> Slots(
+        NumSlots, std::vector<PosStats>(SegLen));
 
-    auto Body = [&](size_t FI, unsigned Slot) {
+    auto Chain = [&](size_t FI, unsigned Slot) {
       Function &F = *M.function(FI);
-      SlotStats &SS = Slots[Slot];
-      PassDecision Reason = PassDecision::RanAlways;
-      if (PI && !PI->shouldRunPass(Name, Index, F, &Reason)) {
-        ++SS.Skips;
-        PI->onSkippedPass(Name, Index, F);
+      std::vector<PosStats> &SS = Slots[Slot];
+      for (size_t P = 0; P != SegLen; ++P) {
+        const size_t Index = Seg.Begin + P;
+        const Entry &E = Entries[Index];
+        const std::string &Name = Names[P];
+        PassDecision Reason = PassDecision::RanAlways;
+        if (PI && !PI->shouldRunPass(Name, Index, F, &Reason)) {
+          ++SS[P].Skips;
+          PI->onSkippedPass(Name, Index, F);
+          if (Tracing)
+            Trace->instant("pass.skip", Name,
+                           "{\"fn\":\"" + jsonEscape(F.name()) +
+                               "\",\"reason\":\"" + passDecisionName(Reason) +
+                               "\"}");
+          continue;
+        }
+        uint64_t T0 = nowNanos();
+        bool Changed = E.FP->run(F, AM);
+        uint64_t Dur = nowNanos() - T0;
+        if (Changed) {
+          AM.invalidate(F);
+          ++SS[P].Changes;
+        }
+        SS[P].Nanos += Dur;
+        ++SS[P].Runs;
+        if (PI)
+          PI->afterPass(Name, Index, F, Changed,
+                        static_cast<double>(Dur) / 1000.0);
         if (Tracing)
-          Trace->instant("pass.skip", Name,
-                         "{\"fn\":\"" + jsonEscape(F.name()) +
-                             "\",\"reason\":\"" + passDecisionName(Reason) +
-                             "\"}");
-        return;
+          Trace->span("pass", Name, T0, T0 + Dur,
+                      "{\"fn\":\"" + jsonEscape(F.name()) + "\",\"changed\":" +
+                          (Changed ? "true" : "false") + ",\"reason\":\"" +
+                          passDecisionName(Reason) + "\"}");
+        if (VerifyEach && Changed)
+          verifyOrDie(F, Name);
       }
-      uint64_t T0 = nowNanos();
-      bool Changed = E.FP->run(F, AM);
-      uint64_t Dur = nowNanos() - T0;
-      if (Changed) {
-        AM.invalidate(F);
-        ++SS.Changes;
-      }
-      SS.Nanos += Dur;
-      ++SS.Runs;
-      if (PI)
-        PI->afterPass(Name, Index, F, Changed,
-                      static_cast<double>(Dur) / 1000.0);
-      if (Tracing)
-        Trace->span("pass", Name, T0, T0 + Dur,
-                    "{\"fn\":\"" + jsonEscape(F.name()) + "\",\"changed\":" +
-                        (Changed ? "true" : "false") + ",\"reason\":\"" +
-                        passDecisionName(Reason) + "\"}");
-      if (VerifyEach && Changed)
-        verifyOrDie(F, Name);
     };
 
     if (Pool && M.numFunctions() > 1)
-      Pool->parallelFor(M.numFunctions(), Body);
+      Pool->parallelFor(M.numFunctions(), Chain);
     else
       for (size_t FI = 0; FI != M.numFunctions(); ++FI)
-        Body(FI, 0);
+        Chain(FI, 0);
 
     AM.unfreezeModuleAnalyses();
 
-    for (const SlotStats &SS : Slots) {
-      Stats.FunctionPassRuns += SS.Runs;
-      Stats.FunctionPassSkips += SS.Skips;
-      Stats.FunctionPassChanges += SS.Changes;
-      Stats.TotalPassMicros += static_cast<double>(SS.Nanos) / 1000.0;
-      PassTimer.addNanos(SS.Nanos);
-    }
+    for (const std::vector<PosStats> &SS : Slots)
+      for (size_t P = 0; P != SegLen; ++P) {
+        Stats.FunctionPassRuns += SS[P].Runs;
+        Stats.FunctionPassSkips += SS[P].Skips;
+        Stats.FunctionPassChanges += SS[P].Changes;
+        Stats.TotalPassMicros += static_cast<double>(SS[P].Nanos) / 1000.0;
+        SegTimers[P]->addNanos(SS[P].Nanos);
+      }
   }
   return Stats;
 }

@@ -89,11 +89,23 @@ struct PipelineStats {
   double TotalPassMicros = 0;
 };
 
-/// An ordered sequence of passes. Function passes run function-by-
-/// function at their pipeline position (all functions through pass i
-/// before pass i+1), which gives each (function, pass) execution a
-/// stable identity across builds — the key requirement for matching
-/// dormancy records between builds.
+/// An ordered sequence of passes. Each (function, pipeline-position)
+/// execution has a stable identity across builds — the key requirement
+/// for matching dormancy records between builds.
+///
+/// Execution model: the pipeline is partitioned into SEGMENTS — a
+/// segment is either one module pass or a maximal run of function
+/// passes in which only the first pass may require module analyses
+/// (purity). Within a function-pass segment, each function runs its
+/// whole chain of passes as ONE task, in pipeline order; different
+/// functions' chains are independent. This keeps per-module barriers
+/// to a handful (segment boundaries) instead of one per position, and
+/// makes each parallel task coarse enough that tasks from different
+/// TUs interleave productively in the shared TaskPool frontier.
+/// Because function passes only read their own function's IR plus
+/// module analyses frozen at segment start, chaining is observationally
+/// identical to the historical position-barriered engine: same
+/// decisions, same output bytes, at any thread count including -j1.
 class PassPipeline {
 public:
   PassPipeline() = default;
@@ -116,14 +128,16 @@ public:
   /// When \p VerifyEach is set, the IR verifier runs after every pass
   /// execution that reported a change, aborting on malformed IR.
   ///
-  /// When \p Pool is non-null, each function-pass position fans out
-  /// across functions on the pool (module passes stay sequential
+  /// When \p Pool is non-null, each function-pass segment fans out one
+  /// chain task per function on the pool (module passes stay sequential
   /// barriers). Execution identity is unchanged — the same (function,
   /// pass-index) pairs run or skip — and output is byte-identical to
   /// the sequential engine for any thread count: functions only mutate
-  /// their own IR, module analyses are frozen per position, and stats
+  /// their own IR, module analyses are frozen per segment, and stats
   /// merge commutatively. \p PI callbacks may then arrive concurrently
-  /// from multiple threads and must lock internally.
+  /// from multiple threads; each function's chain is single-threaded,
+  /// so per-function instrumentation state needs no locking but
+  /// cross-function state does.
   ///
   /// When \p Trace is non-null and enabled, every executed pass emits
   /// a thread-attributed span and every skipped pass an instant event

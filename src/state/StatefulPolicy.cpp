@@ -6,6 +6,8 @@
 
 #include "state/StatefulPolicy.h"
 
+#include "support/ContentionStats.h"
+
 using namespace sc;
 
 StatefulInstrumentation::StatefulInstrumentation(
@@ -23,96 +25,101 @@ StatefulInstrumentation::StatefulInstrumentation(
   NewState.PipelineSignature = PipelineSignature;
   NewState.ModuleDormancy.assign(PipelineLength, 0);
   Decisions.Module.assign(PipelineLength, TUDecisionLog::NoDecision);
+
+  // Precompute every function's skip verdict once. The old engine
+  // re-walked the decision ladder under a global mutex for every
+  // (function, pass) query — 27x per function on O2; this makes the
+  // per-pass hot path a map find plus slot reads, with no lock.
+  for (const auto &[Name, FP] : this->Fingerprints)
+    initSlot(Slots[Name], Name, FP);
 }
 
-const FunctionRecord *
-StatefulInstrumentation::usableRecord(const std::string &FName,
-                                      bool &RefreshOut, PassDecision &Why) {
-  RefreshOut = false;
+void StatefulInstrumentation::initSlot(FnSlot &S, const std::string &FName,
+                                       uint64_t Fingerprint) {
+  S.Fingerprint = Fingerprint;
+  if (Prev) {
+    auto It = Prev->Functions.find(FName);
+    if (It != Prev->Functions.end()) {
+      S.PrevAge = It->second.Age;
+      if (It->second.Dormancy.size() == PipelineLength)
+        S.PrevDormancy = &It->second.Dormancy;
+    }
+  }
+
+  // The decision ladder; mirrors the historical usableRecord().
   if (Config.SkipMode == StatefulConfig::Mode::Stateless) {
-    Why = PassDecision::RanAlways;
-    return nullptr;
+    S.NoRecWhy = PassDecision::RanAlways;
+    return;
   }
   if (!Prev) {
-    Why = SigMismatch ? PassDecision::RanSignatureChange
-                      : PassDecision::RanColdState;
-    return nullptr;
+    S.NoRecWhy = SigMismatch ? PassDecision::RanSignatureChange
+                             : PassDecision::RanColdState;
+    return;
   }
   auto It = Prev->Functions.find(FName);
   if (It == Prev->Functions.end()) {
-    Why = PassDecision::RanNewFunction;
-    return nullptr;
+    S.NoRecWhy = PassDecision::RanNewFunction;
+    return;
   }
   const FunctionRecord &Rec = It->second;
   if (Rec.Dormancy.size() != PipelineLength) {
-    Why = PassDecision::RanStaleRecord;
-    return nullptr;
+    S.NoRecWhy = PassDecision::RanStaleRecord;
+    return;
   }
-
-  if (Config.SkipMode == StatefulConfig::Mode::ExactSkip) {
-    auto FPIt = Fingerprints.find(FName);
-    if (FPIt == Fingerprints.end() || FPIt->second != Rec.Fingerprint) {
-      Why = PassDecision::RanFingerprint;
-      return nullptr;
-    }
+  if (Config.SkipMode == StatefulConfig::Mode::ExactSkip &&
+      Fingerprint != Rec.Fingerprint) {
+    S.NoRecWhy = PassDecision::RanFingerprint;
+    return;
   }
-
-  // Refresh policy: decide once per function per build.
-  if (Config.RefreshInterval != 0) {
-    auto Decided = RefreshDecided.find(FName);
-    if (Decided == RefreshDecided.end()) {
-      bool Refresh = Rec.Age + 1 >= Config.RefreshInterval;
-      RefreshDecided[FName] = Refresh;
-      if (Refresh)
-        ++Stats.FunctionsRefreshed;
-      Decided = RefreshDecided.find(FName);
-    }
-    if (Decided->second) {
-      RefreshOut = true;
-      Why = PassDecision::RanRefresh;
-      return nullptr;
-    }
+  if (Config.RefreshInterval != 0 && Rec.Age + 1 >= Config.RefreshInterval) {
+    S.Refresh = true;
+    S.NoRecWhy = PassDecision::RanRefresh;
+    return;
   }
-  return &Rec;
+  S.Rec = &Rec;
 }
 
-uint8_t &StatefulInstrumentation::decisionSlot(const std::string &FName,
-                                               size_t PassIndex) {
-  std::vector<uint8_t> &Codes = Decisions.Functions[FName];
-  if (Codes.empty())
-    Codes.assign(PipelineLength, TUDecisionLog::NoDecision);
-  return Codes[PassIndex];
+StatefulInstrumentation::FnSlot &
+StatefulInstrumentation::slotFor(const std::string &FName) {
+  auto It = Slots.find(FName);
+  if (It != Slots.end())
+    return It->second;
+  // Unknown function (not in the fingerprint set): rare safety path.
+  auto Lock = timedLock(OverflowMu, statefulPolicyContention());
+  auto [OIt, Inserted] = Overflow.try_emplace(FName);
+  if (Inserted)
+    initSlot(OIt->second, FName, 0);
+  return OIt->second;
 }
 
 void StatefulInstrumentation::setReusedFunctions(
     std::set<std::string> Names) {
-  ReusedFunctions = std::move(Names);
-  Stats.FunctionsReused = ReusedFunctions.size();
+  Stats.FunctionsReused = Names.size();
+  for (const std::string &Name : Names)
+    slotFor(Name).Reused = true;
 }
 
 bool StatefulInstrumentation::shouldRunPass(const std::string &,
                                             size_t PassIndex,
                                             const Function &F,
                                             PassDecision *Reason) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  PassDecision Why = PassDecision::RanAlways;
+  FnSlot &S = slotFor(F.name());
+  S.Queried = true;
+  PassDecision Why;
   bool Run;
-  if (ReusedFunctions.count(F.name())) {
+  if (S.Reused) {
     Why = PassDecision::SkippedReused;
     Run = false;
+  } else if (!S.Rec) {
+    Why = S.NoRecWhy;
+    Run = true;
   } else {
-    bool Refresh = false;
-    const FunctionRecord *Rec = usableRecord(F.name(), Refresh, Why);
-    if (!Rec) {
-      Run = true;
-    } else {
-      MatchedFunctions.insert(F.name());
-      Stats.FunctionsMatched = MatchedFunctions.size();
-      Run = Rec->Dormancy[PassIndex] == 0;
-      Why = Run ? PassDecision::RanActive : PassDecision::SkippedDormant;
-    }
+    Run = S.Rec->Dormancy[PassIndex] == 0;
+    Why = Run ? PassDecision::RanActive : PassDecision::SkippedDormant;
   }
-  decisionSlot(F.name(), PassIndex) = TUDecisionLog::pack(Why, false);
+  if (S.Decisions.empty())
+    S.Decisions.assign(PipelineLength, TUDecisionLog::NoDecision);
+  S.Decisions[PassIndex] = TUDecisionLog::pack(Why, false);
   if (Reason)
     *Reason = Why;
   return Run;
@@ -121,54 +128,49 @@ bool StatefulInstrumentation::shouldRunPass(const std::string &,
 void StatefulInstrumentation::afterPass(const std::string &, size_t PassIndex,
                                         const Function &F, bool Changed,
                                         double) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  FunctionRecord &Rec = NewState.Functions[F.name()];
-  if (Rec.Dormancy.empty()) {
-    Rec.Dormancy.assign(PipelineLength, 0);
-    auto It = Fingerprints.find(F.name());
-    Rec.Fingerprint = It != Fingerprints.end() ? It->second : 0;
+  FnSlot &S = slotFor(F.name());
+  if (S.New.Dormancy.empty()) {
+    S.New.Dormancy.assign(PipelineLength, 0);
+    S.New.Fingerprint = S.Fingerprint;
   }
-  Rec.Dormancy[PassIndex] = Changed ? 0 : 1;
-  if (Changed)
-    decisionSlot(F.name(), PassIndex) |= TUDecisionLog::ChangedBit;
-  ++Stats.PassesRun;
+  S.New.Dormancy[PassIndex] = Changed ? 0 : 1;
+  // The engine always queries shouldRunPass first, which sizes the
+  // decision vector; direct afterPass calls (unit tests) may not.
+  if (Changed && PassIndex < S.Decisions.size())
+    S.Decisions[PassIndex] |= TUDecisionLog::ChangedBit;
+  ++S.Runs;
 }
 
 void StatefulInstrumentation::onSkippedPass(const std::string &,
                                             size_t PassIndex,
                                             const Function &F) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  FunctionRecord &Rec = NewState.Functions[F.name()];
-  if (Rec.Dormancy.empty()) {
-    Rec.Dormancy.assign(PipelineLength, 0);
-    auto It = Fingerprints.find(F.name());
-    Rec.Fingerprint = It != Fingerprints.end() ? It->second : 0;
+  FnSlot &S = slotFor(F.name());
+  if (S.New.Dormancy.empty()) {
+    S.New.Dormancy.assign(PipelineLength, 0);
+    S.New.Fingerprint = S.Fingerprint;
   }
-  if (ReusedFunctions.count(F.name())) {
+  if (S.Reused) {
     // Cache splice: the previous dormancy vector stays authoritative
     // (this skip says nothing about dormancy — the pass was bypassed
-    // because the whole compilation result is reused).
-    Rec.Dormancy[PassIndex] = 0; // Unknown: be conservative.
-    if (Prev) {
-      auto It = Prev->Functions.find(F.name());
-      if (It != Prev->Functions.end() &&
-          It->second.Dormancy.size() == PipelineLength)
-        Rec.Dormancy[PassIndex] = It->second.Dormancy[PassIndex];
-    }
+    // because the whole compilation result is reused). Unknown shape:
+    // be conservative (0).
+    S.New.Dormancy[PassIndex] =
+        S.PrevDormancy ? (*S.PrevDormancy)[PassIndex] : 0;
   } else {
     // Carry the dormant verdict forward: the pass was not executed, so
     // the best knowledge remains "dormant as of the last real run".
-    Rec.Dormancy[PassIndex] = 1;
+    S.New.Dormancy[PassIndex] = 1;
   }
-  SkippedAnyFor.insert(F.name());
-  ++Stats.PassesSkipped;
+  S.SkippedAny = true;
+  ++S.Skips;
 }
 
 bool StatefulInstrumentation::shouldRunModulePass(const std::string &,
                                                   size_t PassIndex,
                                                   const Module &,
                                                   PassDecision *Reason) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  // Module passes execute at the engine's sequential barriers — no
+  // function chain is in flight — so this needs no lock.
   PassDecision Why;
   bool Run;
   if (!Config.SkipModulePasses ||
@@ -201,32 +203,63 @@ bool StatefulInstrumentation::shouldRunModulePass(const std::string &,
 void StatefulInstrumentation::afterModulePass(const std::string &,
                                               size_t PassIndex, const Module &,
                                               bool Changed, double) {
-  std::lock_guard<std::mutex> Lock(Mu);
   NewState.ModuleDormancy[PassIndex] = Changed ? 0 : 1;
   if (Changed)
     Decisions.Module[PassIndex] |= TUDecisionLog::ChangedBit;
   ++Stats.PassesRun;
 }
 
-TUState StatefulInstrumentation::takeNewState() {
-  // Age accounting: a function whose pipeline ran in full resets its
-  // age; one with at least one carried-over (skipped) verdict ages.
-  for (auto &[Name, Rec] : NewState.Functions) {
-    if (SkippedAnyFor.count(Name)) {
-      uint32_t PrevAge = 0;
-      if (Prev) {
-        auto It = Prev->Functions.find(Name);
-        if (It != Prev->Functions.end())
-          PrevAge = It->second.Age;
-      }
-      Rec.Age = PrevAge + 1;
-    } else {
-      Rec.Age = 0;
+void StatefulInstrumentation::finalize() const {
+  // Merge-on-quiesce: fold the per-function slots into the aggregate
+  // counters exactly once, after the pipeline finished (the engine's
+  // barrier orders all slot writes before this read).
+  if (Finalized)
+    return;
+  Finalized = true;
+  auto Fold = [this](const std::map<std::string, FnSlot> &M) {
+    for (const auto &[Name, S] : M) {
+      (void)Name;
+      Stats.PassesRun += S.Runs;
+      Stats.PassesSkipped += S.Skips;
+      if (S.Queried && !S.Reused && S.Rec)
+        ++Stats.FunctionsMatched;
+      // Reused functions short-circuit before the refresh ladder.
+      if (S.Queried && !S.Reused && S.Refresh)
+        ++Stats.FunctionsRefreshed;
     }
-  }
+  };
+  Fold(Slots);
+  Fold(Overflow);
+}
+
+TUState StatefulInstrumentation::takeNewState() {
+  finalize();
+  // Assemble the persisted state from the slots. Age accounting: a
+  // function whose pipeline ran in full resets its age; one with at
+  // least one carried-over (skipped) verdict ages.
+  auto Collect = [this](std::map<std::string, FnSlot> &M) {
+    for (auto &[Name, S] : M) {
+      if (S.New.Dormancy.empty())
+        continue; // Never touched by a function-pass segment.
+      S.New.Age = S.SkippedAny ? S.PrevAge + 1 : 0;
+      NewState.Functions[Name] = std::move(S.New);
+    }
+  };
+  Collect(Slots);
+  Collect(Overflow);
   return std::move(NewState);
 }
 
 TUDecisionLog StatefulInstrumentation::takeDecisions() {
+  finalize();
+  auto Collect = [this](std::map<std::string, FnSlot> &M) {
+    for (auto &[Name, S] : M) {
+      if (S.Decisions.empty())
+        continue; // Never queried.
+      Decisions.Functions[Name] = std::move(S.Decisions);
+    }
+  };
+  Collect(Slots);
+  Collect(Overflow);
   return std::move(Decisions);
 }

@@ -100,10 +100,17 @@ struct TUDecisionLog {
 /// PassInstrumentation that implements dormancy-based skipping and
 /// simultaneously records the TU's next-build state.
 ///
-/// Thread-safe for the parallel pass engine: the per-function hooks
-/// lock internally, so they may be called concurrently from pipeline
-/// worker threads. The per-(function, pass) records they write are
-/// keyed by name, independent of call order — the recorded state is
+/// Thread-safe for the parallel pass engine WITHOUT locking the hot
+/// path: every function named in \p Fingerprints gets a private slot
+/// built in the constructor (skip verdict precomputed once per
+/// function, not once per pass), and the engine guarantees each
+/// function's chain runs on exactly one thread at a time, so the
+/// per-function hooks mutate only that slot — no mutex. Module-pass
+/// hooks run at the engine's sequential barriers and are likewise
+/// unlocked. Only functions absent from \p Fingerprints (none, in
+/// practice) fall back to a mutex-guarded overflow map. Aggregate
+/// stats/state/decisions are folded from the slots on first access
+/// after the run (merge-on-quiesce), so the recorded state is
 /// identical for any thread count. setReusedFunctions()/takeNewState()
 /// must be called outside pipeline execution.
 ///
@@ -151,20 +158,50 @@ public:
   /// after the pipeline ran.
   TUDecisionLog takeDecisions();
 
-  const StatefulStats &stats() const { return Stats; }
+  const StatefulStats &stats() const {
+    finalize();
+    return Stats;
+  }
 
 private:
-  /// Previous record for \p FName, usable under the current policy.
-  /// When returning null, \p Why says which precondition failed.
-  const FunctionRecord *usableRecord(const std::string &FName,
-                                     bool &RefreshOut, PassDecision &Why);
+  /// Per-function state. The skip verdict is precomputed once in the
+  /// constructor; during the pipeline the one thread running this
+  /// function's chain mutates the recording fields without locking.
+  struct FnSlot {
+    //===--- Precomputed; immutable during the pipeline ---------------------===//
+    /// Usable previous record under the current policy, or null.
+    const FunctionRecord *Rec = nullptr;
+    /// Why Rec is null (valid only when it is).
+    PassDecision NoRecWhy = PassDecision::RanAlways;
+    /// Previous dormancy vector (shape-matched), policy-independent;
+    /// used for the reused-function carry-forward.
+    const std::vector<uint8_t> *PrevDormancy = nullptr;
+    bool Refresh = false; ///< Refresh policy forces a full run.
+    uint32_t PrevAge = 0;
+    uint64_t Fingerprint = 0;
+    /// Set by setReusedFunctions() before the pipeline runs.
+    bool Reused = false;
+    //===--- Written only by this function's chain thread -------------------===//
+    bool Queried = false;    ///< shouldRunPass seen at least once.
+    bool SkippedAny = false; ///< Drives aging in takeNewState().
+    uint64_t Runs = 0;
+    uint64_t Skips = 0;
+    FunctionRecord New;             ///< Dormancy being recorded.
+    std::vector<uint8_t> Decisions; ///< Packed codes per position.
+  };
 
-  /// The packed-decision slot for (FName, PassIndex), sized on demand.
-  uint8_t &decisionSlot(const std::string &FName, size_t PassIndex);
+  /// Fills the precomputed fields of \p S for \p FName (the decision
+  /// ladder the per-pass hot path used to walk per query).
+  void initSlot(FnSlot &S, const std::string &FName, uint64_t Fingerprint);
 
-  /// Guards all mutable members below against concurrent hook calls
-  /// from pipeline worker threads.
-  std::mutex Mu;
+  /// Slot lookup: lock-free for functions known at construction, via
+  /// the mutex-guarded overflow map otherwise.
+  FnSlot &slotFor(const std::string &FName);
+
+  /// Folds per-function slot counters into Stats once, after the
+  /// pipeline quiesced. Idempotent.
+  void finalize() const;
+
   StatefulConfig Config;
   const TUState *Prev;
   bool SigMismatch = false; // Prev dropped over a signature change.
@@ -173,16 +210,15 @@ private:
   std::map<std::string, uint64_t> Fingerprints;
   TUState NewState;
   TUDecisionLog Decisions;
-  StatefulStats Stats;
-  // Functions the refresh policy forces through the full pipeline in
-  // this build.
-  std::map<std::string, bool> RefreshDecided;
-  // Functions that had at least one pass skipped (drives aging).
-  std::set<std::string> SkippedAnyFor;
-  // Functions that had a usable previous record.
-  std::set<std::string> MatchedFunctions;
-  // Functions compiled by cache splicing (no pass may run).
-  std::set<std::string> ReusedFunctions;
+  mutable StatefulStats Stats;
+  mutable bool Finalized = false;
+  /// One slot per function known at construction. The map's structure
+  /// is immutable while the pipeline runs — concurrent find() is safe.
+  std::map<std::string, FnSlot> Slots;
+  /// Functions not present in Fingerprints (should not happen; kept
+  /// for safety). Guarded by OverflowMu.
+  std::mutex OverflowMu;
+  std::map<std::string, FnSlot> Overflow;
 };
 
 } // namespace sc

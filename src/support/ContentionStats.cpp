@@ -1,0 +1,39 @@
+//===- support/ContentionStats.cpp - Lock contention counters ------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ContentionStats.h"
+
+using namespace sc;
+
+ContentionCounters &sc::constantUniquingContention() {
+  static ContentionCounters C;
+  return C;
+}
+
+ContentionCounters &sc::sharedUseContention() {
+  static ContentionCounters C;
+  return C;
+}
+
+ContentionCounters &sc::statefulPolicyContention() {
+  static ContentionCounters C;
+  return C;
+}
+
+ContentionCounters &sc::fingerprintMemoContention() {
+  static ContentionCounters C;
+  return C;
+}
+
+ContentionCounters &sc::stateDBContention() {
+  static ContentionCounters C;
+  return C;
+}
+
+ContentionCounters &sc::analysisSlotContention() {
+  static ContentionCounters C;
+  return C;
+}

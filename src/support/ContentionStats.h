@@ -1,0 +1,88 @@
+//===- support/ContentionStats.h - Lock contention counters -----*- C++ -*-===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide counters for contention on the compiler's hot shared
+/// locks (constant uniquing, shared-value user lists, analysis slots,
+/// state-DB shards, fingerprint memo). Acquisition sites are
+/// instrumented with timedLock()/contendedHit(): the uncontended fast
+/// path costs one relaxed increment, the contended path additionally
+/// records the nanoseconds spent blocked.
+///
+/// The counters are cumulative for the process; BuildDriver snapshots
+/// them before and after each build and publishes the DELTAS into the
+/// build's MetricsRegistry as lock.* metrics (docs/OBSERVABILITY.md),
+/// making lock contention a first-class, regression-trackable number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SC_SUPPORT_CONTENTIONSTATS_H
+#define SC_SUPPORT_CONTENTIONSTATS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace sc {
+
+/// One instrumented lock family (all shards of one structure share a
+/// counter group — per-shard attribution is not worth the memory).
+struct ContentionCounters {
+  std::atomic<uint64_t> Acquisitions{0}; ///< Total lock() calls.
+  std::atomic<uint64_t> Contended{0};    ///< Calls that had to block/spin.
+  std::atomic<uint64_t> WaitNs{0};       ///< Nanoseconds blocked (mutexes).
+};
+
+/// Plain-data snapshot of one counter group.
+struct ContentionSnapshot {
+  uint64_t Acquisitions = 0;
+  uint64_t Contended = 0;
+  uint64_t WaitNs = 0;
+};
+
+inline ContentionSnapshot snapshot(const ContentionCounters &C) {
+  ContentionSnapshot S;
+  S.Acquisitions = C.Acquisitions.load(std::memory_order_relaxed);
+  S.Contended = C.Contended.load(std::memory_order_relaxed);
+  S.WaitNs = C.WaitNs.load(std::memory_order_relaxed);
+  return S;
+}
+
+//===--- Instrumented lock families ----------------------------------------===//
+// Function-local statics so the groups are usable from any layer
+// (including sc_ir, which sits below sc_support consumers) without
+// init-order hazards.
+
+ContentionCounters &constantUniquingContention(); ///< Module constant pools.
+ContentionCounters &sharedUseContention();        ///< Shared-value user lists.
+ContentionCounters &statefulPolicyContention();   ///< StatefulInstrumentation.
+ContentionCounters &fingerprintMemoContention();  ///< Compiler FingerprintMemo.
+ContentionCounters &stateDBContention();          ///< BuildStateDB shards.
+ContentionCounters &analysisSlotContention();     ///< AnalysisManager slots.
+
+/// Locks \p Mu with contention accounting: try_lock first (uncontended
+/// fast path), and only on failure count the acquisition as contended
+/// and time the blocking wait.
+template <typename MutexT>
+inline std::unique_lock<MutexT> timedLock(MutexT &Mu, ContentionCounters &C) {
+  C.Acquisitions.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<MutexT> Lock(Mu, std::try_to_lock);
+  if (Lock.owns_lock())
+    return Lock;
+  C.Contended.fetch_add(1, std::memory_order_relaxed);
+  auto T0 = std::chrono::steady_clock::now();
+  Lock.lock();
+  auto T1 = std::chrono::steady_clock::now();
+  C.WaitNs.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count(),
+      std::memory_order_relaxed);
+  return Lock;
+}
+
+} // namespace sc
+
+#endif // SC_SUPPORT_CONTENTIONSTATS_H

@@ -7,8 +7,35 @@
 #include "support/TaskPool.h"
 
 #include <cassert>
+#include <chrono>
 
 using namespace sc;
+
+namespace {
+
+/// Index of the worker deque owned by the current thread, or -1 on
+/// threads that are not pool workers (the submitting thread).
+thread_local int CurrentWorkerIndex = -1;
+
+/// Depth of nested "help" execution on this thread: tasks executed
+/// while waiting at a parallelFor barrier stack on the waiter's
+/// frame, so bound the recursion to keep stack growth finite.
+thread_local unsigned HelpDepth = 0;
+constexpr unsigned MaxHelpDepth = 32;
+
+/// Iterations of the bounded spin prelude before a thread parks. Kept
+/// small: spinning only pays when a producer is about to enqueue, and
+/// it actively hurts on oversubscribed machines.
+constexpr unsigned SpinLimit = 16;
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
 
 TaskPool::TaskPool(unsigned Concurrency) {
   NumWorkers = Concurrency > 1 ? Concurrency - 1 : 0;
@@ -30,6 +57,18 @@ TaskPool::~TaskPool() {
     T.join();
 }
 
+TaskPoolStats TaskPool::stats() const {
+  TaskPoolStats S;
+  S.TasksExecuted = Stats.TasksExecuted.load(std::memory_order_relaxed);
+  S.StealAttempts = Stats.StealAttempts.load(std::memory_order_relaxed);
+  S.Steals = Stats.Steals.load(std::memory_order_relaxed);
+  S.HelpedTasks = Stats.HelpedTasks.load(std::memory_order_relaxed);
+  S.SpinIterations = Stats.SpinIterations.load(std::memory_order_relaxed);
+  S.Parks = Stats.Parks.load(std::memory_order_relaxed);
+  S.ParkWaitNs = Stats.ParkWaitNs.load(std::memory_order_relaxed);
+  return S;
+}
+
 void TaskPool::enqueue(std::function<void()> Fn) {
   assert(NumWorkers > 0 && "enqueue on a sequential pool");
   // Round-robin across worker deques so queued work spreads out even
@@ -44,9 +83,9 @@ void TaskPool::enqueue(std::function<void()> Fn) {
   SleepCv.notify_one();
 }
 
-std::function<void()> TaskPool::grabTask(unsigned Index) {
+std::function<void()> TaskPool::grabTask(int Index) {
   // Own deque first (back = most recently pushed, cache-warm) ...
-  {
+  if (Index >= 0) {
     WorkerState &Own = *Workers[Index];
     std::lock_guard<std::mutex> Lock(Own.Mu);
     if (!Own.Deque.empty()) {
@@ -57,34 +96,63 @@ std::function<void()> TaskPool::grabTask(unsigned Index) {
     }
   }
   // ... then steal the oldest task from someone else.
-  for (unsigned K = 1; K != NumWorkers; ++K) {
-    WorkerState &Victim = *Workers[(Index + K) % NumWorkers];
+  Stats.StealAttempts.fetch_add(1, std::memory_order_relaxed);
+  unsigned First = Index >= 0 ? static_cast<unsigned>(Index) + 1 : 0;
+  unsigned Count = Index >= 0 ? NumWorkers - 1 : NumWorkers;
+  for (unsigned K = 0; K != Count; ++K) {
+    WorkerState &Victim = *Workers[(First + K) % NumWorkers];
     std::lock_guard<std::mutex> Lock(Victim.Mu);
     if (!Victim.Deque.empty()) {
       auto Fn = std::move(Victim.Deque.front());
       Victim.Deque.pop_front();
       NumQueued.fetch_sub(1, std::memory_order_relaxed);
+      Stats.Steals.fetch_add(1, std::memory_order_relaxed);
       return Fn;
     }
   }
   return {};
 }
 
+void TaskPool::runTask(std::function<void()> &Fn) {
+  Fn();
+  Stats.TasksExecuted.fetch_add(1, std::memory_order_relaxed);
+  if (NumPending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last pending task: wake wait() callers (and anything else parked).
+    std::lock_guard<std::mutex> Lock(SleepMu);
+    SleepCv.notify_all();
+  }
+}
+
 void TaskPool::workerLoop(unsigned Index) {
+  CurrentWorkerIndex = static_cast<int>(Index);
   for (;;) {
-    if (std::function<void()> Fn = grabTask(Index)) {
-      Fn();
-      if (NumPending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> Lock(SleepMu);
-        DrainCv.notify_all();
-      }
+    if (std::function<void()> Fn = grabTask(static_cast<int>(Index))) {
+      runTask(Fn);
       continue;
     }
-    std::unique_lock<std::mutex> Lock(SleepMu);
-    SleepCv.wait(Lock, [this] {
-      return Stopping.load(std::memory_order_relaxed) ||
-             NumQueued.load(std::memory_order_acquire) != 0;
-    });
+    // Bounded spin prelude: a producer mid-enqueue beats a park/unpark
+    // round trip, but never burn more than SpinLimit iterations.
+    unsigned Spins = 0;
+    while (Spins != SpinLimit &&
+           NumQueued.load(std::memory_order_acquire) == 0 &&
+           !Stopping.load(std::memory_order_relaxed)) {
+      ++Spins;
+      std::this_thread::yield();
+    }
+    if (Spins != 0)
+      Stats.SpinIterations.fetch_add(Spins, std::memory_order_relaxed);
+    if (NumQueued.load(std::memory_order_acquire) != 0)
+      continue;
+    Stats.Parks.fetch_add(1, std::memory_order_relaxed);
+    uint64_t T0 = nowNs();
+    {
+      std::unique_lock<std::mutex> Lock(SleepMu);
+      SleepCv.wait(Lock, [this] {
+        return Stopping.load(std::memory_order_relaxed) ||
+               NumQueued.load(std::memory_order_acquire) != 0;
+      });
+    }
+    Stats.ParkWaitNs.fetch_add(nowNs() - T0, std::memory_order_relaxed);
     if (Stopping.load(std::memory_order_relaxed))
       return;
   }
@@ -103,27 +171,21 @@ void TaskPool::wait() {
     return;
   // Help drain instead of blocking a thread that could be working.
   while (NumPending.load(std::memory_order_acquire) != 0) {
-    std::function<void()> Fn;
-    for (unsigned W = 0; W != NumWorkers && !Fn; ++W) {
-      std::lock_guard<std::mutex> Lock(Workers[W]->Mu);
-      if (!Workers[W]->Deque.empty()) {
-        Fn = std::move(Workers[W]->Deque.front());
-        Workers[W]->Deque.pop_front();
-      }
-    }
-    if (Fn) {
-      NumQueued.fetch_sub(1, std::memory_order_relaxed);
-      Fn();
-      if (NumPending.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        return;
+    if (std::function<void()> Fn = grabTask(CurrentWorkerIndex)) {
+      runTask(Fn);
       continue;
     }
     // Everything is claimed; wait for the executing threads to finish.
-    std::unique_lock<std::mutex> Lock(SleepMu);
-    DrainCv.wait(Lock, [this] {
-      return NumPending.load(std::memory_order_acquire) == 0 ||
-             NumQueued.load(std::memory_order_acquire) != 0;
-    });
+    Stats.Parks.fetch_add(1, std::memory_order_relaxed);
+    uint64_t T0 = nowNs();
+    {
+      std::unique_lock<std::mutex> Lock(SleepMu);
+      SleepCv.wait(Lock, [this] {
+        return NumPending.load(std::memory_order_acquire) == 0 ||
+               NumQueued.load(std::memory_order_acquire) != 0;
+      });
+    }
+    Stats.ParkWaitNs.fetch_add(nowNs() - T0, std::memory_order_relaxed);
   }
 }
 
@@ -146,14 +208,12 @@ void TaskPool::parallelFor(size_t N,
     std::atomic<unsigned> Participants{0};
     size_t N = 0;
     const std::function<void(size_t, unsigned)> *Body = nullptr;
-    std::mutex Mu;
-    std::condition_variable Cv;
   };
   auto S = std::make_shared<State>();
   S->N = N;
   S->Body = &Body;
 
-  auto Claim = [](const std::shared_ptr<State> &St) {
+  auto Claim = [this](const std::shared_ptr<State> &St) {
     // Claim the slot lazily: a helper that arrives after all items are
     // taken must not consume a slot id.
     size_t I = St->Next.fetch_add(1, std::memory_order_relaxed);
@@ -169,8 +229,11 @@ void TaskPool::parallelFor(size_t N,
     size_t D = St->Done.fetch_add(Completed, std::memory_order_acq_rel) +
                Completed;
     if (D == St->N) {
-      std::lock_guard<std::mutex> Lock(St->Mu);
-      St->Cv.notify_all();
+      // Wake every parked thread: the barrier owner checks its own
+      // St->Done, workers re-check the queue. Taking SleepMu closes
+      // the check-then-sleep race with a waiter about to park.
+      std::lock_guard<std::mutex> Lock(SleepMu);
+      SleepCv.notify_all();
     }
   };
 
@@ -184,8 +247,47 @@ void TaskPool::parallelFor(size_t N,
   // executes the lion's share.
   Claim(S);
 
-  std::unique_lock<std::mutex> Lock(S->Mu);
-  S->Cv.wait(Lock, [&] {
-    return S->Done.load(std::memory_order_acquire) == S->N;
-  });
+  // Barrier with work-stealing: while stragglers finish our items, run
+  // OTHER queued pool tasks (function-pass tasks from a different TU,
+  // another TU's compile job) instead of sleeping. This removes the
+  // per-TU barrier from the build's critical path — the pool sees one
+  // cross-TU task frontier. Depth-bounded so pathological nesting
+  // cannot grow the stack without limit.
+  const bool CanHelp = HelpDepth < MaxHelpDepth;
+  while (S->Done.load(std::memory_order_acquire) != S->N) {
+    if (CanHelp) {
+      if (std::function<void()> Fn = grabTask(CurrentWorkerIndex)) {
+        ++HelpDepth;
+        runTask(Fn);
+        --HelpDepth;
+        Stats.HelpedTasks.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    }
+    // Nothing stealable (or too deep): bounded spin, then park until
+    // our loop completes or (if we may help) new work shows up.
+    unsigned Spins = 0;
+    while (Spins != SpinLimit &&
+           S->Done.load(std::memory_order_acquire) != S->N &&
+           !(CanHelp && NumQueued.load(std::memory_order_acquire) != 0)) {
+      ++Spins;
+      std::this_thread::yield();
+    }
+    if (Spins != 0)
+      Stats.SpinIterations.fetch_add(Spins, std::memory_order_relaxed);
+    if (S->Done.load(std::memory_order_acquire) == S->N)
+      break;
+    if (CanHelp && NumQueued.load(std::memory_order_acquire) != 0)
+      continue;
+    Stats.Parks.fetch_add(1, std::memory_order_relaxed);
+    uint64_t T0 = nowNs();
+    {
+      std::unique_lock<std::mutex> Lock(SleepMu);
+      SleepCv.wait(Lock, [&] {
+        return S->Done.load(std::memory_order_acquire) == S->N ||
+               (CanHelp && NumQueued.load(std::memory_order_acquire) != 0);
+      });
+    }
+    Stats.ParkWaitNs.fetch_add(nowNs() - T0, std::memory_order_relaxed);
+  }
 }

@@ -16,9 +16,16 @@
 /// the caller claims and executes items itself while idle workers join
 /// through stolen helper tasks. That makes nested parallelism (a
 /// compile job fanning out per-function tasks) deadlock-free by
-/// construction, and it is what keeps every core busy when a build has
-/// one huge dirty TU: the single compile job occupies one worker and
-/// the remaining workers steal its function tasks.
+/// construction.
+///
+/// Threads waiting at a parallelFor barrier do not sleep while the
+/// pool still has queued work: they steal and execute unrelated tasks
+/// (bounded recursion depth) until their own loop completes. This is
+/// what fuses the function-pass pipelines of different dirty TUs into
+/// ONE shared frontier — a compile job whose intra-TU fan-out has a
+/// straggler lends its thread to another TU's tasks instead of idling
+/// at a per-TU barrier. Idle threads spin briefly, then park on a
+/// condition variable (no busy-wait; see stats()).
 ///
 /// The pool provides throughput only, never ordering: callers must be
 /// correct under any execution interleaving. Determinism of compiler
@@ -33,6 +40,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -41,6 +49,21 @@
 #include <vector>
 
 namespace sc {
+
+/// Point-in-time snapshot of a pool's scheduling counters. Deltas of
+/// these are published per build as pool.* metrics (see
+/// docs/OBSERVABILITY.md) and asserted on by tests (a drained pool must
+/// park, not spin).
+struct TaskPoolStats {
+  uint64_t TasksExecuted = 0; ///< Tasks run to completion (any thread).
+  uint64_t StealAttempts = 0; ///< Scans of other workers' deques.
+  uint64_t Steals = 0;        ///< Tasks taken from another deque.
+  uint64_t HelpedTasks = 0;   ///< Tasks run by a thread waiting at a
+                              ///< parallelFor barrier (cross-TU help).
+  uint64_t SpinIterations = 0; ///< Bounded pre-park spin iterations.
+  uint64_t Parks = 0;          ///< Times a thread slept on the CV.
+  uint64_t ParkWaitNs = 0;     ///< Total nanoseconds spent parked.
+};
 
 class TaskPool {
 public:
@@ -72,6 +95,9 @@ public:
   /// Item execution order and the item->slot assignment are
   /// nondeterministic; bodies must only write disjoint or per-slot
   /// state. Safe to call from inside a task (nested parallelism).
+  /// While waiting for stragglers the calling thread executes other
+  /// queued pool tasks, so bodies of independent parallelFor calls
+  /// must tolerate re-entrant execution on one thread.
   void parallelFor(size_t N,
                    const std::function<void(size_t, unsigned)> &Body);
 
@@ -82,17 +108,35 @@ public:
   /// executes queued tasks while it waits.
   void wait();
 
+  /// Snapshot of the lifetime scheduling counters.
+  TaskPoolStats stats() const;
+
 private:
   struct WorkerState {
     std::mutex Mu;
     std::deque<std::function<void()>> Deque;
   };
 
+  struct StatCounters {
+    std::atomic<uint64_t> TasksExecuted{0};
+    std::atomic<uint64_t> StealAttempts{0};
+    std::atomic<uint64_t> Steals{0};
+    std::atomic<uint64_t> HelpedTasks{0};
+    std::atomic<uint64_t> SpinIterations{0};
+    std::atomic<uint64_t> Parks{0};
+    std::atomic<uint64_t> ParkWaitNs{0};
+  };
+
   void workerLoop(unsigned Index);
 
   /// Pops from \p Index's own back, else steals from another front.
+  /// Pass -1 for threads without a deque (the submitting thread).
   /// Returns an empty function when every deque is empty.
-  std::function<void()> grabTask(unsigned Index);
+  std::function<void()> grabTask(int Index);
+
+  /// Executes a dequeued task with pending-count bookkeeping and
+  /// drain notification.
+  void runTask(std::function<void()> &Fn);
 
   void enqueue(std::function<void()> Fn);
 
@@ -101,14 +145,16 @@ private:
   std::vector<std::thread> Threads;
 
   std::mutex SleepMu;
+  /// Single pool-wide CV: workers park on it, parallelFor barriers and
+  /// wait() park on it; enqueue and completion events notify it.
   std::condition_variable SleepCv;
-  std::condition_variable DrainCv;
   std::atomic<bool> Stopping{false};
   /// Tasks sitting in deques (not yet claimed by a thread).
   std::atomic<size_t> NumQueued{0};
   /// Queued + currently-executing tasks (drives wait()).
   std::atomic<size_t> NumPending{0};
   std::atomic<unsigned> NextVictim{0};
+  StatCounters Stats;
 };
 
 } // namespace sc

@@ -1,0 +1,202 @@
+//===- tests/concurrency/MixedFrontierTest.cpp ----------------------------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The cross-TU pass frontier: when many TUs are dirty in one build,
+/// their function-level pass tasks all feed the ONE shared
+/// work-stealing pool — a thread waiting at one TU's segment barrier
+/// helps another TU's tasks instead of idling. This suite drives an
+/// 8-dirty-TU mixed frontier (body rewrites next to tiny const tweaks,
+/// so dormancy-heavy and dormancy-light pipelines interleave) at
+/// -j 1/2/8 with decision recording AND tracing enabled, and asserts
+/// the full determinism contract:
+///
+///   - every per-TU object file is byte-identical across job counts;
+///   - the persisted decisions.bin (per-(function, pass) audit trail)
+///     is byte-identical — the skip DECISIONS, not just their counts,
+///     are schedule-independent;
+///   - pass run/skip totals and the serialized state DB match.
+///
+/// Tracing is on because the span recorder is the one observability
+/// hook that runs inside the hot path; it must never perturb output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "codegen/ObjectFile.h"
+#include "support/RNG.h"
+#include "support/Trace.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+struct FrontierLane {
+  unsigned Jobs = 1;
+  InMemoryFileSystem FS;
+  TraceRecorder Trace; // Enabled from construction.
+  std::unique_ptr<ProjectModel> Model;
+  std::unique_ptr<BuildDriver> Driver;
+  RNG Rand{0};
+  BuildStats Last;
+};
+
+/// A project wide enough that 8 TUs can be dirty at once and deep
+/// enough per file for intra-TU fan-out to matter.
+ProjectProfile frontierProfile() {
+  ProjectProfile P;
+  P.Name = "frontier";
+  P.NumFiles = 12;
+  P.MinFuncsPerFile = 5;
+  P.MaxFuncsPerFile = 9;
+  P.MaxImportsPerFile = 3;
+  P.MinSegs = 2;
+  P.MaxSegs = 6;
+  return P;
+}
+
+std::vector<std::unique_ptr<FrontierLane>>
+makeFrontierLanes(const std::vector<unsigned> &JobCounts, uint64_t ProfileSeed,
+                  uint64_t EditSeed) {
+  std::vector<std::unique_ptr<FrontierLane>> Lanes;
+  for (unsigned J : JobCounts) {
+    auto L = std::make_unique<FrontierLane>();
+    L->Jobs = J;
+    L->Model = std::make_unique<ProjectModel>(
+        ProjectModel::generate(frontierProfile(), ProfileSeed));
+    L->Model->renderAll(L->FS);
+    BuildOptions BO;
+    BO.Jobs = J;
+    BO.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+    BO.Compiler.RecordDecisions = true;
+    BO.Compiler.Trace = &L->Trace;
+    L->Driver = std::make_unique<BuildDriver>(L->FS, BO);
+    L->Rand = RNG(EditSeed);
+    Lanes.push_back(std::move(L));
+  }
+  return Lanes;
+}
+
+/// Dirties at least \p MinDirty distinct TUs with a mixed edit batch:
+/// alternating whole-body rewrites (pipeline re-runs) and const tweaks
+/// (dormancy-heavy skips). Every lane replays the identical seeded
+/// stream, so the dirty sets match across lanes by construction.
+std::set<std::string> dirtyMixedSet(FrontierLane &L, unsigned MinDirty) {
+  static const EditKind Mix[] = {EditKind::BodyRewrite, EditKind::ConstTweak,
+                                 EditKind::StmtInsert};
+  std::set<std::string> Dirty;
+  unsigned Step = 0;
+  while (Dirty.size() < MinDirty) {
+    for (const std::string &P :
+         L.Model->applyEdit(Mix[Step % 3], L.Rand, L.FS))
+      Dirty.insert(P);
+    ++Step;
+  }
+  return Dirty;
+}
+
+/// Builds every lane and asserts lane I matches lane 0 on every
+/// determinism axis, including each individual object file.
+void buildAndCompareFrontier(std::vector<std::unique_ptr<FrontierLane>> &Lanes,
+                             const char *Phase) {
+  for (auto &L : Lanes) {
+    L->Last = L->Driver->build();
+    ASSERT_TRUE(L->Last.Success)
+        << Phase << " failed at -j" << L->Jobs << ": " << L->Last.ErrorText;
+  }
+  FrontierLane &Ref = *Lanes[0];
+  for (size_t I = 1; I != Lanes.size(); ++I) {
+    FrontierLane &L = *Lanes[I];
+    EXPECT_EQ(L.Last.FilesCompiled, Ref.Last.FilesCompiled)
+        << Phase << " -j" << L.Jobs;
+    EXPECT_EQ(L.Last.Skip.PassesRun, Ref.Last.Skip.PassesRun)
+        << Phase << " -j" << L.Jobs;
+    EXPECT_EQ(L.Last.Skip.PassesSkipped, Ref.Last.Skip.PassesSkipped)
+        << Phase << " -j" << L.Jobs;
+    // Per-TU object files, not just the linked image: a wrong-but-
+    // link-compatible object must not hide behind the final program.
+    for (unsigned F = 0; F != Ref.Model->numFiles(); ++F) {
+      const std::string Obj = "out/" + Ref.Model->filePath(F) + ".o";
+      EXPECT_EQ(L.FS.readFile(Obj), Ref.FS.readFile(Obj))
+          << Phase << " -j" << L.Jobs << ": " << Obj << " differs";
+    }
+    EXPECT_EQ(writeObject(*L.Driver->program()),
+              writeObject(*Ref.Driver->program()))
+        << Phase << " -j" << L.Jobs << ": linked program differs";
+    EXPECT_EQ(L.FS.readFile("out/decisions.bin"),
+              Ref.FS.readFile("out/decisions.bin"))
+        << Phase << " -j" << L.Jobs << ": decision log differs";
+    EXPECT_EQ(L.Driver->stateDB().serialize(), Ref.Driver->stateDB().serialize())
+        << Phase << " -j" << L.Jobs << ": state DB differs";
+    EXPECT_EQ(L.FS.readFile("out/state.db"), Ref.FS.readFile("out/state.db"))
+        << Phase << " -j" << L.Jobs;
+  }
+}
+
+TEST(MixedFrontier, EightDirtyTUsIdenticalAcrossJobCounts) {
+  auto Lanes = makeFrontierLanes({1, 2, 8}, /*ProfileSeed=*/2024,
+                                 /*EditSeed=*/86);
+  buildAndCompareFrontier(Lanes, "cold");
+
+  // Three rounds of >=8-dirty-TU incremental builds. Each round the
+  // frontier holds function tasks from at least 8 TUs at once; at -j8
+  // the schedule interleaves them freely, and the result must still
+  // match the -j1 lane bit for bit.
+  for (unsigned Round = 0; Round != 3; ++Round) {
+    std::set<std::string> RefDirty;
+    for (size_t I = 0; I != Lanes.size(); ++I) {
+      std::set<std::string> Dirty = dirtyMixedSet(*Lanes[I], /*MinDirty=*/8);
+      if (I == 0)
+        RefDirty = Dirty;
+      else
+        ASSERT_EQ(Dirty, RefDirty) << "edit streams diverged (round "
+                                   << Round << ")";
+    }
+    buildAndCompareFrontier(Lanes, "mixed-frontier incremental");
+    EXPECT_GE(Lanes[0]->Last.FilesCompiled, 8u)
+        << "round " << Round << ": frontier was not 8 TUs wide";
+  }
+}
+
+TEST(MixedFrontier, TracingDoesNotPerturbDecisions) {
+  // Same workload, tracing on vs off, -j8 both: decision logs and
+  // objects must match. Guards against observability hooks acquiring
+  // state they shouldn't (e.g. ordering-sensitive span bookkeeping).
+  auto run = [](bool Tracing) {
+    FrontierLane L;
+    L.Jobs = 8;
+    L.Model = std::make_unique<ProjectModel>(
+        ProjectModel::generate(frontierProfile(), /*Seed=*/555));
+    L.Model->renderAll(L.FS);
+    BuildOptions BO;
+    BO.Jobs = 8;
+    BO.Compiler.Stateful.SkipMode = StatefulConfig::Mode::HeuristicSkip;
+    BO.Compiler.RecordDecisions = true;
+    if (Tracing)
+      BO.Compiler.Trace = &L.Trace;
+    L.Driver = std::make_unique<BuildDriver>(L.FS, BO);
+    L.Rand = RNG(99);
+    EXPECT_TRUE(L.Driver->build().Success);
+    dirtyMixedSet(L, 8);
+    EXPECT_TRUE(L.Driver->build().Success);
+    return std::pair<std::string, std::string>(
+        L.FS.readFile("out/decisions.bin").value_or(""),
+        L.Driver->stateDB().serialize());
+  };
+  auto [TracedDecisions, TracedState] = run(true);
+  auto [PlainDecisions, PlainState] = run(false);
+  EXPECT_EQ(TracedDecisions, PlainDecisions);
+  EXPECT_EQ(TracedState, PlainState);
+}
+
+} // namespace

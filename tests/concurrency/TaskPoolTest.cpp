@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 using namespace sc;
@@ -95,6 +97,79 @@ TEST(TaskPool, EmptyAndSingleItemLoops) {
     ++Calls;
   });
   EXPECT_EQ(Calls, 1);
+}
+
+/// Polls stats() until \p Pred holds or ~5s elapse; returns the last
+/// snapshot either way.
+template <typename PredT>
+TaskPoolStats pollStats(TaskPool &Pool, PredT Pred) {
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  TaskPoolStats S = Pool.stats();
+  while (!Pred(S) && std::chrono::steady_clock::now() < Deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    S = Pool.stats();
+  }
+  return S;
+}
+
+TEST(TaskPool, IdleWorkersParkInsteadOfBusyWaiting) {
+  TaskPool Pool(4); // Spawns 3 workers with nothing to do.
+  const uint64_t Spawned = Pool.concurrency() - 1;
+
+  // Every spawned worker must reach the CV, not spin.
+  TaskPoolStats S =
+      pollStats(Pool, [&](const TaskPoolStats &X) { return X.Parks >= Spawned; });
+  EXPECT_GE(S.Parks, Spawned) << "idle workers never parked";
+
+  // Once parked, the counters must FREEZE: a busy-waiting worker keeps
+  // accumulating spin iterations / steal attempts proportional to wall
+  // time, a parked one accumulates nothing. Wait for two identical
+  // samples 100ms apart.
+  bool Settled = false;
+  for (int Try = 0; Try != 20 && !Settled; ++Try) {
+    TaskPoolStats A = Pool.stats();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    TaskPoolStats B = Pool.stats();
+    Settled = A.SpinIterations == B.SpinIterations &&
+              A.StealAttempts == B.StealAttempts && A.Parks == B.Parks;
+  }
+  EXPECT_TRUE(Settled) << "scheduling counters kept moving while the pool "
+                          "was idle: busy-wait";
+}
+
+TEST(TaskPool, PoolQuiescesAfterAWaveWithBoundedSpin) {
+  TaskPool Pool(4);
+  const uint64_t Spawned = Pool.concurrency() - 1;
+  pollStats(Pool, [&](const TaskPoolStats &X) { return X.Parks >= Spawned; });
+  const TaskPoolStats Before = Pool.stats();
+
+  std::atomic<uint64_t> Total{0};
+  Pool.parallelFor(500, [&](size_t, unsigned) {
+    Total.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(Total.load(), 500u);
+
+  // Drained again: every counter must stop moving (workers back on the
+  // CV, nothing spinning)...
+  bool Settled = false;
+  TaskPoolStats After = Pool.stats();
+  for (int Try = 0; Try != 20 && !Settled; ++Try) {
+    TaskPoolStats A = Pool.stats();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    After = Pool.stats();
+    Settled = A.SpinIterations == After.SpinIterations &&
+              A.StealAttempts == After.StealAttempts && A.Parks == After.Parks;
+  }
+  EXPECT_TRUE(Settled) << "pool kept spinning after its work drained";
+  // ...and the pre-park spin prelude is bounded per park/wake cycle, so
+  // the lifetime spin total is a small multiple of the park count —
+  // never proportional to idle wall time. 64 is SpinLimit (16) with a
+  // 4x margin for wake/re-park churn during the wave.
+  EXPECT_LE(After.SpinIterations, (After.Parks + Spawned + 1) * 64)
+      << "spin iterations grew out of proportion to park cycles";
+  EXPECT_GE(After.TasksExecuted, Before.TasksExecuted + Spawned)
+      << "helper tasks never executed";
 }
 
 TEST(TaskPool, ReusableAcrossManyWaves) {

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Perf regression gate over BENCH_e10.json (the bench-regress ctest).
+
+Runs the E10 thread-scaling bench fresh, then compares its stateful-j8
+speedup-over-j1 against the value committed in the repo's
+BENCH_e10.json. Fails (exit 1) when the fresh speedup drops more than
+ALLOWED_DROP below the committed one — the "cross-TU frontier actually
+scales" property is load-bearing and must not silently regress.
+
+Scaling numbers are only meaningful when -j8 really runs on >= 8
+hardware threads. On constrained runners (CI containers pinned to 1-2
+cores) a -j8 run measures time-slicing overhead, not scaling, so the
+gate SKIPS (exit 77, ctest's skip code) instead of comparing garbage:
+  - before running the bench, when the machine has < 8 hardware threads;
+  - after running it, when the fresh JSON flags the stateful-j8 run as
+    oversubscribed (defense in depth — the bench decides too).
+
+Usage: bench_check.py <bench_e10_binary> <committed_BENCH_e10.json>
+The bench binary writes BENCH_e10.json into the current directory.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+SKIP = 77  # ctest SKIP_RETURN_CODE
+ALLOWED_DROP = 0.10  # Fail below committed * (1 - ALLOWED_DROP).
+GATED_CONFIG = "stateful-j8"
+
+
+def skip(msg):
+    print(f"SKIP: {msg}")
+    sys.exit(SKIP)
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def find_run(doc, config):
+    for run in doc.get("runs", []):
+        if run.get("config") == config:
+            return run
+    return None
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <bench_e10_binary> <committed_json>")
+    bench, committed_path = sys.argv[1], sys.argv[2]
+
+    hw = os.cpu_count() or 1
+    if hw < 8:
+        skip(f"machine has {hw} hardware thread(s); the {GATED_CONFIG} "
+             "scaling claim needs >= 8 — not a scaling measurement here")
+
+    try:
+        with open(committed_path) as f:
+            committed = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read committed baseline {committed_path}: {e}")
+
+    print(f"running {bench} ...")
+    proc = subprocess.run([bench], cwd=os.getcwd())
+    if proc.returncode != 0:
+        fail(f"bench exited with {proc.returncode}")
+
+    try:
+        with open("BENCH_e10.json") as f:
+            fresh = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"bench did not produce a readable BENCH_e10.json: {e}")
+
+    fresh_run = find_run(fresh, GATED_CONFIG)
+    if fresh_run is None:
+        fail(f"fresh JSON has no {GATED_CONFIG} run")
+    if fresh_run.get("oversubscribed"):
+        skip(f"fresh {GATED_CONFIG} run is flagged oversubscribed "
+             f"(effective_concurrency="
+             f"{fresh_run.get('effective_concurrency')})")
+
+    committed_run = find_run(committed, GATED_CONFIG)
+    if committed_run is None:
+        fail(f"committed baseline has no {GATED_CONFIG} run")
+    baseline = committed_run.get("speedup_vs_j1")
+    if not baseline or baseline <= 0:
+        fail(f"committed baseline has no usable speedup_vs_j1")
+    if committed_run.get("oversubscribed"):
+        # A baseline taken on a constrained runner gates nothing real;
+        # regenerate it on >= 8 effective threads to arm the check.
+        skip("committed baseline was itself taken oversubscribed; "
+             "regenerate BENCH_e10.json on >= 8 hardware threads")
+
+    measured = fresh_run.get("speedup_vs_j1", 0)
+    floor = baseline * (1.0 - ALLOWED_DROP)
+    print(f"{GATED_CONFIG}: committed speedup {baseline:.3f}x, "
+          f"measured {measured:.3f}x, floor {floor:.3f}x")
+    if measured < floor:
+        fail(f"{GATED_CONFIG} speedup regressed: {measured:.3f}x < "
+             f"{floor:.3f}x (committed {baseline:.3f}x - "
+             f"{ALLOWED_DROP:.0%})")
+    print("OK: thread-scaling speedup within tolerance")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
