@@ -1,4 +1,4 @@
-//===- build_sys/Daemon.cpp - Resident build daemon ----------------------===//
+//===- build_sys/Daemon.cpp - Multi-client build service -----------------===//
 //
 // Part of the stateful-compiler project. MIT license.
 //
@@ -9,9 +9,11 @@
 #include "build_sys/Explain.h"
 #include "support/FileSystem.h"
 #include "support/FlatJson.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 #include "vm/VM.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -82,6 +84,12 @@ std::string sc::encodeFrame(const DaemonFrame &F) {
   J += ",\"text\":";
   appendJsonString(J, F.Text);
   J += ",\"code\":" + std::to_string(F.Code);
+  if (F.Type == "busy") {
+    J += ",\"queueDepth\":" + std::to_string(F.QueueDepth);
+    J += ",\"retryAfterMs\":" + std::to_string(F.RetryAfterMs);
+  }
+  if (F.Coalesced)
+    J += ",\"coalesced\":true";
   if (F.HasStats) {
     J += ",\"compiled\":" + std::to_string(F.Compiled);
     J += ",\"total\":" + std::to_string(F.Total);
@@ -105,6 +113,12 @@ bool sc::decodeFrame(const std::string &Json, DaemonFrame &F) {
       F.Text = C.parseString();
     else if (Key == "code")
       F.Code = static_cast<int>(C.parseInt());
+    else if (Key == "queueDepth")
+      F.QueueDepth = static_cast<uint32_t>(C.parseInt());
+    else if (Key == "retryAfterMs")
+      F.RetryAfterMs = static_cast<uint32_t>(C.parseInt());
+    else if (Key == "coalesced")
+      F.Coalesced = C.parseBool();
     else if (Key == "compiled") {
       F.Compiled = static_cast<unsigned>(C.parseInt());
       F.HasStats = true;
@@ -218,6 +232,23 @@ BuildDaemon::~BuildDaemon() {
   Listener.close();
   if (!SockPath.empty())
     ::unlink(SockPath.c_str());
+  // Belt and braces for a daemon destroyed without serve() having
+  // drained (start() failed, or a test tore it down early): the
+  // builder and connection threads must be joined before their
+  // captured `this` dies.
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Draining = true;
+    for (auto &Job : Queue)
+      cancelJob(*Job, 5, "scbuild: error: daemon is shutting down\n");
+    Queue.clear();
+  }
+  Stop.store(true);
+  JobsCV.notify_all();
+  DoneCV.notify_all();
+  if (Builder.joinable())
+    Builder.join();
+  reapConnections(/*JoinAll=*/true);
   // Lock (the daemon's lifetime lock) releases in its own destructor.
 }
 
@@ -268,31 +299,232 @@ bool BuildDaemon::start(std::string *Err) {
   return true;
 }
 
+DaemonServiceStats BuildDaemon::serviceStats() const {
+  DaemonServiceStats S;
+  S.BuildsServed = Svc.BuildsServed.load();
+  S.RequestsServed = Svc.RequestsServed.load();
+  S.Coalesced = Svc.Coalesced.load();
+  S.BusyRejections = Svc.BusyRejections.load();
+  S.RequestTimeouts = Svc.RequestTimeouts.load();
+  S.Disconnects = Svc.Disconnects.load();
+  S.CancelledOnDrain = Svc.CancelledOnDrain.load();
+  S.QueueHighWater = Svc.QueueHighWater.load();
+  S.ActiveConnections = Svc.ActiveConnections.load();
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    S.QueueDepth = static_cast<uint32_t>(Queue.size());
+  }
+  return S;
+}
+
+BuildStats BuildDaemon::lastBuildStats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return LastStats;
+}
+
+void BuildDaemon::publishGauges() {
+  MetricsRegistry *M = Config.Build.Compiler.Metrics;
+  if (!M)
+    return;
+  uint32_t Depth;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Depth = static_cast<uint32_t>(Queue.size());
+  }
+  M->gauge("daemon.queue_depth").set(Depth);
+  M->gauge("daemon.queue_high_water").max(Svc.QueueHighWater.load());
+  M->gauge("daemon.connections_active").set(Svc.ActiveConnections.load());
+}
+
 std::string BuildDaemon::statusText() const {
+  DaemonServiceStats S = serviceStats();
   std::string T = "scbuildd: pid " + std::to_string(::getpid()) +
                   " serving '" + FS.root() + "', builds served " +
-                  std::to_string(BuildsServed.load()) + "\n";
-  if (LastExit.HasStats) {
-    T += "scbuildd: last build: compiled " + std::to_string(LastExit.Compiled) +
-         "/" + std::to_string(LastExit.Total) + ", interface scans " +
-         std::to_string(LastExit.InterfaceScans) + " (cache hits " +
-         std::to_string(LastExit.ScanCacheHits) + "), objects parsed " +
-         std::to_string(LastExit.ObjectsParsed) + "\n";
-    if (LastExit.RemoteHits || LastExit.RemoteMisses || LastExit.RemotePuts ||
-        LastExit.RemoteErrors)
+                  std::to_string(S.BuildsServed) + "\n";
+  T += "scbuildd: service: requests " + std::to_string(S.RequestsServed) +
+       ", active connections " + std::to_string(S.ActiveConnections) +
+       ", queue depth " + std::to_string(S.QueueDepth) + " (high water " +
+       std::to_string(S.QueueHighWater) + ")\n";
+  T += "scbuildd: service: coalesced " + std::to_string(S.Coalesced) +
+       ", busy rejections " + std::to_string(S.BusyRejections) +
+       ", request timeouts " + std::to_string(S.RequestTimeouts) +
+       ", disconnects " + std::to_string(S.Disconnects) + "\n";
+  DaemonFrame Last;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Last = LastExit;
+  }
+  if (Last.HasStats) {
+    T += "scbuildd: last build: compiled " + std::to_string(Last.Compiled) +
+         "/" + std::to_string(Last.Total) + ", interface scans " +
+         std::to_string(Last.InterfaceScans) + " (cache hits " +
+         std::to_string(Last.ScanCacheHits) + "), objects parsed " +
+         std::to_string(Last.ObjectsParsed) + "\n";
+    if (Last.RemoteHits || Last.RemoteMisses || Last.RemotePuts ||
+        Last.RemoteErrors)
       T += "scbuildd: last build remote cache: hits " +
-           std::to_string(LastExit.RemoteHits) + ", misses " +
-           std::to_string(LastExit.RemoteMisses) + ", puts " +
-           std::to_string(LastExit.RemotePuts) + ", errors " +
-           std::to_string(LastExit.RemoteErrors) + "\n";
+           std::to_string(Last.RemoteHits) + ", misses " +
+           std::to_string(Last.RemoteMisses) + ", puts " +
+           std::to_string(Last.RemotePuts) + ", errors " +
+           std::to_string(Last.RemoteErrors) + "\n";
   }
   return T;
 }
 
-void BuildDaemon::handleBuild(UnixSocket &Conn, const DaemonRequest &Req) {
+//===----------------------------------------------------------------------===//
+// Builder thread: the only code that touches the resident driver.
+//===----------------------------------------------------------------------===//
+
+void BuildDaemon::cancelJob(BuildJob &Job, int Code, const std::string &Text) {
+  // Caller holds Mu. The job is (being removed) from the queue; its
+  // waiters wake on DoneCV and stream the cancellation frame pair.
+  Job.Cancelled = true;
+  Job.CancelCode = Code;
+  Job.CancelText = Text;
+  Job.Done = true;
+}
+
+void BuildDaemon::runJob(const std::shared_ptr<BuildJob> &Job) {
+  // The job left the queue before this call, so its waiter list is
+  // frozen (coalescing only joins *queued* jobs) — safe to read
+  // without Mu.
+  if (Config.HoldMs)
+    std::this_thread::sleep_for(std::chrono::milliseconds(Config.HoldMs));
+  if (Config.PreBuildHook)
+    Config.PreBuildHook();
+
+  if (Job->Clean)
+    Driver->clean();
+  BuildStats Stats = Driver->build();
+  Svc.BuildsServed.fetch_add(1);
+  Svc.RequestsServed.fetch_add(Job->Waiters.size());
+  if (MetricsRegistry *M = Config.Build.Compiler.Metrics) {
+    M->counter("daemon.builds_served").add(1);
+    M->counter("daemon.requests_served").add(Job->Waiters.size());
+  }
+
+  const bool Stateful = Config.Build.Compiler.Stateful.SkipMode !=
+                        StatefulConfig::Mode::Stateless;
+  DaemonFrame X;
+  X.Code = 0;
+  X.HasStats = true;
+  X.Compiled = Stats.FilesCompiled;
+  X.Total = Stats.FilesTotal;
+  X.InterfaceScans = Stats.InterfaceScans;
+  X.ScanCacheHits = Stats.ScanCacheHits;
+  X.ObjectsParsed = Stats.ObjectsParsed;
+  X.RemoteHits = Stats.RemoteHits;
+  X.RemoteMisses = Stats.RemoteMisses;
+  X.RemotePuts = Stats.RemotePuts;
+  X.RemoteErrors = Stats.RemoteErrors;
+
+  // One compile wave fans out to every waiter. Waiters may differ in
+  // Quiet/Run/RunArgs — those shape rendering, not the build — so each
+  // gets its own rendered outcome from the same BuildStats.
+  Job->Outcomes.resize(Job->Waiters.size());
+  Job->ExitFrames.resize(Job->Waiters.size());
+  for (size_t I = 0; I != Job->Waiters.size(); ++I) {
+    const DaemonRequest &Req = Job->Waiters[I];
+    RenderedOutcome R = renderBuildOutcome(Stats, Stateful, Req.Quiet);
+    if (Stats.Success && Req.Run) {
+      VM Machine(*Driver->program());
+      renderRunOutcome(R, Machine.run("main", Req.RunArgs));
+    }
+    DaemonFrame Exit = X;
+    Exit.Code = R.Code;
+    Exit.Coalesced = I > 0;
+    Job->Outcomes[I] = std::move(R);
+    Job->ExitFrames[I] = Exit;
+  }
+
+  // With a streaming sink attached (scbuildd --trace-stream), push this
+  // build's spans out now — the trace stays live and readable while the
+  // daemon keeps running.
+  if (TraceRecorder *T = Config.Build.Compiler.Trace)
+    T->flush();
+
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    LastExit = X;
+    LastStats = Stats;
+    Job->Done = true;
+  }
+  DoneCV.notify_all();
+  ActivityTick.fetch_add(1);
+}
+
+void BuildDaemon::builderMain() {
+  for (;;) {
+    std::shared_ptr<BuildJob> Job;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      JobsCV.wait(L, [&] { return !Queue.empty() || Draining || Stop.load(); });
+      // Once a stop is requested, no *new* build starts — whatever is
+      // still queued belongs to the drain, which answers every waiter
+      // with a deterministic cancellation frame. (The build we may
+      // have just finished was the "in-flight" one the drain lets
+      // complete.)
+      if (Draining || Stop.load())
+        return;
+      if (Queue.empty())
+        continue;
+      Job = Queue.front();
+      Queue.pop_front();
+      // Dequeue-time deadline check: the waiters' own wait_until
+      // usually fires first, but a wakeup race can leave an expired
+      // job at the head of the queue.
+      if (Config.RequestTimeoutMs && !Job->Cancelled &&
+          std::chrono::steady_clock::now() - Job->EnqueuedAt >
+              std::chrono::milliseconds(Config.RequestTimeoutMs)) {
+        Svc.RequestTimeouts.fetch_add(Job->Waiters.size());
+        if (MetricsRegistry *M = Config.Build.Compiler.Metrics)
+          M->counter("daemon.request_timeouts").add(Job->Waiters.size());
+        cancelJob(*Job, 4,
+                  "scbuild: error: build request timed out in the daemon "
+                  "queue\n");
+        L.unlock();
+        DoneCV.notify_all();
+        publishGauges();
+        continue;
+      }
+      if (Job->Cancelled) {
+        // A waiter-side timeout or drain beat us to it; waiters are
+        // already being answered.
+        continue;
+      }
+    }
+    publishGauges();
+    runJob(Job);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Connection threads
+//===----------------------------------------------------------------------===//
+
+bool BuildDaemon::streamWaiter(UnixSocket &Conn, const RenderedOutcome &R,
+                               const DaemonFrame &Exit) {
+  const unsigned T = Config.IoTimeoutMs;
+  if (!R.Err.empty()) {
+    DaemonFrame F;
+    F.Type = "err";
+    F.Text = R.Err;
+    if (!Conn.sendFrame(encodeFrame(F), T))
+      return false;
+  }
+  if (!R.Out.empty()) {
+    DaemonFrame F;
+    F.Type = "out";
+    F.Text = R.Out;
+    if (!Conn.sendFrame(encodeFrame(F), T))
+      return false;
+  }
+  return Conn.sendFrame(encodeFrame(Exit), T);
+}
+
+void BuildDaemon::handleBuildRequest(UnixSocket &Conn,
+                                     const DaemonRequest &Req) {
   const CompilerOptions &CO = Config.Build.Compiler;
-  const bool Stateful =
-      CO.Stateful.SkipMode != StatefulConfig::Mode::Stateless;
   if (Req.Opt != static_cast<int>(CO.Opt) ||
       Req.Mode != static_cast<int>(CO.Stateful.SkipMode) ||
       Req.Reuse != CO.Stateful.ReuseFunctionCode) {
@@ -305,108 +537,244 @@ void BuildDaemon::handleBuild(UnixSocket &Conn, const DaemonRequest &Req) {
     E.Text = "scbuild: error: daemon (pid " + std::to_string(::getpid()) +
              ") was started with a different compiler configuration; "
              "restart it with the flags you want, or drop --daemon\n";
-    Conn.sendFrame(encodeFrame(E));
+    Conn.sendFrame(encodeFrame(E), Config.IoTimeoutMs);
     DaemonFrame X;
     X.Code = 1;
-    Conn.sendFrame(encodeFrame(X));
+    Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
     return;
   }
 
-  if (Req.Clean)
-    Driver->clean();
-  BuildStats Stats = Driver->build();
-  BuildsServed.fetch_add(1);
+  // Admission: coalesce with a pending identical build, or queue a new
+  // job, or bounce with a structured busy frame.
+  std::shared_ptr<BuildJob> Job;
+  size_t WaiterIdx = 0;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Draining || Stop.load()) {
+      L.unlock();
+      DaemonFrame E;
+      E.Type = "err";
+      E.Text = "scbuild: error: daemon is shutting down; build not started\n";
+      Conn.sendFrame(encodeFrame(E), Config.IoTimeoutMs);
+      DaemonFrame X;
+      X.Code = 5;
+      Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
+      return;
+    }
+    // Coalescing key: everything that shapes the driver's work. Opt,
+    // Mode, and Reuse already match the daemon config (checked above),
+    // so only Clean distinguishes two pending builds. A job already
+    // *started* is never joined — it may have read files an
+    // intervening edit since changed; the new request must get its own
+    // wave. Queued-but-not-started jobs will observe the same
+    // workspace state as this request, so sharing is sound.
+    for (auto &Pending : Queue) {
+      if (!Pending->Cancelled && Pending->Clean == Req.Clean) {
+        Job = Pending;
+        WaiterIdx = Job->Waiters.size();
+        Job->Waiters.push_back(Req);
+        Svc.Coalesced.fetch_add(1);
+        if (MetricsRegistry *M = CO.Metrics)
+          M->counter("daemon.coalesced").add(1);
+        break;
+      }
+    }
+    if (!Job) {
+      if (Queue.size() >= Config.MaxQueue) {
+        const uint32_t Depth = static_cast<uint32_t>(Queue.size());
+        L.unlock();
+        Svc.BusyRejections.fetch_add(1);
+        if (MetricsRegistry *M = CO.Metrics)
+          M->counter("daemon.busy_rejections").add(1);
+        DaemonFrame B;
+        B.Type = "busy";
+        B.Code = 3;
+        B.QueueDepth = Depth;
+        // Suggested backoff: roughly one queued build's service time
+        // per position, floored so a zero-hold daemon still spreads
+        // retries out.
+        B.RetryAfterMs = (Depth + 1) * std::max(Config.HoldMs, 25u);
+        Conn.sendFrame(encodeFrame(B), Config.IoTimeoutMs);
+        return;
+      }
+      Job = std::make_shared<BuildJob>();
+      Job->Clean = Req.Clean;
+      Job->Waiters.push_back(Req);
+      Job->EnqueuedAt = std::chrono::steady_clock::now();
+      Queue.push_back(Job);
+      const uint32_t Depth = static_cast<uint32_t>(Queue.size());
+      uint32_t HW = Svc.QueueHighWater.load();
+      while (Depth > HW && !Svc.QueueHighWater.compare_exchange_weak(HW, Depth))
+        ;
+    }
+  }
+  JobsCV.notify_one();
+  publishGauges();
 
-  RenderedOutcome R = renderBuildOutcome(Stats, Stateful, Req.Quiet);
-  if (Stats.Success && Req.Run) {
-    VM Machine(*Driver->program());
-    renderRunOutcome(R, Machine.run("main", Req.RunArgs));
+  // Wait for the builder to finish (or cancel) the wave. The request
+  // deadline applies only while the job is *queued*: once the build
+  // starts it runs to completion (its artifacts are wanted regardless).
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    if (Config.RequestTimeoutMs) {
+      const auto Deadline =
+          Job->EnqueuedAt + std::chrono::milliseconds(Config.RequestTimeoutMs);
+      while (!Job->Done) {
+        if (DoneCV.wait_until(L, Deadline) == std::cv_status::timeout &&
+            !Job->Done) {
+          auto It = std::find(Queue.begin(), Queue.end(), Job);
+          if (It != Queue.end()) {
+            // Still queued past the deadline: cancel the whole wave
+            // (every waiter shares the enqueue time).
+            Queue.erase(It);
+            Svc.RequestTimeouts.fetch_add(Job->Waiters.size());
+            if (MetricsRegistry *M = CO.Metrics)
+              M->counter("daemon.request_timeouts").add(Job->Waiters.size());
+            cancelJob(*Job, 4,
+                      "scbuild: error: build request timed out in the daemon "
+                      "queue\n");
+            DoneCV.notify_all();
+          }
+          // Started but not Done: keep waiting without a deadline.
+          while (!Job->Done)
+            DoneCV.wait(L);
+        }
+      }
+    } else {
+      DoneCV.wait(L, [&] { return Job->Done; });
+    }
   }
+  publishGauges();
 
-  if (!R.Err.empty()) {
-    DaemonFrame F;
-    F.Type = "err";
-    F.Text = R.Err;
-    Conn.sendFrame(encodeFrame(F));
+  if (Job->Cancelled) {
+    RenderedOutcome R;
+    R.Err = Job->CancelText;
+    R.Code = Job->CancelCode;
+    DaemonFrame X;
+    X.Code = Job->CancelCode;
+    if (!streamWaiter(Conn, R, X))
+      Svc.Disconnects.fetch_add(1);
+    return;
   }
-  if (!R.Out.empty()) {
-    DaemonFrame F;
-    F.Type = "out";
-    F.Text = R.Out;
-    Conn.sendFrame(encodeFrame(F));
+  if (!streamWaiter(Conn, Job->Outcomes[WaiterIdx],
+                    Job->ExitFrames[WaiterIdx])) {
+    // The client died while its build ran. The build itself completed
+    // and its artifacts/state persist — only this fan-out is lost.
+    Svc.Disconnects.fetch_add(1);
+    if (MetricsRegistry *M = CO.Metrics)
+      M->counter("daemon.disconnects").add(1);
+    chat("scbuildd: client disconnected before its result was delivered\n");
   }
-  DaemonFrame X;
-  X.Code = R.Code;
-  X.HasStats = true;
-  X.Compiled = Stats.FilesCompiled;
-  X.Total = Stats.FilesTotal;
-  X.InterfaceScans = Stats.InterfaceScans;
-  X.ScanCacheHits = Stats.ScanCacheHits;
-  X.ObjectsParsed = Stats.ObjectsParsed;
-  X.RemoteHits = Stats.RemoteHits;
-  X.RemoteMisses = Stats.RemoteMisses;
-  X.RemotePuts = Stats.RemotePuts;
-  X.RemoteErrors = Stats.RemoteErrors;
-  LastExit = X;
-  Conn.sendFrame(encodeFrame(X));
 }
 
-void BuildDaemon::handle(UnixSocket &Conn) {
+void BuildDaemon::connectionMain(UnixSocket Conn) {
+  Svc.ActiveConnections.fetch_add(1);
+  publishGauges();
+  // Wait for the client's first byte in slices so a drain is never
+  // held hostage by a silent client; once bytes flow, recvFrame's
+  // total deadline bounds the whole frame (slow-loris hardening).
+  const auto IoDeadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(Config.IoTimeoutMs);
+  bool HaveByte = false;
+  while (!Stop.load() && std::chrono::steady_clock::now() < IoDeadline) {
+    if (Conn.readable(/*TimeoutMs=*/100)) {
+      HaveByte = true;
+      break;
+    }
+  }
   std::string Payload;
-  if (!Conn.recvFrame(Payload, /*TimeoutMs=*/5000))
+  if (!HaveByte || !Conn.recvFrame(Payload, Config.IoTimeoutMs)) {
+    Svc.ActiveConnections.fetch_sub(1);
     return; // Client vanished or stalled; drop the connection.
+  }
   DaemonRequest Req;
   if (!decodeRequest(Payload, Req)) {
     DaemonFrame E;
     E.Type = "err";
     E.Text = "scbuild: error: daemon received a malformed request\n";
-    Conn.sendFrame(encodeFrame(E));
+    Conn.sendFrame(encodeFrame(E), Config.IoTimeoutMs);
     DaemonFrame X;
     X.Code = 2;
-    Conn.sendFrame(encodeFrame(X));
+    Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
+    Svc.ActiveConnections.fetch_sub(1);
     return;
   }
 
   if (Req.Verb == "build") {
-    handleBuild(Conn, Req);
+    handleBuildRequest(Conn, Req);
   } else if (Req.Verb == "status") {
     DaemonFrame F;
     F.Type = "out";
     F.Text = statusText();
-    Conn.sendFrame(encodeFrame(F));
+    Conn.sendFrame(encodeFrame(F), Config.IoTimeoutMs);
     DaemonFrame X;
-    Conn.sendFrame(encodeFrame(X));
+    Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
   } else if (Req.Verb == "explain") {
     bool OK = false;
     std::string Text = explainQuery(FS, Config.Build.OutDir, Req.Query, &OK);
     DaemonFrame F;
     F.Type = OK ? "out" : "err";
     F.Text = Text;
-    Conn.sendFrame(encodeFrame(F));
+    Conn.sendFrame(encodeFrame(F), Config.IoTimeoutMs);
     DaemonFrame X;
     X.Code = OK ? 0 : 1;
-    Conn.sendFrame(encodeFrame(X));
+    Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
   } else if (Req.Verb == "shutdown") {
     DaemonFrame X;
-    Conn.sendFrame(encodeFrame(X));
-    chat("scbuildd: shutdown requested, exiting\n");
+    Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
+    chat("scbuildd: shutdown requested, draining\n");
     Stop.store(true);
   } else {
     DaemonFrame E;
     E.Type = "err";
     E.Text = "scbuild: error: daemon does not understand verb '" + Req.Verb +
              "'\n";
-    Conn.sendFrame(encodeFrame(E));
+    Conn.sendFrame(encodeFrame(E), Config.IoTimeoutMs);
     DaemonFrame X;
     X.Code = 2;
-    Conn.sendFrame(encodeFrame(X));
+    Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
+  }
+  ActivityTick.fetch_add(1);
+  Svc.ActiveConnections.fetch_sub(1);
+  publishGauges();
+}
+
+//===----------------------------------------------------------------------===//
+// Accept loop + graceful drain
+//===----------------------------------------------------------------------===//
+
+void BuildDaemon::reapConnections(bool JoinAll) {
+  for (auto It = Connections.begin(); It != Connections.end();) {
+    if (JoinAll || It->Finished.load()) {
+      if (It->T.joinable())
+        It->T.join();
+      It = Connections.erase(It);
+    } else {
+      ++It;
+    }
   }
 }
 
 int BuildDaemon::serve() {
   using Clock = std::chrono::steady_clock;
+  Builder = std::thread([this] { builderMain(); });
   auto LastActivity = Clock::now();
+  uint64_t LastTick = ActivityTick.load();
   while (!Stop.load()) {
+    // Served requests (possibly on connection threads we never see
+    // complete here) count as activity for the idle clock, as do live
+    // connections and queued work.
+    const uint64_t Tick = ActivityTick.load();
+    bool Busy = Svc.ActiveConnections.load() != 0;
+    if (!Busy) {
+      std::lock_guard<std::mutex> L(Mu);
+      Busy = !Queue.empty();
+    }
+    if (Tick != LastTick || Busy) {
+      LastTick = Tick;
+      LastActivity = Clock::now();
+    }
     if (Config.IdleTimeoutMs &&
         Clock::now() - LastActivity >=
             std::chrono::milliseconds(Config.IdleTimeoutMs)) {
@@ -415,22 +783,59 @@ int BuildDaemon::serve() {
     }
     bool TimedOut = false;
     UnixSocket Conn = Listener.accept(/*TimeoutMs=*/200, &TimedOut);
+    reapConnections(/*JoinAll=*/false);
     if (!Conn.valid())
       continue; // Timeout slice (or transient accept error): re-poll.
-    handle(Conn);
-    // With a streaming sink attached (scbuildd --trace-stream), push
-    // this request's spans out now — the trace stays live and readable
-    // while the daemon keeps running.
-    if (TraceRecorder *T = Config.Build.Compiler.Trace)
-      T->flush();
     LastActivity = Clock::now();
+    Connections.emplace_back();
+    Connection &C = Connections.back();
+    C.T = std::thread([this, &C](UnixSocket S) {
+      connectionMain(std::move(S));
+      C.Finished.store(true);
+    }, std::move(Conn));
   }
-  // Stop accepting the moment serving ends: close the listener and
-  // remove the socket file so clients fail over to in-process builds
-  // instead of queueing on a daemon that will never answer. (The
-  // destructor repeats both; they are idempotent.)
+
+  // Graceful drain:
+  //  1. Stop accepting — close the listener and remove the socket file
+  //     so new clients fail over to in-process builds instead of
+  //     queueing on a daemon that will never answer.
   Listener.close();
   if (!SockPath.empty())
     ::unlink(SockPath.c_str());
+  //  2. Cancel queued (not yet started) builds deterministically: each
+  //     waiter gets a clean err + exit(5) frame pair, never a dropped
+  //     connection.
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Draining = true;
+    size_t Cancelled = 0;
+    for (auto &Job : Queue) {
+      Cancelled += Job->Waiters.size();
+      cancelJob(*Job, 5,
+                "scbuild: error: daemon is shutting down; queued build "
+                "cancelled\n");
+    }
+    Queue.clear();
+    if (Cancelled) {
+      Svc.CancelledOnDrain.fetch_add(Cancelled);
+      if (MetricsRegistry *M = Config.Build.Compiler.Metrics)
+        M->counter("daemon.cancelled_on_drain").add(Cancelled);
+      chat("scbuildd: drain cancelled %zu queued request(s)\n", Cancelled);
+    }
+  }
+  JobsCV.notify_all();
+  DoneCV.notify_all();
+  //  3. The in-flight build (if any) runs to completion and fans out;
+  //     the builder then sees Draining with an empty queue and exits.
+  if (Builder.joinable())
+    Builder.join();
+  //  4. Every connection thread finishes streaming (bounded by
+  //     IoTimeoutMs per frame) and is joined.
+  reapConnections(/*JoinAll=*/true);
+  //  5. Flush the trace sink so the last spans hit disk before the
+  //     lock releases.
+  if (TraceRecorder *T = Config.Build.Compiler.Trace)
+    T->flush();
+  publishGauges();
   return 0;
 }

@@ -1,17 +1,49 @@
-//===- build_sys/Daemon.h - Resident build daemon ---------------*- C++ -*-===//
+//===- build_sys/Daemon.h - Multi-client build service ----------*- C++ -*-===//
 //
 // Part of the stateful-compiler project. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The resident build daemon: one long-lived BuildDriver parked behind
+/// The resident build service: one long-lived BuildDriver parked behind
 /// a Unix-domain socket (`<OutDir>/.daemon.sock`), serving build
-/// requests from `scbuild --daemon` clients. Because the driver never
-/// dies between requests, the interface-scan cache, the parsed-object
-/// cache, and the in-memory compiler state stay warm — a no-op rebuild
-/// through the daemon re-scans nothing and re-parses nothing
-/// (BuildStats::InterfaceScans == 0, ObjectsParsed == 0).
+/// requests from many concurrent `scbuild --daemon` clients. Because
+/// the driver never dies between requests, the interface-scan cache,
+/// the parsed-object cache, and the in-memory compiler state stay warm
+/// — a no-op rebuild through the daemon re-scans nothing and re-parses
+/// nothing (BuildStats::InterfaceScans == 0, ObjectsParsed == 0).
+///
+/// Service model (one accept loop, many clients):
+///
+///  * Each accepted connection gets its own thread, which reads exactly
+///    one request (under a total read deadline — a half-frame stall
+///    cannot pin the thread) and answers it. `status` / `explain` /
+///    `shutdown` are answered directly; `build` requests go through the
+///    admission queue.
+///  * Builds are serialized on ONE builder thread against the resident
+///    driver (each build is internally parallel via Jobs); pending
+///    requests wait in a bounded FIFO queue.
+///  * Admission control: when the queue already holds MaxQueue pending
+///    builds, the request is answered immediately with a structured
+///    `busy` frame carrying the queue depth and a suggested
+///    retry-after — never a hung socket.
+///  * Coalescing: a build request identical to one already *pending*
+///    (same Clean flag and compiler config; the build has not started,
+///    so both will observe the same workspace state) joins it as an
+///    extra waiter instead of queueing a second build. One compile
+///    wave fans its BuildOutcome out to every waiter; each join counts
+///    as `daemon.coalesced`.
+///  * Per-request deadlines: a request still queued when
+///    RequestTimeoutMs elapses is cancelled with a clean frame pair
+///    (`err` + `exit` code 4) instead of building stale work.
+///  * Disconnect resilience: a client that dies mid-build neither
+///    aborts nor wedges the build — the build completes (its artifacts
+///    and state persist), the failed fan-out is counted, and the
+///    connection thread is reaped.
+///  * Graceful drain: shutdown (verb, signal, or requestStop()) stops
+///    accepting, lets the in-flight build finish and fan out, cancels
+///    queued builds deterministically (`exit` code 5), joins every
+///    thread, flushes the trace sink, and removes the socket.
 ///
 /// Wire protocol (shared with DaemonClient): one request per
 /// connection. Each message is a 4-byte little-endian length followed
@@ -21,7 +53,7 @@
 /// its stdout/stderr verbatim, which is what makes daemon output
 /// byte-identical to in-process output) terminated by exactly one
 /// `exit` frame carrying the exit code and the build's warm-cache
-/// counters.
+/// counters — or, under overload, by a single `busy` frame.
 ///
 /// Locking: the daemon acquires the advisory build lock `<OutDir>/.lock`
 /// once at start() with tag "daemon" and holds it until it exits; the
@@ -40,9 +72,16 @@
 #include "support/Socket.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace sc {
@@ -84,11 +123,23 @@ struct DaemonRequest {
 
 /// One daemon response frame.
 struct DaemonFrame {
-  /// "out" (copy Text to stdout), "err" (copy Text to stderr), or
+  /// "out" (copy Text to stdout), "err" (copy Text to stderr), "busy"
+  /// (admission rejected: QueueDepth + RetryAfterMs; terminal), or
   /// "exit" (final frame: Code + counters; Text unused).
   std::string Type = "exit";
   std::string Text;
   int Code = 0;
+
+  // Well-known exit codes beyond the build's own 0/1:
+  //   2 = protocol error (malformed request / unknown verb)
+  //   4 = request timed out in the queue (RequestTimeoutMs)
+  //   5 = cancelled by daemon shutdown drain
+
+  // -- busy frames (admission control) --
+  /// Builds already pending when the request was rejected.
+  uint32_t QueueDepth = 0;
+  /// Suggested client backoff before retrying, in milliseconds.
+  uint32_t RetryAfterMs = 0;
 
   // Warm-cache counters of the build this frame terminates (exit
   // frames of build requests only; zero otherwise).
@@ -98,6 +149,10 @@ struct DaemonFrame {
   uint64_t InterfaceScans = 0;
   uint64_t ScanCacheHits = 0;
   uint64_t ObjectsParsed = 0;
+
+  /// True when this request shared a compile wave with earlier
+  /// identical pending requests instead of building on its own.
+  bool Coalesced = false;
 
   // Remote object-cache counters (BuildOptions::RemoteCache; all zero
   // when the tier is off).
@@ -151,13 +206,54 @@ struct DaemonConfig {
   /// Exit after this many milliseconds without a request (0 = never).
   unsigned IdleTimeoutMs = 0;
 
+  /// Admission control: build requests arriving while this many are
+  /// already pending (queued, not counting the in-flight build) are
+  /// answered with a `busy` frame instead of queueing.
+  unsigned MaxQueue = 16;
+
+  /// A build request still waiting in the queue after this many
+  /// milliseconds is cancelled with a clean frame pair (exit code 4).
+  /// 0 = requests wait forever.
+  unsigned RequestTimeoutMs = 0;
+
+  /// Total deadline for reading one request frame off an accepted
+  /// connection, and for writing each response frame back. A stalled
+  /// or half-dead client can hold a connection thread at most this
+  /// long per frame.
+  unsigned IoTimeoutMs = 10000;
+
+  /// Test/bench hook: sleep this long at the start of every build,
+  /// creating a deterministic service-time floor so queues and
+  /// coalescing windows actually form on fast machines.
+  unsigned HoldMs = 0;
+
+  /// Test hook: invoked on the builder thread immediately before each
+  /// build (after HoldMs). Lets tests hold the builder at a barrier.
+  std::function<void()> PreBuildHook;
+
   /// Suppress the daemon's own lifecycle chatter on stderr.
   bool Quiet = false;
 };
 
-/// The resident daemon. Single-threaded: requests are served one at a
-/// time in arrival order (builds are internally parallel via Jobs), so
-/// two clients never race the driver.
+/// Point-in-time service counters (also published to the configured
+/// MetricsRegistry as `daemon.*` and printed by the `status` verb).
+struct DaemonServiceStats {
+  uint64_t BuildsServed = 0;     ///< build() calls completed.
+  uint64_t RequestsServed = 0;   ///< Build requests answered (incl. coalesced).
+  uint64_t Coalesced = 0;        ///< Requests that joined a pending build.
+  uint64_t BusyRejections = 0;   ///< Requests bounced by admission control.
+  uint64_t RequestTimeouts = 0;  ///< Requests cancelled by RequestTimeoutMs.
+  uint64_t Disconnects = 0;      ///< Clients gone before their result.
+  uint64_t CancelledOnDrain = 0; ///< Queued requests cancelled by shutdown.
+  uint32_t QueueDepth = 0;       ///< Pending builds right now.
+  uint32_t QueueHighWater = 0;   ///< Max pending builds ever observed.
+  uint32_t ActiveConnections = 0;///< Connection threads alive right now.
+};
+
+/// The resident build service. One accept loop, one connection thread
+/// per client, one builder thread owning the resident BuildDriver (so
+/// two clients never race the driver; builds are internally parallel
+/// via Jobs).
 class BuildDaemon {
 public:
   /// \p FS must outlive the daemon. The socket binds at
@@ -175,23 +271,65 @@ public:
   bool start(std::string *Err);
 
   /// Serves requests until a shutdown request, the idle timeout, or
-  /// requestStop(). Returns the process exit code (0 = clean).
+  /// requestStop(), then drains gracefully: stops accepting, finishes
+  /// the in-flight build, cancels queued builds with clean frames,
+  /// joins every thread, and flushes the trace sink. Returns the
+  /// process exit code (0 = clean).
   int serve();
 
-  /// Asks serve() to return after the in-flight request (signal-safe;
-  /// callable from another thread).
+  /// Asks serve() to drain and return (signal-safe; callable from any
+  /// thread).
   void requestStop() { Stop.store(true); }
 
   /// Host path of the bound socket (valid after start()).
   const std::string &socketPath() const { return SockPath; }
 
   /// Builds served so far (for tests and `status`).
-  uint64_t buildsServed() const { return BuildsServed.load(); }
+  uint64_t buildsServed() const { return Svc.BuildsServed.load(); }
+
+  /// Snapshot of the service counters (tests, benches).
+  DaemonServiceStats serviceStats() const;
+
+  /// BuildStats of the most recent completed build (tests; also the
+  /// source of `scbuildd --report-json`).
+  BuildStats lastBuildStats() const;
 
 private:
-  void handle(UnixSocket &Conn);
-  void handleBuild(UnixSocket &Conn, const DaemonRequest &Req);
+  //===--- Admission queue ------------------------------------------------===//
+
+  /// One pending compile wave and everyone waiting on it.
+  struct BuildJob {
+    // Coalescing key: two requests may share a wave only when the
+    // driver would do identical work for both.
+    bool Clean = false;
+
+    /// Per-waiter request parameters (Quiet/Run/RunArgs differ per
+    /// client; they shape rendering, not the build).
+    std::vector<DaemonRequest> Waiters;
+    /// Rendered result per waiter, 1:1 with Waiters, filled by the
+    /// builder thread before Done flips.
+    std::vector<RenderedOutcome> Outcomes;
+    std::vector<DaemonFrame> ExitFrames;
+
+    std::chrono::steady_clock::time_point EnqueuedAt;
+    bool Done = false;
+    bool Cancelled = false;
+    int CancelCode = 0;
+    std::string CancelText;
+  };
+
+  void builderMain();
+  void connectionMain(UnixSocket Conn);
+  void handleBuildRequest(UnixSocket &Conn, const DaemonRequest &Req);
+  void runJob(const std::shared_ptr<BuildJob> &Job);
+  void cancelJob(BuildJob &Job, int Code, const std::string &Text);
+  /// Streams one waiter's frames to its client; false when the client
+  /// is gone (counted as a disconnect).
+  bool streamWaiter(UnixSocket &Conn, const RenderedOutcome &R,
+                    const DaemonFrame &Exit);
+  void reapConnections(bool JoinAll);
   std::string statusText() const;
+  void publishGauges();
   void chat(const char *Fmt, ...);
 
   RealFileSystem &FS;
@@ -201,8 +339,45 @@ private:
   UnixSocket Listener;
   std::unique_ptr<BuildDriver> Driver;
   std::atomic<bool> Stop{false};
-  std::atomic<uint64_t> BuildsServed{0};
-  DaemonFrame LastExit; ///< Exit frame of the most recent build.
+
+  /// Queue state. Mu guards Queue, Draining, LastExit, LastStats, and
+  /// every BuildJob's fields; JobsCV wakes the builder, DoneCV wakes
+  /// waiters (broadcast — waiter counts are small).
+  mutable std::mutex Mu;
+  std::condition_variable JobsCV;
+  std::condition_variable DoneCV;
+  std::deque<std::shared_ptr<BuildJob>> Queue;
+  bool Draining = false;
+  std::thread Builder;
+
+  /// Connection threads, reaped opportunistically from the accept
+  /// loop and fully joined on drain.
+  struct Connection {
+    std::thread T;
+    std::atomic<bool> Finished{false};
+  };
+  std::list<Connection> Connections;
+
+  /// Bumped on every served request; the accept loop uses it to reset
+  /// the idle clock (accept alone also counts as activity).
+  std::atomic<uint64_t> ActivityTick{0};
+
+  /// Service counters (atomics: bumped from connection threads and the
+  /// builder, read by status from yet other threads).
+  struct {
+    std::atomic<uint64_t> BuildsServed{0};
+    std::atomic<uint64_t> RequestsServed{0};
+    std::atomic<uint64_t> Coalesced{0};
+    std::atomic<uint64_t> BusyRejections{0};
+    std::atomic<uint64_t> RequestTimeouts{0};
+    std::atomic<uint64_t> Disconnects{0};
+    std::atomic<uint64_t> CancelledOnDrain{0};
+    std::atomic<uint32_t> QueueHighWater{0};
+    std::atomic<uint32_t> ActiveConnections{0};
+  } Svc;
+
+  DaemonFrame LastExit; ///< Exit frame of the most recent build (Mu).
+  BuildStats LastStats; ///< Stats of the most recent build (Mu).
 };
 
 } // namespace sc

@@ -6,6 +6,11 @@
 
 #include "build_sys/DaemonClient.h"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
+
 using namespace sc;
 
 DaemonClient DaemonClient::connect(const std::string &SocketHostPath) {
@@ -22,7 +27,7 @@ int DaemonClient::roundTrip(
     if (Err)
       *Err = Why;
     Sock.close();
-    return -1;
+    return TransportError;
   };
   if (!Sock.valid())
     return Fail("not connected");
@@ -43,6 +48,17 @@ int DaemonClient::roundTrip(
     } else if (F.Type == "err") {
       if (OnErr)
         OnErr(F.Text);
+    } else if (F.Type == "busy") {
+      // Admission control bounced us; terminal for this connection.
+      // The frame carries the daemon's queue depth and suggested
+      // retry-after for the caller's backoff logic.
+      if (Exit)
+        *Exit = F;
+      if (Err)
+        *Err = "daemon busy (queue depth " + std::to_string(F.QueueDepth) +
+               ")";
+      Sock.close();
+      return BusyRejected;
     } else if (F.Type == "exit") {
       if (Exit)
         *Exit = F;
@@ -52,4 +68,64 @@ int DaemonClient::roundTrip(
       return Fail("unknown frame type '" + F.Type + "'");
     }
   }
+}
+
+int DaemonClient::requestWithRetry(
+    const std::string &SocketHostPath, const DaemonRequest &Req,
+    const std::function<void(const std::string &)> &OnOut,
+    const std::function<void(const std::string &)> &OnErr,
+    const RetryPolicy &Policy, DaemonFrame *Exit, std::string *Err,
+    unsigned FrameTimeoutMs) {
+  // Doubling backoff with full jitter: each sleep is uniform in
+  // [Backoff/2, Backoff], so a thundering herd of rejected clients
+  // spreads out instead of re-colliding in lockstep.
+  std::mt19937 Rng(Policy.JitterSeed
+                       ? Policy.JitterSeed
+                       : static_cast<unsigned>(
+                             std::chrono::steady_clock::now()
+                                 .time_since_epoch()
+                                 .count()));
+  unsigned Backoff = std::max(Policy.InitialBackoffMs, 1u);
+  int Last = TransportError;
+  const unsigned Attempts = std::max(Policy.Attempts, 1u);
+  for (unsigned Attempt = 0; Attempt != Attempts; ++Attempt) {
+    DaemonClient C = connect(SocketHostPath);
+    if (!C.connected()) {
+      if (Err)
+        *Err = "no daemon listening on '" + SocketHostPath + "'";
+      // Nothing listens: retrying cannot help unless a daemon is
+      // about to (re)appear — transport retries cover a drain window.
+      Last = TransportError;
+      if (!Policy.RetryTransport)
+        return Last;
+    } else {
+      DaemonFrame F;
+      Last = C.roundTrip(Req, OnOut, OnErr, &F, Err, FrameTimeoutMs);
+      if (Exit)
+        *Exit = F;
+      if (Last >= 0)
+        return Last;
+      if (Last == BusyRejected && !Policy.RetryBusy)
+        return Last;
+      if (Last == TransportError && !Policy.RetryTransport)
+        return Last;
+      if (Attempt + 1 != Attempts) {
+        // The daemon knows its queue better than our exponential
+        // schedule does: when it suggested a retry-after, the larger
+        // of the two wins.
+        if (Last == BusyRejected && F.RetryAfterMs > Backoff)
+          Backoff = F.RetryAfterMs;
+      }
+    }
+    if (Attempt + 1 == Attempts)
+      break;
+    std::uniform_int_distribution<unsigned> Jitter(Backoff / 2,
+                                                   std::max(Backoff, 1u));
+    const unsigned SleepMs = Jitter(Rng);
+    if (Policy.OnBackoff)
+      Policy.OnBackoff(Attempt, SleepMs);
+    std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+    Backoff = std::min(Backoff * 2, std::max(Policy.MaxBackoffMs, 1u));
+  }
+  return Last;
 }

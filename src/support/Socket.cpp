@@ -7,6 +7,7 @@
 #include "support/Socket.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include <poll.h>
@@ -52,14 +53,30 @@ bool fillAddress(const std::string &Path, sockaddr_un &Addr,
   return true;
 }
 
-/// Waits until \p FD is readable. True on ready, false on timeout or
-/// error (with errno left describing the failure for the caller).
-bool waitReadable(int FD, unsigned TimeoutMs, bool *TimedOut) {
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds from now until \p Deadline, clamped to >= 0. A
+/// zero-initialized (epoch) deadline means "no deadline" and maps to
+/// poll's infinite wait (-1).
+int remainingMs(Clock::time_point Deadline) {
+  if (Deadline == Clock::time_point())
+    return -1;
+  auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  Deadline - Clock::now())
+                  .count();
+  return Left > 0 ? static_cast<int>(Left) : 0;
+}
+
+/// Waits until \p FD is ready for \p Events (POLLIN / POLLOUT) or
+/// \p Deadline passes. True on ready, false on timeout or error (with
+/// errno left describing the failure for the caller).
+bool waitReady(int FD, short Events, Clock::time_point Deadline,
+               bool *TimedOut) {
   if (TimedOut)
     *TimedOut = false;
-  pollfd P{FD, POLLIN, 0};
+  pollfd P{FD, Events, 0};
   for (;;) {
-    int R = ::poll(&P, 1, static_cast<int>(TimeoutMs));
+    int R = ::poll(&P, 1, remainingMs(Deadline));
     if (R > 0)
       return true;
     if (R == 0) {
@@ -70,6 +87,14 @@ bool waitReadable(int FD, unsigned TimeoutMs, bool *TimedOut) {
     if (errno != EINTR)
       return false;
   }
+}
+
+/// Waits until \p FD is readable within \p TimeoutMs of *now* (a plain
+/// single wait, for accept()).
+bool waitReadable(int FD, unsigned TimeoutMs, bool *TimedOut) {
+  return waitReady(FD, POLLIN,
+                   Clock::now() + std::chrono::milliseconds(TimeoutMs),
+                   TimedOut);
 }
 
 } // namespace
@@ -154,7 +179,7 @@ UnixSocket UnixSocket::accept(unsigned TimeoutMs, bool *TimedOut) {
   return UnixSocket(Conn);
 }
 
-bool UnixSocket::sendFrame(const std::string &Payload) {
+bool UnixSocket::sendFrame(const std::string &Payload, unsigned TimeoutMs) {
   if (FD < 0 || Payload.size() > MaxFramePayload)
     return false;
   const uint32_t Len = static_cast<uint32_t>(Payload.size());
@@ -165,18 +190,36 @@ bool UnixSocket::sendFrame(const std::string &Payload) {
       static_cast<unsigned char>((Len >> 24) & 0xff)};
   std::string Wire(reinterpret_cast<char *>(Header), 4);
   Wire += Payload;
+  // One deadline for the whole frame (0 = none): a peer that stopped
+  // draining its receive buffer fails the send instead of pinning the
+  // writing thread forever. MSG_DONTWAIT keeps the send itself from
+  // blocking past the poll — waitReady proved writability, so progress
+  // of at least one byte is guaranteed whenever it returns true.
+  const auto Deadline =
+      TimeoutMs ? Clock::now() + std::chrono::milliseconds(TimeoutMs)
+                : Clock::time_point();
+  const int SendFlags = MSG_NOSIGNAL | (TimeoutMs ? MSG_DONTWAIT : 0);
   size_t Off = 0;
   while (Off != Wire.size()) {
-    ssize_t N = ::send(FD, Wire.data() + Off, Wire.size() - Off,
-                       MSG_NOSIGNAL);
+    if (TimeoutMs && !waitReady(FD, POLLOUT, Deadline, nullptr))
+      return false;
+    ssize_t N = ::send(FD, Wire.data() + Off, Wire.size() - Off, SendFlags);
     if (N <= 0) {
-      if (N < 0 && errno == EINTR)
+      if (N < 0 && (errno == EINTR || errno == EAGAIN ||
+                    errno == EWOULDBLOCK))
         continue;
       return false;
     }
     Off += static_cast<size_t>(N);
   }
   return true;
+}
+
+bool UnixSocket::readable(unsigned TimeoutMs) {
+  if (FD < 0)
+    return false;
+  bool TimedOut = false;
+  return waitReadable(FD, TimeoutMs, &TimedOut);
 }
 
 bool UnixSocket::recvFrame(std::string &Payload, unsigned TimeoutMs,
@@ -188,11 +231,16 @@ bool UnixSocket::recvFrame(std::string &Payload, unsigned TimeoutMs,
   };
   if (FD < 0)
     return Fail(RecvStatus::Disconnected);
+  // One deadline for the *whole frame*: header and payload together
+  // must arrive within TimeoutMs. Per-chunk waits would let a
+  // slow-loris peer (one byte per poll interval) hold a server thread
+  // indefinitely; a total deadline bounds the worst case exactly.
+  const auto Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
   bool TimedOut = false;
   auto ReadExactly = [&](char *Buf, size_t Want) {
     size_t Off = 0;
     while (Off != Want) {
-      if (!waitReadable(FD, TimeoutMs, &TimedOut))
+      if (!waitReady(FD, POLLIN, Deadline, &TimedOut))
         return false;
       ssize_t N = ::recv(FD, Buf + Off, Want - Off, 0);
       if (N <= 0) {

@@ -31,6 +31,11 @@
 ///    attempted — a corrupt or malicious peer cannot OOM the server —
 ///    and recvFrame() distinguishes that verdict from a plain
 ///    disconnect via its optional status out-param.
+///  * Timeouts are *total deadlines per frame*, not per-chunk waits: a
+///    slow-loris peer that dribbles one byte per poll interval cannot
+///    pin a server thread past TimeoutMs. sendFrame() optionally takes
+///    the same deadline, so a peer that stops draining its receive
+///    buffer surfaces as a send failure instead of wedging the writer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -85,13 +90,25 @@ public:
 
   /// Sends one length-prefixed frame. Returns false when the peer is
   /// gone or the write fails (SIGPIPE is suppressed — see file
-  /// comment).
-  bool sendFrame(const std::string &Payload);
+  /// comment). With \p TimeoutMs nonzero, the whole frame must drain
+  /// into the socket within that many milliseconds — a peer that
+  /// stopped reading surfaces as failure instead of blocking the
+  /// writer forever. 0 keeps the historical block-until-sent behavior.
+  bool sendFrame(const std::string &Payload, unsigned TimeoutMs = 0);
 
-  /// Receives one length-prefixed frame, waiting at most \p TimeoutMs
-  /// for each chunk. Returns false on timeout, disconnect, or a frame
-  /// announcing more than MaxFramePayload bytes (rejected before any
-  /// allocation); \p Status, when non-null, says which.
+  /// Waits until a read would not block (bytes pending or EOF), at most
+  /// \p TimeoutMs. Lets a server slice its wait for a client's first
+  /// byte (checking a stop flag between slices) without risking a
+  /// partial-frame read: no bytes are consumed here.
+  bool readable(unsigned TimeoutMs);
+
+  /// Receives one length-prefixed frame. \p TimeoutMs is a *total
+  /// deadline* for the whole frame (header + payload): a peer that
+  /// sends half a frame and stalls — or trickles bytes slower than the
+  /// deadline — gets RecvStatus::TimedOut, never an unbounded wait.
+  /// Returns false on timeout, disconnect, or a frame announcing more
+  /// than MaxFramePayload bytes (rejected before any allocation);
+  /// \p Status, when non-null, says which.
   bool recvFrame(std::string &Payload, unsigned TimeoutMs,
                  RecvStatus *Status = nullptr);
 

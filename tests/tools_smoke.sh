@@ -259,6 +259,70 @@ WARN="$("$SCBUILD" . --quiet 2>&1 >/dev/null)"
 OUT="$("$SCBUILD" . --daemon --quiet --run)"
 [ "$OUT" = "42" ] || { echo "FAIL: daemon fallback got '$OUT'"; exit 1; }
 
+#===--- Multi-client daemon service ---------------------------------------===#
+
+# Restart the daemon with a deliberate service-time floor (--hold-ms)
+# and a one-slot queue so concurrent clients genuinely contend.
+"$SCBUILDD" . --quiet --hold-ms=750 --max-queue=1 &
+DAEMON_PID=$!
+for _ in $(seq 50); do
+  [ -S out/.daemon.sock ] && break
+  sleep 0.1
+done
+[ -S out/.daemon.sock ] || { echo "FAIL: daemon socket never appeared"; exit 1; }
+
+# Coalescing: while one build occupies the builder, two identical
+# requests arrive; the second joins the first's queued wave instead of
+# building twice, and both clients get the same rendered summary.
+"$SCBUILD" . --daemon --quiet &
+WAVE_PID=$!
+sleep 0.15
+"$SCBUILD" . --daemon > mc1.log &
+MC1_PID=$!
+sleep 0.15
+"$SCBUILD" . --daemon > mc2.log &
+MC2_PID=$!
+wait "$WAVE_PID" || { echo "FAIL: occupying build failed"; exit 1; }
+wait "$MC1_PID" || { echo "FAIL: queued client failed"; exit 1; }
+wait "$MC2_PID" || { echo "FAIL: coalesced client failed"; exit 1; }
+cmp -s mc1.log mc2.log || {
+  echo "FAIL: coalesced clients saw different output"; exit 1; }
+
+# Overload: occupy the builder again, fill the one-slot queue with a
+# --clean request, then send a third request that cannot coalesce with
+# it (Clean differs). The daemon must answer a structured busy frame —
+# the client retries with backoff and still completes its build.
+"$SCBUILD" . --daemon --quiet &
+WAVE_PID=$!
+sleep 0.15
+"$SCBUILD" . --daemon --clean --quiet &
+MC1_PID=$!
+sleep 0.15
+"$SCBUILD" . --daemon --quiet 2> busy.log &
+MC2_PID=$!
+wait "$WAVE_PID" || { echo "FAIL: occupying build failed"; exit 1; }
+wait "$MC1_PID" || { echo "FAIL: queued clean build failed"; exit 1; }
+wait "$MC2_PID" || { echo "FAIL: busy-bounced client failed"; exit 1; }
+
+# The service counters record exactly what happened: one coalesced
+# waiter, one busy rejection, and every connection served.
+STATUS="$("$SCBUILD" . --daemon-status)"
+echo "$STATUS" | grep -q "coalesced 1" || {
+  echo "FAIL: expected one coalesce hit: $STATUS"; exit 1; }
+echo "$STATUS" | grep -qE "busy rejections [1-9]" || {
+  echo "FAIL: expected a busy rejection: $STATUS"; exit 1; }
+
+# SIGTERM is a graceful drain, same as the shutdown verb: the daemon
+# exits cleanly, leaves no stale socket or lock, and a plain build
+# owns the tree again immediately.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || { echo "FAIL: daemon exited nonzero on SIGTERM"; exit 1; }
+DAEMON_PID=""
+[ ! -e out/.daemon.sock ] || { echo "FAIL: SIGTERM left socket"; exit 1; }
+[ ! -e out/.lock ] || { echo "FAIL: SIGTERM left lock"; exit 1; }
+WARN="$("$SCBUILD" . --quiet 2>&1 >/dev/null)"
+[ -z "$WARN" ] || { echo "FAIL: post-SIGTERM build warned: $WARN"; exit 1; }
+
 #===--- Remote object cache (sccached) ------------------------------------===#
 
 # Start sccached on a temp socket, then build the same sources from two

@@ -1,22 +1,30 @@
 #!/usr/bin/env python3
-"""Perf regression gate over BENCH_e10.json (the bench-regress ctest).
+"""Perf regression gates over committed BENCH_*.json files.
 
-Runs the E10 thread-scaling bench fresh, then compares its stateful-j8
-speedup-over-j1 against the value committed in the repo's
-BENCH_e10.json. Fails (exit 1) when the fresh speedup drops more than
-ALLOWED_DROP below the committed one — the "cross-TU frontier actually
-scales" property is load-bearing and must not silently regress.
+Two subcommands, one per bench-labeled ctest:
 
-Scaling numbers are only meaningful when -j8 really runs on >= 8
-hardware threads. On constrained runners (CI containers pinned to 1-2
-cores) a -j8 run measures time-slicing overhead, not scaling, so the
-gate SKIPS (exit 77, ctest's skip code) instead of comparing garbage:
-  - before running the bench, when the machine has < 8 hardware threads;
-  - after running it, when the fresh JSON flags the stateful-j8 run as
-    oversubscribed (defense in depth — the bench decides too).
+  bench_check.py e10 <bench_e10_binary> <committed_BENCH_e10.json>
+      Re-measures E10 thread scaling and fails when the stateful-j8
+      speedup-over-j1 drops more than E10_ALLOWED_DROP below the
+      committed value — the "cross-TU frontier actually scales"
+      property is load-bearing and must not silently regress.
 
-Usage: bench_check.py <bench_e10_binary> <committed_BENCH_e10.json>
-The bench binary writes BENCH_e10.json into the current directory.
+  bench_check.py daemon <bench_daemon_binary> <committed_BENCH_daemon.json>
+      Re-runs the multi-client daemon load harness. Functional service
+      properties are checked unconditionally (concurrent clients must
+      coalesce, overload must answer busy instead of queueing without
+      bound). Tail latency (p95 per client count) is compared against
+      the committed baseline only when the measurement is honest.
+
+Both gates SKIP (exit 77, ctest's skip code) rather than compare
+garbage on constrained runners: scaling and latency numbers taken on a
+1-2 core CI container measure time-slicing overhead, not the property
+under test. The skip is decided both before the run (hardware thread
+count) and after it (the fresh JSON flags itself oversubscribed —
+defense in depth; the bench decides too). A committed baseline that was
+itself taken oversubscribed gates nothing real and also skips.
+
+Each bench binary writes its BENCH_*.json into the current directory.
 """
 
 import json
@@ -25,8 +33,12 @@ import subprocess
 import sys
 
 SKIP = 77  # ctest SKIP_RETURN_CODE
-ALLOWED_DROP = 0.10  # Fail below committed * (1 - ALLOWED_DROP).
-GATED_CONFIG = "stateful-j8"
+
+E10_ALLOWED_DROP = 0.10  # Fail below committed * (1 - drop).
+E10_GATED_CONFIG = "stateful-j8"
+
+# Tail latency is noisy; only a substantial regression fails the gate.
+DAEMON_ALLOWED_P95_RISE = 0.50  # Fail above committed * (1 + rise).
 
 
 def skip(msg):
@@ -39,54 +51,55 @@ def fail(msg):
     sys.exit(1)
 
 
-def find_run(doc, config):
-    for run in doc.get("runs", []):
-        if run.get("config") == config:
-            return run
-    return None
-
-
-def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <bench_e10_binary> <committed_json>")
-    bench, committed_path = sys.argv[1], sys.argv[2]
-
-    hw = os.cpu_count() or 1
-    if hw < 8:
-        skip(f"machine has {hw} hardware thread(s); the {GATED_CONFIG} "
-             "scaling claim needs >= 8 — not a scaling measurement here")
-
+def load_json(path, what):
     try:
-        with open(committed_path) as f:
-            committed = json.load(f)
+        with open(path) as f:
+            return json.load(f)
     except (OSError, ValueError) as e:
-        fail(f"cannot read committed baseline {committed_path}: {e}")
+        fail(f"cannot read {what} {path}: {e}")
 
+
+def run_bench(bench, output_name):
     print(f"running {bench} ...")
     proc = subprocess.run([bench], cwd=os.getcwd())
     if proc.returncode != 0:
         fail(f"bench exited with {proc.returncode}")
+    return load_json(output_name, "bench output")
 
-    try:
-        with open("BENCH_e10.json") as f:
-            fresh = json.load(f)
-    except (OSError, ValueError) as e:
-        fail(f"bench did not produce a readable BENCH_e10.json: {e}")
 
-    fresh_run = find_run(fresh, GATED_CONFIG)
+def find_run(doc, key, value):
+    for run in doc.get("runs", []):
+        if run.get(key) == value:
+            return run
+    return None
+
+
+# ---------------------------------------------------------------- e10
+
+
+def check_e10(bench, committed_path):
+    hw = os.cpu_count() or 1
+    if hw < 8:
+        skip(f"machine has {hw} hardware thread(s); the {E10_GATED_CONFIG} "
+             "scaling claim needs >= 8 — not a scaling measurement here")
+
+    committed = load_json(committed_path, "committed baseline")
+    fresh = run_bench(bench, "BENCH_e10.json")
+
+    fresh_run = find_run(fresh, "config", E10_GATED_CONFIG)
     if fresh_run is None:
-        fail(f"fresh JSON has no {GATED_CONFIG} run")
+        fail(f"fresh JSON has no {E10_GATED_CONFIG} run")
     if fresh_run.get("oversubscribed"):
-        skip(f"fresh {GATED_CONFIG} run is flagged oversubscribed "
+        skip(f"fresh {E10_GATED_CONFIG} run is flagged oversubscribed "
              f"(effective_concurrency="
              f"{fresh_run.get('effective_concurrency')})")
 
-    committed_run = find_run(committed, GATED_CONFIG)
+    committed_run = find_run(committed, "config", E10_GATED_CONFIG)
     if committed_run is None:
-        fail(f"committed baseline has no {GATED_CONFIG} run")
+        fail(f"committed baseline has no {E10_GATED_CONFIG} run")
     baseline = committed_run.get("speedup_vs_j1")
     if not baseline or baseline <= 0:
-        fail(f"committed baseline has no usable speedup_vs_j1")
+        fail("committed baseline has no usable speedup_vs_j1")
     if committed_run.get("oversubscribed"):
         # A baseline taken on a constrained runner gates nothing real;
         # regenerate it on >= 8 effective threads to arm the check.
@@ -94,15 +107,98 @@ def main():
              "regenerate BENCH_e10.json on >= 8 hardware threads")
 
     measured = fresh_run.get("speedup_vs_j1", 0)
-    floor = baseline * (1.0 - ALLOWED_DROP)
-    print(f"{GATED_CONFIG}: committed speedup {baseline:.3f}x, "
+    floor = baseline * (1.0 - E10_ALLOWED_DROP)
+    print(f"{E10_GATED_CONFIG}: committed speedup {baseline:.3f}x, "
           f"measured {measured:.3f}x, floor {floor:.3f}x")
     if measured < floor:
-        fail(f"{GATED_CONFIG} speedup regressed: {measured:.3f}x < "
+        fail(f"{E10_GATED_CONFIG} speedup regressed: {measured:.3f}x < "
              f"{floor:.3f}x (committed {baseline:.3f}x - "
-             f"{ALLOWED_DROP:.0%})")
+             f"{E10_ALLOWED_DROP:.0%})")
     print("OK: thread-scaling speedup within tolerance")
     sys.exit(0)
+
+
+# ------------------------------------------------------------- daemon
+
+
+def check_daemon(bench, committed_path):
+    committed = load_json(committed_path, "committed baseline")
+    fresh = run_bench(bench, "BENCH_daemon.json")
+
+    # Functional properties hold on any machine — check them before any
+    # oversubscription skip. A broken service must fail even where the
+    # latency numbers would be meaningless.
+    runs = fresh.get("runs", [])
+    if not runs:
+        fail("fresh JSON has no runs")
+    multi = [r for r in runs if r.get("clients", 0) > 1]
+    if not multi:
+        fail("fresh JSON has no multi-client run")
+    if all(r.get("coalesce_hits", 0) == 0 for r in multi):
+        fail("no multi-client run coalesced a single request — identical "
+             "concurrent requests must share one build wave")
+    overload = fresh.get("overload", {})
+    if overload.get("busy_rejections", 0) <= 0:
+        fail("overload phase produced no busy rejections — a full queue "
+             "must bounce with a structured busy frame, not grow")
+    if overload.get("accepted", 0) <= 0:
+        fail("overload phase accepted nothing — admission control must "
+             "degrade, not deny service entirely")
+    print(f"service properties OK: coalesce hits "
+          f"{[r.get('coalesce_hits') for r in multi]}, overload "
+          f"{overload.get('accepted')} accepted / "
+          f"{overload.get('busy_rejections')} busy-rejected")
+
+    # Latency comparison is only honest when neither measurement was
+    # oversubscribed (client threads + builder time-slicing one core
+    # measures the scheduler, not the service).
+    if fresh.get("oversubscribed"):
+        skip(f"fresh run is flagged oversubscribed "
+             f"(hardware_threads={fresh.get('hardware_threads')}); "
+             "service properties verified, tail latency not gated")
+    if committed.get("oversubscribed"):
+        skip("committed baseline was itself taken oversubscribed; "
+             "regenerate BENCH_daemon.json on a multi-core machine to "
+             "arm the latency gate")
+
+    failures = []
+    for fresh_run in runs:
+        clients = fresh_run.get("clients")
+        committed_run = find_run(committed, "clients", clients)
+        if committed_run is None:
+            print(f"note: committed baseline has no {clients}-client run; "
+                  "not gated")
+            continue
+        baseline = committed_run.get("build_latency_p95_ms")
+        measured = fresh_run.get("build_latency_p95_ms")
+        if not baseline or baseline <= 0 or measured is None:
+            continue
+        ceiling = baseline * (1.0 + DAEMON_ALLOWED_P95_RISE)
+        verdict = "FAIL" if measured > ceiling else "ok"
+        print(f"{clients} client(s): committed p95 {baseline:.2f} ms, "
+              f"measured {measured:.2f} ms, ceiling {ceiling:.2f} ms "
+              f"[{verdict}]")
+        if measured > ceiling:
+            failures.append(clients)
+    if failures:
+        fail(f"p95 build latency regressed for client count(s) "
+             f"{failures} (> committed + {DAEMON_ALLOWED_P95_RISE:.0%})")
+    print("OK: daemon service properties and tail latency within tolerance")
+    sys.exit(0)
+
+
+def main():
+    usage = (f"usage: {sys.argv[0]} e10|daemon <bench_binary> "
+             "<committed_json>")
+    if len(sys.argv) != 4:
+        fail(usage)
+    sub, bench, committed_path = sys.argv[1], sys.argv[2], sys.argv[3]
+    if sub == "e10":
+        check_e10(bench, committed_path)
+    elif sub == "daemon":
+        check_daemon(bench, committed_path)
+    else:
+        fail(usage)
 
 
 if __name__ == "__main__":

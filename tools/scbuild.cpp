@@ -374,17 +374,37 @@ int main(int argc, char **argv) {
         Req.Reuse = Options.Compiler.Stateful.ReuseFunctionCode;
         Req.Jobs = Options.Jobs;
       }
+      // First attempt rides the connection we already have; on a busy
+      // rejection or transport failure, requestWithRetry reconnects
+      // with doubling backoff + jitter before we give up and fall back
+      // in-process.
       std::string Err;
-      int Code = Client.roundTrip(Req, PrintOut, PrintErr, nullptr, &Err);
+      DaemonFrame Exit;
+      int Code = Client.roundTrip(Req, PrintOut, PrintErr, &Exit, &Err);
+      if (Code < 0) {
+        DaemonClient::RetryPolicy Policy;
+        Policy.Attempts = 3;
+        if (Code == DaemonClient::BusyRejected && Exit.RetryAfterMs)
+          Policy.InitialBackoffMs = Exit.RetryAfterMs;
+        Code = DaemonClient::requestWithRetry(SockPath, Req, PrintOut,
+                                              PrintErr, Policy, &Exit, &Err);
+      }
       if (Code >= 0)
         return Code;
-      std::fprintf(stderr,
-                   "scbuild: warning: daemon request failed (%s); "
-                   "building in-process\n",
-                   Err.c_str());
+      if (Code == DaemonClient::BusyRejected)
+        std::fprintf(stderr,
+                     "scbuild: warning: daemon busy (queue depth %u) after "
+                     "retries; building in-process\n",
+                     Exit.QueueDepth);
+      else
+        std::fprintf(stderr,
+                     "scbuild: warning: daemon request failed (%s); "
+                     "building in-process\n",
+                     Err.c_str());
     }
-    // No daemon (or it died mid-request): transparent in-process
-    // fallback — same flags, same output, just cold caches.
+    // No daemon (or it died mid-request, or it stayed overloaded):
+    // transparent in-process fallback — same flags, same output, just
+    // cold caches.
   }
 
   //===--- In-process build ----------------------------------------------===//

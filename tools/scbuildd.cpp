@@ -19,6 +19,15 @@
 ///   --exact               ExactSkip policy
 ///   --reuse               function-level code reuse
 ///   --idle-timeout-ms=N   exit after N ms without a request (0 = never)
+///   --max-queue=N         admission control: reject build requests with a
+///                         structured `busy` frame once N builds are already
+///                         queued (default 16)
+///   --request-timeout-ms=N
+///                         cancel build requests still queued after N ms
+///                         with a clean error frame (0 = wait forever)
+///   --report-json=FILE    on exit, write the versioned JSON build report of
+///                         the last build, including the daemon.* service
+///                         counters from the metrics registry
 ///   --remote-cache=SOCKET use the sccached daemon on Unix socket SOCKET
 ///                         as a shared remote object-cache tier (see
 ///                         scbuild --remote-cache; same degrade-to-local
@@ -35,6 +44,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "build_sys/BuildReport.h"
 #include "build_sys/Daemon.h"
 #include "support/FileSystem.h"
 #include "support/Metrics.h"
@@ -105,11 +115,17 @@ int main(int argc, char **argv) {
     return true;
   };
 
-  std::string IdleText;
+  std::string IdleText, MaxQueueText, ReqTimeoutText, HoldText, ReportOut;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (FlagValue(Arg, "--trace-stream", I, TraceStream) ||
         FlagValue(Arg, "--idle-timeout-ms", I, IdleText) ||
+        FlagValue(Arg, "--max-queue", I, MaxQueueText) ||
+        FlagValue(Arg, "--request-timeout-ms", I, ReqTimeoutText) ||
+        // Hidden: injects a fixed per-build service-time floor so tests
+        // and the smoke script can form queues deterministically.
+        FlagValue(Arg, "--hold-ms", I, HoldText) ||
+        FlagValue(Arg, "--report-json", I, ReportOut) ||
         FlagValue(Arg, "--remote-cache", I, Config.Build.RemoteCache))
       continue;
     if (Arg == "-O0")
@@ -144,7 +160,9 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: scbuildd [dir] [-O0|-O1|-O2] [-j N] [--stateless] "
                    "[--exact] [--reuse]\n                "
-                   "[--idle-timeout-ms=N] [--trace-stream=FILE] "
+                   "[--idle-timeout-ms=N] [--max-queue=N] "
+                   "[--request-timeout-ms=N]\n                "
+                   "[--trace-stream=FILE] [--report-json=FILE] "
                    "[--remote-cache=SOCKET] [--quiet]\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -157,14 +175,24 @@ int main(int argc, char **argv) {
   }
   if (ArgError)
     return 1;
-  if (!IdleText.empty() && !parseUnsigned(IdleText.c_str(),
-                                          Config.IdleTimeoutMs)) {
+  auto ParseMsFlag = [](const std::string &Text, const char *Flag,
+                        unsigned &Out) {
+    if (Text.empty())
+      return true;
+    if (parseUnsigned(Text.c_str(), Out))
+      return true;
     std::fprintf(stderr,
-                 "scbuildd: error: option '--idle-timeout-ms' requires a "
+                 "scbuildd: error: option '%s' requires a "
                  "non-negative integer (got '%s')\n",
-                 IdleText.c_str());
+                 Flag, Text.c_str());
+    return false;
+  };
+  if (!ParseMsFlag(IdleText, "--idle-timeout-ms", Config.IdleTimeoutMs) ||
+      !ParseMsFlag(MaxQueueText, "--max-queue", Config.MaxQueue) ||
+      !ParseMsFlag(ReqTimeoutText, "--request-timeout-ms",
+                   Config.RequestTimeoutMs) ||
+      !ParseMsFlag(HoldText, "--hold-ms", Config.HoldMs))
     return 1;
-  }
 
   RealFileSystem FS(Dir);
 
@@ -196,9 +224,19 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // SIGTERM/SIGINT take the exact same path as the `shutdown` verb:
+  // requestStop() flips the stop flag and serve() runs its graceful
+  // drain (finish in-flight, cancel queued with clean frames, join
+  // threads, flush traces, unlink the socket, release the lock).
+  // sigaction without SA_RESTART so a signal interrupts the accept
+  // poll promptly instead of waiting out the slice.
   ActiveDaemon = &Daemon;
-  std::signal(SIGINT, onSignal);
-  std::signal(SIGTERM, onSignal);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  sigemptyset(&SA.sa_mask);
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
   std::signal(SIGPIPE, SIG_IGN); // Client death mid-frame must not kill us.
 
   int Code = Daemon.serve();
@@ -208,5 +246,17 @@ int main(int argc, char **argv) {
     Trace->flush();
   if (Sink)
     Sink->close(); // Seal the stream into strictly valid JSON.
+  if (!ReportOut.empty()) {
+    // The report carries the last build's stats plus the full metrics
+    // registry dump — including the daemon.* service counters.
+    const std::string Json = buildReportJson(Daemon.lastBuildStats(), &Metrics);
+    if (std::FILE *F = std::fopen(ReportOut.c_str(), "wb")) {
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "scbuildd: warning: could not write report '%s'\n",
+                   ReportOut.c_str());
+    }
+  }
   return Code;
 }
