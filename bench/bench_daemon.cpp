@@ -258,6 +258,16 @@ int main() {
                    Clients, R.Failures);
       return 1;
     }
+    // Keep the phase's build-history ledger before the tree is torn
+    // down: `bench_check.py history` validates it (monotone ids,
+    // checksummed records) as the ledger's long-run soak artifact.
+    {
+      std::error_code EC;
+      std::filesystem::copy_file(Tree.Path + "/out/history.jsonl",
+                                 "BENCH_daemon_history.jsonl",
+                                 std::filesystem::copy_options::overwrite_existing,
+                                 EC);
+    }
     printRow({std::to_string(Clients), fmt(R.P50Ms), fmt(R.P95Ms),
               fmt(R.P99Ms), std::to_string(R.CoalesceHits),
               std::to_string(R.QueueHighWater), fmt(R.FairnessSpread)});

@@ -13,6 +13,7 @@
 
 #include "build_sys/DependencyScanner.h"
 #include "build_sys/Explain.h"
+#include "build_sys/History.h"
 #include "build_sys/ImportGraph.h"
 #include "build_sys/Manifest.h"
 #include "build_sys/ObjectCache.h"
@@ -24,11 +25,13 @@
 #include "support/FileLock.h"
 #include "support/Hashing.h"
 #include "support/Metrics.h"
+#include "support/SamplingProfiler.h"
 #include "support/TaskPool.h"
 #include "support/Timer.h"
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 #include <tuple>
 #include <utility>
@@ -96,6 +99,9 @@ private:
   std::string decisionsPath() const {
     return Options.OutDir + "/decisions.bin";
   }
+  std::string historyPath() const {
+    return Options.OutDir + "/history.jsonl";
+  }
 
   TraceRecorder *trace() const { return Options.Compiler.Trace; }
   bool tracing() const { return trace() && trace()->enabled(); }
@@ -104,6 +110,15 @@ private:
   /// machine-readable face of the same numbers). Counters accumulate
   /// across the driver's builds; gauges describe the latest one.
   void publishMetrics(const BuildStats &S);
+
+  /// Appends this build's record to the history ledger
+  /// (build_sys/History.h). Runs on every exit path — success,
+  /// failure, and read-only degrade alike: history is observation
+  /// data, not build state, so a read-only build may still record
+  /// itself (worst case it loses a ledger race against the lock
+  /// owner's append; rename atomicity keeps the file well-formed).
+  /// Any ledger failure costs one warning, never the build.
+  void appendHistory(BuildStats &S, uint64_t BuildStartNs);
 
   /// Objects compiled under a different optimization level or compiler
   /// version must not be trusted; this hash is recorded per manifest
@@ -210,6 +225,8 @@ private:
 
 uint64_t BuildDriverImpl::persist(Timer &StateIO, BuildStats &S) {
   const uint64_t T0 = nowNanos();
+  static const std::string StateSaveFrame("stateSave");
+  SampleFrame Frame(trace(), "build", StateSaveFrame);
   StateIO.start();
   uint64_t StateBytes = 0;
   if (ReadOnlyBuild) {
@@ -338,6 +355,39 @@ void BuildDriverImpl::publishMetrics(const BuildStats &S) {
                                          P0.SpinIterations);
   M->counter("pool.parks").add(P1.Parks - P0.Parks);
   M->counter("pool.park_wait_ns").add(P1.ParkWaitNs - P0.ParkWaitNs);
+  M->counter("build.trace_events_dropped").add(S.TraceEventsDropped);
+}
+
+void BuildDriverImpl::appendHistory(BuildStats &S, uint64_t BuildStartNs) {
+  if (Options.HistoryLimit == 0)
+    return;
+  const uint64_t UnixMs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::vector<TraceEvent> Events;
+  if (tracing())
+    Events = trace()->snapshot();
+  HistoryRecord R = makeHistoryRecord(S, Options.Compiler.Metrics, Events,
+                                      BuildStartNs, UnixMs);
+  uint64_t Skipped = 0;
+  if (BuildHistory::append(FS, historyPath(), R, Options.HistoryLimit,
+                           &Skipped))
+    S.BuildId = R.BuildId;
+  else
+    warn(S, FS,
+         "failed to append build record to '" + historyPath() +
+             "'; cross-build history loses this build");
+  S.HistoryRecordsSkipped = Skipped;
+  if (Skipped)
+    warn(S, FS,
+         "skipped " + std::to_string(Skipped) + " damaged record(s) in '" +
+             historyPath() +
+             "' (torn by an earlier crash); surviving records were kept");
+  if (MetricsRegistry *M = Options.Compiler.Metrics) {
+    M->counter("build.history_appends").add(S.BuildId ? 1 : 0);
+    M->counter("build.history_records_skipped").add(Skipped);
+  }
 }
 
 BuildStats BuildDriverImpl::build() {
@@ -345,8 +395,31 @@ BuildStats BuildDriverImpl::build() {
   BuildStartSnap = captureHotPathSnapshots();
   Timer Total, Scan, Compile, Link, StateIO;
   Total.start();
+  const uint64_t BuildT0 = nowNanos();
+
+  // Wall-time sampling overlay: started per build so its aggregates
+  // land inside this build's trace window (and history record). It
+  // must start before BuildSpan below is constructed — TraceSpan only
+  // pushes its sampling frame when sampling is already on, and the
+  // "build" frame is what roots the main thread's sampled stacks.
+  const uint64_t TraceDropped0 = tracing() ? trace()->droppedEvents() : 0;
+  std::unique_ptr<SamplingProfiler> Profiler;
+  if (Options.ProfileSampleHz && tracing()) {
+    Profiler =
+        std::make_unique<SamplingProfiler>(*trace(), Options.ProfileSampleHz);
+    Profiler->start();
+  }
+
   TraceSpan BuildSpan(trace(), "build", "build");
   PendingDecisions.clear();
+
+  // The build-phase spans (stateLoad/scan/compile/link) are recorded
+  // retroactively, so this frame tells the sampling profiler which
+  // phase the driver thread is in; entered at each region boundary
+  // below, unwound by its destructor on the early-return paths.
+  static const std::string StateLoadFrame("stateLoad"), ScanFrame("scan"),
+      CompileFrame("compile"), LinkFrame("link");
+  SampleFrame BuildPhase(trace(), "build");
 
   // Advisory lock: one writing build per state directory. On timeout
   // degrade to a read-only build — correct output, nothing persisted —
@@ -428,8 +501,30 @@ BuildStats BuildDriverImpl::build() {
     S.ObjectsParsed = Objects.deserializations() - Parses0;
   };
 
+  // Shared tail of every exit path (error or success): cache-counter
+  // deltas, profiler teardown, trace-drop accounting (exactly one
+  // warning when the ring overflowed), metrics publication, and the
+  // history-ledger append.
+  auto FinishBuild = [&] {
+    FinishCacheCounters();
+    if (Profiler)
+      Profiler->stop(); // Folds sample aggregates into the trace.
+    if (tracing()) {
+      S.TraceEventsDropped = trace()->droppedEvents() - TraceDropped0;
+      if (S.TraceEventsDropped)
+        warn(S, FS,
+             "trace ring overflowed; " +
+                 std::to_string(S.TraceEventsDropped) +
+                 " event(s) were dropped — the emitted trace is truncated "
+                 "(oldest events lost first)");
+    }
+    publishMetrics(S);
+    appendHistory(S, BuildT0);
+  };
+
   if (!PersistentLoaded) {
     const uint64_t LoadT0 = nowNanos();
+    BuildPhase.enter(StateLoadFrame);
     StateIO.start();
     if (stateful()) {
       // Missing store: quiet cold build. Damaged store: cold build
@@ -476,6 +571,7 @@ BuildStats BuildDriverImpl::build() {
   //===--- Scan: sources, interfaces, import DAG, dirty set ---------------===//
 
   const uint64_t ScanT0 = nowNanos();
+  BuildPhase.enter(ScanFrame);
   Scan.start();
   std::map<std::string, std::string> Sources;
   for (const std::string &Path : FS.listFiles()) {
@@ -497,8 +593,7 @@ BuildStats BuildDriverImpl::build() {
     S.ErrorText = "build error: " + Graph.error();
     S.ScanUs = Scan.micros();
     S.TotalUs = Total.micros();
-    FinishCacheCounters();
-    publishMetrics(S);
+    FinishBuild();
     return S;
   }
 
@@ -572,6 +667,7 @@ BuildStats BuildDriverImpl::build() {
     Dirty.push_back(Path);
   }
   Scan.stop();
+  S.DirtyTUs = Dirty;
   if (tracing())
     trace()->span("build", "scan", ScanT0, nowNanos(),
                   "{\"files\":" + std::to_string(S.FilesTotal) +
@@ -580,6 +676,7 @@ BuildStats BuildDriverImpl::build() {
   //===--- Compile: dirty TUs in topological order, Jobs workers ----------===//
 
   const uint64_t CompileT0 = nowNanos();
+  BuildPhase.enter(CompileFrame);
   Compile.start();
   std::vector<CompileJob> Jobs;
   Jobs.reserve(Dirty.size());
@@ -709,14 +806,14 @@ BuildStats BuildDriverImpl::build() {
     S.CompileUs = Compile.micros();
     S.StateIOUs = StateIO.micros();
     S.TotalUs = Total.micros();
-    FinishCacheCounters();
-    publishMetrics(S);
+    FinishBuild();
     return S;
   }
 
   //===--- Link: all objects into one program image -----------------------===//
 
   const uint64_t LinkT0 = nowNanos();
+  BuildPhase.enter(LinkFrame);
   Link.start();
   std::vector<const MModule *> LinkSet;
   LinkSet.reserve(Graph.topologicalOrder().size());
@@ -752,8 +849,7 @@ BuildStats BuildDriverImpl::build() {
     S.LinkUs = Link.micros();
     S.StateIOUs = StateIO.micros();
     S.TotalUs = Total.micros();
-    FinishCacheCounters();
-    publishMetrics(S);
+    FinishBuild();
     return S;
   }
   Program = std::move(*Linked.Program);
@@ -770,8 +866,7 @@ BuildStats BuildDriverImpl::build() {
   S.LinkUs = Link.micros();
   S.StateIOUs = StateIO.micros();
   S.TotalUs = Total.micros();
-  FinishCacheCounters();
-  publishMetrics(S);
+  FinishBuild();
   return S;
 }
 

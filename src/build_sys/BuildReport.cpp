@@ -67,6 +67,13 @@ std::string sc::buildReportJson(const BuildStats &S,
        ", \"puts\": " + std::to_string(S.RemotePuts) +
        ", \"errors\": " + std::to_string(S.RemoteErrors) + "},\n";
 
+  J += "  \"trace\": {\"events_dropped\": " +
+       std::to_string(S.TraceEventsDropped) + "},\n";
+
+  J += "  \"history\": {\"build_id\": " + std::to_string(S.BuildId) +
+       ", \"records_skipped\": " + std::to_string(S.HistoryRecordsSkipped) +
+       "},\n";
+
   J += "  \"warnings\": [";
   for (size_t I = 0; I != S.Warnings.size(); ++I)
     J += (I ? ", " : "") + ("\"" + jsonEscape(S.Warnings[I]) + "\"");

@@ -76,6 +76,21 @@ struct BuildOptions {
   /// and never degrades to read-only over it.
   bool ExternalLock = false;
 
+  /// Sampling-profiler rate (Hz) for the wall-time overlay
+  /// (support/SamplingProfiler.h): each build() spawns a sampler that
+  /// snapshots per-thread current-span stacks and folds weighted
+  /// aggregates into the trace and the history ledger. 0 (default)
+  /// disables it entirely — no sampler thread, no span-stack
+  /// maintenance. Requires an enabled Compiler.Trace recorder.
+  unsigned ProfileSampleHz = 0;
+
+  /// Maximum records retained in the build-history ledger
+  /// `<OutDir>/history.jsonl` (see build_sys/History.h). Every build
+  /// exit appends one record; when the ledger exceeds this, the oldest
+  /// records are dropped in the same atomic rewrite. 0 disables the
+  /// ledger entirely.
+  unsigned HistoryLimit = 512;
+
   /// Host path of an `sccached` socket to use as a shared remote
   /// object-cache tier; empty (the default) disables the tier.
   /// Tiering per TU: local miss -> remote fetch (verify, admit
@@ -109,6 +124,27 @@ struct BuildStats {
 
   unsigned FilesCompiled = 0; // Dirty files recompiled this build.
   unsigned FilesTotal = 0;    // Source files in the project.
+
+  /// The files this build decided to recompile (TU keys, scan order).
+  /// Recorded in the history ledger so cross-build analysis can tell
+  /// "the same TU keeps recompiling" from "everything was dirty".
+  std::vector<std::string> DirtyTUs;
+
+  //===--- History ledger (build_sys/History.h) ---------------------------===//
+
+  /// Id of the history record this build appended; 0 when the ledger
+  /// is disabled or the append failed.
+  uint64_t BuildId = 0;
+
+  /// Damaged (torn/corrupt) trailing ledger records skipped while
+  /// loading history for this build's append. Nonzero means a prior
+  /// writer died mid-append; earlier records were preserved.
+  uint64_t HistoryRecordsSkipped = 0;
+
+  /// Trace-ring overwrites during this build (TraceRecorder drops).
+  /// Nonzero means the emitted trace is truncated; surfaced as one
+  /// build warning and under "trace" in --report-json.
+  uint64_t TraceEventsDropped = 0;
 
   //===--- Warm-cache counters (daemon observability) ---------------------===//
 

@@ -336,6 +336,32 @@ void BuildDaemon::publishGauges() {
   M->gauge("daemon.connections_active").set(Svc.ActiveConnections.load());
 }
 
+std::string BuildDaemon::metricsText() {
+  MetricsRegistry *M = Config.Build.Compiler.Metrics;
+  if (!M)
+    return "# scbuildd: no metrics registry configured\n";
+  // Gauges are refreshed at render time, never reported from their
+  // last publish: a queue that drained since the last build must read
+  // as drained (see the status verb, which follows the same rule).
+  publishGauges();
+  return MetricsTextExporter::render(*M);
+}
+
+void BuildDaemon::dumpMetricsFile() {
+  if (Config.MetricsOut.empty())
+    return;
+  const std::string Text = metricsText();
+  const std::string Tmp = Config.MetricsOut + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return;
+  const bool Wrote = std::fwrite(Text.data(), 1, Text.size(), F) ==
+                     Text.size();
+  std::fclose(F);
+  if (!Wrote || ::rename(Tmp.c_str(), Config.MetricsOut.c_str()) != 0)
+    ::unlink(Tmp.c_str());
+}
+
 std::string BuildDaemon::statusText() const {
   DaemonServiceStats S = serviceStats();
   std::string T = "scbuildd: pid " + std::to_string(::getpid()) +
@@ -439,9 +465,13 @@ void BuildDaemon::runJob(const std::shared_ptr<BuildJob> &Job) {
 
   // With a streaming sink attached (scbuildd --trace-stream), push this
   // build's spans out now — the trace stays live and readable while the
-  // daemon keeps running.
+  // daemon keeps running. A sinkless recorder (kept for the history
+  // ledger's span aggregates) is cleared instead: the build already
+  // folded its spans into the history record, and letting rings wrap
+  // across builds would miscount later builds' drops.
   if (TraceRecorder *T = Config.Build.Compiler.Trace)
-    T->flush();
+    if (T->flush() == 0)
+      T->clear();
 
   {
     std::lock_guard<std::mutex> L(Mu);
@@ -704,9 +734,20 @@ void BuildDaemon::connectionMain(UnixSocket Conn) {
   if (Req.Verb == "build") {
     handleBuildRequest(Conn, Req);
   } else if (Req.Verb == "status") {
+    // Refresh the registry gauges at frame-render time: the queue may
+    // have drained (or filled) since the last build published them,
+    // and a status snapshot must describe now, not then.
+    publishGauges();
     DaemonFrame F;
     F.Type = "out";
     F.Text = statusText();
+    Conn.sendFrame(encodeFrame(F), Config.IoTimeoutMs);
+    DaemonFrame X;
+    Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
+  } else if (Req.Verb == "metrics") {
+    DaemonFrame F;
+    F.Type = "out";
+    F.Text = metricsText();
     Conn.sendFrame(encodeFrame(F), Config.IoTimeoutMs);
     DaemonFrame X;
     Conn.sendFrame(encodeFrame(X), Config.IoTimeoutMs);
@@ -760,8 +801,16 @@ int BuildDaemon::serve() {
   using Clock = std::chrono::steady_clock;
   Builder = std::thread([this] { builderMain(); });
   auto LastActivity = Clock::now();
+  auto LastMetricsDump = Clock::now();
+  dumpMetricsFile(); // Scrape-file exists from the first slice on.
   uint64_t LastTick = ActivityTick.load();
   while (!Stop.load()) {
+    if (!Config.MetricsOut.empty() &&
+        Clock::now() - LastMetricsDump >=
+            std::chrono::milliseconds(Config.MetricsIntervalMs)) {
+      dumpMetricsFile();
+      LastMetricsDump = Clock::now();
+    }
     // Served requests (possibly on connection threads we never see
     // complete here) count as activity for the idle clock, as do live
     // connections and queued work.
@@ -837,5 +886,8 @@ int BuildDaemon::serve() {
   if (TraceRecorder *T = Config.Build.Compiler.Trace)
     T->flush();
   publishGauges();
+  //  6. One final scrape-file dump so the file reflects the drained
+  //     end state rather than the last periodic slice.
+  dumpMetricsFile();
   return 0;
 }

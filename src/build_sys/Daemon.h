@@ -95,7 +95,9 @@ class RealFileSystem;
 /// One client request. Flat-JSON encoded; unknown keys are ignored so
 /// the protocol can grow without breaking older daemons.
 struct DaemonRequest {
-  /// "build" | "status" | "explain" | "shutdown".
+  /// "build" | "status" | "metrics" | "explain" | "shutdown". The
+  /// `metrics` verb answers with one `out` frame holding the registry
+  /// rendered in Prometheus text exposition format (MetricsTextExporter).
   std::string Verb = "build";
 
   // -- build --
@@ -231,6 +233,16 @@ struct DaemonConfig {
   /// build (after HoldMs). Lets tests hold the builder at a barrier.
   std::function<void()> PreBuildHook;
 
+  /// When non-empty: host path that receives the Prometheus text
+  /// rendering of the metrics registry, rewritten atomically
+  /// (temp + rename) from the accept loop every MetricsIntervalMs and
+  /// once more on drain — a scrape-file for collectors that cannot
+  /// speak the socket protocol.
+  std::string MetricsOut;
+
+  /// Period of the --metrics-out dump, in milliseconds.
+  unsigned MetricsIntervalMs = 1000;
+
   /// Suppress the daemon's own lifecycle chatter on stderr.
   bool Quiet = false;
 };
@@ -329,6 +341,11 @@ private:
                     const DaemonFrame &Exit);
   void reapConnections(bool JoinAll);
   std::string statusText() const;
+  /// Prometheus text rendering of the registry, with gauges refreshed
+  /// at render time (the same staleness rule statusText follows).
+  std::string metricsText();
+  /// Atomic (temp + rename) rewrite of Config.MetricsOut.
+  void dumpMetricsFile();
   void publishGauges();
   void chat(const char *Fmt, ...);
 

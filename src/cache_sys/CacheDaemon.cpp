@@ -67,6 +67,56 @@ bool CacheDaemon::start(std::string *Err) {
   return true;
 }
 
+void CacheDaemon::publishMetrics() {
+  if (!Store)
+    return;
+  const CacheStats S = Store->stats();
+  std::lock_guard<std::mutex> L(MetricsMu);
+  // The store reports lifetime totals; counters are monotonic, so fold
+  // in the delta since the last publication.
+  auto Fold = [&](const char *Name, uint64_t Now, uint64_t Last) {
+    if (Now > Last)
+      Metrics.counter(Name).add(Now - Last);
+  };
+  Fold("cache.gets", S.Gets, LastPublished.Gets);
+  Fold("cache.hits", S.Hits, LastPublished.Hits);
+  Fold("cache.misses", S.Misses, LastPublished.Misses);
+  Fold("cache.puts", S.Puts, LastPublished.Puts);
+  Fold("cache.touches", S.Touches, LastPublished.Touches);
+  Fold("cache.evictions", S.Evictions, LastPublished.Evictions);
+  Fold("cache.corrupt_dropped", S.CorruptDropped,
+       LastPublished.CorruptDropped);
+  Metrics.gauge("cache.entries").set(static_cast<double>(S.Entries));
+  Metrics.gauge("cache.bytes_stored").set(static_cast<double>(S.BytesStored));
+  Metrics.gauge("cache.max_bytes").set(static_cast<double>(S.MaxBytes));
+  LastPublished = S;
+}
+
+std::string CacheDaemon::metricsText() {
+  publishMetrics();
+  return MetricsTextExporter::render(Metrics);
+}
+
+std::string CacheDaemon::metricsJson() {
+  publishMetrics();
+  return Metrics.toJson();
+}
+
+void CacheDaemon::dumpMetricsFile() {
+  if (Config.MetricsOut.empty())
+    return;
+  const std::string Text = metricsText();
+  const std::string Tmp = Config.MetricsOut + ".tmp";
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F)
+    return;
+  const bool Wrote = std::fwrite(Text.data(), 1, Text.size(), F) ==
+                     Text.size();
+  std::fclose(F);
+  if (!Wrote || ::rename(Tmp.c_str(), Config.MetricsOut.c_str()) != 0)
+    ::unlink(Tmp.c_str());
+}
+
 void CacheDaemon::handleConnection(UnixSocket Conn) {
   std::string Header;
   for (;;) {
@@ -155,6 +205,13 @@ void CacheDaemon::handleConnection(UnixSocket Conn) {
       Resp.HasStats = true;
       Resp.Stats = Store->stats();
       break;
+    case CacheRequest::Op::Metrics:
+      // Both renderings of the same refreshed registry snapshot, so a
+      // scraper's text view and a tool's JSON view cannot disagree.
+      Resp.Ok = true;
+      Resp.MetricsText = metricsText();
+      Resp.MetricsJson = Metrics.toJson();
+      break;
     case CacheRequest::Op::Shutdown:
       Resp.Ok = true;
       Conn.sendFrame(encodeCacheResponse(Resp));
@@ -175,8 +232,16 @@ void CacheDaemon::handleConnection(UnixSocket Conn) {
 int CacheDaemon::serve() {
   using Clock = std::chrono::steady_clock;
   auto LastActivity = Clock::now();
+  auto LastMetricsDump = Clock::now();
+  dumpMetricsFile(); // Scrape-file exists from the first slice on.
   uint64_t LastTick = ActivityTick.load();
   while (!Stop.load()) {
+    if (!Config.MetricsOut.empty() &&
+        Clock::now() - LastMetricsDump >=
+            std::chrono::milliseconds(Config.MetricsIntervalMs)) {
+      dumpMetricsFile();
+      LastMetricsDump = Clock::now();
+    }
     uint64_t Tick = ActivityTick.load();
     if (Tick != LastTick) {
       LastTick = Tick;
@@ -215,5 +280,8 @@ int CacheDaemon::serve() {
          static_cast<unsigned long long>(S.Evictions),
          static_cast<unsigned long long>(S.CorruptDropped));
   }
+  // Final scrape-file dump: the file reflects the end state, not the
+  // last periodic slice.
+  dumpMetricsFile();
   return 0;
 }

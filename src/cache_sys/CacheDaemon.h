@@ -27,11 +27,13 @@
 #define SC_CACHE_SYS_CACHEDAEMON_H
 
 #include "cache_sys/CacheStore.h"
+#include "support/Metrics.h"
 #include "support/Socket.h"
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +45,11 @@ struct CacheDaemonConfig {
   std::string CacheRoot = "cache"; ///< Entry root inside the store FS.
   uint64_t MaxBytes = 0;       ///< LRU budget; 0 = unlimited.
   unsigned IdleTimeoutMs = 0;  ///< Exit after this much quiet; 0 = never.
+  /// When non-empty: host path receiving the Prometheus text rendering
+  /// of the cache.* metrics, rewritten atomically (temp + rename) every
+  /// MetricsIntervalMs and once more on exit.
+  std::string MetricsOut;
+  unsigned MetricsIntervalMs = 1000; ///< Period of the --metrics-out dump.
   bool Quiet = false;          ///< Suppress stderr chatter.
 };
 
@@ -66,10 +73,23 @@ public:
 
   const CacheStore &store() const { return *Store; }
 
+  /// The daemon's cache.* metrics registry (tests; refreshed from the
+  /// store by publishMetrics before every render).
+  const MetricsRegistry &metricsRegistry() const { return Metrics; }
+
 private:
   void chat(const char *Fmt, ...);
   /// One connection's request loop (runs on its own thread).
   void handleConnection(UnixSocket Conn);
+  /// Mirrors the store's lifetime totals into the registry as cache.*
+  /// counters/gauges (delta-published so counters stay monotonic).
+  void publishMetrics();
+  /// Prometheus text of the registry, refreshed at render time.
+  std::string metricsText();
+  /// Registry JSON ({"counters":{},"gauges":{}}), refreshed likewise.
+  std::string metricsJson();
+  /// Atomic (temp + rename) rewrite of Config.MetricsOut.
+  void dumpMetricsFile();
 
   VirtualFileSystem &FS;
   CacheDaemonConfig Config;
@@ -79,6 +99,13 @@ private:
   std::atomic<bool> Stop{false};
   std::atomic<uint64_t> ActivityTick{0}; ///< Bumped per request; idle reset.
   std::vector<std::thread> Workers;
+
+  /// cache.* metrics, rendered by the `metrics` verb and --metrics-out.
+  /// MetricsMu serializes delta publication (connection threads race);
+  /// LastPublished holds the totals already folded into the counters.
+  MetricsRegistry Metrics;
+  std::mutex MetricsMu;
+  CacheStats LastPublished;
 };
 
 } // namespace sc

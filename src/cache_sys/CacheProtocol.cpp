@@ -47,6 +47,7 @@ const char *opName(CacheRequest::Op Op) {
   case CacheRequest::Op::Put:      return "put";
   case CacheRequest::Op::Touch:    return "touch";
   case CacheRequest::Op::Stats:    return "stats";
+  case CacheRequest::Op::Metrics:  return "metrics";
   case CacheRequest::Op::Shutdown: return "shutdown";
   }
   return "stats";
@@ -61,6 +62,8 @@ bool opFromName(const std::string &Name, CacheRequest::Op &Op) {
     Op = CacheRequest::Op::Touch;
   else if (Name == "stats")
     Op = CacheRequest::Op::Stats;
+  else if (Name == "metrics")
+    Op = CacheRequest::Op::Metrics;
   else if (Name == "shutdown")
     Op = CacheRequest::Op::Shutdown;
   else
@@ -151,6 +154,14 @@ std::string sc::encodeCacheResponse(const CacheResponse &R) {
     appendU64Field(Out, "bytesStored", R.Stats.BytesStored);
     appendU64Field(Out, "maxBytes", R.Stats.MaxBytes);
   }
+  if (!R.MetricsText.empty()) {
+    Out += ",\"metricsText\":";
+    appendJsonString(Out, R.MetricsText);
+  }
+  if (!R.MetricsJson.empty()) {
+    Out += ",\"metricsJson\":";
+    appendJsonString(Out, R.MetricsJson);
+  }
   Out += '}';
   return Out;
 }
@@ -194,6 +205,10 @@ bool sc::decodeCacheResponse(const std::string &Json, CacheResponse &R) {
       R.Stats.BytesStored = C.parseU64();
     } else if (K == "maxBytes") {
       R.Stats.MaxBytes = C.parseU64();
+    } else if (K == "metricsText") {
+      R.MetricsText = C.parseString();
+    } else if (K == "metricsJson") {
+      R.MetricsJson = C.parseString();
     } else {
       C.skipValue();
     }

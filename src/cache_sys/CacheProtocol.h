@@ -72,7 +72,12 @@ struct CacheStats {
 
 /// One client request (the JSON header frame).
 struct CacheRequest {
-  enum class Op { Get, Put, Touch, Stats, Shutdown };
+  /// `Metrics` answers with the daemon's metrics registry rendered
+  /// both ways inline: Prometheus text exposition (for scrapers and
+  /// `scbuild daemon-top`) and the registry JSON object (the same
+  /// `"metrics"` shape `scbuild --report-json` carries, so live and
+  /// offline views agree field-for-field).
+  enum class Op { Get, Put, Touch, Stats, Metrics, Shutdown };
   Op Operation = Op::Stats;
   std::string Kind;   ///< "obj" or "act"; empty for stats/shutdown.
   std::string Key;    ///< hex16 entry key.
@@ -90,6 +95,13 @@ struct CacheResponse {
   std::string Error;    ///< Ok == false: human-readable reason.
   bool HasStats = false;
   CacheStats Stats;
+
+  // -- metrics responses --
+  /// Prometheus text exposition of the daemon's registry.
+  std::string MetricsText;
+  /// The registry as one JSON object {"counters":{},"gauges":{}} —
+  /// byte-identical in shape to the `"metrics"` key of scbuild-report.
+  std::string MetricsJson;
 };
 
 std::string encodeCacheRequest(const CacheRequest &R);

@@ -134,6 +134,20 @@ RemoteCacheClient::Result RemoteCacheClient::stats(CacheStats &Out) {
   return Result::Hit;
 }
 
+RemoteCacheClient::Result RemoteCacheClient::metrics(std::string &Text,
+                                                     std::string &Json) {
+  CacheRequest Req;
+  Req.Operation = CacheRequest::Op::Metrics;
+  CacheResponse Resp;
+  if (!roundTrip(Req, Resp, nullptr, nullptr))
+    return Result::Error;
+  if (Resp.MetricsText.empty() && Resp.MetricsJson.empty())
+    return Result::Miss; // An older daemon that predates the verb.
+  Text = Resp.MetricsText;
+  Json = Resp.MetricsJson;
+  return Result::Hit;
+}
+
 bool RemoteCacheClient::shutdownServer() {
   CacheRequest Req;
   Req.Operation = CacheRequest::Op::Shutdown;

@@ -64,6 +64,11 @@ public:
 
   Result stats(CacheStats &Out);
 
+  /// Fetches the daemon's metrics registry rendered both ways:
+  /// Prometheus text (\p Text) and registry JSON (\p Json). Hit when
+  /// the daemon answered with a non-empty rendering.
+  Result metrics(std::string &Text, std::string &Json);
+
   /// Asks the daemon to exit; true when it acknowledged.
   bool shutdownServer();
 

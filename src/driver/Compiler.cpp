@@ -163,6 +163,15 @@ CompileResult Compiler::compile(const std::string &TUKey,
   const bool Tracing = Options.Trace && Options.Trace->enabled();
   TraceSpan TUSpan(Options.Trace, "compile", "compile:" + TUKey);
 
+  // Phase spans below are recorded retroactively (nowNanos window +
+  // span() after the fact), which the sampling profiler cannot see —
+  // so one SampleFrame tracks the current phase, switching at each
+  // boundary. Sampled stacks read "compile:<tu>;frontend" etc.; the
+  // destructor unwinds on the early-return paths.
+  static const std::string FrontendPhase("frontend"), StatePhase("state"),
+      MiddlePhase("middle"), BackendPhase("backend");
+  SampleFrame Phase(Options.Trace, "compile.phase", FrontendPhase);
+
   //===--- Frontend: parse, sema, IR generation -----------------------------===//
 
   uint64_t PhaseT0 = nowNanos();
@@ -205,6 +214,7 @@ CompileResult Compiler::compile(const std::string &TUKey,
   //===--- State: fingerprints and previous records -------------------------===//
 
   PhaseT0 = nowNanos();
+  Phase.enter(StatePhase);
   State.start();
   uint64_t MemoKey = 0;
   bool MemoHit = false;
@@ -281,6 +291,7 @@ CompileResult Compiler::compile(const std::string &TUKey,
   //===--- Middle end: the optimization pipeline ----------------------------===//
 
   PhaseT0 = nowNanos();
+  Phase.enter(MiddlePhase);
   Middle.start();
   AnalysisManager AM(*M);
   Result.PassStats = Pipeline.run(*M, AM, Instr.get(), Options.VerifyEach,
@@ -299,6 +310,7 @@ CompileResult Compiler::compile(const std::string &TUKey,
   // compiled code instead of going through codegen.
 
   PhaseT0 = nowNanos();
+  Phase.enter(BackendPhase);
   Backend.start();
   MModule Object;
   Object.Name = M->name();
@@ -332,6 +344,7 @@ CompileResult Compiler::compile(const std::string &TUKey,
   //===--- State: persist dormancy records and the code cache ----------------===//
 
   PhaseT0 = nowNanos();
+  Phase.enter(StatePhase);
   State.start();
   if (Instr) {
     Result.SkipStats = Instr->stats();

@@ -166,7 +166,13 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
       Timer T;
       const uint64_t T0 = nowNanos();
       T.start();
-      bool Changed = E.MP->run(M, AM);
+      bool Changed;
+      {
+        // The pass span below is recorded retroactively; the frame is
+        // what lets the sampling profiler attribute ticks to the pass.
+        SampleFrame SF(Trace, "pass", Name);
+        Changed = E.MP->run(M, AM);
+      }
       T.stop();
       if (Changed)
         AM.invalidateAll();
@@ -246,7 +252,11 @@ PipelineStats PassPipeline::run(Module &M, AnalysisManager &AM,
           continue;
         }
         uint64_t T0 = nowNanos();
-        bool Changed = E.FP->run(F, AM);
+        bool Changed;
+        {
+          SampleFrame SF(Trace, "pass", Name);
+          Changed = E.FP->run(F, AM);
+        }
         uint64_t Dur = nowNanos() - T0;
         if (Changed) {
           AM.invalidate(F);

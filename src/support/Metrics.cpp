@@ -9,6 +9,7 @@
 #include "support/Trace.h" // jsonEscape
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace sc;
 
@@ -70,5 +71,66 @@ std::string MetricsRegistry::toJson() const {
     Out += Num;
   }
   Out += "}}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsTextExporter
+//===----------------------------------------------------------------------===//
+
+std::string MetricsTextExporter::exportedName(const std::string &Name,
+                                              bool IsCounter) {
+  std::string Out = "scbuild_";
+  Out.reserve(Out.size() + Name.size() + 6);
+  for (char C : Name) {
+    const bool OK = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                    (C >= '0' && C <= '9') || C == '_';
+    Out += OK ? C : '_';
+  }
+  if (IsCounter)
+    Out += "_total";
+  return Out;
+}
+
+std::string MetricsTextExporter::render(const MetricsRegistry &R) {
+  std::string Out;
+  for (const auto &KV : R.counters()) {
+    const std::string N = exportedName(KV.first, /*IsCounter=*/true);
+    Out += "# TYPE " + N + " counter\n";
+    Out += N + " " + std::to_string(KV.second) + "\n";
+  }
+  char Num[64];
+  for (const auto &KV : R.gauges()) {
+    const std::string N = exportedName(KV.first, /*IsCounter=*/false);
+    Out += "# TYPE " + N + " gauge\n";
+    std::snprintf(Num, sizeof(Num), "%.10g", KV.second);
+    Out += N + " ";
+    Out += Num;
+    Out += "\n";
+  }
+  return Out;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsTextExporter::parse(const std::string &Text) {
+  std::vector<std::pair<std::string, double>> Out;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    const size_t Sp = Line.find(' ');
+    if (Sp == std::string::npos || Sp == 0)
+      continue;
+    char *EndPtr = nullptr;
+    const double V = std::strtod(Line.c_str() + Sp + 1, &EndPtr);
+    if (EndPtr == Line.c_str() + Sp + 1)
+      continue; // No numeric value; not a sample line.
+    Out.emplace_back(Line.substr(0, Sp), V);
+  }
   return Out;
 }

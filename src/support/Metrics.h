@@ -87,6 +87,36 @@ private:
   std::map<std::string, std::unique_ptr<Gauge>> Gauges;
 };
 
+/// Renders a MetricsRegistry in the Prometheus text exposition format
+/// (version 0.0.4), the lingua franca of fleet scrapers. Both daemons
+/// serve it over their `metrics` verbs and dump it with
+/// `--metrics-out`; `scbuild daemon-top` parses it back. The exporter
+/// is stateless — all functions are pure so live (socket) and offline
+/// (--report-json) views render identically from the same registry.
+///
+/// Name mapping (documented in docs/OBSERVABILITY.md): every internal
+/// dotted name gains the `scbuild_` prefix, dots become underscores,
+/// counters gain the conventional `_total` suffix:
+///   build.remote_hits  -> scbuild_build_remote_hits_total   (counter)
+///   daemon.queue_depth -> scbuild_daemon_queue_depth        (gauge)
+class MetricsTextExporter {
+public:
+  /// The exported (Prometheus) name for internal metric \p Name.
+  /// Characters outside [a-zA-Z0-9_] become '_'.
+  static std::string exportedName(const std::string &Name, bool IsCounter);
+
+  /// The whole registry as Prometheus text exposition: one `# TYPE`
+  /// line per metric, counters first, each group sorted by name, and a
+  /// trailing newline. Deterministic for a given snapshot.
+  static std::string render(const MetricsRegistry &R);
+
+  /// Parses text produced by render() (or any simple Prometheus
+  /// exposition) back into name -> value samples, skipping comment
+  /// lines and anything it cannot parse. Used by `scbuild daemon-top`.
+  static std::vector<std::pair<std::string, double>>
+  parse(const std::string &Text);
+};
+
 } // namespace sc
 
 #endif // SC_SUPPORT_METRICS_H

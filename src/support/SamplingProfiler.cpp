@@ -1,0 +1,60 @@
+//===- support/SamplingProfiler.cpp - Wall-time sampling overlay ---------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SamplingProfiler.h"
+
+#include <chrono>
+
+using namespace sc;
+
+SamplingProfiler::SamplingProfiler(TraceRecorder &R, unsigned Hz)
+    : R(R), Hz(Hz),
+      PeriodNs(Hz ? 1000000000ull / Hz : 0) {}
+
+SamplingProfiler::~SamplingProfiler() { stop(); }
+
+void SamplingProfiler::start() {
+  if (!Hz || Thread.joinable())
+    return;
+  StopFlag.store(false, std::memory_order_relaxed);
+  R.setSamplingEnabled(true);
+  Thread = std::thread([this] { run(); });
+}
+
+void SamplingProfiler::run() {
+  const auto Period = std::chrono::nanoseconds(PeriodNs);
+  while (!StopFlag.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(Period);
+    if (StopFlag.load(std::memory_order_relaxed))
+      break;
+    for (std::string &Stack : R.sampleStacks()) {
+      ++StackSamples[std::move(Stack)];
+      Samples.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SamplingProfiler::stop() {
+  if (!Thread.joinable())
+    return;
+  StopFlag.store(true, std::memory_order_relaxed);
+  Thread.join();
+  R.setSamplingEnabled(false);
+  // Fold the aggregate into the trace. Name = leaf frame (what was
+  // actually on-CPU), args carry the full stack and its weight.
+  for (const auto &KV : StackSamples) {
+    const std::string &Stack = KV.first;
+    const size_t Leaf = Stack.rfind(';');
+    std::string Name =
+        Leaf == std::string::npos ? Stack : Stack.substr(Leaf + 1);
+    std::string Args = "{\"stack\":\"" + jsonEscape(Stack) +
+                       "\",\"samples\":" + std::to_string(KV.second) +
+                       ",\"weight_ns\":" +
+                       std::to_string(KV.second * PeriodNs) + "}";
+    R.instant("sample", std::move(Name), std::move(Args));
+  }
+  StackSamples.clear();
+}

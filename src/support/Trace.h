@@ -134,6 +134,40 @@ public:
   /// Total events overwritten because a thread ring filled.
   uint64_t droppedEvents() const;
 
+  /// Per-thread drop counts (thread name -> events overwritten),
+  /// including zero entries, in tid order. The build driver folds the
+  /// nonzero ones into the merged trace metadata and --report-json so
+  /// a truncated trace never silently looks complete.
+  std::vector<std::pair<std::string, uint64_t>> droppedByThread() const;
+
+  //===--- Sampling-profiler support --------------------------------------===//
+  //
+  // When sampling is on, every live TraceSpan additionally maintains a
+  // per-thread current-span stack that SamplingProfiler snapshots at
+  // its tick rate. Off (the default) the only added cost per span is
+  // one relaxed load; a disabled recorder pays nothing at all — the
+  // zero-overhead assertions in bench_e8_micro hold either way.
+
+  bool samplingEnabled() const {
+    return Sampling.load(std::memory_order_relaxed);
+  }
+  void setSamplingEnabled(bool S) {
+    Sampling.store(S, std::memory_order_relaxed);
+  }
+
+  /// Pushes a frame onto the calling thread's current-span stack.
+  /// \p Name must stay valid (and unmutated) until the matching pop —
+  /// TraceSpan guarantees this by being immovable and popping before
+  /// it moves its name out.
+  void pushCurrentSpan(const char *Category, const std::string &Name);
+  void popCurrentSpan();
+
+  /// One rendered stack per thread with at least one live span:
+  /// outermost-first span names joined with ';'
+  /// (e.g. "build;compile:util.mc;frontend:util.mc"). Safe to call
+  /// from the sampler thread while workers record.
+  std::vector<std::string> sampleStacks() const;
+
   /// Events currently held across all thread rings.
   size_t numEvents() const;
 
@@ -169,6 +203,10 @@ private:
     std::vector<TraceEvent> Ring;
     size_t Next = 0;                   // Overwrite cursor once full.
     std::atomic<uint64_t> Dropped{0};
+    /// Live (RAII) spans on this thread, outermost first; pointers
+    /// into the owning TraceSpans. Guarded by RingMu: the owner
+    /// pushes/pops, the sampler reads.
+    std::vector<std::pair<const char *, const std::string *>> SpanStack;
   };
 
   /// The calling thread's log, registering it on first use. The fast
@@ -178,6 +216,7 @@ private:
   void append(TraceEvent E);
 
   std::atomic<bool> Enabled;
+  std::atomic<bool> Sampling{false};
   const size_t Capacity;
   const uint64_t BaseNs;  // Trace epoch: ts 0 in the emitted JSON.
   const uint64_t Epoch;   // Unique per recorder instance; guards the
@@ -204,6 +243,12 @@ public:
     if (this->R) {
       this->Name = std::move(Name);
       StartNs = nowNanos();
+      if (this->R->samplingEnabled()) {
+        // The stack frame points at this->Name; valid because the
+        // span is immovable and pops before the name moves out.
+        this->R->pushCurrentSpan(Category, this->Name);
+        Pushed = true;
+      }
     }
   }
 
@@ -214,9 +259,12 @@ public:
   }
 
   ~TraceSpan() {
-    if (R)
+    if (R) {
+      if (Pushed)
+        R->popCurrentSpan();
       R->span(Category, std::move(Name), StartNs, nowNanos(),
               std::move(Args));
+    }
   }
 
   TraceSpan(const TraceSpan &) = delete;
@@ -228,6 +276,63 @@ private:
   std::string Name;
   std::string Args;
   uint64_t StartNs = 0;
+  bool Pushed = false;
+};
+
+/// Sampling-stack frame for retroactively-recorded spans. Much of the
+/// hot path measures a window with nowNanos() and calls span() after
+/// the fact — it never constructs a TraceSpan, so the sampling
+/// profiler would not see those windows at all. A SampleFrame placed
+/// over the measured window puts the frame on the thread's
+/// current-span stack while sampling is on; when sampling is off the
+/// whole object is one relaxed load and two branches, keeping the
+/// bench_e8_micro zero-overhead assertions intact.
+///
+/// enter() switches the frame in place (pop + push), which suits
+/// linear phase code: one SampleFrame per region sequence, re-entered
+/// at each boundary, and the destructor unwinds whatever is live —
+/// including on early returns.
+///
+/// \p Name lifetimes follow pushCurrentSpan: the string must stay
+/// valid until the frame exits (call sites use locals or immortal
+/// constants).
+class SampleFrame {
+public:
+  SampleFrame(TraceRecorder *R, const char *Category)
+      : R(R && R->enabled() && R->samplingEnabled() ? R : nullptr),
+        Category(Category) {}
+  SampleFrame(TraceRecorder *R, const char *Category, const std::string &Name)
+      : SampleFrame(R, Category) {
+    enter(Name);
+  }
+
+  /// Replaces the live frame (if any) with \p Name.
+  void enter(const std::string &Name) {
+    if (!R)
+      return;
+    if (Live)
+      R->popCurrentSpan();
+    R->pushCurrentSpan(Category, Name);
+    Live = true;
+  }
+
+  /// Pops the live frame, if any. Idempotent.
+  void exit() {
+    if (R && Live) {
+      R->popCurrentSpan();
+      Live = false;
+    }
+  }
+
+  ~SampleFrame() { exit(); }
+
+  SampleFrame(const SampleFrame &) = delete;
+  SampleFrame &operator=(const SampleFrame &) = delete;
+
+private:
+  TraceRecorder *R;
+  const char *Category;
+  bool Live = false;
 };
 
 } // namespace sc

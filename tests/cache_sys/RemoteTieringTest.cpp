@@ -20,6 +20,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <algorithm>
+
 #include "build_sys/BuildSystem.h"
 #include "build_sys/ObjectCache.h"
 #include "cache_sys/CacheDaemon.h"
@@ -121,11 +123,19 @@ ExecResult runProgram(const BuildDriver &Driver) {
 }
 
 /// Asserts the two filesystems hold byte-identical files at identical
-/// paths — sources AND every build artifact under out/.
+/// paths — sources AND every build artifact under out/. The history
+/// ledger is excluded: it is telemetry (wall-clock timings, append
+/// timestamps), not a build artifact, so byte identity cannot hold.
 void expectIdenticalFiles(InMemoryFileSystem &A, InMemoryFileSystem &B,
                           const std::string &Context) {
-  std::vector<std::string> FilesA = A.listFiles();
-  std::vector<std::string> FilesB = B.listFiles();
+  auto Prune = [](std::vector<std::string> Files) {
+    Files.erase(std::remove(Files.begin(), Files.end(),
+                            std::string("out/history.jsonl")),
+                Files.end());
+    return Files;
+  };
+  std::vector<std::string> FilesA = Prune(A.listFiles());
+  std::vector<std::string> FilesB = Prune(B.listFiles());
   EXPECT_EQ(FilesA, FilesB) << Context << ": file sets differ";
   for (const std::string &Path : FilesA) {
     auto ContentA = A.readFile(Path);

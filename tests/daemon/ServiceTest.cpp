@@ -32,6 +32,7 @@
 #include "build_sys/DaemonClient.h"
 #include "support/FileLock.h"
 #include "support/FileSystem.h"
+#include "support/Metrics.h"
 #include "support/Socket.h"
 
 #include <gtest/gtest.h>
@@ -524,6 +525,61 @@ TEST(Service, StatusReportsServiceCounters) {
   EXPECT_NE(Text.find("coalesced 0"), std::string::npos) << Text;
   EXPECT_NE(Text.find("busy rejections 0"), std::string::npos) << Text;
   EXPECT_NE(Text.find("request timeouts 0"), std::string::npos) << Text;
+  H.stopAndJoin();
+}
+
+// Regression: daemon.* gauges in the metrics registry were published
+// only when a build ran, so a `metrics` scrape (or --metrics-out dump)
+// between builds could report whatever depth the last build left
+// behind. Both read paths must snapshot the live service state at
+// frame-render time.
+TEST(Service, MetricsAndStatusRefreshGaugesAtRenderTime) {
+  ServiceHarness H;
+  writeProject(H.FS);
+  MetricsRegistry Metrics;
+  DaemonConfig Config;
+  Config.Build.Compiler.Metrics = &Metrics;
+  ASSERT_TRUE(H.start(std::move(Config), /*Gated=*/false));
+
+  // Poison the gauges the way a stale publisher would leave them.
+  Metrics.gauge("daemon.queue_depth").set(999);
+  Metrics.gauge("daemon.connections_active").set(999);
+
+  DaemonRequest Req;
+  Req.Verb = "metrics";
+  std::string Text, Err;
+  {
+    DaemonClient C = DaemonClient::connect(H.Daemon->socketPath());
+    ASSERT_TRUE(C.connected());
+    ASSERT_EQ(C.roundTrip(
+                  Req, [&](const std::string &T) { Text += T; }, nullptr,
+                  nullptr, &Err),
+              0)
+        << Err;
+  }
+  // The scrape must carry the true (empty) queue, not the poison.
+  EXPECT_NE(Text.find("scbuild_daemon_queue_depth 0"), std::string::npos)
+      << Text;
+  EXPECT_EQ(Text.find("999"), std::string::npos) << Text;
+
+  // The status verb refreshes the registry too (it renders from live
+  // counters, but tools reading the registry afterwards — report-json,
+  // metrics-out — must see the same truth).
+  Metrics.gauge("daemon.queue_depth").set(999);
+  Req.Verb = "status";
+  Text.clear();
+  {
+    DaemonClient C = DaemonClient::connect(H.Daemon->socketPath());
+    ASSERT_TRUE(C.connected());
+    ASSERT_EQ(C.roundTrip(
+                  Req, [&](const std::string &T) { Text += T; }, nullptr,
+                  nullptr, &Err),
+              0)
+        << Err;
+  }
+  EXPECT_NE(Text.find("queue depth 0"), std::string::npos) << Text;
+  EXPECT_EQ(Metrics.gauge("daemon.queue_depth").value(), 0.0);
+
   H.stopAndJoin();
 }
 

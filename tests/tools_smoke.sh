@@ -402,4 +402,151 @@ if "$SCBUILD" ws2 --daemon --remote-cache="$CACHE_SOCK" 2>/dev/null; then
   echo "FAIL: --remote-cache with --daemon accepted"; exit 1
 fi
 
+#===--- Build-history ledger + scbuild analyze -----------------------------===#
+
+# Three builds — clean, incremental, failed — must land three
+# checksummed records with monotone ids in out/history.jsonl. A fresh
+# workspace keeps the ids at exactly 1, 2, 3.
+mkdir -p hist
+cat > hist/util.mc <<'EOF'
+fn triple(x: int) -> int { return x * 3; }
+EOF
+cat > hist/main.mc <<'EOF'
+import "util.mc";
+fn main() -> int {
+  print(triple(14));
+  return 0;
+}
+EOF
+"$SCBUILD" hist --quiet                      # 1: clean
+sed -i 's/x \* 3/x + x + x/' hist/util.mc
+"$SCBUILD" hist --quiet                      # 2: incremental
+cp hist/main.mc hist/main.mc.good
+echo 'fn main( -> int { broken' > hist/main.mc
+set +e
+"$SCBUILD" hist --quiet 2>/dev/null          # 3: failed
+RC=$?
+set -e
+[ "$RC" -ne 0 ] || { echo "FAIL: broken project built"; exit 1; }
+mv hist/main.mc.good hist/main.mc
+python3 - <<'PYEOF' || { echo "FAIL: history ledger invalid"; exit 1; }
+import json
+recs = [json.loads(l) for l in open("hist/out/history.jsonl")]
+assert len(recs) == 3, f"expected 3 records, got {len(recs)}"
+assert [r["build"] for r in recs] == [1, 2, 3]
+assert [r["success"] for r in recs] == [True, True, False]
+for r in recs:
+    assert r["schema"] == "scbuild-history" and r["schema_version"] == 1
+    crc = r["crc"]
+    assert len(crc) == 16 and all(c in "0123456789abcdef" for c in crc)
+# The incremental build's dirty set is smaller than the clean build's.
+assert 0 < len(recs[1]["dirty"]) < len(recs[0]["dirty"])
+PYEOF
+
+# analyze: the human view names the critical path; --against diffs two
+# builds with stable reason codes; --json is machine-parseable.
+"$SCBUILD" hist analyze > analyze.log
+grep -q "critical path" analyze.log || {
+  echo "FAIL: analyze missing critical path"; cat analyze.log; exit 1; }
+"$SCBUILD" hist analyze --build=2 --against=1 > adiff.log
+grep -q "vs build 1" adiff.log || {
+  echo "FAIL: analyze --against missing diff"; cat adiff.log; exit 1; }
+"$SCBUILD" hist analyze --build=2 --against=1 --json > analyze.json
+python3 - <<'PYEOF' || { echo "FAIL: analyze JSON invalid"; exit 1; }
+import json
+doc = json.load(open("analyze.json"))
+assert doc["schema"] == "scbuild-analyze" and doc["schema_version"] == 1
+assert doc["build"] == 2 and doc["against"] == 1
+assert doc["slowest_tu"]["name"], "no slowest TU named"
+assert "critical_path" in doc and doc["critical_path"]
+assert "diff" in doc
+codes = {e["reason"] for e in doc["diff"]["changes"]}
+assert codes <= {"node-new", "node-slower", "node-faster", "node-fixed"}, codes
+PYEOF
+if "$SCBUILD" hist analyze --build=99 2>/dev/null; then
+  echo "FAIL: analyze accepted an unknown build id"; exit 1
+fi
+
+#===--- Fleet metrics export ----------------------------------------------===#
+
+# scbuildd serves the `metrics` verb (Prometheus text) and dumps the
+# same text to --metrics-out; at shutdown --report-json carries the
+# same registry as JSON. The two views must agree counter for counter.
+# A dedicated workspace: the source scan is recursive, so serving "."
+# here would sweep up every scratch project above.
+mkdir -p fleet
+cp hist/util.mc hist/main.mc fleet/
+"$SCBUILDD" fleet --quiet --metrics-out=metrics.prom \
+            --report-json=dreport.json &
+DAEMON_PID=$!
+for _ in $(seq 50); do
+  [ -S fleet/out/.daemon.sock ] && break
+  sleep 0.1
+done
+[ -S fleet/out/.daemon.sock ] || {
+  echo "FAIL: daemon socket never appeared"; exit 1; }
+"$SCBUILD" fleet --daemon --quiet
+
+# daemon-top renders the live service/cache gauges from the metrics
+# verb plus the status verb — one frame, no daemon restart.
+"$SCBUILD" fleet daemon-top > top.log
+grep -q "queue depth" top.log || {
+  echo "FAIL: daemon-top missing queue depth"; cat top.log; exit 1; }
+
+"$SCBUILD" fleet --daemon-shutdown
+wait "$DAEMON_PID" || { echo "FAIL: daemon exited nonzero"; exit 1; }
+DAEMON_PID=""
+python3 - <<'PYEOF' || { echo "FAIL: metrics export invalid"; exit 1; }
+import json
+# Parse the Prometheus text exposition dump.
+samples = {}
+for line in open("metrics.prom"):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    samples[name] = float(value)
+assert samples, "metrics.prom carries no samples"
+assert samples.get("scbuild_build_builds_total", 0) >= 1, samples
+assert "scbuild_daemon_queue_depth" in samples, samples
+# Every counter in the JSON report's registry dump must appear in the
+# Prometheus text under its mapped name with the same value.
+report = json.load(open("dreport.json"))
+for name, value in report["metrics"]["counters"].items():
+    prom = "scbuild_" + name.replace(".", "_") + "_total"
+    assert prom in samples, f"{prom} missing from metrics.prom"
+    assert samples[prom] == value, (prom, samples[prom], value)
+PYEOF
+
+# sccached: the same metrics verb + the shared "metrics" key in
+# --stats --json (the shape scbuildd --report-json uses). A fresh
+# store — the default cache dir would resurrect the earlier section's
+# entries and turn every put into a hit.
+"$SCCACHED" --socket="$CACHE_SOCK" --cache-dir="$DIR/cache-fleet" --quiet &
+CACHE_PID=$!
+for _ in $(seq 50); do
+  [ -S "$CACHE_SOCK" ] && break
+  sleep 0.1
+done
+[ -S "$CACHE_SOCK" ] || { echo "FAIL: sccached socket never appeared"; exit 1; }
+rm -rf ws1/out
+"$SCBUILD" ws1 --quiet --remote-cache="$CACHE_SOCK"
+"$SCCACHED" --socket="$CACHE_SOCK" --metrics > cmetrics.prom
+grep -q "scbuild_cache_" cmetrics.prom || {
+  echo "FAIL: sccached --metrics has no cache samples"; cat cmetrics.prom
+  exit 1; }
+"$SCCACHED" --socket="$CACHE_SOCK" --stats --json > cstats.json
+python3 - <<'PYEOF' || { echo "FAIL: sccached stats JSON invalid"; exit 1; }
+import json
+doc = json.load(open("cstats.json"))
+assert doc["schema"] == "sccached-stats" and doc["schema_version"] == 1
+assert doc["puts"] >= 1, doc
+# The shared registry key: same shape as scbuildd --report-json.
+assert "counters" in doc["metrics"] and "gauges" in doc["metrics"]
+assert doc["metrics"]["counters"].get("cache.puts", 0) == doc["puts"], doc
+PYEOF
+"$SCCACHED" --socket="$CACHE_SOCK" --shutdown
+wait "$CACHE_PID" || { echo "FAIL: sccached exited nonzero"; exit 1; }
+CACHE_PID=""
+
 echo "tools smoke: OK"

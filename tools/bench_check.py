@@ -187,9 +187,60 @@ def check_daemon(bench, committed_path):
     sys.exit(0)
 
 
+# ------------------------------------------------------------ history
+
+
+def check_history(ledger_path):
+    """Validates a build-history ledger (history.jsonl) left behind by a
+    bench_daemon run: every line is standalone JSON carrying the
+    versioned schema and a well-formed checksum, and build ids are
+    strictly monotone. Skips when the ledger is absent (bench-daemon
+    has not run in this build tree yet)."""
+    if not os.path.exists(ledger_path):
+        skip(f"no ledger at {ledger_path}; run the bench-daemon test first")
+    records = []
+    with open(ledger_path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno} is not standalone JSON: {e}")
+            if rec.get("schema") != "scbuild-history":
+                fail(f"line {lineno}: schema is {rec.get('schema')!r}, "
+                     "expected 'scbuild-history'")
+            if rec.get("schema_version") != 1:
+                fail(f"line {lineno}: unexpected schema_version "
+                     f"{rec.get('schema_version')!r}")
+            crc = rec.get("crc", "")
+            if len(crc) != 16 or any(c not in "0123456789abcdef"
+                                     for c in crc):
+                fail(f"line {lineno}: malformed crc {crc!r}")
+            if not line.endswith(',"crc":"%s"}' % crc):
+                fail(f"line {lineno}: crc is not the final key — the "
+                     "checksum must cover every byte before it")
+            records.append(rec)
+    if not records:
+        fail(f"{ledger_path} holds no records")
+    ids = [r.get("build", 0) for r in records]
+    if any(b <= a for a, b in zip(ids, ids[1:])):
+        fail(f"build ids are not strictly monotone: {ids}")
+    for key in ("success", "phases_us", "counters", "tus", "passes"):
+        missing = [i for i, r in enumerate(records, 1) if key not in r]
+        if missing:
+            fail(f"record(s) {missing} lack the '{key}' field")
+    print(f"OK: {len(records)} ledger record(s), ids {ids[0]}..{ids[-1]} "
+          "monotone, schema v1, checksums well-formed")
+    sys.exit(0)
+
+
 def main():
     usage = (f"usage: {sys.argv[0]} e10|daemon <bench_binary> "
-             "<committed_json>")
+             f"<committed_json>  |  {sys.argv[0]} history <ledger.jsonl>")
+    if len(sys.argv) == 3 and sys.argv[1] == "history":
+        check_history(sys.argv[2])
     if len(sys.argv) != 4:
         fail(usage)
     sub, bench, committed_path = sys.argv[1], sys.argv[2], sys.argv[3]

@@ -11,6 +11,13 @@
 /// driving the stateful compiler.
 ///
 ///   scbuild [dir] [options]
+///   scbuild analyze [dir] [--build=ID] [--against=ID] [--top=N] [--json]
+///                   critical-path analysis over the build history ledger
+///                   (<dir>/out/history.jsonl): slowest TUs and passes,
+///                   lock/pool attribution, and an A-vs-B regression diff
+///   scbuild daemon-top [dir] [--watch]
+///                   one-shot (or looping, with --watch) status view of the
+///                   serving daemon, built on its status + metrics verbs
 ///
 /// Options:
 ///   -O0|-O1|-O2     optimization level (default -O2)
@@ -44,12 +51,20 @@
 ///   --trace-out=FILE   write a Chrome trace-event JSON of the build
 ///                      (load in chrome://tracing or Perfetto)
 ///   --report-json=FILE write the versioned JSON build report
+///   --history-limit=N  retain at most N records in out/history.jsonl
+///                      (default 512; 0 disables the ledger entirely)
+///   --profile-sample-hz=N
+///                      sample every thread's current span stack N times a
+///                      second and merge the weighted aggregates into the
+///                      trace and history record (0 = off, the default; the
+///                      off path costs one relaxed load per span)
 ///   --explain TU[:pass] replay why each pass ran or slept for TU in
 ///                       the last recorded build (no build happens;
 ///                       with --daemon, answered by the daemon)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "build_sys/Analyze.h"
 #include "build_sys/BuildReport.h"
 #include "build_sys/BuildSystem.h"
 #include "build_sys/Daemon.h"
@@ -93,6 +108,23 @@ bool parseUnsigned(const char *Text, unsigned &Out) {
       return false;
   }
   Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Same contract for 64-bit values (build ids).
+bool parseU64Arg(const char *Text, uint64_t &Out) {
+  if (!*Text)
+    return false;
+  uint64_t V = 0;
+  for (const char *P = Text; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    uint64_t Next = V * 10 + static_cast<uint64_t>(*P - '0');
+    if (Next < V)
+      return false; // Overflow.
+    V = Next;
+  }
+  Out = V;
   return true;
 }
 
@@ -175,6 +207,10 @@ int main(int argc, char **argv) {
   bool Daemon = false, DaemonAutoStart = false;
   bool DaemonStatus = false, DaemonShutdown = false;
   std::string TraceOut, ReportOut, ExplainQ, RemoteCache;
+  std::string Command; // "analyze" | "daemon-top" | "" (build).
+  std::string BuildIdText, AgainstIdText, TopText;
+  std::string HistoryLimitText, SampleHzText;
+  bool AnalyzeJson = false, Watch = false;
   std::vector<int64_t> RunArgs;
   std::vector<std::string> FaultSpecs; // Hidden --inject-fault op:N.
 
@@ -210,7 +246,12 @@ int main(int argc, char **argv) {
     if (FlagValue(Arg, "--trace-out", I, TraceOut) ||
         FlagValue(Arg, "--report-json", I, ReportOut) ||
         FlagValue(Arg, "--explain", I, ExplainQ) ||
-        FlagValue(Arg, "--remote-cache", I, RemoteCache))
+        FlagValue(Arg, "--remote-cache", I, RemoteCache) ||
+        FlagValue(Arg, "--build", I, BuildIdText) ||
+        FlagValue(Arg, "--against", I, AgainstIdText) ||
+        FlagValue(Arg, "--top", I, TopText) ||
+        FlagValue(Arg, "--history-limit", I, HistoryLimitText) ||
+        FlagValue(Arg, "--profile-sample-hz", I, SampleHzText))
       continue;
     if (Arg == "-O0")
       Options.Compiler.Opt = OptLevel::O0;
@@ -247,6 +288,10 @@ int main(int argc, char **argv) {
       Run = true;
     else if (Arg == "--quiet")
       Quiet = true;
+    else if (Arg == "--json")
+      AnalyzeJson = true;
+    else if (Arg == "--watch")
+      Watch = true;
     else if (Arg == "--daemon")
       Daemon = true;
     else if (Arg == "--daemon=auto-start") {
@@ -285,18 +330,79 @@ int main(int argc, char **argv) {
                    "[--daemon-status] [--daemon-shutdown]\n               "
                    "[--trace-out=FILE] [--report-json=FILE] "
                    "[--remote-cache=SOCKET]\n               "
-                   "[--explain TU[:pass]] [--run [args...]]\n");
+                   "[--history-limit=N] [--profile-sample-hz=N]\n"
+                   "               [--explain TU[:pass]] [--run [args...]]\n"
+                   "       scbuild analyze [dir] [--build=ID] [--against=ID] "
+                   "[--top=N] [--json]\n"
+                   "       scbuild daemon-top [dir] [--watch]\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "scbuild: error: unknown option '%s'\n",
                    Arg.c_str());
       return 1;
+    } else if (Command.empty() &&
+               (Arg == "analyze" || Arg == "daemon-top")) {
+      Command = Arg;
     } else {
       Dir = Arg;
     }
   }
   if (ArgError)
     return 1;
+
+  auto ParseU64Flag = [](const std::string &Text, const char *Flag,
+                         uint64_t &Out) {
+    if (Text.empty())
+      return true;
+    if (parseU64Arg(Text.c_str(), Out))
+      return true;
+    std::fprintf(stderr,
+                 "scbuild: error: option '%s' requires a non-negative "
+                 "integer (got '%s')\n",
+                 Flag, Text.c_str());
+    return false;
+  };
+  auto ParseU32Flag = [](const std::string &Text, const char *Flag,
+                         unsigned &Out) {
+    if (Text.empty())
+      return true;
+    if (parseUnsigned(Text.c_str(), Out))
+      return true;
+    std::fprintf(stderr,
+                 "scbuild: error: option '%s' requires a non-negative "
+                 "integer (got '%s')\n",
+                 Flag, Text.c_str());
+    return false;
+  };
+  uint64_t AnalyzeBuildId = 0, AnalyzeAgainstId = 0;
+  unsigned AnalyzeTop = 5;
+  if (!ParseU64Flag(BuildIdText, "--build", AnalyzeBuildId) ||
+      !ParseU64Flag(AgainstIdText, "--against", AnalyzeAgainstId) ||
+      !ParseU32Flag(TopText, "--top", AnalyzeTop) ||
+      !ParseU32Flag(HistoryLimitText, "--history-limit",
+                    Options.HistoryLimit) ||
+      !ParseU32Flag(SampleHzText, "--profile-sample-hz",
+                    Options.ProfileSampleHz))
+    return 1;
+
+  //===--- analyze: offline report over the history ledger ----------------===//
+
+  if (Command == "analyze") {
+    RealFileSystem AnalyzeFS(Dir);
+    AnalyzeOptions AOpt;
+    AOpt.BuildId = AnalyzeBuildId;
+    AOpt.AgainstId = AnalyzeAgainstId;
+    AOpt.TopN = std::max(1u, AnalyzeTop);
+    AOpt.Json = AnalyzeJson;
+    AnalyzeResult AR =
+        analyzeHistory(AnalyzeFS, Options.OutDir + "/history.jsonl", AOpt);
+    if (!AR.OK) {
+      std::fprintf(stderr, "scbuild: error: %s\n", AR.Error.c_str());
+      return 1;
+    }
+    std::fputs(AR.Text.c_str(), stdout);
+    return 0;
+  }
 
   const bool Stateful =
       Options.Compiler.Stateful.SkipMode != StatefulConfig::Mode::Stateless;
@@ -310,6 +416,97 @@ int main(int argc, char **argv) {
     std::fwrite(T.data(), 1, T.size(), stderr);
   };
   const std::string SockPath = daemonSocketPath(Dir, Options.OutDir);
+
+  //===--- daemon-top: live service view over status + metrics verbs ------===//
+
+  if (Command == "daemon-top") {
+    for (;;) {
+      std::string Status, MetricsText, Err;
+      DaemonClient StatusConn = DaemonClient::connect(SockPath);
+      if (!StatusConn.connected()) {
+        std::fprintf(stderr, "scbuild: no daemon is serving '%s'\n",
+                     SockPath.c_str());
+        return 1;
+      }
+      DaemonRequest Req;
+      Req.Verb = "status";
+      if (StatusConn.roundTrip(
+              Req, [&](const std::string &T) { Status += T; }, PrintErr,
+              nullptr, &Err) < 0) {
+        std::fprintf(stderr, "scbuild: error: daemon request failed: %s\n",
+                     Err.c_str());
+        return 1;
+      }
+      // One request per connection, so the metrics verb reconnects.
+      DaemonClient MetricsConn = DaemonClient::connect(SockPath);
+      Req.Verb = "metrics";
+      if (!MetricsConn.connected() ||
+          MetricsConn.roundTrip(
+              Req, [&](const std::string &T) { MetricsText += T; }, PrintErr,
+              nullptr, &Err) < 0) {
+        std::fprintf(stderr, "scbuild: error: daemon request failed: %s\n",
+                     Err.c_str());
+        return 1;
+      }
+      const auto Samples = MetricsTextExporter::parse(MetricsText);
+      auto Sample = [&](const char *Name) -> double {
+        for (const auto &P : Samples)
+          if (P.first == Name)
+            return P.second;
+        return 0.0;
+      };
+      auto Pct = [](double Part, double Whole) -> double {
+        return Whole > 0.0 ? 100.0 * Part / Whole : 0.0;
+      };
+      const double Requests = Sample("scbuild_daemon_requests_served_total");
+      const double Coalesced = Sample("scbuild_daemon_coalesced_total");
+      const double Busy = Sample("scbuild_daemon_busy_rejections_total");
+      const double Timeouts = Sample("scbuild_daemon_request_timeouts_total");
+      const double Disc = Sample("scbuild_daemon_disconnects_total");
+      const double RHits = Sample("scbuild_build_remote_hits_total");
+      const double RMisses = Sample("scbuild_build_remote_misses_total");
+      const double Scans = Sample("scbuild_build_interface_scans_total");
+      const double ScanHits = Sample("scbuild_build_scan_cache_hits_total");
+
+      std::string Top;
+      if (Watch)
+        Top += "\x1b[H\x1b[2J"; // Home + clear, terminal-top style.
+      Top += "scbuild daemon-top — " + SockPath + "\n";
+      Top += Status;
+      char Line[256];
+      std::snprintf(Line, sizeof(Line),
+                    "daemon-top: queue depth %.0f (high water %.0f), active "
+                    "connections %.0f\n",
+                    Sample("scbuild_daemon_queue_depth"),
+                    Sample("scbuild_daemon_queue_high_water"),
+                    Sample("scbuild_daemon_connections_active"));
+      Top += Line;
+      std::snprintf(Line, sizeof(Line),
+                    "daemon-top: rates: coalesced %.1f%%, busy %.0f, "
+                    "timeouts %.0f, disconnects %.0f (of %.0f requests)\n",
+                    Pct(Coalesced, Requests), Busy, Timeouts, Disc, Requests);
+      Top += Line;
+      if (RHits + RMisses > 0) {
+        std::snprintf(Line, sizeof(Line),
+                      "daemon-top: remote cache: %.0f hits / %.0f misses "
+                      "(%.1f%% hit ratio)\n",
+                      RHits, RMisses, Pct(RHits, RHits + RMisses));
+        Top += Line;
+      }
+      if (Scans + ScanHits > 0) {
+        std::snprintf(Line, sizeof(Line),
+                      "daemon-top: scan cache: %.0f hits / %.0f scans "
+                      "(%.1f%% warm)\n",
+                      ScanHits, Scans + ScanHits,
+                      Pct(ScanHits, Scans + ScanHits));
+        Top += Line;
+      }
+      PrintOut(Top);
+      if (!Watch)
+        return 0;
+      ::usleep(1000 * 1000);
+    }
+  }
 
   if (DaemonStatus || DaemonShutdown) {
     DaemonClient Client = DaemonClient::connect(SockPath);
@@ -420,13 +617,14 @@ int main(int argc, char **argv) {
   }
 
   // Telemetry sinks. Decision recording is on for every stateful
-  // scbuild (it feeds --explain); the trace recorder exists only when
-  // asked for, so untraced builds skip even the pointer-registered
-  // ring work.
+  // scbuild (it feeds --explain). The trace recorder also feeds the
+  // history ledger's per-TU/per-pass aggregates, so it exists whenever
+  // the ledger is on (the default) — a disabled ledger AND no
+  // --trace-out skips even the pointer-registered ring work.
   Options.Compiler.RecordDecisions = Stateful;
   Options.RemoteCache = RemoteCache;
   std::unique_ptr<TraceRecorder> Trace;
-  if (!TraceOut.empty()) {
+  if (!TraceOut.empty() || Options.HistoryLimit) {
     Trace = std::make_unique<TraceRecorder>();
     Trace->setThreadName("build-main");
     Options.Compiler.Trace = Trace.get();
@@ -476,7 +674,7 @@ int main(int argc, char **argv) {
                  Path.c_str());
     return false;
   };
-  if (Trace)
+  if (Trace && !TraceOut.empty())
     WriteHostFile(TraceOut, Trace->toChromeJson(), "trace");
   if (!ReportOut.empty())
     WriteHostFile(ReportOut, buildReportJson(Stats, &Metrics), "report");

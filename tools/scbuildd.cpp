@@ -28,6 +28,13 @@
 ///   --report-json=FILE    on exit, write the versioned JSON build report of
 ///                         the last build, including the daemon.* service
 ///                         counters from the metrics registry
+///   --metrics-out=FILE    periodically (and on exit) rewrite FILE atomically
+///                         with the metrics registry in Prometheus text
+///                         exposition format — a scrape file for collectors
+///                         that cannot speak the socket protocol; the same
+///                         text is served live by the `metrics` verb
+///   --metrics-interval-ms=N
+///                         period of the --metrics-out dump (default 1000)
 ///   --remote-cache=SOCKET use the sccached daemon on Unix socket SOCKET
 ///                         as a shared remote object-cache tier (see
 ///                         scbuild --remote-cache; same degrade-to-local
@@ -116,6 +123,7 @@ int main(int argc, char **argv) {
   };
 
   std::string IdleText, MaxQueueText, ReqTimeoutText, HoldText, ReportOut;
+  std::string MetricsIntervalText;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (FlagValue(Arg, "--trace-stream", I, TraceStream) ||
@@ -126,6 +134,8 @@ int main(int argc, char **argv) {
         // and the smoke script can form queues deterministically.
         FlagValue(Arg, "--hold-ms", I, HoldText) ||
         FlagValue(Arg, "--report-json", I, ReportOut) ||
+        FlagValue(Arg, "--metrics-out", I, Config.MetricsOut) ||
+        FlagValue(Arg, "--metrics-interval-ms", I, MetricsIntervalText) ||
         FlagValue(Arg, "--remote-cache", I, Config.Build.RemoteCache))
       continue;
     if (Arg == "-O0")
@@ -163,7 +173,9 @@ int main(int argc, char **argv) {
                    "[--idle-timeout-ms=N] [--max-queue=N] "
                    "[--request-timeout-ms=N]\n                "
                    "[--trace-stream=FILE] [--report-json=FILE] "
-                   "[--remote-cache=SOCKET] [--quiet]\n");
+                   "[--metrics-out=FILE]\n                "
+                   "[--metrics-interval-ms=N] [--remote-cache=SOCKET] "
+                   "[--quiet]\n");
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "scbuildd: error: unknown option '%s'\n",
@@ -191,8 +203,11 @@ int main(int argc, char **argv) {
       !ParseMsFlag(MaxQueueText, "--max-queue", Config.MaxQueue) ||
       !ParseMsFlag(ReqTimeoutText, "--request-timeout-ms",
                    Config.RequestTimeoutMs) ||
-      !ParseMsFlag(HoldText, "--hold-ms", Config.HoldMs))
+      !ParseMsFlag(HoldText, "--hold-ms", Config.HoldMs) ||
+      !ParseMsFlag(MetricsIntervalText, "--metrics-interval-ms",
+                   Config.MetricsIntervalMs))
     return 1;
+  Config.MetricsIntervalMs = std::max(1u, Config.MetricsIntervalMs);
 
   RealFileSystem FS(Dir);
 
@@ -202,7 +217,12 @@ int main(int argc, char **argv) {
   MetricsRegistry Metrics;
   Config.Build.Compiler.Metrics = &Metrics;
 
-  std::unique_ptr<TraceRecorder> Trace;
+  // The recorder always exists: its span aggregates feed each build's
+  // history-ledger record. A sink is attached only under
+  // --trace-stream; without one the daemon clears the rings after each
+  // build instead of streaming them.
+  std::unique_ptr<TraceRecorder> Trace = std::make_unique<TraceRecorder>();
+  Trace->setThreadName("daemon-main");
   std::unique_ptr<FileTraceSink> Sink;
   if (!TraceStream.empty()) {
     Sink = std::make_unique<FileTraceSink>(TraceStream);
@@ -211,11 +231,9 @@ int main(int argc, char **argv) {
                    TraceStream.c_str());
       return 1;
     }
-    Trace = std::make_unique<TraceRecorder>();
-    Trace->setThreadName("daemon-main");
     Trace->setSink(Sink.get());
-    Config.Build.Compiler.Trace = Trace.get();
   }
+  Config.Build.Compiler.Trace = Trace.get();
 
   BuildDaemon Daemon(FS, Config);
   std::string Err;

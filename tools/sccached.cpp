@@ -12,6 +12,12 @@
 ///
 ///   sccached --socket=PATH [options]          serve
 ///   sccached --socket=PATH --stats            print a serving daemon's stats
+///   sccached --socket=PATH --stats --json     the same as JSON, carrying the
+///                                             registry under the "metrics"
+///                                             key (the shape scbuildd
+///                                             --report-json uses)
+///   sccached --socket=PATH --metrics          print the daemon's metrics in
+///                                             Prometheus text exposition
 ///   sccached --socket=PATH --shutdown         stop a serving daemon
 ///
 /// Options (serve mode):
@@ -20,6 +26,11 @@
 ///                        (default 0 = unlimited); at the budget the
 ///                        least-recently-used entries are evicted
 ///   --idle-timeout-ms=N  exit after N ms without a request (0 = never)
+///   --metrics-out=FILE   periodically (and on exit) rewrite FILE atomically
+///                        with the cache.* metrics in Prometheus text
+///                        exposition format
+///   --metrics-interval-ms=N
+///                        period of the --metrics-out dump (default 1000)
 ///   --quiet              suppress lifecycle messages
 ///
 //===----------------------------------------------------------------------===//
@@ -28,6 +39,7 @@
 #include "cache_sys/RemoteCacheClient.h"
 #include "support/FileSystem.h"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -64,9 +76,10 @@ bool parseU64(const char *Text, uint64_t &Out) {
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string Socket, CacheDir;
-  uint64_t MaxBytes = 0, IdleMs = 0;
+  std::string Socket, CacheDir, MetricsOut;
+  uint64_t MaxBytes = 0, IdleMs = 0, MetricsIntervalMs = 1000;
   bool Quiet = false, Stats = false, Shutdown = false;
+  bool Json = false, Metrics = false;
 
   bool ArgError = false;
   auto FlagValue = [&](const std::string &Arg, const char *Flag, int &I,
@@ -88,25 +101,33 @@ int main(int argc, char **argv) {
     return true;
   };
 
-  std::string MaxBytesText, IdleText;
+  std::string MaxBytesText, IdleText, MetricsIntervalText;
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (FlagValue(Arg, "--socket", I, Socket) ||
         FlagValue(Arg, "--cache-dir", I, CacheDir) ||
         FlagValue(Arg, "--max-bytes", I, MaxBytesText) ||
+        FlagValue(Arg, "--metrics-out", I, MetricsOut) ||
+        FlagValue(Arg, "--metrics-interval-ms", I, MetricsIntervalText) ||
         FlagValue(Arg, "--idle-timeout-ms", I, IdleText))
       continue;
     if (Arg == "--quiet")
       Quiet = true;
     else if (Arg == "--stats")
       Stats = true;
+    else if (Arg == "--json")
+      Json = true;
+    else if (Arg == "--metrics")
+      Metrics = true;
     else if (Arg == "--shutdown")
       Shutdown = true;
     else if (Arg == "--help" || Arg == "-h") {
       std::fprintf(stderr,
                    "usage: sccached --socket=PATH [--cache-dir=DIR] "
                    "[--max-bytes=N]\n                [--idle-timeout-ms=N] "
-                   "[--quiet] [--stats] [--shutdown]\n");
+                   "[--metrics-out=FILE] [--metrics-interval-ms=N]\n"
+                   "                [--quiet] [--stats [--json]] [--metrics] "
+                   "[--shutdown]\n");
       return 0;
     } else {
       std::fprintf(stderr, "sccached: error: unknown option '%s'\n",
@@ -134,10 +155,18 @@ int main(int argc, char **argv) {
                  IdleText.c_str());
     return 1;
   }
+  if (!MetricsIntervalText.empty() &&
+      !parseU64(MetricsIntervalText.c_str(), MetricsIntervalMs)) {
+    std::fprintf(stderr,
+                 "sccached: error: option '--metrics-interval-ms' requires a "
+                 "non-negative integer (got '%s')\n",
+                 MetricsIntervalText.c_str());
+    return 1;
+  }
 
   //===--- Client modes ---------------------------------------------------===//
 
-  if (Stats || Shutdown) {
+  if (Stats || Metrics || Shutdown) {
     std::string Err;
     std::unique_ptr<RemoteCacheClient> Client =
         RemoteCacheClient::connect(Socket, &Err);
@@ -159,10 +188,50 @@ int main(int argc, char **argv) {
       }
       return 0;
     }
+    if (Metrics) {
+      std::string Text, MetricsJson;
+      if (Client->metrics(Text, MetricsJson) !=
+          RemoteCacheClient::Result::Hit) {
+        std::fprintf(stderr, "sccached: error: metrics request failed\n");
+        return 1;
+      }
+      std::fputs(Text.c_str(), stdout);
+      return 0;
+    }
     CacheStats CS;
     if (Client->stats(CS) != RemoteCacheClient::Result::Hit) {
       std::fprintf(stderr, "sccached: error: stats request failed\n");
       return 1;
+    }
+    if (Json) {
+      // The same "metrics" key (and registry shape) as scbuildd
+      // --report-json, so live and offline fleet views line up.
+      std::string Text, MetricsJson;
+      if (Client->metrics(Text, MetricsJson) !=
+          RemoteCacheClient::Result::Hit) {
+        std::fprintf(stderr, "sccached: error: metrics request failed\n");
+        return 1;
+      }
+      std::printf("{\n  \"schema\": \"sccached-stats\",\n"
+                  "  \"schema_version\": 1,\n"
+                  "  \"entries\": %llu,\n  \"bytes_stored\": %llu,\n"
+                  "  \"max_bytes\": %llu,\n  \"gets\": %llu,\n"
+                  "  \"hits\": %llu,\n  \"misses\": %llu,\n"
+                  "  \"puts\": %llu,\n  \"touches\": %llu,\n"
+                  "  \"evictions\": %llu,\n  \"corrupt_dropped\": %llu,\n"
+                  "  \"metrics\": %s\n}\n",
+                  static_cast<unsigned long long>(CS.Entries),
+                  static_cast<unsigned long long>(CS.BytesStored),
+                  static_cast<unsigned long long>(CS.MaxBytes),
+                  static_cast<unsigned long long>(CS.Gets),
+                  static_cast<unsigned long long>(CS.Hits),
+                  static_cast<unsigned long long>(CS.Misses),
+                  static_cast<unsigned long long>(CS.Puts),
+                  static_cast<unsigned long long>(CS.Touches),
+                  static_cast<unsigned long long>(CS.Evictions),
+                  static_cast<unsigned long long>(CS.CorruptDropped),
+                  MetricsJson.c_str());
+      return 0;
     }
     std::printf("sccached: entries %llu, bytes %llu (budget %llu)\n"
                 "sccached: gets %llu (hits %llu, misses %llu), puts %llu, "
@@ -199,6 +268,9 @@ int main(int argc, char **argv) {
   Config.CacheRoot = "cache";
   Config.MaxBytes = MaxBytes;
   Config.IdleTimeoutMs = static_cast<unsigned>(IdleMs);
+  Config.MetricsOut = MetricsOut;
+  Config.MetricsIntervalMs =
+      std::max<unsigned>(1, static_cast<unsigned>(MetricsIntervalMs));
   Config.Quiet = Quiet;
 
   CacheDaemon Daemon(FS, Config);
