@@ -11,6 +11,8 @@
 
 #include "build_sys/BuildSystem.h"
 
+#include "build_sys/DepVerifier.h"
+
 #include "build_sys/DependencyScanner.h"
 #include "build_sys/Explain.h"
 #include "build_sys/History.h"
@@ -33,6 +35,7 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <set>
 #include <tuple>
 #include <utility>
 
@@ -318,6 +321,13 @@ void BuildDriverImpl::publishMetrics(const BuildStats &S) {
   M->counter("build.remote_puts").add(S.RemotePuts);
   M->counter("build.remote_errors").add(S.RemoteErrors);
   M->counter("build.warnings").add(S.Warnings.size());
+  if (Options.VerifyDeps) {
+    // Registered only when the verifier runs, so builds without it
+    // keep their metrics page (and the tests over it) unchanged.
+    M->counter("build.deps_tus_checked").add(S.DepsTUsChecked);
+    M->counter("build.deps_missing").add(S.DepsMissing);
+    M->counter("build.deps_redundant").add(S.DepsRedundant);
+  }
   M->gauge("build.files_total").set(S.FilesTotal);
   M->gauge("build.scan_us").set(S.ScanUs);
   M->gauge("build.compile_us").set(S.CompileUs);
@@ -582,6 +592,22 @@ BuildStats BuildDriverImpl::build() {
   }
   S.FilesTotal = static_cast<unsigned>(Sources.size());
 
+  // Files that disappeared since the last build: drop every trace —
+  // manifest entry, compiler state, cached object — so they neither
+  // link nor haunt the state DB. This must run before any graph-error
+  // exit below: a deleted file usually breaks its importers, and
+  // pruning only on clean builds would leave the deleted TU's ghost
+  // state in place for as long as the project stayed broken.
+  std::vector<std::string> Gone;
+  for (const auto &[Path, Entry] : Manifest.entries())
+    if (!Sources.count(Path))
+      Gone.push_back(Path);
+  for (const std::string &Path : Gone) {
+    Manifest.remove(Path);
+    DB.remove(Path);
+    Objects.invalidate(Path);
+  }
+
   std::map<std::string, const ScanResult *> Scans;
   for (const auto &[Path, Content] : Sources)
     Scans[Path] = &Scanner.scan(Path, Content);
@@ -597,16 +623,25 @@ BuildStats BuildDriverImpl::build() {
     return S;
   }
 
-  // Files that disappeared since the last build: drop every trace so
-  // they neither link nor haunt the state DB.
-  std::vector<std::string> Gone;
-  for (const auto &[Path, Entry] : Manifest.entries())
-    if (!Sources.count(Path))
-      Gone.push_back(Path);
-  for (const std::string &Path : Gone) {
+  // An import that resolves to no source file (deleted, or never
+  // present) fails exactly its importers — every other TU still
+  // builds. The failed TUs are forgotten in the manifest so they are
+  // retried next build; the "missing:" sentinel the graph folds into
+  // their hashes means the *appearance* of the absent file dirties
+  // them even though their own content never changed.
+  std::vector<std::pair<std::string, std::string>> Failures;
+  std::set<std::string> Unbuildable;
+  for (const std::string &Path : Graph.topologicalOrder()) {
+    const std::vector<std::string> &Missing = Graph.missingImports(Path);
+    if (Missing.empty())
+      continue;
+    Unbuildable.insert(Path);
+    std::string Diag;
+    for (const std::string &Dep : Missing)
+      Diag += "build error: " + Path + ": missing import '" + Dep +
+              "' (not a source file of this project)\n";
+    Failures.emplace_back(Path, std::move(Diag));
     Manifest.remove(Path);
-    DB.remove(Path);
-    Objects.invalidate(Path);
   }
 
   const uint64_t Config = configHash();
@@ -615,6 +650,8 @@ BuildStats BuildDriverImpl::build() {
   /// the fleet cache warm: (path, input key, object digest).
   std::vector<std::tuple<std::string, uint64_t, uint64_t>> CleanTUs;
   for (const std::string &Path : Graph.topologicalOrder()) {
+    if (Unbuildable.count(Path))
+      continue;
     const ScanResult *SR = Scans.at(Path);
     const ManifestEntry *E = Manifest.lookup(Path);
     const uint64_t ImportsEff = Graph.importsEffectiveHash(Path);
@@ -703,9 +740,9 @@ BuildStats BuildDriverImpl::build() {
   // Fault containment: a failed TU never aborts the others — the whole
   // wave already ran, every successful TU's object and state are kept,
   // and only the failed TUs are forgotten (retried next build).
-  // Diagnostics are emitted in TU-key-sorted order so the error text
-  // is deterministic at any -j.
-  std::vector<std::pair<std::string, std::string>> Failures;
+  // Diagnostics are emitted in TU-key-sorted order (missing-import
+  // failures from above included) so the error text is deterministic
+  // at any -j.
   struct PendingPublish {
     std::string Path;
     uint64_t Key;
@@ -854,6 +891,32 @@ BuildStats BuildDriverImpl::build() {
   }
   Program = std::move(*Linked.Program);
   S.ObjectBytes = ObjectBytes;
+
+  //===--- Verify deps (opt-in): declared graph vs actual accesses --------===//
+
+  if (Options.VerifyDeps) {
+    std::map<std::string, std::vector<std::string>> Declared;
+    for (const std::string &Path : Graph.topologicalOrder())
+      Declared[Path] = Graph.imports(Path);
+    std::string PlantErr;
+    std::optional<DepVerifyPlant> Plant =
+        DepVerifier::loadPlant(FS, Options.OutDir, &PlantErr);
+    if (!PlantErr.empty())
+      warn(S, FS, "ignoring malformed dependency plant: " + PlantErr);
+    DepVerifyReport Rep =
+        DepVerifier::verify(FS, Declared, Plant ? &*Plant : nullptr);
+    S.DepsTUsChecked = Rep.TUsChecked;
+    S.DepsMissing = Rep.NumMissing;
+    S.DepsRedundant = Rep.NumRedundant;
+    for (const DepFinding &F : Rep.Findings)
+      S.DepFindings.push_back(F.reason());
+    if (tracing())
+      trace()->instant("build", "verifyDeps",
+                       "{\"tus\":" + std::to_string(Rep.TUsChecked) +
+                           ",\"missing\":" + std::to_string(Rep.NumMissing) +
+                           ",\"redundant\":" +
+                           std::to_string(Rep.NumRedundant) + "}");
+  }
 
   //===--- Persist: manifest + compiler state -----------------------------===//
 

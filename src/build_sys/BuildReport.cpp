@@ -67,6 +67,19 @@ std::string sc::buildReportJson(const BuildStats &S,
        ", \"puts\": " + std::to_string(S.RemotePuts) +
        ", \"errors\": " + std::to_string(S.RemoteErrors) + "},\n";
 
+  // Dependency-verifier section (scbuild --verify-deps). Additive —
+  // "checked" distinguishes "verifier ran and found nothing" from
+  // "verifier never ran", so zero counts stay unambiguous.
+  J += "  \"deps\": {\"checked\": " +
+       boolean(S.DepsTUsChecked != 0 || !S.DepFindings.empty()) +
+       ", \"tus_checked\": " + std::to_string(S.DepsTUsChecked) +
+       ", \"missing\": " + std::to_string(S.DepsMissing) +
+       ", \"redundant\": " + std::to_string(S.DepsRedundant) +
+       ", \"findings\": [";
+  for (size_t I = 0; I != S.DepFindings.size(); ++I)
+    J += (I ? ", " : "") + ("\"" + jsonEscape(S.DepFindings[I]) + "\"");
+  J += "]},\n";
+
   J += "  \"trace\": {\"events_dropped\": " +
        std::to_string(S.TraceEventsDropped) + "},\n";
 

@@ -91,6 +91,16 @@ struct BuildOptions {
   /// ledger entirely.
   unsigned HistoryLimit = 512;
 
+  /// After a successful link, cross-check the dependencies each TU
+  /// *actually used* (traced file reads during interface resolution)
+  /// against the edges the ImportGraph tracks, via
+  /// build_sys/DepVerifier.h. Findings — missing deps (read but not
+  /// tracked: under-rebuild risk) and redundant deps (tracked but
+  /// never read: over-rebuild) — land in BuildStats::DepFindings with
+  /// stable `dep-missing:` / `dep-redundant:` reason codes. Purely
+  /// observational: never changes what gets built.
+  bool VerifyDeps = false;
+
   /// Host path of an `sccached` socket to use as a shared remote
   /// object-cache tier; empty (the default) disables the tier.
   /// Tiering per TU: local miss -> remote fetch (verify, admit
@@ -181,6 +191,22 @@ struct BuildStats {
   /// tier for this driver's lifetime (local-only, one warning), so in
   /// practice this is 0 or 1 per build.
   uint64_t RemoteErrors = 0;
+
+  //===--- Dependency verifier (BuildOptions::VerifyDeps) -----------------===//
+
+  /// TUs whose declared-vs-actual dependency sets were cross-checked.
+  unsigned DepsTUsChecked = 0;
+
+  /// Edges a TU actually read but the import graph does not track.
+  unsigned DepsMissing = 0;
+
+  /// Edges the import graph tracks but the TU never read.
+  unsigned DepsRedundant = 0;
+
+  /// One stable reason line per finding (`dep-missing: ...` /
+  /// `dep-redundant: ...`), sorted; empty when the check passed or
+  /// VerifyDeps was off.
+  std::vector<std::string> DepFindings;
 
   //===--- Phase timers (wall clock, microseconds) -----------------------===//
 

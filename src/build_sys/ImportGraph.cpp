@@ -17,14 +17,16 @@ ImportGraph::build(const std::map<std::string, const ScanResult *> &Scans) {
   ImportGraph G;
   for (const auto &[Path, Scan] : Scans) {
     Node N;
-    N.Imports = Scan->Imports;
-    for (const std::string &Dep : N.Imports) {
-      if (!Scans.count(Dep)) {
-        G.ErrorText = Path + ": imports '" + Dep +
-                      "', which is not a source file of this project";
-        return G;
-      }
+    for (const std::string &Dep : Scan->Imports) {
+      // An unresolved import is the importer's problem, not the whole
+      // project's: park it on the node so the driver can fail exactly
+      // the TUs that depend on the absent file.
+      if (Scans.count(Dep))
+        N.Imports.push_back(Dep);
+      else
+        N.Missing.push_back(Dep);
     }
+    G.HasMissing = G.HasMissing || !N.Missing.empty();
     G.Nodes.emplace(Path, std::move(N));
   }
 
@@ -80,12 +82,21 @@ ImportGraph::build(const std::map<std::string, const ScanResult *> &Scans) {
     const ScanResult *Scan = Scans.at(Path);
     HashBuilder Own, Deps;
     Own.addU64(Scan->InterfaceHash);
-    Deps.addU64(N.Imports.size());
+    Deps.addU64(N.Imports.size() + N.Missing.size());
     for (const std::string &Dep : N.Imports) {
       uint64_t DepEff = G.Nodes.at(Dep).Effective;
       Own.addU64(DepEff);
       Deps.addString(Dep);
       Deps.addU64(DepEff);
+    }
+    // A missing import folds a sentinel into both hashes: when the
+    // file later *appears*, the importer's ImportsEffectiveHash flips
+    // from "missing:<dep>" to the real effective value, so TUs whose
+    // resolution previously failed are rebuilt on file appearance —
+    // not just on content change.
+    for (const std::string &Dep : N.Missing) {
+      Own.addString("missing:" + Dep);
+      Deps.addString("missing:" + Dep);
     }
     N.Effective = Own.digest();
     N.ImportsEffective = Deps.digest();
@@ -98,6 +109,13 @@ ImportGraph::imports(const std::string &Path) const {
   auto It = Nodes.find(Path);
   assert(It != Nodes.end() && "unknown file");
   return It->second.Imports;
+}
+
+const std::vector<std::string> &
+ImportGraph::missingImports(const std::string &Path) const {
+  auto It = Nodes.find(Path);
+  assert(It != Nodes.end() && "unknown file");
+  return It->second.Missing;
 }
 
 uint64_t ImportGraph::effectiveInterfaceHash(const std::string &Path) const {

@@ -35,15 +35,26 @@ namespace sc {
 class ImportGraph {
 public:
   /// Builds the graph over \p Scans (path -> scan result, one entry
-  /// per source file). Detects unresolved imports and import cycles;
-  /// check valid() before using the accessors.
+  /// per source file). Import cycles invalidate the whole graph (check
+  /// valid()); an unresolved import, by contrast, is a per-TU problem
+  /// — the edge is recorded under missingImports(Path) and the rest of
+  /// the project still gets a usable graph, so deleting one imported
+  /// file degrades to per-importer diagnostics instead of wedging
+  /// every TU.
   static ImportGraph build(const std::map<std::string, const ScanResult *> &Scans);
 
   bool valid() const { return ErrorText.empty(); }
 
-  /// Human-readable description of the first unresolved import or
-  /// cycle found (empty when valid).
+  /// Human-readable description of the first import cycle found
+  /// (empty when valid).
   const std::string &error() const { return ErrorText; }
+
+  /// Imports of \p Path that do not resolve to any project source
+  /// file, in declaration order (empty for a healthy TU).
+  const std::vector<std::string> &missingImports(const std::string &Path) const;
+
+  /// True when any file has an unresolved import.
+  bool anyMissingImports() const { return HasMissing; }
 
   /// Every file, dependencies before dependents; ties broken
   /// lexicographically so the order is reproducible.
@@ -62,7 +73,8 @@ public:
 
 private:
   struct Node {
-    std::vector<std::string> Imports;
+    std::vector<std::string> Imports; // resolved edges only
+    std::vector<std::string> Missing; // declared but unresolvable
     uint64_t Effective = 0;
     uint64_t ImportsEffective = 0;
   };
@@ -70,6 +82,7 @@ private:
   std::map<std::string, Node> Nodes;
   std::vector<std::string> Topo;
   std::string ErrorText;
+  bool HasMissing = false;
 };
 
 } // namespace sc

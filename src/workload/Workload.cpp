@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 using namespace sc;
@@ -23,12 +25,29 @@ std::vector<ProjectProfile> sc::standardProfiles() {
   };
 }
 
-ProjectProfile sc::profileByName(const std::string &Name) {
+std::optional<ProjectProfile> sc::findProfileByName(const std::string &Name) {
   for (const ProjectProfile &P : standardProfiles())
     if (P.Name == Name)
       return P;
-  assert(false && "unknown project profile");
-  return standardProfiles()[0];
+  return std::nullopt;
+}
+
+std::string sc::knownProfileNames() {
+  std::string Names;
+  for (const ProjectProfile &P : standardProfiles())
+    Names += (Names.empty() ? "" : ", ") + P.Name;
+  return Names;
+}
+
+ProjectProfile sc::profileByName(const std::string &Name) {
+  if (std::optional<ProjectProfile> P = findProfileByName(Name))
+    return *P;
+  // A typo'd profile name used to trip an assert (NDEBUG builds then
+  // silently used the wrong profile). It is a usage error; report it
+  // like one.
+  std::fprintf(stderr, "error: unknown profile '%s' (known: %s)\n",
+               Name.c_str(), knownProfileNames().c_str());
+  std::exit(1);
 }
 
 const char *sc::editKindName(EditKind K) {
@@ -47,6 +66,12 @@ const char *sc::editKindName(EditKind K) {
     return "add-function";
   case EditKind::SignatureChange:
     return "signature-change";
+  case EditKind::ImportChange:
+    return "import-change";
+  case EditKind::AddFile:
+    return "add-file";
+  case EditKind::DeleteFile:
+    return "delete-file";
   }
   return "?";
 }
@@ -178,7 +203,8 @@ ProjectModel::SegModel ProjectModel::makeSegment(RNG &Rand, unsigned FileIdx,
     // and calls to main.
     std::vector<unsigned> Filtered;
     for (unsigned Idx : Callable)
-      if (Idx != FuncIdx && Funcs[Idx].Name != "main")
+      if (Idx != FuncIdx && Funcs[Idx].Name != "main" &&
+          !Files[FuncFile[Idx]].Deleted)
         Filtered.push_back(Idx);
     if (Filtered.empty()) {
       S.K = SegModel::Kind::Arith;
@@ -337,11 +363,39 @@ std::string ProjectModel::renderFunction(const FuncModel &F,
   return OS.str();
 }
 
+bool ProjectModel::importUsed(unsigned FileIdx, unsigned ImportIdx) const {
+  for (unsigned FuncIdx : Files[FileIdx].Funcs)
+    for (const SegModel &S : Funcs[FuncIdx].Segs)
+      if (S.CalleeIdx != ~0u && FuncFile[S.CalleeIdx] == ImportIdx)
+        return true;
+  return false;
+}
+
+std::vector<unsigned> ProjectModel::renderedImports(unsigned FileIdx) const {
+  // Tight imports: an `import` line is emitted only when some call in
+  // the file actually lands in that import (or the edge is forced —
+  // the redundant-dep plant). The rendered text is therefore exactly
+  // the dependency set the build system *should* track, which is what
+  // lets clean scenarios demand zero verifier findings.
+  const FileModel &File = Files[FileIdx];
+  std::vector<unsigned> Result;
+  for (unsigned ImportIdx : File.Imports) {
+    bool Forced = std::find(File.ForcedImports.begin(),
+                            File.ForcedImports.end(),
+                            ImportIdx) != File.ForcedImports.end();
+    if (Forced || importUsed(FileIdx, ImportIdx))
+      Result.push_back(ImportIdx);
+  }
+  return Result;
+}
+
 std::string ProjectModel::renderFile(unsigned FileIdx) const {
   const FileModel &File = Files[FileIdx];
+  if (File.Deleted)
+    return "";
   std::ostringstream OS;
   OS << "// Generated file: " << File.Path << "\n";
-  for (unsigned ImportIdx : File.Imports)
+  for (unsigned ImportIdx : renderedImports(FileIdx))
     OS << "import \"" << Files[ImportIdx].Path << "\";\n";
   for (size_t G = 0; G != File.GlobalInits.size(); ++G)
     OS << "global g" << FileIdx << "_" << G << " = "
@@ -372,7 +426,8 @@ void ProjectModel::renderAll(VirtualFileSystem &FS) const {
   Self.LastRendered.resize(Files.size());
   for (unsigned FI = 0; FI != Files.size(); ++FI) {
     std::string Text = renderFile(FI);
-    FS.writeFile(Files[FI].Path, Text);
+    if (!Files[FI].Deleted)
+      FS.writeFile(Files[FI].Path, Text);
     Self.LastRendered[FI] = std::move(Text);
   }
 }
@@ -382,11 +437,14 @@ std::vector<std::string> ProjectModel::rerenderChanged(VirtualFileSystem &FS) {
   LastRendered.resize(Files.size());
   for (unsigned FI = 0; FI != Files.size(); ++FI) {
     std::string Text = renderFile(FI);
-    if (Text != LastRendered[FI]) {
+    if (Text == LastRendered[FI])
+      continue;
+    if (Files[FI].Deleted)
+      FS.removeFile(Files[FI].Path); // Renders empty: file is gone.
+    else
       FS.writeFile(Files[FI].Path, Text);
-      LastRendered[FI] = std::move(Text);
-      Changed.push_back(Files[FI].Path);
-    }
+    LastRendered[FI] = std::move(Text);
+    Changed.push_back(Files[FI].Path);
   }
   return Changed;
 }
@@ -396,14 +454,24 @@ std::vector<std::string> ProjectModel::rerenderChanged(VirtualFileSystem &FS) {
 //===----------------------------------------------------------------------===//
 
 unsigned ProjectModel::pickEditableFunction(RNG &Rand) const {
-  // Non-main, non-recursive functions with at least one segment.
+  // Non-main, non-recursive functions with at least one segment,
+  // living in a file that still exists.
   std::vector<unsigned> Candidates;
   for (unsigned I = 0; I != Funcs.size(); ++I)
     if (Funcs[I].Name != "main" && !Funcs[I].IsRecursive &&
-        !Funcs[I].Segs.empty())
+        !Funcs[I].Segs.empty() && !Files[FuncFile[I]].Deleted)
       Candidates.push_back(I);
   assert(!Candidates.empty() && "project has no editable functions");
   return Candidates[Rand.nextBelow(Candidates.size())];
+}
+
+std::vector<unsigned> ProjectModel::liveFiles(bool IncludeMain) const {
+  std::vector<unsigned> Result;
+  for (unsigned FI = 0; FI != Files.size(); ++FI)
+    if (!Files[FI].Deleted &&
+        (IncludeMain || Files[FI].Path != "main.mc"))
+      Result.push_back(FI);
+  return Result;
 }
 
 std::vector<std::string> ProjectModel::applyEdit(EditKind Kind, RNG &Rand,
@@ -464,8 +532,9 @@ std::vector<std::string> ProjectModel::applyEdit(EditKind Kind, RNG &Rand,
     break;
   }
   case EditKind::AddFunction: {
-    unsigned FileIdx =
-        static_cast<unsigned>(Rand.nextBelow(Files.size() - 1));
+    std::vector<unsigned> Live = liveFiles(/*IncludeMain=*/false);
+    assert(!Live.empty() && "no live file to add a function to");
+    unsigned FileIdx = Live[Rand.nextBelow(Live.size())];
     FuncModel F;
     F.Name = "f" + std::to_string(FileIdx) + "_n" +
              std::to_string(Funcs.size());
@@ -488,8 +557,261 @@ std::vector<std::string> ProjectModel::applyEdit(EditKind Kind, RNG &Rand,
     // Call sites re-render automatically from the model.
     break;
   }
+  case EditKind::ImportChange:
+    // Real import churn skews toward additions (new code pulls in new
+    // headers more often than cleanups drop them).
+    return Rand.chancePercent(60) ? addImportEdge(Rand, FS)
+                                  : removeImportEdge(Rand, FS);
+  case EditKind::AddFile:
+    return addNewFile(Rand, FS);
+  case EditKind::DeleteFile:
+    return deleteUnreferencedFile(Rand, FS);
   }
   return rerenderChanged(FS);
+}
+
+std::vector<std::string> ProjectModel::addImportEdge(RNG &Rand,
+                                                     VirtualFileSystem &FS) {
+  // Candidate edges keep the by-construction acyclicity: a file may
+  // only import smaller indices. The new edge is immediately *used*
+  // (a call segment into the imported file), so it renders.
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
+  for (unsigned FI : liveFiles(/*IncludeMain=*/true)) {
+    if (Files[FI].Funcs.empty())
+      continue;
+    for (unsigned DI = 0; DI != FI; ++DI) {
+      if (Files[DI].Deleted || Files[DI].Funcs.empty() ||
+          Files[DI].Path == "main.mc")
+        continue;
+      if (std::find(Files[FI].Imports.begin(), Files[FI].Imports.end(),
+                    DI) == Files[FI].Imports.end())
+        Candidates.emplace_back(FI, DI);
+    }
+  }
+  if (Candidates.empty()) {
+    // Saturated import graph; degrade to a body edit so the scenario
+    // still makes progress.
+    return applyEdit(EditKind::ConstTweak, Rand, FS);
+  }
+  auto [FI, DI] = Candidates[Rand.nextBelow(Candidates.size())];
+  Files[FI].Imports.push_back(DI);
+  std::sort(Files[FI].Imports.begin(), Files[FI].Imports.end());
+
+  // One call into the new import, appended to a random function.
+  unsigned FuncIdx =
+      Files[FI].Funcs[Rand.nextBelow(Files[FI].Funcs.size())];
+  const std::vector<unsigned> &DeptFuncs = Files[DI].Funcs;
+  SegModel S;
+  S.Uid = NextUid++;
+  S.K = SegModel::Kind::CallMix;
+  S.C1 = Rand.nextInRange(1, 12);
+  S.C2 = Rand.nextInRange(0, 40);
+  S.C3 = Rand.nextInRange(1, 7);
+  S.CalleeIdx = DeptFuncs[Rand.nextBelow(DeptFuncs.size())];
+  Funcs[FuncIdx].Segs.push_back(S);
+  return rerenderChanged(FS);
+}
+
+std::vector<std::string> ProjectModel::removeImportEdge(RNG &Rand,
+                                                        VirtualFileSystem &FS) {
+  // Only rendered edges count — removing a structurally-present but
+  // unrendered import would change nothing the build system sees.
+  std::vector<std::pair<unsigned, unsigned>> Edges;
+  for (unsigned FI : liveFiles(/*IncludeMain=*/true))
+    for (unsigned DI : renderedImports(FI))
+      Edges.emplace_back(FI, DI);
+  if (Edges.empty())
+    return applyEdit(EditKind::ConstTweak, Rand, FS);
+  auto [FI, DI] = Edges[Rand.nextBelow(Edges.size())];
+
+  // Rewrite every call into the dropped import as plain arithmetic,
+  // then drop the structural edge (forced or not) so later segment
+  // generation cannot resurrect it.
+  for (unsigned FuncIdx : Files[FI].Funcs)
+    for (SegModel &S : Funcs[FuncIdx].Segs)
+      if (S.CalleeIdx != ~0u && FuncFile[S.CalleeIdx] == DI) {
+        S.K = SegModel::Kind::Arith;
+        S.CalleeIdx = ~0u;
+      }
+  auto Erase = [DI = DI](std::vector<unsigned> &V) {
+    V.erase(std::remove(V.begin(), V.end(), DI), V.end());
+  };
+  Erase(Files[FI].Imports);
+  Erase(Files[FI].ForcedImports);
+  return rerenderChanged(FS);
+}
+
+std::vector<std::string> ProjectModel::addNewFile(RNG &Rand,
+                                                  VirtualFileSystem &FS) {
+  // The new file lands at the end of the index space (so its imports
+  // of existing files keep the smaller-index invariant) and nothing
+  // imports it yet — exactly how a freshly `git add`ed file behaves.
+  unsigned FI = static_cast<unsigned>(Files.size());
+  FileModel File;
+  File.Path = "src" + std::to_string(FI) + ".mc";
+
+  std::vector<unsigned> Candidates = liveFiles(/*IncludeMain=*/false);
+  unsigned Fanout =
+      Candidates.empty()
+          ? 0
+          : static_cast<unsigned>(Rand.nextInRange(
+                1, std::min<int64_t>(
+                       3, static_cast<int64_t>(Candidates.size()))));
+  for (unsigned K = 0; K != Fanout && !Candidates.empty(); ++K) {
+    size_t Pick = Rand.nextBelow(Candidates.size());
+    File.Imports.push_back(Candidates[Pick]);
+    Candidates.erase(Candidates.begin() + static_cast<ptrdiff_t>(Pick));
+  }
+  std::sort(File.Imports.begin(), File.Imports.end());
+  unsigned NumGlobals = static_cast<unsigned>(Rand.nextInRange(1, 2));
+  for (unsigned G = 0; G != NumGlobals; ++G)
+    File.GlobalInits.push_back(Rand.nextInRange(0, 99));
+  Files.push_back(std::move(File));
+
+  unsigned NumFuncs = static_cast<unsigned>(Rand.nextInRange(2, 4));
+  for (unsigned K = 0; K != NumFuncs; ++K) {
+    FuncModel F;
+    F.Name = "f" + std::to_string(FI) + "_" + std::to_string(K);
+    F.NumParams = static_cast<unsigned>(Rand.nextInRange(1, 3));
+    F.SeedConst = Rand.nextInRange(0, 9);
+    unsigned FuncIdx = static_cast<unsigned>(Funcs.size());
+    Funcs.push_back(std::move(F));
+    FuncFile.push_back(FI);
+    Files[FI].Funcs.push_back(FuncIdx);
+    FuncModel &Fn = Funcs[FuncIdx];
+    unsigned NumSegs = static_cast<unsigned>(Rand.nextInRange(2, 5));
+    for (unsigned S = 0; S != NumSegs; ++S)
+      Fn.Segs.push_back(makeSegment(Rand, FI, FuncIdx));
+  }
+  return rerenderChanged(FS);
+}
+
+std::vector<std::string>
+ProjectModel::deleteUnreferencedFile(RNG &Rand, VirtualFileSystem &FS) {
+  // Only files no other live file structurally imports are deletable —
+  // scenario deletes keep the project building (deleting an *imported*
+  // file is the build system's missing-import error path, exercised by
+  // the dedicated tests, not by clean scenario replay).
+  std::vector<unsigned> Candidates;
+  for (unsigned FI : liveFiles(/*IncludeMain=*/false)) {
+    bool Referenced = false;
+    for (unsigned Other : liveFiles(/*IncludeMain=*/true))
+      if (Other != FI &&
+          std::find(Files[Other].Imports.begin(),
+                    Files[Other].Imports.end(),
+                    FI) != Files[Other].Imports.end()) {
+        Referenced = true;
+        break;
+      }
+    if (!Referenced)
+      Candidates.push_back(FI);
+  }
+  if (Candidates.empty())
+    return applyEdit(EditKind::ConstTweak, Rand, FS);
+  unsigned FI = Candidates[Rand.nextBelow(Candidates.size())];
+  Files[FI].Deleted = true;
+  return rerenderChanged(FS);
+}
+
+std::vector<std::string> ProjectModel::hotHeaderChurn(RNG &Rand,
+                                                      VirtualFileSystem &FS) {
+  // The "hot header": the live file with the most rendered importers.
+  unsigned Hot = ~0u;
+  size_t BestCount = 0;
+  for (unsigned FI : liveFiles(/*IncludeMain=*/false)) {
+    size_t Count = 0;
+    for (unsigned Other : liveFiles(/*IncludeMain=*/true)) {
+      if (Other == FI)
+        continue;
+      std::vector<unsigned> Rendered = renderedImports(Other);
+      Count += std::count(Rendered.begin(), Rendered.end(), FI);
+    }
+    if (Hot == ~0u || Count > BestCount) {
+      Hot = FI;
+      BestCount = Count;
+    }
+  }
+  if (Hot == ~0u)
+    return applyEdit(EditKind::ConstTweak, Rand, FS);
+
+  // Interface change on the hot file: one new function. Importers'
+  // text does not change, but their ImportsEffectiveHash does — the
+  // whole import cone recompiles from this one-file edit.
+  FuncModel F;
+  F.Name = "f" + std::to_string(Hot) + "_n" + std::to_string(Funcs.size());
+  F.NumParams = static_cast<unsigned>(Rand.nextInRange(1, 3));
+  F.SeedConst = Rand.nextInRange(0, 9);
+  unsigned FuncIdx = static_cast<unsigned>(Funcs.size());
+  Funcs.push_back(std::move(F));
+  FuncFile.push_back(Hot);
+  Files[Hot].Funcs.push_back(FuncIdx);
+  FuncModel &Fn = Funcs[FuncIdx];
+  unsigned NumSegs = static_cast<unsigned>(Rand.nextInRange(2, 4));
+  for (unsigned S = 0; S != NumSegs; ++S)
+    Fn.Segs.push_back(makeSegment(Rand, Hot, FuncIdx));
+  return rerenderChanged(FS);
+}
+
+std::vector<std::string>
+ProjectModel::branchSwitch(unsigned Percent, RNG &Rand,
+                           VirtualFileSystem &FS) {
+  // A branch switch dirties a broad slice of the tree at once; model
+  // it as independent per-file body tweaks so the dirty set is wide
+  // but each diff stays small.
+  bool Touched = false;
+  for (unsigned FI : liveFiles(/*IncludeMain=*/true)) {
+    if (!Rand.chancePercent(Percent))
+      continue;
+    for (unsigned FuncIdx : Files[FI].Funcs) {
+      FuncModel &F = Funcs[FuncIdx];
+      if (F.IsRecursive || F.Segs.empty())
+        continue;
+      F.Segs[Rand.nextBelow(F.Segs.size())].C2 +=
+          Rand.nextInRange(1, 5);
+      Touched = true;
+      break;
+    }
+  }
+  if (!Touched)
+    return applyEdit(EditKind::ConstTweak, Rand, FS);
+  return rerenderChanged(FS);
+}
+
+std::vector<std::string>
+ProjectModel::plantRedundantImport(RNG &Rand, VirtualFileSystem &FS) {
+  // A forced import nobody calls into: rendered, tracked by the
+  // ImportGraph, never read — the definition of a redundant edge.
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
+  for (unsigned FI : liveFiles(/*IncludeMain=*/true))
+    for (unsigned DI = 0; DI != FI; ++DI) {
+      if (Files[DI].Deleted || Files[DI].Path == "main.mc")
+        continue;
+      bool Structural =
+          std::find(Files[FI].Imports.begin(), Files[FI].Imports.end(),
+                    DI) != Files[FI].Imports.end();
+      if (!Structural || !importUsed(FI, DI))
+        Candidates.emplace_back(FI, DI);
+    }
+  if (Candidates.empty())
+    return {};
+  auto [FI, DI] = Candidates[Rand.nextBelow(Candidates.size())];
+  if (std::find(Files[FI].Imports.begin(), Files[FI].Imports.end(), DI) ==
+      Files[FI].Imports.end()) {
+    Files[FI].Imports.push_back(DI);
+    std::sort(Files[FI].Imports.begin(), Files[FI].Imports.end());
+  }
+  Files[FI].ForcedImports.push_back(DI);
+  return rerenderChanged(FS);
+}
+
+std::vector<std::pair<std::string, std::string>>
+ProjectModel::renderedImportEdges() const {
+  std::vector<std::pair<std::string, std::string>> Edges;
+  for (unsigned FI : liveFiles(/*IncludeMain=*/true))
+    for (unsigned DI : renderedImports(FI))
+      Edges.emplace_back(Files[FI].Path, Files[DI].Path);
+  std::sort(Edges.begin(), Edges.end());
+  return Edges;
 }
 
 std::vector<std::string> ProjectModel::applyCommit(RNG &Rand,

@@ -27,7 +27,9 @@
 #include "support/RNG.h"
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sc {
@@ -47,7 +49,16 @@ struct ProjectProfile {
 /// The five evaluation profiles used by the benchmarks (E1-E9).
 std::vector<ProjectProfile> standardProfiles();
 
-/// Returns the profile with the given name; aborts if unknown.
+/// Returns the profile with the given name, or nullopt if unknown.
+std::optional<ProjectProfile> findProfileByName(const std::string &Name);
+
+/// Comma-separated list of the standard profile names, for error text.
+std::string knownProfileNames();
+
+/// Returns the profile with the given name. An unknown name is a
+/// usage error: prints `unknown profile '<Name>' (known: ...)` to
+/// stderr and exits nonzero — callers that want to recover use
+/// findProfileByName().
 ProjectProfile profileByName(const std::string &Name);
 
 /// Kinds of source edits the incremental-build experiments apply.
@@ -59,6 +70,9 @@ enum class EditKind : uint8_t {
   BodyRewrite,     // Regenerate one function body wholesale.
   AddFunction,     // Add a new function to a file (interface change).
   SignatureChange, // Change a function's arity (interface change).
+  ImportChange,    // Add or remove one import edge (and its call).
+  AddFile,         // Add a whole new source file (nothing imports it).
+  DeleteFile,      // Delete an unreferenced source file.
 };
 
 const char *editKindName(EditKind K);
@@ -83,6 +97,36 @@ public:
   /// the small diffs of real incremental builds. Returns changed
   /// paths.
   std::vector<std::string> applyCommit(RNG &Rand, VirtualFileSystem &FS);
+
+  //===--- Scenario-level edits (workload/Scenario.h nodes) ------------------===//
+
+  /// Interface-churns the project's hottest "header": adds a function
+  /// to the live file with the most rendered importers, so its whole
+  /// import cone recompiles from a one-file edit.
+  std::vector<std::string> hotHeaderChurn(RNG &Rand, VirtualFileSystem &FS);
+
+  /// Branch switch: touches roughly \p Percent percent of the live
+  /// files at once (always at least one) — the many-file swap of
+  /// `git checkout other-branch`.
+  std::vector<std::string> branchSwitch(unsigned Percent, RNG &Rand,
+                                        VirtualFileSystem &FS);
+
+  /// Adds one import edge (plus a call through it, so the edge is
+  /// rendered) / removes one rendered edge (rewriting its calls away).
+  /// Also reachable randomly via EditKind::ImportChange.
+  std::vector<std::string> addImportEdge(RNG &Rand, VirtualFileSystem &FS);
+  std::vector<std::string> removeImportEdge(RNG &Rand, VirtualFileSystem &FS);
+
+  /// Plants a genuine redundant dependency: one file gains a *forced*
+  /// import it never calls into. The rendered `import` line enters the
+  /// build's ImportGraph, the verifier sees it was never read, and a
+  /// `dep-redundant:` finding must follow.
+  std::vector<std::string> plantRedundantImport(RNG &Rand,
+                                                VirtualFileSystem &FS);
+
+  /// Every (importer path, imported path) pair currently rendered —
+  /// the declared edges the build system will see. Sorted.
+  std::vector<std::pair<std::string, std::string>> renderedImportEdges() const;
 
   //===--- Introspection -----------------------------------------------------===//
 
@@ -124,8 +168,16 @@ private:
   struct FileModel {
     std::string Path;
     std::vector<unsigned> Imports;     // File indices.
+    // Subset of Imports rendered even when no call uses them (the
+    // redundant-dependency plant). Everything else renders only while
+    // actually called into — tight imports, so a clean project has
+    // zero redundant edges by construction.
+    std::vector<unsigned> ForcedImports;
     std::vector<int64_t> GlobalInits;  // g<file>_<k>.
     std::vector<unsigned> Funcs;       // Global function indices.
+    // Deleted files stay in the model (indices are stable) but render
+    // nothing and take no further part in edits.
+    bool Deleted = false;
   };
 
   SegModel makeSegment(RNG &Rand, unsigned FileIdx, unsigned FuncIdx);
@@ -137,6 +189,12 @@ private:
   std::vector<unsigned> callableFrom(unsigned FileIdx, unsigned FuncIdx) const;
   unsigned pickEditableFunction(RNG &Rand) const;
   std::vector<std::string> rerenderChanged(VirtualFileSystem &FS);
+  bool importUsed(unsigned FileIdx, unsigned ImportIdx) const;
+  std::vector<unsigned> renderedImports(unsigned FileIdx) const;
+  std::vector<unsigned> liveFiles(bool IncludeMain) const;
+  std::vector<std::string> addNewFile(RNG &Rand, VirtualFileSystem &FS);
+  std::vector<std::string> deleteUnreferencedFile(RNG &Rand,
+                                                  VirtualFileSystem &FS);
 
   std::vector<FileModel> Files;
   std::vector<FuncModel> Funcs;

@@ -1,0 +1,268 @@
+//===- tests/build_sys/DepVerifierTest.cpp - Dependency verifier ---------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The dependency cross-checker (build_sys/DepVerifier.h): actual
+/// per-TU file reads, traced during interface resolution, versus the
+/// edges the ImportGraph tracks. Planted errors must be detected with
+/// stable reason codes; a clean project must produce zero findings at
+/// any -j.
+///
+//===----------------------------------------------------------------------===//
+
+#include "build_sys/BuildSystem.h"
+#include "build_sys/DepVerifier.h"
+#include "support/FileSystem.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace sc;
+
+namespace {
+
+/// A tiny three-TU project: main -> util -> base, plus one leaf
+/// nobody imports.
+void writeProject(VirtualFileSystem &FS) {
+  FS.writeFile("base.mc", "fn base(n: int) -> int { return n + 1; }\n");
+  FS.writeFile("util.mc", "import \"base.mc\";\n"
+                          "fn util(n: int) -> int { return base(n) * 2; }\n");
+  FS.writeFile("main.mc",
+               "import \"util.mc\";\n"
+               "fn main() -> int { print(util(3)); return 0; }\n");
+  FS.writeFile("leaf.mc", "fn lone(n: int) -> int { return n - 1; }\n");
+}
+
+std::map<std::string, std::vector<std::string>> declaredEdges() {
+  return {{"base.mc", {}},
+          {"util.mc", {"base.mc"}},
+          {"main.mc", {"util.mc"}},
+          {"leaf.mc", {}}};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Direct verification
+//===----------------------------------------------------------------------===//
+
+TEST(DepVerifier, CleanProjectHasZeroFindings) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  DepVerifyReport R = DepVerifier::verify(FS, declaredEdges());
+  EXPECT_TRUE(R.clean()) << (R.Findings.empty()
+                                 ? std::string("?")
+                                 : R.Findings.front().reason());
+  EXPECT_EQ(R.TUsChecked, 4u);
+  EXPECT_EQ(R.NumMissing, 0u);
+  EXPECT_EQ(R.NumRedundant, 0u);
+}
+
+TEST(DepVerifier, UntrackedReadIsMissingWithStableReason) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  // The graph "forgot" main -> util: main still calls util(), so the
+  // verifier must flag the untracked read, naming TU, path, and the
+  // call that proves the dependency.
+  auto Declared = declaredEdges();
+  Declared["main.mc"].clear();
+  DepVerifyReport R = DepVerifier::verify(FS, Declared);
+  ASSERT_EQ(R.NumMissing, 1u);
+  EXPECT_EQ(R.NumRedundant, 0u);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].reason(),
+            "dep-missing: main.mc reads 'util.mc' (calls 'util') but the "
+            "import graph does not track it");
+}
+
+TEST(DepVerifier, UnreadEdgeIsRedundantWithStableReason) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  // The graph tracks main -> leaf, but main never calls into leaf.
+  auto Declared = declaredEdges();
+  Declared["main.mc"].push_back("leaf.mc");
+  DepVerifyReport R = DepVerifier::verify(FS, Declared);
+  EXPECT_EQ(R.NumMissing, 0u);
+  ASSERT_EQ(R.NumRedundant, 1u);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].reason(),
+            "dep-redundant: main.mc imports 'leaf.mc' but never reads it");
+}
+
+TEST(DepVerifier, PlantDropsAndAddsEdges) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  DepVerifyPlant Plant;
+  Plant.DropEdges.push_back({"util.mc", "base.mc"}); // -> dep-missing
+  Plant.AddEdges.push_back({"leaf.mc", "base.mc"});  // -> dep-redundant
+  DepVerifyReport R = DepVerifier::verify(FS, declaredEdges(), &Plant);
+  EXPECT_EQ(R.NumMissing, 1u);
+  EXPECT_EQ(R.NumRedundant, 1u);
+  ASSERT_EQ(R.Findings.size(), 2u);
+  // Findings arrive sorted by reason text.
+  EXPECT_EQ(R.Findings[0].reason(),
+            "dep-missing: util.mc reads 'base.mc' (calls 'base') but the "
+            "import graph does not track it");
+  EXPECT_EQ(R.Findings[1].reason(),
+            "dep-redundant: leaf.mc imports 'base.mc' but never reads it");
+}
+
+//===----------------------------------------------------------------------===//
+// Plant-file persistence
+//===----------------------------------------------------------------------===//
+
+TEST(DepVerifier, PlantRoundTripsThroughFile) {
+  InMemoryFileSystem FS;
+  DepVerifyPlant Plant;
+  Plant.DropEdges.push_back({"a.mc", "b.mc"});
+  Plant.AddEdges.push_back({"c.mc", "d.mc"});
+  ASSERT_TRUE(DepVerifier::savePlant(FS, "out", Plant));
+  ASSERT_TRUE(FS.exists(DepVerifier::plantPath("out")));
+
+  std::string Err;
+  auto Loaded = DepVerifier::loadPlant(FS, "out", &Err);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_TRUE(Err.empty());
+  ASSERT_EQ(Loaded->DropEdges.size(), 1u);
+  EXPECT_EQ(Loaded->DropEdges[0].first, "a.mc");
+  EXPECT_EQ(Loaded->DropEdges[0].second, "b.mc");
+  ASSERT_EQ(Loaded->AddEdges.size(), 1u);
+  EXPECT_EQ(Loaded->AddEdges[0].first, "c.mc");
+
+  // Saving an empty plant removes the file (nothing stale lingers).
+  ASSERT_TRUE(DepVerifier::savePlant(FS, "out", DepVerifyPlant()));
+  EXPECT_FALSE(FS.exists(DepVerifier::plantPath("out")));
+  EXPECT_FALSE(DepVerifier::loadPlant(FS, "out").has_value());
+}
+
+TEST(DepVerifier, MalformedPlantReportsError) {
+  InMemoryFileSystem FS;
+  FS.writeFile(DepVerifier::plantPath("out"), "not a plant header\n");
+  std::string Err;
+  auto Loaded = DepVerifier::loadPlant(FS, "out", &Err);
+  ASSERT_TRUE(Loaded.has_value()); // Present but empty.
+  EXPECT_TRUE(Loaded->empty());
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Through the build driver (BuildOptions::VerifyDeps)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+BuildStats verifiedBuild(VirtualFileSystem &FS, unsigned Jobs) {
+  BuildOptions BO;
+  BO.Jobs = Jobs;
+  BO.VerifyDeps = true;
+  BuildDriver Driver(FS, BO);
+  return Driver.build();
+}
+
+} // namespace
+
+TEST(DepVerifier, DriverCleanAtJ1AndJ8) {
+  for (unsigned Jobs : {1u, 8u}) {
+    InMemoryFileSystem FS;
+    writeProject(FS);
+    BuildStats S = verifiedBuild(FS, Jobs);
+    ASSERT_TRUE(S.Success) << S.ErrorText;
+    EXPECT_EQ(S.DepsTUsChecked, 4u) << "jobs=" << Jobs;
+    EXPECT_EQ(S.DepsMissing, 0u) << "jobs=" << Jobs;
+    EXPECT_EQ(S.DepsRedundant, 0u) << "jobs=" << Jobs;
+    EXPECT_TRUE(S.DepFindings.empty()) << S.DepFindings.front();
+  }
+}
+
+TEST(DepVerifier, DriverHonorsPlantFile) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  DepVerifyPlant Plant;
+  Plant.DropEdges.push_back({"main.mc", "util.mc"});
+  ASSERT_TRUE(DepVerifier::savePlant(FS, "out", Plant));
+  BuildStats S = verifiedBuild(FS, 1);
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  ASSERT_EQ(S.DepsMissing, 1u);
+  ASSERT_EQ(S.DepFindings.size(), 1u);
+  EXPECT_NE(S.DepFindings[0].find("dep-missing: main.mc reads 'util.mc'"),
+            std::string::npos)
+      << S.DepFindings[0];
+}
+
+TEST(DepVerifier, DriverDetectsNaturalRedundantImport) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  // A real over-rebuild edge: the import line is in the source, so the
+  // build's own ImportGraph tracks it, but nothing ever calls through.
+  FS.writeFile("main.mc",
+               "import \"util.mc\";\nimport \"leaf.mc\";\n"
+               "fn main() -> int { print(util(3)); return 0; }\n");
+  BuildStats S = verifiedBuild(FS, 1);
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.DepsMissing, 0u);
+  ASSERT_EQ(S.DepsRedundant, 1u);
+  EXPECT_EQ(S.DepFindings[0],
+            "dep-redundant: main.mc imports 'leaf.mc' but never reads it");
+}
+
+TEST(DepVerifier, VerifyOffLeavesStatsEmpty) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  BuildOptions BO;
+  BuildDriver Driver(FS, BO);
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.DepsTUsChecked, 0u);
+  EXPECT_TRUE(S.DepFindings.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Deleted and reappearing TUs (the ghost-state and shadow bugs)
+//===----------------------------------------------------------------------===//
+
+TEST(DepVerifier, DeletedTUIsPrunedNotGhosted) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  BuildOptions BO;
+  BuildDriver Driver(FS, BO);
+  ASSERT_TRUE(Driver.build().Success);
+
+  // Deleting the unreferenced leaf must not crash or fail the build,
+  // and the next build must not count it.
+  FS.removeFile("leaf.mc");
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.FilesTotal, 3u);
+
+  // Deleting an imported TU is a per-importer diagnostic, not a crash
+  // and not a whole-graph error.
+  FS.removeFile("util.mc");
+  S = Driver.build();
+  ASSERT_FALSE(S.Success);
+  EXPECT_NE(S.ErrorText.find("main.mc: missing import 'util.mc'"),
+            std::string::npos)
+      << S.ErrorText;
+}
+
+TEST(DepVerifier, FileAppearanceDirtiesFormerlyBrokenImporter) {
+  InMemoryFileSystem FS;
+  writeProject(FS);
+  FS.removeFile("util.mc");
+  BuildOptions BO;
+  BuildDriver Driver(FS, BO);
+  ASSERT_FALSE(Driver.build().Success); // main.mc's import is missing.
+
+  // The file appears: the TU whose scan previously failed to resolve
+  // it must rebuild (and the whole build must now succeed).
+  FS.writeFile("util.mc",
+               "import \"base.mc\";\n"
+               "fn util(n: int) -> int { return base(n) * 2; }\n");
+  BuildStats S = Driver.build();
+  ASSERT_TRUE(S.Success) << S.ErrorText;
+  EXPECT_EQ(S.FilesTotal, 4u);
+}

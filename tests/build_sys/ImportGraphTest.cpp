@@ -36,11 +36,19 @@ protected:
   DependencyScanner Scanner;
 };
 
-TEST_F(ImportGraphTest, MissingImportIsAnError) {
+TEST_F(ImportGraphTest, MissingImportIsPerTUNotAGraphError) {
+  // An unresolvable import no longer poisons the whole graph: it is
+  // recorded against the importing TU (so the driver can diagnose that
+  // TU and keep building everyone else) and folded into the TU's hash
+  // (so the import later appearing dirties exactly that TU).
   ImportGraph G = graphOf({{"a.mc", "import \"nope.mc\";\n"
-                                    "fn main() -> int { return 0; }"}});
-  ASSERT_FALSE(G.valid());
-  EXPECT_NE(G.error().find("nope.mc"), std::string::npos) << G.error();
+                                    "fn main() -> int { return 0; }"},
+                           {"b.mc", "fn fb() -> int { return 2; }"}});
+  ASSERT_TRUE(G.valid()) << G.error();
+  EXPECT_TRUE(G.anyMissingImports());
+  ASSERT_EQ(G.missingImports("a.mc").size(), 1u);
+  EXPECT_EQ(G.missingImports("a.mc")[0], "nope.mc");
+  EXPECT_TRUE(G.missingImports("b.mc").empty());
 }
 
 TEST_F(ImportGraphTest, SelfImportIsACycle) {

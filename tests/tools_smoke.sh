@@ -10,6 +10,8 @@ SCC="$1"
 SCBUILD="$2"
 SCBUILDD="$3"
 SCCACHED="$4"
+SCWORKLOAD="$5"
+SCENDIR="$6"
 
 DIR="$(mktemp -d)"
 DAEMON_PID=""
@@ -548,5 +550,55 @@ PYEOF
 "$SCCACHED" --socket="$CACHE_SOCK" --shutdown
 wait "$CACHE_PID" || { echo "FAIL: sccached exited nonzero"; exit 1; }
 CACHE_PID=""
+
+# --- scworkload: scenario replay + dependency verification ------------------
+
+# The bundled clean scenario replays end to end: every phase builds,
+# the dependency verifier finds nothing, and the incremental artifacts
+# byte-match a scratch build after every phase.
+mkdir -p replay-clean
+"$SCWORKLOAD" run "$SCENDIR/refactor-storm.scen" --dir replay-clean \
+  -j 4 --quiet --report-json=replay.json || {
+  echo "FAIL: clean scenario replay failed"; exit 1; }
+python3 - <<'PYEOF' || { echo "FAIL: replay report invalid"; exit 1; }
+import json
+doc = json.load(open("replay.json"))
+assert doc["schema"] == "scworkload-replay" and doc["schema_version"] == 1
+assert doc["ok"] is True, doc
+assert doc["findings"] == [], doc
+assert all(p["build_ok"] and p["scratch_match"] for p in doc["phases"]), doc
+PYEOF
+
+# A scenario spec with a deliberately planted dependency error makes
+# the replay fail (exit 2) with a dep-missing reason naming TU + path,
+# and `scbuild --verify-deps` on the sabotaged tree exits 6.
+mkdir -p replay-planted
+set +e
+"$SCWORKLOAD" run "$SCENDIR/planted-missing.scen" --dir replay-planted \
+  --quiet 2> planted.err
+PLANTED_EXIT=$?
+set -e
+[ "$PLANTED_EXIT" = 2 ] || {
+  echo "FAIL: planted scenario exited $PLANTED_EXIT, want 2"; exit 1; }
+grep -q "dep-missing: .*\.mc reads '.*\.mc'" planted.err || {
+  echo "FAIL: no dep-missing finding:"; cat planted.err; exit 1; }
+set +e
+"$SCBUILD" replay-planted --verify-deps --quiet 2> verify.err
+VERIFY_EXIT=$?
+set -e
+[ "$VERIFY_EXIT" = 6 ] || {
+  echo "FAIL: scbuild --verify-deps exited $VERIFY_EXIT, want 6"; exit 1; }
+grep -q "dep-missing: " verify.err || {
+  echo "FAIL: scbuild --verify-deps printed no finding:"; cat verify.err
+  exit 1; }
+
+# On a healthy tree the same flag verifies clean (exit 0).
+"$SCBUILD" replay-clean --verify-deps --quiet || {
+  echo "FAIL: --verify-deps failed on a clean tree"; exit 1; }
+
+# `scworkload check` round-trips the spec through the parser.
+"$SCWORKLOAD" check "$SCENDIR/refactor-storm.scen" > normalized.scen
+grep -q "scenario: refactor-storm" normalized.scen || {
+  echo "FAIL: scworkload check did not echo the spec"; exit 1; }
 
 echo "tools smoke: OK"

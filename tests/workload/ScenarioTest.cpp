@@ -1,0 +1,313 @@
+//===- tests/workload/ScenarioTest.cpp - Scenario DSL + runner -----------===//
+//
+// Part of the stateful-compiler project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The declarative workload DSL (workload/Scenario.h): parser
+/// round-trip and strictness, the seed-determinism contract (same spec
+/// + seed => identical edit streams at any -j), and the replay runner
+/// end-to-end — clean scenarios finish with zero verifier findings and
+/// byte-identical scratch comparisons; planted scenarios must fail.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/FileSystem.h"
+#include "workload/Scenario.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace sc;
+
+namespace {
+
+const char *ExampleSpec = R"(# comment lines vanish
+scenario: example
+profile: small_cli
+seed: 9
+
+phase: warm repeat=2
+  commit count=2   # trailing comments too
+  body-tweak
+
+phase: churn
+  choice:
+    3 commit
+    1 hot-header
+  branch-switch percent=40
+  add-file
+  delete-file
+
+phase: sabotage
+  plant kind=redundant
+)";
+
+Scenario parseOrDie(const std::string &Text) {
+  Scenario S;
+  std::string Error;
+  EXPECT_TRUE(ScenarioParser::parse(Text, S, Error)) << Error;
+  return S;
+}
+
+std::string parseError(const std::string &Text) {
+  Scenario S;
+  std::string Error;
+  EXPECT_FALSE(ScenarioParser::parse(Text, S, Error));
+  return Error;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(ScenarioParser, ParsesTheExample) {
+  Scenario S = parseOrDie(ExampleSpec);
+  EXPECT_EQ(S.Name, "example");
+  EXPECT_EQ(S.Profile, "small_cli");
+  EXPECT_EQ(S.Seed, 9u);
+  ASSERT_EQ(S.Phases.size(), 3u);
+
+  EXPECT_EQ(S.Phases[0].Name, "warm");
+  EXPECT_EQ(S.Phases[0].Repeat, 2u);
+  ASSERT_EQ(S.Phases[0].Nodes.size(), 2u);
+  EXPECT_EQ(S.Phases[0].Nodes[0].K, ScenarioNode::Kind::Commit);
+  EXPECT_EQ(S.Phases[0].Nodes[0].Count, 2u);
+
+  const ScenarioPhase &Churn = S.Phases[1];
+  ASSERT_EQ(Churn.Nodes.size(), 4u);
+  const ScenarioNode &Choice = Churn.Nodes[0];
+  ASSERT_EQ(Choice.K, ScenarioNode::Kind::Choice);
+  ASSERT_EQ(Choice.Children.size(), 2u);
+  EXPECT_EQ(Choice.Weights[0], 3u);
+  EXPECT_EQ(Choice.Children[1].K, ScenarioNode::Kind::HotHeader);
+  EXPECT_EQ(Churn.Nodes[1].K, ScenarioNode::Kind::BranchSwitch);
+  EXPECT_EQ(Churn.Nodes[1].Percent, 40u);
+
+  ASSERT_EQ(S.Phases[2].Nodes.size(), 1u);
+  EXPECT_EQ(S.Phases[2].Nodes[0].K, ScenarioNode::Kind::Plant);
+  EXPECT_FALSE(S.Phases[2].Nodes[0].PlantMissing);
+}
+
+TEST(ScenarioParser, RoundTripsThroughRender) {
+  Scenario S = parseOrDie(ExampleSpec);
+  std::string Rendered = renderScenario(S);
+  Scenario S2 = parseOrDie(Rendered);
+  // render(parse(render(S))) == render(S): the normalized form is a
+  // fixed point.
+  EXPECT_EQ(renderScenario(S2), Rendered);
+  EXPECT_EQ(S2.Phases.size(), S.Phases.size());
+  EXPECT_EQ(S2.Seed, S.Seed);
+}
+
+TEST(ScenarioParser, RejectsGarbageWithLineNumbers) {
+  // Unknown node.
+  EXPECT_EQ(parseError("scenario: x\nphase: p\n  frobnicate\n"),
+            "line 3: unknown node 'frobnicate'");
+  // Unknown option.
+  EXPECT_NE(parseError("scenario: x\nphase: p\n  commit speed=9\n")
+                .find("unknown option 'speed'"),
+            std::string::npos);
+  // percent only fits branch-switch.
+  EXPECT_NE(parseError("scenario: x\nphase: p\n  commit percent=5\n")
+                .find("only applies to branch-switch"),
+            std::string::npos);
+  // Unknown profile, with the known list.
+  EXPECT_NE(parseError("scenario: x\nprofile: nope\nphase: p\n  commit\n")
+                .find("unknown profile 'nope' (known: "),
+            std::string::npos);
+  // Bad seed.
+  EXPECT_NE(parseError("scenario: x\nseed: -3\nphase: p\n  commit\n")
+                .find("seed must be"),
+            std::string::npos);
+  // Node outside any phase.
+  EXPECT_EQ(parseError("scenario: x\ncommit\n"),
+            "line 2: node 'commit' outside a phase");
+  // Weighted line outside choice.
+  EXPECT_NE(parseError("scenario: x\nphase: p\n  3 commit\n")
+                .find("outside a choice"),
+            std::string::npos);
+  // Empty choice.
+  EXPECT_NE(parseError("scenario: x\nphase: p\n  choice:\n  commit\n")
+                .find("at least one weighted child"),
+            std::string::npos);
+  // Empty phase.
+  EXPECT_NE(parseError("scenario: x\nphase: a\nphase: b\n  commit\n")
+                .find("phase 'a' has no nodes"),
+            std::string::npos);
+  // Bad plant kind.
+  EXPECT_NE(parseError("scenario: x\nphase: p\n  plant kind=sneaky\n")
+                .find("plant kind must be"),
+            std::string::npos);
+  // Missing scenario name.
+  EXPECT_NE(parseError("phase: p\n  commit\n").find("missing 'scenario:'"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Seed determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *DeterminismSpec = R"(scenario: det
+profile: small_cli
+seed: 13
+
+phase: mix repeat=3
+  choice:
+    2 commit
+    1 body-tweak
+    1 import-change
+  add-file
+  signature-change
+
+phase: churn
+  delete-file
+  branch-switch percent=30
+)";
+
+ScenarioRunOptions fastOptions(unsigned Jobs) {
+  ScenarioRunOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.ScratchCompare = false; // Determinism needs edits, not rebuilds.
+  return Opts;
+}
+
+} // namespace
+
+TEST(ScenarioRunner, SameSpecSameSeedSameEditStream) {
+  Scenario S = parseOrDie(DeterminismSpec);
+  InMemoryFileSystem FS1, FS2;
+  ScenarioRunner R1(S, FS1, fastOptions(1));
+  ScenarioRunner R2(S, FS2, fastOptions(8));
+  ASSERT_TRUE(R1.run());
+  ASSERT_TRUE(R2.run());
+  // Identical logs at different -j: every random draw flows from the
+  // one seeded RNG, never from scheduling.
+  EXPECT_EQ(R1.editLog(), R2.editLog());
+  ASSERT_FALSE(R1.editLog().empty());
+  // The builds agree file-for-file too.
+  ASSERT_EQ(R1.outcomes().size(), R2.outcomes().size());
+  for (size_t I = 0; I != R1.outcomes().size(); ++I) {
+    EXPECT_EQ(R1.outcomes()[I].ChangedFiles, R2.outcomes()[I].ChangedFiles);
+    EXPECT_EQ(R1.outcomes()[I].FilesCompiled, R2.outcomes()[I].FilesCompiled);
+  }
+}
+
+TEST(ScenarioRunner, DifferentSeedDifferentEditStream) {
+  Scenario S = parseOrDie(DeterminismSpec);
+  Scenario S2 = S;
+  S2.Seed = 14;
+  InMemoryFileSystem FS1, FS2;
+  ScenarioRunner R1(S, FS1, fastOptions(1));
+  ScenarioRunner R2(S2, FS2, fastOptions(1));
+  ASSERT_TRUE(R1.run());
+  ASSERT_TRUE(R2.run());
+  EXPECT_NE(R1.editLog(), R2.editLog());
+}
+
+//===----------------------------------------------------------------------===//
+// Replay end-to-end
+//===----------------------------------------------------------------------===//
+
+TEST(ScenarioRunner, CleanScenarioRepliesCleanWithScratchCompare) {
+  const char *Spec = R"(scenario: clean
+profile: small_cli
+seed: 5
+
+phase: warm repeat=2
+  commit
+  hot-header
+
+phase: files
+  add-file
+  delete-file
+  import-add
+  commit
+)";
+  Scenario S = parseOrDie(Spec);
+  InMemoryFileSystem FS;
+  ScenarioRunOptions Opts;
+  Opts.Jobs = 4;
+  ScenarioRunner R(S, FS, Opts);
+  EXPECT_TRUE(R.run());
+  EXPECT_TRUE(R.ok());
+  ASSERT_EQ(R.outcomes().size(), 4u); // <initial> + 2x warm + files.
+  for (const ScenarioPhaseOutcome &O : R.outcomes()) {
+    EXPECT_TRUE(O.BuildOk) << O.Phase << ": " << O.BuildError;
+    EXPECT_TRUE(O.ScratchMatch) << O.Phase;
+    EXPECT_TRUE(O.Findings.empty()) << O.Phase << ": " << O.Findings.front();
+  }
+  EXPECT_NE(R.reportJson().find("\"schema\": \"scworkload-replay\""),
+            std::string::npos);
+  EXPECT_NE(R.reportJson().find("\"ok\": true"), std::string::npos);
+}
+
+TEST(ScenarioRunner, PlantMissingFailsTheReplay) {
+  const char *Spec = R"(scenario: sabotage
+profile: small_cli
+seed: 7
+
+phase: sabotage
+  commit
+  plant kind=missing
+)";
+  Scenario S = parseOrDie(Spec);
+  InMemoryFileSystem FS;
+  ScenarioRunner R(S, FS, ScenarioRunOptions());
+  R.run();
+  EXPECT_FALSE(R.ok());
+  bool Found = false;
+  for (const ScenarioPhaseOutcome &O : R.outcomes())
+    for (const std::string &F : O.Findings)
+      Found |= F.find("dep-missing: ") == 0;
+  EXPECT_TRUE(Found) << "no dep-missing finding recorded";
+  EXPECT_NE(R.reportJson().find("\"ok\": false"), std::string::npos);
+}
+
+TEST(ScenarioRunner, PlantRedundantFailsTheReplay) {
+  const char *Spec = R"(scenario: sabotage2
+profile: small_cli
+seed: 11
+
+phase: sabotage
+  plant kind=redundant
+)";
+  Scenario S = parseOrDie(Spec);
+  InMemoryFileSystem FS;
+  ScenarioRunner R(S, FS, ScenarioRunOptions());
+  R.run();
+  EXPECT_FALSE(R.ok());
+  bool Found = false;
+  for (const ScenarioPhaseOutcome &O : R.outcomes())
+    for (const std::string &F : O.Findings)
+      Found |= F.find("dep-redundant: ") == 0;
+  EXPECT_TRUE(Found) << "no dep-redundant finding recorded";
+}
+
+TEST(ScenarioRunner, DeleteFileChurnStaysBuildable) {
+  // Regression for the deleted-TU ghost state: a scenario that keeps
+  // deleting (and re-adding) files must never fail a build or diverge.
+  const char *Spec = R"(scenario: churn
+profile: small_cli
+seed: 3
+
+phase: churn repeat=4
+  add-file
+  delete-file
+  commit
+)";
+  Scenario S = parseOrDie(Spec);
+  InMemoryFileSystem FS;
+  ScenarioRunOptions Opts;
+  Opts.Jobs = 2;
+  ScenarioRunner R(S, FS, Opts);
+  EXPECT_TRUE(R.run()) << (R.outcomes().empty()
+                               ? std::string("no outcomes")
+                               : R.outcomes().back().BuildError);
+  EXPECT_TRUE(R.ok());
+}

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Perf regression gates over committed BENCH_*.json files.
 
-Two subcommands, one per bench-labeled ctest:
+One subcommand per gating ctest (plus `history` and `scenario`, which
+validate artifacts rather than re-measure):
 
   bench_check.py e10 <bench_e10_binary> <committed_BENCH_e10.json>
       Re-measures E10 thread scaling and fails when the stateful-j8
@@ -236,9 +237,59 @@ def check_history(ledger_path):
     sys.exit(0)
 
 
+def check_scenario(scworkload, spec_path):
+    """Replays a bundled scenario through scworkload and validates the
+    "scworkload-replay" report: every phase built, the dependency
+    verifier found nothing, and the incremental artifacts byte-matched
+    a scratch build after every phase. Scenario replays are
+    deterministic at any -j, so this gate never skips for hardware."""
+    if not os.path.exists(spec_path):
+        fail(f"no scenario spec at {spec_path}")
+    report = "BENCH_scenario.json"
+    workspace = "bench_scenario_ws"
+    if os.path.exists(workspace):
+        import shutil
+        shutil.rmtree(workspace)
+    os.makedirs(workspace)
+    print(f"running {scworkload} run {spec_path} ...")
+    proc = subprocess.run(
+        [scworkload, "run", spec_path, "--dir", workspace, "-j", "4",
+         "--quiet", f"--report-json={report}"], cwd=os.getcwd())
+    if proc.returncode != 0:
+        fail(f"scworkload exited with {proc.returncode}")
+    doc = load_json(report, "replay report")
+    if doc.get("schema") != "scworkload-replay":
+        fail(f"schema is {doc.get('schema')!r}, expected 'scworkload-replay'")
+    if doc.get("schema_version") != 1:
+        fail(f"unexpected schema_version {doc.get('schema_version')!r}")
+    if doc.get("ok") is not True:
+        fail(f"replay not ok: findings {doc.get('findings')}")
+    if doc.get("findings"):
+        fail(f"verifier findings on a clean scenario: {doc['findings']}")
+    phases = doc.get("phases", [])
+    if not phases:
+        fail("report holds no phase outcomes")
+    for ph in phases:
+        for key in ("phase", "iteration", "build_ok", "scratch_match",
+                    "files_compiled", "files_total", "deps_missing",
+                    "deps_redundant"):
+            if key not in ph:
+                fail(f"phase record lacks the {key!r} field: {ph}")
+        if not ph["build_ok"]:
+            fail(f"phase {ph['phase']!r} failed to build")
+        if not ph["scratch_match"]:
+            fail(f"phase {ph['phase']!r} diverged from a scratch build")
+        if ph["deps_missing"] or ph["deps_redundant"]:
+            fail(f"phase {ph['phase']!r} has dependency findings: {ph}")
+    print(f"OK: scenario {doc.get('scenario')!r} replayed clean — "
+          f"{len(phases)} build(s), zero findings, scratch-identical")
+    sys.exit(0)
+
+
 def main():
     usage = (f"usage: {sys.argv[0]} e10|daemon <bench_binary> "
-             f"<committed_json>  |  {sys.argv[0]} history <ledger.jsonl>")
+             f"<committed_json>  |  {sys.argv[0]} history <ledger.jsonl>"
+             f"  |  {sys.argv[0]} scenario <scworkload> <spec.scen>")
     if len(sys.argv) == 3 and sys.argv[1] == "history":
         check_history(sys.argv[2])
     if len(sys.argv) != 4:
@@ -248,6 +299,8 @@ def main():
         check_e10(bench, committed_path)
     elif sub == "daemon":
         check_daemon(bench, committed_path)
+    elif sub == "scenario":
+        check_scenario(bench, committed_path)
     else:
         fail(usage)
 

@@ -48,6 +48,12 @@
 ///                   are published for the rest of the fleet. A dead or
 ///                   absent daemon degrades to a plain local build with
 ///                   one warning — never a failed build.
+///   --verify-deps   after a successful build, cross-check the files
+///                   each TU actually read against the import graph's
+///                   tracked edges (build_sys/DepVerifier.h). Findings
+///                   print as stable `dep-missing:` / `dep-redundant:`
+///                   reason lines and the exit code is 6. Observational
+///                   only — never changes what gets built.
 ///   --trace-out=FILE   write a Chrome trace-event JSON of the build
 ///                      (load in chrome://tracing or Perfetto)
 ///   --report-json=FILE write the versioned JSON build report
@@ -282,6 +288,8 @@ int main(int argc, char **argv) {
       Options.Compiler.Stateful.SkipMode = StatefulConfig::Mode::ExactSkip;
     else if (Arg == "--reuse")
       Options.Compiler.Stateful.ReuseFunctionCode = true;
+    else if (Arg == "--verify-deps")
+      Options.VerifyDeps = true;
     else if (Arg == "--clean")
       Clean = true;
     else if (Arg == "--run")
@@ -326,7 +334,8 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: scbuild [dir] [-O0|-O1|-O2] [-j N] "
                    "[--stateless] [--exact] [--reuse]\n               "
-                   "[--clean] [--quiet] [--daemon[=auto-start]] "
+                   "[--clean] [--quiet] [--verify-deps] "
+                   "[--daemon[=auto-start]] "
                    "[--daemon-status] [--daemon-shutdown]\n               "
                    "[--trace-out=FILE] [--report-json=FILE] "
                    "[--remote-cache=SOCKET]\n               "
@@ -543,6 +552,15 @@ int main(int argc, char **argv) {
                    "those sinks; see scbuildd --trace-stream)\n");
       return 1;
     }
+    // The verifier runs inside the building process and reports
+    // through BuildStats, which does not cross the socket.
+    if (Options.VerifyDeps) {
+      std::fprintf(stderr,
+                   "scbuild: error: --verify-deps cannot be combined with "
+                   "--daemon (the verifier runs in the building process; "
+                   "use an in-process build)\n");
+      return 1;
+    }
     // Likewise the remote-cache connection: the resident driver lives
     // in the daemon process, so the tier is configured there.
     if (!RemoteCache.empty()) {
@@ -688,5 +706,24 @@ int main(int argc, char **argv) {
   }
   PrintErr(R.Err);
   PrintOut(R.Out);
+
+  // Dependency-verifier verdict. Printed here (not in the shared
+  // renderer) so `scbuild --daemon` output stays byte-identical; a
+  // finding is its own failure mode with its own exit code.
+  if (Options.VerifyDeps && Stats.Success) {
+    for (const std::string &F : Stats.DepFindings)
+      std::fprintf(stderr, "scbuild: %s\n", F.c_str());
+    if (!Stats.DepFindings.empty()) {
+      std::fprintf(stderr,
+                   "scbuild: error: dependency verification failed: %u "
+                   "missing, %u redundant (%u TUs checked)\n",
+                   Stats.DepsMissing, Stats.DepsRedundant,
+                   Stats.DepsTUsChecked);
+      return 6;
+    }
+    if (!Quiet)
+      std::fprintf(stderr, "scbuild: deps verified: %u TUs, 0 findings\n",
+                   Stats.DepsTUsChecked);
+  }
   return R.Code;
 }
